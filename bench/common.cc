@@ -1,0 +1,142 @@
+#include "bench/common.h"
+
+namespace nova::bench {
+namespace {
+
+constexpr std::uint64_t kGuestMem = 128ull << 20;
+constexpr sim::PicoSeconds kDeadline = sim::Seconds(120);
+
+guest::GuestAhciDriver::Config NativeDriverConfig(hw::Machine* machine) {
+  return guest::GuestAhciDriver::Config{
+      .mmio_base = root::kAhciMmioBase,
+      .irq_vector = 43,
+      .read_ci = [machine]() -> std::uint32_t {
+        std::uint64_t v = 0;
+        machine->bus().MmioRead(root::kAhciMmioBase + hw::ahci::kPxCi, 4, &v);
+        return static_cast<std::uint32_t>(v);
+      }};
+}
+
+RunResult RunNative(const RunConfig& config) {
+  hw::Machine machine(hw::MachineConfig{.cpus = {config.cpu},
+                                        .ram_size = 512ull << 20,
+                                        .iommu_present = false});
+  root::Platform platform = root::SetupStandardPlatform(&machine, nullptr);
+  machine.irq().Configure(root::kTimerGsi, 0, 32);
+  machine.irq().Unmask(root::kTimerGsi);
+  machine.irq().Configure(root::kAhciGsi, 0, 43);
+  machine.irq().Unmask(root::kAhciGsi);
+
+  guest::BareMetalRunner runner(&machine);
+  guest::GuestKernel gk(
+      &machine.mem(), [](std::uint64_t gpa) { return gpa; }, &runner.mux(),
+      guest::GuestKernelConfig{.mem_bytes = kGuestMem, .timer_hz = config.timer_hz});
+  gk.BuildStandardHandlers();
+  guest::GuestAhciDriver driver(&gk, NativeDriverConfig(&machine));
+  guest::CompileWorkload workload(
+      &gk, config.workload.disk_every != 0 ? &driver : nullptr, config.workload);
+  const std::uint64_t main = workload.EmitMain();
+  gk.EmitBoot(main);
+  gk.Install();
+  gk.PrimeState(runner.gs());
+
+  hw::Cpu& cpu = machine.cpu(0);
+  cpu.ResetUtilization();
+  const sim::PicoSeconds t0 = cpu.NowPs();
+  runner.RunUntil([&workload] { return workload.done(); }, kDeadline);
+
+  RunResult result;
+  result.seconds =
+      static_cast<double>(cpu.NowPs() - t0) / static_cast<double>(sim::kPicosPerSecond);
+  result.utilization = cpu.Utilization();
+  result.guest_insns = runner.engine().instructions();
+  return result;
+}
+
+RunResult RunVirtualized(const RunConfig& config) {
+  root::SystemConfig sc;
+  sc.machine = hw::MachineConfig{.cpus = {config.cpu}, .ram_size = 512ull << 20};
+  sc.hv_costs = config.stack == StackKind::kMonolithic
+                    ? baseline::MonolithicCosts()
+                    : baseline::NovaCosts();
+  root::NovaSystem system(sc);
+
+  vmm::VmmConfig vc;
+  vc.guest_mem_bytes = kGuestMem;
+  vc.large_pages = config.large_pages;
+  vc.mode = config.mode;
+  if (config.stack == StackKind::kDirect) {
+    vc.disable_intercepts = true;
+    vc.direct_interrupts = true;
+  }
+  if (config.stack == StackKind::kMonolithic) {
+    vc.full_state_transfer = true;
+    baseline::ApplyMonolithicVmmCosts(vc);
+  }
+  vmm::Vmm vm(&system.hv, system.root.get(), vc);
+
+  const bool direct = config.stack == StackKind::kDirect;
+  if (direct) {
+    vm.AssignHostDevice("ahci", 43);
+    vm.AssignHostDevice("timer", 32);
+    vm.GrantGuestPorts(0x20, 2);  // Interrupt-controller handshake ports.
+  } else if (config.workload.disk_every != 0) {
+    vm.ConnectDiskServer(&system.StartDiskServer());
+  }
+
+  guest::GuestLogicMux mux;
+  mux.Attach(system.hv.engine(0));
+  guest::GuestKernel gk(
+      &system.machine.mem(),
+      [&vm](std::uint64_t gpa) { return vm.GpaToHpa(gpa); }, &mux,
+      guest::GuestKernelConfig{.mem_bytes = kGuestMem, .timer_hz = config.timer_hz});
+  gk.BuildStandardHandlers();
+
+  guest::GuestAhciDriver::Config dc =
+      direct ? NativeDriverConfig(&system.machine)
+             : guest::GuestAhciDriver::Config{
+                   .mmio_base = vmm::vahci::kMmioBase,
+                   .irq_vector = vmm::vahci::kVector,
+                   .read_ci = [&vm]() -> std::uint32_t {
+                     return static_cast<std::uint32_t>(vm.vahci().MmioRead(
+                         vmm::vahci::kMmioBase + hw::ahci::kPxCi, 4));
+                   }};
+  guest::GuestAhciDriver driver(&gk, dc);
+  guest::CompileWorkload workload(
+      &gk, config.workload.disk_every != 0 ? &driver : nullptr, config.workload);
+  const std::uint64_t main = workload.EmitMain();
+  gk.EmitBoot(main);
+  gk.Install();
+  gk.PrimeState(vm.gstate());
+  vm.Start(vm.gstate().rip);
+
+  hw::Cpu& cpu = system.machine.cpu(0);
+  cpu.ResetUtilization();
+  system.hv.stats().ResetAll();
+  const sim::PicoSeconds t0 = cpu.NowPs();
+  system.hv.RunUntilCondition([&workload] { return workload.done(); }, kDeadline);
+
+  RunResult result;
+  result.seconds =
+      static_cast<double>(cpu.NowPs() - t0) / static_cast<double>(sim::kPicosPerSecond);
+  result.utilization = cpu.Utilization();
+  result.exits = vm.exits_handled();
+  result.guest_insns = system.hv.engine(0).instructions();
+  for (const auto& [name, counter] : system.hv.stats().counters()) {
+    result.stats.counter(name).Add(counter.value());
+  }
+  result.stats.counter("disk-reads").Add(workload.disk_reads());
+  result.stats.counter("Injected vIRQ").Add(vm.interrupts_injected());
+  return result;
+}
+
+}  // namespace
+
+RunResult RunCompile(const RunConfig& config) {
+  if (config.stack == StackKind::kNative) {
+    return RunNative(config);
+  }
+  return RunVirtualized(config);
+}
+
+}  // namespace nova::bench

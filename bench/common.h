@@ -1,0 +1,57 @@
+// Shared benchmark harness: assembles the full system, runs the paper's
+// workloads under a named configuration, and reports timing/utilization.
+#ifndef BENCH_COMMON_H_
+#define BENCH_COMMON_H_
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/baseline/profiles.h"
+#include "src/guest/bare_metal.h"
+#include "src/guest/driver_ahci.h"
+#include "src/guest/kernel.h"
+#include "src/guest/workload_compile.h"
+#include "src/root/system.h"
+#include "src/vmm/vmm.h"
+
+namespace nova::bench {
+
+// How a guest runs: the bars of Figure 5.
+enum class StackKind {
+  kNative,        // Bare metal, no hypervisor.
+  kDirect,        // VM with all intercepts disabled, devices direct (§8.1).
+  kNova,          // NOVA: microhypervisor + user-level VMM.
+  kMonolithic,    // In-kernel VMM baseline (KVM-like).
+};
+
+struct RunConfig {
+  std::string label;
+  const hw::CpuModel* cpu = &hw::CoreI7_920();
+  StackKind stack = StackKind::kNova;
+  hw::TranslationMode mode = hw::TranslationMode::kNested;
+  bool large_pages = true;
+  guest::CompileWorkload::Config workload{};
+  std::uint32_t timer_hz = 250;
+};
+
+struct RunResult {
+  double seconds = 0;          // Simulated wall-clock for the workload.
+  double utilization = 0;      // CPU busy fraction.
+  std::uint64_t exits = 0;     // VM exits dispatched to user level.
+  sim::StatRegistry stats;     // Hypervisor event counters (Table 2).
+  std::uint64_t guest_insns = 0;
+};
+
+// Run the kernel-compile workload under `config`; returns the timing.
+RunResult RunCompile(const RunConfig& config);
+
+// Formatting helpers.
+inline void PrintHeader(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+}  // namespace nova::bench
+
+#endif  // BENCH_COMMON_H_

@@ -1,0 +1,164 @@
+// Figure 6: CPU overhead for sequential disk reads with different block
+// sizes — native AHCI vs. directly assigned (IOMMU-remapped) vs. fully
+// virtualized controller.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "src/guest/workload_disk.h"
+
+namespace nova::bench {
+namespace {
+
+struct DiskRunResult {
+  double utilization = 0;
+  double requests_per_s = 0;
+  double mbit_per_s = 0;
+  std::uint64_t mmio_exits = 0;
+  std::uint64_t pio_exits = 0;
+};
+
+std::uint64_t RequestsFor(std::uint32_t block) {
+  // Enough requests to measure a stable rate without long runtimes.
+  const double rate = std::min(8333.0, 67e6 / block);
+  const auto n = static_cast<std::uint64_t>(rate * 0.25);
+  return std::max<std::uint64_t>(n, 200);
+}
+
+DiskRunResult RunNativeDisk(std::uint32_t block) {
+  hw::Machine machine(hw::MachineConfig{.cpus = {&hw::CoreI7_920()},
+                                        .ram_size = 512ull << 20,
+                                        .iommu_present = false});
+  root::SetupStandardPlatform(&machine, nullptr);
+  machine.irq().Configure(root::kAhciGsi, 0, 43);
+  machine.irq().Unmask(root::kAhciGsi);
+
+  guest::BareMetalRunner runner(&machine);
+  guest::GuestKernel gk(
+      &machine.mem(), [](std::uint64_t gpa) { return gpa; }, &runner.mux(),
+      guest::GuestKernelConfig{.mem_bytes = 128ull << 20});
+  gk.BuildStandardHandlers();
+  guest::GuestAhciDriver driver(
+      &gk, guest::GuestAhciDriver::Config{
+               .mmio_base = root::kAhciMmioBase,
+               .irq_vector = 43,
+               .read_ci = [&machine]() -> std::uint32_t {
+                 std::uint64_t v = 0;
+                 machine.bus().MmioRead(root::kAhciMmioBase + hw::ahci::kPxCi, 4, &v);
+                 return static_cast<std::uint32_t>(v);
+               }});
+  guest::DiskWorkload workload(
+      &gk, &driver,
+      guest::DiskWorkload::Config{.block_bytes = block,
+                                  .total_requests = RequestsFor(block)});
+  gk.EmitBoot(workload.EmitMain());
+  gk.Install();
+  gk.PrimeState(runner.gs());
+
+  hw::Cpu& cpu = machine.cpu(0);
+  cpu.ResetUtilization();
+  const sim::PicoSeconds t0 = cpu.NowPs();
+  runner.RunUntil([&workload] { return workload.done(); }, sim::Seconds(30));
+
+  DiskRunResult r;
+  const double secs = static_cast<double>(cpu.NowPs() - t0) / 1e12;
+  r.utilization = cpu.Utilization();
+  r.requests_per_s = static_cast<double>(workload.completed()) / secs;
+  r.mbit_per_s = r.requests_per_s * block * 8 / 1e6;
+  return r;
+}
+
+DiskRunResult RunVmDisk(std::uint32_t block, bool direct) {
+  root::SystemConfig sc;
+  sc.machine = hw::MachineConfig{.cpus = {&hw::CoreI7_920()}, .ram_size = 512ull << 20};
+  root::NovaSystem system(sc);
+
+  vmm::VmmConfig vc;
+  vc.guest_mem_bytes = 128ull << 20;
+  vmm::Vmm vm(&system.hv, system.root.get(), vc);
+
+  guest::GuestAhciDriver::Config dc;
+  if (direct) {
+    vm.AssignHostDevice("ahci", 43);
+    dc.mmio_base = root::kAhciMmioBase;
+    dc.irq_vector = 43;
+    dc.read_ci = [&system]() -> std::uint32_t {
+      std::uint64_t v = 0;
+      system.machine.bus().MmioRead(root::kAhciMmioBase + hw::ahci::kPxCi, 4, &v);
+      return static_cast<std::uint32_t>(v);
+    };
+  } else {
+    vm.ConnectDiskServer(&system.StartDiskServer());
+    dc.mmio_base = vmm::vahci::kMmioBase;
+    dc.irq_vector = vmm::vahci::kVector;
+    dc.read_ci = [&vm]() -> std::uint32_t {
+      return static_cast<std::uint32_t>(
+          vm.vahci().MmioRead(vmm::vahci::kMmioBase + hw::ahci::kPxCi, 4));
+    };
+  }
+
+  guest::GuestLogicMux mux;
+  mux.Attach(system.hv.engine(0));
+  guest::GuestKernel gk(
+      &system.machine.mem(),
+      [&vm](std::uint64_t gpa) { return vm.GpaToHpa(gpa); }, &mux,
+      guest::GuestKernelConfig{.mem_bytes = 128ull << 20});
+  gk.BuildStandardHandlers();
+  guest::GuestAhciDriver driver(&gk, dc);
+  guest::DiskWorkload workload(
+      &gk, &driver,
+      guest::DiskWorkload::Config{.block_bytes = block,
+                                  .total_requests = RequestsFor(block)});
+  gk.EmitBoot(workload.EmitMain());
+  gk.Install();
+  gk.PrimeState(vm.gstate());
+  vm.Start(vm.gstate().rip);
+
+  hw::Cpu& cpu = system.machine.cpu(0);
+  cpu.ResetUtilization();
+  system.hv.stats().ResetAll();
+  const sim::PicoSeconds t0 = cpu.NowPs();
+  system.hv.RunUntilCondition([&workload] { return workload.done(); },
+                              sim::Seconds(30));
+
+  DiskRunResult r;
+  const double secs = static_cast<double>(cpu.NowPs() - t0) / 1e12;
+  r.utilization = cpu.Utilization();
+  r.requests_per_s = static_cast<double>(workload.completed()) / secs;
+  r.mbit_per_s = r.requests_per_s * block * 8 / 1e6;
+  r.mmio_exits = system.hv.EventCount("Memory-Mapped I/O");
+  r.pio_exits = system.hv.EventCount("Port I/O");
+  return r;
+}
+
+void Run() {
+  PrintHeader("Figure 6: sequential disk reads, CPU utilization vs block size");
+  std::printf("%-8s | %-22s | %-22s | %-22s\n", "", "Native", "Direct (IOMMU)",
+              "Virtualized vAHCI");
+  std::printf("%-8s | %10s %10s | %10s %10s | %10s %10s %6s\n", "block",
+              "util[%]", "req/s", "util[%]", "req/s", "util[%]", "req/s",
+              "mmio/rq");
+  for (std::uint32_t block = 512; block <= 65536; block *= 2) {
+    const DiskRunResult native = RunNativeDisk(block);
+    const DiskRunResult direct = RunVmDisk(block, /*direct=*/true);
+    const DiskRunResult virt = RunVmDisk(block, /*direct=*/false);
+    const double reqs = static_cast<double>(RequestsFor(block));
+    std::printf("%-8u | %10.2f %10.0f | %10.2f %10.0f | %10.2f %10.0f %6.1f\n",
+                block, native.utilization * 100, native.requests_per_s,
+                direct.utilization * 100, direct.requests_per_s,
+                virt.utilization * 100, virt.requests_per_s,
+                static_cast<double>(virt.mmio_exits) / reqs);
+  }
+  std::printf(
+      "\nPaper shape: utilization roughly flat below the ~8 KiB bandwidth "
+      "crossover, then falls with the request rate; Direct roughly doubles "
+      "native utilization, Virtualized doubles it again (6 extra MMIO "
+      "exits per request).\n");
+}
+
+}  // namespace
+}  // namespace nova::bench
+
+int main() {
+  nova::bench::Run();
+  return 0;
+}

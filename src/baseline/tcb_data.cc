@@ -1,0 +1,55 @@
+#include "src/baseline/tcb_data.h"
+
+#include <array>
+
+namespace nova::baseline {
+namespace {
+
+// Numbers as given or estimated in §3.2 / Figure 1 of the paper.
+constexpr std::array<TcbComponent, 3> kNova = {{
+    {"microhypervisor", 9, true},
+    {"user environment", 7, false},
+    {"VMM", 20, false},
+}};
+
+constexpr std::array<TcbComponent, 3> kXen = {{
+    {"hypervisor", 100, true},
+    {"Dom0 Linux (trimmed)", 200, false},
+    {"Qemu VMM", 140, false},
+}};
+
+constexpr std::array<TcbComponent, 2> kKvm = {{
+    {"Linux + KVM", 220, true},
+    {"Qemu VMM", 140, false},
+}};
+
+constexpr std::array<TcbComponent, 4> kKvmL4 = {{
+    {"L4 microkernel", 15, true},
+    {"L4Linux + KVM", 220, false},
+    {"user environment", 7, false},
+    {"Qemu VMM", 140, false},
+}};
+
+constexpr std::array<TcbComponent, 1> kEsxi = {{
+    {"hypervisor (drivers + VMM in kernel)", 200, true},
+}};
+
+constexpr std::array<TcbComponent, 2> kHyperV = {{
+    {"hypervisor", 100, true},
+    {"parent partition (Windows Server 2008)", 380, false},
+}};
+
+constexpr std::array<TcbStack, 6> kStacks = {{
+    {"NOVA", kNova},
+    {"Xen", kXen},
+    {"KVM", kKvm},
+    {"KVM-L4", kKvmL4},
+    {"ESXi", kEsxi},
+    {"Hyper-V", kHyperV},
+}};
+
+}  // namespace
+
+std::span<const TcbStack> Figure1Stacks() { return kStacks; }
+
+}  // namespace nova::baseline

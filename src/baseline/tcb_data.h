@@ -1,0 +1,49 @@
+// Trusted-computing-base size data (Figure 1 of the paper).
+//
+// Source-code sizes for contemporary virtualization environments, as the
+// paper reports or estimates them, plus this reproduction's own measured
+// line counts. Used by the fig1 benchmark harness to regenerate the
+// comparison.
+#ifndef SRC_BASELINE_TCB_DATA_H_
+#define SRC_BASELINE_TCB_DATA_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace nova::baseline {
+
+struct TcbComponent {
+  std::string_view name;   // e.g. "hypervisor", "Dom0 Linux", "Qemu VMM".
+  std::uint32_t kloc;      // Thousand lines of source code.
+  bool privileged;         // Runs in the most privileged processor mode.
+};
+
+struct TcbStack {
+  std::string_view system;
+  std::span<const TcbComponent> components;
+
+  std::uint32_t TotalKloc() const {
+    std::uint32_t total = 0;
+    for (const TcbComponent& c : components) {
+      total += c.kloc;
+    }
+    return total;
+  }
+  std::uint32_t PrivilegedKloc() const {
+    std::uint32_t total = 0;
+    for (const TcbComponent& c : components) {
+      if (c.privileged) {
+        total += c.kloc;
+      }
+    }
+    return total;
+  }
+};
+
+// The stacks of Figure 1: NOVA, Xen, KVM, KVM-L4, ESXi, Hyper-V.
+std::span<const TcbStack> Figure1Stacks();
+
+}  // namespace nova::baseline
+
+#endif  // SRC_BASELINE_TCB_DATA_H_

@@ -1,0 +1,46 @@
+#include "src/guest/bare_metal.h"
+
+#include <algorithm>
+
+namespace nova::guest {
+
+bool BareMetalRunner::RunUntil(const std::function<bool()>& pred,
+                               sim::PicoSeconds deadline_ps) {
+  const hw::VmControls native{};  // TranslationMode::kNative.
+  while (!pred()) {
+    if (cpu_->NowPs() >= deadline_ps) {
+      return true;
+    }
+    if (gs_.halted && !machine_->irq().HasPending(cpu_->id())) {
+      // Idle: skip to the next device event.
+      cpu_->SetIdle(true);
+      const bool progressed = machine_->SkipToNextEvent();
+      cpu_->SetIdle(false);
+      if (!progressed) {
+        return false;  // Nothing will ever wake the machine.
+      }
+      continue;
+    }
+    // Slice execution by the next device-event deadline.
+    sim::Cycles slice = cpu_->model().frequency.PicosToCycles(deadline_ps) -
+                        cpu_->cycles();
+    machine_->SyncDeviceTime(*cpu_);
+    if (!machine_->events().empty()) {
+      const sim::PicoSeconds next = machine_->events().NextDeadline();
+      if (next > cpu_->NowPs()) {
+        const sim::Cycles target = cpu_->model().frequency.PicosToCycles(next);
+        slice = std::min(slice,
+                         target > cpu_->cycles() ? target - cpu_->cycles() + 1
+                                                 : sim::Cycles{1});
+      }
+    }
+    const hw::VmExit exit = engine_.Run(gs_, native, std::max<sim::Cycles>(slice, 1));
+    machine_->SyncDeviceTime(*cpu_);
+    if (exit.reason == hw::ExitReason::kError) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace nova::guest

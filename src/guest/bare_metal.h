@@ -1,0 +1,43 @@
+// Bare-metal execution harness: runs a guest kernel image directly on the
+// simulated CPU with no hypervisor — the "Native" baseline of §8.
+#ifndef SRC_GUEST_BARE_METAL_H_
+#define SRC_GUEST_BARE_METAL_H_
+
+#include <functional>
+
+#include "src/guest/logic_mux.h"
+#include "src/hw/machine.h"
+#include "src/hw/vm_engine.h"
+
+namespace nova::guest {
+
+class BareMetalRunner {
+ public:
+  explicit BareMetalRunner(hw::Machine* machine, std::uint32_t cpu = 0)
+      : machine_(machine),
+        cpu_(&machine->cpu(cpu)),
+        engine_(cpu_, &machine->mem(), &machine->bus(), &machine->irq()) {
+    mux_.Attach(engine_);
+  }
+
+  GuestLogicMux& mux() { return mux_; }
+  hw::VmEngine& engine() { return engine_; }
+  hw::GuestState& gs() { return gs_; }
+  hw::Cpu& cpu() { return *cpu_; }
+
+  // Run until `pred` holds or `deadline_ps` of simulated time passes.
+  // HLT idles the CPU to the next device event; returns false if the
+  // machine wedged (error exit or nothing left to do).
+  bool RunUntil(const std::function<bool()>& pred, sim::PicoSeconds deadline_ps);
+
+ private:
+  hw::Machine* machine_;
+  hw::Cpu* cpu_;
+  hw::VmEngine engine_;
+  hw::GuestState gs_;
+  GuestLogicMux mux_;
+};
+
+}  // namespace nova::guest
+
+#endif  // SRC_GUEST_BARE_METAL_H_

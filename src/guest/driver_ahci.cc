@@ -1,0 +1,123 @@
+#include "src/guest/driver_ahci.h"
+
+#include <cstring>
+
+namespace nova::guest {
+
+GuestAhciDriver::GuestAhciDriver(GuestKernel* gk, Config config)
+    : gk_(gk), config_(std::move(config)) {
+  prepare_logic_ =
+      gk_->mux().Register([this](hw::GuestState& gs) { PrepareLogic(gs); });
+  completion_logic_ =
+      gk_->mux().Register([this](hw::GuestState& gs) { CompletionLogic(gs); });
+  gk_->MapDevice(gk_->kernel_cr3(), config_.mmio_base, hw::kPageSize);
+}
+
+void GuestAhciDriver::EmitInit() {
+  hw::isa::Assembler& as = gk_->text();
+  as.MovImm(1, hw::ahci::kGhcIntrEnable);
+  as.Store(1, hw::isa::kNoReg, config_.mmio_base + hw::ahci::kGhc);
+  as.MovImm(1, config_.cmd_gpa);
+  as.Store(1, hw::isa::kNoReg, config_.mmio_base + hw::ahci::kPxClb);
+  as.MovImm(1, hw::ahci::kPxIsDhrs);
+  as.Store(1, hw::isa::kNoReg, config_.mmio_base + hw::ahci::kPxIe);
+  as.MovImm(1, hw::ahci::kPxCmdStart);
+  as.Store(1, hw::isa::kNoReg, config_.mmio_base + hw::ahci::kPxCmd);
+}
+
+void GuestAhciDriver::PrepareLogic(hw::GuestState& gs) {
+  // Driver submission path: pick a free slot and build the command list
+  // entry, command FIS and PRDT in the driver's own (guest) memory. These
+  // are ordinary guest RAM writes; their cost is charged by the NopBlock
+  // the emitter places next to this logic op.
+  const std::uint64_t lba = gs.regs[1];
+  const std::uint64_t sectors = gs.regs[2];
+  const std::uint64_t buffer_gpa = gs.regs[3];
+
+  int slot = -1;
+  for (int s = 0; s < hw::ahci::kNumSlots; ++s) {
+    if ((issued_mask_ & (1u << s)) == 0) {
+      slot = s;
+      break;
+    }
+  }
+  if (slot < 0) {
+    gs.regs[4] = 0;  // No free slot: the emitted code retries.
+    return;
+  }
+
+  // Command header.
+  std::uint8_t header[32] = {};
+  const std::uint32_t dw0 = 1u << 16;  // One PRDT entry, read.
+  std::memcpy(header, &dw0, 4);
+  const auto ctba = static_cast<std::uint32_t>(config_.cmd_gpa + 0x400 + slot * 0x100);
+  std::memcpy(header + 8, &ctba, 4);
+  gk_->WriteGuestRaw(config_.cmd_gpa + slot * 32ull, header, sizeof(header));
+
+  // Command FIS + PRDT.
+  std::uint8_t table[0x90] = {};
+  table[0] = hw::ahci::kFisH2d;
+  table[2] = hw::ahci::kCmdReadDmaExt;
+  for (int i = 0; i < 6; ++i) {
+    table[4 + i] = static_cast<std::uint8_t>(lba >> (8 * i));
+  }
+  const auto sect16 = static_cast<std::uint16_t>(sectors);
+  std::memcpy(table + 12, &sect16, 2);
+  std::memcpy(table + 0x80, &buffer_gpa, 8);
+  const auto dbc = static_cast<std::uint32_t>(sectors * hw::kSectorSize - 1);
+  std::memcpy(table + 0x80 + 12, &dbc, 4);
+  gk_->WriteGuestRaw(ctba, table, sizeof(table));
+
+  issued_mask_ |= 1u << slot;
+  ++issued_count_;
+  gs.regs[4] = 1u << slot;  // CI bit for the issue store.
+}
+
+void GuestAhciDriver::EmitIssueSequence() {
+  hw::isa::Assembler& as = gk_->text();
+  const std::uint64_t retry = as.Here();
+  as.NopBlock(1600);  // Command-structure setup (header, FIS, PRDT).
+  as.GuestLogic(prepare_logic_);
+  as.Jnz(4, as.Here() + 2 * hw::isa::kInsnSize);  // Got a slot?
+  as.Jmp(retry);
+  // Six-MMIO budget, submission half: free-slot check + issue.
+  as.Load(5, hw::isa::kNoReg, config_.mmio_base + hw::ahci::kPxCi);
+  as.Store(4, hw::isa::kNoReg, config_.mmio_base + hw::ahci::kPxCi);
+}
+
+void GuestAhciDriver::CompletionLogic(hw::GuestState& gs) {
+  // Driver tag bookkeeping: which of our issued slots completed?
+  const std::uint32_t ci = config_.read_ci ? config_.read_ci() : 0;
+  const std::uint32_t done = issued_mask_ & ~ci;
+  int completed = 0;
+  for (int s = 0; s < hw::ahci::kNumSlots; ++s) {
+    if (done & (1u << s)) {
+      ++completed;
+    }
+  }
+  issued_mask_ &= ci;
+  completed_count_ += completed;
+  gs.regs[5] = completed;
+  if (on_complete_ && completed > 0) {
+    on_complete_(completed);
+  }
+}
+
+void GuestAhciDriver::EmitIsr(std::function<void(int)> on_complete) {
+  on_complete_ = std::move(on_complete);
+  hw::isa::Assembler& as = gk_->text();
+  const std::uint64_t isr = as.Here();
+  // Completion half of the six-MMIO budget: read both interrupt-status
+  // registers and acknowledge them with write-one-clear stores.
+  as.Load(1, hw::isa::kNoReg, config_.mmio_base + hw::ahci::kIs);
+  as.Load(2, hw::isa::kNoReg, config_.mmio_base + hw::ahci::kPxIs);
+  as.Store(2, hw::isa::kNoReg, config_.mmio_base + hw::ahci::kPxIs);
+  as.Store(1, hw::isa::kNoReg, config_.mmio_base + hw::ahci::kIs);
+  as.NopBlock(1400);  // Tag bookkeeping, request teardown.
+  as.GuestLogic(completion_logic_);
+  gk_->EmitPicHandshake();
+  as.Iret();
+  gk_->SetVector(config_.irq_vector, isr);
+}
+
+}  // namespace nova::guest

@@ -1,0 +1,179 @@
+#include "src/guest/kernel.h"
+
+#include "src/vmm/vpic.h"
+#include "src/vmm/vpit.h"
+
+namespace nova::guest {
+
+namespace {
+constexpr std::uint8_t kTimerVector = 32;
+constexpr std::uint64_t k4M = 4ull << 20;
+}  // namespace
+
+GuestKernel::GuestKernel(hw::PhysMem* mem,
+                         std::function<std::uint64_t(std::uint64_t)> gpa_to_hpa,
+                         GuestLogicMux* mux, GuestKernelConfig config)
+    : mem_(mem),
+      gpa_to_hpa_(std::move(gpa_to_hpa)),
+      mux_(mux),
+      config_(config),
+      pt_(mem, gpa_to_hpa_, GuestLayout::kPtPool),
+      heap_next_(GuestLayout::kHeapBase >> hw::kPageShift) {}
+
+std::uint64_t GuestKernel::AllocFrames(std::uint64_t n) {
+  const std::uint64_t first = heap_next_;
+  heap_next_ += n;
+  if ((heap_next_ << hw::kPageShift) > config_.mem_bytes) {
+    return 0;  // Guest out of memory.
+  }
+  return first << hw::kPageShift;
+}
+
+void GuestKernel::MapDevice(std::uint64_t root_gpa, std::uint64_t base,
+                            std::uint64_t size) {
+  for (std::uint64_t off = 0; off < size; off += hw::kPageSize) {
+    pt_.Map(root_gpa, base + off, base + off, hw::kPageSize, hw::pte::kWritable);
+  }
+  if (root_gpa == GuestLayout::kPtRoot) {
+    device_windows_.emplace_back(base, size);  // Replicated into new ASes.
+  }
+}
+
+void GuestKernel::BuildKernelMappings(std::uint64_t root_gpa) {
+  // Kernel direct map: identity for all of guest RAM (global pages — they
+  // survive guest CR3 writes, like a real kernel's direct map).
+  const std::uint64_t flags = hw::pte::kWritable | hw::pte::kGlobal;
+  if (config_.large_kernel_pages) {
+    for (std::uint64_t gpa = 0; gpa < config_.mem_bytes; gpa += k4M) {
+      pt_.Map(root_gpa, gpa, gpa, k4M, flags);
+    }
+  } else {
+    for (std::uint64_t gpa = 0; gpa < config_.mem_bytes; gpa += hw::kPageSize) {
+      pt_.Map(root_gpa, gpa, gpa, hw::kPageSize, flags);
+    }
+  }
+  for (const auto& [base, size] : device_windows_) {
+    for (std::uint64_t off = 0; off < size; off += hw::kPageSize) {
+      pt_.Map(root_gpa, base + off, base + off, hw::kPageSize, hw::pte::kWritable);
+    }
+  }
+}
+
+std::uint64_t GuestKernel::CreateAddressSpace() {
+  const std::uint64_t root = AllocFrames(1);
+  if (root == 0) {
+    return 0;
+  }
+  mem_->Zero(gpa_to_hpa_(root), hw::kPageSize);
+  BuildKernelMappings(root);
+  return root;
+}
+
+void GuestKernel::PfLogic(hw::GuestState& gs) {
+  // The guest kernel's page-fault policy: demand-map process pages from
+  // the frame heap; anything else is a (lazy) kernel identity mapping.
+  const std::uint64_t page = gs.cr2 & ~hw::kPageMask;
+  if (page >= GuestLayout::kProcVirtBase) {
+    const std::uint64_t frame = AllocFrames(1);
+    if (frame != 0) {
+      pt_.Map(gs.cr3, page, frame, hw::kPageSize,
+              hw::pte::kWritable | hw::pte::kUser);
+    }
+  } else {
+    pt_.Map(gs.cr3, page, page, hw::kPageSize, hw::pte::kWritable);
+  }
+  gs.regs[6] = page;  // For the INVLPG that follows.
+}
+
+void GuestKernel::EmitPicHandshake() {
+  text_.In(0, vmm::vpic::kPortVector);       // Which vector is in service?
+  text_.Out(vmm::vpic::kPortMask, 0);        // Mask it.
+  text_.Out(vmm::vpic::kPortVector, 0);      // EOI.
+  text_.Out(vmm::vpic::kPortUnmask, 0);      // Unmask.
+}
+
+void GuestKernel::BuildStandardHandlers() {
+  // --- #PF handler -------------------------------------------------------
+  const std::uint32_t pf_logic =
+      mux_->Register([this](hw::GuestState& gs) { PfLogic(gs); });
+  const std::uint64_t pf_handler = text_.Here();
+  text_.GuestLogic(pf_logic);   // Map the faulting page (edits guest PTs).
+  text_.InvlpgReg(6);           // Flush the stale translation.
+  text_.Iret();
+  SetVector(hw::kVectorPageFault, pf_handler);
+
+  // --- Timer ISR -----------------------------------------------------------
+  if (config_.timer_hz != 0) {
+    const std::uint32_t tick_logic = mux_->Register([this](hw::GuestState&) {
+      if (timer_hook_) {
+        timer_hook_();
+      }
+    });
+    const std::uint64_t timer_isr = text_.Here();
+    // Account the tick in kernel memory (load-add-store, like jiffies).
+    text_.LoadAbs(1, tick_counter_gva_);
+    text_.AddImm(1, 1);
+    text_.StoreAbs(1, tick_counter_gva_);
+    EmitPicHandshake();
+    text_.GuestLogic(tick_logic);
+    text_.Iret();
+    SetVector(kTimerVector, timer_isr);
+  }
+}
+
+void GuestKernel::SetVector(std::uint8_t vector, std::uint64_t handler_gva) {
+  vectors_.emplace_back(vector, handler_gva);
+}
+
+std::uint64_t GuestKernel::EmitIdleLoop() {
+  const std::uint64_t idle = text_.Here();
+  text_.Sti();
+  text_.Hlt();
+  text_.Jmp(idle);
+  return idle;
+}
+
+std::uint64_t GuestKernel::EmitBoot(std::uint64_t main_gva) {
+  entry_ = text_.Here();
+  for (const auto& [vector, handler] : vectors_) {
+    text_.SetIdt(vector, handler);
+  }
+  if (config_.timer_hz != 0) {
+    const std::uint32_t period_us = 1'000'000 / config_.timer_hz;
+    text_.MovImm(1, period_us & 0xffff);
+    text_.Out(vmm::vpit::kPortPeriodLo, 1);
+    text_.MovImm(1, period_us >> 16);
+    text_.Out(vmm::vpit::kPortPeriodHi, 1);  // Starts the timer.
+  }
+  text_.Sti();
+  text_.Jmp(main_gva);
+  return entry_;
+}
+
+std::uint64_t GuestKernel::Install() {
+  // Write the kernel text.
+  const auto& bytes = text_.bytes();
+  for (std::uint64_t off = 0; off < bytes.size(); off += hw::kPageSize) {
+    const std::uint64_t chunk = std::min<std::uint64_t>(hw::kPageSize, bytes.size() - off);
+    mem_->Write(gpa_to_hpa_(text_.base() + off), bytes.data() + off, chunk);
+  }
+  // Build the kernel address space.
+  if (config_.paging) {
+    mem_->Zero(gpa_to_hpa_(GuestLayout::kPtRoot), hw::kPageSize);
+    BuildKernelMappings(GuestLayout::kPtRoot);
+  }
+  return entry_;
+}
+
+void GuestKernel::PrimeState(hw::GuestState& gs) const {
+  gs.rip = entry_;
+  gs.paging = config_.paging;
+  gs.cr3 = config_.paging ? GuestLayout::kPtRoot : 0;
+  gs.interrupts_enabled = false;  // Boot code executes STI.
+}
+
+std::uint64_t GuestKernel::ticks() const {
+  return mem_->Read64(gpa_to_hpa_(tick_counter_gva_));
+}
+
+}  // namespace nova::guest

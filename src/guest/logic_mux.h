@@ -1,0 +1,47 @@
+// Guest-logic dispatch.
+//
+// Guest kernels express dynamic, data-dependent decisions (next workload
+// address, page-fault policy, command assembly) through kGuestLogic
+// instructions. Each engine has a single callback; the mux fans those out
+// to registered handlers by id.
+#ifndef SRC_GUEST_LOGIC_MUX_H_
+#define SRC_GUEST_LOGIC_MUX_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/hw/guest_state.h"
+#include "src/hw/vm_engine.h"
+
+namespace nova::guest {
+
+class GuestLogicMux {
+ public:
+  using Fn = std::function<void(hw::GuestState&)>;
+
+  // Register a handler; returns the id to pass to isa::Assembler::GuestLogic.
+  std::uint32_t Register(Fn fn) {
+    handlers_.push_back(std::move(fn));
+    return static_cast<std::uint32_t>(handlers_.size() - 1);
+  }
+
+  void Dispatch(std::uint32_t id, hw::GuestState& gs) {
+    if (id < handlers_.size()) {
+      handlers_[id](gs);
+    }
+  }
+
+  // Install this mux as the engine's guest-logic callback.
+  void Attach(hw::VmEngine& engine) {
+    engine.set_guest_logic(
+        [this](std::uint32_t id, hw::GuestState& gs) { Dispatch(id, gs); });
+  }
+
+ private:
+  std::vector<Fn> handlers_;
+};
+
+}  // namespace nova::guest
+
+#endif  // SRC_GUEST_LOGIC_MUX_H_

@@ -1,0 +1,39 @@
+// UDP receive workload (§8.3, Figure 7).
+//
+// Netperf-style: the guest brings up its NIC and idles; all work happens
+// in the receive interrupt path (ICR read, per-packet payload copy,
+// descriptor recycling, interrupt-controller handshake).
+#ifndef SRC_GUEST_WORKLOAD_UDP_H_
+#define SRC_GUEST_WORKLOAD_UDP_H_
+
+#include <cstdint>
+
+#include "src/guest/driver_nic.h"
+#include "src/guest/kernel.h"
+
+namespace nova::guest {
+
+class UdpWorkload {
+ public:
+  UdpWorkload(GuestKernel* gk, GuestNicDriver* driver) : gk_(gk), driver_(driver) {}
+
+  std::uint64_t EmitMain() {
+    driver_->EmitIsr([this] { ++packets_; });
+    hw::isa::Assembler& as = gk_->text();
+    const std::uint64_t main = as.Here();
+    driver_->EmitInit();
+    gk_->EmitIdleLoop();
+    return main;
+  }
+
+  std::uint64_t packets() const { return packets_; }
+
+ private:
+  GuestKernel* gk_;
+  GuestNicDriver* driver_;
+  std::uint64_t packets_ = 0;
+};
+
+}  // namespace nova::guest
+
+#endif  // SRC_GUEST_WORKLOAD_UDP_H_

@@ -1,0 +1,63 @@
+// Per-protection-domain capability space.
+//
+// Capabilities are opaque and immutable to user code: applications only
+// hold integral selectors. The space maps selectors to (object, perms)
+// pairs; delegation installs narrowed copies in other domains' spaces.
+#ifndef SRC_HV_CAP_SPACE_H_
+#define SRC_HV_CAP_SPACE_H_
+
+#include <vector>
+
+#include "src/hv/object.h"
+#include "src/hv/types.h"
+#include "src/sim/status.h"
+
+namespace nova::hv {
+
+struct Capability {
+  ObjRef object;            // Null: empty slot.
+  std::uint8_t perms = 0;
+
+  bool Valid() const { return object != nullptr && !object->dead(); }
+};
+
+class CapSpace {
+ public:
+  CapSpace() : slots_(kCapSpaceSlots) {}
+
+  // Install `cap` at `sel`. Fails with kOverflow when out of range and
+  // kBusy when the slot is occupied.
+  Status Insert(CapSel sel, Capability cap);
+
+  // Look up a selector. Returns nullptr for empty, dead or out-of-range
+  // slots. Cost is charged by the hypercall layer.
+  const Capability* Lookup(CapSel sel) const;
+
+  // Typed lookup with permission check.
+  template <typename T>
+  T* LookupAs(CapSel sel, ObjType type, std::uint8_t required_perms) const {
+    const Capability* cap = Lookup(sel);
+    if (cap == nullptr || cap->object->type() != type ||
+        (cap->perms & required_perms) != required_perms) {
+      return nullptr;
+    }
+    return static_cast<T*>(cap->object.get());
+  }
+
+  // Keep the object alive: shared_ptr form of Lookup.
+  ObjRef LookupRef(CapSel sel) const;
+
+  Status Remove(CapSel sel);
+
+  // First free selector at or after `from` (for kernel-chosen slots).
+  CapSel FindFree(CapSel from) const;
+
+  std::size_t used() const;
+
+ private:
+  std::vector<Capability> slots_;
+};
+
+}  // namespace nova::hv
+
+#endif  // SRC_HV_CAP_SPACE_H_

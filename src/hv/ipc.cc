@@ -1,0 +1,152 @@
+// Portal IPC: call/reply with scheduling-context donation (§5.2).
+//
+// A call looks up the portal capability, traverses the portal into the
+// handler execution context, copies the message words between UTCBs and —
+// because the caller donates its scheduling context — runs the handler
+// immediately on the caller's time slice. The handler's return is the
+// reply; its UTCB contents travel back to the caller.
+#include "src/hv/kernel.h"
+
+namespace nova::hv {
+
+void Hypervisor::TransferWords(Utcb& from, Utcb& to, std::uint32_t cpu_id) {
+  const std::uint32_t n = std::min(from.untyped, kUtcbWords);
+  to.untyped = n;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    to.words[i] = from.words[i];
+  }
+  Charge(cpu_id, static_cast<sim::Cycles>(n) * cpu(cpu_id).model().word_copy);
+}
+
+Status Hypervisor::ApplyTypedItems(Pd* sender, Pd* receiver, Utcb& msg,
+                                   std::uint32_t cpu_id) {
+  for (std::uint32_t i = 0; i < std::min(msg.num_typed, kUtcbTypedItems); ++i) {
+    TypedItem item = msg.typed[i];
+    // The receiver only accepts delegations into its declared window (§6).
+    const Crd& window = msg.recv_window;
+    if (window.kind != item.crd.kind) {
+      return Status::kBadParameter;
+    }
+    if (item.crd.kind == CrdKind::kObj && item.hotspot == ~0ull) {
+      item.hotspot = window.base;  // Receiver-chosen capability slot.
+    }
+    if (item.hotspot < window.base ||
+        item.hotspot + item.crd.count() > window.base + window.count()) {
+      return Status::kBadParameter;
+    }
+    // Reuse the delegation machinery; the sender's own capability space
+    // anchors the transfer. A dedicated self-capability for the receiver
+    // is synthesized on the fly.
+    const CapSel tmp_sel = sender->caps().FindFree(kSelFirstFree);
+    if (tmp_sel == kInvalidSel) {
+      return Status::kOverflow;
+    }
+    // Install a temporary non-delegable PD capability for the receiver in
+    // the sender's space so Delegate() can resolve it.
+    Status s = Status::kSuccess;
+    {
+      auto receiver_ref = std::static_pointer_cast<Pd>(
+          receiver == root_pd_.get() ? root_pd_ : nullptr);
+      if (receiver_ref == nullptr) {
+        // Look the receiver up via its own self-capability.
+        receiver_ref = std::static_pointer_cast<Pd>(
+            receiver->caps().LookupRef(kSelOwnPd));
+      }
+      if (receiver_ref == nullptr) {
+        return Status::kBadCapability;
+      }
+      sender->caps().Insert(tmp_sel, Capability{receiver_ref, 0});
+      s = Delegate(sender, tmp_sel, item.crd, item.hotspot);
+      sender->caps().Remove(tmp_sel);
+    }
+    if (!Ok(s)) {
+      return s;
+    }
+  }
+  return Status::kSuccess;
+}
+
+Status Hypervisor::Call(Ec* caller_ec, CapSel pt_sel) {
+  const std::uint32_t cpu_id = caller_ec->cpu();
+  // sysenter path.
+  Charge(cpu_id, cpu(cpu_id).model().syscall_entry);
+  Charge(cpu_id, costs_.hypercall_dispatch);
+
+  Pt* pt = LookupCharged<Pt>(&caller_ec->pd(), pt_sel, ObjType::kPt, perm::kCall,
+                             cpu_id);
+  if (pt == nullptr) {
+    Charge(cpu_id, cpu(cpu_id).model().syscall_exit);
+    return Status::kBadCapability;
+  }
+  const Status s = DoCall(caller_ec, pt);
+  Charge(cpu_id, cpu(cpu_id).model().syscall_exit);
+  return s;
+}
+
+Status Hypervisor::DoCall(Ec* caller_ec, Pt* portal) {
+  const std::uint32_t cpu_id = caller_ec->cpu();
+  Ec& handler = portal->handler();
+  if (handler.cpu() != cpu_id) {
+    return Status::kBadCpu;  // Portals are per-CPU objects in NOVA.
+  }
+  if (handler.busy()) {
+    return Status::kBusy;  // One in-flight call per handler EC.
+  }
+
+  const bool cross_as = &handler.pd() != &caller_ec->pd();
+  const hw::CpuModel& model = cpu(cpu_id).model();
+
+  // Portal traversal + switch to the handler, donating the caller's SC.
+  Charge(cpu_id, costs_.portal_traversal + costs_.context_switch);
+  if (cross_as) {
+    // Host address spaces carry no TLB tags (§9 discusses exactly this):
+    // the page-table root write flushes, and hot entries are re-walked.
+    Charge(cpu_id, costs_.addr_space_switch +
+                       costs_.ipc_refill_entries * model.tlb_refill_entry);
+    cpu(cpu_id).tlb().FlushTag(hw::kHostTag);
+  }
+  stats_.counter("ipc-calls").Add();
+
+  TransferWords(caller_ec->utcb(), handler.utcb(), cpu_id);
+  if (caller_ec->utcb().num_typed > 0) {
+    // Delegations ride on the message and are consumed by the kernel; the
+    // receiver window was declared by the handler ahead of time.
+    Utcb msg = caller_ec->utcb();
+    msg.recv_window = handler.utcb().recv_window;
+    const Status s = ApplyTypedItems(&caller_ec->pd(), &handler.pd(), msg, cpu_id);
+    caller_ec->utcb().num_typed = 0;
+    if (!Ok(s)) {
+      return s;
+    }
+  }
+  handler.utcb().num_typed = 0;  // The handler composes its own reply items.
+
+  // The handler runs on the donated scheduling context; the kernel creates
+  // a reply capability and switches directly without invoking the
+  // scheduler. Our synchronous model realizes donation exactly: the
+  // handler executes here, charging the caller's CPU.
+  handler.set_busy(true);
+  handler.handler()(portal->id());
+  handler.set_busy(false);
+
+  // Reply: return the donated SC and transfer the reply message.
+  Charge(cpu_id, costs_.reply_path + costs_.context_switch);
+  if (cross_as) {
+    Charge(cpu_id, costs_.addr_space_switch +
+                       costs_.ipc_refill_entries * model.tlb_refill_entry);
+    cpu(cpu_id).tlb().FlushTag(hw::kHostTag);
+  }
+  TransferWords(handler.utcb(), caller_ec->utcb(), cpu_id);
+  if (handler.utcb().num_typed > 0) {
+    Utcb msg = handler.utcb();
+    msg.recv_window = caller_ec->utcb().recv_window;
+    const Status s = ApplyTypedItems(&handler.pd(), &caller_ec->pd(), msg, cpu_id);
+    if (!Ok(s)) {
+      return s;
+    }
+    handler.utcb().num_typed = 0;
+  }
+  return Status::kSuccess;
+}
+
+}  // namespace nova::hv

@@ -1,0 +1,703 @@
+#include "src/hv/kernel.h"
+
+#include <algorithm>
+
+#include "src/sim/log.h"
+
+namespace nova::hv {
+
+namespace mtd {
+
+int WordCount(Mtd m) {
+  int words = 0;
+  if (m & kGprAcdb) words += 4;
+  if (m & kGprBsd) words += 4;
+  if (m & kRip) words += 2;
+  if (m & kRflags) words += 1;
+  if (m & kCr) words += 3;
+  if (m & kQual) words += 3;
+  if (m & kInj) words += 2;
+  if (m & kSta) words += 1;
+  if (m & kTsc) words += 1;
+  return words;
+}
+
+int FieldCount(Mtd m) {
+  // VMCS fields touched: one read/write per architectural field.
+  return WordCount(m);
+}
+
+}  // namespace mtd
+
+Hypervisor::Hypervisor(hw::Machine* machine, HvCosts costs)
+    : machine_(machine), costs_(costs) {
+  host_paging_mode_ = machine_->cpu(0).model().host_paging;
+  for (std::uint32_t i = 0; i < machine_->num_cpus(); ++i) {
+    engines_.push_back(std::make_unique<hw::VmEngine>(
+        &machine_->cpu(i), &machine_->mem(), &machine_->bus(), &machine_->irq()));
+  }
+  cpu_states_.resize(machine_->num_cpus());
+}
+
+Hypervisor::~Hypervisor() = default;
+
+hw::PhysAddr Hypervisor::AllocFrame() {
+  if (!pool_free_.empty()) {
+    const hw::PhysAddr frame = pool_free_.back();
+    pool_free_.pop_back();
+    machine_->mem().Zero(frame, hw::kPageSize);
+    return frame;
+  }
+  if (pool_next_ + hw::kPageSize > kernel_reserve_) {
+    return 0;  // Kernel pool exhausted.
+  }
+  const hw::PhysAddr frame = pool_next_;
+  pool_next_ += hw::kPageSize;
+  return frame;
+}
+
+void Hypervisor::FreeFrame(hw::PhysAddr frame) { pool_free_.push_back(frame); }
+
+std::shared_ptr<Pd> Hypervisor::MakePd(const std::string& name, bool is_vm) {
+  const hw::PhysAddr root = AllocFrame();
+  if (root == 0) {
+    return nullptr;
+  }
+  auto pd = std::make_shared<Pd>(name, is_vm, &machine_->mem(), host_paging_mode_,
+                                 root, [this] { return AllocFrame(); });
+  if (is_vm) {
+    pd->set_vm_tag(next_vm_tag_++);
+  }
+  return pd;
+}
+
+Pd* Hypervisor::Boot(std::uint64_t kernel_reserve) {
+  kernel_reserve_ = kernel_reserve;
+  pool_next_ = hw::kPageSize;  // Frame 0 stays unused: 0 means "no frame".
+  // The hypervisor shields its own memory from device DMA (§4.2).
+  machine_->iommu().ProtectRange(0, kernel_reserve_);
+
+  root_pd_ = MakePd("root", /*is_vm=*/false);
+  InstallCap(root_pd_.get(), kSelOwnPd, root_pd_, perm::kAll);
+
+  // The root partition manager receives capabilities for all remaining
+  // memory regions, I/O ports and interrupts (§6).
+  const std::uint64_t first_page = kernel_reserve_ >> hw::kPageShift;
+  const std::uint64_t last_page = machine_->mem().size() >> hw::kPageShift;
+  mdb_.CreateRoot(root_pd_.get(), CrdKind::kMem, first_page,
+                  last_page - first_page, perm::kRwx);
+  mdb_.CreateRoot(root_pd_.get(), CrdKind::kIo, 0, 65536, perm::kAll);
+  root_pd_->io_space().Grant(0, 65536);
+  return root_pd_.get();
+}
+
+Status Hypervisor::InstallCap(Pd* target, CapSel sel, ObjRef obj, std::uint8_t perms) {
+  const Status s = target->caps().Insert(sel, Capability{std::move(obj), perms});
+  if (Ok(s)) {
+    // A freshly created capability is a delegation root: the creator can
+    // hand copies (with equal or reduced permissions) to other domains.
+    mdb_.CreateRoot(target, CrdKind::kObj, sel, 1, perms);
+  }
+  return s;
+}
+
+Status Hypervisor::CreatePd(Pd* caller, CapSel dst_sel, const std::string& name,
+                            bool is_vm, Pd** out) {
+  Charge(boot_cpu_for_step_, costs_.hypercall_dispatch);
+  auto pd = MakePd(name, is_vm);
+  if (pd == nullptr) {
+    return Status::kOverflow;
+  }
+  // The creator obtains the control capability (it can destroy the domain);
+  // the new domain holds a non-control capability to itself.
+  const Status s = InstallCap(caller, dst_sel, pd, perm::kAll);
+  if (!Ok(s)) {
+    return s;
+  }
+  InstallCap(pd.get(), kSelOwnPd, pd, perm::kDelegate);
+  if (out != nullptr) {
+    *out = pd.get();
+  }
+  return Status::kSuccess;
+}
+
+Status Hypervisor::DestroyPd(Pd* caller, CapSel pd_sel) {
+  Pd* pd = LookupCharged<Pd>(caller, pd_sel, ObjType::kPd, perm::kCtrl,
+                             boot_cpu_for_step_);
+  if (pd == nullptr) {
+    return Status::kBadCapability;
+  }
+  if (pd == root_pd_.get()) {
+    return Status::kDenied;
+  }
+  // Withdraw everything this domain held and everything derived from it.
+  mdb_.DropDomain(pd, [this](const MdbNode& node) {
+    switch (node.kind) {
+      case CrdKind::kMem:
+        node.pd->mem_space().Unmap(node.base, node.count);
+        break;
+      case CrdKind::kIo:
+        node.pd->io_space().Revoke(node.base, node.count);
+        break;
+      case CrdKind::kObj:
+        for (std::uint64_t i = 0; i < node.count; ++i) {
+          node.pd->caps().Remove(static_cast<CapSel>(node.base + i));
+        }
+        break;
+      case CrdKind::kNull:
+        break;
+    }
+  });
+  pd->MarkDead();
+  caller->caps().Remove(pd_sel);
+  return Status::kSuccess;
+}
+
+Status Hypervisor::CreateEcLocal(Pd* caller, CapSel dst_sel, CapSel pd_sel,
+                                 std::uint32_t cpu_id, Ec::Handler handler, Ec** out) {
+  Charge(boot_cpu_for_step_, costs_.hypercall_dispatch);
+  if (cpu_id >= machine_->num_cpus()) {
+    return Status::kBadCpu;
+  }
+  Charge(boot_cpu_for_step_, costs_.cap_lookup);
+  auto pd = std::static_pointer_cast<Pd>(caller->caps().LookupRef(pd_sel));
+  if (pd == nullptr || pd->type() != ObjType::kPd) {
+    return Status::kBadCapability;
+  }
+  auto ec = std::make_shared<Ec>(Ec::Kind::kLocal, pd, cpu_id);
+  ec->set_handler(std::move(handler));
+  const Status s = InstallCap(caller, dst_sel, ec, perm::kAll);
+  if (!Ok(s)) {
+    return s;
+  }
+  if (out != nullptr) {
+    *out = ec.get();
+  }
+  return Status::kSuccess;
+}
+
+Status Hypervisor::CreateEcGlobal(Pd* caller, CapSel dst_sel, CapSel pd_sel,
+                                  std::uint32_t cpu_id, Ec::StepFn step, Ec** out) {
+  Charge(boot_cpu_for_step_, costs_.hypercall_dispatch);
+  if (cpu_id >= machine_->num_cpus()) {
+    return Status::kBadCpu;
+  }
+  Charge(boot_cpu_for_step_, costs_.cap_lookup);
+  auto pd = std::static_pointer_cast<Pd>(caller->caps().LookupRef(pd_sel));
+  if (pd == nullptr || pd->type() != ObjType::kPd) {
+    return Status::kBadCapability;
+  }
+  auto ec = std::make_shared<Ec>(Ec::Kind::kGlobal, pd, cpu_id);
+  ec->set_step_fn(std::move(step));
+  const Status s = InstallCap(caller, dst_sel, ec, perm::kAll);
+  if (!Ok(s)) {
+    return s;
+  }
+  if (out != nullptr) {
+    *out = ec.get();
+  }
+  return Status::kSuccess;
+}
+
+Status Hypervisor::CreateVcpu(Pd* caller, CapSel dst_sel, CapSel vm_pd_sel,
+                              std::uint32_t cpu_id, CapSel evt_base, Ec** out) {
+  Charge(boot_cpu_for_step_, costs_.hypercall_dispatch);
+  if (cpu_id >= machine_->num_cpus()) {
+    return Status::kBadCpu;
+  }
+  Charge(boot_cpu_for_step_, costs_.cap_lookup);
+  auto pd = std::static_pointer_cast<Pd>(caller->caps().LookupRef(vm_pd_sel));
+  if (pd == nullptr || pd->type() != ObjType::kPd) {
+    return Status::kBadCapability;
+  }
+  if (!pd->is_vm()) {
+    return Status::kBadParameter;
+  }
+  auto ec = std::make_shared<Ec>(Ec::Kind::kVcpu, pd, cpu_id);
+  ec->set_evt_base(evt_base);
+  // Default controls: full virtualization with nested paging on the VM's
+  // host page table. The VMM reconfigures via ec->ctl() before first run.
+  hw::VmControls& ctl = ec->ctl();
+  ctl.mode = hw::TranslationMode::kNested;
+  ctl.nested_format = host_paging_mode_;
+  ctl.nested_root = pd->mem_space().root();
+  ctl.tag = pd->vm_tag();
+  ctl.intercept_cpuid = true;
+  ctl.intercept_hlt = true;
+  ctl.intercept_vmcall = true;
+  ctl.io_passthrough = &pd->io_space().bitmap();
+  const Status s = InstallCap(caller, dst_sel, ec, perm::kAll);
+  if (!Ok(s)) {
+    return s;
+  }
+  if (out != nullptr) {
+    *out = ec.get();
+  }
+  return Status::kSuccess;
+}
+
+Status Hypervisor::CreateSc(Pd* caller, CapSel dst_sel, CapSel ec_sel,
+                            std::uint8_t prio, sim::Cycles quantum) {
+  Charge(boot_cpu_for_step_, costs_.hypercall_dispatch);
+  Charge(boot_cpu_for_step_, costs_.cap_lookup);
+  auto ec = std::static_pointer_cast<Ec>(caller->caps().LookupRef(ec_sel));
+  if (ec == nullptr || ec->type() != ObjType::kEc) {
+    return Status::kBadCapability;
+  }
+  if (ec->kind() == Ec::Kind::kLocal) {
+    return Status::kBadParameter;  // Handler ECs run on donated time only.
+  }
+  if (ec->sc() != nullptr) {
+    return Status::kBusy;
+  }
+  if (quantum == 0) {
+    return Status::kBadParameter;
+  }
+  auto sc = std::make_shared<Sc>(ec, prio, quantum);
+  ec->set_sc(sc.get());
+  const Status s = InstallCap(caller, dst_sel, sc, perm::kAll);
+  if (!Ok(s)) {
+    ec->set_sc(nullptr);
+    return s;
+  }
+  cpu_states_[ec->cpu()].runqueue.Enqueue(sc.get());
+  return Status::kSuccess;
+}
+
+Status Hypervisor::CreatePt(Pd* caller, CapSel dst_sel, CapSel handler_ec_sel,
+                            Mtd m, std::uint64_t id) {
+  Charge(boot_cpu_for_step_, costs_.hypercall_dispatch);
+  Charge(boot_cpu_for_step_, costs_.cap_lookup);
+  auto ec = std::static_pointer_cast<Ec>(caller->caps().LookupRef(handler_ec_sel));
+  if (ec == nullptr || ec->type() != ObjType::kEc) {
+    return Status::kBadCapability;
+  }
+  if (ec->kind() != Ec::Kind::kLocal) {
+    return Status::kBadParameter;
+  }
+  auto pt = std::make_shared<Pt>(ec, m, id);
+  return InstallCap(caller, dst_sel, pt, perm::kAll);
+}
+
+Status Hypervisor::PtCtrlMtd(Pd* caller, CapSel pt_sel, Mtd m) {
+  Pt* pt = LookupCharged<Pt>(caller, pt_sel, ObjType::kPt, perm::kCtrl,
+                             boot_cpu_for_step_);
+  if (pt == nullptr) {
+    return Status::kBadCapability;
+  }
+  pt->set_mtd(m);
+  return Status::kSuccess;
+}
+
+Status Hypervisor::CreateSm(Pd* caller, CapSel dst_sel, std::uint64_t initial) {
+  Charge(boot_cpu_for_step_, costs_.hypercall_dispatch);
+  auto sm = std::make_shared<Sm>(initial);
+  return InstallCap(caller, dst_sel, sm, perm::kAll);
+}
+
+// --- Semaphores -----------------------------------------------------------
+
+Status Hypervisor::SmUp(Pd* caller, CapSel sm_sel) {
+  Charge(boot_cpu_for_step_, costs_.hypercall_dispatch + costs_.sm_op);
+  Sm* sm = LookupCharged<Sm>(caller, sm_sel, ObjType::kSm, perm::kSmUp,
+                             boot_cpu_for_step_);
+  if (sm == nullptr) {
+    return Status::kBadCapability;
+  }
+  // Increment, then wake the first waiter; the woken thread re-executes
+  // its down and consumes the count.
+  sm->set_counter(sm->counter() + 1);
+  if (!sm->waiters().empty()) {
+    auto ec = sm->waiters().front();
+    sm->waiters().pop_front();
+    ec->set_block_state(Ec::BlockState::kRunnable);
+    if (ec->sc() != nullptr) {
+      cpu_states_[ec->cpu()].runqueue.Enqueue(ec->sc());
+    }
+  }
+  return Status::kSuccess;
+}
+
+Hypervisor::DownResult Hypervisor::SmDown(Ec* caller_ec, CapSel sm_sel,
+                                          bool unmask_gsi) {
+  Charge(caller_ec->cpu(), costs_.hypercall_dispatch + costs_.sm_op);
+  Sm* sm = LookupCharged<Sm>(&caller_ec->pd(), sm_sel, ObjType::kSm, perm::kSmDown,
+                             caller_ec->cpu());
+  if (sm == nullptr) {
+    return DownResult::kError;
+  }
+  if (unmask_gsi && sm->bound_gsi_valid()) {
+    machine_->irq().Unmask(sm->bound_gsi());
+    ProcessPendingIrqs(caller_ec->cpu());  // A latched edge may fire now.
+  }
+  if (sm->counter() > 0) {
+    sm->set_counter(sm->counter() - 1);
+    return DownResult::kAcquired;
+  }
+  if (caller_ec->kind() != Ec::Kind::kGlobal || caller_ec->sc() == nullptr) {
+    return DownResult::kError;  // Only threads with their own SC may block.
+  }
+  caller_ec->set_block_state(Ec::BlockState::kBlockedSm);
+  sm->waiters().push_back(caller_ec->sc()->ec_ref());
+  return DownResult::kBlocked;
+}
+
+// --- Delegation / revocation ----------------------------------------------
+
+Status Hypervisor::Delegate(Pd* caller, CapSel dst_pd_sel, const Crd& src,
+                            std::uint64_t hotspot, std::uint8_t perms_mask,
+                            bool large) {
+  const std::uint32_t cpu_id = boot_cpu_for_step_;
+  Charge(cpu_id, costs_.hypercall_dispatch);
+  Pd* dst = LookupCharged<Pd>(caller, dst_pd_sel, ObjType::kPd, 0, cpu_id);
+  if (dst == nullptr) {
+    return Status::kBadCapability;
+  }
+  if (src.kind == CrdKind::kNull) {
+    return Status::kBadParameter;
+  }
+  MdbNode* node = mdb_.Find(caller, src.kind, src.base, src.count());
+  if (node == nullptr) {
+    return Status::kDenied;  // Caller does not hold the resource.
+  }
+  const std::uint8_t eff = node->perms & src.perms & perms_mask;
+  if (eff == 0) {
+    return Status::kDenied;
+  }
+  Charge(cpu_id, costs_.mdb_node);
+
+  switch (src.kind) {
+    case CrdKind::kMem: {
+      if (caller->is_vm()) {
+        return Status::kDenied;  // VMs cannot originate delegations.
+      }
+      // For user domains the memory space is identity: the page index is
+      // the host frame number, so the chain is anchored at physical RAM.
+      const Status s = dst->mem_space().Map(hotspot, src.base, src.count(), eff, large);
+      if (!Ok(s)) {
+        return s;
+      }
+      const std::uint64_t units =
+          large ? src.count() / (hw::LargePageSize(host_paging_mode_) / hw::kPageSize)
+                : src.count();
+      Charge(cpu_id, costs_.map_page * units);
+      break;
+    }
+    case CrdKind::kIo:
+      dst->io_space().Grant(hotspot, src.count());
+      Charge(cpu_id, costs_.map_page);
+      break;
+    case CrdKind::kObj: {
+      for (std::uint64_t i = 0; i < src.count(); ++i) {
+        const Capability* cap = caller->caps().Lookup(static_cast<CapSel>(src.base + i));
+        if (cap == nullptr || (cap->perms & perm::kDelegate) == 0) {
+          return Status::kBadCapability;
+        }
+        Capability narrowed = *cap;
+        narrowed.perms &= eff;
+        const Status s = dst->caps().Insert(static_cast<CapSel>(hotspot + i), narrowed);
+        if (!Ok(s)) {
+          return s;
+        }
+        Charge(cpu_id, costs_.cap_lookup);
+      }
+      break;
+    }
+    case CrdKind::kNull:
+      break;
+  }
+  mdb_.Delegate(node, dst, hotspot, src.count(), eff, src.base);
+  return Status::kSuccess;
+}
+
+Status Hypervisor::Revoke(Pd* caller, const Crd& crd, bool include_self) {
+  const std::uint32_t cpu_id = boot_cpu_for_step_;
+  Charge(cpu_id, costs_.hypercall_dispatch);
+  bool touched_mem = false;
+  mdb_.Revoke(caller, crd, include_self, [&](const MdbNode& node) {
+    Charge(cpu_id, costs_.mdb_node);
+    switch (node.kind) {
+      case CrdKind::kMem:
+        node.pd->mem_space().Unmap(node.base, node.count);
+        Charge(cpu_id, costs_.map_page * node.count);
+        touched_mem = true;
+        if (node.pd->is_vm()) {
+          for (std::uint32_t i = 0; i < machine_->num_cpus(); ++i) {
+            machine_->cpu(i).tlb().FlushTag(node.pd->vm_tag());
+            engines_[i]->FlushNestedTlb(node.pd->vm_tag());
+          }
+        }
+        break;
+      case CrdKind::kIo:
+        node.pd->io_space().Revoke(node.base, node.count);
+        break;
+      case CrdKind::kObj:
+        for (std::uint64_t i = 0; i < node.count; ++i) {
+          node.pd->caps().Remove(static_cast<CapSel>(node.base + i));
+        }
+        break;
+      case CrdKind::kNull:
+        break;
+    }
+  });
+  if (touched_mem) {
+    for (std::uint32_t i = 0; i < machine_->num_cpus(); ++i) {
+      machine_->cpu(i).tlb().FlushTag(hw::kHostTag);
+      Charge(cpu_id, machine_->cpu(i).model().tlb_flush);
+    }
+  }
+  return Status::kSuccess;
+}
+
+// --- Interrupts and devices -------------------------------------------------
+
+Status Hypervisor::GrantDeviceWindow(hw::PhysAddr base, std::uint64_t size) {
+  if (root_pd_ == nullptr || (base & hw::kPageMask) != 0) {
+    return Status::kBadParameter;
+  }
+  mdb_.CreateRoot(root_pd_.get(), CrdKind::kMem, base >> hw::kPageShift,
+                  hw::PageAlignUp(size) >> hw::kPageShift, perm::kRw);
+  return Status::kSuccess;
+}
+
+Status Hypervisor::AssignGsi(Pd* caller, CapSel sm_sel, std::uint32_t gsi,
+                             std::uint32_t cpu_id) {
+  if (gsi >= hw::kNumGsis || cpu_id >= machine_->num_cpus()) {
+    return Status::kBadParameter;
+  }
+  Charge(boot_cpu_for_step_, costs_.hypercall_dispatch);
+  auto sm = std::static_pointer_cast<Sm>(caller->caps().LookupRef(sm_sel));
+  if (sm == nullptr || sm->type() != ObjType::kSm) {
+    return Status::kBadCapability;
+  }
+  sm->bind_gsi(gsi);
+  gsi_sms_[gsi] = sm;
+  gsi_direct_[gsi] = nullptr;
+  machine_->irq().Configure(gsi, cpu_id, static_cast<std::uint8_t>(32 + gsi));
+  return Status::kSuccess;
+}
+
+Status Hypervisor::AssignGsiDirect(Pd* caller, CapSel vcpu_sel, std::uint32_t gsi) {
+  if (gsi >= hw::kNumGsis) {
+    return Status::kBadParameter;
+  }
+  Charge(boot_cpu_for_step_, costs_.hypercall_dispatch);
+  auto ec = std::static_pointer_cast<Ec>(caller->caps().LookupRef(vcpu_sel));
+  if (ec == nullptr || ec->type() != ObjType::kEc || ec->kind() != Ec::Kind::kVcpu) {
+    return Status::kBadCapability;
+  }
+  gsi_direct_[gsi] = ec;
+  gsi_sms_[gsi] = nullptr;
+  machine_->irq().Configure(gsi, ec->cpu(), static_cast<std::uint8_t>(32 + gsi));
+  machine_->irq().Unmask(gsi);
+  return Status::kSuccess;
+}
+
+Status Hypervisor::AssignDev(Pd* caller, CapSel pd_sel, hw::DeviceId dev,
+                             std::uint32_t gsi) {
+  Charge(boot_cpu_for_step_, costs_.hypercall_dispatch);
+  Pd* pd = LookupCharged<Pd>(caller, pd_sel, ObjType::kPd, 0, boot_cpu_for_step_);
+  if (pd == nullptr) {
+    return Status::kBadCapability;
+  }
+  if (machine_->iommu().present()) {
+    machine_->iommu().AttachDevice(dev, pd->mem_space().root(), host_paging_mode_);
+    machine_->iommu().AllowGsi(dev, gsi);
+  }
+  return Status::kSuccess;
+}
+
+Status Hypervisor::Recall(Pd* caller, CapSel ec_sel) {
+  Charge(boot_cpu_for_step_, costs_.hypercall_dispatch + costs_.recall_ipi);
+  auto ec = std::static_pointer_cast<Ec>(caller->caps().LookupRef(ec_sel));
+  if (ec == nullptr || ec->type() != ObjType::kEc || ec->kind() != Ec::Kind::kVcpu) {
+    return Status::kBadCapability;
+  }
+  ec->gstate().recall_pending = true;
+  if (ec->block_state() == Ec::BlockState::kBlockedHalt) {
+    WakeEc(ec.get());
+  }
+  return Status::kSuccess;
+}
+
+void Hypervisor::WakeEc(Ec* ec) {
+  if (ec->block_state() == Ec::BlockState::kRunnable) {
+    return;
+  }
+  ec->set_block_state(Ec::BlockState::kRunnable);
+  auto& halted = cpu_states_[ec->cpu()].halted_vcpus;
+  halted.erase(std::remove_if(halted.begin(), halted.end(),
+                              [ec](const auto& p) { return p.get() == ec; }),
+               halted.end());
+  if (ec->sc() != nullptr) {
+    cpu_states_[ec->cpu()].runqueue.Enqueue(ec->sc());
+  }
+}
+
+// --- Interrupt delivery ------------------------------------------------------
+
+void Hypervisor::ProcessPendingIrqs(std::uint32_t cpu_id) {
+  hw::IrqChip& chip = machine_->irq();
+  for (const std::uint8_t vector : chip.PendingVectors(cpu_id)) {
+    if (vector < 32) {
+      chip.Acknowledge(cpu_id, vector);
+      continue;
+    }
+    const std::uint32_t gsi = vector - 32u;
+    if (gsi_direct_[gsi] != nullptr) {
+      // Left pending: consumed by the guest engine on its next run.
+      Ec* vcpu = gsi_direct_[gsi].get();
+      if (vcpu->block_state() == Ec::BlockState::kBlockedHalt) {
+        WakeEc(vcpu);
+      }
+      continue;
+    }
+    chip.Acknowledge(cpu_id, vector);
+    chip.Mask(gsi);
+    Charge(cpu_id, costs_.irq_ack);
+    stats_.counter("gsi-delivered").Add();
+    if (auto& sm = gsi_sms_[gsi]; sm != nullptr) {
+      sm->set_counter(sm->counter() + 1);
+      if (!sm->waiters().empty()) {
+        auto ec = sm->waiters().front();
+        sm->waiters().pop_front();
+        ec->set_block_state(Ec::BlockState::kRunnable);
+        if (ec->sc() != nullptr) {
+          cpu_states_[ec->cpu()].runqueue.Enqueue(ec->sc());
+        }
+      }
+    }
+  }
+}
+
+// --- Scheduling loop ----------------------------------------------------------
+
+bool Hypervisor::StepOnce() {
+  // Pick the runnable CPU with the smallest local time (conservative
+  // co-simulation across the package).
+  auto pick = [this] {
+    std::uint32_t chosen = ~0u;
+    for (std::uint32_t i = 0; i < machine_->num_cpus(); ++i) {
+      if (cpu_states_[i].runqueue.empty()) {
+        continue;
+      }
+      if (chosen == ~0u || cpu(i).NowPs() < cpu(chosen).NowPs()) {
+        chosen = i;
+      }
+    }
+    return chosen;
+  };
+
+  std::uint32_t chosen = pick();
+  if (chosen == ~0u) {
+    // Everything is blocked: handle pending interrupts in host context —
+    // this may wake driver threads or halted direct-interrupt vCPUs.
+    for (std::uint32_t i = 0; i < machine_->num_cpus(); ++i) {
+      ProcessPendingIrqs(i);
+    }
+    chosen = pick();
+  }
+  if (chosen == ~0u) {
+    // Truly idle: hop to the next device event (which may raise an
+    // interrupt and unblock work).
+    for (std::uint32_t i = 0; i < machine_->num_cpus(); ++i) {
+      cpu(i).SetIdle(true);
+    }
+    const bool progressed = machine_->SkipToNextEvent();
+    for (std::uint32_t i = 0; i < machine_->num_cpus(); ++i) {
+      cpu(i).SetIdle(false);
+    }
+    return progressed;
+  }
+
+  // Interrupts arriving while the CPU was in host mode are handled at the
+  // kernel boundary; a CPU about to enter guest mode instead takes an
+  // EXTINT VM exit inside RunVcpu, which is where the paper's "Hardware
+  // Interrupts" events come from.
+  if (cpu_states_[chosen].runqueue.Peek() != nullptr &&
+      cpu_states_[chosen].runqueue.Peek()->ec().kind() == Ec::Kind::kGlobal) {
+    ProcessPendingIrqs(chosen);
+  }
+
+  boot_cpu_for_step_ = chosen;
+  CpuState& state = cpu_states_[chosen];
+  hw::Cpu& c = cpu(chosen);
+  Charge(chosen, costs_.sched_pick);
+
+  Sc* sc = state.runqueue.Dequeue();
+  state.current = sc;
+  Ec& ec = sc->ec();
+  const sim::Cycles before = c.cycles();
+
+  switch (ec.kind()) {
+    case Ec::Kind::kGlobal:
+      ec.step_fn()();
+      break;
+    case Ec::Kind::kVcpu:
+      RunVcpu(sc, sc->left());
+      break;
+    case Ec::Kind::kLocal:
+      break;  // Unreachable: local ECs have no SC.
+  }
+
+  sim::Cycles consumed = c.cycles() - before;
+  if (consumed == 0) {
+    c.Charge(1);  // Guarantee forward progress.
+    consumed = 1;
+  }
+  const bool depleted = sc->Consume(consumed);
+  state.current = nullptr;
+
+  if (ec.block_state() == Ec::BlockState::kRunnable) {
+    if (depleted) {
+      sc->Refill();
+    }
+    state.runqueue.Enqueue(sc, /*at_head=*/false);
+  } else if (ec.block_state() == Ec::BlockState::kBlockedHalt) {
+    state.halted_vcpus.push_back(std::static_pointer_cast<Ec>(sc->ec_ref()));
+  }
+
+  machine_->SyncDeviceTime(c);
+  return true;
+}
+
+bool Hypervisor::WorkRemainsBefore(sim::PicoSeconds deadline_ps) {
+  // Runnable work on a CPU that has not yet reached the deadline, or a
+  // pending device event before it, keeps the run loop going. Idle CPUs
+  // do not: nothing will advance their clocks.
+  for (std::uint32_t i = 0; i < machine_->num_cpus(); ++i) {
+    if (!cpu_states_[i].runqueue.empty() && cpu(i).NowPs() < deadline_ps) {
+      return true;
+    }
+  }
+  if (!machine_->events().empty() &&
+      machine_->events().NextDeadline() < deadline_ps) {
+    return true;
+  }
+  // A pending hardware interrupt can wake blocked threads or halted vCPUs.
+  for (std::uint32_t i = 0; i < machine_->num_cpus(); ++i) {
+    if (machine_->irq().HasPending(i)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Hypervisor::RunUntil(sim::PicoSeconds deadline_ps) {
+  while (WorkRemainsBefore(deadline_ps)) {
+    if (!StepOnce()) {
+      return;  // Fully idle, no pending events: nothing will ever happen.
+    }
+  }
+}
+
+void Hypervisor::RunUntilCondition(const std::function<bool()>& pred,
+                                   sim::PicoSeconds deadline_ps) {
+  while (!pred() && WorkRemainsBefore(deadline_ps)) {
+    if (!StepOnce()) {
+      return;
+    }
+  }
+}
+
+}  // namespace nova::hv

@@ -1,0 +1,225 @@
+// The NOVA microhypervisor.
+//
+// The only component that runs in the most privileged mode. It provides
+// mechanisms — communication (portal IPC with scheduling-context
+// donation), resource delegation/revocation through the mapping database,
+// interrupt control (GSI-to-semaphore binding), scheduling, and memory
+// virtualization (nested paging or the vTLB algorithm) — and no policy.
+//
+// User components (root partition manager, VMMs, drivers) are C++ objects
+// holding capability selectors; they invoke the hypercall methods below.
+// Execution is cooperative: the kernel's scheduler literally decides which
+// execution context runs next, and all work is charged in cycles to the
+// simulated CPUs.
+#ifndef SRC_HV_KERNEL_H_
+#define SRC_HV_KERNEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/hw/machine.h"
+#include "src/hw/vm_engine.h"
+#include "src/hv/mdb.h"
+#include "src/hv/objects.h"
+#include "src/hv/scheduler.h"
+#include "src/hv/types.h"
+#include "src/sim/stats.h"
+
+namespace nova::hv {
+
+// Well-known selectors in a fresh protection domain.
+constexpr CapSel kSelOwnPd = 0;
+constexpr CapSel kSelFirstFree = 32;
+
+class Hypervisor {
+ public:
+  explicit Hypervisor(hw::Machine* machine, HvCosts costs = HvCosts{});
+  ~Hypervisor();
+
+  // --- Boot ------------------------------------------------------------
+  // Claims the bottom `kernel_reserve` bytes of RAM for kernel data (page
+  // tables, UTCBs), shields them from DMA, and creates the root protection
+  // domain holding capabilities for all remaining resources (§6).
+  Pd* Boot(std::uint64_t kernel_reserve = 64ull << 20);
+  Pd* root_pd() { return root_pd_.get(); }
+
+  // --- Hypercalls -------------------------------------------------------
+  // `caller` is the invoking protection domain (all selectors are resolved
+  // in its capability space).
+
+  Status CreatePd(Pd* caller, CapSel dst_sel, const std::string& name, bool is_vm,
+                  Pd** out = nullptr);
+  Status DestroyPd(Pd* caller, CapSel pd_sel);
+
+  Status CreateEcLocal(Pd* caller, CapSel dst_sel, CapSel pd_sel, std::uint32_t cpu,
+                       Ec::Handler handler, Ec** out = nullptr);
+  Status CreateEcGlobal(Pd* caller, CapSel dst_sel, CapSel pd_sel, std::uint32_t cpu,
+                        Ec::StepFn step, Ec** out = nullptr);
+  // A vCPU: `evt_base` is the base selector (in the *VM's* capability
+  // space) of its VM-exit portal table.
+  Status CreateVcpu(Pd* caller, CapSel dst_sel, CapSel vm_pd_sel, std::uint32_t cpu,
+                    CapSel evt_base, Ec** out = nullptr);
+
+  Status CreateSc(Pd* caller, CapSel dst_sel, CapSel ec_sel, std::uint8_t prio,
+                  sim::Cycles quantum);
+
+  Status CreatePt(Pd* caller, CapSel dst_sel, CapSel handler_ec_sel, Mtd m,
+                  std::uint64_t id);
+  Status PtCtrlMtd(Pd* caller, CapSel pt_sel, Mtd m);
+
+  Status CreateSm(Pd* caller, CapSel dst_sel, std::uint64_t initial);
+
+  // IPC: send the message in `caller_ec`'s UTCB through the portal; the
+  // handler's reply lands back in the same UTCB. The caller donates its
+  // scheduling context to the handler for the duration of the call (§5.2).
+  Status Call(Ec* caller_ec, CapSel pt_sel);
+
+  Status SmUp(Pd* caller, CapSel sm_sel);
+  enum class DownResult : std::uint8_t { kAcquired, kBlocked, kError };
+  // `unmask_gsi`: for interrupt semaphores, unmask the bound GSI before
+  // waiting (the driver's handled-the-interrupt handshake).
+  DownResult SmDown(Ec* caller_ec, CapSel sm_sel, bool unmask_gsi = false);
+
+  // Resource delegation: transfer `src` (a range of the caller's memory,
+  // I/O or capability space) into `dst_pd_sel`'s space at `hotspot`,
+  // possibly narrowing permissions. `large` requests superpage host
+  // mappings (memory only).
+  Status Delegate(Pd* caller, CapSel dst_pd_sel, const Crd& src,
+                  std::uint64_t hotspot, std::uint8_t perms_mask = 0xff,
+                  bool large = false);
+  // Recursively revoke everything delegated from the caller's range; with
+  // `include_self`, drop the caller's own holding too.
+  Status Revoke(Pd* caller, const Crd& crd, bool include_self);
+
+  // Interrupt control: bind a semaphore to a GSI routed to `cpu`. The
+  // kernel masks + acks the interrupt and performs an Up on arrival.
+  Status AssignGsi(Pd* caller, CapSel sm_sel, std::uint32_t gsi, std::uint32_t cpu);
+  // Route a GSI directly into a vCPU (idealized direct interrupt delivery
+  // used by the "Direct" configuration of §8.1).
+  Status AssignGsiDirect(Pd* caller, CapSel vcpu_sel, std::uint32_t gsi);
+
+  // Register a device MMIO window (physical addresses outside RAM) as a
+  // delegatable resource owned by the root partition manager. Called by
+  // platform bring-up code after devices are placed on the bus.
+  Status GrantDeviceWindow(hw::PhysAddr base, std::uint64_t size);
+
+  // Attach a DMA-capable device to a protection domain: the IOMMU then
+  // translates the device's DMA with the PD's own page table, so a driver
+  // (or a VM with a directly assigned device) can only reach memory that
+  // was delegated to it (§4.2).
+  Status AssignDev(Pd* caller, CapSel pd_sel, hw::DeviceId dev, std::uint32_t gsi);
+
+  // Force a vCPU back into its VMM (§7.5): wakes a halted vCPU and makes
+  // its next instruction boundary exit through the recall portal.
+  Status Recall(Pd* caller, CapSel ec_sel);
+
+  // --- Scheduling / time ------------------------------------------------
+  // Run the machine until `deadline_ps` of simulated time (or until no
+  // work remains and no device events are pending).
+  void RunUntil(sim::PicoSeconds deadline_ps);
+  // Run until `pred()` holds, checking between scheduling steps.
+  void RunUntilCondition(const std::function<bool()>& pred,
+                         sim::PicoSeconds deadline_ps);
+  // One scheduling decision + execution chunk. False when fully idle with
+  // no pending device events.
+  bool StepOnce();
+  // Runnable work (or device events) pending before `deadline_ps`?
+  bool WorkRemainsBefore(sim::PicoSeconds deadline_ps);
+
+  // --- Introspection ----------------------------------------------------
+  hw::Machine& machine() { return *machine_; }
+  hw::VmEngine& engine(std::uint32_t cpu) { return *engines_[cpu]; }
+  sim::StatRegistry& stats() { return stats_; }
+  const HvCosts& costs() const { return costs_; }
+  Mdb& mdb() { return mdb_; }
+
+  // Kernel frame allocator (exposed for the root PM to build tables for
+  // guests during image installation).
+  hw::PhysAddr AllocFrame();
+  void FreeFrame(hw::PhysAddr frame);
+  std::uint64_t kernel_reserve() const { return kernel_reserve_; }
+
+  // Wake an EC blocked on halt (used internally and by tests).
+  void WakeEc(Ec* ec);
+
+  // Table 2 counters, keyed by the paper's row names.
+  std::uint64_t EventCount(const std::string& name) const {
+    return stats_.Value(name);
+  }
+
+ private:
+  friend class VcpuDriver;
+
+  struct CpuState {
+    RunQueue runqueue;
+    Sc* current = nullptr;
+    std::vector<std::shared_ptr<Ec>> halted_vcpus;
+  };
+
+  hw::Cpu& cpu(std::uint32_t id) { return machine_->cpu(id); }
+  void Charge(std::uint32_t cpu_id, sim::Cycles c) { cpu(cpu_id).Charge(c); }
+
+  // Object creation plumbing.
+  Status InstallCap(Pd* target, CapSel sel, ObjRef obj, std::uint8_t perms);
+  std::shared_ptr<Pd> MakePd(const std::string& name, bool is_vm);
+
+  // IPC internals.
+  Status DoCall(Ec* caller_ec, Pt* portal);
+  void TransferWords(Utcb& from, Utcb& to, std::uint32_t cpu_id);
+  Status ApplyTypedItems(Pd* sender, Pd* receiver, Utcb& msg, std::uint32_t cpu_id);
+
+  // VM-exit plumbing (vcpu.cc).
+  void RunVcpu(Sc* sc, sim::Cycles budget);
+  bool DispatchVmEvent(Ec* vcpu, Event event, const hw::VmExit& exit);
+  void TransferToUtcb(Ec* vcpu, const hw::VmExit& exit, Mtd m, Utcb& utcb);
+  void TransferFromUtcb(Ec* vcpu, Mtd m, const Utcb& utcb);
+
+  // vTLB (shadow paging) internals (vtlb.cc).
+  enum class VtlbOutcome : std::uint8_t { kFilled, kGuestFault, kHostFault };
+  VtlbOutcome VtlbResolve(Ec* vcpu, const hw::VmExit& exit, std::uint64_t* gpa_out);
+  void VtlbFlush(Ec* vcpu);
+  void VtlbHandleMovCr3(Ec* vcpu, std::uint64_t new_cr3);
+  void VtlbHandleInvlpg(Ec* vcpu, std::uint64_t gva);
+  hw::PhysAddr ShadowRootFor(Ec* vcpu);
+
+  // Interrupt plumbing.
+  void ProcessPendingIrqs(std::uint32_t cpu_id);
+  void WakeHaltedVcpus(std::uint32_t cpu_id);
+
+  // Charged capability lookup.
+  template <typename T>
+  T* LookupCharged(Pd* caller, CapSel sel, ObjType type, std::uint8_t perms,
+                   std::uint32_t cpu_id) {
+    Charge(cpu_id, costs_.cap_lookup);
+    return caller->caps().LookupAs<T>(sel, type, perms);
+  }
+
+  hw::Machine* machine_;
+  HvCosts costs_;
+  sim::StatRegistry stats_;
+  Mdb mdb_;
+
+  // Kernel memory pool.
+  std::uint64_t kernel_reserve_ = 0;
+  hw::PhysAddr pool_next_ = 0;
+  std::vector<hw::PhysAddr> pool_free_;
+
+  std::shared_ptr<Pd> root_pd_;
+  std::vector<std::unique_ptr<hw::VmEngine>> engines_;
+  std::vector<CpuState> cpu_states_;
+
+  // GSI bindings.
+  std::array<std::shared_ptr<Sm>, hw::kNumGsis> gsi_sms_{};
+  std::array<std::shared_ptr<Ec>, hw::kNumGsis> gsi_direct_{};
+
+  hw::TlbTag next_vm_tag_ = 1;
+  hw::PagingMode host_paging_mode_;
+  std::uint32_t boot_cpu_for_step_ = 0;
+};
+
+}  // namespace nova::hv
+
+#endif  // SRC_HV_KERNEL_H_

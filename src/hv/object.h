@@ -1,0 +1,49 @@
+// Kernel object base. The microhypervisor interface is organized around
+// five object types (§5): protection domains, execution contexts,
+// scheduling contexts, portals and semaphores.
+#ifndef SRC_HV_OBJECT_H_
+#define SRC_HV_OBJECT_H_
+
+#include <cstdint>
+#include <memory>
+
+namespace nova::hv {
+
+enum class ObjType : std::uint8_t { kPd, kEc, kSc, kPt, kSm };
+
+constexpr const char* ObjTypeName(ObjType t) {
+  switch (t) {
+    case ObjType::kPd: return "pd";
+    case ObjType::kEc: return "ec";
+    case ObjType::kSc: return "sc";
+    case ObjType::kPt: return "pt";
+    case ObjType::kSm: return "sm";
+  }
+  return "?";
+}
+
+class KObject {
+ public:
+  explicit KObject(ObjType type) : type_(type) {}
+  virtual ~KObject() = default;
+
+  KObject(const KObject&) = delete;
+  KObject& operator=(const KObject&) = delete;
+
+  ObjType type() const { return type_; }
+
+  // Set when the object has been destroyed via its control capability;
+  // dangling capabilities elsewhere become dead.
+  bool dead() const { return dead_; }
+  void MarkDead() { dead_ = true; }
+
+ private:
+  ObjType type_;
+  bool dead_ = false;
+};
+
+using ObjRef = std::shared_ptr<KObject>;
+
+}  // namespace nova::hv
+
+#endif  // SRC_HV_OBJECT_H_

@@ -1,0 +1,195 @@
+// The five kernel object types of the microhypervisor (§5): protection
+// domains, execution contexts, scheduling contexts, portals, semaphores.
+#ifndef SRC_HV_OBJECTS_H_
+#define SRC_HV_OBJECTS_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/hw/guest_state.h"
+#include "src/hv/cap_space.h"
+#include "src/hv/object.h"
+#include "src/hv/spaces.h"
+#include "src/hv/types.h"
+#include "src/hv/utcb.h"
+
+namespace nova::hv {
+
+class Ec;
+class Sc;
+
+// Protection domain: spatial isolation. Acts as a resource container and
+// abstracts from the difference between a user application and a VM.
+class Pd : public KObject {
+ public:
+  Pd(std::string name, bool is_vm, hw::PhysMem* mem, hw::PagingMode mode,
+     hw::PhysAddr pt_root, hw::PageTable::FrameAllocator alloc)
+      : KObject(ObjType::kPd),
+        name_(std::move(name)),
+        is_vm_(is_vm),
+        mem_space_(mem, mode, pt_root, std::move(alloc)) {}
+
+  const std::string& name() const { return name_; }
+  bool is_vm() const { return is_vm_; }
+
+  CapSpace& caps() { return caps_; }
+  const CapSpace& caps() const { return caps_; }
+  MemSpace& mem_space() { return mem_space_; }
+  IoSpace& io_space() { return io_space_; }
+
+  // TLB tag (VPID/ASID) assigned to this domain when it is a VM.
+  hw::TlbTag vm_tag() const { return vm_tag_; }
+  void set_vm_tag(hw::TlbTag tag) { vm_tag_ = tag; }
+
+ private:
+  std::string name_;
+  bool is_vm_;
+  CapSpace caps_;
+  MemSpace mem_space_;
+  IoSpace io_space_;
+  hw::TlbTag vm_tag_ = hw::kHostTag;
+};
+
+// Execution context: a thread, a dedicated event handler, or a virtual CPU.
+class Ec : public KObject {
+ public:
+  enum class Kind : std::uint8_t {
+    kLocal,   // Portal handler; runs only on incoming IPC (no own SC).
+    kGlobal,  // Thread with its own scheduling context.
+    kVcpu,    // Virtual CPU of a VM.
+  };
+
+  enum class BlockState : std::uint8_t {
+    kRunnable,
+    kBlockedSm,    // Waiting in a semaphore queue.
+    kBlockedHalt,  // Halted vCPU waiting for an interrupt or recall.
+  };
+
+  // A local EC's handler: invoked when a portal bound to it is called.
+  // The message is in utcb(); the handler's return is the reply.
+  using Handler = std::function<void(std::uint64_t portal_id)>;
+  // A global EC's body: invoked when scheduled; must perform a bounded
+  // chunk of work and return (it is re-invoked while runnable).
+  using StepFn = std::function<void()>;
+
+  Ec(Kind kind, std::shared_ptr<Pd> pd, std::uint32_t cpu)
+      : KObject(ObjType::kEc), kind_(kind), pd_(std::move(pd)), cpu_(cpu) {}
+
+  Kind kind() const { return kind_; }
+  Pd& pd() { return *pd_; }
+  std::shared_ptr<Pd> pd_ref() { return pd_; }
+  std::uint32_t cpu() const { return cpu_; }
+
+  Utcb& utcb() { return utcb_; }
+
+  Handler& handler() { return handler_; }
+  void set_handler(Handler h) { handler_ = std::move(h); }
+  StepFn& step_fn() { return step_fn_; }
+  void set_step_fn(StepFn f) { step_fn_ = std::move(f); }
+
+  // vCPU state (kind kVcpu only).
+  hw::GuestState& gstate() { return gstate_; }
+  hw::VmControls& ctl() { return ctl_; }
+  CapSel evt_base() const { return evt_base_; }
+  void set_evt_base(CapSel base) { evt_base_ = base; }
+
+  BlockState block_state() const { return block_state_; }
+  void set_block_state(BlockState s) { block_state_ = s; }
+
+  Sc* sc() const { return sc_; }
+  void set_sc(Sc* sc) { sc_ = sc; }
+
+  // Re-entrance guard for local handler ECs.
+  bool busy() const { return busy_; }
+  void set_busy(bool b) { busy_ = b; }
+
+ private:
+  Kind kind_;
+  std::shared_ptr<Pd> pd_;
+  std::uint32_t cpu_;
+  Utcb utcb_;
+  Handler handler_;
+  StepFn step_fn_;
+  hw::GuestState gstate_;
+  hw::VmControls ctl_;
+  CapSel evt_base_ = kInvalidSel;
+  BlockState block_state_ = BlockState::kRunnable;
+  Sc* sc_ = nullptr;
+  bool busy_ = false;
+};
+
+// Scheduling context: couples a time quantum with a priority (§5.1).
+class Sc : public KObject {
+ public:
+  Sc(std::shared_ptr<Ec> ec, std::uint8_t prio, sim::Cycles quantum)
+      : KObject(ObjType::kSc), ec_(std::move(ec)), prio_(prio), quantum_(quantum),
+        left_(quantum) {}
+
+  Ec& ec() { return *ec_; }
+  std::shared_ptr<Ec> ec_ref() { return ec_; }
+  std::uint8_t prio() const { return prio_; }
+  sim::Cycles quantum() const { return quantum_; }
+
+  sim::Cycles left() const { return left_; }
+  void Refill() { left_ = quantum_; }
+  // Consume cycles; returns true if the quantum is depleted.
+  bool Consume(sim::Cycles c) {
+    left_ = c >= left_ ? 0 : left_ - c;
+    return left_ == 0;
+  }
+
+  bool queued() const { return queued_; }
+  void set_queued(bool q) { queued_ = q; }
+
+ private:
+  std::shared_ptr<Ec> ec_;
+  std::uint8_t prio_;
+  sim::Cycles quantum_;
+  sim::Cycles left_;
+  bool queued_ = false;
+};
+
+// Portal: a dedicated entry point into a protection domain (§5.2).
+class Pt : public KObject {
+ public:
+  Pt(std::shared_ptr<Ec> handler, Mtd m, std::uint64_t id)
+      : KObject(ObjType::kPt), handler_(std::move(handler)), mtd_(m), id_(id) {}
+
+  Ec& handler() { return *handler_; }
+  Mtd mtd() const { return mtd_; }
+  void set_mtd(Mtd m) { mtd_ = m; }
+  std::uint64_t id() const { return id_; }
+
+ private:
+  std::shared_ptr<Ec> handler_;
+  Mtd mtd_;
+  std::uint64_t id_;
+};
+
+// Counting semaphore; also the kernel's signalling mechanism for hardware
+// interrupts (§5, Semaphore).
+class Sm : public KObject {
+ public:
+  explicit Sm(std::uint64_t initial) : KObject(ObjType::kSm), counter_(initial) {}
+
+  std::uint64_t counter() const { return counter_; }
+  void set_counter(std::uint64_t c) { counter_ = c; }
+
+  std::deque<std::shared_ptr<Ec>>& waiters() { return waiters_; }
+
+  // GSI binding (set by assign_gsi).
+  bool bound_gsi_valid() const { return gsi_ != ~0u; }
+  std::uint32_t bound_gsi() const { return gsi_; }
+  void bind_gsi(std::uint32_t gsi) { gsi_ = gsi; }
+
+ private:
+  std::uint64_t counter_;
+  std::deque<std::shared_ptr<Ec>> waiters_;
+  std::uint32_t gsi_ = ~0u;
+};
+
+}  // namespace nova::hv
+
+#endif  // SRC_HV_OBJECTS_H_

@@ -1,0 +1,62 @@
+#include "src/hv/scheduler.h"
+
+#include <algorithm>
+
+namespace nova::hv {
+
+void RunQueue::Enqueue(Sc* sc, bool at_head) {
+  if (sc->queued()) {
+    return;
+  }
+  auto& level = levels_[sc->prio()];
+  if (at_head) {
+    level.push_front(sc);
+  } else {
+    level.push_back(sc);
+  }
+  bitmap_[sc->prio() / 64] |= 1ull << (sc->prio() % 64);
+  sc->set_queued(true);
+}
+
+void RunQueue::Remove(Sc* sc) {
+  if (!sc->queued()) {
+    return;
+  }
+  auto& level = levels_[sc->prio()];
+  level.erase(std::remove(level.begin(), level.end(), sc), level.end());
+  if (level.empty()) {
+    bitmap_[sc->prio() / 64] &= ~(1ull << (sc->prio() % 64));
+  }
+  sc->set_queued(false);
+}
+
+int RunQueue::TopPriority() const {
+  for (int word = 3; word >= 0; --word) {
+    if (bitmap_[word] != 0) {
+      return word * 64 + 63 - __builtin_clzll(bitmap_[word]);
+    }
+  }
+  return -1;
+}
+
+Sc* RunQueue::Peek() const {
+  const int prio = TopPriority();
+  return prio < 0 ? nullptr : levels_[prio].front();
+}
+
+Sc* RunQueue::Dequeue() {
+  const int prio = TopPriority();
+  if (prio < 0) {
+    return nullptr;
+  }
+  auto& level = levels_[prio];
+  Sc* sc = level.front();
+  level.pop_front();
+  if (level.empty()) {
+    bitmap_[prio / 64] &= ~(1ull << (prio % 64));
+  }
+  sc->set_queued(false);
+  return sc;
+}
+
+}  // namespace nova::hv

@@ -1,0 +1,42 @@
+// Per-CPU preemptive priority-driven round-robin scheduler (§5.1).
+//
+// One runqueue per CPU: 256 priority levels, FIFO within a level. The
+// scheduler is oblivious to whether an execution context is a thread or a
+// virtual CPU.
+#ifndef SRC_HV_SCHEDULER_H_
+#define SRC_HV_SCHEDULER_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+
+#include "src/hv/objects.h"
+
+namespace nova::hv {
+
+class RunQueue {
+ public:
+  // Add `sc` at the tail (or head, after an undepleted preemption) of its
+  // priority level.
+  void Enqueue(Sc* sc, bool at_head = false);
+  void Remove(Sc* sc);
+
+  // Highest-priority SC, removed from the queue; nullptr when empty.
+  Sc* Dequeue();
+  // Peek without removing.
+  Sc* Peek() const;
+
+  bool empty() const { return bitmap_[0] == 0 && bitmap_[1] == 0 &&
+                              bitmap_[2] == 0 && bitmap_[3] == 0; }
+
+  // Highest runnable priority, or -1.
+  int TopPriority() const;
+
+ private:
+  std::array<std::deque<Sc*>, 256> levels_;
+  std::array<std::uint64_t, 4> bitmap_{};
+};
+
+}  // namespace nova::hv
+
+#endif  // SRC_HV_SCHEDULER_H_

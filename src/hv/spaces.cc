@@ -1,0 +1,94 @@
+#include "src/hv/spaces.h"
+
+namespace nova::hv {
+namespace {
+
+std::uint64_t PteFlags(std::uint8_t perms) {
+  std::uint64_t flags = hw::pte::kUser;
+  if ((perms & perm::kWrite) != 0) {
+    flags |= hw::pte::kWritable;
+  }
+  return flags;
+}
+
+}  // namespace
+
+Status MemSpace::Map(std::uint64_t page, std::uint64_t hpa_page,
+                     std::uint64_t count, std::uint8_t perms, bool large) {
+  const std::uint64_t large_size = hw::LargePageSize(table_.mode());
+  const std::uint64_t large_pages = large_size / hw::kPageSize;
+  if (large) {
+    if (page % large_pages != 0 || hpa_page % large_pages != 0 ||
+        count % large_pages != 0) {
+      return Status::kBadParameter;
+    }
+    for (std::uint64_t off = 0; off < count; off += large_pages) {
+      const Status s =
+          table_.Map((page + off) << hw::kPageShift, (hpa_page + off) << hw::kPageShift,
+                     large_size, PteFlags(perms), alloc_);
+      if (!Ok(s)) {
+        return s;
+      }
+    }
+  } else {
+    for (std::uint64_t off = 0; off < count; ++off) {
+      const Status s =
+          table_.Map((page + off) << hw::kPageShift, (hpa_page + off) << hw::kPageShift,
+                     hw::kPageSize, PteFlags(perms), alloc_);
+      if (!Ok(s)) {
+        return s;
+      }
+    }
+  }
+  for (std::uint64_t off = 0; off < count; ++off) {
+    pages_[page + off] = Holding{hpa_page + off, perms, large};
+  }
+  return Status::kSuccess;
+}
+
+Status MemSpace::Unmap(std::uint64_t page, std::uint64_t count) {
+  const std::uint64_t large_pages =
+      hw::LargePageSize(table_.mode()) / hw::kPageSize;
+  for (std::uint64_t off = 0; off < count; ++off) {
+    auto it = pages_.find(page + off);
+    if (it == pages_.end()) {
+      continue;
+    }
+    if (it->second.large) {
+      // Revoking any part of a superpage drops the whole superpage.
+      const std::uint64_t base = (page + off) & ~(large_pages - 1);
+      table_.Unmap(base << hw::kPageShift);
+      for (std::uint64_t i = 0; i < large_pages; ++i) {
+        pages_.erase(base + i);
+      }
+    } else {
+      table_.Unmap((page + off) << hw::kPageShift);
+      pages_.erase(it);
+    }
+  }
+  return Status::kSuccess;
+}
+
+std::uint8_t MemSpace::PermsFor(std::uint64_t page) const {
+  auto it = pages_.find(page);
+  return it == pages_.end() ? 0 : it->second.perms;
+}
+
+std::uint64_t MemSpace::HpaPageFor(std::uint64_t page) const {
+  auto it = pages_.find(page);
+  return it == pages_.end() ? ~0ull : it->second.hpa_page;
+}
+
+void IoSpace::Grant(std::uint64_t port, std::uint64_t count) {
+  for (std::uint64_t p = port; p < port + count && p < 65536; ++p) {
+    bitmap_.set(p);
+  }
+}
+
+void IoSpace::Revoke(std::uint64_t port, std::uint64_t count) {
+  for (std::uint64_t p = port; p < port + count && p < 65536; ++p) {
+    bitmap_.reset(p);
+  }
+}
+
+}  // namespace nova::hv

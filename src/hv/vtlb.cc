@@ -1,0 +1,179 @@
+// The virtual-TLB algorithm: software shadow paging for hardware without
+// nested paging (§5.3).
+//
+// On a shadow-table miss the kernel parses the real multi-level guest page
+// table. Guest page tables contain guest-physical addresses; the paper's
+// trick of running the hypervisor on the VM's host page table makes the
+// GPA->HPA step free for the software walk (the MMU reinterprets GPAs as
+// HVAs) — modelled here as a single memory access per guest level plus a
+// recovery path for guest PTEs pointing outside mapped guest-physical
+// memory. The final translation is installed in the per-vCPU shadow table
+// that the hardware walker uses.
+#include "src/hv/kernel.h"
+
+namespace nova::hv {
+
+hw::PhysAddr Hypervisor::ShadowRootFor(Ec* vcpu) {
+  hw::VmControls& ctl = vcpu->ctl();
+  if (ctl.nested_root == 0 ||
+      ctl.nested_root == vcpu->pd().mem_space().root()) {
+    ctl.nested_root = AllocFrame();
+  }
+  return ctl.nested_root;
+}
+
+Hypervisor::VtlbOutcome Hypervisor::VtlbResolve(Ec* vcpu, const hw::VmExit& exit,
+                                                std::uint64_t* gpa_out) {
+  const std::uint32_t cpu_id = vcpu->cpu();
+  hw::Cpu& c = cpu(cpu_id);
+  const hw::CpuModel& model = c.model();
+  hw::GuestState& gs = vcpu->gstate();
+  hw::PhysMem& mem = machine_->mem();
+  hw::PageTable& host = vcpu->pd().mem_space().table();
+
+  // Determining the cause of the vTLB miss requires reading six VMCS
+  // fields (§8.4, Figure 9).
+  const sim::Cycles read_cost = model.vmread != 0 ? model.vmread : model.mem_access;
+  c.Charge(6 * read_cost);
+  c.Charge(costs_.vtlb_fill_base);
+
+  const std::uint64_t gva = exit.gva;
+  const hw::Access access{.write = exit.is_write, .user = false};
+
+  std::uint64_t gpa = gva;
+  std::uint64_t guest_page = hw::kPageSize;
+  std::uint64_t guest_leaf = hw::pte::kWritable | hw::pte::kUser;
+  if (gs.paging) {
+    // Parse the real guest page table (two-level 32-bit format).
+    std::uint64_t table_gpa = gs.cr3;
+    for (int level = 1; level >= 0; --level) {
+      const int shift = 12 + 10 * level;
+      const std::uint64_t index = (gva >> shift) & 0x3ff;
+      const std::uint64_t entry_gpa = table_gpa + index * 4;
+
+      // GPA->HPA for the entry: with the host-page-table trick this is a
+      // direct dereference; the walk below models the recovery check for
+      // entries pointing outside the mapped guest-physical space.
+      const hw::WalkResult hx =
+          host.Walk(entry_gpa, hw::Access{.write = false}, /*set_ad=*/false);
+      if (!Ok(hx.status)) {
+        *gpa_out = entry_gpa;
+        return VtlbOutcome::kHostFault;
+      }
+      std::uint64_t entry = 0;
+      mem.Read(hx.pa, &entry, 4);
+      c.Charge(model.mem_access);  // One dereference per guest level.
+
+      if (!(entry & hw::pte::kPresent) ||
+          (access.write && !(entry & hw::pte::kWritable))) {
+        return VtlbOutcome::kGuestFault;
+      }
+
+      const bool leaf = level == 0 || (entry & hw::pte::kLarge) != 0;
+      std::uint64_t updated = entry | hw::pte::kAccessed;
+      if (leaf && access.write) {
+        updated |= hw::pte::kDirty;
+      }
+      if (updated != entry) {
+        mem.Write(hx.pa, &updated, 4);
+        c.Charge(model.mem_access);
+        entry = updated;
+      }
+      if (leaf) {
+        guest_page = level == 0 ? hw::kPageSize : (4ull << 20);
+        gpa = (entry & hw::pte::kAddrMask & ~(guest_page - 1)) |
+              (gva & (guest_page - 1));
+        guest_leaf = entry;
+        break;
+      }
+      table_gpa = entry & hw::pte::kAddrMask;
+    }
+  }
+
+  // Final GPA->HPA through the VM's host page table.
+  const hw::WalkResult fx = host.Walk(gpa, access, /*set_ad=*/false);
+  c.Charge(static_cast<sim::Cycles>(fx.accesses) * model.mem_access);
+  if (!Ok(fx.status)) {
+    *gpa_out = gpa;
+    return VtlbOutcome::kHostFault;  // Unmapped guest-physical: MMIO.
+  }
+
+  // Install the shadow entry. Writable only once the guest dirty bit is
+  // set, so the first write to a clean page faults back into the vTLB.
+  const bool host_writable = (fx.pte & hw::pte::kWritable) != 0;
+  const bool guest_writable = (guest_leaf & hw::pte::kWritable) != 0;
+  const bool dirty = (guest_leaf & hw::pte::kDirty) != 0 || !gs.paging;
+  std::uint64_t flags = hw::pte::kUser;
+  if (guest_writable && host_writable && (dirty || access.write)) {
+    flags |= hw::pte::kWritable | hw::pte::kDirty;
+  }
+
+  hw::PageTable shadow(&mem, vcpu->ctl().nested_format, ShadowRootFor(vcpu));
+  // Shadow granularity: a guest superpage can only be shadowed at host
+  // superpage granularity when the backing is contiguous; install the
+  // covering 4 KiB entry otherwise. We install 4 KiB entries always —
+  // simple and faithful to fill-on-demand behaviour.
+  const std::uint64_t page_va = gva & ~(hw::kPageSize - 1);
+  const std::uint64_t page_pa = fx.pa & ~(hw::kPageSize - 1);
+  shadow.Map(page_va, page_pa, hw::kPageSize, flags, [this] { return AllocFrame(); });
+  c.Charge(costs_.map_page);
+
+  *gpa_out = gpa;
+  return VtlbOutcome::kFilled;
+}
+
+namespace {
+
+// Free all frames of a shadow tree below (not including) the root.
+void FreeShadowLevel(hw::PhysMem& mem, hw::PagingMode mode, hw::PhysAddr table,
+                     int level, const std::function<void(hw::PhysAddr)>& free) {
+  const int entries = mode == hw::PagingMode::kTwoLevel ? 1024 : 512;
+  const int esize = mode == hw::PagingMode::kTwoLevel ? 4 : 8;
+  for (int i = 0; i < entries; ++i) {
+    std::uint64_t entry = 0;
+    mem.Read(table + static_cast<std::uint64_t>(i) * esize, &entry, esize);
+    if (!(entry & hw::pte::kPresent) || (entry & hw::pte::kLarge)) {
+      continue;
+    }
+    if (level > 1) {
+      FreeShadowLevel(mem, mode, entry & hw::pte::kAddrMask, level - 1, free);
+      free(entry & hw::pte::kAddrMask);
+    }
+  }
+}
+
+}  // namespace
+
+void Hypervisor::VtlbFlush(Ec* vcpu) {
+  const std::uint32_t cpu_id = vcpu->cpu();
+  hw::VmControls& ctl = vcpu->ctl();
+  if (ctl.nested_root == 0) {
+    return;
+  }
+  hw::PhysMem& mem = machine_->mem();
+  FreeShadowLevel(mem, ctl.nested_format, ctl.nested_root,
+                  hw::Levels(ctl.nested_format) - 1,
+                  [this](hw::PhysAddr f) { FreeFrame(f); });
+  mem.Zero(ctl.nested_root, hw::kPageSize);
+  cpu(cpu_id).tlb().FlushTag(ctl.tag);
+  Charge(cpu_id, cpu(cpu_id).model().tlb_flush);
+  stats_.counter("vTLB Flush").Add();
+}
+
+void Hypervisor::VtlbHandleMovCr3(Ec* vcpu, std::uint64_t new_cr3) {
+  vcpu->gstate().cr3 = new_cr3;
+  VtlbFlush(vcpu);
+}
+
+void Hypervisor::VtlbHandleInvlpg(Ec* vcpu, std::uint64_t gva) {
+  hw::VmControls& ctl = vcpu->ctl();
+  if (ctl.nested_root == 0) {
+    return;
+  }
+  hw::PageTable shadow(&machine_->mem(), ctl.nested_format, ctl.nested_root);
+  shadow.Unmap(gva & ~(hw::kPageSize - 1));
+  cpu(vcpu->cpu()).tlb().FlushVa(ctl.tag, gva);
+  Charge(vcpu->cpu(), costs_.map_page);
+}
+
+}  // namespace nova::hv

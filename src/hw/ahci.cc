@@ -1,0 +1,206 @@
+#include "src/hw/ahci.h"
+
+#include <cstring>
+
+#include "src/sim/log.h"
+
+namespace nova::hw {
+
+AhciController::AhciController(DeviceId id, Iommu* iommu, IrqChip* irq,
+                               std::uint32_t gsi, DiskModel* disk)
+    : Device(id, "ahci"), iommu_(iommu), irq_(irq), gsi_(gsi), disk_(disk) {}
+
+std::uint64_t AhciController::MmioRead(std::uint64_t offset, unsigned /*size*/) {
+  switch (offset) {
+    case ahci::kCap: return 0x1;  // One command slot group, one port.
+    case ahci::kGhc: return ghc_;
+    case ahci::kIs: return is_;
+    case ahci::kPi: return 0x1;
+    case ahci::kPxClb: return px_clb_;
+    case ahci::kPxClbu: return 0;
+    case ahci::kPxFb: return px_fb_;
+    case ahci::kPxFbu: return 0;
+    case ahci::kPxIs: return px_is_;
+    case ahci::kPxIe: return px_ie_;
+    case ahci::kPxCmd: return px_cmd_;
+    case ahci::kPxTfd: return 0x50;   // DRDY.
+    case ahci::kPxSsts: return 0x123; // Device present, PHY established.
+    case ahci::kPxCi: return px_ci_;
+    default: return 0;
+  }
+}
+
+void AhciController::MmioWrite(std::uint64_t offset, unsigned /*size*/,
+                               std::uint64_t value) {
+  const auto v = static_cast<std::uint32_t>(value);
+  switch (offset) {
+    case ahci::kGhc:
+      ghc_ = v;
+      UpdateIrq();
+      break;
+    case ahci::kIs:
+      is_ &= ~v;  // Write-1-clear.
+      break;
+    case ahci::kPxClb:
+      px_clb_ = v & ~0x3ffu;  // 1 KiB aligned.
+      break;
+    case ahci::kPxFb:
+      px_fb_ = v & ~0xffu;
+      break;
+    case ahci::kPxIs:
+      px_is_ &= ~v;
+      break;
+    case ahci::kPxIe:
+      px_ie_ = v;
+      break;
+    case ahci::kPxCmd:
+      px_cmd_ = v;
+      break;
+    case ahci::kPxCi:
+      if ((px_cmd_ & ahci::kPxCmdStart) == 0) {
+        break;  // Commands are only fetched while the engine runs.
+      }
+      for (int slot = 0; slot < ahci::kNumSlots; ++slot) {
+        const std::uint32_t bit = 1u << slot;
+        if ((v & bit) != 0 && (px_ci_ & bit) == 0) {
+          px_ci_ |= bit;
+          IssueSlot(slot);
+        }
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void AhciController::IssueSlot(int slot) {
+  // Fetch the command header from the command list (DMA read).
+  std::uint8_t header[32];
+  if (!Ok(iommu_->DmaRead(id(), px_clb_ + slot * 32ull, header, sizeof(header)))) {
+    ++dma_faults_;
+    px_is_ |= ahci::kPxIsTfes;
+    px_ci_ &= ~(1u << slot);
+    UpdateIrq();
+    return;
+  }
+  std::uint32_t dw0 = 0;
+  std::uint32_t ctba = 0;
+  std::memcpy(&dw0, header + 0, 4);
+  std::memcpy(&ctba, header + 8, 4);
+  const std::uint32_t prdtl = dw0 >> 16;
+  const bool write = (dw0 & (1u << 6)) != 0;
+
+  // Fetch the command FIS.
+  std::uint8_t cfis[64];
+  if (!Ok(iommu_->DmaRead(id(), ctba, cfis, sizeof(cfis))) ||
+      cfis[0] != ahci::kFisH2d) {
+    ++dma_faults_;
+    px_is_ |= ahci::kPxIsTfes;
+    px_ci_ &= ~(1u << slot);
+    UpdateIrq();
+    return;
+  }
+  std::uint64_t lba = 0;
+  for (int i = 0; i < 6; ++i) {
+    lba |= static_cast<std::uint64_t>(cfis[4 + i]) << (8 * i);
+  }
+  std::uint16_t sectors = 0;
+  std::memcpy(&sectors, cfis + 12, 2);
+  const std::uint64_t bytes = static_cast<std::uint64_t>(sectors) * kSectorSize;
+
+  // Fetch the PRDT.
+  Inflight& fl = inflight_[slot];
+  fl = Inflight{};
+  fl.active = true;
+  fl.write = write;
+  std::uint64_t total = 0;
+  for (std::uint32_t i = 0; i < prdtl; ++i) {
+    std::uint8_t prd[16];
+    if (!Ok(iommu_->DmaRead(id(), ctba + 0x80 + i * 16ull, prd, sizeof(prd)))) {
+      ++dma_faults_;
+      px_is_ |= ahci::kPxIsTfes;
+      px_ci_ &= ~(1u << slot);
+      fl.active = false;
+      UpdateIrq();
+      return;
+    }
+    std::uint64_t dba = 0;
+    std::uint32_t dbc = 0;
+    std::memcpy(&dba, prd + 0, 8);
+    std::memcpy(&dbc, prd + 12, 4);
+    const std::uint32_t len = (dbc & 0x3fffffu) + 1;
+    fl.prdt.emplace_back(dba, len);
+    total += len;
+  }
+  if (total < bytes) {
+    px_is_ |= ahci::kPxIsTfes;  // PRDT shorter than the transfer.
+    px_ci_ &= ~(1u << slot);
+    fl.active = false;
+    UpdateIrq();
+    return;
+  }
+
+  fl.data.resize(bytes);
+  if (write) {
+    // Gather data from the PRDT buffers, then hand it to the disk.
+    std::uint64_t off = 0;
+    for (const auto& [dba, len] : fl.prdt) {
+      const std::uint64_t chunk = std::min<std::uint64_t>(len, bytes - off);
+      if (!Ok(iommu_->DmaRead(id(), dba, fl.data.data() + off, chunk))) {
+        ++dma_faults_;
+        px_is_ |= ahci::kPxIsTfes;
+        px_ci_ &= ~(1u << slot);
+        fl.active = false;
+        UpdateIrq();
+        return;
+      }
+      off += chunk;
+      if (off == bytes) {
+        break;
+      }
+    }
+    disk_->SubmitWrite(lba * kSectorSize, fl.data.data(), bytes,
+                       [this, slot, bytes] { CompleteSlot(slot, bytes); });
+  } else {
+    disk_->SubmitRead(lba * kSectorSize, bytes, fl.data.data(),
+                      [this, slot, bytes] { CompleteSlot(slot, bytes); });
+  }
+}
+
+void AhciController::CompleteSlot(int slot, std::uint64_t prd_bytes) {
+  Inflight& fl = inflight_[slot];
+  if (!fl.active) {
+    return;
+  }
+  if (!fl.write) {
+    // Scatter the data into the guest/driver buffers (DMA write).
+    std::uint64_t off = 0;
+    for (const auto& [dba, len] : fl.prdt) {
+      const std::uint64_t chunk = std::min<std::uint64_t>(len, prd_bytes - off);
+      if (!Ok(iommu_->DmaWrite(id(), dba, fl.data.data() + off, chunk))) {
+        ++dma_faults_;
+        px_is_ |= ahci::kPxIsTfes;
+        break;
+      }
+      off += chunk;
+      if (off == prd_bytes) {
+        break;
+      }
+    }
+  }
+  fl.active = false;
+  px_ci_ &= ~(1u << slot);
+  px_is_ |= ahci::kPxIsDhrs;
+  is_ |= 0x1;
+  UpdateIrq();
+}
+
+void AhciController::UpdateIrq() {
+  if ((ghc_ & ahci::kGhcIntrEnable) != 0 && (px_is_ & px_ie_) != 0) {
+    if (iommu_->GsiAllowed(id(), gsi_)) {
+      irq_->Assert(gsi_);
+    }
+  }
+}
+
+}  // namespace nova::hw

@@ -1,0 +1,196 @@
+#include "src/hw/cpu_model.h"
+
+#include <array>
+
+namespace nova::hw {
+namespace {
+
+// Transition costs below are calibrated so that the reproduced Figures 8
+// and 9 show the same per-generation trend the paper reports: guest/host
+// transition cost dominates and shrinks with every processor generation,
+// while VMCS access cost drops sharply on Wolfdale/Bloomfield parts.
+
+constexpr CpuModel kOpteron2212{
+    .name = "AMD Opteron 2212",
+    .core = "Santa Rosa (K8)",
+    .tag = "K8",
+    .vendor = Vendor::kAmd,
+    .frequency = sim::Frequency::MHz(2000),
+    .vm_exit = 620,
+    .vm_resume = 480,
+    .vmread = 0,   // VMCB is ordinary memory on AMD.
+    .vmwrite = 0,
+    .syscall_entry = 80,
+    .syscall_exit = 71,
+    .has_guest_tlb_tags = true,  // SVM has ASIDs from the first generation.
+    .tlb_flush = 95,
+    .tlb_refill_entry = 18,
+    .tlb_4k_entries = 512,
+    .tlb_large_entries = 32,
+    .host_paging = PagingMode::kTwoLevel,
+    .mem_access = 20,
+    .mem_miss = 120,
+    .op_cost = 1,
+    .word_copy = 3,
+};
+
+constexpr CpuModel kPhenom9550{
+    .name = "AMD Phenom 9550",
+    .core = "Agena (K10)",
+    .tag = "K10",
+    .vendor = Vendor::kAmd,
+    .frequency = sim::Frequency::MHz(2200),
+    .vm_exit = 510,
+    .vm_resume = 400,
+    .vmread = 0,
+    .vmwrite = 0,
+    .syscall_entry = 72,
+    .syscall_exit = 65,
+    .has_guest_tlb_tags = true,
+    .tlb_flush = 90,
+    .tlb_refill_entry = 16,
+    .tlb_4k_entries = 512,
+    .tlb_large_entries = 48,
+    .host_paging = PagingMode::kTwoLevel,
+    .mem_access = 18,
+    .mem_miss = 110,
+    .op_cost = 1,
+    .word_copy = 3,
+};
+
+constexpr CpuModel kCoreDuoT2500{
+    .name = "Intel Core Duo T2500",
+    .core = "Yonah (YNH)",
+    .tag = "YNH",
+    .vendor = Vendor::kIntel,
+    .frequency = sim::Frequency::MHz(2000),
+    .vm_exit = 1180,
+    .vm_resume = 797,
+    .vmread = 60,
+    .vmwrite = 55,
+    .syscall_entry = 88,
+    .syscall_exit = 75,
+    .has_guest_tlb_tags = false,  // No VPID before Nehalem.
+    .tlb_flush = 110,
+    .tlb_refill_entry = 20,
+    .tlb_4k_entries = 256,
+    .tlb_large_entries = 16,
+    .host_paging = PagingMode::kFourLevel,
+    .mem_access = 22,
+    .mem_miss = 130,
+    .op_cost = 1,
+    .word_copy = 3,
+};
+
+constexpr CpuModel kCore2DuoE6600{
+    .name = "Intel Core2 Duo E6600",
+    .core = "Conroe (CNR)",
+    .tag = "CNR",
+    .vendor = Vendor::kIntel,
+    .frequency = sim::Frequency::MHz(2400),
+    .vm_exit = 1180,
+    .vm_resume = 837,
+    .vmread = 55,
+    .vmwrite = 50,
+    .syscall_entry = 80,
+    .syscall_exit = 71,
+    .has_guest_tlb_tags = false,
+    .tlb_flush = 105,
+    .tlb_refill_entry = 18,
+    .tlb_4k_entries = 512,
+    .tlb_large_entries = 32,
+    .host_paging = PagingMode::kFourLevel,
+    .mem_access = 20,
+    .mem_miss = 125,
+    .op_cost = 1,
+    .word_copy = 3,
+};
+
+constexpr CpuModel kCore2DuoE8400{
+    .name = "Intel Core2 Duo E8400",
+    .core = "Wolfdale (WFD)",
+    .tag = "WFD",
+    .vendor = Vendor::kIntel,
+    .frequency = sim::Frequency::MHz(3000),
+    .vm_exit = 700,
+    .vm_resume = 524,
+    .vmread = 45,
+    .vmwrite = 42,
+    .syscall_entry = 66,
+    .syscall_exit = 58,
+    .has_guest_tlb_tags = false,
+    .tlb_flush = 100,
+    .tlb_refill_entry = 16,
+    .tlb_4k_entries = 512,
+    .tlb_large_entries = 32,
+    .host_paging = PagingMode::kFourLevel,
+    .mem_access = 18,
+    .mem_miss = 120,
+    .op_cost = 1,
+    .word_copy = 3,
+};
+
+constexpr CpuModel kCoreI7_920{
+    .name = "Intel Core i7 920",
+    .core = "Bloomfield (BLM)",
+    .tag = "BLM",
+    .vendor = Vendor::kIntel,
+    .frequency = sim::Frequency::MHz(2670),
+    .vm_exit = 566,
+    .vm_resume = 450,
+    .vmread = 24,
+    .vmwrite = 22,
+    .syscall_entry = 44,
+    .syscall_exit = 35,
+    .has_guest_tlb_tags = true,  // VPID.
+    .tlb_flush = 90,
+    .tlb_refill_entry = 14,
+    .tlb_4k_entries = 512,
+    .tlb_large_entries = 32,
+    .host_paging = PagingMode::kFourLevel,
+    .mem_access = 16,
+    .mem_miss = 110,
+    .op_cost = 1,
+    .word_copy = 3,
+};
+
+constexpr CpuModel MakeNoVpid(const CpuModel& base) {
+  CpuModel m = base;
+  m.core = "Bloomfield (BLM) w/o VPID";
+  m.tag = "BLM-noVPID";
+  m.has_guest_tlb_tags = false;
+  return m;
+}
+
+constexpr CpuModel kCoreI7_920_NoVpid = MakeNoVpid(kCoreI7_920);
+
+constexpr CpuModel MakePhenomX3(const CpuModel& base) {
+  CpuModel m = base;
+  m.name = "AMD Phenom X3 8450";
+  m.core = "Toliman (K10)";
+  m.tag = "PHX3";
+  m.frequency = sim::Frequency::MHz(2100);
+  return m;
+}
+
+constexpr CpuModel kPhenomX3_8450 = MakePhenomX3(kPhenom9550);
+
+constexpr std::array<const CpuModel*, 6> kAllModels = {
+    &kOpteron2212,   &kPhenom9550,    &kCoreDuoT2500,
+    &kCore2DuoE6600, &kCore2DuoE8400, &kCoreI7_920,
+};
+
+}  // namespace
+
+const CpuModel& Opteron2212() { return kOpteron2212; }
+const CpuModel& Phenom9550() { return kPhenom9550; }
+const CpuModel& CoreDuoT2500() { return kCoreDuoT2500; }
+const CpuModel& Core2DuoE6600() { return kCore2DuoE6600; }
+const CpuModel& Core2DuoE8400() { return kCore2DuoE8400; }
+const CpuModel& CoreI7_920() { return kCoreI7_920; }
+const CpuModel& CoreI7_920_NoVpid() { return kCoreI7_920_NoVpid; }
+const CpuModel& PhenomX3_8450() { return kPhenomX3_8450; }
+
+std::span<const CpuModel* const> AllModels() { return kAllModels; }
+
+}  // namespace nova::hw

@@ -1,0 +1,96 @@
+// CPU cost models for the processors used in the paper's evaluation
+// (Table 1), together with the hardware-transition cycle costs that the
+// microbenchmarks in Figures 8 and 9 measure.
+//
+// Only *raw hardware* costs live here (world switches, VMCS accesses,
+// syscall entry/exit, TLB flush penalties). Software-path costs — the IPC
+// path, the vTLB fill, message copies — are never constants: they emerge
+// from the hypervisor executing real work, priced per primitive operation.
+#ifndef SRC_HW_CPU_MODEL_H_
+#define SRC_HW_CPU_MODEL_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "src/sim/time.h"
+
+namespace nova::hw {
+
+enum class Vendor : std::uint8_t { kIntel, kAmd };
+
+// Host paging mode used for nested page tables. The paper (§8.1) notes that
+// AMD parts used 2-level legacy paging with 4 MiB superpages while Intel
+// EPT uses 4-level paging with 2 MiB superpages — and that this difference
+// is visible in the kernel-compile benchmark.
+enum class PagingMode : std::uint8_t {
+  kTwoLevel,   // 32-bit legacy: 1024-entry tables, 4 KiB / 4 MiB pages.
+  kFourLevel,  // x86-64 style: 512-entry tables, 4 KiB / 2 MiB pages.
+};
+
+// Per-model hardware cost table. All values are clock cycles.
+struct CpuModel {
+  std::string_view name;       // Marketing name, e.g. "Intel Core i7 920".
+  std::string_view core;       // Core codename, e.g. "Bloomfield (BLM)".
+  std::string_view tag;        // Short tag used in benchmark output.
+  Vendor vendor;
+  sim::Frequency frequency;
+
+  // --- Virtualization transitions (Figure 9, lowermost boxes) ---
+  sim::Cycles vm_exit;            // Guest -> host world switch.
+  sim::Cycles vm_resume;          // Host -> guest world switch.
+  sim::Cycles vmread;             // One VMCS field read (Intel; 0 on AMD
+                                  // where the VMCB is plain memory).
+  sim::Cycles vmwrite;            // One VMCS field write.
+
+  // --- System calls (Figure 8, lowermost box) ---
+  sim::Cycles syscall_entry;      // sysenter + interrupt-disable fixups.
+  sim::Cycles syscall_exit;       // sti + sysexit.
+
+  // --- TLB behaviour ---
+  bool has_guest_tlb_tags;        // VPID (Intel) / ASID (AMD): guest entries
+                                  // survive VM transitions.
+  sim::Cycles tlb_flush;          // Cost of a full TLB flush.
+  sim::Cycles tlb_refill_entry;   // Average refill cost per re-walked entry
+                                  // after a flush (the "TLB effects" box).
+  std::uint32_t tlb_4k_entries;   // Capacity for 4 KiB translations.
+  std::uint32_t tlb_large_entries;// Capacity for 2/4 MiB translations.
+
+  // --- Memory & paging ---
+  PagingMode host_paging;         // Nested/host page-table format.
+  sim::Cycles mem_access;         // One cache-hitting memory access in a
+                                  // page-table walk.
+  sim::Cycles mem_miss;           // A walk access that misses the cache.
+
+  // --- Per-primitive software op pricing ---
+  sim::Cycles op_cost;            // One simple ALU/branch instruction.
+  sim::Cycles word_copy;          // Copying one 64-bit word (UTCB transfer:
+                                  // the paper cites 2-3 cycles per word).
+
+  constexpr std::uint32_t tlb_capacity() const {
+    return tlb_4k_entries + tlb_large_entries;
+  }
+};
+
+// The processors of Table 1. Transition costs are calibrated against the
+// microbenchmark bars of Figures 8 and 9 of the paper.
+const CpuModel& Opteron2212();   // Santa Rosa (K8),   2.0 GHz, AMD.
+const CpuModel& Phenom9550();    // Agena (K10),       2.2 GHz, AMD.
+const CpuModel& CoreDuoT2500();  // Yonah (YNH),       2.0 GHz, Intel.
+const CpuModel& Core2DuoE6600(); // Conroe (CNR),      2.4 GHz, Intel.
+const CpuModel& Core2DuoE8400(); // Wolfdale (WFD),    3.0 GHz, Intel.
+const CpuModel& CoreI7_920();    // Bloomfield (BLM), 2.67 GHz, Intel.
+
+// Variant of the Core i7 with VPID disabled, for the "EPT w/o VPID" and
+// vTLB-with/without-VPID comparisons.
+const CpuModel& CoreI7_920_NoVpid();
+
+// The AMD Phenom X3 8450 (2.1 GHz) used for the last bar group of Figure 5.
+const CpuModel& PhenomX3_8450();
+
+// All Table 1 models in presentation order.
+std::span<const CpuModel* const> AllModels();
+
+}  // namespace nova::hw
+
+#endif  // SRC_HW_CPU_MODEL_H_

@@ -1,0 +1,91 @@
+#include "src/hw/device.h"
+
+namespace nova::hw {
+
+std::uint32_t Device::PioRead(std::uint16_t /*port*/, unsigned /*size*/) {
+  return 0xffffffffu;  // Floating bus.
+}
+
+void Device::PioWrite(std::uint16_t /*port*/, unsigned /*size*/, std::uint32_t /*value*/) {}
+
+Status Bus::RegisterMmio(PhysAddr base, std::uint64_t size, Device* device) {
+  for (const MmioRange& r : mmio_) {
+    if (base < r.base + r.size && r.base < base + size) {
+      return Status::kBusy;  // Overlapping windows are a configuration bug.
+    }
+  }
+  mmio_.push_back(MmioRange{base, size, device});
+  return Status::kSuccess;
+}
+
+Status Bus::RegisterPio(std::uint16_t base, std::uint16_t count, Device* device) {
+  for (const PioRange& r : pio_) {
+    if (base < r.base + r.count && r.base < base + count) {
+      return Status::kBusy;
+    }
+  }
+  pio_.push_back(PioRange{base, count, device});
+  return Status::kSuccess;
+}
+
+Device* Bus::FindMmio(PhysAddr addr, PhysAddr* window_base) const {
+  for (const MmioRange& r : mmio_) {
+    if (addr >= r.base && addr < r.base + r.size) {
+      if (window_base != nullptr) {
+        *window_base = r.base;
+      }
+      return r.device;
+    }
+  }
+  return nullptr;
+}
+
+Device* Bus::FindPio(std::uint16_t port) const {
+  for (const PioRange& r : pio_) {
+    if (port >= r.base && port < r.base + r.count) {
+      return r.device;
+    }
+  }
+  return nullptr;
+}
+
+Status Bus::MmioRead(PhysAddr addr, unsigned size, std::uint64_t* out) const {
+  PhysAddr base = 0;
+  Device* dev = FindMmio(addr, &base);
+  if (dev == nullptr) {
+    return Status::kMemoryFault;
+  }
+  *out = dev->MmioRead(addr - base, size);
+  return Status::kSuccess;
+}
+
+Status Bus::MmioWrite(PhysAddr addr, unsigned size, std::uint64_t value) const {
+  PhysAddr base = 0;
+  Device* dev = FindMmio(addr, &base);
+  if (dev == nullptr) {
+    return Status::kMemoryFault;
+  }
+  dev->MmioWrite(addr - base, size, value);
+  return Status::kSuccess;
+}
+
+Status Bus::PioRead(std::uint16_t port, unsigned size, std::uint32_t* out) const {
+  Device* dev = FindPio(port);
+  if (dev == nullptr) {
+    *out = 0xffffffffu;
+    return Status::kBadDevice;
+  }
+  *out = dev->PioRead(port, size);
+  return Status::kSuccess;
+}
+
+Status Bus::PioWrite(std::uint16_t port, unsigned size, std::uint32_t value) const {
+  Device* dev = FindPio(port);
+  if (dev == nullptr) {
+    return Status::kBadDevice;
+  }
+  dev->PioWrite(port, size, value);
+  return Status::kSuccess;
+}
+
+}  // namespace nova::hw

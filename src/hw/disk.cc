@@ -1,0 +1,85 @@
+#include "src/hw/disk.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace nova::hw {
+
+sim::PicoSeconds DiskModel::ServiceTime(std::uint64_t bytes) const {
+  const sim::PicoSeconds media =
+      bytes * sim::kPicosPerSecond / geometry_.bandwidth_bps;
+  return std::max(geometry_.request_overhead, media);
+}
+
+std::uint8_t DiskModel::PatternByte(std::uint64_t offset) const {
+  // Deterministic content for unwritten sectors.
+  return static_cast<std::uint8_t>((offset * 2654435761u) >> 24);
+}
+
+void DiskModel::ReadContent(std::uint64_t offset, void* out, std::uint64_t bytes) const {
+  auto* dst = static_cast<std::uint8_t*>(out);
+  while (bytes > 0) {
+    const std::uint64_t sector = offset / kSectorSize;
+    const std::uint64_t in_sector = offset % kSectorSize;
+    const std::uint64_t chunk = std::min(bytes, kSectorSize - in_sector);
+    auto it = sectors_.find(sector);
+    if (it != sectors_.end()) {
+      std::memcpy(dst, it->second.data() + in_sector, chunk);
+    } else {
+      for (std::uint64_t i = 0; i < chunk; ++i) {
+        dst[i] = PatternByte(offset + i);
+      }
+    }
+    offset += chunk;
+    dst += chunk;
+    bytes -= chunk;
+  }
+}
+
+void DiskModel::WriteContent(std::uint64_t offset, const void* data,
+                             std::uint64_t bytes) {
+  const auto* src = static_cast<const std::uint8_t*>(data);
+  while (bytes > 0) {
+    const std::uint64_t sector = offset / kSectorSize;
+    const std::uint64_t in_sector = offset % kSectorSize;
+    const std::uint64_t chunk = std::min(bytes, kSectorSize - in_sector);
+    auto& store = sectors_[sector];
+    if (store.empty()) {
+      store.resize(kSectorSize);
+      for (std::uint64_t i = 0; i < kSectorSize; ++i) {
+        store[i] = PatternByte(sector * kSectorSize + i);
+      }
+    }
+    std::memcpy(store.data() + in_sector, src, chunk);
+    offset += chunk;
+    src += chunk;
+    bytes -= chunk;
+  }
+}
+
+void DiskModel::SubmitRead(std::uint64_t offset, std::uint64_t bytes,
+                           std::uint8_t* out, Completion done) {
+  const sim::PicoSeconds start = std::max(busy_until_, events_->now());
+  busy_until_ = start + ServiceTime(bytes);
+  events_->ScheduleAt(busy_until_, [this, offset, bytes, out, done = std::move(done)] {
+    ReadContent(offset, out, bytes);
+    completed_.Add();
+    done();
+  });
+}
+
+void DiskModel::SubmitWrite(std::uint64_t offset, const std::uint8_t* data,
+                            std::uint64_t bytes, Completion done) {
+  const sim::PicoSeconds start = std::max(busy_until_, events_->now());
+  busy_until_ = start + ServiceTime(bytes);
+  // Capture the payload now: the source buffer may be reused by the caller.
+  std::vector<std::uint8_t> copy(data, data + bytes);
+  events_->ScheduleAt(busy_until_,
+                      [this, offset, payload = std::move(copy), done = std::move(done)] {
+                        WriteContent(offset, payload.data(), payload.size());
+                        completed_.Add();
+                        done();
+                      });
+}
+
+}  // namespace nova::hw

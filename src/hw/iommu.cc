@@ -1,0 +1,149 @@
+#include "src/hw/iommu.h"
+
+#include <algorithm>
+
+namespace nova::hw {
+
+void Iommu::ProtectRange(PhysAddr base, std::uint64_t size) {
+  protected_.emplace_back(base, size);
+}
+
+void Iommu::AttachDevice(DeviceId dev, PhysAddr root, PagingMode mode) {
+  contexts_[dev] = Context{.table = std::make_unique<PageTable>(mem_, mode, root)};
+}
+
+void Iommu::DetachDevice(DeviceId dev) { contexts_.erase(dev); }
+
+Status Iommu::Map(DeviceId dev, std::uint64_t iova, PhysAddr pa,
+                  std::uint64_t size, bool writable,
+                  const PageTable::FrameAllocator& alloc) {
+  auto it = contexts_.find(dev);
+  if (it == contexts_.end()) {
+    return Status::kBadDevice;
+  }
+  for (std::uint64_t off = 0; off < size; off += kPageSize) {
+    const std::uint64_t flags = pte::kUser | (writable ? pte::kWritable : 0);
+    const Status s = it->second.table->Map(iova + off, pa + off, kPageSize, flags, alloc);
+    if (!Ok(s)) {
+      return s;
+    }
+  }
+  return Status::kSuccess;
+}
+
+Status Iommu::Unmap(DeviceId dev, std::uint64_t iova, std::uint64_t size) {
+  auto it = contexts_.find(dev);
+  if (it == contexts_.end()) {
+    return Status::kBadDevice;
+  }
+  for (std::uint64_t off = 0; off < size; off += kPageSize) {
+    it->second.table->Unmap(iova + off);
+  }
+  return Status::kSuccess;
+}
+
+void Iommu::AllowGsi(DeviceId dev, std::uint32_t gsi) {
+  allowed_gsis_[dev] |= 1ull << gsi;
+}
+
+bool Iommu::GsiAllowed(DeviceId dev, std::uint32_t gsi) const {
+  if (!present_) {
+    return true;  // No interrupt remapping without an IOMMU.
+  }
+  auto it = allowed_gsis_.find(dev);
+  return it != allowed_gsis_.end() && (it->second & (1ull << gsi)) != 0;
+}
+
+bool Iommu::IsProtected(PhysAddr pa, std::uint64_t len) const {
+  for (const auto& [base, size] : protected_) {
+    if (pa < base + size && base < pa + len) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Status Iommu::Translate(DeviceId dev, std::uint64_t iova, bool write, PhysAddr* out) {
+  if (!present_) {
+    *out = iova;  // Identity, unchecked: legacy platform.
+    return Status::kSuccess;
+  }
+  auto it = contexts_.find(dev);
+  if (it == contexts_.end()) {
+    // Device has no remapping context: identity, but the hypervisor region
+    // is still shielded by the unit.
+    *out = iova;
+    return Status::kSuccess;
+  }
+  const WalkResult r = it->second.table->Walk(
+      iova, Access{.write = write, .user = true}, /*set_ad=*/false);
+  if (!Ok(r.status)) {
+    faults_.Add();
+    return Status::kDenied;
+  }
+  *out = r.pa;
+  return Status::kSuccess;
+}
+
+Status Iommu::DmaRead(DeviceId dev, std::uint64_t iova, void* out, std::uint64_t len) {
+  auto* dst = static_cast<std::uint8_t*>(out);
+  while (len > 0) {
+    const std::uint64_t chunk = std::min<std::uint64_t>(len, kPageSize - (iova & kPageMask));
+    PhysAddr pa = 0;
+    const Status s = Translate(dev, iova, /*write=*/false, &pa);
+    if (!Ok(s)) {
+      return s;
+    }
+    if (present_ && IsProtected(pa, chunk)) {
+      faults_.Add();
+      return Status::kDenied;
+    }
+    const Status rs = mem_->Read(pa, dst, chunk);
+    if (!Ok(rs)) {
+      return rs;
+    }
+    iova += chunk;
+    dst += chunk;
+    len -= chunk;
+  }
+  return Status::kSuccess;
+}
+
+Status Iommu::DmaWrite(DeviceId dev, std::uint64_t iova, const void* data,
+                       std::uint64_t len) {
+  // Validate the whole transfer first so faults never partially commit.
+  std::uint64_t probe = iova;
+  std::uint64_t remaining = len;
+  while (remaining > 0) {
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(remaining, kPageSize - (probe & kPageMask));
+    PhysAddr pa = 0;
+    const Status s = Translate(dev, probe, /*write=*/true, &pa);
+    if (!Ok(s)) {
+      return s;
+    }
+    if (present_ && IsProtected(pa, chunk)) {
+      faults_.Add();
+      return Status::kDenied;
+    }
+    probe += chunk;
+    remaining -= chunk;
+  }
+
+  const auto* src = static_cast<const std::uint8_t*>(data);
+  while (len > 0) {
+    const std::uint64_t chunk = std::min<std::uint64_t>(len, kPageSize - (iova & kPageMask));
+    PhysAddr pa = 0;
+    Translate(dev, iova, /*write=*/true, &pa);
+    const Status ws = mem_->Write(pa, src, chunk);
+    if (!Ok(ws)) {
+      return ws;
+    }
+    iova += chunk;
+    src += chunk;
+    len -= chunk;
+  }
+  return Status::kSuccess;
+}
+
+}  // namespace nova::hw

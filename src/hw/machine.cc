@@ -1,0 +1,27 @@
+#include "src/hw/machine.h"
+
+namespace nova::hw {
+
+Machine::Machine(const MachineConfig& config)
+    : mem_(config.ram_size), iommu_(&mem_, config.iommu_present) {
+  std::uint32_t id = 0;
+  for (const CpuModel* model : config.cpus) {
+    cpus_.push_back(std::make_unique<Cpu>(id++, model));
+  }
+}
+
+bool Machine::SkipToNextEvent() {
+  if (events_.empty()) {
+    return false;
+  }
+  const sim::PicoSeconds deadline = events_.NextDeadline();
+  if (!events_.RunOne()) {
+    return false;
+  }
+  for (auto& c : cpus_) {
+    c->AdvanceToPs(deadline);
+  }
+  return true;
+}
+
+}  // namespace nova::hw

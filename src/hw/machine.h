@@ -1,0 +1,71 @@
+// The simulated host machine: RAM, CPUs, interrupt fabric, IOMMU, system
+// bus and the device event queue, assembled from a configuration.
+#ifndef SRC_HW_MACHINE_H_
+#define SRC_HW_MACHINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/hw/cpu.h"
+#include "src/hw/cpu_model.h"
+#include "src/hw/device.h"
+#include "src/hw/iommu.h"
+#include "src/hw/irq.h"
+#include "src/hw/phys_mem.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/stats.h"
+
+namespace nova::hw {
+
+struct MachineConfig {
+  std::vector<const CpuModel*> cpus = {&CoreI7_920()};
+  std::uint64_t ram_size = 1ull << 30;  // 1 GiB default.
+  bool iommu_present = true;
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config);
+
+  PhysMem& mem() { return mem_; }
+  sim::EventQueue& events() { return events_; }
+  IrqChip& irq() { return irq_; }
+  Iommu& iommu() { return iommu_; }
+  Bus& bus() { return bus_; }
+  sim::StatRegistry& stats() { return stats_; }
+
+  std::size_t num_cpus() const { return cpus_.size(); }
+  Cpu& cpu(std::uint32_t id) { return *cpus_[id]; }
+
+  // Take ownership of a device model. Returns a borrowed pointer for
+  // registering bus windows.
+  template <typename T>
+  T* AddDevice(std::unique_ptr<T> device) {
+    T* raw = device.get();
+    devices_.push_back(std::move(device));
+    return raw;
+  }
+  const std::vector<std::unique_ptr<Device>>& devices() const { return devices_; }
+
+  // Bring the device clock up to `cpu`'s local time, firing due events.
+  void SyncDeviceTime(const Cpu& c) { events_.AdvanceTo(c.NowPs()); }
+
+  // All CPUs idle and nothing to do: hop to the next device event and pull
+  // every CPU's local clock forward. Returns false if no event is pending.
+  bool SkipToNextEvent();
+
+ private:
+  PhysMem mem_;
+  sim::EventQueue events_;
+  IrqChip irq_;
+  Iommu iommu_;
+  Bus bus_;
+  sim::StatRegistry stats_;
+  std::vector<std::unique_ptr<Cpu>> cpus_;
+  std::vector<std::unique_ptr<Device>> devices_;
+};
+
+}  // namespace nova::hw
+
+#endif  // SRC_HW_MACHINE_H_

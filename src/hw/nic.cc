@@ -1,0 +1,146 @@
+#include "src/hw/nic.h"
+
+#include <cstring>
+
+namespace nova::hw {
+
+Nic::Nic(DeviceId id, Iommu* iommu, IrqChip* irq, std::uint32_t gsi,
+         sim::EventQueue* events)
+    : Device(id, "nic"), iommu_(iommu), irq_(irq), gsi_(gsi), events_(events) {}
+
+std::uint64_t Nic::MmioRead(std::uint64_t offset, unsigned /*size*/) {
+  switch (offset) {
+    case nic::kCtrl: return ctrl_;
+    case nic::kStatus: return 0x3;  // Link up, full duplex.
+    case nic::kIcr: {
+      const std::uint32_t v = icr_;
+      icr_ = 0;  // Read-to-clear.
+      return v;
+    }
+    case nic::kItr: return itr_;
+    case nic::kIms: return ims_;
+    case nic::kRctl: return rctl_;
+    case nic::kRdbal: return rdbal_;
+    case nic::kRdbah: return rdbah_;
+    case nic::kRdlen: return rdlen_;
+    case nic::kRdh: return rdh_;
+    case nic::kRdt: return rdt_;
+    default: return 0;
+  }
+}
+
+void Nic::MmioWrite(std::uint64_t offset, unsigned /*size*/, std::uint64_t value) {
+  const auto v = static_cast<std::uint32_t>(value);
+  switch (offset) {
+    case nic::kCtrl: ctrl_ = v; break;
+    case nic::kItr: itr_ = v; break;
+    case nic::kIms: ims_ |= v; break;
+    case nic::kImc: ims_ &= ~v; break;
+    case nic::kRctl: rctl_ = v; break;
+    case nic::kRdbal: rdbal_ = v & ~0xfu; break;
+    case nic::kRdbah: rdbah_ = v; break;
+    case nic::kRdlen: rdlen_ = v & ~0x7fu; break;
+    case nic::kRdh: rdh_ = v; break;
+    case nic::kRdt: rdt_ = v; break;
+    default: break;
+  }
+}
+
+bool Nic::Receive(const std::uint8_t* frame, std::uint32_t length) {
+  if ((rctl_ & nic::kRctlEnable) == 0 || RingEntries() == 0) {
+    rx_dropped_.Add();
+    return false;
+  }
+  // Hardware owns descriptors [RDH, RDT); ring full when RDH == RDT.
+  if (rdh_ == rdt_) {
+    rx_dropped_.Add();
+    return false;
+  }
+  const std::uint64_t ring_base =
+      (static_cast<std::uint64_t>(rdbah_) << 32) | rdbal_;
+  const std::uint64_t desc_addr = ring_base + rdh_ * 16ull;
+
+  nic::RxDescriptor desc{};
+  if (!Ok(iommu_->DmaRead(id(), desc_addr, &desc, sizeof(desc)))) {
+    rx_dropped_.Add();
+    return false;
+  }
+  if (!Ok(iommu_->DmaWrite(id(), desc.buffer, frame, length))) {
+    rx_dropped_.Add();
+    return false;
+  }
+  desc.length = static_cast<std::uint16_t>(length);
+  desc.status = nic::kRxStatusDd | nic::kRxStatusEop;
+  if (!Ok(iommu_->DmaWrite(id(), desc_addr, &desc, sizeof(desc)))) {
+    rx_dropped_.Add();
+    return false;
+  }
+  rdh_ = (rdh_ + 1) % RingEntries();
+  rx_packets_.Add();
+
+  icr_ |= nic::kIcrRxt0;
+  RaiseOrCoalesce();
+  return true;
+}
+
+void Nic::RaiseOrCoalesce() {
+  if ((icr_ & ims_) == 0) {
+    return;
+  }
+  const sim::PicoSeconds interval = static_cast<sim::PicoSeconds>(itr_) * 256 *
+                                    sim::kPicosPerNano;
+  const sim::PicoSeconds now = events_->now();
+  if (interval == 0 || now >= last_irq_ + interval) {
+    FireIrq();
+    return;
+  }
+  if (!irq_scheduled_) {
+    irq_scheduled_ = true;
+    events_->ScheduleAt(last_irq_ + interval, [this] {
+      irq_scheduled_ = false;
+      if ((icr_ & ims_) != 0) {
+        FireIrq();
+      }
+    });
+  }
+}
+
+void Nic::FireIrq() {
+  last_irq_ = events_->now();
+  irqs_.Add();
+  if (iommu_->GsiAllowed(id(), gsi_)) {
+    irq_->Assert(gsi_);
+  }
+}
+
+void NetLink::StartStream(double mbit_per_s, std::uint32_t packet_bytes) {
+  running_ = true;
+  packet_bytes_ = packet_bytes;
+  const double bits_per_packet = packet_bytes * 8.0;
+  const double packets_per_second = mbit_per_s * 1e6 / bits_per_packet;
+  interval_ = static_cast<sim::PicoSeconds>(1e12 / packets_per_second);
+  events_->ScheduleAfter(interval_, [this] { SendOne(); });
+}
+
+void NetLink::Stop() { running_ = false; }
+
+void NetLink::SendOne() {
+  if (!running_) {
+    return;
+  }
+  std::vector<std::uint8_t> frame(packet_bytes_);
+  // Ethernet-ish header + sequence number + pattern payload.
+  std::memset(frame.data(), 0xee, std::min<std::size_t>(frame.size(), 14));
+  if (frame.size() >= 22) {
+    std::memcpy(frame.data() + 14, &seq_, 8);
+  }
+  for (std::size_t i = 22; i < frame.size(); ++i) {
+    frame[i] = static_cast<std::uint8_t>(seq_ + i);
+  }
+  ++seq_;
+  nic_->Receive(frame.data(), packet_bytes_);
+  sent_.Add();
+  events_->ScheduleAfter(interval_, [this] { SendOne(); });
+}
+
+}  // namespace nova::hw

@@ -1,0 +1,122 @@
+// Page-table formats and walkers.
+//
+// Two real radix-tree formats are implemented, mirroring the hardware the
+// paper evaluates on:
+//   kTwoLevel  — legacy 32-bit x86: 1024 x 4-byte entries per table,
+//                4 KiB pages and 4 MiB superpages (AMD host tables and all
+//                guest page tables in this reproduction).
+//   kFourLevel — x86-64 style: 512 x 8-byte entries, 4 KiB pages and 2 MiB
+//                superpages (Intel EPT host tables).
+//
+// Tables live in simulated physical memory; walks dereference real entries,
+// set real accessed/dirty bits, and report how many memory accesses they
+// performed so callers can charge cycles.
+#ifndef SRC_HW_PAGING_H_
+#define SRC_HW_PAGING_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/hw/cpu_model.h"
+#include "src/hw/phys_mem.h"
+#include "src/sim/status.h"
+
+namespace nova::hw {
+
+using VirtAddr = std::uint64_t;
+
+// Common PTE layout (both formats use the same bit assignment; the
+// two-level format simply truncates to 32 bits on store).
+namespace pte {
+constexpr std::uint64_t kPresent = 1ull << 0;
+constexpr std::uint64_t kWritable = 1ull << 1;
+constexpr std::uint64_t kUser = 1ull << 2;
+constexpr std::uint64_t kAccessed = 1ull << 5;
+constexpr std::uint64_t kDirty = 1ull << 6;
+constexpr std::uint64_t kLarge = 1ull << 7;   // Superpage leaf.
+constexpr std::uint64_t kGlobal = 1ull << 8;
+constexpr std::uint64_t kAddrMask = ~0xfffull;
+}  // namespace pte
+
+// Access permissions requested by a translation.
+struct Access {
+  bool write = false;
+  bool user = false;      // Access from guest user mode (CPL 3).
+  bool execute = false;
+};
+
+// Page-fault style error codes, modelled after the x86 #PF error word.
+struct PageFaultInfo {
+  bool present = false;   // Fault caused by a protection violation (true)
+                          // or a non-present entry (false).
+  bool write = false;
+  bool user = false;
+};
+
+struct WalkResult {
+  Status status = Status::kSuccess;  // kMemoryFault on a miss/violation.
+  PhysAddr pa = 0;                   // Final physical address.
+  std::uint64_t page_size = 0;       // 4K / 2M / 4M mapping granularity.
+  std::uint64_t pte = 0;             // Leaf entry as stored.
+  PhysAddr pte_addr = 0;             // Where the leaf entry lives.
+  int accesses = 0;                  // Memory accesses the walk performed.
+  PageFaultInfo fault;               // Valid when status != kSuccess.
+};
+
+// Page size helpers per mode.
+constexpr std::uint64_t LargePageSize(PagingMode mode) {
+  return mode == PagingMode::kTwoLevel ? (4ull << 20) : (2ull << 20);
+}
+constexpr int Levels(PagingMode mode) {
+  return mode == PagingMode::kTwoLevel ? 2 : 4;
+}
+
+// A page table rooted at a physical frame inside a PhysMem.
+class PageTable {
+ public:
+  // Allocate a zeroed physical frame for an intermediate table; returns the
+  // frame's physical address, or 0 on exhaustion.
+  using FrameAllocator = std::function<PhysAddr()>;
+
+  PageTable(PhysMem* mem, PagingMode mode, PhysAddr root)
+      : mem_(mem), mode_(mode), root_(root) {}
+
+  PhysAddr root() const { return root_; }
+  PagingMode mode() const { return mode_; }
+
+  // Translate `va` for `access`. When `set_ad` is true, accessed/dirty bits
+  // are written back to the in-memory entries like a hardware walker would.
+  WalkResult Walk(VirtAddr va, Access access, bool set_ad) const;
+
+  // Install a mapping. `page_size` must be kPageSize or LargePageSize(mode),
+  // and va/pa must be aligned to it. Intermediate tables are allocated via
+  // `alloc`. Replaces any existing mapping at that slot.
+  Status Map(VirtAddr va, PhysAddr pa, std::uint64_t page_size,
+             std::uint64_t flags, const FrameAllocator& alloc);
+
+  // Remove the mapping covering `va` (any size). Returns kSuccess even when
+  // nothing was mapped.
+  Status Unmap(VirtAddr va);
+
+  // Read the leaf entry covering `va` without permission checks.
+  WalkResult Probe(VirtAddr va) const;
+
+ private:
+  struct LevelInfo {
+    int shift;            // Bit position of this level's index field.
+    int bits;             // Index width.
+    std::uint64_t esize;  // Entry size in bytes.
+  };
+  LevelInfo Level(int level) const;  // level counts down to 0 (leaf).
+
+  std::uint64_t ReadEntry(PhysAddr table, std::uint64_t index) const;
+  void WriteEntry(PhysAddr table, std::uint64_t index, std::uint64_t entry) const;
+
+  PhysMem* mem_;
+  PagingMode mode_;
+  PhysAddr root_;
+};
+
+}  // namespace nova::hw
+
+#endif  // SRC_HW_PAGING_H_

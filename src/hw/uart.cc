@@ -1,0 +1,22 @@
+#include "src/hw/uart.h"
+
+namespace nova::hw {
+
+std::uint32_t Uart::PioRead(std::uint16_t port, unsigned /*size*/) {
+  switch (port - uart::kPortBase) {
+    case uart::kData:
+      return 0;  // No input modelled.
+    case uart::kLsr:
+      return uart::kLsrTxEmpty;  // Transmitter always ready.
+    default:
+      return 0;
+  }
+}
+
+void Uart::PioWrite(std::uint16_t port, unsigned /*size*/, std::uint32_t value) {
+  if (port - uart::kPortBase == uart::kData) {
+    output_.push_back(static_cast<char>(value & 0xff));
+  }
+}
+
+}  // namespace nova::hw

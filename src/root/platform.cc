@@ -1,0 +1,71 @@
+#include "src/root/platform.h"
+
+#include "src/hw/disk.h"
+
+namespace nova::root {
+
+Platform SetupStandardPlatform(hw::Machine* machine, RootPartitionManager* root,
+                               hw::DiskGeometry disk_geometry) {
+  Platform p;
+
+  auto disk = std::make_unique<hw::DiskModel>(&machine->events(), disk_geometry);
+  p.disk = disk.get();
+  // The disk model is not a bus device itself; keep it alive by pairing it
+  // with the controller below.
+  static_assert(sizeof(disk) > 0);
+
+  auto ahci = std::make_unique<hw::AhciController>(
+      kAhciDevId, &machine->iommu(), &machine->irq(), kAhciGsi, disk.get());
+  p.ahci = machine->AddDevice(std::move(ahci));
+  machine->bus().RegisterMmio(kAhciMmioBase, kAhciMmioSize, p.ahci);
+
+  auto nic = std::make_unique<hw::Nic>(kNicDevId, &machine->iommu(),
+                                       &machine->irq(), kNicGsi, &machine->events());
+  p.nic = machine->AddDevice(std::move(nic));
+  machine->bus().RegisterMmio(kNicMmioBase, kNicMmioSize, p.nic);
+  p.link = std::make_unique<hw::NetLink>(&machine->events(), p.nic);
+
+  auto timer = std::make_unique<hw::PlatformTimer>(kTimerDevId, &machine->irq(),
+                                                   kTimerGsi, &machine->events());
+  p.timer = machine->AddDevice(std::move(timer));
+  machine->bus().RegisterPio(hw::timer::kPortPeriodLo, 4, p.timer);
+
+  auto uart = std::make_unique<hw::Uart>(kUartDevId);
+  p.uart = machine->AddDevice(std::move(uart));
+  machine->bus().RegisterPio(hw::uart::kPortBase, 8, p.uart);
+
+  // Transfer disk-model ownership into the machine's device list by
+  // wrapping it; the controller holds the functional pointer.
+  class DiskHolder : public hw::Device {
+   public:
+    explicit DiskHolder(std::unique_ptr<hw::DiskModel> d)
+        : Device(0xffff, "disk-model"), disk_(std::move(d)) {}
+    std::uint64_t MmioRead(std::uint64_t, unsigned) override { return 0; }
+    void MmioWrite(std::uint64_t, unsigned, std::uint64_t) override {}
+
+   private:
+    std::unique_ptr<hw::DiskModel> disk_;
+  };
+  machine->AddDevice(std::make_unique<DiskHolder>(std::move(disk)));
+
+  if (root != nullptr) {
+    root->RegisterDevice("ahci", DeviceInfo{.id = kAhciDevId,
+                                            .mmio_base = kAhciMmioBase,
+                                            .mmio_size = kAhciMmioSize,
+                                            .gsi = kAhciGsi});
+    root->RegisterDevice("nic", DeviceInfo{.id = kNicDevId,
+                                           .mmio_base = kNicMmioBase,
+                                           .mmio_size = kNicMmioSize,
+                                           .gsi = kNicGsi});
+    root->RegisterDevice("timer", DeviceInfo{.id = kTimerDevId,
+                                             .pio_base = hw::timer::kPortPeriodLo,
+                                             .pio_count = 4,
+                                             .gsi = kTimerGsi});
+    root->RegisterDevice("uart", DeviceInfo{.id = kUartDevId,
+                                            .pio_base = hw::uart::kPortBase,
+                                            .pio_count = 8});
+  }
+  return p;
+}
+
+}  // namespace nova::root

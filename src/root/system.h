@@ -1,0 +1,51 @@
+// Full-system assembly: machine + microhypervisor + root partition
+// manager + standard platform devices, with helpers to start the disk
+// server and build VMMs. The shared entry point for examples, benchmarks
+// and integration tests.
+#ifndef SRC_ROOT_SYSTEM_H_
+#define SRC_ROOT_SYSTEM_H_
+
+#include <memory>
+
+#include "src/hv/kernel.h"
+#include "src/hw/machine.h"
+#include "src/root/platform.h"
+#include "src/root/root_pm.h"
+#include "src/services/disk_server.h"
+
+namespace nova::root {
+
+struct SystemConfig {
+  hw::MachineConfig machine{};
+  hv::HvCosts hv_costs{};
+  std::uint64_t kernel_reserve = 64ull << 20;
+  hw::DiskGeometry disk_geometry{};
+};
+
+class NovaSystem {
+ public:
+  explicit NovaSystem(SystemConfig config = SystemConfig{})
+      : machine(config.machine), hv(&machine, config.hv_costs) {
+    hv.Boot(config.kernel_reserve);
+    root = std::make_unique<RootPartitionManager>(&hv);
+    platform = SetupStandardPlatform(&machine, root.get(), config.disk_geometry);
+  }
+
+  // Start the user-level disk server (idempotent).
+  services::DiskServer& StartDiskServer(std::uint32_t cpu = 0) {
+    if (disk_server == nullptr) {
+      disk_server = std::make_unique<services::DiskServer>(&hv, root.get(), cpu);
+    }
+    return *disk_server;
+  }
+
+  hw::Machine machine;
+  hv::Hypervisor hv;
+  std::unique_ptr<RootPartitionManager> root;
+  Platform platform;
+  std::unique_ptr<services::DiskServer> disk_server;
+};
+
+}  // namespace nova::root
+
+#endif  // SRC_ROOT_SYSTEM_H_

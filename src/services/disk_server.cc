@@ -1,0 +1,239 @@
+#include "src/services/disk_server.h"
+
+#include <cstring>
+
+#include "src/services/host_io.h"
+
+namespace nova::services {
+
+using root::kAhciMmioBase;
+
+DiskServer::DiskServer(hv::Hypervisor* hv, root::RootPartitionManager* root,
+                       std::uint32_t cpu, std::uint8_t irq_prio)
+    : hv_(hv), root_(root), cpu_(cpu) {
+  pd_sel_ = root->CreatePd("disk-server", /*is_vm=*/false, &pd_);
+  root->AssignDevice(pd_sel_, "ahci");
+  root->BindInterrupt(pd_sel_, "ahci", kSmSel, cpu);
+
+  // Command list (1 KiB) + command tables (32 x 256 B): three pages.
+  clb_page_ = root->GrantMemory(pd_sel_, 1, ~0ull, hv::perm::kRw);
+  ctba_page_ = root->GrantMemory(pd_sel_, 2, ~0ull, hv::perm::kRw);
+
+  // Request handler EC: one per server, shared by every channel portal.
+  req_ec_cap_sel_ = root->FreeSel();
+  hv_->CreateEcLocal(root->pd(), req_ec_cap_sel_, pd_sel_, cpu,
+                     [this](std::uint64_t channel_id) {
+                       HandleRequest(static_cast<std::uint32_t>(channel_id));
+                     },
+                     &req_ec_);
+  // Accept DMA-buffer delegations anywhere in the identity space.
+  req_ec_->utcb().recv_window = hv::Crd::Mem(0, 50, hv::perm::kRw);
+
+  // Interrupt thread.
+  const hv::CapSel irq_ec_sel = root->FreeSel();
+  hv_->CreateEcGlobal(root->pd(), irq_ec_sel, pd_sel_, cpu,
+                      [this] { IrqThreadStep(); }, &irq_ec_);
+  const hv::CapSel irq_sc_sel = root->FreeSel();
+  hv_->CreateSc(root->pd(), irq_sc_sel, irq_ec_sel, irq_prio, 5'000'000);
+
+  // Bring the controller up.
+  MmioWrite(hw::ahci::kGhc, hw::ahci::kGhcIntrEnable);
+  MmioWrite(hw::ahci::kPxClb, clb_page_ << hw::kPageShift);
+  MmioWrite(hw::ahci::kPxIe, hw::ahci::kPxIsDhrs);
+  MmioWrite(hw::ahci::kPxCmd, hw::ahci::kPxCmdStart);
+}
+
+std::uint64_t DiskServer::MmioRead(std::uint64_t offset) {
+  return HostMmioRead(hv_, pd_, cpu_, kAhciMmioBase + offset, 4);
+}
+
+void DiskServer::MmioWrite(std::uint64_t offset, std::uint64_t value) {
+  HostMmioWrite(hv_, pd_, cpu_, kAhciMmioBase + offset, 4, value);
+}
+
+DiskServer::Channel DiskServer::OpenChannel(hv::CapSel client_pd_sel,
+                                            hv::CapSel completion_pt_sel,
+                                            std::uint32_t max_outstanding) {
+  Channel out{hv::kInvalidSel, 0};
+  hv::Pd* client =
+      root_->pd()->caps().LookupAs<hv::Pd>(client_pd_sel, hv::ObjType::kPd, 0);
+  if (client == nullptr) {
+    return out;
+  }
+  const auto channel_id = static_cast<std::uint32_t>(channels_.size());
+
+  // Shared completion ring: one frame mapped in both domains.
+  const std::uint64_t frame = root_->AllocPages(1);
+  hv_->Delegate(root_->pd(), pd_sel_, hv::Crd::Mem(frame, 0, hv::perm::kRw), frame);
+  hv_->Delegate(root_->pd(), client_pd_sel, hv::Crd::Mem(frame, 0, hv::perm::kRw),
+                frame);
+
+  // The server-side handle on the client's completion portal.
+  const hv::CapSel comp_sel = next_comp_sel_++;
+  hv_->Delegate(root_->pd(), pd_sel_,
+                hv::Crd::Obj(completion_pt_sel, 0, hv::perm::kCall), comp_sel);
+
+  // Dedicated request portal for this client (§4.2: per-VMM channels).
+  const hv::CapSel pt_sel = root_->FreeSel();
+  hv_->CreatePt(root_->pd(), pt_sel, req_ec_cap_sel_, /*mtd=*/0, channel_id);
+  const hv::CapSel client_sel = client->caps().FindFree(hv::kSelFirstFree);
+  hv_->Delegate(root_->pd(), client_pd_sel, hv::Crd::Obj(pt_sel, 0, hv::perm::kCall),
+                client_sel);
+
+  channels_.push_back(ChannelState{.completion_pt = comp_sel,
+                                   .shared_page = frame,
+                                   .outstanding = 0,
+                                   .max_outstanding = max_outstanding,
+                                   .ring_head = 0,
+                                   .open = true});
+  out.request_portal = client_sel;
+  out.shared_page = frame;
+  return out;
+}
+
+void DiskServer::ShutChannel(std::uint32_t channel_id) {
+  if (channel_id < channels_.size()) {
+    channels_[channel_id].open = false;
+  }
+}
+
+void DiskServer::HandleRequest(std::uint32_t channel_id) {
+  hv::Utcb& u = req_ec_->utcb();
+  auto reply = [&](Status s, std::uint64_t slot) {
+    u.untyped = 2;
+    u.words[0] = static_cast<std::uint64_t>(s);
+    u.words[1] = slot;
+    u.num_typed = 0;
+  };
+  if (channel_id >= channels_.size() || !channels_[channel_id].open) {
+    reply(Status::kDenied, 0);
+    return;
+  }
+  ChannelState& ch = channels_[channel_id];
+  if (ch.outstanding >= ch.max_outstanding) {
+    ++throttled_;
+    reply(Status::kOverflow, 0);
+    return;
+  }
+  if (u.untyped < 5) {
+    reply(Status::kBadParameter, 0);
+    return;
+  }
+  const std::uint64_t op = u.words[0];
+  const std::uint64_t lba = u.words[1];
+  const std::uint64_t sectors = u.words[2];
+  const std::uint64_t buffer_page = u.words[3];
+  const std::uint64_t cookie = u.words[4];
+  if (sectors == 0 || sectors > 0xffff ||
+      sectors * hw::kSectorSize > 16 * hw::kPageSize) {
+    reply(Status::kBadParameter, 0);
+    return;
+  }
+  // The DMA buffer must have been delegated to this domain (typically as a
+  // typed item on this very message) — otherwise the IOMMU would fault the
+  // transfer anyway; reject early.
+  const std::uint64_t buf_pages =
+      (sectors * hw::kSectorSize + hw::kPageMask) >> hw::kPageShift;
+  for (std::uint64_t p = 0; p < buf_pages; ++p) {
+    if (pd_->mem_space().PermsFor(buffer_page + p) == 0) {
+      reply(Status::kDenied, 0);
+      return;
+    }
+  }
+
+  int slot = -1;
+  for (int s = 0; s < hw::ahci::kNumSlots; ++s) {
+    if (!slots_[s].active) {
+      slot = s;
+      break;
+    }
+  }
+  if (slot < 0) {
+    reply(Status::kBusy, 0);
+    return;
+  }
+
+  // Build the command structures in the server's own memory.
+  hw::PhysMem& mem = hv_->machine().mem();
+  const hw::PhysAddr clb = (clb_page_ << hw::kPageShift) + slot * 32ull;
+  const hw::PhysAddr ctba = (ctba_page_ << hw::kPageShift) + slot * 256ull;
+  const bool write = op == diskproto::kOpWrite;
+  std::uint32_t dw0 = 1u << 16;  // One PRDT entry.
+  if (write) {
+    dw0 |= 1u << 6;
+  }
+  mem.Write32(clb, dw0);
+  mem.Write32(clb + 8, static_cast<std::uint32_t>(ctba));
+  std::uint8_t cfis[64] = {};
+  cfis[0] = hw::ahci::kFisH2d;
+  cfis[2] = write ? hw::ahci::kCmdWriteDmaExt : hw::ahci::kCmdReadDmaExt;
+  for (int i = 0; i < 6; ++i) {
+    cfis[4 + i] = static_cast<std::uint8_t>(lba >> (8 * i));
+  }
+  const auto sect16 = static_cast<std::uint16_t>(sectors);
+  std::memcpy(cfis + 12, &sect16, 2);
+  mem.Write(ctba, cfis, sizeof(cfis));
+  mem.Write64(ctba + 0x80, buffer_page << hw::kPageShift);
+  mem.Write32(ctba + 0x80 + 12,
+              static_cast<std::uint32_t>(sectors * hw::kSectorSize - 1));
+  // The driver's structure setup costs real work.
+  hv_->machine().cpu(cpu_).Charge(180);
+
+  slots_[slot] = Slot{.active = true,
+                      .channel = channel_id,
+                      .cookie = cookie,
+                      .buffer_page = buffer_page};
+  ++ch.outstanding;
+  ++issued_;
+  MmioWrite(hw::ahci::kPxCi, 1u << slot);
+  reply(Status::kSuccess, static_cast<std::uint64_t>(slot));
+}
+
+void DiskServer::IrqThreadStep() {
+  if (hv_->SmDown(irq_ec_, kSmSel, /*unmask_gsi=*/true) !=
+      hv::Hypervisor::DownResult::kAcquired) {
+    return;
+  }
+  // Acknowledge the controller.
+  const std::uint64_t is = MmioRead(hw::ahci::kIs);
+  const std::uint64_t px_is = MmioRead(hw::ahci::kPxIs);
+  MmioWrite(hw::ahci::kPxIs, px_is);
+  MmioWrite(hw::ahci::kIs, is);
+
+  const auto ci = static_cast<std::uint32_t>(MmioRead(hw::ahci::kPxCi));
+  CompleteSlots(~ci);
+}
+
+void DiskServer::CompleteSlots(std::uint32_t done_mask) {
+  hw::PhysMem& mem = hv_->machine().mem();
+  for (int s = 0; s < hw::ahci::kNumSlots; ++s) {
+    if (!slots_[s].active || (done_mask & (1u << s)) == 0) {
+      continue;
+    }
+    Slot& slot = slots_[s];
+    ChannelState& ch = channels_[slot.channel];
+    // Completion record into the shared ring.
+    const hw::PhysAddr ring = ch.shared_page << hw::kPageShift;
+    const std::uint32_t index =
+        ch.ring_head % (hw::kPageSize / sizeof(DiskCompletionRecord));
+    const DiskCompletionRecord rec{slot.cookie, 0};
+    mem.Write(ring + index * sizeof(DiskCompletionRecord), &rec, sizeof(rec));
+    ++ch.ring_head;
+    slot.active = false;
+    --ch.outstanding;
+    ++completed_;
+    hv_->machine().cpu(cpu_).Charge(60);
+
+    // Notify the client ("7) completed" in Figure 4).
+    if (ch.completion_pt != hv::kInvalidSel && ch.open) {
+      hv::Utcb& u = irq_ec_->utcb();
+      u.Clear();
+      u.untyped = 2;
+      u.words[0] = slot.cookie;
+      u.words[1] = ch.ring_head;
+      hv_->Call(irq_ec_, ch.completion_pt);
+    }
+  }
+}
+
+}  // namespace nova::services

@@ -1,0 +1,121 @@
+// User-level disk server (Figure 4 of the paper).
+//
+// Owns the AHCI host controller through direct assignment: its protection
+// domain holds the controller's MMIO window, and the IOMMU translates the
+// controller's DMA with the server's own page table — so the driver can
+// only reach memory that was explicitly delegated to it (its command
+// structures and the clients' DMA buffers).
+//
+// Clients (VMMs) open a dedicated channel each. A request is one IPC that
+// carries the DMA buffer pages as typed delegation items; the server
+// programs the hardware and replies immediately ("issued"). Completions
+// arrive on the controller's interrupt semaphore; the server writes a
+// completion record into the channel's shared memory page and notifies the
+// client through its completion portal.
+#ifndef SRC_SERVICES_DISK_SERVER_H_
+#define SRC_SERVICES_DISK_SERVER_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/hv/kernel.h"
+#include "src/root/platform.h"
+#include "src/root/root_pm.h"
+
+namespace nova::services {
+
+// Request message layout (UTCB words).
+namespace diskproto {
+constexpr std::uint64_t kOpRead = 0;
+constexpr std::uint64_t kOpWrite = 1;
+// words[0]=op, words[1]=lba, words[2]=sectors, words[3]=buffer GPA-page
+// (identity frame number), words[4]=cookie.
+// Reply: words[0]=status, words[1]=slot.
+}  // namespace diskproto
+
+// One completion record in the channel's shared page.
+struct DiskCompletionRecord {
+  std::uint64_t cookie;
+  std::uint64_t status;  // 0 = success.
+};
+
+class DiskServer {
+ public:
+  // Creates the server domain, claims the AHCI controller and its
+  // interrupt, allocates command memory, and starts the interrupt thread.
+  DiskServer(hv::Hypervisor* hv, root::RootPartitionManager* root,
+             std::uint32_t cpu, std::uint8_t irq_prio = 40);
+
+  struct Channel {
+    hv::CapSel request_portal;   // In the *client's* capability space.
+    std::uint64_t shared_page;   // Frame of the completion ring (client-visible).
+  };
+
+  // Open a channel for `client_pd_sel` (selector in the root's space).
+  // `completion_pt_sel` is a portal (in the root's space, created by the
+  // client's VMM and delegated to root) the server calls on completion.
+  // `max_outstanding` is the per-channel throttle (§4.2, VMM attacks).
+  Channel OpenChannel(hv::CapSel client_pd_sel, hv::CapSel completion_pt_sel,
+                      std::uint32_t max_outstanding = 32);
+
+  // Administrative shutdown of a misbehaving channel: further requests are
+  // rejected (§4.2 denial-of-service defence).
+  void ShutChannel(std::uint32_t channel_id);
+
+  hv::CapSel pd_sel() const { return pd_sel_; }
+  hv::Pd* pd() { return pd_; }
+  std::uint64_t requests_issued() const { return issued_; }
+  std::uint64_t requests_completed() const { return completed_; }
+  std::uint64_t requests_throttled() const { return throttled_; }
+
+ private:
+  struct ChannelState {
+    hv::CapSel completion_pt = hv::kInvalidSel;  // In the server's space.
+    std::uint64_t shared_page = 0;
+    std::uint32_t outstanding = 0;
+    std::uint32_t max_outstanding = 0;
+    std::uint32_t ring_head = 0;
+    bool open = false;
+  };
+  struct Slot {
+    bool active = false;
+    std::uint32_t channel = 0;
+    std::uint64_t cookie = 0;
+    std::uint64_t buffer_page = 0;
+  };
+
+  void HandleRequest(std::uint32_t channel_id);
+  void IrqThreadStep();
+  void CompleteSlots(std::uint32_t done_mask);
+
+  std::uint64_t MmioRead(std::uint64_t offset);
+  void MmioWrite(std::uint64_t offset, std::uint64_t value);
+
+  hv::Hypervisor* hv_;
+  root::RootPartitionManager* root_;
+  std::uint32_t cpu_;
+  hv::Pd* pd_ = nullptr;
+  hv::CapSel pd_sel_ = hv::kInvalidSel;
+  hv::Ec* irq_ec_ = nullptr;
+  hv::Ec* req_ec_ = nullptr;
+
+  static constexpr hv::CapSel kSmSel = 40;   // GSI semaphore in server space.
+  static constexpr hv::CapSel kCompBase = 100;  // Completion portals.
+  hv::CapSel req_ec_cap_sel_ = hv::kInvalidSel;  // Handler EC (root's space).
+
+  std::uint64_t clb_page_ = 0;   // Command list frame (identity).
+  std::uint64_t ctba_page_ = 0;  // Command tables (one page per slot group).
+
+  std::vector<ChannelState> channels_;
+  std::array<Slot, hw::ahci::kNumSlots> slots_{};
+  std::uint32_t next_comp_sel_ = kCompBase;
+
+  std::uint64_t issued_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t throttled_ = 0;
+};
+
+}  // namespace nova::services
+
+#endif  // SRC_SERVICES_DISK_SERVER_H_

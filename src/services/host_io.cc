@@ -1,0 +1,67 @@
+#include "src/services/host_io.h"
+
+namespace nova::services {
+namespace {
+
+constexpr sim::Cycles kMmioCost = 150;
+constexpr sim::Cycles kPioCost = 220;
+
+bool HoldsWindow(hv::Pd* pd, hw::PhysAddr addr) {
+  return pd->mem_space().PermsFor(addr >> hw::kPageShift) != 0;
+}
+
+}  // namespace
+
+std::uint64_t HostMmioRead(hv::Hypervisor* hv, hv::Pd* pd, std::uint32_t cpu_id,
+                           hw::PhysAddr addr, unsigned size, Status* status) {
+  hv->machine().cpu(cpu_id).Charge(kMmioCost);
+  if (!HoldsWindow(pd, addr)) {
+    if (status != nullptr) {
+      *status = Status::kDenied;
+    }
+    return ~0ull;
+  }
+  std::uint64_t value = 0;
+  const Status s = hv->machine().bus().MmioRead(addr, size, &value);
+  if (status != nullptr) {
+    *status = s;
+  }
+  return value;
+}
+
+Status HostMmioWrite(hv::Hypervisor* hv, hv::Pd* pd, std::uint32_t cpu_id,
+                     hw::PhysAddr addr, unsigned size, std::uint64_t value) {
+  hv->machine().cpu(cpu_id).Charge(kMmioCost);
+  if (!HoldsWindow(pd, addr)) {
+    return Status::kDenied;
+  }
+  return hv->machine().bus().MmioWrite(addr, size, value);
+}
+
+std::uint32_t HostPioRead(hv::Hypervisor* hv, hv::Pd* pd, std::uint32_t cpu_id,
+                          std::uint16_t port, Status* status) {
+  hv->machine().cpu(cpu_id).Charge(kPioCost);
+  if (!pd->io_space().Test(port)) {
+    if (status != nullptr) {
+      *status = Status::kDenied;
+    }
+    return ~0u;
+  }
+  std::uint32_t value = 0;
+  const Status s = hv->machine().bus().PioRead(port, 4, &value);
+  if (status != nullptr) {
+    *status = s;
+  }
+  return value;
+}
+
+Status HostPioWrite(hv::Hypervisor* hv, hv::Pd* pd, std::uint32_t cpu_id,
+                    std::uint16_t port, std::uint32_t value) {
+  hv->machine().cpu(cpu_id).Charge(kPioCost);
+  if (!pd->io_space().Test(port)) {
+    return Status::kDenied;
+  }
+  return hv->machine().bus().PioWrite(port, 4, value);
+}
+
+}  // namespace nova::services

@@ -1,0 +1,30 @@
+// Host-mode device access for user-level drivers.
+//
+// A driver domain reaches its device's MMIO window through mappings the
+// root partition manager delegated to it; access outside those mappings
+// is refused, mirroring what the MMU would do to a real user-level driver.
+#ifndef SRC_SERVICES_HOST_IO_H_
+#define SRC_SERVICES_HOST_IO_H_
+
+#include <cstdint>
+
+#include "src/hv/kernel.h"
+
+namespace nova::services {
+
+// MMIO read/write from `pd` running on `cpu_id`. Charges the uncached
+// device-access cost and enforces that the window was delegated.
+std::uint64_t HostMmioRead(hv::Hypervisor* hv, hv::Pd* pd, std::uint32_t cpu_id,
+                           hw::PhysAddr addr, unsigned size, Status* status = nullptr);
+Status HostMmioWrite(hv::Hypervisor* hv, hv::Pd* pd, std::uint32_t cpu_id,
+                     hw::PhysAddr addr, unsigned size, std::uint64_t value);
+
+// Port I/O with I/O-space permission check.
+std::uint32_t HostPioRead(hv::Hypervisor* hv, hv::Pd* pd, std::uint32_t cpu_id,
+                          std::uint16_t port, Status* status = nullptr);
+Status HostPioWrite(hv::Hypervisor* hv, hv::Pd* pd, std::uint32_t cpu_id,
+                    std::uint16_t port, std::uint32_t value);
+
+}  // namespace nova::services
+
+#endif  // SRC_SERVICES_HOST_IO_H_

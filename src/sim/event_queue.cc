@@ -1,0 +1,73 @@
+#include "src/sim/event_queue.h"
+
+#include <algorithm>
+
+namespace nova::sim {
+
+EventQueue::EventId EventQueue::ScheduleAt(PicoSeconds when, Callback cb) {
+  const EventId id = next_id_++;
+  heap_.push(Event{when, next_seq_++, id, std::move(cb)});
+  ++live_;
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  // Lazy deletion: remember the id and skip it when it reaches the top.
+  if (id == 0 || id >= next_id_) {
+    return false;
+  }
+  if (std::find(cancelled_.begin(), cancelled_.end(), id) != cancelled_.end()) {
+    return false;
+  }
+  cancelled_.push_back(id);
+  if (live_ > 0) {
+    --live_;
+  }
+  return true;
+}
+
+void EventQueue::PopCancelled() const {
+  while (!heap_.empty()) {
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), heap_.top().id);
+    if (it == cancelled_.end()) {
+      return;
+    }
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+void EventQueue::AdvanceTo(PicoSeconds t) {
+  for (;;) {
+    PopCancelled();
+    if (heap_.empty() || heap_.top().when > t) {
+      break;
+    }
+    Event ev = heap_.top();
+    heap_.pop();
+    --live_;
+    now_ = std::max(now_, ev.when);
+    ev.cb();
+  }
+  now_ = std::max(now_, t);
+}
+
+bool EventQueue::RunOne() {
+  PopCancelled();
+  if (heap_.empty()) {
+    return false;
+  }
+  Event ev = heap_.top();
+  heap_.pop();
+  --live_;
+  now_ = std::max(now_, ev.when);
+  ev.cb();
+  return true;
+}
+
+PicoSeconds EventQueue::NextDeadline() const {
+  PopCancelled();
+  return heap_.top().when;
+}
+
+}  // namespace nova::sim

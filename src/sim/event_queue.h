@@ -1,0 +1,71 @@
+// Discrete-event queue driving device-level simulation.
+//
+// Devices (disk, NIC, timers) schedule callbacks at absolute picosecond
+// timestamps; the machine's run loop drains events that are due as CPU
+// time advances. Events fire in strictly non-decreasing time order with
+// FIFO ordering among events scheduled for the same instant.
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace nova::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+  using EventId = std::uint64_t;
+
+  // Schedule `cb` to fire at absolute time `when`. Times in the past fire
+  // on the next Advance(). Returns an id usable with Cancel().
+  EventId ScheduleAt(PicoSeconds when, Callback cb);
+  EventId ScheduleAfter(PicoSeconds delay, Callback cb) {
+    return ScheduleAt(now_ + delay, std::move(cb));
+  }
+
+  // Cancel a pending event; returns false if it already fired or is unknown.
+  bool Cancel(EventId id);
+
+  // Advance simulated time to `t`, firing every event due at or before `t`.
+  // Callbacks may schedule further events, including at times <= t.
+  void AdvanceTo(PicoSeconds t);
+
+  // Fire the single earliest pending event (if any), jumping time forward
+  // to its deadline. Returns false when the queue is empty. Used by idle
+  // loops: when all CPUs halt, time skips to the next device event.
+  bool RunOne();
+
+  PicoSeconds now() const { return now_; }
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
+  PicoSeconds NextDeadline() const;  // Only valid when !empty().
+
+ private:
+  struct Event {
+    PicoSeconds when;
+    std::uint64_t seq;
+    EventId id;
+    Callback cb;
+    bool operator>(const Event& o) const {
+      return when != o.when ? when > o.when : seq > o.seq;
+    }
+  };
+
+  void PopCancelled() const;
+
+  mutable std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  mutable std::vector<EventId> cancelled_;
+  PicoSeconds now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace nova::sim
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,29 @@
+#include "src/sim/log.h"
+
+namespace nova::sim {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kNone: return "NONE";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+void LogMessage(LogLevel level, const char* subsystem, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %s: %s\n", LevelName(level), subsystem, msg.c_str());
+}
+
+}  // namespace nova::sim

@@ -1,0 +1,38 @@
+// Minimal leveled logging.
+//
+// The hypervisor and device models log through this sink so that tests can
+// silence output and benchmarks stay clean. Logging defaults to warnings
+// and above.
+#ifndef SRC_SIM_LOG_H_
+#define SRC_SIM_LOG_H_
+
+#include <cstdio>
+#include <string>
+
+namespace nova::sim {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kNone = 5,
+};
+
+// Global threshold; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+void LogMessage(LogLevel level, const char* subsystem, const std::string& msg);
+
+}  // namespace nova::sim
+
+#define NOVA_LOG(level, subsystem, msg)                                  \
+  do {                                                                   \
+    if ((level) >= ::nova::sim::GetLogLevel()) {                         \
+      ::nova::sim::LogMessage((level), (subsystem), (msg));              \
+    }                                                                    \
+  } while (0)
+
+#endif  // SRC_SIM_LOG_H_

@@ -1,0 +1,50 @@
+#include "src/sim/stats.h"
+
+#include <cmath>
+
+namespace nova::sim {
+
+std::uint64_t Distribution::Percentile(double q) const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  std::sort(samples_.begin(), samples_.end());
+  const double rank = q / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto idx = static_cast<std::size_t>(std::llround(rank));
+  return samples_[std::min(idx, samples_.size() - 1)];
+}
+
+void UtilizationTracker::SetBusy(PicoSeconds now, bool busy) {
+  if (busy == busy_) {
+    return;
+  }
+  if (busy_) {
+    busy_accum_ += now - last_change_;
+  }
+  busy_ = busy;
+  last_change_ = now;
+}
+
+double UtilizationTracker::Utilization(PicoSeconds now) const {
+  const PicoSeconds total = now - start_;
+  if (total == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(busy_time(now)) / static_cast<double>(total);
+}
+
+PicoSeconds UtilizationTracker::busy_time(PicoSeconds now) const {
+  PicoSeconds busy = busy_accum_;
+  if (busy_) {
+    busy += now - last_change_;
+  }
+  return busy;
+}
+
+void UtilizationTracker::Reset(PicoSeconds now) {
+  start_ = now;
+  busy_accum_ = 0;
+  last_change_ = now;
+}
+
+}  // namespace nova::sim

@@ -1,0 +1,110 @@
+// Lightweight statistics primitives used by the hypervisor, the device
+// models and the benchmark harnesses: named counters, value distributions
+// and busy/idle utilization tracking.
+#ifndef SRC_SIM_STATS_H_
+#define SRC_SIM_STATS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace nova::sim {
+
+// Monotonic event counter.
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) { value_ += n; }
+  void Reset() { value_ = 0; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+// Streaming distribution: count / sum / min / max / mean, plus an exact
+// sample store capped at a configurable reservoir size for percentiles.
+class Distribution {
+ public:
+  explicit Distribution(std::size_t max_samples = 1 << 16)
+      : max_samples_(max_samples) {}
+
+  void Record(std::uint64_t v) {
+    ++count_;
+    sum_ += v;
+    min_ = count_ == 1 ? v : std::min(min_, v);
+    max_ = std::max(max_, v);
+    if (samples_.size() < max_samples_) {
+      samples_.push_back(v);
+    }
+  }
+
+  void Reset() {
+    count_ = 0;
+    sum_ = 0;
+    min_ = 0;
+    max_ = 0;
+    samples_.clear();
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return min_; }
+  std::uint64_t max() const { return max_; }
+  double Mean() const { return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_; }
+
+  // Exact percentile over the stored sample reservoir (q in [0,100]).
+  std::uint64_t Percentile(double q) const;
+
+ private:
+  std::size_t max_samples_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+  mutable std::vector<std::uint64_t> samples_;
+};
+
+// Tracks the fraction of wall-clock (simulated) time a resource was busy.
+// Used to report the CPU-utilization curves of Figures 6 and 7.
+class UtilizationTracker {
+ public:
+  void SetBusy(PicoSeconds now, bool busy);
+  // Close the current interval at `now` and return busy fraction since the
+  // last Reset.
+  double Utilization(PicoSeconds now) const;
+  void Reset(PicoSeconds now);
+
+  PicoSeconds busy_time(PicoSeconds now) const;
+
+ private:
+  PicoSeconds start_ = 0;
+  PicoSeconds busy_accum_ = 0;
+  PicoSeconds last_change_ = 0;
+  bool busy_ = false;
+};
+
+// Named counter registry; benchmark harnesses print these tables directly
+// (Table 2 of the paper is one such dump).
+class StatRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  std::uint64_t Value(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+  }
+  void ResetAll() {
+    for (auto& [name, c] : counters_) c.Reset();
+  }
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+
+ private:
+  std::map<std::string, Counter> counters_;
+};
+
+}  // namespace nova::sim
+
+#endif  // SRC_SIM_STATS_H_

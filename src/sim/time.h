@@ -1,0 +1,67 @@
+// Virtual time base for the machine simulation.
+//
+// All device-level simulation runs on a global picosecond clock; each CPU
+// additionally counts clock cycles at its own frequency. Picoseconds avoid
+// rounding artifacts for non-integral frequencies such as the 2.67 GHz
+// Core i7 used in the paper's evaluation.
+#ifndef SRC_SIM_TIME_H_
+#define SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace nova::sim {
+
+// Absolute simulation time in picoseconds.
+using PicoSeconds = std::uint64_t;
+
+// CPU clock cycles (relative count).
+using Cycles = std::uint64_t;
+
+constexpr PicoSeconds kPicosPerNano = 1000;
+constexpr PicoSeconds kPicosPerMicro = 1000 * kPicosPerNano;
+constexpr PicoSeconds kPicosPerMilli = 1000 * kPicosPerMicro;
+constexpr PicoSeconds kPicosPerSecond = 1000 * kPicosPerMilli;
+
+constexpr PicoSeconds Nanoseconds(std::uint64_t ns) { return ns * kPicosPerNano; }
+constexpr PicoSeconds Microseconds(std::uint64_t us) { return us * kPicosPerMicro; }
+constexpr PicoSeconds Milliseconds(std::uint64_t ms) { return ms * kPicosPerMilli; }
+constexpr PicoSeconds Seconds(std::uint64_t s) { return s * kPicosPerSecond; }
+
+// A fixed CPU clock frequency, expressed in kHz so that common x86
+// frequencies (2.67 GHz, 2.1 GHz, ...) are exactly representable.
+class Frequency {
+ public:
+  constexpr Frequency() = default;
+  constexpr explicit Frequency(std::uint64_t khz) : khz_(khz) {}
+
+  static constexpr Frequency MHz(std::uint64_t mhz) { return Frequency(mhz * 1000); }
+
+  constexpr std::uint64_t khz() const { return khz_; }
+  constexpr std::uint64_t hz() const { return khz_ * 1000; }
+
+  // Duration of `c` cycles in picoseconds: c / (kHz * 1e3) seconds.
+  // Split to avoid overflow for hour-long cycle counts.
+  constexpr PicoSeconds CyclesToPicos(Cycles c) const {
+    const Cycles whole = c / khz_;
+    const Cycles rem = c % khz_;
+    return whole * 1'000'000'000ull + rem * 1'000'000'000ull / khz_;
+  }
+
+  // Number of whole cycles elapsed in `ps` picoseconds.
+  constexpr Cycles PicosToCycles(PicoSeconds ps) const {
+    // ps * khz * 1e3 / 1e12 = ps * khz / 1e9; reorder to avoid overflow for
+    // long simulations (split ps into seconds + remainder).
+    const std::uint64_t secs = ps / kPicosPerSecond;
+    const std::uint64_t rem = ps % kPicosPerSecond;
+    return secs * khz_ * 1000 + rem * khz_ / 1'000'000'000ull;
+  }
+
+  constexpr bool operator==(const Frequency&) const = default;
+
+ private:
+  std::uint64_t khz_ = 1'000'000;  // Default 1 GHz.
+};
+
+}  // namespace nova::sim
+
+#endif  // SRC_SIM_TIME_H_

@@ -1,0 +1,44 @@
+// Virtual device base interface (§7.2).
+//
+// Each virtual device is a software state machine mimicking a hardware
+// device. The VMM routes intercepted port accesses and decoded MMIO
+// accesses to the owning model, which updates its state exactly as the
+// real device would.
+#ifndef SRC_VMM_DEVICE_MODEL_H_
+#define SRC_VMM_DEVICE_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace nova::vmm {
+
+class DeviceModel {
+ public:
+  explicit DeviceModel(std::string name) : name_(std::move(name)) {}
+  virtual ~DeviceModel() = default;
+
+  DeviceModel(const DeviceModel&) = delete;
+  DeviceModel& operator=(const DeviceModel&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // Port-I/O interface.
+  virtual bool OwnsPort(std::uint16_t /*port*/) const { return false; }
+  virtual std::uint32_t PioRead(std::uint16_t /*port*/) { return ~0u; }
+  virtual void PioWrite(std::uint16_t /*port*/, std::uint32_t /*value*/) {}
+
+  // Memory-mapped interface (guest-physical addresses).
+  virtual bool OwnsGpa(std::uint64_t /*gpa*/) const { return false; }
+  virtual std::uint64_t MmioRead(std::uint64_t /*gpa*/, unsigned /*size*/) {
+    return 0;
+  }
+  virtual void MmioWrite(std::uint64_t /*gpa*/, unsigned /*size*/,
+                         std::uint64_t /*value*/) {}
+
+ private:
+  std::string name_;
+};
+
+}  // namespace nova::vmm
+
+#endif  // SRC_VMM_DEVICE_MODEL_H_

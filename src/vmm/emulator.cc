@@ -1,0 +1,111 @@
+#include "src/vmm/emulator.h"
+
+namespace nova::vmm {
+
+bool InsnEmulator::WalkGuest(const hv::ArchState& arch, std::uint64_t gva,
+                             bool is_write, std::uint64_t* gpa) {
+  if (!arch.paging) {
+    *gpa = gva;
+    return true;
+  }
+  std::uint64_t table_gpa = arch.cr3;
+  for (int level = 1; level >= 0; --level) {
+    cpu_->Charge(costs_.walk_level);
+    const int shift = 12 + 10 * level;
+    const std::uint64_t index = (gva >> shift) & 0x3ff;
+    const std::uint64_t entry_hpa = gpa_to_hpa_(table_gpa + index * 4);
+    if (entry_hpa == ~0ull) {
+      return false;  // Guest table outside guest RAM.
+    }
+    const std::uint32_t entry = mem_->Read32(entry_hpa);
+    if (!(entry & hw::pte::kPresent)) {
+      return false;
+    }
+    if (is_write && !(entry & hw::pte::kWritable)) {
+      return false;
+    }
+    const bool leaf = level == 0 || (entry & hw::pte::kLarge) != 0;
+    if (leaf) {
+      const std::uint64_t page = level == 0 ? hw::kPageSize : (4ull << 20);
+      *gpa = (entry & hw::pte::kAddrMask & ~(page - 1)) | (gva & (page - 1));
+      return true;
+    }
+    table_gpa = entry & hw::pte::kAddrMask;
+  }
+  return false;
+}
+
+bool InsnEmulator::ReadGuestVirt(const hv::ArchState& arch, std::uint64_t gva,
+                                 void* out, std::uint64_t len) {
+  auto* dst = static_cast<std::uint8_t*>(out);
+  while (len > 0) {
+    std::uint64_t gpa = 0;
+    if (!WalkGuest(arch, gva, /*is_write=*/false, &gpa)) {
+      return false;
+    }
+    const std::uint64_t hpa = gpa_to_hpa_(gpa);
+    if (hpa == ~0ull) {
+      return false;
+    }
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(len, hw::kPageSize - (gva & hw::kPageMask));
+    mem_->Read(hpa, dst, chunk);
+    gva += chunk;
+    dst += chunk;
+    len -= chunk;
+  }
+  return true;
+}
+
+InsnEmulator::Result InsnEmulator::EmulateMmio(hv::ArchState& arch,
+                                               const MmioRead& read,
+                                               const MmioWrite& write) {
+  // 1. Fetch the opcode bytes from the guest instruction pointer.
+  cpu_->Charge(costs_.fetch);
+  std::uint8_t bytes[hw::isa::kInsnSize];
+  if (!ReadGuestVirt(arch, arch.rip, bytes, sizeof(bytes))) {
+    arch.cr2 = arch.rip;
+    return Result::kInjectPf;
+  }
+
+  // 2. Decode.
+  cpu_->Charge(costs_.decode);
+  const hw::isa::Insn insn = hw::isa::Decode(bytes);
+
+  // 3. Compute the effective address and execute against the device router.
+  cpu_->Charge(costs_.execute);
+  using hw::isa::Opcode;
+  switch (insn.opcode) {
+    case Opcode::kLoad: {
+      const std::uint64_t gva =
+          (insn.r2 != hw::isa::kNoReg ? arch.regs[insn.r2 & 7] : 0) + insn.imm64;
+      std::uint64_t gpa = 0;
+      if (!WalkGuest(arch, gva, /*is_write=*/false, &gpa)) {
+        arch.cr2 = gva;
+        return Result::kInjectPf;
+      }
+      arch.regs[insn.r1 & 7] = read(gpa, 8);
+      break;
+    }
+    case Opcode::kStore: {
+      const std::uint64_t gva =
+          (insn.r2 != hw::isa::kNoReg ? arch.regs[insn.r2 & 7] : 0) + insn.imm64;
+      std::uint64_t gpa = 0;
+      if (!WalkGuest(arch, gva, /*is_write=*/true, &gpa)) {
+        arch.cr2 = gva;
+        return Result::kInjectPf;
+      }
+      write(gpa, 8, arch.regs[insn.r1 & 7]);
+      break;
+    }
+    default:
+      return Result::kUnsupported;
+  }
+
+  // 4. Writeback happened above; advance the instruction pointer.
+  arch.rip += hw::isa::kInsnSize;
+  ++emulated_;
+  return Result::kOk;
+}
+
+}  // namespace nova::vmm

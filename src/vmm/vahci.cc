@@ -1,0 +1,134 @@
+#include "src/vmm/vahci.h"
+
+#include <cstring>
+
+namespace nova::vmm {
+
+using hw::ahci::kNumSlots;
+
+std::uint64_t VAhci::MmioRead(std::uint64_t gpa, unsigned /*size*/) {
+  switch (gpa - vahci::kMmioBase) {
+    case hw::ahci::kCap: return 0x1;
+    case hw::ahci::kGhc: return ghc_;
+    case hw::ahci::kIs: return is_;
+    case hw::ahci::kPi: return 0x1;
+    case hw::ahci::kPxClb: return px_clb_;
+    case hw::ahci::kPxIs: return px_is_;
+    case hw::ahci::kPxIe: return px_ie_;
+    case hw::ahci::kPxCmd: return px_cmd_;
+    case hw::ahci::kPxTfd: return 0x50;
+    case hw::ahci::kPxSsts: return 0x123;
+    case hw::ahci::kPxCi: return px_ci_;
+    default: return 0;
+  }
+}
+
+void VAhci::MmioWrite(std::uint64_t gpa, unsigned /*size*/, std::uint64_t value) {
+  const auto v = static_cast<std::uint32_t>(value);
+  switch (gpa - vahci::kMmioBase) {
+    case hw::ahci::kGhc:
+      ghc_ = v;
+      UpdateIrq();
+      break;
+    case hw::ahci::kIs:
+      is_ &= ~v;
+      break;
+    case hw::ahci::kPxClb:
+      px_clb_ = v & ~0x3ffu;
+      break;
+    case hw::ahci::kPxIs:
+      px_is_ &= ~v;
+      break;
+    case hw::ahci::kPxIe:
+      px_ie_ = v;
+      break;
+    case hw::ahci::kPxCmd:
+      px_cmd_ = v;
+      break;
+    case hw::ahci::kPxCi:
+      if ((px_cmd_ & hw::ahci::kPxCmdStart) == 0) {
+        break;
+      }
+      for (int slot = 0; slot < kNumSlots; ++slot) {
+        const std::uint32_t bit = 1u << slot;
+        if ((v & bit) != 0 && (px_ci_ & bit) == 0) {
+          px_ci_ |= bit;
+          IssueSlot(slot);
+        }
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void VAhci::IssueSlot(int slot) {
+  auto fail = [&] {
+    px_is_ |= hw::ahci::kPxIsTfes;
+    px_ci_ &= ~(1u << slot);
+    UpdateIrq();
+  };
+  // Parse the guest's command header, FIS and PRDT (in guest memory).
+  std::uint8_t header[32];
+  if (!backend_.read_guest(px_clb_ + slot * 32ull, header, sizeof(header))) {
+    fail();
+    return;
+  }
+  std::uint32_t dw0 = 0;
+  std::uint32_t ctba = 0;
+  std::memcpy(&dw0, header + 0, 4);
+  std::memcpy(&ctba, header + 8, 4);
+  const bool write = (dw0 & (1u << 6)) != 0;
+  const std::uint32_t prdtl = dw0 >> 16;
+
+  std::uint8_t cfis[64];
+  if (prdtl == 0 || !backend_.read_guest(ctba, cfis, sizeof(cfis)) ||
+      cfis[0] != hw::ahci::kFisH2d) {
+    fail();
+    return;
+  }
+  std::uint64_t lba = 0;
+  for (int i = 0; i < 6; ++i) {
+    lba |= static_cast<std::uint64_t>(cfis[4 + i]) << (8 * i);
+  }
+  std::uint16_t sectors = 0;
+  std::memcpy(&sectors, cfis + 12, 2);
+
+  std::uint8_t prd[16];
+  if (!backend_.read_guest(ctba + 0x80, prd, sizeof(prd))) {
+    fail();
+    return;
+  }
+  std::uint64_t buffer_gpa = 0;
+  std::memcpy(&buffer_gpa, prd, 8);
+
+  // Hand the request to the host disk path; the host controller DMAs
+  // straight into the guest buffer.
+  const Status s = backend_.issue(write, lba, sectors, buffer_gpa,
+                                  static_cast<std::uint64_t>(slot));
+  if (!Ok(s)) {
+    fail();
+    return;
+  }
+  ++issued_;
+}
+
+void VAhci::OnCompletion(std::uint64_t cookie) {
+  const int slot = static_cast<int>(cookie);
+  if (slot < 0 || slot >= kNumSlots || (px_ci_ & (1u << slot)) == 0) {
+    return;
+  }
+  px_ci_ &= ~(1u << slot);
+  px_is_ |= hw::ahci::kPxIsDhrs;
+  is_ |= 0x1;
+  ++completed_;
+  UpdateIrq();
+}
+
+void VAhci::UpdateIrq() {
+  if ((ghc_ & hw::ahci::kGhcIntrEnable) != 0 && (px_is_ & px_ie_) != 0) {
+    backend_.raise_irq(vahci::kVector);
+  }
+}
+
+}  // namespace nova::vmm

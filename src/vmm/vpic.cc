@@ -1,0 +1,66 @@
+#include "src/vmm/vpic.h"
+
+namespace nova::vmm {
+
+void VPic::Raise(std::uint8_t vector) {
+  if (vector >= 64) {
+    return;
+  }
+  pending_ |= 1ull << vector;
+  ++raised_;
+  if (((pending_ & ~masked_) != 0) && kick_) {
+    kick_();
+  }
+}
+
+bool VPic::HasDeliverable() const { return (pending_ & ~masked_) != 0; }
+
+std::uint8_t VPic::HighestDeliverable() const {
+  const std::uint64_t ready = pending_ & ~masked_;
+  if (ready == 0) {
+    return vpic::kNoVector;
+  }
+  return static_cast<std::uint8_t>(63 - __builtin_clzll(ready));
+}
+
+void VPic::BeginService(std::uint8_t vector) {
+  pending_ &= ~(1ull << vector);
+  in_service_ |= 1ull << vector;
+  ++injected_;
+}
+
+std::uint32_t VPic::PioRead(std::uint16_t port) {
+  if (port == vpic::kPortVector) {
+    // Highest in-service vector (what the ISR is handling).
+    if (in_service_ == 0) {
+      return vpic::kNoVector;
+    }
+    return static_cast<std::uint32_t>(63 - __builtin_clzll(in_service_));
+  }
+  return ~0u;
+}
+
+void VPic::PioWrite(std::uint16_t port, std::uint32_t value) {
+  const std::uint8_t vector = value & 0x3f;
+  switch (port) {
+    case vpic::kPortVector:  // EOI.
+      in_service_ &= ~(1ull << vector);
+      break;
+    case vpic::kPortMask:
+      masked_ |= 1ull << vector;
+      break;
+    case vpic::kPortUnmask:
+      masked_ &= ~(1ull << vector);
+      if ((pending_ & ~masked_) != 0 && kick_) {
+        kick_();  // A latched vector became deliverable.
+      }
+      break;
+    case vpic::kPortRaise:
+      Raise(vector);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace nova::vmm

@@ -1,0 +1,58 @@
+#include "src/vmm/vpit.h"
+
+namespace nova::vmm {
+
+std::uint32_t VPit::PioRead(std::uint16_t port) {
+  switch (port) {
+    case vpit::kPortPeriodLo:
+      return static_cast<std::uint32_t>((period_ / sim::kPicosPerMicro) & 0xffff);
+    case vpit::kPortPeriodHi:
+      return static_cast<std::uint32_t>((period_ / sim::kPicosPerMicro) >> 16);
+    case vpit::kPortControl:
+      return period_ != 0 ? 1 : 0;
+    default:
+      return ~0u;
+  }
+}
+
+void VPit::PioWrite(std::uint16_t port, std::uint32_t value) {
+  switch (port) {
+    case vpit::kPortPeriodLo:
+      period_lo_ = static_cast<std::uint16_t>(value);
+      break;
+    case vpit::kPortPeriodHi: {
+      const std::uint32_t micros = (value << 16) | period_lo_;
+      period_ = sim::Microseconds(micros);
+      ++generation_;
+      if (period_ != 0) {
+        Arm();
+      }
+      break;
+    }
+    case vpit::kPortControl:
+      if (value == 0) {
+        period_ = 0;
+        ++generation_;
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void VPit::Arm() {
+  const std::uint64_t gen = generation_;
+  events_->ScheduleAfter(period_, [this, gen] {
+    if (gen == generation_) {
+      Tick();
+    }
+  });
+}
+
+void VPit::Tick() {
+  ++ticks_;
+  vpic_->Raise(vpit::kVector);
+  Arm();
+}
+
+}  // namespace nova::vmm

@@ -1,0 +1,173 @@
+// Delegation and revocation through the hypercall interface: the
+// least-privilege machinery of §4 and §6.
+#include <gtest/gtest.h>
+
+#include "tests/hv/test_util.h"
+
+namespace nova::hv {
+namespace {
+
+class DelegateTest : public HvTest {
+ protected:
+  DelegateTest() {
+    EXPECT_EQ(hv_.CreatePd(root_, kVmmSel, "vmm", false, &vmm_), Status::kSuccess);
+    EXPECT_EQ(hv_.CreatePd(root_, kVmSel, "vm", true, &vm_), Status::kSuccess);
+  }
+
+  static constexpr CapSel kVmmSel = 100;
+  static constexpr CapSel kVmSel = 101;
+
+  Pd* vmm_ = nullptr;
+  Pd* vm_ = nullptr;
+};
+
+TEST_F(DelegateTest, RootHoldsAllResourcesAfterBoot) {
+  const std::uint64_t first = hv_.kernel_reserve() >> hw::kPageShift;
+  EXPECT_NE(hv_.mdb().Find(root_, CrdKind::kMem, first, 16), nullptr);
+  EXPECT_NE(hv_.mdb().Find(root_, CrdKind::kIo, 0x3f8, 8), nullptr);
+  // Kernel memory is NOT delegatable: below the reserve line.
+  EXPECT_EQ(hv_.mdb().Find(root_, CrdKind::kMem, 0, 16), nullptr);
+}
+
+TEST_F(DelegateTest, MemoryDelegationInstallsMapping) {
+  const std::uint64_t page = (hv_.kernel_reserve() >> hw::kPageShift) + 100;
+  ASSERT_EQ(hv_.Delegate(root_, kVmmSel, Crd::Mem(page, 4, perm::kRw), page),
+            Status::kSuccess);
+  // The VMM can re-delegate into the VM's guest-physical space.
+  ASSERT_EQ(hv_.Delegate(vmm_, vmm_->caps().FindFree(kSelFirstFree), Crd{}, 0),
+            Status::kBadCapability);  // Bogus selector first.
+  // Install a VM pd capability into the VMM's space via object delegation.
+  ASSERT_EQ(hv_.Delegate(root_, kVmmSel, Crd::Obj(kVmSel, 0, perm::kAll), 200),
+            Status::kSuccess);
+  ASSERT_EQ(hv_.Delegate(vmm_, 200, Crd::Mem(page, 4, perm::kRw), 0x10),
+            Status::kSuccess);
+  // The VM's nested page table now translates GPA 0x10000 -> HPA page<<12.
+  const auto walk = vm_->mem_space().table().Walk(
+      0x10ull << hw::kPageShift, hw::Access{.write = true, .user = true}, false);
+  ASSERT_EQ(walk.status, Status::kSuccess);
+  EXPECT_EQ(walk.pa, page << hw::kPageShift);
+}
+
+TEST_F(DelegateTest, CannotDelegateWhatYouDoNotHold) {
+  const std::uint64_t page = (hv_.kernel_reserve() >> hw::kPageShift) + 100;
+  ASSERT_EQ(hv_.Delegate(root_, kVmmSel, Crd::Obj(kVmSel, 0, perm::kAll), 200),
+            Status::kSuccess);
+  // VMM holds nothing yet: delegation of memory must fail.
+  EXPECT_EQ(hv_.Delegate(vmm_, 200, Crd::Mem(page, 2, perm::kRw), 0),
+            Status::kDenied);
+}
+
+TEST_F(DelegateTest, KernelMemoryNotDelegatable) {
+  EXPECT_EQ(hv_.Delegate(root_, kVmmSel, Crd::Mem(2, 2, perm::kRw), 2),
+            Status::kDenied);
+}
+
+TEST_F(DelegateTest, PermsOnlyNarrow) {
+  const std::uint64_t page = (hv_.kernel_reserve() >> hw::kPageShift) + 200;
+  // Grant read-only to the VMM.
+  ASSERT_EQ(hv_.Delegate(root_, kVmmSel, Crd::Mem(page, 2, perm::kRead), page),
+            Status::kSuccess);
+  ASSERT_EQ(hv_.Delegate(root_, kVmmSel, Crd::Obj(kVmSel, 0, perm::kAll), 200),
+            Status::kSuccess);
+  // Re-delegating with write must not escalate: effective perms are ANDed,
+  // so the VM's mapping is read-only.
+  ASSERT_EQ(hv_.Delegate(vmm_, 200, Crd::Mem(page, 2, perm::kRw), 0x20),
+            Status::kSuccess);
+  const auto walk = vm_->mem_space().table().Walk(
+      0x20ull << hw::kPageShift, hw::Access{.write = true, .user = true}, false);
+  EXPECT_EQ(walk.status, Status::kMemoryFault);  // No write permission.
+  const auto read_walk = vm_->mem_space().table().Walk(
+      0x20ull << hw::kPageShift, hw::Access{.user = true}, false);
+  EXPECT_EQ(read_walk.status, Status::kSuccess);
+}
+
+TEST_F(DelegateTest, IoPortDelegation) {
+  ASSERT_EQ(hv_.Delegate(root_, kVmmSel, Crd::Io(0x3f8, 3), 0x3f8),
+            Status::kSuccess);
+  EXPECT_TRUE(vmm_->io_space().Test(0x3f8));
+  EXPECT_TRUE(vmm_->io_space().Test(0x3ff));
+  EXPECT_FALSE(vmm_->io_space().Test(0x400));
+}
+
+TEST_F(DelegateTest, ObjectDelegationNarrowsPerms) {
+  // Create a semaphore in root, delegate up-only to the VMM.
+  const CapSel sm_sel = 300;
+  ASSERT_EQ(hv_.CreateSm(root_, sm_sel, 0), Status::kSuccess);
+  ASSERT_EQ(hv_.Delegate(root_, kVmmSel,
+                         Crd::Obj(sm_sel, 0, perm::kSmUp | perm::kDelegate), 50),
+            Status::kSuccess);
+  EXPECT_NE(vmm_->caps().LookupAs<Sm>(50, ObjType::kSm, perm::kSmUp), nullptr);
+  EXPECT_EQ(vmm_->caps().LookupAs<Sm>(50, ObjType::kSm, perm::kSmDown), nullptr);
+  // The VMM can use it: SmUp succeeds, SmDown is denied.
+  EXPECT_EQ(hv_.SmUp(vmm_, 50), Status::kSuccess);
+}
+
+TEST_F(DelegateTest, RevocationCascades) {
+  const std::uint64_t page = (hv_.kernel_reserve() >> hw::kPageShift) + 300;
+  ASSERT_EQ(hv_.Delegate(root_, kVmmSel, Crd::Mem(page, 4, perm::kRw), page),
+            Status::kSuccess);
+  ASSERT_EQ(hv_.Delegate(root_, kVmmSel, Crd::Obj(kVmSel, 0, perm::kAll), 200),
+            Status::kSuccess);
+  ASSERT_EQ(hv_.Delegate(vmm_, 200, Crd::Mem(page, 4, perm::kRw), 0x30),
+            Status::kSuccess);
+  ASSERT_EQ(vm_->mem_space()
+                .table()
+                .Walk(0x30ull << hw::kPageShift, hw::Access{.user = true}, false)
+                .status,
+            Status::kSuccess);
+
+  // Root revokes its grant to the VMM: the VM's derived mapping vanishes.
+  ASSERT_EQ(hv_.Revoke(root_, Crd::Mem(page, 2, perm::kRw), /*include_self=*/false),
+            Status::kSuccess);
+  EXPECT_EQ(vm_->mem_space()
+                .table()
+                .Walk(0x30ull << hw::kPageShift, hw::Access{.user = true}, false)
+                .status,
+            Status::kMemoryFault);
+  EXPECT_EQ(hv_.mdb().Find(vmm_, CrdKind::kMem, page, 4), nullptr);
+  // Root still holds the range.
+  EXPECT_NE(hv_.mdb().Find(root_, CrdKind::kMem, page, 4), nullptr);
+}
+
+TEST_F(DelegateTest, DestroyPdWithdrawsEverything) {
+  const std::uint64_t page = (hv_.kernel_reserve() >> hw::kPageShift) + 400;
+  ASSERT_EQ(hv_.Delegate(root_, kVmmSel, Crd::Mem(page, 4, perm::kRw), page),
+            Status::kSuccess);
+  ASSERT_EQ(hv_.Delegate(root_, kVmmSel, Crd::Obj(kVmSel, 0, perm::kAll), 200),
+            Status::kSuccess);
+  ASSERT_EQ(hv_.Delegate(vmm_, 200, Crd::Mem(page, 4, perm::kRw), 0x40),
+            Status::kSuccess);
+
+  // Keep the object alive across destruction so its state can be checked.
+  auto vmm_ref = root_->caps().LookupRef(kVmmSel);
+  ASSERT_EQ(hv_.DestroyPd(root_, kVmmSel), Status::kSuccess);
+  EXPECT_TRUE(vmm_ref->dead());
+  // The VM's mapping derived from the VMM is gone as well.
+  EXPECT_EQ(vm_->mem_space()
+                .table()
+                .Walk(0x40ull << hw::kPageShift, hw::Access{.user = true}, false)
+                .status,
+            Status::kMemoryFault);
+}
+
+TEST_F(DelegateTest, LargePageDelegation) {
+  const std::uint64_t large_pages =
+      hw::LargePageSize(machine_.cpu(0).model().host_paging) / hw::kPageSize;
+  std::uint64_t page = (hv_.kernel_reserve() >> hw::kPageShift) + large_pages;
+  page = page / large_pages * large_pages;  // Superpage-align.
+  ASSERT_EQ(hv_.Delegate(root_, kVmmSel, Crd::Obj(kVmSel, 0, perm::kAll), 200),
+            Status::kSuccess);
+  ASSERT_EQ(hv_.Delegate(root_, kVmmSel,
+                         Crd{CrdKind::kMem, page, 10, perm::kRw}, page),
+            Status::kSuccess);
+  ASSERT_EQ(hv_.Delegate(vmm_, 200, Crd{CrdKind::kMem, page, 9, perm::kRw}, 0,
+                         0xff, /*large=*/true),
+            Status::kSuccess);
+  const auto walk =
+      vm_->mem_space().table().Walk(0, hw::Access{.write = true, .user = true}, false);
+  ASSERT_EQ(walk.status, Status::kSuccess);
+  EXPECT_EQ(walk.page_size, hw::LargePageSize(machine_.cpu(0).model().host_paging));
+}
+
+}  // namespace
+}  // namespace nova::hv

@@ -1,0 +1,128 @@
+// Error paths of the hypercall interface: every malformed or unauthorized
+// invocation must fail cleanly — this *is* the attack surface a
+// compromised VMM gets to poke at (§4.2, "VMM attacks").
+#include <gtest/gtest.h>
+
+#include "tests/hv/test_util.h"
+
+namespace nova::hv {
+namespace {
+
+class HypercallErrorsTest : public HvTest {};
+
+TEST_F(HypercallErrorsTest, CreateEcRejectsBadCpuAndBadPd) {
+  EXPECT_EQ(hv_.CreateEcLocal(root_, 100, kSelOwnPd, 99, [](std::uint64_t) {}),
+            Status::kBadCpu);
+  EXPECT_EQ(hv_.CreateEcLocal(root_, 100, 999, 0, [](std::uint64_t) {}),
+            Status::kBadCapability);
+  EXPECT_EQ(hv_.CreateEcGlobal(root_, 100, 999, 0, [] {}), Status::kBadCapability);
+}
+
+TEST_F(HypercallErrorsTest, CreateVcpuRequiresVmDomain) {
+  Pd* not_vm = nullptr;
+  ASSERT_EQ(hv_.CreatePd(root_, 100, "plain", false, &not_vm), Status::kSuccess);
+  EXPECT_EQ(hv_.CreateVcpu(root_, 101, 100, 0, 0x200), Status::kBadParameter);
+}
+
+TEST_F(HypercallErrorsTest, CreateScRejectsLocalEcAndZeroQuantum) {
+  ASSERT_EQ(hv_.CreateEcLocal(root_, 100, kSelOwnPd, 0, [](std::uint64_t) {}),
+            Status::kSuccess);
+  EXPECT_EQ(hv_.CreateSc(root_, 101, 100, 5, 1000), Status::kBadParameter);
+
+  ASSERT_EQ(hv_.CreateEcGlobal(root_, 102, kSelOwnPd, 0, [] {}), Status::kSuccess);
+  EXPECT_EQ(hv_.CreateSc(root_, 103, 102, 5, 0), Status::kBadParameter);
+  // Double SC on one EC.
+  ASSERT_EQ(hv_.CreateSc(root_, 103, 102, 5, 1000), Status::kSuccess);
+  EXPECT_EQ(hv_.CreateSc(root_, 104, 102, 5, 1000), Status::kBusy);
+}
+
+TEST_F(HypercallErrorsTest, CreatePtRequiresLocalHandler) {
+  ASSERT_EQ(hv_.CreateEcGlobal(root_, 100, kSelOwnPd, 0, [] {}), Status::kSuccess);
+  EXPECT_EQ(hv_.CreatePt(root_, 101, 100, 0, 0), Status::kBadParameter);
+  EXPECT_EQ(hv_.CreatePt(root_, 101, 999, 0, 0), Status::kBadCapability);
+}
+
+TEST_F(HypercallErrorsTest, OccupiedSlotRejectsCreation) {
+  ASSERT_EQ(hv_.CreateSm(root_, 100, 0), Status::kSuccess);
+  EXPECT_EQ(hv_.CreateSm(root_, 100, 0), Status::kBusy);
+  EXPECT_EQ(hv_.CreatePd(root_, 100, "x", false), Status::kBusy);
+}
+
+TEST_F(HypercallErrorsTest, WrongObjectTypeRejected) {
+  ASSERT_EQ(hv_.CreateSm(root_, 100, 0), Status::kSuccess);
+  // A semaphore is not a portal / pd / ec.
+  Ec* ec = nullptr;
+  ASSERT_EQ(hv_.CreateEcGlobal(root_, 101, kSelOwnPd, 0, [] {}, &ec),
+            Status::kSuccess);
+  EXPECT_EQ(hv_.Call(ec, 100), Status::kBadCapability);
+  EXPECT_EQ(hv_.DestroyPd(root_, 100), Status::kBadCapability);
+  EXPECT_EQ(hv_.Recall(root_, 100), Status::kBadCapability);
+}
+
+TEST_F(HypercallErrorsTest, SemaphorePermissionBitsEnforced) {
+  Pd* child = nullptr;
+  ASSERT_EQ(hv_.CreatePd(root_, 100, "child", false, &child), Status::kSuccess);
+  ASSERT_EQ(hv_.CreateSm(root_, 101, 1), Status::kSuccess);
+  // Down-only delegation: Up must fail.
+  ASSERT_EQ(hv_.Delegate(root_, 100, Crd::Obj(101, 0, perm::kSmDown | perm::kDelegate),
+                         50),
+            Status::kSuccess);
+  EXPECT_EQ(hv_.SmUp(child, 50), Status::kBadCapability);
+  Ec* child_ec = nullptr;
+  ASSERT_EQ(hv_.CreateEcGlobal(root_, 102, 100, 0, [] {}, &child_ec),
+            Status::kSuccess);
+  EXPECT_EQ(hv_.SmDown(child_ec, 50), Hypervisor::DownResult::kAcquired);
+}
+
+TEST_F(HypercallErrorsTest, DestroyRootDenied) {
+  EXPECT_EQ(hv_.DestroyPd(root_, kSelOwnPd), Status::kDenied);
+}
+
+TEST_F(HypercallErrorsTest, RevokeOfUnheldRangeIsHarmless) {
+  EXPECT_EQ(hv_.Revoke(root_, Crd::Mem(1, 2, perm::kRw), false), Status::kSuccess);
+  EXPECT_EQ(hv_.Revoke(root_, Crd{}, false), Status::kSuccess);
+}
+
+TEST_F(HypercallErrorsTest, DelegateNullCrdRejected) {
+  ASSERT_EQ(hv_.CreatePd(root_, 100, "child", false), Status::kSuccess);
+  EXPECT_EQ(hv_.Delegate(root_, 100, Crd{}, 0), Status::kBadParameter);
+}
+
+TEST_F(HypercallErrorsTest, AssignGsiValidatesRanges) {
+  ASSERT_EQ(hv_.CreateSm(root_, 100, 0), Status::kSuccess);
+  EXPECT_EQ(hv_.AssignGsi(root_, 100, hw::kNumGsis + 5, 0), Status::kBadParameter);
+  EXPECT_EQ(hv_.AssignGsi(root_, 100, 3, 99), Status::kBadParameter);
+  EXPECT_EQ(hv_.AssignGsi(root_, 999, 3, 0), Status::kBadCapability);
+}
+
+TEST_F(HypercallErrorsTest, CallAcrossCpusRejected) {
+  // Portals are per-CPU objects: a handler on another CPU is unreachable.
+  hw::MachineConfig config{.cpus = {&hw::CoreI7_920(), &hw::CoreI7_920()},
+                           .ram_size = 512ull << 20};
+  hw::Machine machine(config);
+  Hypervisor hv(&machine);
+  Pd* root = hv.Boot();
+  Ec* handler = nullptr;
+  ASSERT_EQ(hv.CreateEcLocal(root, 100, kSelOwnPd, /*cpu=*/1, [](std::uint64_t) {},
+                             &handler),
+            Status::kSuccess);
+  ASSERT_EQ(hv.CreatePt(root, 101, 100, 0, 0), Status::kSuccess);
+  Ec* caller = nullptr;
+  ASSERT_EQ(hv.CreateEcGlobal(root, 102, kSelOwnPd, /*cpu=*/0, [] {}, &caller),
+            Status::kSuccess);
+  EXPECT_EQ(hv.Call(caller, 101), Status::kBadCpu);
+}
+
+TEST_F(HypercallErrorsTest, CapSpaceExhaustionOverflows) {
+  // Fill the caller's capability space, then one more creation fails.
+  CapSel sel = root_->caps().FindFree(kSelFirstFree);
+  Status s = Status::kSuccess;
+  while (sel != kInvalidSel && Ok(s)) {
+    s = hv_.CreateSm(root_, sel, 0);
+    sel = root_->caps().FindFree(sel);
+  }
+  EXPECT_EQ(hv_.CreateSm(root_, kCapSpaceSlots, 0), Status::kOverflow);
+}
+
+}  // namespace
+}  // namespace nova::hv

@@ -1,0 +1,212 @@
+// Portal IPC: call/reply, donation accounting, typed-item delegation.
+#include <gtest/gtest.h>
+
+#include "tests/hv/test_util.h"
+
+namespace nova::hv {
+namespace {
+
+class IpcTest : public HvTest {
+ protected:
+  IpcTest() {
+    EXPECT_EQ(hv_.CreatePd(root_, kServerPdSel, "server", false, &server_pd_),
+              Status::kSuccess);
+    EXPECT_EQ(hv_.CreatePd(root_, kClientPdSel, "client", false, &client_pd_),
+              Status::kSuccess);
+  }
+
+  static constexpr CapSel kServerPdSel = 100;
+  static constexpr CapSel kClientPdSel = 101;
+  static constexpr CapSel kHandlerEcSel = 110;
+  static constexpr CapSel kPortalSel = 111;
+  static constexpr CapSel kClientEcSel = 112;
+
+  Pd* server_pd_ = nullptr;
+  Pd* client_pd_ = nullptr;
+};
+
+TEST_F(IpcTest, CallTransfersWordsBothWays) {
+  Ec* handler = nullptr;
+  ASSERT_EQ(hv_.CreateEcLocal(root_, kHandlerEcSel, kServerPdSel, 0,
+                              [&](std::uint64_t id) {
+                                EXPECT_EQ(id, 42u);
+                                // Echo: reply = request + 1 per word.
+                                Utcb& u = handler->utcb();
+                                for (std::uint32_t i = 0; i < u.untyped; ++i) {
+                                  u.words[i] += 1;
+                                }
+                              },
+                              &handler),
+            Status::kSuccess);
+  ASSERT_EQ(hv_.CreatePt(root_, kPortalSel, kHandlerEcSel, 0, 42), Status::kSuccess);
+
+  Ec* client = nullptr;
+  ASSERT_EQ(hv_.CreateEcGlobal(root_, kClientEcSel, kClientPdSel, 0, [] {}, &client),
+            Status::kSuccess);
+  // Hand the portal to the client domain.
+  ASSERT_EQ(hv_.Delegate(root_, kClientPdSel,
+                         Crd::Obj(kPortalSel, 0, perm::kCall | perm::kDelegate), 50),
+            Status::kSuccess);
+
+  client->utcb().untyped = 3;
+  client->utcb().words = {7, 8, 9};
+  ASSERT_EQ(hv_.Call(client, 50), Status::kSuccess);
+  EXPECT_EQ(client->utcb().untyped, 3u);
+  EXPECT_EQ(client->utcb().words[0], 8u);
+  EXPECT_EQ(client->utcb().words[1], 9u);
+  EXPECT_EQ(client->utcb().words[2], 10u);
+}
+
+TEST_F(IpcTest, CallWithoutCapabilityFails) {
+  Ec* client = nullptr;
+  ASSERT_EQ(hv_.CreateEcGlobal(root_, kClientEcSel, kClientPdSel, 0, [] {}, &client),
+            Status::kSuccess);
+  EXPECT_EQ(hv_.Call(client, 50), Status::kBadCapability);
+}
+
+TEST_F(IpcTest, CallWithoutCallPermissionFails) {
+  Ec* handler = nullptr;
+  ASSERT_EQ(hv_.CreateEcLocal(root_, kHandlerEcSel, kServerPdSel, 0,
+                              [](std::uint64_t) {}, &handler),
+            Status::kSuccess);
+  ASSERT_EQ(hv_.CreatePt(root_, kPortalSel, kHandlerEcSel, 0, 0), Status::kSuccess);
+  // Delegate the portal but strip the call permission.
+  ASSERT_EQ(hv_.Delegate(root_, kClientPdSel, Crd::Obj(kPortalSel, 0, perm::kDelegate),
+                         50),
+            Status::kSuccess);
+  Ec* client = nullptr;
+  ASSERT_EQ(hv_.CreateEcGlobal(root_, kClientEcSel, kClientPdSel, 0, [] {}, &client),
+            Status::kSuccess);
+  EXPECT_EQ(hv_.Call(client, 50), Status::kBadCapability);
+}
+
+TEST_F(IpcTest, DonationChargesCallerCpu) {
+  Ec* handler = nullptr;
+  ASSERT_EQ(hv_.CreateEcLocal(root_, kHandlerEcSel, kServerPdSel, 0,
+                              [&](std::uint64_t) {
+                                machine_.cpu(0).Charge(5000);  // Handler work.
+                              },
+                              &handler),
+            Status::kSuccess);
+  ASSERT_EQ(hv_.CreatePt(root_, kPortalSel, kHandlerEcSel, 0, 0), Status::kSuccess);
+  ASSERT_EQ(hv_.Delegate(root_, kClientPdSel, Crd::Obj(kPortalSel, 0, perm::kAll), 50),
+            Status::kSuccess);
+  Ec* client = nullptr;
+  ASSERT_EQ(hv_.CreateEcGlobal(root_, kClientEcSel, kClientPdSel, 0, [] {}, &client),
+            Status::kSuccess);
+
+  const sim::Cycles before = machine_.cpu(0).cycles();
+  ASSERT_EQ(hv_.Call(client, 50), Status::kSuccess);
+  const sim::Cycles total = machine_.cpu(0).cycles() - before;
+  // The handler's 5000 cycles are accounted to the caller's CPU time, plus
+  // the kernel IPC path.
+  EXPECT_GT(total, 5000u);
+  EXPECT_LT(total, 7000u);
+}
+
+TEST_F(IpcTest, CrossAddressSpaceCostsMore) {
+  // Same-PD handler.
+  Ec* same_handler = nullptr;
+  ASSERT_EQ(hv_.CreateEcLocal(root_, kHandlerEcSel, kClientPdSel, 0,
+                              [](std::uint64_t) {}, &same_handler),
+            Status::kSuccess);
+  ASSERT_EQ(hv_.CreatePt(root_, kPortalSel, kHandlerEcSel, 0, 0), Status::kSuccess);
+  ASSERT_EQ(hv_.Delegate(root_, kClientPdSel, Crd::Obj(kPortalSel, 0, perm::kAll), 50),
+            Status::kSuccess);
+  // Cross-PD handler.
+  Ec* cross_handler = nullptr;
+  ASSERT_EQ(hv_.CreateEcLocal(root_, 120, kServerPdSel, 0, [](std::uint64_t) {},
+                              &cross_handler),
+            Status::kSuccess);
+  ASSERT_EQ(hv_.CreatePt(root_, 121, 120, 0, 0), Status::kSuccess);
+  ASSERT_EQ(hv_.Delegate(root_, kClientPdSel, Crd::Obj(121, 0, perm::kAll), 51),
+            Status::kSuccess);
+
+  Ec* client = nullptr;
+  ASSERT_EQ(hv_.CreateEcGlobal(root_, kClientEcSel, kClientPdSel, 0, [] {}, &client),
+            Status::kSuccess);
+
+  sim::Cycles before = machine_.cpu(0).cycles();
+  ASSERT_EQ(hv_.Call(client, 50), Status::kSuccess);
+  const sim::Cycles same_as = machine_.cpu(0).cycles() - before;
+
+  before = machine_.cpu(0).cycles();
+  ASSERT_EQ(hv_.Call(client, 51), Status::kSuccess);
+  const sim::Cycles cross_as = machine_.cpu(0).cycles() - before;
+
+  // Cross-AS IPC pays address-space switch + TLB effects (Figure 8).
+  EXPECT_GT(cross_as, same_as + 100);
+}
+
+TEST_F(IpcTest, HandlerBusyRejectsReentrantCall) {
+  Ec* handler = nullptr;
+  Ec* client = nullptr;
+  Status inner_status = Status::kSuccess;
+  ASSERT_EQ(hv_.CreateEcLocal(root_, kHandlerEcSel, kServerPdSel, 0,
+                              [&](std::uint64_t) {
+                                // Re-entrant call to the same handler.
+                                inner_status = hv_.Call(client, 50);
+                              },
+                              &handler),
+            Status::kSuccess);
+  ASSERT_EQ(hv_.CreatePt(root_, kPortalSel, kHandlerEcSel, 0, 0), Status::kSuccess);
+  ASSERT_EQ(hv_.Delegate(root_, kClientPdSel, Crd::Obj(kPortalSel, 0, perm::kAll), 50),
+            Status::kSuccess);
+  ASSERT_EQ(hv_.CreateEcGlobal(root_, kClientEcSel, kClientPdSel, 0, [] {}, &client),
+            Status::kSuccess);
+  ASSERT_EQ(hv_.Call(client, 50), Status::kSuccess);
+  EXPECT_EQ(inner_status, Status::kBusy);
+}
+
+TEST_F(IpcTest, TypedItemDelegatesMemoryThroughMessage) {
+  // The server declares a receive window; the client's typed item lands
+  // there — the §6 delegation-during-communication mechanism.
+  const std::uint64_t page = (hv_.kernel_reserve() >> hw::kPageShift) + 64;
+  ASSERT_EQ(hv_.Delegate(root_, kClientPdSel, Crd::Mem(page, 2, perm::kRw), page),
+            Status::kSuccess);
+
+  Ec* handler = nullptr;
+  ASSERT_EQ(hv_.CreateEcLocal(root_, kHandlerEcSel, kServerPdSel, 0,
+                              [&](std::uint64_t) {}, &handler),
+            Status::kSuccess);
+  ASSERT_EQ(hv_.CreatePt(root_, kPortalSel, kHandlerEcSel, 0, 0), Status::kSuccess);
+  ASSERT_EQ(hv_.Delegate(root_, kClientPdSel, Crd::Obj(kPortalSel, 0, perm::kAll), 50),
+            Status::kSuccess);
+  Ec* client = nullptr;
+  ASSERT_EQ(hv_.CreateEcGlobal(root_, kClientEcSel, kClientPdSel, 0, [] {}, &client),
+            Status::kSuccess);
+
+  handler->utcb().recv_window = Crd::Mem(page, 4, perm::kRw);
+  client->utcb().untyped = 0;
+  client->utcb().num_typed = 1;
+  client->utcb().typed[0] = TypedItem{Crd::Mem(page, 2, perm::kRw), page};
+  ASSERT_EQ(hv_.Call(client, 50), Status::kSuccess);
+
+  // The server domain now holds the pages.
+  EXPECT_NE(hv_.mdb().Find(server_pd_, CrdKind::kMem, page, 4), nullptr);
+}
+
+TEST_F(IpcTest, TypedItemOutsideWindowRejected) {
+  const std::uint64_t page = (hv_.kernel_reserve() >> hw::kPageShift) + 64;
+  ASSERT_EQ(hv_.Delegate(root_, kClientPdSel, Crd::Mem(page, 2, perm::kRw), page),
+            Status::kSuccess);
+  Ec* handler = nullptr;
+  ASSERT_EQ(hv_.CreateEcLocal(root_, kHandlerEcSel, kServerPdSel, 0,
+                              [&](std::uint64_t) {}, &handler),
+            Status::kSuccess);
+  ASSERT_EQ(hv_.CreatePt(root_, kPortalSel, kHandlerEcSel, 0, 0), Status::kSuccess);
+  ASSERT_EQ(hv_.Delegate(root_, kClientPdSel, Crd::Obj(kPortalSel, 0, perm::kAll), 50),
+            Status::kSuccess);
+  Ec* client = nullptr;
+  ASSERT_EQ(hv_.CreateEcGlobal(root_, kClientEcSel, kClientPdSel, 0, [] {}, &client),
+            Status::kSuccess);
+
+  handler->utcb().recv_window = Crd::Mem(page + 1000, 2, perm::kRw);
+  client->utcb().num_typed = 1;
+  client->utcb().typed[0] = TypedItem{Crd::Mem(page, 2, perm::kRw), page};
+  EXPECT_EQ(hv_.Call(client, 50), Status::kBadParameter);
+  EXPECT_EQ(hv_.mdb().Find(server_pd_, CrdKind::kMem, page, 4), nullptr);
+}
+
+}  // namespace
+}  // namespace nova::hv

@@ -1,0 +1,110 @@
+#include "src/hv/mdb.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/hv/objects.h"
+
+namespace nova::hv {
+namespace {
+
+// The Mdb only uses Pd pointers as identities; fabricate distinct ones.
+struct FakePds {
+  Pd* A() { return reinterpret_cast<Pd*>(0x1000); }
+  Pd* B() { return reinterpret_cast<Pd*>(0x2000); }
+  Pd* C() { return reinterpret_cast<Pd*>(0x3000); }
+};
+
+TEST(Mdb, FindLocatesCoveringNode) {
+  Mdb mdb;
+  FakePds pds;
+  mdb.CreateRoot(pds.A(), CrdKind::kMem, 100, 50, perm::kRw);
+  EXPECT_NE(mdb.Find(pds.A(), CrdKind::kMem, 110, 10), nullptr);
+  EXPECT_EQ(mdb.Find(pds.A(), CrdKind::kMem, 140, 20), nullptr);  // Overruns.
+  EXPECT_EQ(mdb.Find(pds.A(), CrdKind::kIo, 110, 10), nullptr);   // Wrong kind.
+  EXPECT_EQ(mdb.Find(pds.B(), CrdKind::kMem, 110, 10), nullptr);  // Wrong pd.
+}
+
+TEST(Mdb, RevokeRemovesChildrenRecursively) {
+  Mdb mdb;
+  FakePds pds;
+  MdbNode* root = mdb.CreateRoot(pds.A(), CrdKind::kMem, 0, 100, perm::kRw);
+  MdbNode* child = mdb.Delegate(root, pds.B(), 10, 20, perm::kRead, 10);
+  mdb.Delegate(child, pds.C(), 30, 20, perm::kRead, 12);
+
+  std::vector<const Pd*> unmapped;
+  mdb.Revoke(pds.A(), Crd::Mem(0, 7, perm::kRw), /*include_self=*/false,
+             [&](const MdbNode& n) { unmapped.push_back(n.pd); });
+  // Depth-first: C before B; A itself survives.
+  ASSERT_EQ(unmapped.size(), 2u);
+  EXPECT_EQ(unmapped[0], pds.C());
+  EXPECT_EQ(unmapped[1], pds.B());
+  EXPECT_NE(mdb.Find(pds.A(), CrdKind::kMem, 0, 100), nullptr);
+  EXPECT_EQ(mdb.Find(pds.B(), CrdKind::kMem, 10, 20), nullptr);
+}
+
+TEST(Mdb, RevokeIncludeSelfRemovesOwnHolding) {
+  Mdb mdb;
+  FakePds pds;
+  MdbNode* root = mdb.CreateRoot(pds.A(), CrdKind::kMem, 0, 100, perm::kRw);
+  mdb.Delegate(root, pds.B(), 0, 100, perm::kRead, 0);
+
+  int count = 0;
+  mdb.Revoke(pds.A(), Crd::Mem(0, 7, perm::kRw), /*include_self=*/true,
+             [&](const MdbNode&) { ++count; });
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(mdb.node_count(), 0u);
+}
+
+TEST(Mdb, RevokeOnlyTouchesOverlap) {
+  Mdb mdb;
+  FakePds pds;
+  MdbNode* root = mdb.CreateRoot(pds.A(), CrdKind::kMem, 0, 1024, perm::kRw);
+  mdb.Delegate(root, pds.B(), 0, 16, perm::kRw, 0);
+  mdb.Delegate(root, pds.C(), 512, 16, perm::kRw, 512);
+
+  std::vector<const Pd*> unmapped;
+  // Revoke only B's range from A's perspective: both children derive from
+  // the same root node, so revoking the overlapping parent region drops
+  // everything derived from it.
+  mdb.Revoke(pds.B(), Crd::Mem(0, 4, perm::kRw), /*include_self=*/true,
+             [&](const MdbNode& n) { unmapped.push_back(n.pd); });
+  EXPECT_EQ(unmapped, (std::vector<const Pd*>{pds.B()}));
+  EXPECT_NE(mdb.Find(pds.C(), CrdKind::kMem, 512, 16), nullptr);
+}
+
+TEST(Mdb, DropDomainRemovesAllHoldings) {
+  Mdb mdb;
+  FakePds pds;
+  MdbNode* m = mdb.CreateRoot(pds.A(), CrdKind::kMem, 0, 100, perm::kRw);
+  MdbNode* io = mdb.CreateRoot(pds.A(), CrdKind::kIo, 0x3f8, 8, perm::kAll);
+  mdb.Delegate(m, pds.B(), 0, 10, perm::kRead, 0);
+  mdb.Delegate(io, pds.B(), 0x3f8, 8, perm::kAll, 0x3f8);
+
+  int b_unmaps = 0;
+  mdb.DropDomain(pds.B(), [&](const MdbNode& n) {
+    EXPECT_EQ(n.pd, pds.B());
+    ++b_unmaps;
+  });
+  EXPECT_EQ(b_unmaps, 2);
+  EXPECT_EQ(mdb.node_count(), 2u);  // A's roots remain.
+}
+
+TEST(Mdb, DropDomainCascadesToDerived) {
+  Mdb mdb;
+  FakePds pds;
+  MdbNode* root = mdb.CreateRoot(pds.A(), CrdKind::kMem, 0, 100, perm::kRw);
+  MdbNode* b = mdb.Delegate(root, pds.B(), 0, 50, perm::kRw, 0);
+  mdb.Delegate(b, pds.C(), 0, 25, perm::kRead, 0);
+
+  std::vector<const Pd*> order;
+  mdb.DropDomain(pds.B(), [&](const MdbNode& n) { order.push_back(n.pd); });
+  // C's holding derives from B and must fall with it.
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], pds.C());
+  EXPECT_EQ(order[1], pds.B());
+}
+
+}  // namespace
+}  // namespace nova::hv

@@ -1,0 +1,128 @@
+// Message transfer descriptors: only the selected architectural state
+// moves between vCPU and VMM, and the VMCS-access cost scales with the
+// descriptor (§5.2's performance optimization).
+#include <gtest/gtest.h>
+
+#include "src/hw/isa.h"
+#include "tests/hv/test_util.h"
+
+namespace nova::hv {
+namespace {
+
+class MtdTransferTest : public HvTest {
+ protected:
+  static constexpr CapSel kVmPd = 100;
+  static constexpr CapSel kVcpuSel = 101;
+  static constexpr CapSel kEvtBase = 0x200;
+
+  void SetUpVm(Mtd cpuid_mtd) {
+    ASSERT_EQ(hv_.CreatePd(root_, kVmPd, "vm", true, &vm_), Status::kSuccess);
+    const std::uint64_t base = hv_.kernel_reserve() >> hw::kPageShift;
+    ASSERT_EQ(hv_.Delegate(root_, kVmPd, Crd{CrdKind::kMem, base, 12, perm::kRwx}, 0),
+              Status::kSuccess);
+    ASSERT_EQ(hv_.CreateVcpu(root_, kVcpuSel, kVmPd, 0, kEvtBase, &vcpu_),
+              Status::kSuccess);
+
+    ASSERT_EQ(hv_.CreateEcLocal(root_, 110, kSelOwnPd, 0,
+                                [this](std::uint64_t) {
+                                  ++exits_;
+                                  Utcb& u = handler_->utcb();
+                                  seen_ = u.arch;
+                                  seen_mtd_ = u.mtd;
+                                  u.arch.rip += u.arch.insn_len;
+                                },
+                                &handler_),
+              Status::kSuccess);
+    ASSERT_EQ(hv_.CreatePt(root_, 111, 110, cpuid_mtd,
+                           static_cast<std::uint64_t>(Event::kCpuid)),
+              Status::kSuccess);
+    ASSERT_EQ(hv_.Delegate(root_, kVmPd, Crd::Obj(111, 0, perm::kCall),
+                           kEvtBase + static_cast<CapSel>(Event::kCpuid)),
+              Status::kSuccess);
+
+    hw::isa::Assembler as(0x1000);
+    as.MovImm(0, 0x1111);
+    as.MovImm(5, 0x5555);
+    as.Cpuid();
+    as.Hlt();
+    machine_.mem().Write((base << hw::kPageShift) + 0x1000, as.bytes().data(),
+                         as.bytes().size());
+    vcpu_->gstate().rip = 0x1000;
+    ASSERT_EQ(hv_.CreateSc(root_, 120, kVcpuSel, 1, 30'000'000), Status::kSuccess);
+  }
+
+  void RunToExit() {
+    for (int i = 0; i < 10 && exits_ == 0 && hv_.StepOnce(); ++i) {
+    }
+  }
+
+  Pd* vm_ = nullptr;
+  Ec* vcpu_ = nullptr;
+  Ec* handler_ = nullptr;
+  ArchState seen_{};
+  Mtd seen_mtd_ = 0;
+  int exits_ = 0;
+};
+
+TEST_F(MtdTransferTest, OnlySelectedGroupsTransfer) {
+  SetUpVm(mtd::kGprAcdb | mtd::kRip);  // The paper's CPUID portal set.
+  RunToExit();
+  ASSERT_EQ(exits_, 1);
+  EXPECT_EQ(seen_mtd_, mtd::kGprAcdb | mtd::kRip);
+  EXPECT_EQ(seen_.regs[0], 0x1111u);  // In kGprAcdb: transferred.
+  EXPECT_EQ(seen_.regs[5], 0u);       // In kGprBsd: NOT transferred.
+  EXPECT_EQ(seen_.rip, 0x1000u + 2 * hw::isa::kInsnSize);
+}
+
+TEST_F(MtdTransferTest, ReplyWritesBackOnlySelectedGroups) {
+  SetUpVm(mtd::kGprAcdb | mtd::kRip);
+  // The handler writes both register groups; only ACDB reaches the vCPU.
+  handler_->set_handler([this](std::uint64_t) {
+    ++exits_;
+    Utcb& u = handler_->utcb();
+    u.arch.regs[0] = 0xaaaa;
+    u.arch.regs[5] = 0xbbbb;
+    u.arch.rip += u.arch.insn_len;
+  });
+  RunToExit();
+  ASSERT_EQ(exits_, 1);
+  EXPECT_EQ(vcpu_->gstate().regs[0], 0xaaaau);
+  EXPECT_EQ(vcpu_->gstate().regs[5], 0x5555u);  // Untouched.
+}
+
+TEST_F(MtdTransferTest, WiderMtdCostsMoreVmreads) {
+  // Run once with the minimal descriptor, once with everything; the wider
+  // portal pays more VMCS accesses + copies — the §5.2 optimization.
+  SetUpVm(mtd::kGprAcdb | mtd::kRip);
+  const sim::Cycles before_small = machine_.cpu(0).cycles();
+  RunToExit();
+  const sim::Cycles small = machine_.cpu(0).cycles() - before_small;
+  ASSERT_EQ(exits_, 1);
+
+  // Reconfigure the portal's descriptor and re-run the same guest.
+  exits_ = 0;
+  ASSERT_EQ(hv_.PtCtrlMtd(root_, 111, mtd::kAll & ~mtd::kTlbFlush),
+            Status::kSuccess);
+  vcpu_->gstate().rip = 0x1000;
+  vcpu_->gstate().halted = false;
+  hv_.WakeEc(vcpu_);
+  const sim::Cycles before_wide = machine_.cpu(0).cycles();
+  RunToExit();
+  const sim::Cycles wide_cost = machine_.cpu(0).cycles() - before_wide;
+  ASSERT_EQ(exits_, 1);
+  EXPECT_GT(wide_cost, small);
+}
+
+TEST_F(MtdTransferTest, WordCountsMatchGroups) {
+  EXPECT_EQ(mtd::WordCount(0), 0);
+  EXPECT_EQ(mtd::WordCount(mtd::kGprAcdb), 4);
+  EXPECT_EQ(mtd::WordCount(mtd::kGprAcdb | mtd::kGprBsd), 8);
+  EXPECT_EQ(mtd::WordCount(mtd::kRip), 2);
+  EXPECT_EQ(mtd::WordCount(mtd::kRflags | mtd::kSta | mtd::kTsc), 3);
+  EXPECT_EQ(mtd::WordCount(mtd::kCr | mtd::kQual), 6);
+  EXPECT_EQ(mtd::WordCount(mtd::kTlbFlush), 0);  // Control-only bit.
+  EXPECT_EQ(mtd::WordCount(mtd::kAll), 21);
+}
+
+}  // namespace
+}  // namespace nova::hv

@@ -1,0 +1,36 @@
+// Shared fixture for microhypervisor tests: a booted machine with a root
+// protection domain.
+#ifndef TESTS_HV_TEST_UTIL_H_
+#define TESTS_HV_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/hw/machine.h"
+#include "src/hv/kernel.h"
+
+namespace nova::hv {
+
+class HvTest : public ::testing::Test {
+ protected:
+  explicit HvTest(hw::MachineConfig config = DefaultConfig())
+      : machine_(config), hv_(&machine_) {
+    root_ = hv_.Boot();
+  }
+
+  static hw::MachineConfig DefaultConfig() {
+    return hw::MachineConfig{.cpus = {&hw::CoreI7_920()}, .ram_size = 512ull << 20};
+  }
+
+  // Allocate a free selector in `pd`.
+  CapSel Free(Pd* pd) { return pd->caps().FindFree(kSelFirstFree); }
+
+  hw::Machine machine_;
+  Hypervisor hv_;
+  Pd* root_ = nullptr;
+};
+
+}  // namespace nova::hv
+
+#endif  // TESTS_HV_TEST_UTIL_H_

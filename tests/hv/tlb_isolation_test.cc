@@ -1,0 +1,112 @@
+// TLB-tag semantics across VM switches: tagged parts keep guest entries
+// alive across world switches; untagged parts flush — the mechanism behind
+// Figure 5's VPID comparison. Also: revocation shoots down translations.
+#include <gtest/gtest.h>
+
+#include "src/hw/isa.h"
+#include "tests/hv/test_util.h"
+
+namespace nova::hv {
+namespace {
+
+class TlbIsolationTest : public HvTest {
+ protected:
+  explicit TlbIsolationTest(const hw::CpuModel* model = &hw::CoreI7_920())
+      : HvTest(hw::MachineConfig{.cpus = {model}, .ram_size = 512ull << 20}) {}
+
+  // A VM whose guest touches `pages` distinct pages then halts (and can be
+  // re-run).
+  struct MiniVm {
+    Pd* pd = nullptr;
+    Ec* vcpu = nullptr;
+    std::uint64_t base_page = 0;
+  };
+
+  MiniVm MakeVm(CapSel pd_sel, CapSel vcpu_sel, CapSel sc_sel, int pages) {
+    MiniVm vm;
+    EXPECT_EQ(hv_.CreatePd(root_, pd_sel, "vm", true, &vm.pd), Status::kSuccess);
+    vm.base_page = next_grant_page_;
+    EXPECT_EQ(hv_.Delegate(root_, pd_sel,
+                           Crd{CrdKind::kMem, vm.base_page, 12, perm::kRwx}, 0),
+              Status::kSuccess);
+    next_grant_page_ += 1 << 12;
+    EXPECT_EQ(hv_.CreateVcpu(root_, vcpu_sel, pd_sel, 0, 0x300, &vm.vcpu),
+              Status::kSuccess);
+    vm.vcpu->ctl().intercept_hlt = false;  // Halt = idle, no VMM needed.
+
+    hw::isa::Assembler as(0x1000);
+    as.MovImm(0, pages);
+    as.MovImm(1, 0x100000);
+    const std::uint64_t top = as.Load(2, 1, 0);
+    as.AddImm(1, hw::kPageSize);
+    as.Loop(0, top);
+    as.Hlt();
+    machine_.mem().Write((vm.base_page << hw::kPageShift) + 0x1000,
+                         as.bytes().data(), as.bytes().size());
+    vm.vcpu->gstate().rip = 0x1000;
+    EXPECT_EQ(hv_.CreateSc(root_, sc_sel, vcpu_sel, 1, 30'000'000),
+              Status::kSuccess);
+    return vm;
+  }
+
+  void RunUntilHalted(MiniVm& vm) {
+    hv_.RunUntilCondition([&] { return vm.vcpu->gstate().halted; },
+                          machine_.events().now() + sim::Seconds(1));
+  }
+
+  std::uint64_t next_grant_page_ = (64ull << 20) >> hw::kPageShift;
+};
+
+TEST_F(TlbIsolationTest, VpidKeepsGuestEntriesAcrossWorldSwitches) {
+  MiniVm vm = MakeVm(100, 101, 102, 32);
+  RunUntilHalted(vm);
+  // 32 data pages + the code page live in the TLB under the VM's tag.
+  EXPECT_GE(machine_.cpu(0).tlb().EntryCount(vm.pd->vm_tag()), 32u);
+  // World switches happened (entry to run, exit on halt) and the entries
+  // survived: that is VPID.
+  EXPECT_TRUE(machine_.cpu(0).model().has_guest_tlb_tags);
+}
+
+TEST_F(TlbIsolationTest, TwoVmsUseDistinctTags) {
+  MiniVm a = MakeVm(100, 101, 102, 8);
+  MiniVm b = MakeVm(110, 111, 112, 8);
+  RunUntilHalted(a);
+  RunUntilHalted(b);
+  EXPECT_NE(a.pd->vm_tag(), b.pd->vm_tag());
+  EXPECT_GE(machine_.cpu(0).tlb().EntryCount(a.pd->vm_tag()), 8u);
+  EXPECT_GE(machine_.cpu(0).tlb().EntryCount(b.pd->vm_tag()), 8u);
+}
+
+TEST_F(TlbIsolationTest, RevocationShootsDownTlbEntries) {
+  MiniVm vm = MakeVm(100, 101, 102, 32);
+  RunUntilHalted(vm);
+  ASSERT_GE(machine_.cpu(0).tlb().EntryCount(vm.pd->vm_tag()), 32u);
+  // Root revokes part of the VM's memory: the stale translations must go.
+  ASSERT_EQ(hv_.Revoke(root_, Crd{CrdKind::kMem, vm.base_page, 12, perm::kRw},
+                       /*include_self=*/false),
+            Status::kSuccess);
+  EXPECT_EQ(machine_.cpu(0).tlb().EntryCount(vm.pd->vm_tag()), 0u);
+  // The nested table no longer maps the range.
+  EXPECT_EQ(vm.pd->mem_space()
+                .table()
+                .Walk(0x100000, hw::Access{.user = true}, false)
+                .status,
+            Status::kMemoryFault);
+}
+
+class NoVpidTest : public TlbIsolationTest {
+ protected:
+  NoVpidTest() : TlbIsolationTest(&hw::CoreI7_920_NoVpid()) {}
+};
+
+TEST_F(NoVpidTest, WorldSwitchesFlushUntaggedTlb) {
+  MiniVm vm = MakeVm(100, 101, 102, 32);
+  RunUntilHalted(vm);
+  // Without VPID the exit path flushed everything: no guest entries remain
+  // once the CPU is back in host mode.
+  EXPECT_EQ(machine_.cpu(0).tlb().EntryCount(vm.pd->vm_tag()), 0u);
+  EXPECT_EQ(machine_.cpu(0).tlb().size(), 0u);
+}
+
+}  // namespace
+}  // namespace nova::hv

@@ -1,0 +1,303 @@
+// The vTLB / shadow-paging algorithm (§5.3): fills, guest faults, flushes
+// on CR3 writes, INVLPG handling, MMIO detection under shadow paging.
+#include <gtest/gtest.h>
+
+#include "src/guest/guest_pt.h"
+#include "src/hw/isa.h"
+#include "tests/hv/test_util.h"
+
+namespace nova::hv {
+namespace {
+
+class VtlbTest : public HvTest {
+ protected:
+  static constexpr CapSel kVmPd = 100;
+  static constexpr CapSel kVcpuSel = 101;
+  static constexpr CapSel kScSel = 102;
+  static constexpr CapSel kEvtBase = 200;
+  static constexpr CapSel kHandlerBase = 300;
+  static constexpr CapSel kPortalBase = 320;
+
+  // Guest layout (GPA == GVA identity for code; extra mappings per test):
+  static constexpr std::uint64_t kGuestPtRoot = 0x100000;  // Guest CR3.
+  static constexpr std::uint64_t kGuestPtPool = 0x110000;  // Guest PT frames.
+
+  VtlbTest() : HvTest(ShadowConfig()) {
+    EXPECT_EQ(hv_.CreatePd(root_, kVmPd, "vm", true, &vm_), Status::kSuccess);
+    guest_base_page_ = hv_.kernel_reserve() >> hw::kPageShift;
+    EXPECT_EQ(hv_.Delegate(root_, kVmPd,
+                           Crd{CrdKind::kMem, guest_base_page_, 13, perm::kRwx}, 0),
+              Status::kSuccess);
+    EXPECT_EQ(hv_.CreateVcpu(root_, kVcpuSel, kVmPd, 0, kEvtBase, &vcpu_),
+              Status::kSuccess);
+    // Switch to shadow paging: what NOVA does on CPUs without EPT/NPT.
+    hw::VmControls& ctl = vcpu_->ctl();
+    ctl.mode = hw::TranslationMode::kShadow;
+    ctl.nested_root = 0;  // The kernel allocates the shadow table lazily.
+    ctl.intercept_cr3 = true;
+    ctl.intercept_invlpg = true;
+    gpt_ = std::make_unique<guest::GuestPageTableBuilder>(
+        &machine_.mem(), [this](std::uint64_t gpa) { return GuestHpa(gpa); },
+        kGuestPtPool);
+  }
+
+  // Yonah: a CPU without nested paging, the paper's shadow-paging target.
+  static hw::MachineConfig ShadowConfig() {
+    return hw::MachineConfig{.cpus = {&hw::CoreDuoT2500()}, .ram_size = 512ull << 20};
+  }
+
+  hw::PhysAddr GuestHpa(std::uint64_t gpa) {
+    return (guest_base_page_ << hw::kPageShift) + gpa;
+  }
+
+  // Build a guest page-table mapping by writing real PTEs into guest RAM.
+  void GuestMap(std::uint64_t root_gpa, std::uint64_t gva, std::uint64_t gpa,
+                std::uint64_t flags) {
+    ASSERT_EQ(gpt_->Map(root_gpa, gva, gpa, hw::kPageSize, flags), Status::kSuccess);
+  }
+
+  void InstallPortal(Event event, Mtd m, Ec::Handler fn) {
+    const auto idx = static_cast<CapSel>(event);
+    Ec* handler = nullptr;
+    ASSERT_EQ(hv_.CreateEcLocal(root_, kHandlerBase + idx, kSelOwnPd, 0,
+                                std::move(fn), &handler),
+              Status::kSuccess);
+    handlers_[idx] = handler;
+    ASSERT_EQ(hv_.CreatePt(root_, kPortalBase + idx, kHandlerBase + idx, m,
+                           static_cast<std::uint64_t>(event)),
+              Status::kSuccess);
+    ASSERT_EQ(hv_.Delegate(root_, kVmPd, Crd::Obj(kPortalBase + idx, 0, perm::kCall),
+                           kEvtBase + idx),
+              Status::kSuccess);
+  }
+
+  void InstallHltPortal() {
+    InstallPortal(Event::kHlt, mtd::kSta, [&](std::uint64_t) {
+      handlers_[static_cast<int>(Event::kHlt)]->utcb().arch.halted = true;
+    });
+  }
+
+  void InstallProgram(const hw::isa::Assembler& as) {
+    machine_.mem().Write(GuestHpa(as.base()), as.bytes().data(), as.bytes().size());
+  }
+
+  void StartAndRun(int steps = 20) {
+    ASSERT_EQ(hv_.CreateSc(root_, kScSel, kVcpuSel, 1, 30'000'000), Status::kSuccess);
+    for (int i = 0; i < steps && hv_.StepOnce(); ++i) {
+    }
+  }
+
+  Pd* vm_ = nullptr;
+  Ec* vcpu_ = nullptr;
+  std::uint64_t guest_base_page_ = 0;
+  std::unique_ptr<guest::GuestPageTableBuilder> gpt_;
+  Ec* handlers_[kNumEvents] = {};
+};
+
+TEST_F(VtlbTest, FillsShadowEntriesOnDemand) {
+  GuestMap(kGuestPtRoot, 0x1000, 0x1000, hw::pte::kWritable);    // Code.
+  GuestMap(kGuestPtRoot, 0x400000, 0x200000, hw::pte::kWritable);  // Data.
+
+  hw::isa::Assembler as(0x1000);
+  as.MovImm(0, 1234);
+  as.StoreAbs(0, 0x400010);
+  as.LoadAbs(1, 0x400010);
+  as.Hlt();
+  InstallProgram(as);
+  vcpu_->gstate().rip = 0x1000;
+  vcpu_->gstate().cr3 = kGuestPtRoot;
+  vcpu_->gstate().paging = true;
+
+  InstallHltPortal();
+  StartAndRun();
+
+  EXPECT_EQ(vcpu_->gstate().regs[1], 1234u);
+  // The store went through GVA 0x400000 -> GPA 0x200000 -> host frame.
+  EXPECT_EQ(machine_.mem().Read64(GuestHpa(0x200010)), 1234u);
+  // At least two fills: the code page and the data page.
+  EXPECT_GE(hv_.EventCount("vTLB Fill"), 2u);
+  EXPECT_EQ(hv_.EventCount("Guest Page Fault"), 0u);
+}
+
+TEST_F(VtlbTest, GuestFaultInjectedToGuestHandler) {
+  GuestMap(kGuestPtRoot, 0x1000, 0x1000, hw::pte::kWritable);
+  GuestMap(kGuestPtRoot, 0x3000, 0x3000, hw::pte::kWritable);  // #PF handler.
+
+  hw::isa::Assembler handler_code(0x3000);
+  handler_code.ReadCr2(7);
+  handler_code.Hlt();
+  InstallProgram(handler_code);
+
+  hw::isa::Assembler as(0x1000);
+  as.SetIdt(hw::kVectorPageFault, 0x3000);
+  as.LoadAbs(0, 0x500000);  // Not mapped in the guest page table.
+  as.Hlt();
+  InstallProgram(as);
+  vcpu_->gstate().rip = 0x1000;
+  vcpu_->gstate().cr3 = kGuestPtRoot;
+  vcpu_->gstate().paging = true;
+
+  InstallHltPortal();
+  StartAndRun();
+
+  EXPECT_EQ(hv_.EventCount("Guest Page Fault"), 1u);
+  EXPECT_EQ(vcpu_->gstate().regs[7], 0x500000u);  // Guest handler saw CR2.
+}
+
+TEST_F(VtlbTest, WriteProtectionFaultsToGuest) {
+  GuestMap(kGuestPtRoot, 0x1000, 0x1000, hw::pte::kWritable);
+  GuestMap(kGuestPtRoot, 0x3000, 0x3000, hw::pte::kWritable);
+  GuestMap(kGuestPtRoot, 0x400000, 0x200000, 0);  // Read-only mapping.
+
+  hw::isa::Assembler handler_code(0x3000);
+  handler_code.ReadCr2(7);
+  handler_code.Hlt();
+  InstallProgram(handler_code);
+
+  hw::isa::Assembler as(0x1000);
+  as.SetIdt(hw::kVectorPageFault, 0x3000);
+  as.LoadAbs(1, 0x400000);   // Read: fine.
+  as.StoreAbs(1, 0x400000);  // Write: guest #PF.
+  as.Hlt();
+  InstallProgram(as);
+  vcpu_->gstate().rip = 0x1000;
+  vcpu_->gstate().cr3 = kGuestPtRoot;
+  vcpu_->gstate().paging = true;
+
+  InstallHltPortal();
+  StartAndRun();
+  EXPECT_EQ(hv_.EventCount("Guest Page Fault"), 1u);
+  EXPECT_EQ(vcpu_->gstate().regs[7], 0x400000u);
+}
+
+TEST_F(VtlbTest, Cr3WriteFlushesShadowTable) {
+  GuestMap(kGuestPtRoot, 0x1000, 0x1000, hw::pte::kWritable);
+  GuestMap(kGuestPtRoot, 0x400000, 0x200000, hw::pte::kWritable);
+  // A second address space mapping the same code but different data.
+  constexpr std::uint64_t kRoot2 = 0x108000;
+  GuestMap(kRoot2, 0x1000, 0x1000, hw::pte::kWritable);
+  GuestMap(kRoot2, 0x400000, 0x300000, hw::pte::kWritable);
+
+  hw::isa::Assembler as(0x1000);
+  as.MovImm(0, 0xaaa);
+  as.StoreAbs(0, 0x400000);  // Lands in GPA 0x200000.
+  as.MovCr3Imm(kRoot2);      // Address-space switch.
+  as.MovImm(0, 0xbbb);
+  as.StoreAbs(0, 0x400000);  // Lands in GPA 0x300000.
+  as.Hlt();
+  InstallProgram(as);
+  vcpu_->gstate().rip = 0x1000;
+  vcpu_->gstate().cr3 = kGuestPtRoot;
+  vcpu_->gstate().paging = true;
+
+  InstallHltPortal();
+  StartAndRun();
+
+  EXPECT_EQ(machine_.mem().Read64(GuestHpa(0x200000)), 0xaaau);
+  EXPECT_EQ(machine_.mem().Read64(GuestHpa(0x300000)), 0xbbbu);
+  EXPECT_EQ(hv_.EventCount("CR Read/Write"), 1u);
+  EXPECT_EQ(hv_.EventCount("vTLB Flush"), 1u);
+  // The switch forced refills for the second address space.
+  EXPECT_GE(hv_.EventCount("vTLB Fill"), 4u);
+}
+
+TEST_F(VtlbTest, InvlpgDropsStaleTranslation) {
+  GuestMap(kGuestPtRoot, 0x1000, 0x1000, hw::pte::kWritable);
+  GuestMap(kGuestPtRoot, 0x400000, 0x200000, hw::pte::kWritable);
+
+  // Guest edits its own PTE, then INVLPGs. The guest's PT pages live at
+  // GPA kGuestPtRoot onward; map them into guest VA space so the guest can
+  // write the PTE (identity).
+  GuestMap(kGuestPtRoot, kGuestPtRoot, kGuestPtRoot, hw::pte::kWritable);
+  for (std::uint64_t f = kGuestPtPool; f < kGuestPtPool + 0x8000; f += 0x1000) {
+    GuestMap(kGuestPtRoot, f, f, hw::pte::kWritable);
+  }
+
+  // Guest-physical address of the PTE for GVA 0x400000.
+  const std::uint64_t pt_gpa = gpt_->LeafEntryGpa(kGuestPtRoot, 0x400000);
+  ASSERT_NE(pt_gpa, 0u);
+
+  hw::isa::Assembler as(0x1000);
+  as.MovImm(0, 0x11);
+  as.StoreAbs(0, 0x400000);  // Fill shadow for 0x400000 -> 0x200000.
+  // Rewrite the PTE to point at GPA 0x280000, then INVLPG.
+  as.MovImm(1, 0x280000 | hw::pte::kPresent | hw::pte::kWritable | hw::pte::kDirty |
+                   hw::pte::kAccessed);
+  // A 4-byte PTE store: our ISA stores 8 bytes, which also clears the
+  // neighbouring entry — harmless here (GVA 0x401000 is unused).
+  as.Emit({.opcode = hw::isa::Opcode::kStore, .r1 = 1, .r2 = hw::isa::kNoReg,
+           .imm64 = pt_gpa});
+  as.Emit({.opcode = hw::isa::Opcode::kInvlpg, .r2 = hw::isa::kNoReg,
+           .imm64 = 0x400000});
+  as.MovImm(0, 0x22);
+  as.StoreAbs(0, 0x400000);  // Must land at the NEW translation.
+  as.Hlt();
+  InstallProgram(as);
+  vcpu_->gstate().rip = 0x1000;
+  vcpu_->gstate().cr3 = kGuestPtRoot;
+  vcpu_->gstate().paging = true;
+
+  InstallHltPortal();
+  StartAndRun();
+
+  EXPECT_EQ(hv_.EventCount("INVLPG"), 1u);
+  EXPECT_EQ(machine_.mem().Read64(GuestHpa(0x200000)), 0x11u);
+  EXPECT_EQ(machine_.mem().Read64(GuestHpa(0x280000)), 0x22u);
+}
+
+TEST_F(VtlbTest, UnmappedGpaUnderShadowIsMmio) {
+  GuestMap(kGuestPtRoot, 0x1000, 0x1000, hw::pte::kWritable);
+  // Guest maps a device at GPA 0xfee00000 (outside delegated RAM).
+  GuestMap(kGuestPtRoot, 0x800000, 0xfee00000, hw::pte::kWritable);
+
+  hw::isa::Assembler as(0x1000);
+  as.MovImm(0, 5);
+  as.StoreAbs(0, 0x800000);
+  as.Hlt();
+  InstallProgram(as);
+  vcpu_->gstate().rip = 0x1000;
+  vcpu_->gstate().cr3 = kGuestPtRoot;
+  vcpu_->gstate().paging = true;
+
+  std::uint64_t mmio_gpa = 0;
+  InstallPortal(Event::kMmio, mtd::kRip | mtd::kQual, [&](std::uint64_t) {
+    Utcb& u = handlers_[static_cast<int>(Event::kMmio)]->utcb();
+    mmio_gpa = u.arch.qual_gpa;
+    u.arch.rip += u.arch.insn_len;
+  });
+  InstallHltPortal();
+  StartAndRun();
+
+  EXPECT_EQ(mmio_gpa, 0xfee00000u);
+  EXPECT_EQ(hv_.EventCount("Memory-Mapped I/O"), 1u);
+}
+
+TEST_F(VtlbTest, DirtyBitTrackedLazily) {
+  GuestMap(kGuestPtRoot, 0x1000, 0x1000, hw::pte::kWritable);
+  GuestMap(kGuestPtRoot, 0x400000, 0x200000, hw::pte::kWritable);
+
+  hw::isa::Assembler as(0x1000);
+  as.LoadAbs(0, 0x400000);   // Read first: shadow entry is read-only.
+  as.MovImm(0, 3);
+  as.StoreAbs(0, 0x400000);  // Write: second vTLB fill sets D.
+  as.Hlt();
+  InstallProgram(as);
+  vcpu_->gstate().rip = 0x1000;
+  vcpu_->gstate().cr3 = kGuestPtRoot;
+  vcpu_->gstate().paging = true;
+
+  InstallHltPortal();
+  StartAndRun();
+
+  // Guest PTE dirty bit was set by the vTLB on the write path.
+  const std::uint64_t pte_gpa = gpt_->LeafEntryGpa(kGuestPtRoot, 0x400000);
+  ASSERT_NE(pte_gpa, 0u);
+  const std::uint32_t leaf = machine_.mem().Read32(GuestHpa(pte_gpa));
+  EXPECT_TRUE(leaf & hw::pte::kDirty);
+  EXPECT_TRUE(leaf & hw::pte::kAccessed);
+  // Read fill + write fill for the same page, plus the code page.
+  EXPECT_GE(hv_.EventCount("vTLB Fill"), 3u);
+}
+
+}  // namespace
+}  // namespace nova::hv

@@ -1,0 +1,107 @@
+#include "src/hw/disk.h"
+
+#include <gtest/gtest.h>
+
+namespace nova::hw {
+namespace {
+
+TEST(DiskModel, ContentRoundTrip) {
+  sim::EventQueue events;
+  DiskModel disk(&events, DiskGeometry{});
+  const char data[] = "hello disk";
+  disk.WriteContent(12345, data, sizeof(data));
+  char out[sizeof(data)] = {};
+  disk.ReadContent(12345, out, sizeof(data));
+  EXPECT_STREQ(out, "hello disk");
+}
+
+TEST(DiskModel, UnwrittenSectorsDeterministic) {
+  sim::EventQueue events;
+  DiskModel disk(&events, DiskGeometry{});
+  std::uint8_t a[64], b[64];
+  disk.ReadContent(777777, a, sizeof(a));
+  disk.ReadContent(777777, b, sizeof(b));
+  EXPECT_EQ(0, memcmp(a, b, sizeof(a)));
+}
+
+TEST(DiskModel, ReadCompletesAfterServiceTime) {
+  sim::EventQueue events;
+  DiskGeometry geo;
+  geo.request_overhead = sim::Microseconds(100);
+  geo.bandwidth_bps = 100'000'000;  // 100 MB/s.
+  DiskModel disk(&events, geo);
+
+  std::vector<std::uint8_t> buf(4096);
+  bool done = false;
+  disk.SubmitRead(0, buf.size(), buf.data(), [&] { done = true; });
+  // 4 KiB at 100 MB/s is ~41 us of media time: the fixed overhead
+  // dominates, so completion lands at 100 us.
+  events.AdvanceTo(sim::Microseconds(99));
+  EXPECT_FALSE(done);
+  events.AdvanceTo(sim::Microseconds(101));
+  EXPECT_TRUE(done);
+}
+
+TEST(DiskModel, LargeReadLimitedByBandwidth) {
+  sim::EventQueue events;
+  DiskGeometry geo;
+  geo.request_overhead = sim::Microseconds(100);
+  geo.bandwidth_bps = 100'000'000;
+  DiskModel disk(&events, geo);
+
+  std::vector<std::uint8_t> buf(1 << 20);  // 1 MiB: ~10.5 ms of media time.
+  bool done = false;
+  disk.SubmitRead(0, buf.size(), buf.data(), [&] { done = true; });
+  events.AdvanceTo(sim::Milliseconds(10));
+  EXPECT_FALSE(done);
+  events.AdvanceTo(sim::Milliseconds(11));
+  EXPECT_TRUE(done);
+}
+
+TEST(DiskModel, RequestsServicedInOrder) {
+  sim::EventQueue events;
+  DiskGeometry geo;
+  geo.request_overhead = sim::Microseconds(100);
+  DiskModel disk(&events, geo);
+
+  std::vector<std::uint8_t> buf(512);
+  std::vector<int> order;
+  disk.SubmitRead(0, 512, buf.data(), [&] { order.push_back(1); });
+  disk.SubmitRead(512, 512, buf.data(), [&] { order.push_back(2); });
+  // Second request queues behind the first: 200 us total.
+  events.AdvanceTo(sim::Microseconds(150));
+  EXPECT_EQ(order.size(), 1u);
+  events.AdvanceTo(sim::Microseconds(250));
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(disk.completed_requests(), 2u);
+}
+
+TEST(DiskModel, WritePersists) {
+  sim::EventQueue events;
+  DiskModel disk(&events, DiskGeometry{});
+  const std::uint8_t data[8] = {9, 8, 7, 6, 5, 4, 3, 2};
+  bool done = false;
+  disk.SubmitWrite(4096, data, sizeof(data), [&] { done = true; });
+  events.AdvanceTo(sim::Seconds(1));
+  ASSERT_TRUE(done);
+  std::uint8_t out[8] = {};
+  disk.ReadContent(4096, out, sizeof(out));
+  EXPECT_EQ(0, memcmp(data, out, 8));
+}
+
+TEST(DiskModel, ReadCallbackDeliversData) {
+  sim::EventQueue events;
+  DiskModel disk(&events, DiskGeometry{});
+  const char msg[] = "payload";
+  disk.WriteContent(0, msg, sizeof(msg));
+  std::vector<std::uint8_t> buf(sizeof(msg));
+  bool done = false;
+  disk.SubmitRead(0, buf.size(), buf.data(), [&] { done = true; });
+  events.AdvanceTo(sim::Seconds(1));
+  ASSERT_TRUE(done);
+  EXPECT_STREQ(reinterpret_cast<char*>(buf.data()), "payload");
+}
+
+}  // namespace
+}  // namespace nova::hw

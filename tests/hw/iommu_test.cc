@@ -1,0 +1,106 @@
+#include "src/hw/iommu.h"
+
+#include <gtest/gtest.h>
+
+namespace nova::hw {
+namespace {
+
+class IommuTest : public ::testing::Test {
+ protected:
+  IommuTest() : mem_(64 << 20), iommu_(&mem_, /*present=*/true), next_(0x100000) {}
+
+  PageTable::FrameAllocator Alloc() {
+    return [this] {
+      const PhysAddr f = next_;
+      next_ += kPageSize;
+      return f;
+    };
+  }
+
+  PhysMem mem_;
+  Iommu iommu_;
+  PhysAddr next_;
+};
+
+TEST_F(IommuTest, UnattachedDeviceIsIdentity) {
+  const std::uint64_t v = 0x1122334455667788ull;
+  mem_.Write64(0x5000, v);
+  std::uint64_t out = 0;
+  EXPECT_EQ(iommu_.DmaRead(7, 0x5000, &out, 8), Status::kSuccess);
+  EXPECT_EQ(out, v);
+}
+
+TEST_F(IommuTest, ProtectedRangeBlocksDma) {
+  iommu_.ProtectRange(0, 0x10000);  // Hypervisor image.
+  const std::uint64_t v = 42;
+  EXPECT_EQ(iommu_.DmaWrite(7, 0x8000, &v, 8), Status::kDenied);
+  EXPECT_EQ(mem_.Read64(0x8000), 0u);
+  EXPECT_EQ(iommu_.faults(), 1u);
+  // Outside the protected range DMA proceeds.
+  EXPECT_EQ(iommu_.DmaWrite(7, 0x20000, &v, 8), Status::kSuccess);
+  EXPECT_EQ(mem_.Read64(0x20000), 42u);
+}
+
+TEST_F(IommuTest, AttachedDeviceTranslates) {
+  iommu_.AttachDevice(7, 0x80000);
+  ASSERT_EQ(iommu_.Map(7, 0x4000, 0x9000, kPageSize, true, Alloc()),
+            Status::kSuccess);
+  const std::uint64_t v = 0xabcdef;
+  EXPECT_EQ(iommu_.DmaWrite(7, 0x4010, &v, 8), Status::kSuccess);
+  EXPECT_EQ(mem_.Read64(0x9010), v);  // Landed at the translated address.
+}
+
+TEST_F(IommuTest, UnmappedIovaFaults) {
+  iommu_.AttachDevice(7, 0x80000);
+  std::uint64_t out = 0;
+  EXPECT_EQ(iommu_.DmaRead(7, 0x4000, &out, 8), Status::kDenied);
+  EXPECT_GE(iommu_.faults(), 1u);
+}
+
+TEST_F(IommuTest, ReadOnlyMappingRejectsWrites) {
+  iommu_.AttachDevice(7, 0x80000);
+  ASSERT_EQ(iommu_.Map(7, 0x4000, 0x9000, kPageSize, /*writable=*/false, Alloc()),
+            Status::kSuccess);
+  std::uint64_t v = 1;
+  EXPECT_EQ(iommu_.DmaRead(7, 0x4000, &v, 8), Status::kSuccess);
+  EXPECT_EQ(iommu_.DmaWrite(7, 0x4000, &v, 8), Status::kDenied);
+}
+
+TEST_F(IommuTest, FaultingWriteCommitsNothing) {
+  iommu_.AttachDevice(7, 0x80000);
+  ASSERT_EQ(iommu_.Map(7, 0x4000, 0x9000, kPageSize, true, Alloc()),
+            Status::kSuccess);
+  // Two-page transfer where the second page is unmapped: nothing lands.
+  std::vector<std::uint8_t> buf(kPageSize + 16, 0xaa);
+  EXPECT_EQ(iommu_.DmaWrite(7, 0x4000 + kPageSize - 8, buf.data(), 16),
+            Status::kDenied);
+  EXPECT_EQ(mem_.Read64(0x9000 + kPageSize - 8), 0u);
+}
+
+TEST_F(IommuTest, DetachRestoresIdentity) {
+  iommu_.AttachDevice(7, 0x80000);
+  iommu_.DetachDevice(7);
+  const std::uint64_t v = 9;
+  EXPECT_EQ(iommu_.DmaWrite(7, 0x30000, &v, 8), Status::kSuccess);
+  EXPECT_EQ(mem_.Read64(0x30000), 9u);
+}
+
+TEST_F(IommuTest, InterruptRemappingRestrictsGsis) {
+  iommu_.AllowGsi(7, 12);
+  EXPECT_TRUE(iommu_.GsiAllowed(7, 12));
+  EXPECT_FALSE(iommu_.GsiAllowed(7, 13));
+  EXPECT_FALSE(iommu_.GsiAllowed(8, 12));
+}
+
+TEST(IommuAbsent, EverythingPermitted) {
+  PhysMem mem(16 << 20);
+  Iommu iommu(&mem, /*present=*/false);
+  iommu.ProtectRange(0, 0x10000);  // Ignored without hardware.
+  const std::uint64_t v = 5;
+  EXPECT_EQ(iommu.DmaWrite(7, 0x8000, &v, 8), Status::kSuccess);
+  EXPECT_EQ(mem.Read64(0x8000), 5u);
+  EXPECT_TRUE(iommu.GsiAllowed(7, 60));
+}
+
+}  // namespace
+}  // namespace nova::hw

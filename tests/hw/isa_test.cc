@@ -1,0 +1,93 @@
+// The guest instruction encoding and assembler.
+#include "src/hw/isa.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/rng.h"
+
+namespace nova::hw::isa {
+namespace {
+
+TEST(Isa, EncodeDecodeRoundTrip) {
+  sim::Rng rng(3);
+  const Opcode opcodes[] = {Opcode::kNopBlock, Opcode::kMovImm, Opcode::kAdd,
+                            Opcode::kAnd,      Opcode::kLoad,   Opcode::kStore,
+                            Opcode::kCopy,     Opcode::kJmp,    Opcode::kJnz,
+                            Opcode::kLoop,     Opcode::kOut,    Opcode::kIn,
+                            Opcode::kCpuid,    Opcode::kHlt,    Opcode::kRdtsc,
+                            Opcode::kMovCr3,   Opcode::kReadCr3, Opcode::kReadCr2,
+                            Opcode::kInvlpg,   Opcode::kSti,    Opcode::kCli,
+                            Opcode::kIret,     Opcode::kSetIdt, Opcode::kVmcall,
+                            Opcode::kGuestLogic};
+  for (int i = 0; i < 500; ++i) {
+    Insn in;
+    in.opcode = opcodes[rng.Below(std::size(opcodes))];
+    in.r1 = static_cast<std::uint8_t>(rng.Below(kNumRegs));
+    in.r2 = rng.Chance(0.3) ? kNoReg : static_cast<std::uint8_t>(rng.Below(kNumRegs));
+    in.flags = static_cast<std::uint8_t>(rng.Below(256));
+    in.imm32 = static_cast<std::uint32_t>(rng.Next());
+    in.imm64 = rng.Next();
+
+    std::uint8_t bytes[kInsnSize];
+    Encode(in, bytes);
+    const Insn out = Decode(bytes);
+    EXPECT_EQ(out.opcode, in.opcode);
+    EXPECT_EQ(out.r1, in.r1);
+    EXPECT_EQ(out.r2, in.r2);
+    EXPECT_EQ(out.flags, in.flags);
+    EXPECT_EQ(out.imm32, in.imm32);
+    EXPECT_EQ(out.imm64, in.imm64);
+  }
+}
+
+TEST(Isa, AssemblerAddressesAreSequentialAndAligned) {
+  Assembler as(0x10000);
+  EXPECT_EQ(as.Here(), 0x10000u);
+  const std::uint64_t a = as.NopBlock(1);
+  const std::uint64_t b = as.MovImm(0, 1);
+  const std::uint64_t c = as.Hlt();
+  EXPECT_EQ(a, 0x10000u);
+  EXPECT_EQ(b, a + kInsnSize);
+  EXPECT_EQ(c, b + kInsnSize);
+  EXPECT_EQ(as.bytes().size(), 3 * kInsnSize);
+  EXPECT_EQ(a % kInsnSize, 0u);  // Never straddles a page boundary.
+}
+
+TEST(Isa, PatchImm64RewritesForwardTargets) {
+  Assembler as(0x10000);
+  const std::uint64_t jnz_at = as.Jnz(1, 0);  // Placeholder target.
+  as.NopBlock(5);
+  const std::uint64_t target = as.Hlt();
+  as.PatchImm64(jnz_at, target);
+
+  const Insn decoded = Decode(as.bytes().data());
+  EXPECT_EQ(decoded.opcode, Opcode::kJnz);
+  EXPECT_EQ(decoded.imm64, target);
+}
+
+TEST(Isa, ConvenienceEmittersEncodeExpectedFields) {
+  Assembler as(0);
+  as.Out(0x3f8, 5);
+  Insn out = Decode(as.bytes().data());
+  EXPECT_EQ(out.opcode, Opcode::kOut);
+  EXPECT_EQ(out.imm32, 0x3f8u);
+  EXPECT_EQ(out.r1, 5);
+
+  Assembler as2(0);
+  as2.SetIdt(14, 0xdeadb000);
+  Insn idt = Decode(as2.bytes().data());
+  EXPECT_EQ(idt.opcode, Opcode::kSetIdt);
+  EXPECT_EQ(idt.imm32, 14u);
+  EXPECT_EQ(idt.imm64, 0xdeadb000u);
+
+  Assembler as3(0);
+  as3.Load(3, 4, 0x1000);
+  Insn ld = Decode(as3.bytes().data());
+  EXPECT_EQ(ld.opcode, Opcode::kLoad);
+  EXPECT_EQ(ld.r1, 3);
+  EXPECT_EQ(ld.r2, 4);
+  EXPECT_EQ(ld.imm64, 0x1000u);
+}
+
+}  // namespace
+}  // namespace nova::hw::isa

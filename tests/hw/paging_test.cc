@@ -1,0 +1,141 @@
+#include "src/hw/paging.h"
+
+#include <gtest/gtest.h>
+
+#include "src/hw/phys_mem.h"
+
+namespace nova::hw {
+namespace {
+
+class PagingTest : public ::testing::TestWithParam<PagingMode> {
+ protected:
+  PagingTest() : mem_(256ull << 20), next_frame_(0x100000) {}
+
+  PageTable::FrameAllocator Alloc() {
+    return [this] {
+      const PhysAddr f = next_frame_;
+      next_frame_ += kPageSize;
+      return f;
+    };
+  }
+
+  PhysMem mem_;
+  PhysAddr next_frame_;
+};
+
+TEST_P(PagingTest, MapWalkRoundTrip) {
+  PageTable pt(&mem_, GetParam(), 0x1000);
+  ASSERT_EQ(pt.Map(0x40000000, 0x200000, kPageSize,
+                   pte::kWritable | pte::kUser, Alloc()),
+            Status::kSuccess);
+  const WalkResult r = pt.Walk(0x40000123, Access{}, false);
+  ASSERT_EQ(r.status, Status::kSuccess);
+  EXPECT_EQ(r.pa, 0x200123u);
+  EXPECT_EQ(r.page_size, kPageSize);
+  EXPECT_EQ(r.accesses, Levels(GetParam()));
+}
+
+TEST_P(PagingTest, UnmappedFaultsNotPresent) {
+  PageTable pt(&mem_, GetParam(), 0x1000);
+  const WalkResult r = pt.Walk(0x12345000, Access{.write = true}, false);
+  EXPECT_EQ(r.status, Status::kMemoryFault);
+  EXPECT_FALSE(r.fault.present);
+  EXPECT_TRUE(r.fault.write);
+}
+
+TEST_P(PagingTest, WriteToReadOnlyFaults) {
+  PageTable pt(&mem_, GetParam(), 0x1000);
+  ASSERT_EQ(pt.Map(0x5000, 0x9000, kPageSize, pte::kUser, Alloc()),
+            Status::kSuccess);
+  EXPECT_EQ(pt.Walk(0x5000, Access{.write = false}, false).status, Status::kSuccess);
+  const WalkResult r = pt.Walk(0x5000, Access{.write = true}, false);
+  EXPECT_EQ(r.status, Status::kMemoryFault);
+  EXPECT_TRUE(r.fault.present);  // Protection violation, not a miss.
+}
+
+TEST_P(PagingTest, UserBitEnforced) {
+  PageTable pt(&mem_, GetParam(), 0x1000);
+  ASSERT_EQ(pt.Map(0x6000, 0xa000, kPageSize, pte::kWritable, Alloc()),
+            Status::kSuccess);
+  EXPECT_EQ(pt.Walk(0x6000, Access{.user = false}, false).status, Status::kSuccess);
+  EXPECT_EQ(pt.Walk(0x6000, Access{.user = true}, false).status,
+            Status::kMemoryFault);
+}
+
+TEST_P(PagingTest, LargePageMapping) {
+  const std::uint64_t large = LargePageSize(GetParam());
+  PageTable pt(&mem_, GetParam(), 0x1000);
+  ASSERT_EQ(pt.Map(large * 4, large * 8, large, pte::kWritable | pte::kUser, Alloc()),
+            Status::kSuccess);
+  const WalkResult r = pt.Walk(large * 4 + 0xabc, Access{}, false);
+  ASSERT_EQ(r.status, Status::kSuccess);
+  EXPECT_EQ(r.pa, large * 8 + 0xabc);
+  EXPECT_EQ(r.page_size, large);
+  // A superpage walk touches one fewer level than a 4 KiB walk.
+  EXPECT_EQ(r.accesses, Levels(GetParam()) - 1);
+}
+
+TEST_P(PagingTest, MisalignedLargeMapRejected) {
+  const std::uint64_t large = LargePageSize(GetParam());
+  PageTable pt(&mem_, GetParam(), 0x1000);
+  EXPECT_EQ(pt.Map(large + kPageSize, 0, large, 0, Alloc()), Status::kBadParameter);
+  EXPECT_EQ(pt.Map(large, kPageSize, large, 0, Alloc()), Status::kBadParameter);
+  EXPECT_EQ(pt.Map(0, 0, 12345, 0, Alloc()), Status::kBadParameter);
+}
+
+TEST_P(PagingTest, AccessedDirtyBits) {
+  PageTable pt(&mem_, GetParam(), 0x1000);
+  ASSERT_EQ(pt.Map(0x7000, 0xb000, kPageSize, pte::kWritable | pte::kUser, Alloc()),
+            Status::kSuccess);
+  // Read walk sets A only.
+  WalkResult r = pt.Walk(0x7000, Access{}, /*set_ad=*/true);
+  ASSERT_EQ(r.status, Status::kSuccess);
+  EXPECT_TRUE(r.pte & pte::kAccessed);
+  EXPECT_FALSE(r.pte & pte::kDirty);
+  // Write walk sets D.
+  r = pt.Walk(0x7000, Access{.write = true}, /*set_ad=*/true);
+  ASSERT_EQ(r.status, Status::kSuccess);
+  EXPECT_TRUE(r.pte & pte::kDirty);
+}
+
+TEST_P(PagingTest, UnmapRemovesMapping) {
+  PageTable pt(&mem_, GetParam(), 0x1000);
+  ASSERT_EQ(pt.Map(0x8000, 0xc000, kPageSize, pte::kUser, Alloc()), Status::kSuccess);
+  EXPECT_EQ(pt.Walk(0x8000, Access{}, false).status, Status::kSuccess);
+  EXPECT_EQ(pt.Unmap(0x8000), Status::kSuccess);
+  EXPECT_EQ(pt.Walk(0x8000, Access{}, false).status, Status::kMemoryFault);
+  EXPECT_EQ(pt.Unmap(0x8000), Status::kSuccess);  // Idempotent.
+}
+
+TEST_P(PagingTest, RemapReplacesTranslation) {
+  PageTable pt(&mem_, GetParam(), 0x1000);
+  ASSERT_EQ(pt.Map(0x9000, 0xd000, kPageSize, pte::kUser, Alloc()), Status::kSuccess);
+  ASSERT_EQ(pt.Map(0x9000, 0xe000, kPageSize, pte::kUser, Alloc()), Status::kSuccess);
+  EXPECT_EQ(pt.Walk(0x9000, Access{}, false).pa, 0xe000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, PagingTest,
+                         ::testing::Values(PagingMode::kTwoLevel,
+                                           PagingMode::kFourLevel),
+                         [](const auto& info_param) {
+                           return info_param.param == PagingMode::kTwoLevel
+                                      ? "TwoLevel"
+                                      : "FourLevel";
+                         });
+
+TEST(Paging, FourLevelCoversHighAddresses) {
+  PhysMem mem(64 << 20);
+  PhysAddr next = 0x100000;
+  PageTable pt(&mem, PagingMode::kFourLevel, 0x1000);
+  const VirtAddr high = 0x7f00'1234'5000ull;
+  ASSERT_EQ(pt.Map(high, 0x200000, kPageSize, pte::kUser, [&] {
+              const PhysAddr f = next;
+              next += kPageSize;
+              return f;
+            }),
+            Status::kSuccess);
+  EXPECT_EQ(pt.Walk(high + 0x10, Access{}, false).pa, 0x200010u);
+}
+
+}  // namespace
+}  // namespace nova::hw

@@ -1,0 +1,58 @@
+#include "src/hw/phys_mem.h"
+
+#include <gtest/gtest.h>
+
+namespace nova::hw {
+namespace {
+
+TEST(PhysMem, ReadZeroBeforeWrite) {
+  PhysMem mem(1 << 20);
+  EXPECT_EQ(mem.Read64(0x1000), 0u);
+  EXPECT_EQ(mem.resident_frames(), 0u);  // Reads do not materialize frames.
+}
+
+TEST(PhysMem, WriteReadRoundTrip) {
+  PhysMem mem(1 << 20);
+  EXPECT_EQ(mem.Write64(0x2008, 0xdeadbeefcafebabeull), Status::kSuccess);
+  EXPECT_EQ(mem.Read64(0x2008), 0xdeadbeefcafebabeull);
+  EXPECT_EQ(mem.resident_frames(), 1u);
+}
+
+TEST(PhysMem, CrossPageAccess) {
+  PhysMem mem(1 << 20);
+  const std::uint8_t data[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_EQ(mem.Write(kPageSize - 4, data, 8), Status::kSuccess);
+  std::uint8_t out[8] = {};
+  EXPECT_EQ(mem.Read(kPageSize - 4, out, 8), Status::kSuccess);
+  EXPECT_EQ(0, memcmp(data, out, 8));
+  EXPECT_EQ(mem.resident_frames(), 2u);
+}
+
+TEST(PhysMem, OutOfBoundsFaults) {
+  PhysMem mem(1 << 20);
+  std::uint8_t buf[16];
+  EXPECT_EQ(mem.Read((1 << 20), buf, 1), Status::kMemoryFault);
+  EXPECT_EQ(mem.Read((1 << 20) - 8, buf, 16), Status::kMemoryFault);
+  EXPECT_EQ(mem.Write((1 << 20) - 1, buf, 2), Status::kMemoryFault);
+  EXPECT_EQ(mem.Write((1 << 20) - 1, buf, 1), Status::kSuccess);
+}
+
+TEST(PhysMem, ZeroClearsRange) {
+  PhysMem mem(1 << 20);
+  mem.Write64(0x3000, ~0ull);
+  mem.Write64(0x3ff8, ~0ull);
+  EXPECT_EQ(mem.Zero(0x3000, kPageSize), Status::kSuccess);
+  EXPECT_EQ(mem.Read64(0x3000), 0u);
+  EXPECT_EQ(mem.Read64(0x3ff8), 0u);
+}
+
+TEST(PhysMem, ContainsChecks) {
+  PhysMem mem(0x10000);
+  EXPECT_TRUE(mem.Contains(0, 0x10000));
+  EXPECT_FALSE(mem.Contains(0, 0x10001));
+  EXPECT_FALSE(mem.Contains(0x10000, 1));
+  EXPECT_TRUE(mem.Contains(0xffff, 1));
+}
+
+}  // namespace
+}  // namespace nova::hw

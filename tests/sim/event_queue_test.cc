@@ -1,0 +1,91 @@
+#include "src/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nova::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(Nanoseconds(30), [&] { order.push_back(3); });
+  q.ScheduleAt(Nanoseconds(10), [&] { order.push_back(1); });
+  q.ScheduleAt(Nanoseconds(20), [&] { order.push_back(2); });
+  q.AdvanceTo(Nanoseconds(25));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  q.AdvanceTo(Nanoseconds(100));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameDeadlineIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.ScheduleAt(Nanoseconds(10), [&order, i] { order.push_back(i); });
+  }
+  q.AdvanceTo(Nanoseconds(10));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CallbackMaySchedule) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(Nanoseconds(10), [&] {
+    ++fired;
+    q.ScheduleAfter(Nanoseconds(5), [&] { ++fired; });
+  });
+  q.AdvanceTo(Nanoseconds(20));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now(), Nanoseconds(20));
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  int fired = 0;
+  const auto id = q.ScheduleAt(Nanoseconds(10), [&] { ++fired; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));  // Second cancel is a no-op.
+  q.AdvanceTo(Nanoseconds(20));
+  EXPECT_EQ(fired, 0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelUnknownIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.Cancel(0));
+  EXPECT_FALSE(q.Cancel(1234));
+}
+
+TEST(EventQueue, RunOneJumpsToDeadline) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(Microseconds(7), [&] { ++fired; });
+  EXPECT_TRUE(q.RunOne());
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), Microseconds(7));
+  EXPECT_FALSE(q.RunOne());
+}
+
+TEST(EventQueue, NextDeadlineSkipsCancelled) {
+  EventQueue q;
+  const auto id = q.ScheduleAt(Nanoseconds(5), [] {});
+  q.ScheduleAt(Nanoseconds(9), [] {});
+  q.Cancel(id);
+  EXPECT_EQ(q.NextDeadline(), Nanoseconds(9));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, PastEventsFireOnAdvance) {
+  EventQueue q;
+  q.AdvanceTo(Nanoseconds(100));
+  int fired = 0;
+  q.ScheduleAt(Nanoseconds(10), [&] { ++fired; });  // Already in the past.
+  q.AdvanceTo(Nanoseconds(100));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), Nanoseconds(100));  // Time never moves backwards.
+}
+
+}  // namespace
+}  // namespace nova::sim

@@ -1,0 +1,83 @@
+#include "src/sim/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace nova::sim {
+namespace {
+
+TEST(Counter, AddsAndResets) {
+  Counter c;
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Distribution, TracksMoments) {
+  Distribution d;
+  for (std::uint64_t v : {10, 20, 30}) {
+    d.Record(v);
+  }
+  EXPECT_EQ(d.count(), 3u);
+  EXPECT_EQ(d.sum(), 60u);
+  EXPECT_EQ(d.min(), 10u);
+  EXPECT_EQ(d.max(), 30u);
+  EXPECT_DOUBLE_EQ(d.Mean(), 20.0);
+}
+
+TEST(Distribution, Percentiles) {
+  Distribution d;
+  for (std::uint64_t v = 1; v <= 100; ++v) {
+    d.Record(v);
+  }
+  EXPECT_EQ(d.Percentile(0), 1u);
+  EXPECT_EQ(d.Percentile(100), 100u);
+  EXPECT_NEAR(static_cast<double>(d.Percentile(50)), 50.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(d.Percentile(99)), 99.0, 1.0);
+}
+
+TEST(Distribution, EmptyPercentileIsZero) {
+  Distribution d;
+  EXPECT_EQ(d.Percentile(50), 0u);
+}
+
+TEST(UtilizationTracker, HalfBusy) {
+  UtilizationTracker u;
+  u.Reset(0);
+  u.SetBusy(0, true);
+  u.SetBusy(Microseconds(5), false);
+  EXPECT_DOUBLE_EQ(u.Utilization(Microseconds(10)), 0.5);
+}
+
+TEST(UtilizationTracker, OpenBusyIntervalCounts) {
+  UtilizationTracker u;
+  u.Reset(0);
+  u.SetBusy(Microseconds(2), true);
+  // Still busy at query time.
+  EXPECT_DOUBLE_EQ(u.Utilization(Microseconds(4)), 0.5);
+}
+
+TEST(UtilizationTracker, RedundantTransitionsIgnored) {
+  UtilizationTracker u;
+  u.Reset(0);
+  u.SetBusy(Microseconds(1), true);
+  u.SetBusy(Microseconds(2), true);  // No-op.
+  u.SetBusy(Microseconds(3), false);
+  u.SetBusy(Microseconds(4), false);  // No-op.
+  EXPECT_DOUBLE_EQ(u.Utilization(Microseconds(4)), 0.5);
+}
+
+TEST(StatRegistry, NamedCounters) {
+  StatRegistry reg;
+  reg.counter("Port I/O").Add(5);
+  reg.counter("HLT").Add();
+  EXPECT_EQ(reg.Value("Port I/O"), 5u);
+  EXPECT_EQ(reg.Value("HLT"), 1u);
+  EXPECT_EQ(reg.Value("missing"), 0u);
+  reg.ResetAll();
+  EXPECT_EQ(reg.Value("Port I/O"), 0u);
+}
+
+}  // namespace
+}  // namespace nova::sim

@@ -1,0 +1,46 @@
+#include "src/sim/time.h"
+
+#include <gtest/gtest.h>
+
+namespace nova::sim {
+namespace {
+
+TEST(Frequency, CyclesToPicosAtOneGhz) {
+  const Frequency f = Frequency::MHz(1000);
+  EXPECT_EQ(f.CyclesToPicos(1), 1000u);  // 1 cycle = 1 ns.
+  EXPECT_EQ(f.CyclesToPicos(1'000'000'000), kPicosPerSecond);
+}
+
+TEST(Frequency, NonIntegralGhzIsExact) {
+  // The Core i7 920 in the paper runs at 2.67 GHz.
+  const Frequency f = Frequency::MHz(2670);
+  // 2.67e9 cycles take exactly one second.
+  EXPECT_EQ(f.CyclesToPicos(2'670'000'000ull), kPicosPerSecond);
+  EXPECT_EQ(f.PicosToCycles(kPicosPerSecond), 2'670'000'000ull);
+}
+
+TEST(Frequency, RoundTripLongDurations) {
+  const Frequency f = Frequency::MHz(2670);
+  // An hour of simulated time must not overflow.
+  const PicoSeconds hour = Seconds(3600);
+  const Cycles c = f.PicosToCycles(hour);
+  EXPECT_EQ(c, 3600ull * 2'670'000'000ull);
+  EXPECT_EQ(f.CyclesToPicos(c), hour);
+}
+
+TEST(Frequency, PicosToCyclesTruncates) {
+  const Frequency f = Frequency::MHz(1000);
+  EXPECT_EQ(f.PicosToCycles(999), 0u);   // Less than one cycle.
+  EXPECT_EQ(f.PicosToCycles(1000), 1u);
+  EXPECT_EQ(f.PicosToCycles(1999), 1u);
+}
+
+TEST(Durations, Helpers) {
+  EXPECT_EQ(Nanoseconds(1), 1000u);
+  EXPECT_EQ(Microseconds(1), 1'000'000u);
+  EXPECT_EQ(Milliseconds(1), 1'000'000'000u);
+  EXPECT_EQ(Seconds(1), kPicosPerSecond);
+}
+
+}  // namespace
+}  // namespace nova::sim

@@ -1,0 +1,157 @@
+// The VMM's instruction emulator: fetch through guest page tables, decode,
+// execute against the device router, exception fixup (§7.1).
+#include "src/vmm/emulator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/guest/guest_pt.h"
+#include "src/hw/machine.h"
+
+namespace nova::vmm {
+namespace {
+
+class EmulatorTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint64_t kGuestBase = 64ull << 20;  // GPA 0 == HPA 64M.
+  static constexpr std::uint64_t kGuestSize = 32ull << 20;
+
+  EmulatorTest()
+      : machine_(hw::MachineConfig{.cpus = {&hw::CoreI7_920()},
+                                   .ram_size = 256ull << 20}),
+        emu_(&machine_.mem(), &machine_.cpu(0),
+             [](std::uint64_t gpa) {
+               return gpa < kGuestSize ? kGuestBase + gpa : ~0ull;
+             }),
+        gpt_(&machine_.mem(),
+             [](std::uint64_t gpa) { return kGuestBase + gpa; }, 0x110000) {}
+
+  // Place one instruction at GPA 0x1000 and describe it in `arch`.
+  void SetInsn(const hw::isa::Insn& insn) {
+    std::uint8_t bytes[hw::isa::kInsnSize];
+    hw::isa::Encode(insn, bytes);
+    machine_.mem().Write(kGuestBase + 0x1000, bytes, sizeof(bytes));
+    arch_.rip = 0x1000;
+    arch_.insn_len = hw::isa::kInsnSize;
+  }
+
+  void EnableGuestPaging() {
+    gpt_.Map(0x100000, 0x1000, 0x1000, hw::kPageSize, hw::pte::kWritable);
+    arch_.paging = true;
+    arch_.cr3 = 0x100000;
+  }
+
+  hw::Machine machine_;
+  InsnEmulator emu_;
+  guest::GuestPageTableBuilder gpt_;
+  hv::ArchState arch_;
+  std::uint64_t last_write_gpa_ = 0;
+  std::uint64_t last_write_val_ = 0;
+
+  InsnEmulator::MmioRead Reader() {
+    return [](std::uint64_t gpa, unsigned) { return gpa + 0x11; };
+  }
+  InsnEmulator::MmioWrite Writer() {
+    return [this](std::uint64_t gpa, unsigned, std::uint64_t v) {
+      last_write_gpa_ = gpa;
+      last_write_val_ = v;
+    };
+  }
+};
+
+TEST_F(EmulatorTest, EmulatesMmioLoadWithoutPaging) {
+  SetInsn({.opcode = hw::isa::Opcode::kLoad,
+           .r1 = 2,
+           .r2 = hw::isa::kNoReg,
+           .imm64 = 0xfe000040});
+  ASSERT_EQ(emu_.EmulateMmio(arch_, Reader(), Writer()),
+            InsnEmulator::Result::kOk);
+  EXPECT_EQ(arch_.regs[2], 0xfe000040u + 0x11);
+  EXPECT_EQ(arch_.rip, 0x1000u + hw::isa::kInsnSize);  // Advanced.
+  EXPECT_EQ(emu_.emulated(), 1u);
+}
+
+TEST_F(EmulatorTest, EmulatesMmioStoreWithRegisterBase) {
+  SetInsn({.opcode = hw::isa::Opcode::kStore, .r1 = 3, .r2 = 4, .imm64 = 0x40});
+  arch_.regs[3] = 0xabcd;
+  arch_.regs[4] = 0xfe000000;
+  ASSERT_EQ(emu_.EmulateMmio(arch_, Reader(), Writer()),
+            InsnEmulator::Result::kOk);
+  EXPECT_EQ(last_write_gpa_, 0xfe000040u);
+  EXPECT_EQ(last_write_val_, 0xabcdu);
+}
+
+TEST_F(EmulatorTest, FetchesThroughGuestPageTables) {
+  EnableGuestPaging();
+  // The device address must also be mapped in the guest page table; map
+  // GVA 0x800000 -> GPA 0xfe000000 (a device region).
+  gpt_.Map(0x100000, 0x800000, 0xfe000000, hw::kPageSize, hw::pte::kWritable);
+  SetInsn({.opcode = hw::isa::Opcode::kLoad,
+           .r1 = 1,
+           .r2 = hw::isa::kNoReg,
+           .imm64 = 0x800000});
+  ASSERT_EQ(emu_.EmulateMmio(arch_, Reader(), Writer()),
+            InsnEmulator::Result::kOk);
+  EXPECT_EQ(arch_.regs[1], 0xfe000000u + 0x11);
+}
+
+TEST_F(EmulatorTest, UnmappedFetchInjectsPageFault) {
+  EnableGuestPaging();
+  arch_.rip = 0x999000;  // Not mapped in the guest table.
+  EXPECT_EQ(emu_.EmulateMmio(arch_, Reader(), Writer()),
+            InsnEmulator::Result::kInjectPf);
+  EXPECT_EQ(arch_.cr2, 0x999000u);  // Exception fixup (§7.1).
+}
+
+TEST_F(EmulatorTest, UnmappedOperandInjectsPageFault) {
+  EnableGuestPaging();
+  SetInsn({.opcode = hw::isa::Opcode::kLoad,
+           .r1 = 1,
+           .r2 = hw::isa::kNoReg,
+           .imm64 = 0x777000});
+  EXPECT_EQ(emu_.EmulateMmio(arch_, Reader(), Writer()),
+            InsnEmulator::Result::kInjectPf);
+  EXPECT_EQ(arch_.cr2, 0x777000u);
+}
+
+TEST_F(EmulatorTest, WriteToReadOnlyGuestMappingFaults) {
+  EnableGuestPaging();
+  gpt_.Map(0x100000, 0x800000, 0xfe000000, hw::kPageSize, /*flags=*/0);  // RO.
+  SetInsn({.opcode = hw::isa::Opcode::kStore, .r1 = 1, .r2 = hw::isa::kNoReg,
+           .imm64 = 0x800000});
+  EXPECT_EQ(emu_.EmulateMmio(arch_, Reader(), Writer()),
+            InsnEmulator::Result::kInjectPf);
+}
+
+TEST_F(EmulatorTest, NonMemoryInstructionUnsupported) {
+  SetInsn({.opcode = hw::isa::Opcode::kCpuid});
+  EXPECT_EQ(emu_.EmulateMmio(arch_, Reader(), Writer()),
+            InsnEmulator::Result::kUnsupported);
+  EXPECT_EQ(arch_.rip, 0x1000u);  // Not advanced.
+}
+
+TEST_F(EmulatorTest, ChargesDecodeCycles) {
+  SetInsn({.opcode = hw::isa::Opcode::kLoad,
+           .r1 = 2,
+           .r2 = hw::isa::kNoReg,
+           .imm64 = 0xfe000040});
+  const sim::Cycles before = machine_.cpu(0).cycles();
+  emu_.EmulateMmio(arch_, Reader(), Writer());
+  // Fetch + decode + execute costs were charged.
+  EXPECT_GE(machine_.cpu(0).cycles() - before, 300u);
+}
+
+TEST_F(EmulatorTest, ReadGuestVirtCrossesPages) {
+  EnableGuestPaging();
+  gpt_.Map(0x100000, 0x2000, 0x2000, hw::kPageSize, hw::pte::kWritable);
+  gpt_.Map(0x100000, 0x3000, 0x5000, hw::kPageSize, hw::pte::kWritable);
+  // Data straddling the 0x2000/0x3000 boundary maps to 0x2000/0x5000.
+  machine_.mem().Write64(kGuestBase + 0x2ff8, 0x1111);
+  machine_.mem().Write64(kGuestBase + 0x5000, 0x2222);
+  std::uint64_t out[2] = {};
+  ASSERT_TRUE(emu_.ReadGuestVirt(arch_, 0x2ff8, out, sizeof(out)));
+  EXPECT_EQ(out[0], 0x1111u);
+  EXPECT_EQ(out[1], 0x2222u);
+}
+
+}  // namespace
+}  // namespace nova::vmm

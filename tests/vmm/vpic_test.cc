@@ -1,0 +1,93 @@
+#include "src/vmm/vpic.h"
+
+#include <gtest/gtest.h>
+
+namespace nova::vmm {
+namespace {
+
+TEST(VPic, RaiseMakesDeliverableAndKicks) {
+  int kicks = 0;
+  VPic pic([&] { ++kicks; });
+  EXPECT_FALSE(pic.HasDeliverable());
+  pic.Raise(33);
+  EXPECT_TRUE(pic.HasDeliverable());
+  EXPECT_EQ(pic.HighestDeliverable(), 33);
+  EXPECT_EQ(kicks, 1);
+}
+
+TEST(VPic, HighestVectorWins) {
+  VPic pic({});
+  pic.Raise(33);
+  pic.Raise(41);
+  pic.Raise(35);
+  EXPECT_EQ(pic.HighestDeliverable(), 41);
+  pic.BeginService(41);
+  EXPECT_EQ(pic.HighestDeliverable(), 35);
+}
+
+TEST(VPic, BeginServiceMovesToInService) {
+  VPic pic({});
+  pic.Raise(33);
+  pic.BeginService(33);
+  EXPECT_FALSE(pic.HasDeliverable());
+  // The ISR reads the in-service vector from the status port.
+  EXPECT_EQ(pic.PioRead(vpic::kPortVector), 33u);
+  // EOI clears it.
+  pic.PioWrite(vpic::kPortVector, 33);
+  EXPECT_EQ(pic.PioRead(vpic::kPortVector), vpic::kNoVector);
+}
+
+TEST(VPic, MaskedVectorNotDeliverable) {
+  int kicks = 0;
+  VPic pic([&] { ++kicks; });
+  pic.PioWrite(vpic::kPortMask, 33);
+  pic.Raise(33);
+  EXPECT_FALSE(pic.HasDeliverable());
+  EXPECT_EQ(kicks, 0);  // Masked: no kick.
+  // Unmask re-arms and kicks.
+  pic.PioWrite(vpic::kPortUnmask, 33);
+  EXPECT_TRUE(pic.HasDeliverable());
+  EXPECT_EQ(kicks, 1);
+}
+
+TEST(VPic, MaskOnlyAffectsThatVector) {
+  VPic pic({});
+  pic.PioWrite(vpic::kPortMask, 33);
+  pic.Raise(33);
+  pic.Raise(34);
+  EXPECT_EQ(pic.HighestDeliverable(), 34);
+}
+
+TEST(VPic, SoftwareRaisePort) {
+  VPic pic({});
+  pic.PioWrite(vpic::kPortRaise, 40);
+  EXPECT_EQ(pic.HighestDeliverable(), 40);
+  EXPECT_EQ(pic.raised(), 1u);
+}
+
+TEST(VPic, OutOfRangeVectorIgnored) {
+  VPic pic({});
+  pic.Raise(200);  // >= 64: dropped.
+  EXPECT_FALSE(pic.HasDeliverable());
+}
+
+TEST(VPic, CountsInjections) {
+  VPic pic({});
+  pic.Raise(33);
+  pic.BeginService(33);
+  pic.Raise(34);
+  pic.BeginService(34);
+  EXPECT_EQ(pic.injected(), 2u);
+}
+
+TEST(VPic, OwnsHandshakePorts) {
+  VPic pic({});
+  EXPECT_TRUE(pic.OwnsPort(vpic::kPortVector));
+  EXPECT_TRUE(pic.OwnsPort(vpic::kPortMask));
+  EXPECT_TRUE(pic.OwnsPort(vpic::kPortUnmask));
+  EXPECT_TRUE(pic.OwnsPort(vpic::kPortRaise));
+  EXPECT_FALSE(pic.OwnsPort(0x40));
+}
+
+}  // namespace
+}  // namespace nova::vmm

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_paravirt.dir/ext_paravirt.cc.o"
+  "CMakeFiles/ext_paravirt.dir/ext_paravirt.cc.o.d"
+  "ext_paravirt"
+  "ext_paravirt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_paravirt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

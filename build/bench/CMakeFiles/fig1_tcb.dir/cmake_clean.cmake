@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_tcb.dir/fig1_tcb.cc.o"
+  "CMakeFiles/fig1_tcb.dir/fig1_tcb.cc.o.d"
+  "fig1_tcb"
+  "fig1_tcb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_tcb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

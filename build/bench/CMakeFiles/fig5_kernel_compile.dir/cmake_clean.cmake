@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_kernel_compile.dir/fig5_kernel_compile.cc.o"
+  "CMakeFiles/fig5_kernel_compile.dir/fig5_kernel_compile.cc.o.d"
+  "fig5_kernel_compile"
+  "fig5_kernel_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_kernel_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_disk.dir/fig6_disk.cc.o"
+  "CMakeFiles/fig6_disk.dir/fig6_disk.cc.o.d"
+  "fig6_disk"
+  "fig6_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

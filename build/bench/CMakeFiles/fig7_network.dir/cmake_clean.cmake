@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_network.dir/fig7_network.cc.o"
+  "CMakeFiles/fig7_network.dir/fig7_network.cc.o.d"
+  "fig7_network"
+  "fig7_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

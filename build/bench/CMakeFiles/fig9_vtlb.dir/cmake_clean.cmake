@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_vtlb.dir/fig9_vtlb.cc.o"
+  "CMakeFiles/fig9_vtlb.dir/fig9_vtlb.cc.o.d"
+  "fig9_vtlb"
+  "fig9_vtlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_vtlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

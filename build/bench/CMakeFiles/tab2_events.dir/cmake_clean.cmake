@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_events.dir/tab2_events.cc.o"
+  "CMakeFiles/tab2_events.dir/tab2_events.cc.o.d"
+  "tab2_events"
+  "tab2_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

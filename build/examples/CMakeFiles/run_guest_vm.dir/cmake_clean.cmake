@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_guest_vm.dir/run_guest_vm.cpp.o"
+  "CMakeFiles/run_guest_vm.dir/run_guest_vm.cpp.o.d"
+  "run_guest_vm"
+  "run_guest_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_guest_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

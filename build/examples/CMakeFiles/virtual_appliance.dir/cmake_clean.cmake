@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_appliance.dir/virtual_appliance.cpp.o"
+  "CMakeFiles/virtual_appliance.dir/virtual_appliance.cpp.o.d"
+  "virtual_appliance"
+  "virtual_appliance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_appliance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_isolation_demo.dir/vm_isolation_demo.cpp.o"
+  "CMakeFiles/vm_isolation_demo.dir/vm_isolation_demo.cpp.o.d"
+  "vm_isolation_demo"
+  "vm_isolation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_isolation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

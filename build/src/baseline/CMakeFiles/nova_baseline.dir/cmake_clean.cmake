@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_baseline.dir/tcb_data.cc.o"
+  "CMakeFiles/nova_baseline.dir/tcb_data.cc.o.d"
+  "libnova_baseline.a"
+  "libnova_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/guest/bare_metal.cc" "src/guest/CMakeFiles/nova_guest.dir/bare_metal.cc.o" "gcc" "src/guest/CMakeFiles/nova_guest.dir/bare_metal.cc.o.d"
+  "/root/repo/src/guest/driver_ahci.cc" "src/guest/CMakeFiles/nova_guest.dir/driver_ahci.cc.o" "gcc" "src/guest/CMakeFiles/nova_guest.dir/driver_ahci.cc.o.d"
+  "/root/repo/src/guest/driver_nic.cc" "src/guest/CMakeFiles/nova_guest.dir/driver_nic.cc.o" "gcc" "src/guest/CMakeFiles/nova_guest.dir/driver_nic.cc.o.d"
+  "/root/repo/src/guest/guest_pt.cc" "src/guest/CMakeFiles/nova_guest.dir/guest_pt.cc.o" "gcc" "src/guest/CMakeFiles/nova_guest.dir/guest_pt.cc.o.d"
+  "/root/repo/src/guest/kernel.cc" "src/guest/CMakeFiles/nova_guest.dir/kernel.cc.o" "gcc" "src/guest/CMakeFiles/nova_guest.dir/kernel.cc.o.d"
+  "/root/repo/src/guest/workload_compile.cc" "src/guest/CMakeFiles/nova_guest.dir/workload_compile.cc.o" "gcc" "src/guest/CMakeFiles/nova_guest.dir/workload_compile.cc.o.d"
+  "/root/repo/src/guest/workload_disk.cc" "src/guest/CMakeFiles/nova_guest.dir/workload_disk.cc.o" "gcc" "src/guest/CMakeFiles/nova_guest.dir/workload_disk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/nova_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nova_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

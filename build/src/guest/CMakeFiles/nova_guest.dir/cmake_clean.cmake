@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_guest.dir/bare_metal.cc.o"
+  "CMakeFiles/nova_guest.dir/bare_metal.cc.o.d"
+  "CMakeFiles/nova_guest.dir/driver_ahci.cc.o"
+  "CMakeFiles/nova_guest.dir/driver_ahci.cc.o.d"
+  "CMakeFiles/nova_guest.dir/driver_nic.cc.o"
+  "CMakeFiles/nova_guest.dir/driver_nic.cc.o.d"
+  "CMakeFiles/nova_guest.dir/guest_pt.cc.o"
+  "CMakeFiles/nova_guest.dir/guest_pt.cc.o.d"
+  "CMakeFiles/nova_guest.dir/kernel.cc.o"
+  "CMakeFiles/nova_guest.dir/kernel.cc.o.d"
+  "CMakeFiles/nova_guest.dir/workload_compile.cc.o"
+  "CMakeFiles/nova_guest.dir/workload_compile.cc.o.d"
+  "CMakeFiles/nova_guest.dir/workload_disk.cc.o"
+  "CMakeFiles/nova_guest.dir/workload_disk.cc.o.d"
+  "libnova_guest.a"
+  "libnova_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hv/cap_space.cc" "src/hv/CMakeFiles/nova_hv.dir/cap_space.cc.o" "gcc" "src/hv/CMakeFiles/nova_hv.dir/cap_space.cc.o.d"
+  "/root/repo/src/hv/ipc.cc" "src/hv/CMakeFiles/nova_hv.dir/ipc.cc.o" "gcc" "src/hv/CMakeFiles/nova_hv.dir/ipc.cc.o.d"
+  "/root/repo/src/hv/kernel.cc" "src/hv/CMakeFiles/nova_hv.dir/kernel.cc.o" "gcc" "src/hv/CMakeFiles/nova_hv.dir/kernel.cc.o.d"
+  "/root/repo/src/hv/mdb.cc" "src/hv/CMakeFiles/nova_hv.dir/mdb.cc.o" "gcc" "src/hv/CMakeFiles/nova_hv.dir/mdb.cc.o.d"
+  "/root/repo/src/hv/scheduler.cc" "src/hv/CMakeFiles/nova_hv.dir/scheduler.cc.o" "gcc" "src/hv/CMakeFiles/nova_hv.dir/scheduler.cc.o.d"
+  "/root/repo/src/hv/spaces.cc" "src/hv/CMakeFiles/nova_hv.dir/spaces.cc.o" "gcc" "src/hv/CMakeFiles/nova_hv.dir/spaces.cc.o.d"
+  "/root/repo/src/hv/vcpu.cc" "src/hv/CMakeFiles/nova_hv.dir/vcpu.cc.o" "gcc" "src/hv/CMakeFiles/nova_hv.dir/vcpu.cc.o.d"
+  "/root/repo/src/hv/vtlb.cc" "src/hv/CMakeFiles/nova_hv.dir/vtlb.cc.o" "gcc" "src/hv/CMakeFiles/nova_hv.dir/vtlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/nova_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nova_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_hv.dir/cap_space.cc.o"
+  "CMakeFiles/nova_hv.dir/cap_space.cc.o.d"
+  "CMakeFiles/nova_hv.dir/ipc.cc.o"
+  "CMakeFiles/nova_hv.dir/ipc.cc.o.d"
+  "CMakeFiles/nova_hv.dir/kernel.cc.o"
+  "CMakeFiles/nova_hv.dir/kernel.cc.o.d"
+  "CMakeFiles/nova_hv.dir/mdb.cc.o"
+  "CMakeFiles/nova_hv.dir/mdb.cc.o.d"
+  "CMakeFiles/nova_hv.dir/scheduler.cc.o"
+  "CMakeFiles/nova_hv.dir/scheduler.cc.o.d"
+  "CMakeFiles/nova_hv.dir/spaces.cc.o"
+  "CMakeFiles/nova_hv.dir/spaces.cc.o.d"
+  "CMakeFiles/nova_hv.dir/vcpu.cc.o"
+  "CMakeFiles/nova_hv.dir/vcpu.cc.o.d"
+  "CMakeFiles/nova_hv.dir/vtlb.cc.o"
+  "CMakeFiles/nova_hv.dir/vtlb.cc.o.d"
+  "libnova_hv.a"
+  "libnova_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/ahci.cc" "src/hw/CMakeFiles/nova_hw.dir/ahci.cc.o" "gcc" "src/hw/CMakeFiles/nova_hw.dir/ahci.cc.o.d"
+  "/root/repo/src/hw/cpu_model.cc" "src/hw/CMakeFiles/nova_hw.dir/cpu_model.cc.o" "gcc" "src/hw/CMakeFiles/nova_hw.dir/cpu_model.cc.o.d"
+  "/root/repo/src/hw/device.cc" "src/hw/CMakeFiles/nova_hw.dir/device.cc.o" "gcc" "src/hw/CMakeFiles/nova_hw.dir/device.cc.o.d"
+  "/root/repo/src/hw/disk.cc" "src/hw/CMakeFiles/nova_hw.dir/disk.cc.o" "gcc" "src/hw/CMakeFiles/nova_hw.dir/disk.cc.o.d"
+  "/root/repo/src/hw/iommu.cc" "src/hw/CMakeFiles/nova_hw.dir/iommu.cc.o" "gcc" "src/hw/CMakeFiles/nova_hw.dir/iommu.cc.o.d"
+  "/root/repo/src/hw/irq.cc" "src/hw/CMakeFiles/nova_hw.dir/irq.cc.o" "gcc" "src/hw/CMakeFiles/nova_hw.dir/irq.cc.o.d"
+  "/root/repo/src/hw/machine.cc" "src/hw/CMakeFiles/nova_hw.dir/machine.cc.o" "gcc" "src/hw/CMakeFiles/nova_hw.dir/machine.cc.o.d"
+  "/root/repo/src/hw/nic.cc" "src/hw/CMakeFiles/nova_hw.dir/nic.cc.o" "gcc" "src/hw/CMakeFiles/nova_hw.dir/nic.cc.o.d"
+  "/root/repo/src/hw/paging.cc" "src/hw/CMakeFiles/nova_hw.dir/paging.cc.o" "gcc" "src/hw/CMakeFiles/nova_hw.dir/paging.cc.o.d"
+  "/root/repo/src/hw/phys_mem.cc" "src/hw/CMakeFiles/nova_hw.dir/phys_mem.cc.o" "gcc" "src/hw/CMakeFiles/nova_hw.dir/phys_mem.cc.o.d"
+  "/root/repo/src/hw/timer_dev.cc" "src/hw/CMakeFiles/nova_hw.dir/timer_dev.cc.o" "gcc" "src/hw/CMakeFiles/nova_hw.dir/timer_dev.cc.o.d"
+  "/root/repo/src/hw/tlb.cc" "src/hw/CMakeFiles/nova_hw.dir/tlb.cc.o" "gcc" "src/hw/CMakeFiles/nova_hw.dir/tlb.cc.o.d"
+  "/root/repo/src/hw/uart.cc" "src/hw/CMakeFiles/nova_hw.dir/uart.cc.o" "gcc" "src/hw/CMakeFiles/nova_hw.dir/uart.cc.o.d"
+  "/root/repo/src/hw/vm_engine.cc" "src/hw/CMakeFiles/nova_hw.dir/vm_engine.cc.o" "gcc" "src/hw/CMakeFiles/nova_hw.dir/vm_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/nova_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

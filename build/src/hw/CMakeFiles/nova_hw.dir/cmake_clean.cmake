@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_hw.dir/ahci.cc.o"
+  "CMakeFiles/nova_hw.dir/ahci.cc.o.d"
+  "CMakeFiles/nova_hw.dir/cpu_model.cc.o"
+  "CMakeFiles/nova_hw.dir/cpu_model.cc.o.d"
+  "CMakeFiles/nova_hw.dir/device.cc.o"
+  "CMakeFiles/nova_hw.dir/device.cc.o.d"
+  "CMakeFiles/nova_hw.dir/disk.cc.o"
+  "CMakeFiles/nova_hw.dir/disk.cc.o.d"
+  "CMakeFiles/nova_hw.dir/iommu.cc.o"
+  "CMakeFiles/nova_hw.dir/iommu.cc.o.d"
+  "CMakeFiles/nova_hw.dir/irq.cc.o"
+  "CMakeFiles/nova_hw.dir/irq.cc.o.d"
+  "CMakeFiles/nova_hw.dir/machine.cc.o"
+  "CMakeFiles/nova_hw.dir/machine.cc.o.d"
+  "CMakeFiles/nova_hw.dir/nic.cc.o"
+  "CMakeFiles/nova_hw.dir/nic.cc.o.d"
+  "CMakeFiles/nova_hw.dir/paging.cc.o"
+  "CMakeFiles/nova_hw.dir/paging.cc.o.d"
+  "CMakeFiles/nova_hw.dir/phys_mem.cc.o"
+  "CMakeFiles/nova_hw.dir/phys_mem.cc.o.d"
+  "CMakeFiles/nova_hw.dir/timer_dev.cc.o"
+  "CMakeFiles/nova_hw.dir/timer_dev.cc.o.d"
+  "CMakeFiles/nova_hw.dir/tlb.cc.o"
+  "CMakeFiles/nova_hw.dir/tlb.cc.o.d"
+  "CMakeFiles/nova_hw.dir/uart.cc.o"
+  "CMakeFiles/nova_hw.dir/uart.cc.o.d"
+  "CMakeFiles/nova_hw.dir/vm_engine.cc.o"
+  "CMakeFiles/nova_hw.dir/vm_engine.cc.o.d"
+  "libnova_hw.a"
+  "libnova_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

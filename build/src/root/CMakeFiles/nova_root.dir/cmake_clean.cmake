@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_root.dir/platform.cc.o"
+  "CMakeFiles/nova_root.dir/platform.cc.o.d"
+  "CMakeFiles/nova_root.dir/root_pm.cc.o"
+  "CMakeFiles/nova_root.dir/root_pm.cc.o.d"
+  "libnova_root.a"
+  "libnova_root.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_root.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

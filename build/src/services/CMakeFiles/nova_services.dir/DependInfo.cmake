@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/services/disk_server.cc" "src/services/CMakeFiles/nova_services.dir/disk_server.cc.o" "gcc" "src/services/CMakeFiles/nova_services.dir/disk_server.cc.o.d"
+  "/root/repo/src/services/host_io.cc" "src/services/CMakeFiles/nova_services.dir/host_io.cc.o" "gcc" "src/services/CMakeFiles/nova_services.dir/host_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/root/CMakeFiles/nova_root.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/nova_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/nova_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nova_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_services.dir/disk_server.cc.o"
+  "CMakeFiles/nova_services.dir/disk_server.cc.o.d"
+  "CMakeFiles/nova_services.dir/host_io.cc.o"
+  "CMakeFiles/nova_services.dir/host_io.cc.o.d"
+  "libnova_services.a"
+  "libnova_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

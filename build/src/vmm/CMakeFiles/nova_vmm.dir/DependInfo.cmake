@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vmm/emulator.cc" "src/vmm/CMakeFiles/nova_vmm.dir/emulator.cc.o" "gcc" "src/vmm/CMakeFiles/nova_vmm.dir/emulator.cc.o.d"
+  "/root/repo/src/vmm/vahci.cc" "src/vmm/CMakeFiles/nova_vmm.dir/vahci.cc.o" "gcc" "src/vmm/CMakeFiles/nova_vmm.dir/vahci.cc.o.d"
+  "/root/repo/src/vmm/vmm.cc" "src/vmm/CMakeFiles/nova_vmm.dir/vmm.cc.o" "gcc" "src/vmm/CMakeFiles/nova_vmm.dir/vmm.cc.o.d"
+  "/root/repo/src/vmm/vpic.cc" "src/vmm/CMakeFiles/nova_vmm.dir/vpic.cc.o" "gcc" "src/vmm/CMakeFiles/nova_vmm.dir/vpic.cc.o.d"
+  "/root/repo/src/vmm/vpit.cc" "src/vmm/CMakeFiles/nova_vmm.dir/vpit.cc.o" "gcc" "src/vmm/CMakeFiles/nova_vmm.dir/vpit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/services/CMakeFiles/nova_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/root/CMakeFiles/nova_root.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/nova_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/nova_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nova_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

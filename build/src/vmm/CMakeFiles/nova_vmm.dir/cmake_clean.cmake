@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_vmm.dir/emulator.cc.o"
+  "CMakeFiles/nova_vmm.dir/emulator.cc.o.d"
+  "CMakeFiles/nova_vmm.dir/vahci.cc.o"
+  "CMakeFiles/nova_vmm.dir/vahci.cc.o.d"
+  "CMakeFiles/nova_vmm.dir/vmm.cc.o"
+  "CMakeFiles/nova_vmm.dir/vmm.cc.o.d"
+  "CMakeFiles/nova_vmm.dir/vpic.cc.o"
+  "CMakeFiles/nova_vmm.dir/vpic.cc.o.d"
+  "CMakeFiles/nova_vmm.dir/vpit.cc.o"
+  "CMakeFiles/nova_vmm.dir/vpit.cc.o.d"
+  "libnova_vmm.a"
+  "libnova_vmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_vmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guest_pt_builder_test.dir/guest/guest_pt_test.cc.o"
+  "CMakeFiles/guest_pt_builder_test.dir/guest/guest_pt_test.cc.o.d"
+  "guest_pt_builder_test"
+  "guest_pt_builder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guest_pt_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_cap_space_test.dir/hv/cap_space_test.cc.o"
+  "CMakeFiles/hv_cap_space_test.dir/hv/cap_space_test.cc.o.d"
+  "hv_cap_space_test"
+  "hv_cap_space_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_cap_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_delegate_test.dir/hv/delegate_test.cc.o"
+  "CMakeFiles/hv_delegate_test.dir/hv/delegate_test.cc.o.d"
+  "hv_delegate_test"
+  "hv_delegate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_delegate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_hypercall_errors_test.dir/hv/hypercall_errors_test.cc.o"
+  "CMakeFiles/hv_hypercall_errors_test.dir/hv/hypercall_errors_test.cc.o.d"
+  "hv_hypercall_errors_test"
+  "hv_hypercall_errors_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_hypercall_errors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

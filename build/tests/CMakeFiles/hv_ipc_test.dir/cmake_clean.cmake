@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_ipc_test.dir/hv/ipc_test.cc.o"
+  "CMakeFiles/hv_ipc_test.dir/hv/ipc_test.cc.o.d"
+  "hv_ipc_test"
+  "hv_ipc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_ipc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

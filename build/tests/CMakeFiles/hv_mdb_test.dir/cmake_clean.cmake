@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_mdb_test.dir/hv/mdb_test.cc.o"
+  "CMakeFiles/hv_mdb_test.dir/hv/mdb_test.cc.o.d"
+  "hv_mdb_test"
+  "hv_mdb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_mdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

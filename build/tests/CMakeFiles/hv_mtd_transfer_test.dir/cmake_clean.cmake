@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_mtd_transfer_test.dir/hv/mtd_transfer_test.cc.o"
+  "CMakeFiles/hv_mtd_transfer_test.dir/hv/mtd_transfer_test.cc.o.d"
+  "hv_mtd_transfer_test"
+  "hv_mtd_transfer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_mtd_transfer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

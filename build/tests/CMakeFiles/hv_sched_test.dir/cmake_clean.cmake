@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_sched_test.dir/hv/sched_test.cc.o"
+  "CMakeFiles/hv_sched_test.dir/hv/sched_test.cc.o.d"
+  "hv_sched_test"
+  "hv_sched_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_sched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_tlb_isolation_test.dir/hv/tlb_isolation_test.cc.o"
+  "CMakeFiles/hv_tlb_isolation_test.dir/hv/tlb_isolation_test.cc.o.d"
+  "hv_tlb_isolation_test"
+  "hv_tlb_isolation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_tlb_isolation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_vcpu_test.dir/hv/vcpu_test.cc.o"
+  "CMakeFiles/hv_vcpu_test.dir/hv/vcpu_test.cc.o.d"
+  "hv_vcpu_test"
+  "hv_vcpu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_vcpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_vtlb_test.dir/hv/vtlb_test.cc.o"
+  "CMakeFiles/hv_vtlb_test.dir/hv/vtlb_test.cc.o.d"
+  "hv_vtlb_test"
+  "hv_vtlb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_vtlb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

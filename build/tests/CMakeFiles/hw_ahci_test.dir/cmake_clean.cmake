@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_ahci_test.dir/hw/ahci_test.cc.o"
+  "CMakeFiles/hw_ahci_test.dir/hw/ahci_test.cc.o.d"
+  "hw_ahci_test"
+  "hw_ahci_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_ahci_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

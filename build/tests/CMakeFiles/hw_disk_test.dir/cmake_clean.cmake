@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_disk_test.dir/hw/disk_test.cc.o"
+  "CMakeFiles/hw_disk_test.dir/hw/disk_test.cc.o.d"
+  "hw_disk_test"
+  "hw_disk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_disk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

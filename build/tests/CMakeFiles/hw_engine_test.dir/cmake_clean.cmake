@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_engine_test.dir/hw/engine_test.cc.o"
+  "CMakeFiles/hw_engine_test.dir/hw/engine_test.cc.o.d"
+  "hw_engine_test"
+  "hw_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

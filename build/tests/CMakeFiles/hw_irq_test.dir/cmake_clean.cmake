@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_irq_test.dir/hw/irq_test.cc.o"
+  "CMakeFiles/hw_irq_test.dir/hw/irq_test.cc.o.d"
+  "hw_irq_test"
+  "hw_irq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_irq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_isa_test.dir/hw/isa_test.cc.o"
+  "CMakeFiles/hw_isa_test.dir/hw/isa_test.cc.o.d"
+  "hw_isa_test"
+  "hw_isa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_isa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

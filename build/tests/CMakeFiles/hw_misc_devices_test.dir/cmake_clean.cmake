@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_misc_devices_test.dir/hw/misc_devices_test.cc.o"
+  "CMakeFiles/hw_misc_devices_test.dir/hw/misc_devices_test.cc.o.d"
+  "hw_misc_devices_test"
+  "hw_misc_devices_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_misc_devices_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_nic_test.dir/hw/nic_test.cc.o"
+  "CMakeFiles/hw_nic_test.dir/hw/nic_test.cc.o.d"
+  "hw_nic_test"
+  "hw_nic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_nic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

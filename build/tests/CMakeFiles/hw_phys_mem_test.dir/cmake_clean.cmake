@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_phys_mem_test.dir/hw/phys_mem_test.cc.o"
+  "CMakeFiles/hw_phys_mem_test.dir/hw/phys_mem_test.cc.o.d"
+  "hw_phys_mem_test"
+  "hw_phys_mem_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_phys_mem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

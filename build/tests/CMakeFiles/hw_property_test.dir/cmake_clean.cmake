@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_property_test.dir/hw/property_test.cc.o"
+  "CMakeFiles/hw_property_test.dir/hw/property_test.cc.o.d"
+  "hw_property_test"
+  "hw_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_tlb_test.dir/hw/tlb_test.cc.o"
+  "CMakeFiles/hw_tlb_test.dir/hw/tlb_test.cc.o.d"
+  "hw_tlb_test"
+  "hw_tlb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_tlb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_shadow_stack_test.dir/integration/shadow_stack_test.cc.o"
+  "CMakeFiles/integration_shadow_stack_test.dir/integration/shadow_stack_test.cc.o.d"
+  "integration_shadow_stack_test"
+  "integration_shadow_stack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_shadow_stack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_smp_test.dir/integration/smp_test.cc.o"
+  "CMakeFiles/integration_smp_test.dir/integration/smp_test.cc.o.d"
+  "integration_smp_test"
+  "integration_smp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_smp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

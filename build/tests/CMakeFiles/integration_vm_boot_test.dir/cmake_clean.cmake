@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_vm_boot_test.dir/integration/vm_boot_test.cc.o"
+  "CMakeFiles/integration_vm_boot_test.dir/integration/vm_boot_test.cc.o.d"
+  "integration_vm_boot_test"
+  "integration_vm_boot_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_vm_boot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

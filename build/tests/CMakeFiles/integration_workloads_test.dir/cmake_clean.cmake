@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_workloads_test.dir/integration/workloads_test.cc.o"
+  "CMakeFiles/integration_workloads_test.dir/integration/workloads_test.cc.o.d"
+  "integration_workloads_test"
+  "integration_workloads_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_workloads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

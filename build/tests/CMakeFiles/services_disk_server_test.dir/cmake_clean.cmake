@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/services_disk_server_test.dir/services/disk_server_test.cc.o"
+  "CMakeFiles/services_disk_server_test.dir/services/disk_server_test.cc.o.d"
+  "services_disk_server_test"
+  "services_disk_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/services_disk_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmm_emulator_test.dir/vmm/emulator_test.cc.o"
+  "CMakeFiles/vmm_emulator_test.dir/vmm/emulator_test.cc.o.d"
+  "vmm_emulator_test"
+  "vmm_emulator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmm_emulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

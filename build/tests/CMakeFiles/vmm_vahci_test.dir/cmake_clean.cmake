@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmm_vahci_test.dir/vmm/vahci_test.cc.o"
+  "CMakeFiles/vmm_vahci_test.dir/vmm/vahci_test.cc.o.d"
+  "vmm_vahci_test"
+  "vmm_vahci_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmm_vahci_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

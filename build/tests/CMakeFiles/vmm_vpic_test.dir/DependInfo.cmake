@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vmm/vpic_test.cc" "tests/CMakeFiles/vmm_vpic_test.dir/vmm/vpic_test.cc.o" "gcc" "tests/CMakeFiles/vmm_vpic_test.dir/vmm/vpic_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/guest/CMakeFiles/nova_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/nova_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmm/CMakeFiles/nova_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/nova_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/root/CMakeFiles/nova_root.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/nova_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/nova_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nova_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

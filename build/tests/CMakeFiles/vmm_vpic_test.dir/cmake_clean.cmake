@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmm_vpic_test.dir/vmm/vpic_test.cc.o"
+  "CMakeFiles/vmm_vpic_test.dir/vmm/vpic_test.cc.o.d"
+  "vmm_vpic_test"
+  "vmm_vpic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmm_vpic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmm_vpit_test.dir/vmm/vpit_test.cc.o"
+  "CMakeFiles/vmm_vpit_test.dir/vmm/vpit_test.cc.o.d"
+  "vmm_vpit_test"
+  "vmm_vpit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmm_vpit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

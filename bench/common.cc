@@ -60,6 +60,7 @@ RunResult RunVirtualized(const RunConfig& config) {
                     ? baseline::MonolithicCosts()
                     : baseline::NovaCosts();
   root::NovaSystem system(sc);
+  system.hv.set_vtlb_policy(config.vtlb);
 
   vmm::VmmConfig vc;
   vc.guest_mem_bytes = kGuestMem;

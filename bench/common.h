@@ -32,6 +32,7 @@ struct RunConfig {
   StackKind stack = StackKind::kNova;
   hw::TranslationMode mode = hw::TranslationMode::kNested;
   bool large_pages = true;
+  hv::VtlbPolicy vtlb{};  // Shadow-paging ladder (mode == kShadow only).
   guest::CompileWorkload::Config workload{};
   std::uint32_t timer_hz = 250;
 };

@@ -66,9 +66,43 @@ std::shared_ptr<Pd> Hypervisor::MakePd(const std::string& name, bool is_vm) {
   auto pd = std::make_shared<Pd>(name, is_vm, &machine_->mem(), host_paging_mode_,
                                  root, [this] { return AllocFrame(); });
   if (is_vm) {
-    pd->set_vm_tag(next_vm_tag_++);
+    pd->set_vm_tag(tlb_tags_.Allocate());
   }
   return pd;
+}
+
+Vtlb& Hypervisor::VtlbFor(Ec* vcpu) {
+  if (vcpu->vtlb() == nullptr) {
+    Vtlb::Env env;
+    env.cpu = &cpu(vcpu->cpu());
+    env.mem = &machine_->mem();
+    env.host = &vcpu->pd().mem_space().table();
+    env.gs = &vcpu->gstate();
+    env.ctl = &vcpu->ctl();
+    env.pd = &vcpu->pd();
+    env.pd_root = vcpu->pd().mem_space().root();
+    env.costs = &costs_;
+    env.alloc = [this] { return AllocFrame(); };
+    env.free = [this](hw::PhysAddr f) { FreeFrame(f); };
+    env.tags = &tlb_tags_;
+    env.stats = &stats_;
+    vcpu->set_vtlb(std::make_shared<Vtlb>(std::move(env), vtlb_policy_));
+  }
+  return *vcpu->vtlb();
+}
+
+void Hypervisor::DropShadowContexts(Pd* pd) {
+  for (auto it = vcpus_.begin(); it != vcpus_.end();) {
+    auto vcpu = it->lock();
+    if (vcpu == nullptr) {
+      it = vcpus_.erase(it);
+      continue;
+    }
+    if (&vcpu->pd() == pd && vcpu->vtlb() != nullptr) {
+      vcpu->vtlb()->DropAllContexts();
+    }
+    ++it;
+  }
 }
 
 Pd* Hypervisor::Boot(std::uint64_t kernel_reserve) {
@@ -160,8 +194,8 @@ Status Hypervisor::CreateEcLocal(Pd* caller, CapSel dst_sel, CapSel pd_sel,
     return Status::kBadCpu;
   }
   Charge(boot_cpu_for_step_, costs_.cap_lookup);
-  auto pd = std::static_pointer_cast<Pd>(caller->caps().LookupRef(pd_sel));
-  if (pd == nullptr || pd->type() != ObjType::kPd) {
+  auto pd = RefAs<Pd>(caller->caps().LookupRef(pd_sel), ObjType::kPd);
+  if (pd == nullptr) {
     return Status::kBadCapability;
   }
   auto ec = std::make_shared<Ec>(Ec::Kind::kLocal, pd, cpu_id);
@@ -183,8 +217,8 @@ Status Hypervisor::CreateEcGlobal(Pd* caller, CapSel dst_sel, CapSel pd_sel,
     return Status::kBadCpu;
   }
   Charge(boot_cpu_for_step_, costs_.cap_lookup);
-  auto pd = std::static_pointer_cast<Pd>(caller->caps().LookupRef(pd_sel));
-  if (pd == nullptr || pd->type() != ObjType::kPd) {
+  auto pd = RefAs<Pd>(caller->caps().LookupRef(pd_sel), ObjType::kPd);
+  if (pd == nullptr) {
     return Status::kBadCapability;
   }
   auto ec = std::make_shared<Ec>(Ec::Kind::kGlobal, pd, cpu_id);
@@ -206,8 +240,8 @@ Status Hypervisor::CreateVcpu(Pd* caller, CapSel dst_sel, CapSel vm_pd_sel,
     return Status::kBadCpu;
   }
   Charge(boot_cpu_for_step_, costs_.cap_lookup);
-  auto pd = std::static_pointer_cast<Pd>(caller->caps().LookupRef(vm_pd_sel));
-  if (pd == nullptr || pd->type() != ObjType::kPd) {
+  auto pd = RefAs<Pd>(caller->caps().LookupRef(vm_pd_sel), ObjType::kPd);
+  if (pd == nullptr) {
     return Status::kBadCapability;
   }
   if (!pd->is_vm()) {
@@ -222,6 +256,7 @@ Status Hypervisor::CreateVcpu(Pd* caller, CapSel dst_sel, CapSel vm_pd_sel,
   ctl.nested_format = host_paging_mode_;
   ctl.nested_root = pd->mem_space().root();
   ctl.tag = pd->vm_tag();
+  ctl.base_tag = pd->vm_tag();
   ctl.intercept_cpuid = true;
   ctl.intercept_hlt = true;
   ctl.intercept_vmcall = true;
@@ -230,6 +265,7 @@ Status Hypervisor::CreateVcpu(Pd* caller, CapSel dst_sel, CapSel vm_pd_sel,
   if (!Ok(s)) {
     return s;
   }
+  vcpus_.push_back(ec);
   if (out != nullptr) {
     *out = ec.get();
   }
@@ -240,8 +276,8 @@ Status Hypervisor::CreateSc(Pd* caller, CapSel dst_sel, CapSel ec_sel,
                             std::uint8_t prio, sim::Cycles quantum) {
   Charge(boot_cpu_for_step_, costs_.hypercall_dispatch);
   Charge(boot_cpu_for_step_, costs_.cap_lookup);
-  auto ec = std::static_pointer_cast<Ec>(caller->caps().LookupRef(ec_sel));
-  if (ec == nullptr || ec->type() != ObjType::kEc) {
+  auto ec = RefAs<Ec>(caller->caps().LookupRef(ec_sel), ObjType::kEc);
+  if (ec == nullptr) {
     return Status::kBadCapability;
   }
   if (ec->kind() == Ec::Kind::kLocal) {
@@ -268,8 +304,8 @@ Status Hypervisor::CreatePt(Pd* caller, CapSel dst_sel, CapSel handler_ec_sel,
                             Mtd m, std::uint64_t id) {
   Charge(boot_cpu_for_step_, costs_.hypercall_dispatch);
   Charge(boot_cpu_for_step_, costs_.cap_lookup);
-  auto ec = std::static_pointer_cast<Ec>(caller->caps().LookupRef(handler_ec_sel));
-  if (ec == nullptr || ec->type() != ObjType::kEc) {
+  auto ec = RefAs<Ec>(caller->caps().LookupRef(handler_ec_sel), ObjType::kEc);
+  if (ec == nullptr) {
     return Status::kBadCapability;
   }
   if (ec->kind() != Ec::Kind::kLocal) {
@@ -426,6 +462,9 @@ Status Hypervisor::Revoke(Pd* caller, const Crd& crd, bool include_self) {
             machine_->cpu(i).tlb().FlushTag(node.pd->vm_tag());
             engines_[i]->FlushNestedTlb(node.pd->vm_tag());
           }
+          // Shadow-mode vCPUs may hold cached translations of the revoked
+          // range in dormant contexts under their own tags.
+          DropShadowContexts(node.pd);
         }
         break;
       case CrdKind::kIo:
@@ -466,8 +505,8 @@ Status Hypervisor::AssignGsi(Pd* caller, CapSel sm_sel, std::uint32_t gsi,
     return Status::kBadParameter;
   }
   Charge(boot_cpu_for_step_, costs_.hypercall_dispatch);
-  auto sm = std::static_pointer_cast<Sm>(caller->caps().LookupRef(sm_sel));
-  if (sm == nullptr || sm->type() != ObjType::kSm) {
+  auto sm = RefAs<Sm>(caller->caps().LookupRef(sm_sel), ObjType::kSm);
+  if (sm == nullptr) {
     return Status::kBadCapability;
   }
   sm->bind_gsi(gsi);
@@ -482,8 +521,8 @@ Status Hypervisor::AssignGsiDirect(Pd* caller, CapSel vcpu_sel, std::uint32_t gs
     return Status::kBadParameter;
   }
   Charge(boot_cpu_for_step_, costs_.hypercall_dispatch);
-  auto ec = std::static_pointer_cast<Ec>(caller->caps().LookupRef(vcpu_sel));
-  if (ec == nullptr || ec->type() != ObjType::kEc || ec->kind() != Ec::Kind::kVcpu) {
+  auto ec = RefAs<Ec>(caller->caps().LookupRef(vcpu_sel), ObjType::kEc);
+  if (ec == nullptr || ec->kind() != Ec::Kind::kVcpu) {
     return Status::kBadCapability;
   }
   gsi_direct_[gsi] = ec;
@@ -509,8 +548,8 @@ Status Hypervisor::AssignDev(Pd* caller, CapSel pd_sel, hw::DeviceId dev,
 
 Status Hypervisor::Recall(Pd* caller, CapSel ec_sel) {
   Charge(boot_cpu_for_step_, costs_.hypercall_dispatch + costs_.recall_ipi);
-  auto ec = std::static_pointer_cast<Ec>(caller->caps().LookupRef(ec_sel));
-  if (ec == nullptr || ec->type() != ObjType::kEc || ec->kind() != Ec::Kind::kVcpu) {
+  auto ec = RefAs<Ec>(caller->caps().LookupRef(ec_sel), ObjType::kEc);
+  if (ec == nullptr || ec->kind() != Ec::Kind::kVcpu) {
     return Status::kBadCapability;
   }
   ec->gstate().recall_pending = true;
@@ -555,7 +594,7 @@ void Hypervisor::ProcessPendingIrqs(std::uint32_t cpu_id) {
     chip.Acknowledge(cpu_id, vector);
     chip.Mask(gsi);
     Charge(cpu_id, costs_.irq_ack);
-    stats_.counter("gsi-delivered").Add();
+    ctr_.gsi_delivered.Add();
     if (auto& sm = gsi_sms_[gsi]; sm != nullptr) {
       sm->set_counter(sm->counter() + 1);
       if (!sm->waiters().empty()) {
@@ -654,7 +693,7 @@ bool Hypervisor::StepOnce() {
     }
     state.runqueue.Enqueue(sc, /*at_head=*/false);
   } else if (ec.block_state() == Ec::BlockState::kBlockedHalt) {
-    state.halted_vcpus.push_back(std::static_pointer_cast<Ec>(sc->ec_ref()));
+    state.halted_vcpus.push_back(sc->ec_ref());
   }
 
   machine_->SyncDeviceTime(c);

@@ -26,6 +26,7 @@
 #include "src/hv/objects.h"
 #include "src/hv/scheduler.h"
 #include "src/hv/types.h"
+#include "src/hv/vtlb.h"
 #include "src/sim/stats.h"
 
 namespace nova::hv {
@@ -141,6 +142,18 @@ class Hypervisor {
   hw::PhysAddr AllocFrame();
   void FreeFrame(hw::PhysAddr frame);
   std::uint64_t kernel_reserve() const { return kernel_reserve_; }
+  // Frames currently handed out by the pool (leak accounting in tests).
+  std::uint64_t FramesInUse() const {
+    return (pool_next_ - hw::kPageSize) / hw::kPageSize - pool_free_.size();
+  }
+
+  // vTLB policy for shadow-mode vCPUs. Applies to Vtlb instances attached
+  // after the call (they are attached lazily, on a vCPU's first
+  // shadow-paging exit), so set it before the VM first runs.
+  void set_vtlb_policy(const VtlbPolicy& policy) { vtlb_policy_ = policy; }
+  const VtlbPolicy& vtlb_policy() const { return vtlb_policy_; }
+  // The per-vCPU shadow-paging subsystem, attached on first use.
+  Vtlb& VtlbFor(Ec* vcpu);
 
   // Wake an EC blocked on halt (used internally and by tests).
   void WakeEc(Ec* ec);
@@ -177,13 +190,9 @@ class Hypervisor {
   void TransferToUtcb(Ec* vcpu, const hw::VmExit& exit, Mtd m, Utcb& utcb);
   void TransferFromUtcb(Ec* vcpu, Mtd m, const Utcb& utcb);
 
-  // vTLB (shadow paging) internals (vtlb.cc).
-  enum class VtlbOutcome : std::uint8_t { kFilled, kGuestFault, kHostFault };
-  VtlbOutcome VtlbResolve(Ec* vcpu, const hw::VmExit& exit, std::uint64_t* gpa_out);
-  void VtlbFlush(Ec* vcpu);
-  void VtlbHandleMovCr3(Ec* vcpu, std::uint64_t new_cr3);
-  void VtlbHandleInvlpg(Ec* vcpu, std::uint64_t gva);
-  hw::PhysAddr ShadowRootFor(Ec* vcpu);
+  // vTLB (shadow paging): drop all shadow state of a VM's vCPUs after a
+  // host-side unmap, so no stale translation survives revocation.
+  void DropShadowContexts(Pd* pd);
 
   // Interrupt plumbing.
   void ProcessPendingIrqs(std::uint32_t cpu_id);
@@ -197,9 +206,49 @@ class Hypervisor {
     return caller->caps().LookupAs<T>(sel, type, perms);
   }
 
+  // Hot-path event counters resolved once at construction: the VM-exit
+  // dispatch and interrupt paths bump these without a string-keyed map
+  // lookup. The registry stays authoritative for dump/reset.
+  struct HotCounters {
+    explicit HotCounters(sim::StatRegistry& s)
+        : hlt(s.counter("HLT")),
+          hw_intr(s.counter("Hardware Interrupts")),
+          recall(s.counter("Recall")),
+          vtlb_fill(s.counter("vTLB Fill")),
+          guest_pf(s.counter("Guest Page Fault")),
+          mmio(s.counter("Memory-Mapped I/O")),
+          pio(s.counter("Port I/O")),
+          cpuid(s.counter("CPUID")),
+          mov_cr(s.counter("CR Read/Write")),
+          invlpg(s.counter("INVLPG")),
+          intr_window(s.counter("Interrupt Window")),
+          vmcall(s.counter("VMCALL")),
+          vm_error(s.counter("VM Error")),
+          vm_event_ipc(s.counter("vm-event-ipc")),
+          vm_event_unhandled(s.counter("vm-event-unhandled")),
+          gsi_delivered(s.counter("gsi-delivered")) {}
+    sim::Counter& hlt;
+    sim::Counter& hw_intr;
+    sim::Counter& recall;
+    sim::Counter& vtlb_fill;
+    sim::Counter& guest_pf;
+    sim::Counter& mmio;
+    sim::Counter& pio;
+    sim::Counter& cpuid;
+    sim::Counter& mov_cr;
+    sim::Counter& invlpg;
+    sim::Counter& intr_window;
+    sim::Counter& vmcall;
+    sim::Counter& vm_error;
+    sim::Counter& vm_event_ipc;
+    sim::Counter& vm_event_unhandled;
+    sim::Counter& gsi_delivered;
+  };
+
   hw::Machine* machine_;
   HvCosts costs_;
   sim::StatRegistry stats_;
+  HotCounters ctr_{stats_};
   Mdb mdb_;
 
   // Kernel memory pool.
@@ -215,7 +264,9 @@ class Hypervisor {
   std::array<std::shared_ptr<Sm>, hw::kNumGsis> gsi_sms_{};
   std::array<std::shared_ptr<Ec>, hw::kNumGsis> gsi_direct_{};
 
-  hw::TlbTag next_vm_tag_ = 1;
+  hw::TlbTagAllocator tlb_tags_;  // VM identity tags + vTLB context tags.
+  VtlbPolicy vtlb_policy_{};
+  std::vector<std::weak_ptr<Ec>> vcpus_;  // All vCPUs ever created.
   hw::PagingMode host_paging_mode_;
   std::uint32_t boot_cpu_for_step_ = 0;
 };

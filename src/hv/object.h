@@ -44,6 +44,18 @@ class KObject {
 
 using ObjRef = std::shared_ptr<KObject>;
 
+// Checked downcast for capability lookups: null unless the object is of
+// the expected type. (A static_pointer_cast through the wrong dynamic type
+// is undefined behaviour even if the result is discarded after a type
+// check.)
+template <typename T>
+std::shared_ptr<T> RefAs(ObjRef ref, ObjType type) {
+  if (ref == nullptr || ref->type() != type) {
+    return nullptr;
+  }
+  return std::static_pointer_cast<T>(std::move(ref));
+}
+
 }  // namespace nova::hv
 
 #endif  // SRC_HV_OBJECT_H_

@@ -19,6 +19,7 @@ namespace nova::hv {
 
 class Ec;
 class Sc;
+class Vtlb;
 
 // Protection domain: spatial isolation. Acts as a resource container and
 // abstracts from the difference between a user application and a VM.
@@ -95,6 +96,11 @@ class Ec : public KObject {
   CapSel evt_base() const { return evt_base_; }
   void set_evt_base(CapSel base) { evt_base_ = base; }
 
+  // Shadow-paging state: lazily attached by the hypervisor when the vCPU
+  // runs in TranslationMode::kShadow (see hv/vtlb.h).
+  const std::shared_ptr<Vtlb>& vtlb() const { return vtlb_; }
+  void set_vtlb(std::shared_ptr<Vtlb> v) { vtlb_ = std::move(v); }
+
   BlockState block_state() const { return block_state_; }
   void set_block_state(BlockState s) { block_state_ = s; }
 
@@ -114,6 +120,7 @@ class Ec : public KObject {
   StepFn step_fn_;
   hw::GuestState gstate_;
   hw::VmControls ctl_;
+  std::shared_ptr<Vtlb> vtlb_;
   CapSel evt_base_ = kInvalidSel;
   BlockState block_state_ = BlockState::kRunnable;
   Sc* sc_ = nullptr;

@@ -107,7 +107,7 @@ void Hypervisor::TransferFromUtcb(Ec* vcpu, Mtd m, const Utcb& utcb) {
   if (m & mtd::kTlbFlush) {
     cpu(cpu_id).tlb().FlushTag(vcpu->ctl().tag);
     if (vcpu->ctl().mode == hw::TranslationMode::kShadow) {
-      VtlbFlush(vcpu);
+      VtlbFor(vcpu).Flush();
     }
   }
 }
@@ -121,7 +121,7 @@ bool Hypervisor::DispatchVmEvent(Ec* vcpu, Event event, const hw::VmExit& exit) 
   // the VM itself cannot perform hypercalls (§4.2).
   Pt* pt = LookupCharged<Pt>(&vm, sel, ObjType::kPt, perm::kCall, cpu_id);
   if (pt == nullptr) {
-    stats_.counter("vm-event-unhandled").Add();
+    ctr_.vm_event_unhandled.Add();
     return false;
   }
   Ec& handler = pt->handler();
@@ -136,7 +136,7 @@ bool Hypervisor::DispatchVmEvent(Ec* vcpu, Event event, const hw::VmExit& exit) 
   Charge(cpu_id, costs_.portal_traversal + costs_.context_switch +
                      costs_.addr_space_switch + model.tlb_flush / 2 +
                      costs_.ipc_refill_entries * model.tlb_refill_entry);
-  stats_.counter("vm-event-ipc").Add();
+  ctr_.vm_event_ipc.Add();
 
   TransferToUtcb(vcpu, exit, pt->mtd(), handler.utcb());
   handler.set_busy(true);
@@ -212,7 +212,7 @@ void Hypervisor::RunVcpu(Sc* sc, sim::Cycles budget) {
 
       case hw::ExitReason::kHlt:
         if (ctl.intercept_hlt) {
-          stats_.counter("HLT").Add();
+          ctr_.hlt.Add();
           if (!DispatchVmEvent(vcpu, Event::kHlt, exit)) {
             vcpu->set_block_state(Ec::BlockState::kBlockedHalt);
             return;
@@ -230,7 +230,7 @@ void Hypervisor::RunVcpu(Sc* sc, sim::Cycles budget) {
         return;
 
       case hw::ExitReason::kExtInt:
-        stats_.counter("Hardware Interrupts").Add();
+        ctr_.hw_intr.Add();
         ProcessPendingIrqs(cpu_id);
         // Return to the scheduler: the unblocked driver thread may have
         // a higher-priority scheduling context.
@@ -238,7 +238,7 @@ void Hypervisor::RunVcpu(Sc* sc, sim::Cycles budget) {
 
       case hw::ExitReason::kRecall: {
         gs.recall_pending = false;
-        stats_.counter("Recall").Add();
+        ctr_.recall.Add();
         if (!DispatchVmEvent(vcpu, Event::kRecall, exit)) {
           vcpu->set_block_state(Ec::BlockState::kBlockedHalt);
           return;
@@ -254,22 +254,22 @@ void Hypervisor::RunVcpu(Sc* sc, sim::Cycles budget) {
         // Shadow paging: run the vTLB algorithm entirely inside the
         // kernel — no user-level IPC (§5.3).
         std::uint64_t gpa = 0;
-        switch (VtlbResolve(vcpu, exit, &gpa)) {
-          case VtlbOutcome::kFilled:
-            stats_.counter("vTLB Fill").Add();
+        switch (VtlbFor(vcpu).Resolve(exit, &gpa)) {
+          case Vtlb::Outcome::kFilled:
+            ctr_.vtlb_fill.Add();
             break;
-          case VtlbOutcome::kGuestFault:
-            stats_.counter("Guest Page Fault").Add();
+          case Vtlb::Outcome::kGuestFault:
+            ctr_.guest_pf.Add();
             gs.cr2 = exit.gva;
             if (!engine.InjectEvent(gs, hw::kVectorPageFault)) {
               DispatchVmEvent(vcpu, Event::kError, exit);
               return;
             }
             break;
-          case VtlbOutcome::kHostFault: {
+          case Vtlb::Outcome::kHostFault: {
             hw::VmExit mmio = exit;
             mmio.gpa = gpa;
-            stats_.counter("Memory-Mapped I/O").Add();
+            ctr_.mmio.Add();
             if (!DispatchVmEvent(vcpu, Event::kMmio, mmio)) {
               vcpu->set_block_state(Ec::BlockState::kBlockedHalt);
               return;
@@ -281,7 +281,7 @@ void Hypervisor::RunVcpu(Sc* sc, sim::Cycles budget) {
       }
 
       case hw::ExitReason::kEptViolation:
-        stats_.counter("Memory-Mapped I/O").Add();
+        ctr_.mmio.Add();
         if (!DispatchVmEvent(vcpu, Event::kMmio, exit)) {
           vcpu->set_block_state(Ec::BlockState::kBlockedHalt);
           return;
@@ -289,7 +289,7 @@ void Hypervisor::RunVcpu(Sc* sc, sim::Cycles budget) {
         break;
 
       case hw::ExitReason::kPio:
-        stats_.counter("Port I/O").Add();
+        ctr_.pio.Add();
         if (!DispatchVmEvent(vcpu, Event::kPio, exit)) {
           vcpu->set_block_state(Ec::BlockState::kBlockedHalt);
           return;
@@ -297,7 +297,7 @@ void Hypervisor::RunVcpu(Sc* sc, sim::Cycles budget) {
         break;
 
       case hw::ExitReason::kCpuid:
-        stats_.counter("CPUID").Add();
+        ctr_.cpuid.Add();
         if (!DispatchVmEvent(vcpu, Event::kCpuid, exit)) {
           vcpu->set_block_state(Ec::BlockState::kBlockedHalt);
           return;
@@ -305,9 +305,9 @@ void Hypervisor::RunVcpu(Sc* sc, sim::Cycles budget) {
         break;
 
       case hw::ExitReason::kMovCr:
-        stats_.counter("CR Read/Write").Add();
+        ctr_.mov_cr.Add();
         if (ctl.mode == hw::TranslationMode::kShadow) {
-          VtlbHandleMovCr3(vcpu, exit.qual);
+          VtlbFor(vcpu).HandleMovCr3(exit.qual);
           gs.rip += hw::isa::kInsnSize;  // Emulated: skip the instruction.
         } else if (!DispatchVmEvent(vcpu, Event::kMovCr, exit)) {
           vcpu->set_block_state(Ec::BlockState::kBlockedHalt);
@@ -316,9 +316,9 @@ void Hypervisor::RunVcpu(Sc* sc, sim::Cycles budget) {
         break;
 
       case hw::ExitReason::kInvlpg:
-        stats_.counter("INVLPG").Add();
+        ctr_.invlpg.Add();
         if (ctl.mode == hw::TranslationMode::kShadow) {
-          VtlbHandleInvlpg(vcpu, exit.gva);
+          VtlbFor(vcpu).HandleInvlpg(exit.gva);
           gs.rip += hw::isa::kInsnSize;  // Emulated: skip the instruction.
         } else if (!DispatchVmEvent(vcpu, Event::kInvlpg, exit)) {
           vcpu->set_block_state(Ec::BlockState::kBlockedHalt);
@@ -327,7 +327,7 @@ void Hypervisor::RunVcpu(Sc* sc, sim::Cycles budget) {
         break;
 
       case hw::ExitReason::kIntrWindow:
-        stats_.counter("Interrupt Window").Add();
+        ctr_.intr_window.Add();
         if (!DispatchVmEvent(vcpu, Event::kIntrWindow, exit)) {
           vcpu->set_block_state(Ec::BlockState::kBlockedHalt);
           return;
@@ -335,7 +335,7 @@ void Hypervisor::RunVcpu(Sc* sc, sim::Cycles budget) {
         break;
 
       case hw::ExitReason::kVmcall:
-        stats_.counter("VMCALL").Add();
+        ctr_.vmcall.Add();
         if (!DispatchVmEvent(vcpu, Event::kVmcall, exit)) {
           vcpu->set_block_state(Ec::BlockState::kBlockedHalt);
           return;
@@ -344,7 +344,7 @@ void Hypervisor::RunVcpu(Sc* sc, sim::Cycles budget) {
 
       case hw::ExitReason::kError:
       case hw::ExitReason::kNone:
-        stats_.counter("VM Error").Add();
+        ctr_.vm_error.Add();
         DispatchVmEvent(vcpu, Event::kError, exit);
         // Unrecoverable: park the virtual CPU.
         vcpu->set_block_state(Ec::BlockState::kBlockedHalt);

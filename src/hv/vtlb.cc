@@ -1,41 +1,149 @@
 // The virtual-TLB algorithm: software shadow paging for hardware without
 // nested paging (§5.3).
 //
-// On a shadow-table miss the kernel parses the real multi-level guest page
-// table. Guest page tables contain guest-physical addresses; the paper's
-// trick of running the hypervisor on the VM's host page table makes the
-// GPA->HPA step free for the software walk (the MMU reinterprets GPAs as
-// HVAs) — modelled here as a single memory access per guest level plus a
-// recovery path for guest PTEs pointing outside mapped guest-physical
-// memory. The final translation is installed in the per-vCPU shadow table
-// that the hardware walker uses.
-#include "src/hv/kernel.h"
+// On a shadow-table miss the subsystem parses the real multi-level guest
+// page table. Guest page tables contain guest-physical addresses; the
+// paper's trick of running the hypervisor on the VM's host page table
+// makes the GPA->HPA step free for the software walk (the MMU reinterprets
+// GPAs as HVAs) — modelled here as a single memory access per guest level
+// plus a recovery path for guest PTEs pointing outside mapped
+// guest-physical memory. The final translation is installed in the shadow
+// table of the *active context* — the shadow tree for the guest address
+// space currently loaded in CR3 — which is what the hardware walker uses.
+//
+// With VtlbPolicy::cache_contexts the subsystem keeps one such context per
+// guest CR3 value it has seen, so a MOV CR3 back to a known address space
+// reuses the already-filled tree (§8.4's big lever). With
+// VtlbPolicy::use_vpid on a tagged-TLB part, each context also keeps its
+// own hardware tag, so the switch leaves the hardware TLB intact too.
+#include "src/hv/vtlb.h"
+
+#include <utility>
+#include <vector>
 
 namespace nova::hv {
 
-hw::PhysAddr Hypervisor::ShadowRootFor(Ec* vcpu) {
-  hw::VmControls& ctl = vcpu->ctl();
-  if (ctl.nested_root == 0 ||
-      ctl.nested_root == vcpu->pd().mem_space().root()) {
-    ctl.nested_root = AllocFrame();
+namespace {
+
+// Free every page-table frame strictly below `table`. `level` is the level
+// of the entries *referenced by* `table` (Levels(mode) - 1 for the root):
+// entries at level >= 1 point to child tables, which are freed; level-0
+// entries and superpage leaves map data pages the vTLB does not own.
+void FreeShadowLevel(hw::PhysMem& mem, hw::PagingMode mode, hw::PhysAddr table,
+                     int level, const std::function<void(hw::PhysAddr)>& free) {
+  const int entries = mode == hw::PagingMode::kTwoLevel ? 1024 : 512;
+  const int esize = mode == hw::PagingMode::kTwoLevel ? 4 : 8;
+  for (int i = 0; i < entries; ++i) {
+    std::uint64_t entry = 0;
+    mem.Read(table + static_cast<std::uint64_t>(i) * esize, &entry, esize);
+    if (!(entry & hw::pte::kPresent) || (entry & hw::pte::kLarge)) {
+      continue;
+    }
+    if (level > 1) {
+      FreeShadowLevel(mem, mode, entry & hw::pte::kAddrMask, level - 1, free);
+    }
+    if (level >= 1) {
+      free(entry & hw::pte::kAddrMask);
+    }
   }
-  return ctl.nested_root;
 }
 
-Hypervisor::VtlbOutcome Hypervisor::VtlbResolve(Ec* vcpu, const hw::VmExit& exit,
-                                                std::uint64_t* gpa_out) {
-  const std::uint32_t cpu_id = vcpu->cpu();
-  hw::Cpu& c = cpu(cpu_id);
+}  // namespace
+
+Vtlb::Vtlb(Env env, VtlbPolicy policy)
+    : env_(std::move(env)),
+      policy_(policy),
+      flushes_(env_.stats->counter("vTLB Flush")),
+      switch_hits_(env_.stats->counter("vTLB Context Hit")),
+      switch_misses_(env_.stats->counter("vTLB Context Miss")),
+      evictions_(env_.stats->counter("vTLB Context Evict")) {}
+
+Vtlb::~Vtlb() { DropAllContexts(); }
+
+hw::PhysAddr Vtlb::AllocCounted(Context& ctx) {
+  ++ctx.frames;
+  ++frames_held_;
+  return env_.alloc();
+}
+
+void Vtlb::FreeBelowRoot(Context& ctx) {
+  if (ctx.root == 0) {
+    return;
+  }
+  FreeShadowLevel(*env_.mem, env_.ctl->nested_format, ctx.root,
+                  hw::Levels(env_.ctl->nested_format) - 1,
+                  [this, &ctx](hw::PhysAddr f) {
+                    env_.free(f);
+                    --ctx.frames;
+                    --frames_held_;
+                  });
+  env_.mem->Zero(ctx.root, hw::kPageSize);
+}
+
+void Vtlb::FreeTree(Context& ctx) {
+  if (ctx.root == 0) {
+    return;
+  }
+  FreeBelowRoot(ctx);
+  env_.free(ctx.root);
+  ctx.root = 0;
+  --ctx.frames;
+  --frames_held_;
+}
+
+Vtlb::Context& Vtlb::ContextFor(std::uint64_t key, bool* created) {
+  auto [it, inserted] = contexts_.try_emplace(key);
+  Context& ctx = it->second;
+  if (inserted) {
+    // Non-tagged parts (and the naive policy) keep running under the VM's
+    // identity tag; tagged parts give each guest address space its own
+    // VPID so its hardware-TLB entries survive dormancy.
+    ctx.tag = tagged() ? env_.tags->Allocate() : env_.ctl->base_tag;
+  }
+  if (created != nullptr) {
+    *created = inserted;
+  }
+  return ctx;
+}
+
+Vtlb::Context& Vtlb::EnsureActive() {
+  const std::uint64_t key = ActiveKey();
+  Context& ctx = ContextFor(key, nullptr);
+  if (ctx.root == 0) {
+    // The seed adopted a caller-provided shadow root; keep that quirk so a
+    // VMM that pre-allocates the root sees identical behaviour. A root
+    // equal to the host table means "unset" (the kNested default).
+    if (env_.ctl->nested_root != 0 && env_.ctl->nested_root != env_.pd_root &&
+        !has_active_) {
+      ctx.root = env_.ctl->nested_root;
+      ++ctx.frames;
+      ++frames_held_;
+    } else {
+      ctx.root = AllocCounted(ctx);
+    }
+  }
+  active_key_ = key;
+  has_active_ = true;
+  ctx.last_use = ++use_clock_;
+  env_.ctl->nested_root = ctx.root;
+  if (tagged()) {
+    env_.ctl->tag = ctx.tag;
+  }
+  return ctx;
+}
+
+Vtlb::Outcome Vtlb::Resolve(const hw::VmExit& exit, std::uint64_t* gpa_out) {
+  hw::Cpu& c = *env_.cpu;
   const hw::CpuModel& model = c.model();
-  hw::GuestState& gs = vcpu->gstate();
-  hw::PhysMem& mem = machine_->mem();
-  hw::PageTable& host = vcpu->pd().mem_space().table();
+  hw::GuestState& gs = *env_.gs;
+  hw::PhysMem& mem = *env_.mem;
+  hw::PageTable& host = *env_.host;
 
   // Determining the cause of the vTLB miss requires reading six VMCS
   // fields (§8.4, Figure 9).
   const sim::Cycles read_cost = model.vmread != 0 ? model.vmread : model.mem_access;
   c.Charge(6 * read_cost);
-  c.Charge(costs_.vtlb_fill_base);
+  c.Charge(env_.costs->vtlb_fill_base);
 
   const std::uint64_t gva = exit.gva;
   const hw::Access access{.write = exit.is_write, .user = false};
@@ -58,7 +166,7 @@ Hypervisor::VtlbOutcome Hypervisor::VtlbResolve(Ec* vcpu, const hw::VmExit& exit
           host.Walk(entry_gpa, hw::Access{.write = false}, /*set_ad=*/false);
       if (!Ok(hx.status)) {
         *gpa_out = entry_gpa;
-        return VtlbOutcome::kHostFault;
+        return Outcome::kHostFault;
       }
       std::uint64_t entry = 0;
       mem.Read(hx.pa, &entry, 4);
@@ -66,7 +174,7 @@ Hypervisor::VtlbOutcome Hypervisor::VtlbResolve(Ec* vcpu, const hw::VmExit& exit
 
       if (!(entry & hw::pte::kPresent) ||
           (access.write && !(entry & hw::pte::kWritable))) {
-        return VtlbOutcome::kGuestFault;
+        return Outcome::kGuestFault;
       }
 
       const bool leaf = level == 0 || (entry & hw::pte::kLarge) != 0;
@@ -95,7 +203,7 @@ Hypervisor::VtlbOutcome Hypervisor::VtlbResolve(Ec* vcpu, const hw::VmExit& exit
   c.Charge(static_cast<sim::Cycles>(fx.accesses) * model.mem_access);
   if (!Ok(fx.status)) {
     *gpa_out = gpa;
-    return VtlbOutcome::kHostFault;  // Unmapped guest-physical: MMIO.
+    return Outcome::kHostFault;  // Unmapped guest-physical: MMIO.
   }
 
   // Install the shadow entry. Writable only once the guest dirty bit is
@@ -108,72 +216,190 @@ Hypervisor::VtlbOutcome Hypervisor::VtlbResolve(Ec* vcpu, const hw::VmExit& exit
     flags |= hw::pte::kWritable | hw::pte::kDirty;
   }
 
-  hw::PageTable shadow(&mem, vcpu->ctl().nested_format, ShadowRootFor(vcpu));
+  Context& ctx = EnsureActive();
+  hw::PageTable shadow(&mem, env_.ctl->nested_format, ctx.root);
   // Shadow granularity: a guest superpage can only be shadowed at host
   // superpage granularity when the backing is contiguous; install the
   // covering 4 KiB entry otherwise. We install 4 KiB entries always —
   // simple and faithful to fill-on-demand behaviour.
   const std::uint64_t page_va = gva & ~(hw::kPageSize - 1);
   const std::uint64_t page_pa = fx.pa & ~(hw::kPageSize - 1);
-  shadow.Map(page_va, page_pa, hw::kPageSize, flags, [this] { return AllocFrame(); });
-  c.Charge(costs_.map_page);
+  shadow.Map(page_va, page_pa, hw::kPageSize, flags,
+             [this, &ctx] { return AllocCounted(ctx); });
+  c.Charge(env_.costs->map_page);
+  EnforceFrameBudget();
 
   *gpa_out = gpa;
-  return VtlbOutcome::kFilled;
+  return Outcome::kFilled;
 }
 
-namespace {
+void Vtlb::HandleMovCr3(std::uint64_t new_cr3) {
+  if (!policy_.cache_contexts) {
+    env_.gs->cr3 = new_cr3;
+    Flush();
+    return;
+  }
 
-// Free all frames of a shadow tree below (not including) the root.
-void FreeShadowLevel(hw::PhysMem& mem, hw::PagingMode mode, hw::PhysAddr table,
-                     int level, const std::function<void(hw::PhysAddr)>& free) {
-  const int entries = mode == hw::PagingMode::kTwoLevel ? 1024 : 512;
-  const int esize = mode == hw::PagingMode::kTwoLevel ? 4 : 8;
-  for (int i = 0; i < entries; ++i) {
-    std::uint64_t entry = 0;
-    mem.Read(table + static_cast<std::uint64_t>(i) * esize, &entry, esize);
-    if (!(entry & hw::pte::kPresent) || (entry & hw::pte::kLarge)) {
+  const bool same_space = has_active_ && new_cr3 == active_key_;
+  env_.gs->cr3 = new_cr3;
+  if (same_space) {
+    // Reloading the running CR3 is x86's explicit full-flush request for
+    // this address space: the guest may have edited its page tables, so
+    // the shadow tree cannot be trusted.
+    auto it = contexts_.find(active_key_);
+    if (it == contexts_.end() || it->second.root == 0) {
+      return;
+    }
+    FreeBelowRoot(it->second);
+    env_.cpu->tlb().FlushTag(it->second.tag);
+    env_.cpu->Charge(env_.cpu->model().tlb_flush);
+    flushes_.Add();
+    return;
+  }
+
+  // Switch to the context for the new address space; build it lazily on
+  // first sight. Switching to a *different* CR3 needs no shadow
+  // invalidation: page-table edits must be advertised by INVLPG or a
+  // same-CR3 reload, both of which we apply across all cached contexts.
+  bool created = false;
+  Context& ctx = ContextFor(new_cr3, &created);
+  const bool hit = !created && ctx.root != 0;
+  if (ctx.root == 0) {
+    ctx.root = AllocCounted(ctx);
+  }
+  (hit ? switch_hits_ : switch_misses_).Add();
+  active_key_ = new_cr3;
+  has_active_ = true;
+  ctx.last_use = ++use_clock_;
+  env_.ctl->nested_root = ctx.root;
+  if (tagged()) {
+    // Tagged TLB: the context switch is a tag switch. The dormant
+    // context's hardware-TLB entries stay live under its own VPID.
+    env_.ctl->tag = ctx.tag;
+  } else {
+    // Untagged part: all contexts share the VM's identity tag, so the
+    // hardware TLB must be flushed exactly as on real silicon.
+    env_.ctl->tag = env_.ctl->base_tag;
+    env_.cpu->tlb().FlushTag(env_.ctl->base_tag);
+    env_.cpu->Charge(env_.cpu->model().tlb_flush);
+  }
+  env_.cpu->Charge(env_.costs->addr_space_switch);
+  EnforceFrameBudget();
+}
+
+void Vtlb::HandleInvlpg(std::uint64_t gva) {
+  if (contexts_.empty() && env_.ctl->nested_root == 0) {
+    return;
+  }
+  if (contexts_.empty()) {
+    // Adopted-root quirk before the first fill: operate on the raw root.
+    hw::PageTable shadow(env_.mem, env_.ctl->nested_format,
+                         env_.ctl->nested_root);
+    shadow.Unmap(gva & ~(hw::kPageSize - 1));
+    env_.cpu->tlb().FlushVa(env_.ctl->tag, gva);
+    env_.cpu->Charge(env_.costs->map_page);
+    return;
+  }
+  // Invalidation invariant: the translation dies in *every* cached
+  // context and under every context tag, so it cannot resurface when a
+  // dormant address space is switched back in.
+  for (auto& [key, ctx] : contexts_) {
+    if (ctx.root == 0) {
       continue;
     }
-    if (level > 1) {
-      FreeShadowLevel(mem, mode, entry & hw::pte::kAddrMask, level - 1, free);
-      free(entry & hw::pte::kAddrMask);
+    hw::PageTable shadow(env_.mem, env_.ctl->nested_format, ctx.root);
+    shadow.Unmap(gva & ~(hw::kPageSize - 1));
+    env_.cpu->tlb().FlushVa(ctx.tag, gva);
+    env_.cpu->Charge(env_.costs->map_page);
+  }
+}
+
+void Vtlb::Flush() {
+  if (contexts_.empty() && env_.ctl->nested_root == 0) {
+    return;
+  }
+  if (contexts_.empty()) {
+    // Adopted root, nothing tracked yet: free its subtree in place. Its
+    // frames were never counted against this Vtlb, so bypass the counted
+    // helpers. A root equal to the host table means "unset" — never free
+    // the VM's real page table.
+    if (env_.ctl->nested_root == env_.pd_root) {
+      return;
+    }
+    FreeShadowLevel(*env_.mem, env_.ctl->nested_format, env_.ctl->nested_root,
+                    hw::Levels(env_.ctl->nested_format) - 1,
+                    [this](hw::PhysAddr f) { env_.free(f); });
+    env_.mem->Zero(env_.ctl->nested_root, hw::kPageSize);
+  } else {
+    // Drop every dormant context outright; the active tree survives with
+    // a zeroed root because the VMCS still points at it.
+    for (auto it = contexts_.begin(); it != contexts_.end();) {
+      Context& ctx = it->second;
+      const bool active = has_active_ && it->first == active_key_;
+      if (active) {
+        FreeBelowRoot(ctx);
+        ++it;
+        continue;
+      }
+      if (ctx.tag != env_.ctl->base_tag) {
+        env_.cpu->tlb().FlushTag(ctx.tag);
+        env_.tags->Release(ctx.tag);
+      }
+      FreeTree(ctx);
+      it = contexts_.erase(it);
     }
   }
+  env_.cpu->tlb().FlushTag(env_.ctl->tag);
+  env_.cpu->Charge(env_.cpu->model().tlb_flush);
+  flushes_.Add();
 }
 
-}  // namespace
+void Vtlb::DropAllContexts() {
+  for (auto& [key, ctx] : contexts_) {
+    if (ctx.tag != env_.ctl->base_tag) {
+      // Released tags are recycled, so their hardware-TLB entries must not
+      // outlive the context. The VM's identity tag is the revoke path's
+      // responsibility.
+      env_.cpu->tlb().FlushTag(ctx.tag);
+      env_.tags->Release(ctx.tag);
+    }
+    FreeTree(ctx);
+  }
+  contexts_.clear();
+  has_active_ = false;
+  env_.ctl->nested_root = 0;
+  env_.ctl->tag = env_.ctl->base_tag;
+}
 
-void Hypervisor::VtlbFlush(Ec* vcpu) {
-  const std::uint32_t cpu_id = vcpu->cpu();
-  hw::VmControls& ctl = vcpu->ctl();
-  if (ctl.nested_root == 0) {
+void Vtlb::EnforceFrameBudget() {
+  if (!policy_.cache_contexts) {
     return;
   }
-  hw::PhysMem& mem = machine_->mem();
-  FreeShadowLevel(mem, ctl.nested_format, ctl.nested_root,
-                  hw::Levels(ctl.nested_format) - 1,
-                  [this](hw::PhysAddr f) { FreeFrame(f); });
-  mem.Zero(ctl.nested_root, hw::kPageSize);
-  cpu(cpu_id).tlb().FlushTag(ctl.tag);
-  Charge(cpu_id, cpu(cpu_id).model().tlb_flush);
-  stats_.counter("vTLB Flush").Add();
-}
-
-void Hypervisor::VtlbHandleMovCr3(Ec* vcpu, std::uint64_t new_cr3) {
-  vcpu->gstate().cr3 = new_cr3;
-  VtlbFlush(vcpu);
-}
-
-void Hypervisor::VtlbHandleInvlpg(Ec* vcpu, std::uint64_t gva) {
-  hw::VmControls& ctl = vcpu->ctl();
-  if (ctl.nested_root == 0) {
-    return;
+  while (frames_held_ > policy_.max_cached_frames) {
+    // Evict the least recently used *dormant* context; the active tree is
+    // pinned (the hardware is walking it).
+    auto victim = contexts_.end();
+    for (auto it = contexts_.begin(); it != contexts_.end(); ++it) {
+      if (has_active_ && it->first == active_key_) {
+        continue;
+      }
+      if (victim == contexts_.end() ||
+          it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    if (victim == contexts_.end()) {
+      return;  // Only the active context remains; it may exceed the budget.
+    }
+    Context& ctx = victim->second;
+    if (ctx.tag != env_.ctl->base_tag) {
+      env_.cpu->tlb().FlushTag(ctx.tag);
+      env_.tags->Release(ctx.tag);
+    }
+    FreeTree(ctx);
+    evictions_.Add();
+    contexts_.erase(victim);
   }
-  hw::PageTable shadow(&machine_->mem(), ctl.nested_format, ctl.nested_root);
-  shadow.Unmap(gva & ~(hw::kPageSize - 1));
-  cpu(vcpu->cpu()).tlb().FlushVa(ctl.tag, gva);
-  Charge(vcpu->cpu(), costs_.map_page);
 }
 
 }  // namespace nova::hv

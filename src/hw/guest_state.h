@@ -60,7 +60,15 @@ struct VmControls {
   TranslationMode mode = TranslationMode::kNative;
   PagingMode nested_format = PagingMode::kFourLevel;
   PhysAddr nested_root = 0;      // EPT root (kNested) or shadow root (kShadow).
-  TlbTag tag = kHostTag;         // VPID/ASID value for this guest.
+                                 // Under kShadow the vTLB retargets this to
+                                 // the active cached context's shadow tree.
+  TlbTag tag = kHostTag;         // Active VPID/ASID: what the hardware walker
+                                 // and TLB use right now. The vTLB's tagged
+                                 // context cache switches this per guest
+                                 // address space.
+  TlbTag base_tag = kHostTag;    // The VM's stable identity tag (equal to
+                                 // Pd::vm_tag). `tag` returns to it whenever
+                                 // per-context tagging is not in effect.
 
   // Idealized direct interrupt delivery: pending host interrupts are
   // delivered straight into the guest IDT without a VM exit (used by the

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "src/hw/paging.h"
 #include "src/hw/phys_mem.h"
@@ -24,6 +25,35 @@ namespace nova::hw {
 
 using TlbTag = std::uint16_t;
 constexpr TlbTag kHostTag = 0;
+
+// Hands out unique TLB tags (VPID/ASID values). Tag 0 is reserved for the
+// host address space. VMs receive one identity tag at creation; the vTLB's
+// shadow-context cache additionally allocates one tag per cached guest
+// address space so a guest CR3 switch can become a tag switch instead of a
+// flush (PCID-style reuse). Released tags are recycled.
+class TlbTagAllocator {
+ public:
+  explicit TlbTagAllocator(TlbTag first = 1) : next_(first) {}
+
+  TlbTag Allocate() {
+    if (!free_.empty()) {
+      const TlbTag tag = free_.back();
+      free_.pop_back();
+      return tag;
+    }
+    return next_++;
+  }
+
+  void Release(TlbTag tag) {
+    if (tag != kHostTag) {
+      free_.push_back(tag);
+    }
+  }
+
+ private:
+  TlbTag next_;
+  std::vector<TlbTag> free_;
+};
 
 struct TlbEntry {
   PhysAddr phys_page = 0;        // Physical base of the mapping.

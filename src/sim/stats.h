@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "src/sim/rng.h"
 #include "src/sim/time.h"
 
 namespace nova::sim {
@@ -25,8 +26,8 @@ class Counter {
   std::uint64_t value_ = 0;
 };
 
-// Streaming distribution: count / sum / min / max / mean, plus an exact
-// sample store capped at a configurable reservoir size for percentiles.
+// Streaming distribution: count / sum / min / max / mean, plus a uniform
+// sample reservoir capped at a configurable size for percentiles.
 class Distribution {
  public:
   explicit Distribution(std::size_t max_samples = 1 << 16)
@@ -37,8 +38,17 @@ class Distribution {
     sum_ += v;
     min_ = count_ == 1 ? v : std::min(min_, v);
     max_ = std::max(max_, v);
+    // Reservoir sampling (Vitter's Algorithm R): once the reservoir is
+    // full, the i-th value replaces a random slot with probability k/i, so
+    // every recorded value is retained with equal probability and the
+    // percentiles are unbiased — not skewed toward warm-up values.
     if (samples_.size() < max_samples_) {
       samples_.push_back(v);
+    } else {
+      const std::uint64_t slot = rng_.Below(count_);
+      if (slot < max_samples_) {
+        samples_[static_cast<std::size_t>(slot)] = v;
+      }
     }
   }
 
@@ -48,6 +58,7 @@ class Distribution {
     min_ = 0;
     max_ = 0;
     samples_.clear();
+    rng_ = Rng{kReservoirSeed};
   }
 
   std::uint64_t count() const { return count_; }
@@ -60,11 +71,15 @@ class Distribution {
   std::uint64_t Percentile(double q) const;
 
  private:
+  // Fixed seed: runs stay bit-for-bit reproducible.
+  static constexpr std::uint64_t kReservoirSeed = 0x5eed5eed5eed5eedull;
+
   std::size_t max_samples_;
   std::uint64_t count_ = 0;
   std::uint64_t sum_ = 0;
   std::uint64_t min_ = 0;
   std::uint64_t max_ = 0;
+  Rng rng_{kReservoirSeed};
   mutable std::vector<std::uint64_t> samples_;
 };
 

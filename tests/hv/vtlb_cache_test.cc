@@ -1,0 +1,316 @@
+// The vTLB optimization ladder (§8.4): shadow-context caching across
+// MOV CR3, cross-context INVLPG invalidation, LRU eviction with frame
+// accounting, naive-mode parity with the legacy flush-on-switch vTLB, and
+// tagged-TLB (VPID) reuse on hardware that supports it.
+#include <gtest/gtest.h>
+
+#include "src/guest/guest_pt.h"
+#include "src/hw/isa.h"
+#include "tests/hv/test_util.h"
+
+namespace nova::hv {
+namespace {
+
+// Same VM scaffold as VtlbTest, parameterized on the CPU model so the
+// VPID tests can run on a tagged-TLB part (Core i7) while the rest use the
+// paper's shadow-paging target (Core Duo, no tags).
+class VtlbLadderTest : public HvTest {
+ protected:
+  static constexpr CapSel kVmPd = 100;
+  static constexpr CapSel kVcpuSel = 101;
+  static constexpr CapSel kScSel = 102;
+  static constexpr CapSel kEvtBase = 200;
+  static constexpr CapSel kHandlerBase = 300;
+  static constexpr CapSel kPortalBase = 320;
+
+  // Guest layout: two address spaces plus a shared frame pool for their
+  // page tables (GPA == GVA identity for code).
+  static constexpr std::uint64_t kRootA = 0x100000;  // First guest CR3.
+  static constexpr std::uint64_t kRootB = 0x108000;  // Second guest CR3.
+  static constexpr std::uint64_t kGuestPtPool = 0x110000;
+
+  explicit VtlbLadderTest(const hw::CpuModel* cpu)
+      : HvTest(hw::MachineConfig{.cpus = {cpu}, .ram_size = 512ull << 20}) {
+    EXPECT_EQ(hv_.CreatePd(root_, kVmPd, "vm", true, &vm_), Status::kSuccess);
+    guest_base_page_ = hv_.kernel_reserve() >> hw::kPageShift;
+    EXPECT_EQ(hv_.Delegate(root_, kVmPd,
+                           Crd{CrdKind::kMem, guest_base_page_, 13, perm::kRwx}, 0),
+              Status::kSuccess);
+    EXPECT_EQ(hv_.CreateVcpu(root_, kVcpuSel, kVmPd, 0, kEvtBase, &vcpu_),
+              Status::kSuccess);
+    hw::VmControls& ctl = vcpu_->ctl();
+    ctl.mode = hw::TranslationMode::kShadow;
+    ctl.nested_root = 0;  // The kernel allocates the shadow table lazily.
+    ctl.intercept_cr3 = true;
+    ctl.intercept_invlpg = true;
+    gpt_ = std::make_unique<guest::GuestPageTableBuilder>(
+        &machine_.mem(), [this](std::uint64_t gpa) { return GuestHpa(gpa); },
+        kGuestPtPool);
+  }
+
+  hw::PhysAddr GuestHpa(std::uint64_t gpa) {
+    return (guest_base_page_ << hw::kPageShift) + gpa;
+  }
+
+  void GuestMap(std::uint64_t root_gpa, std::uint64_t gva, std::uint64_t gpa,
+                std::uint64_t flags) {
+    ASSERT_EQ(gpt_->Map(root_gpa, gva, gpa, hw::kPageSize, flags), Status::kSuccess);
+  }
+
+  // Both address spaces share the code page; their data mappings differ.
+  void BuildTwoAddressSpaces() {
+    GuestMap(kRootA, 0x1000, 0x1000, hw::pte::kWritable);
+    GuestMap(kRootA, 0x400000, 0x200000, hw::pte::kWritable);
+    GuestMap(kRootB, 0x1000, 0x1000, hw::pte::kWritable);
+    GuestMap(kRootB, 0x400000, 0x300000, hw::pte::kWritable);
+  }
+
+  // The ladder workload: bounce between the two address spaces, storing a
+  // distinct value per visit. Revisits exercise the context cache.
+  void InstallSwitchProgram() {
+    hw::isa::Assembler as(0x1000);
+    as.MovImm(0, 0xaaa);
+    as.StoreAbs(0, 0x400000);  // A: lands in GPA 0x200000.
+    as.MovCr3Imm(kRootB);      // First sight of B.
+    as.MovImm(0, 0xbbb);
+    as.StoreAbs(0, 0x400000);  // B: lands in GPA 0x300000.
+    as.MovCr3Imm(kRootA);      // Back to A: cached-context hit.
+    as.MovImm(0, 0xccc);
+    as.StoreAbs(0, 0x400000);
+    as.MovCr3Imm(kRootB);      // Back to B: cached-context hit.
+    as.MovImm(0, 0xddd);
+    as.StoreAbs(0, 0x400000);
+    as.Hlt();
+    InstallProgram(as);
+    vcpu_->gstate().rip = 0x1000;
+    vcpu_->gstate().cr3 = kRootA;
+    vcpu_->gstate().paging = true;
+  }
+
+  void InstallProgram(const hw::isa::Assembler& as) {
+    machine_.mem().Write(GuestHpa(as.base()), as.bytes().data(), as.bytes().size());
+  }
+
+  void InstallHltPortal() {
+    const auto idx = static_cast<CapSel>(Event::kHlt);
+    Ec* handler = nullptr;
+    ASSERT_EQ(hv_.CreateEcLocal(
+                  root_, kHandlerBase + idx, kSelOwnPd, 0,
+                  [this, idx](std::uint64_t) {
+                    handlers_[idx]->utcb().arch.halted = true;
+                  },
+                  &handler),
+              Status::kSuccess);
+    handlers_[idx] = handler;
+    ASSERT_EQ(hv_.CreatePt(root_, kPortalBase + idx, kHandlerBase + idx, mtd::kSta,
+                           static_cast<std::uint64_t>(Event::kHlt)),
+              Status::kSuccess);
+    ASSERT_EQ(hv_.Delegate(root_, kVmPd, Crd::Obj(kPortalBase + idx, 0, perm::kCall),
+                           kEvtBase + idx),
+              Status::kSuccess);
+  }
+
+  void StartAndRun(int steps = 40) {
+    ASSERT_EQ(hv_.CreateSc(root_, kScSel, kVcpuSel, 1, 30'000'000), Status::kSuccess);
+    for (int i = 0; i < steps && hv_.StepOnce(); ++i) {
+    }
+  }
+
+  Pd* vm_ = nullptr;
+  Ec* vcpu_ = nullptr;
+  std::uint64_t guest_base_page_ = 0;
+  std::unique_ptr<guest::GuestPageTableBuilder> gpt_;
+  Ec* handlers_[kNumEvents] = {};
+};
+
+// Yonah: no nested paging, no tagged TLB — the paper's vTLB target.
+class VtlbCacheTest : public VtlbLadderTest {
+ protected:
+  VtlbCacheTest() : VtlbLadderTest(&hw::CoreDuoT2500()) {}
+};
+
+// Core i7: tagged TLB (VPID), run in shadow mode for the ladder's top rung.
+class VtlbVpidTest : public VtlbLadderTest {
+ protected:
+  VtlbVpidTest() : VtlbLadderTest(&hw::CoreI7_920()) {}
+};
+
+TEST_F(VtlbCacheTest, CachedSwitchReusesShadowTrees) {
+  hv_.set_vtlb_policy(VtlbPolicy{.cache_contexts = true});
+  BuildTwoAddressSpaces();
+  InstallSwitchProgram();
+  InstallHltPortal();
+  StartAndRun();
+
+  // The last store per space wins.
+  EXPECT_EQ(machine_.mem().Read64(GuestHpa(0x200000)), 0xcccu);
+  EXPECT_EQ(machine_.mem().Read64(GuestHpa(0x300000)), 0xdddu);
+
+  // Exactly one fill per (context, page): code+data for A, code+data for
+  // B. Switching back to a cached context performs ZERO additional fills —
+  // the already-shadowed pages are reused.
+  EXPECT_EQ(hv_.EventCount("vTLB Fill"), 4u);
+  EXPECT_EQ(hv_.EventCount("CR Read/Write"), 3u);
+  EXPECT_EQ(hv_.EventCount("vTLB Context Miss"), 1u);  // First sight of B.
+  EXPECT_EQ(hv_.EventCount("vTLB Context Hit"), 2u);   // Both revisits.
+  // No shadow tree was torn down.
+  EXPECT_EQ(hv_.EventCount("vTLB Flush"), 0u);
+
+  Vtlb& vtlb = hv_.VtlbFor(vcpu_);
+  EXPECT_EQ(vtlb.cached_contexts(), 2u);
+}
+
+TEST_F(VtlbCacheTest, NaiveModeReproducesLegacyFlushOnSwitch) {
+  // Default policy: no caching. This pins the seed's flush-on-every-switch
+  // behaviour so the refactor cannot silently change naive-mode counts.
+  BuildTwoAddressSpaces();
+  InstallSwitchProgram();
+  InstallHltPortal();
+
+  const std::uint64_t frames_before = hv_.FramesInUse();
+  StartAndRun();
+
+  EXPECT_EQ(machine_.mem().Read64(GuestHpa(0x200000)), 0xcccu);
+  EXPECT_EQ(machine_.mem().Read64(GuestHpa(0x300000)), 0xdddu);
+
+  // Every MOV CR3 flushes the single shadow tree, so each of the four
+  // visits re-fills its code and data page: 8 fills, 3 flushes.
+  EXPECT_EQ(hv_.EventCount("vTLB Fill"), 8u);
+  EXPECT_EQ(hv_.EventCount("vTLB Flush"), 3u);
+  EXPECT_EQ(hv_.EventCount("CR Read/Write"), 3u);
+  // The context cache is off: no hit/miss traffic.
+  EXPECT_EQ(hv_.EventCount("vTLB Context Hit"), 0u);
+  EXPECT_EQ(hv_.EventCount("vTLB Context Miss"), 0u);
+
+  // Flush-on-switch returns every freed table to the kernel pool: the
+  // frames still out are exactly the ones the live shadow tree holds.
+  Vtlb& vtlb = hv_.VtlbFor(vcpu_);
+  EXPECT_EQ(hv_.FramesInUse(), frames_before + vtlb.frames_held());
+}
+
+TEST_F(VtlbCacheTest, InvlpgInvalidatesEveryCachedContext) {
+  hv_.set_vtlb_policy(VtlbPolicy{.cache_contexts = true});
+  GuestMap(kRootA, 0x1000, 0x1000, hw::pte::kWritable);
+  GuestMap(kRootA, 0x400000, 0x200000, hw::pte::kWritable);
+  GuestMap(kRootB, 0x1000, 0x1000, hw::pte::kWritable);
+  GuestMap(kRootB, 0x400000, 0x210000, hw::pte::kWritable);
+  // Map the guest page-table frames identity into B so the guest can edit
+  // A's PTE while A's context is dormant.
+  GuestMap(kRootB, kRootA, kRootA, hw::pte::kWritable);
+  GuestMap(kRootB, kRootB, kRootB, hw::pte::kWritable);
+  for (std::uint64_t f = kGuestPtPool; f < kGuestPtPool + 0x8000; f += 0x1000) {
+    GuestMap(kRootB, f, f, hw::pte::kWritable);
+  }
+
+  const std::uint64_t pte_gpa = gpt_->LeafEntryGpa(kRootA, 0x400000);
+  ASSERT_NE(pte_gpa, 0u);
+
+  hw::isa::Assembler as(0x1000);
+  as.MovImm(0, 0x11);
+  as.StoreAbs(0, 0x400000);  // Shadow A: 0x400000 -> 0x200000.
+  as.MovCr3Imm(kRootB);
+  as.MovImm(0, 0x22);
+  as.StoreAbs(0, 0x400000);  // Shadow B: 0x400000 -> 0x210000.
+  // While A is dormant, retarget A's PTE to GPA 0x280000 and INVLPG. The
+  // 8-byte store also clears the neighbouring entry (GVA 0x401000, unused).
+  as.MovImm(1, 0x280000 | hw::pte::kPresent | hw::pte::kWritable | hw::pte::kDirty |
+                   hw::pte::kAccessed);
+  as.Emit({.opcode = hw::isa::Opcode::kStore, .r1 = 1, .r2 = hw::isa::kNoReg,
+           .imm64 = pte_gpa});
+  as.Emit({.opcode = hw::isa::Opcode::kInvlpg, .r2 = hw::isa::kNoReg,
+           .imm64 = 0x400000});
+  as.MovImm(0, 0x33);
+  as.StoreAbs(0, 0x400000);  // B refills from its (unchanged) PTE.
+  as.MovCr3Imm(kRootA);      // Context hit: A's shadow tree is reused...
+  as.MovImm(0, 0x44);
+  as.StoreAbs(0, 0x400000);  // ...but 0x400000 must refill from the new PTE.
+  as.Hlt();
+  InstallProgram(as);
+  vcpu_->gstate().rip = 0x1000;
+  vcpu_->gstate().cr3 = kRootA;
+  vcpu_->gstate().paging = true;
+
+  InstallHltPortal();
+  StartAndRun();
+
+  EXPECT_EQ(hv_.EventCount("INVLPG"), 1u);
+  EXPECT_EQ(hv_.EventCount("vTLB Context Hit"), 1u);
+  // Had the INVLPG not reached the dormant context, 0x44 would have landed
+  // in the stale translation's frame (0x200000).
+  EXPECT_EQ(machine_.mem().Read64(GuestHpa(0x200000)), 0x11u);
+  EXPECT_EQ(machine_.mem().Read64(GuestHpa(0x210000)), 0x33u);
+  EXPECT_EQ(machine_.mem().Read64(GuestHpa(0x280000)), 0x44u);
+}
+
+TEST_F(VtlbCacheTest, EvictionReturnsEveryFrameToTheKernelPool) {
+  // A budget smaller than one context's tree: every switch away from a
+  // context evicts it.
+  hv_.set_vtlb_policy(
+      VtlbPolicy{.cache_contexts = true, .max_cached_frames = 2});
+  BuildTwoAddressSpaces();
+  InstallSwitchProgram();
+  InstallHltPortal();
+
+  const std::uint64_t frames_before = hv_.FramesInUse();
+  StartAndRun();
+
+  EXPECT_EQ(machine_.mem().Read64(GuestHpa(0x200000)), 0xcccu);
+  EXPECT_EQ(machine_.mem().Read64(GuestHpa(0x300000)), 0xdddu);
+
+  // Each of the three switches evicted the now-dormant context.
+  EXPECT_EQ(hv_.EventCount("vTLB Context Evict"), 3u);
+  // Every revisit found its context evicted: misses, never hits.
+  EXPECT_EQ(hv_.EventCount("vTLB Context Hit"), 0u);
+  EXPECT_EQ(hv_.EventCount("vTLB Context Miss"), 3u);
+
+  // No leaks: allocator accounting matches the subsystem's own count, and
+  // dropping the remaining context returns the pool to its pre-run level.
+  Vtlb& vtlb = hv_.VtlbFor(vcpu_);
+  EXPECT_EQ(vtlb.cached_contexts(), 1u);
+  EXPECT_EQ(hv_.FramesInUse(), frames_before + vtlb.frames_held());
+  vtlb.DropAllContexts();
+  EXPECT_EQ(vtlb.frames_held(), 0u);
+  EXPECT_EQ(vtlb.cached_contexts(), 0u);
+  EXPECT_EQ(hv_.FramesInUse(), frames_before);
+}
+
+TEST_F(VtlbVpidTest, VpidTurnsContextSwitchIntoTagSwitch) {
+  hv_.set_vtlb_policy(VtlbPolicy{.cache_contexts = true, .use_vpid = true});
+  BuildTwoAddressSpaces();
+  InstallSwitchProgram();
+  InstallHltPortal();
+
+  const std::uint64_t hw_flushes_before = machine_.cpu(0).tlb().flushes().value();
+  StartAndRun();
+
+  EXPECT_EQ(machine_.mem().Read64(GuestHpa(0x200000)), 0xcccu);
+  EXPECT_EQ(machine_.mem().Read64(GuestHpa(0x300000)), 0xdddu);
+  EXPECT_EQ(hv_.EventCount("vTLB Fill"), 4u);
+  EXPECT_EQ(hv_.EventCount("vTLB Context Hit"), 2u);
+
+  // The whole point of the top rung: no hardware-TLB flush was charged on
+  // any of the three address-space switches — each context runs under its
+  // own VPID.
+  EXPECT_EQ(machine_.cpu(0).tlb().flushes().value(), hw_flushes_before);
+  // The vCPU runs under a per-context tag, not the VM's identity tag.
+  EXPECT_NE(vcpu_->ctl().tag, vcpu_->ctl().base_tag);
+}
+
+TEST_F(VtlbVpidTest, UntaggedPolicyStillFlushesHardwareTlb) {
+  // Same hardware, VPID layer off: the context cache keeps the shadow
+  // trees but each switch must flush the shared identity tag.
+  hv_.set_vtlb_policy(VtlbPolicy{.cache_contexts = true});
+  BuildTwoAddressSpaces();
+  InstallSwitchProgram();
+  InstallHltPortal();
+
+  const std::uint64_t hw_flushes_before = machine_.cpu(0).tlb().flushes().value();
+  StartAndRun();
+
+  EXPECT_EQ(hv_.EventCount("vTLB Fill"), 4u);  // Shadow trees still reused.
+  EXPECT_GE(machine_.cpu(0).tlb().flushes().value(), hw_flushes_before + 3);
+  EXPECT_EQ(vcpu_->ctl().tag, vcpu_->ctl().base_tag);
+}
+
+}  // namespace
+}  // namespace nova::hv

@@ -42,6 +42,42 @@ TEST(Distribution, EmptyPercentileIsZero) {
   EXPECT_EQ(d.Percentile(50), 0u);
 }
 
+TEST(Distribution, ReservoirRetainsLateValues) {
+  // Stream 10x the reservoir capacity. A keep-the-prefix scheme would
+  // never see past the first `cap` values and report p50 ~ cap/2;
+  // Algorithm R keeps a uniform sample, so the percentiles track the full
+  // stream 1..10*cap.
+  constexpr std::size_t kCap = 256;
+  Distribution d(kCap);
+  for (std::uint64_t v = 1; v <= 10 * kCap; ++v) {
+    d.Record(v);
+  }
+  EXPECT_EQ(d.count(), 10 * kCap);
+  EXPECT_GT(d.Percentile(50), kCap);  // Prefix-only sampling caps at kCap.
+  EXPECT_NEAR(static_cast<double>(d.Percentile(50)), 5.0 * kCap, 1.5 * kCap);
+  EXPECT_GT(d.Percentile(90), 6 * kCap);
+}
+
+TEST(Distribution, ReservoirDeterministicAcrossReset) {
+  // Fixed RNG seed: the same stream yields the same reservoir after Reset,
+  // keeping simulation runs bit-for-bit reproducible.
+  constexpr std::size_t kCap = 64;
+  Distribution d(kCap);
+  auto feed = [&d] {
+    for (std::uint64_t v = 1; v <= 1000; ++v) {
+      d.Record(v * 7);
+    }
+  };
+  feed();
+  const std::uint64_t p50 = d.Percentile(50);
+  const std::uint64_t p99 = d.Percentile(99);
+  d.Reset();
+  EXPECT_EQ(d.count(), 0u);
+  feed();
+  EXPECT_EQ(d.Percentile(50), p50);
+  EXPECT_EQ(d.Percentile(99), p99);
+}
+
 TEST(UtilizationTracker, HalfBusy) {
   UtilizationTracker u;
   u.Reset(0);

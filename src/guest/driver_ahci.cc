@@ -19,7 +19,8 @@ void GuestAhciDriver::EmitInit() {
   as.Store(1, hw::isa::kNoReg, config_.mmio_base + hw::ahci::kGhc);
   as.MovImm(1, config_.cmd_gpa);
   as.Store(1, hw::isa::kNoReg, config_.mmio_base + hw::ahci::kPxClb);
-  as.MovImm(1, hw::ahci::kPxIsDhrs);
+  as.MovImm(1, config_.handle_errors ? (hw::ahci::kPxIsDhrs | hw::ahci::kPxIsTfes)
+                                     : hw::ahci::kPxIsDhrs);
   as.Store(1, hw::isa::kNoReg, config_.mmio_base + hw::ahci::kPxIe);
   as.MovImm(1, hw::ahci::kPxCmdStart);
   as.Store(1, hw::isa::kNoReg, config_.mmio_base + hw::ahci::kPxCmd);
@@ -88,14 +89,23 @@ void GuestAhciDriver::EmitIssueSequence() {
 void GuestAhciDriver::CompletionLogic(hw::GuestState& gs) {
   // Driver tag bookkeeping: which of our issued slots completed?
   const std::uint32_t ci = config_.read_ci ? config_.read_ci() : 0;
-  const std::uint32_t done = issued_mask_ & ~ci;
+  std::uint32_t err = 0;
+  if (config_.handle_errors && config_.read_err) {
+    err = config_.read_err() & issued_mask_;
+  }
+  const std::uint32_t done = issued_mask_ & ~ci & ~err;
   int completed = 0;
   for (int s = 0; s < hw::ahci::kNumSlots; ++s) {
     if (done & (1u << s)) {
       ++completed;
     }
+    if (err & (1u << s)) {
+      ++retried_count_;
+    }
   }
-  issued_mask_ &= ci;
+  // Errored slots stay issued: the emitted ISR tail re-stores their CI
+  // bits, which re-submits the commands to the controller.
+  issued_mask_ = (issued_mask_ & ci) | err;
   completed_count_ += completed;
   gs.regs[5] = completed;
   if (on_complete_ && completed > 0) {
@@ -113,8 +123,19 @@ void GuestAhciDriver::EmitIsr(std::function<void(int)> on_complete) {
   as.Load(2, hw::isa::kNoReg, config_.mmio_base + hw::ahci::kPxIs);
   as.Store(2, hw::isa::kNoReg, config_.mmio_base + hw::ahci::kPxIs);
   as.Store(1, hw::isa::kNoReg, config_.mmio_base + hw::ahci::kIs);
+  if (config_.handle_errors) {
+    // Error tail, branchless (storing 0 is harmless): read the errored
+    // slot mask, let the bookkeeping below see it, then acknowledge it and
+    // re-issue the failed slots. Register 6 only — register 4 holds the
+    // live issue-path CI bit and an ISR can interleave with submission.
+    as.Load(6, hw::isa::kNoReg, config_.mmio_base + hw::ahci::kPxVs);
+  }
   as.NopBlock(1400);  // Tag bookkeeping, request teardown.
   as.GuestLogic(completion_logic_);
+  if (config_.handle_errors) {
+    as.Store(6, hw::isa::kNoReg, config_.mmio_base + hw::ahci::kPxVs);
+    as.Store(6, hw::isa::kNoReg, config_.mmio_base + hw::ahci::kPxCi);
+  }
   gk_->EmitPicHandshake();
   as.Iret();
   gk_->SetVector(config_.irq_vector, isr);

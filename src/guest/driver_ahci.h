@@ -28,6 +28,12 @@ class GuestAhciDriver {
     // (stands for the driver's in-memory tag tracking; the cost of that
     // bookkeeping is charged inside the ISR).
     std::function<std::uint32_t()> read_ci;
+    // Error handling is opt-in: when enabled the ISR also reads the error
+    // slot register (kPxVs), acknowledges it and re-issues failed slots —
+    // three extra MMIO accesses per interrupt. Off by default so the
+    // fault-free six-MMIO budget of §8.2 is untouched.
+    bool handle_errors = false;
+    std::function<std::uint32_t()> read_err;
   };
 
   GuestAhciDriver(GuestKernel* gk, Config config);
@@ -46,6 +52,8 @@ class GuestAhciDriver {
 
   std::uint64_t issued() const { return issued_count_; }
   std::uint64_t completed() const { return completed_count_; }
+  std::uint64_t retried() const { return retried_count_; }
+  std::uint32_t issued_mask() const { return issued_mask_; }
 
  private:
   void PrepareLogic(hw::GuestState& gs);
@@ -59,6 +67,7 @@ class GuestAhciDriver {
   std::uint32_t issued_mask_ = 0;
   std::uint64_t issued_count_ = 0;
   std::uint64_t completed_count_ = 0;
+  std::uint64_t retried_count_ = 0;
 };
 
 }  // namespace nova::guest

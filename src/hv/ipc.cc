@@ -92,6 +92,9 @@ Status Hypervisor::DoCall(Ec* caller_ec, Pt* portal) {
   if (handler.busy()) {
     return Status::kBusy;  // One in-flight call per handler EC.
   }
+  if (handler.dead() || handler.pd().dead()) {
+    return Status::kAbort;  // The service's domain has been torn down.
+  }
 
   const bool cross_as = &handler.pd() != &caller_ec->pd();
   const hw::CpuModel& model = cpu(cpu_id).model();

@@ -166,6 +166,9 @@ Status Hypervisor::DestroyPd(Pd* caller, CapSel pd_sel) {
   }
   // Withdraw everything this domain held and everything derived from it.
   mdb_.DropDomain(pd, [this](const MdbNode& node) {
+    if (node.pd->dead()) {
+      return;  // A domain destroyed earlier: its spaces are already gone.
+    }
     switch (node.kind) {
       case CrdKind::kMem:
         node.pd->mem_space().Unmap(node.base, node.count);
@@ -183,8 +186,102 @@ Status Hypervisor::DestroyPd(Pd* caller, CapSel pd_sel) {
     }
   });
   pd->MarkDead();
+  ReclaimPd(pd);
   caller->caps().Remove(pd_sel);
   return Status::kSuccess;
+}
+
+void Hypervisor::ReclaimPd(Pd* pd) {
+  // Waiters from *other* domains blocked on a semaphore the dying domain
+  // created observe the failure: their next down reports kAbort.
+  for (auto it = sms_.begin(); it != sms_.end();) {
+    auto sm = it->lock();
+    if (sm == nullptr) {
+      it = sms_.erase(it);
+      continue;
+    }
+    if (sm->owner() == pd) {
+      while (!sm->waiters().empty()) {
+        auto waiter = sm->waiters().front();
+        sm->waiters().pop_front();
+        WakeSmWaiter(waiter.get(), Status::kAbort);
+      }
+      if (sm->bound_gsi_valid() && gsi_sms_[sm->bound_gsi()] == sm) {
+        gsi_sms_[sm->bound_gsi()] = nullptr;
+      }
+      sm->MarkDead();
+      sm->set_owner(nullptr);
+    }
+    ++it;
+  }
+
+  // The domain's execution contexts never run again: unlink them from
+  // semaphore queues, run queues and halted lists.
+  for (auto it = ecs_.begin(); it != ecs_.end();) {
+    auto ec = it->lock();
+    if (ec == nullptr) {
+      it = ecs_.erase(it);
+      continue;
+    }
+    if (&ec->pd() == pd) {
+      ec->MarkDead();
+      if (Sm* sm = ec->blocked_on(); sm != nullptr) {
+        auto& q = sm->waiters();
+        q.erase(std::remove_if(q.begin(), q.end(),
+                               [&ec](const auto& p) { return p == ec; }),
+                q.end());
+        ec->set_blocked_on(nullptr);
+      }
+      if (ec->timeout_event() != 0) {
+        machine_->events().Cancel(ec->timeout_event());
+        ec->set_timeout_event(0);
+      }
+      if (ec->sc() != nullptr && ec->sc()->queued()) {
+        cpu_states_[ec->cpu()].runqueue.Remove(ec->sc());
+      }
+      if (ec->sc() != nullptr) {
+        ec->sc()->MarkDead();
+      }
+      auto& halted = cpu_states_[ec->cpu()].halted_vcpus;
+      halted.erase(std::remove_if(halted.begin(), halted.end(),
+                                  [&ec](const auto& p) { return p == ec; }),
+                   halted.end());
+    }
+    ++it;
+  }
+
+  // Direct-interrupt routes into the domain's vCPUs go quiet.
+  for (std::uint32_t gsi = 0; gsi < hw::kNumGsis; ++gsi) {
+    if (gsi_direct_[gsi] != nullptr && &gsi_direct_[gsi]->pd() == pd) {
+      gsi_direct_[gsi] = nullptr;
+    }
+  }
+
+  // Shadow-paging state: every cached context frame and hardware tag of
+  // the domain's vCPUs goes back to the pool.
+  DropShadowContexts(pd);
+
+  // A dead driver domain must not be able to program DMA anymore.
+  for (const std::uint16_t dev : pd->assigned_devices()) {
+    machine_->iommu().DetachDevice(dev);
+  }
+  pd->assigned_devices().clear();
+
+  // Release the domain's hardware TLB footprint and identity tag.
+  if (pd->is_vm() && pd->vm_tag() != hw::kHostTag) {
+    for (std::uint32_t i = 0; i < machine_->num_cpus(); ++i) {
+      machine_->cpu(i).tlb().FlushTag(pd->vm_tag());
+      engines_[i]->FlushNestedTlb(pd->vm_tag());
+    }
+    tlb_tags_.Release(pd->vm_tag());
+    pd->set_vm_tag(hw::kHostTag);
+  }
+
+  // Finally the paging structures themselves: DropDomain zeroed the leaf
+  // entries, but the radix-tree frames (and the root) are kernel pool
+  // frames that must balance out.
+  pd->mem_space().table().FreeTables(
+      [this](hw::PhysAddr frame) { FreeFrame(frame); });
 }
 
 Status Hypervisor::CreateEcLocal(Pd* caller, CapSel dst_sel, CapSel pd_sel,
@@ -204,6 +301,7 @@ Status Hypervisor::CreateEcLocal(Pd* caller, CapSel dst_sel, CapSel pd_sel,
   if (!Ok(s)) {
     return s;
   }
+  ecs_.push_back(ec);
   if (out != nullptr) {
     *out = ec.get();
   }
@@ -227,6 +325,7 @@ Status Hypervisor::CreateEcGlobal(Pd* caller, CapSel dst_sel, CapSel pd_sel,
   if (!Ok(s)) {
     return s;
   }
+  ecs_.push_back(ec);
   if (out != nullptr) {
     *out = ec.get();
   }
@@ -266,6 +365,7 @@ Status Hypervisor::CreateVcpu(Pd* caller, CapSel dst_sel, CapSel vm_pd_sel,
     return s;
   }
   vcpus_.push_back(ec);
+  ecs_.push_back(ec);
   if (out != nullptr) {
     *out = ec.get();
   }
@@ -328,7 +428,12 @@ Status Hypervisor::PtCtrlMtd(Pd* caller, CapSel pt_sel, Mtd m) {
 Status Hypervisor::CreateSm(Pd* caller, CapSel dst_sel, std::uint64_t initial) {
   Charge(boot_cpu_for_step_, costs_.hypercall_dispatch);
   auto sm = std::make_shared<Sm>(initial);
-  return InstallCap(caller, dst_sel, sm, perm::kAll);
+  sm->set_owner(caller);
+  const Status s = InstallCap(caller, dst_sel, sm, perm::kAll);
+  if (Ok(s)) {
+    sms_.push_back(sm);
+  }
+  return s;
 }
 
 // --- Semaphores -----------------------------------------------------------
@@ -346,21 +451,42 @@ Status Hypervisor::SmUp(Pd* caller, CapSel sm_sel) {
   if (!sm->waiters().empty()) {
     auto ec = sm->waiters().front();
     sm->waiters().pop_front();
-    ec->set_block_state(Ec::BlockState::kRunnable);
-    if (ec->sc() != nullptr) {
-      cpu_states_[ec->cpu()].runqueue.Enqueue(ec->sc());
-    }
+    WakeSmWaiter(ec.get(), Status::kSuccess);
   }
   return Status::kSuccess;
 }
 
+void Hypervisor::WakeSmWaiter(Ec* ec, Status status) {
+  ec->set_blocked_on(nullptr);
+  if (ec->timeout_event() != 0) {
+    machine_->events().Cancel(ec->timeout_event());
+    ec->set_timeout_event(0);
+  }
+  ec->set_wake_status(status);
+  ec->set_block_state(Ec::BlockState::kRunnable);
+  if (ec->sc() != nullptr && !ec->sc()->queued()) {
+    cpu_states_[ec->cpu()].runqueue.Enqueue(ec->sc());
+  }
+}
+
 Hypervisor::DownResult Hypervisor::SmDown(Ec* caller_ec, CapSel sm_sel,
-                                          bool unmask_gsi) {
+                                          bool unmask_gsi,
+                                          sim::PicoSeconds deadline_ps) {
   Charge(caller_ec->cpu(), costs_.hypercall_dispatch + costs_.sm_op);
+  // A blocked wait that ended abnormally reports its outcome on re-entry
+  // (the woken thread re-executes its down).
+  if (caller_ec->wake_status() != Status::kSuccess) {
+    const Status why = caller_ec->wake_status();
+    caller_ec->set_wake_status(Status::kSuccess);
+    return why == Status::kTimeout ? DownResult::kTimeout : DownResult::kAborted;
+  }
   Sm* sm = LookupCharged<Sm>(&caller_ec->pd(), sm_sel, ObjType::kSm, perm::kSmDown,
                              caller_ec->cpu());
   if (sm == nullptr) {
     return DownResult::kError;
+  }
+  if (sm->dead()) {
+    return DownResult::kAborted;  // The semaphore's domain is gone.
   }
   if (unmask_gsi && sm->bound_gsi_valid()) {
     machine_->irq().Unmask(sm->bound_gsi());
@@ -374,7 +500,29 @@ Hypervisor::DownResult Hypervisor::SmDown(Ec* caller_ec, CapSel sm_sel,
     return DownResult::kError;  // Only threads with their own SC may block.
   }
   caller_ec->set_block_state(Ec::BlockState::kBlockedSm);
-  sm->waiters().push_back(caller_ec->sc()->ec_ref());
+  caller_ec->set_blocked_on(sm);
+  auto ec_ref = caller_ec->sc()->ec_ref();
+  sm->waiters().push_back(ec_ref);
+  if (deadline_ps != 0) {
+    // The deadline event holds shared refs, so both objects outlive it; the
+    // guard re-checks the wait is still the same one before expiring it.
+    auto sm_ref = RefAs<Sm>(caller_ec->pd().caps().LookupRef(sm_sel), ObjType::kSm);
+    const auto id = machine_->events().ScheduleAt(
+        deadline_ps, [this, ec_ref, sm_ref] {
+          Ec* ec = ec_ref.get();
+          if (ec->dead() || ec->block_state() != Ec::BlockState::kBlockedSm ||
+              ec->blocked_on() != sm_ref.get()) {
+            return;
+          }
+          auto& q = sm_ref->waiters();
+          q.erase(std::remove_if(q.begin(), q.end(),
+                                 [&ec_ref](const auto& p) { return p == ec_ref; }),
+                  q.end());
+          ec->set_timeout_event(0);
+          WakeSmWaiter(ec, Status::kTimeout);
+        });
+    caller_ec->set_timeout_event(id);
+  }
   return DownResult::kBlocked;
 }
 
@@ -542,6 +690,7 @@ Status Hypervisor::AssignDev(Pd* caller, CapSel pd_sel, hw::DeviceId dev,
   if (machine_->iommu().present()) {
     machine_->iommu().AttachDevice(dev, pd->mem_space().root(), host_paging_mode_);
     machine_->iommu().AllowGsi(dev, gsi);
+    pd->assigned_devices().push_back(dev);
   }
   return Status::kSuccess;
 }
@@ -600,10 +749,7 @@ void Hypervisor::ProcessPendingIrqs(std::uint32_t cpu_id) {
       if (!sm->waiters().empty()) {
         auto ec = sm->waiters().front();
         sm->waiters().pop_front();
-        ec->set_block_state(Ec::BlockState::kRunnable);
-        if (ec->sc() != nullptr) {
-          cpu_states_[ec->cpu()].runqueue.Enqueue(ec->sc());
-        }
+        WakeSmWaiter(ec.get(), Status::kSuccess);
       }
     }
   }
@@ -664,8 +810,16 @@ bool Hypervisor::StepOnce() {
   Charge(chosen, costs_.sched_pick);
 
   Sc* sc = state.runqueue.Dequeue();
+  if (sc->dead() || sc->ec().dead() || sc->ec().pd().dead()) {
+    // A torn-down domain's SC surfaced from the queue: drop it silently.
+    state.current = nullptr;
+    return true;
+  }
   state.current = sc;
-  Ec& ec = sc->ec();
+  // Pin the EC: an event callback inside the slice may destroy the running
+  // domain, freeing the SC (and with it the last plain reference).
+  const std::shared_ptr<Ec> ec_ref = sc->ec_ref();
+  Ec& ec = *ec_ref;
   const sim::Cycles before = c.cycles();
 
   switch (ec.kind()) {
@@ -679,13 +833,19 @@ bool Hypervisor::StepOnce() {
       break;  // Unreachable: local ECs have no SC.
   }
 
+  state.current = nullptr;
+  if (ec.dead()) {
+    // The domain was torn down by an event inside the slice: its SC died
+    // with it and must not be consumed or requeued.
+    machine_->SyncDeviceTime(c);
+    return true;
+  }
   sim::Cycles consumed = c.cycles() - before;
   if (consumed == 0) {
     c.Charge(1);  // Guarantee forward progress.
     consumed = 1;
   }
   const bool depleted = sc->Consume(consumed);
-  state.current = nullptr;
 
   if (ec.block_state() == Ec::BlockState::kRunnable) {
     if (depleted) {

@@ -79,10 +79,19 @@ class Hypervisor {
   Status Call(Ec* caller_ec, CapSel pt_sel);
 
   Status SmUp(Pd* caller, CapSel sm_sel);
-  enum class DownResult : std::uint8_t { kAcquired, kBlocked, kError };
+  enum class DownResult : std::uint8_t {
+    kAcquired,  // Counter was positive; decremented without blocking.
+    kBlocked,   // Caller enqueued on the semaphore; retry after wake-up.
+    kTimeout,   // A previous blocked wait's deadline expired (kTimeout).
+    kAborted,   // The semaphore's domain died while the caller waited.
+    kError,
+  };
   // `unmask_gsi`: for interrupt semaphores, unmask the bound GSI before
-  // waiting (the driver's handled-the-interrupt handshake).
-  DownResult SmDown(Ec* caller_ec, CapSel sm_sel, bool unmask_gsi = false);
+  // waiting (the driver's handled-the-interrupt handshake). A non-zero
+  // `deadline_ps` bounds a blocking wait: if no Up arrives by then the
+  // waiter is removed from the queue and its next SmDown reports kTimeout.
+  DownResult SmDown(Ec* caller_ec, CapSel sm_sel, bool unmask_gsi = false,
+                    sim::PicoSeconds deadline_ps = 0);
 
   // Resource delegation: transfer `src` (a range of the caller's memory,
   // I/O or capability space) into `dst_pd_sel`'s space at `hotspot`,
@@ -198,6 +207,13 @@ class Hypervisor {
   void ProcessPendingIrqs(std::uint32_t cpu_id);
   void WakeHaltedVcpus(std::uint32_t cpu_id);
 
+  // Unlink an EC from its semaphore wait and make it runnable again with
+  // `status` as the wake reason (kSuccess = normal Up).
+  void WakeSmWaiter(Ec* ec, Status status);
+  // Full teardown of a dying domain: abort waiters, unschedule its ECs,
+  // drop shadow state, detach devices, free its paging structures.
+  void ReclaimPd(Pd* pd);
+
   // Charged capability lookup.
   template <typename T>
   T* LookupCharged(Pd* caller, CapSel sel, ObjType type, std::uint8_t perms,
@@ -267,6 +283,8 @@ class Hypervisor {
   hw::TlbTagAllocator tlb_tags_;  // VM identity tags + vTLB context tags.
   VtlbPolicy vtlb_policy_{};
   std::vector<std::weak_ptr<Ec>> vcpus_;  // All vCPUs ever created.
+  std::vector<std::weak_ptr<Ec>> ecs_;    // All ECs ever created (teardown).
+  std::vector<std::weak_ptr<Sm>> sms_;    // All Sms ever created (teardown).
   hw::PagingMode host_paging_mode_;
   std::uint32_t boot_cpu_for_step_ = 0;
 };

@@ -7,6 +7,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/hw/guest_state.h"
 #include "src/hv/cap_space.h"
@@ -19,6 +20,7 @@ namespace nova::hv {
 
 class Ec;
 class Sc;
+class Sm;
 class Vtlb;
 
 // Protection domain: spatial isolation. Acts as a resource container and
@@ -44,6 +46,10 @@ class Pd : public KObject {
   hw::TlbTag vm_tag() const { return vm_tag_; }
   void set_vm_tag(hw::TlbTag tag) { vm_tag_ = tag; }
 
+  // DMA-capable devices assigned to this domain; detached on destroy so
+  // a dead driver domain can no longer program DMA.
+  std::vector<std::uint16_t>& assigned_devices() { return devices_; }
+
  private:
   std::string name_;
   bool is_vm_;
@@ -51,6 +57,7 @@ class Pd : public KObject {
   MemSpace mem_space_;
   IoSpace io_space_;
   hw::TlbTag vm_tag_ = hw::kHostTag;
+  std::vector<std::uint16_t> devices_;
 };
 
 // Execution context: a thread, a dedicated event handler, or a virtual CPU.
@@ -104,6 +111,20 @@ class Ec : public KObject {
   BlockState block_state() const { return block_state_; }
   void set_block_state(BlockState s) { block_state_ = s; }
 
+  // Why the last blocking wait ended: kSuccess for a normal wake-up,
+  // kTimeout when the deadline fired, kAbort when the semaphore's domain
+  // died. Consumed by the next SmDown.
+  Status wake_status() const { return wake_status_; }
+  void set_wake_status(Status s) { wake_status_ = s; }
+
+  // The semaphore this EC currently waits on (kBlockedSm only), plus the
+  // pending deadline event (0 = none). Lets teardown and timeout paths
+  // find and unlink the waiter without scanning every semaphore.
+  Sm* blocked_on() const { return blocked_on_; }
+  void set_blocked_on(Sm* sm) { blocked_on_ = sm; }
+  std::uint64_t timeout_event() const { return timeout_event_; }
+  void set_timeout_event(std::uint64_t id) { timeout_event_ = id; }
+
   Sc* sc() const { return sc_; }
   void set_sc(Sc* sc) { sc_ = sc; }
 
@@ -123,6 +144,9 @@ class Ec : public KObject {
   std::shared_ptr<Vtlb> vtlb_;
   CapSel evt_base_ = kInvalidSel;
   BlockState block_state_ = BlockState::kRunnable;
+  Status wake_status_ = Status::kSuccess;
+  Sm* blocked_on_ = nullptr;
+  std::uint64_t timeout_event_ = 0;
   Sc* sc_ = nullptr;
   bool busy_ = false;
 };
@@ -191,10 +215,16 @@ class Sm : public KObject {
   std::uint32_t bound_gsi() const { return gsi_; }
   void bind_gsi(std::uint32_t gsi) { gsi_ = gsi; }
 
+  // Domain that created the semaphore. When it dies, waiters from other
+  // domains are woken with kAbort.
+  Pd* owner() const { return owner_; }
+  void set_owner(Pd* pd) { owner_ = pd; }
+
  private:
   std::uint64_t counter_;
   std::deque<std::shared_ptr<Ec>> waiters_;
   std::uint32_t gsi_ = ~0u;
+  Pd* owner_ = nullptr;
 };
 
 }  // namespace nova::hv

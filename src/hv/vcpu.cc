@@ -151,7 +151,12 @@ bool Hypervisor::DispatchVmEvent(Ec* vcpu, Event event, const hw::VmExit& exit) 
 }
 
 void Hypervisor::RunVcpu(Sc* sc, sim::Cycles budget) {
-  Ec* vcpu = &sc->ec();
+  // Pin the vCPU for the slice: device events fired inside it (via
+  // SyncDeviceTime) may tear down this very domain — the root's crash
+  // recovery does exactly that — which frees the SC and, without the pin,
+  // the guest state this loop reads.
+  const std::shared_ptr<Ec> pin = sc->ec_ref();
+  Ec* vcpu = pin.get();
   const std::uint32_t cpu_id = vcpu->cpu();
   hw::Cpu& c = cpu(cpu_id);
   const hw::CpuModel& model = c.model();
@@ -181,6 +186,9 @@ void Hypervisor::RunVcpu(Sc* sc, sim::Cycles budget) {
     // ticks are delivered with hardware latency, not quantum latency.
     sim::Cycles slice = budget - used;
     machine_->SyncDeviceTime(c);
+    if (vcpu->dead()) {
+      return;  // An event callback destroyed the domain mid-slice.
+    }
     if (!machine_->events().empty()) {
       const sim::PicoSeconds deadline = machine_->events().NextDeadline();
       if (deadline > c.NowPs()) {
@@ -191,6 +199,9 @@ void Hypervisor::RunVcpu(Sc* sc, sim::Cycles budget) {
     }
     const hw::VmExit exit = engine.Run(gs, ctl, slice);
     machine_->SyncDeviceTime(c);
+    if (vcpu->dead()) {
+      return;
+    }
 
     if (exit.reason == hw::ExitReason::kPreempt &&
         c.cycles() - start < budget) {

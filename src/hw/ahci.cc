@@ -26,6 +26,7 @@ std::uint64_t AhciController::MmioRead(std::uint64_t offset, unsigned /*size*/) 
     case ahci::kPxTfd: return 0x50;   // DRDY.
     case ahci::kPxSsts: return 0x123; // Device present, PHY established.
     case ahci::kPxCi: return px_ci_;
+    case ahci::kPxVs: return error_slots_;
     default: return 0;
   }
 }
@@ -56,6 +57,9 @@ void AhciController::MmioWrite(std::uint64_t offset, unsigned /*size*/,
     case ahci::kPxCmd:
       px_cmd_ = v;
       break;
+    case ahci::kPxVs:
+      error_slots_ &= ~v;  // Write-1-clear.
+      break;
     case ahci::kPxCi:
       if ((px_cmd_ & ahci::kPxCmdStart) == 0) {
         break;  // Commands are only fetched while the engine runs.
@@ -73,14 +77,21 @@ void AhciController::MmioWrite(std::uint64_t offset, unsigned /*size*/,
   }
 }
 
+void AhciController::FailSlot(int slot) {
+  inflight_[slot].active = false;
+  error_slots_ |= 1u << slot;
+  px_is_ |= ahci::kPxIsTfes;
+  px_ci_ &= ~(1u << slot);
+  is_ |= 0x1;
+  UpdateIrq();
+}
+
 void AhciController::IssueSlot(int slot) {
   // Fetch the command header from the command list (DMA read).
   std::uint8_t header[32];
   if (!Ok(iommu_->DmaRead(id(), px_clb_ + slot * 32ull, header, sizeof(header)))) {
     ++dma_faults_;
-    px_is_ |= ahci::kPxIsTfes;
-    px_ci_ &= ~(1u << slot);
-    UpdateIrq();
+    FailSlot(slot);
     return;
   }
   std::uint32_t dw0 = 0;
@@ -95,9 +106,7 @@ void AhciController::IssueSlot(int slot) {
   if (!Ok(iommu_->DmaRead(id(), ctba, cfis, sizeof(cfis))) ||
       cfis[0] != ahci::kFisH2d) {
     ++dma_faults_;
-    px_is_ |= ahci::kPxIsTfes;
-    px_ci_ &= ~(1u << slot);
-    UpdateIrq();
+    FailSlot(slot);
     return;
   }
   std::uint64_t lba = 0;
@@ -118,10 +127,7 @@ void AhciController::IssueSlot(int slot) {
     std::uint8_t prd[16];
     if (!Ok(iommu_->DmaRead(id(), ctba + 0x80 + i * 16ull, prd, sizeof(prd)))) {
       ++dma_faults_;
-      px_is_ |= ahci::kPxIsTfes;
-      px_ci_ &= ~(1u << slot);
-      fl.active = false;
-      UpdateIrq();
+      FailSlot(slot);
       return;
     }
     std::uint64_t dba = 0;
@@ -133,10 +139,7 @@ void AhciController::IssueSlot(int slot) {
     total += len;
   }
   if (total < bytes) {
-    px_is_ |= ahci::kPxIsTfes;  // PRDT shorter than the transfer.
-    px_ci_ &= ~(1u << slot);
-    fl.active = false;
-    UpdateIrq();
+    FailSlot(slot);  // PRDT shorter than the transfer.
     return;
   }
 
@@ -148,10 +151,7 @@ void AhciController::IssueSlot(int slot) {
       const std::uint64_t chunk = std::min<std::uint64_t>(len, bytes - off);
       if (!Ok(iommu_->DmaRead(id(), dba, fl.data.data() + off, chunk))) {
         ++dma_faults_;
-        px_is_ |= ahci::kPxIsTfes;
-        px_ci_ &= ~(1u << slot);
-        fl.active = false;
-        UpdateIrq();
+        FailSlot(slot);
         return;
       }
       off += chunk;
@@ -160,27 +160,38 @@ void AhciController::IssueSlot(int slot) {
       }
     }
     disk_->SubmitWrite(lba * kSectorSize, fl.data.data(), bytes,
-                       [this, slot, bytes] { CompleteSlot(slot, bytes); });
+                       [this, slot, bytes](Status s) { CompleteSlot(slot, bytes, s); });
   } else {
     disk_->SubmitRead(lba * kSectorSize, bytes, fl.data.data(),
-                      [this, slot, bytes] { CompleteSlot(slot, bytes); });
+                      [this, slot, bytes](Status s) { CompleteSlot(slot, bytes, s); });
   }
 }
 
-void AhciController::CompleteSlot(int slot, std::uint64_t prd_bytes) {
+void AhciController::CompleteSlot(int slot, std::uint64_t prd_bytes,
+                                  Status status) {
   Inflight& fl = inflight_[slot];
   if (!fl.active) {
     return;
   }
+  if (!Ok(status)) {
+    FailSlot(slot);  // Media error: task-file error, no data transferred.
+    return;
+  }
   if (!fl.write) {
+    if (fault_plan_ != nullptr && !fl.prdt.empty() &&
+        fault_plan_->ShouldFault(sim::FaultKind::kDmaUnmapped, "ahci")) {
+      // Injected bug: the device scatters to an address outside its
+      // mapping. The IOMMU must latch the fault and stop the DMA.
+      fl.prdt[0].first = 0xffff'ff00'0000ull;
+    }
     // Scatter the data into the guest/driver buffers (DMA write).
     std::uint64_t off = 0;
     for (const auto& [dba, len] : fl.prdt) {
       const std::uint64_t chunk = std::min<std::uint64_t>(len, prd_bytes - off);
       if (!Ok(iommu_->DmaWrite(id(), dba, fl.data.data() + off, chunk))) {
         ++dma_faults_;
-        px_is_ |= ahci::kPxIsTfes;
-        break;
+        FailSlot(slot);
+        return;
       }
       off += chunk;
       if (off == prd_bytes) {

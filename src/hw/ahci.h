@@ -38,6 +38,10 @@ constexpr std::uint64_t kPxCmd = kPort + 0x18;
 constexpr std::uint64_t kPxTfd = kPort + 0x20;
 constexpr std::uint64_t kPxSsts = kPort + 0x28;
 constexpr std::uint64_t kPxCi = kPort + 0x38;
+// Vendor-specific: bitmask of slots that completed with a task-file error
+// since last cleared (write-1-clear). Lets the driver tell *which* command
+// failed without a D2H FIS decode.
+constexpr std::uint64_t kPxVs = kPort + 0x70;
 constexpr std::uint64_t kWindowSize = 0x200;
 
 constexpr std::uint32_t kGhcIntrEnable = 1u << 1;
@@ -61,10 +65,15 @@ class AhciController : public Device {
 
   std::uint32_t gsi() const { return gsi_; }
   std::uint64_t dma_faults() const { return dma_faults_; }
+  std::uint32_t error_slots() const { return error_slots_; }
+
+  // Optional fault injection (kDmaUnmapped on the completion scatter path).
+  void set_fault_plan(sim::FaultPlan* plan) { fault_plan_ = plan; }
 
  private:
   void IssueSlot(int slot);
-  void CompleteSlot(int slot, std::uint64_t prd_bytes);
+  void CompleteSlot(int slot, std::uint64_t prd_bytes, Status status);
+  void FailSlot(int slot);
   void UpdateIrq();
 
   Iommu* iommu_;
@@ -81,6 +90,7 @@ class AhciController : public Device {
   std::uint32_t px_ie_ = 0;
   std::uint32_t px_cmd_ = 0;
   std::uint32_t px_ci_ = 0;
+  std::uint32_t error_slots_ = 0;
 
   // In-flight request buffers (one per slot).
   struct Inflight {
@@ -91,6 +101,7 @@ class AhciController : public Device {
   };
   Inflight inflight_[ahci::kNumSlots];
   std::uint64_t dma_faults_ = 0;
+  sim::FaultPlan* fault_plan_ = nullptr;
 };
 
 }  // namespace nova::hw

@@ -57,14 +57,26 @@ void DiskModel::WriteContent(std::uint64_t offset, const void* data,
   }
 }
 
+Status DiskModel::MediaStatus() {
+  if (fault_plan_ != nullptr &&
+      fault_plan_->ShouldFault(sim::FaultKind::kDiskMediaError, "disk")) {
+    media_errors_.Add();
+    return Status::kMemoryFault;
+  }
+  return Status::kSuccess;
+}
+
 void DiskModel::SubmitRead(std::uint64_t offset, std::uint64_t bytes,
                            std::uint8_t* out, Completion done) {
   const sim::PicoSeconds start = std::max(busy_until_, events_->now());
   busy_until_ = start + ServiceTime(bytes);
   events_->ScheduleAt(busy_until_, [this, offset, bytes, out, done = std::move(done)] {
-    ReadContent(offset, out, bytes);
+    const Status status = MediaStatus();
+    if (Ok(status)) {
+      ReadContent(offset, out, bytes);
+    }
     completed_.Add();
-    done();
+    done(status);
   });
 }
 
@@ -76,9 +88,12 @@ void DiskModel::SubmitWrite(std::uint64_t offset, const std::uint8_t* data,
   std::vector<std::uint8_t> copy(data, data + bytes);
   events_->ScheduleAt(busy_until_,
                       [this, offset, payload = std::move(copy), done = std::move(done)] {
-                        WriteContent(offset, payload.data(), payload.size());
+                        const Status status = MediaStatus();
+                        if (Ok(status)) {
+                          WriteContent(offset, payload.data(), payload.size());
+                        }
                         completed_.Add();
-                        done();
+                        done(status);
                       });
 }
 

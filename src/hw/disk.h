@@ -14,7 +14,9 @@
 #include <vector>
 
 #include "src/sim/event_queue.h"
+#include "src/sim/fault.h"
 #include "src/sim/stats.h"
+#include "src/sim/status.h"
 
 namespace nova::hw {
 
@@ -33,7 +35,9 @@ class DiskModel {
   DiskModel(sim::EventQueue* events, DiskGeometry geometry)
       : events_(events), geometry_(geometry) {}
 
-  using Completion = std::function<void()>;
+  // Completions carry the media status: kSuccess, or kMemoryFault for an
+  // unrecoverable media error (injected via the fault plan).
+  using Completion = std::function<void(Status)>;
 
   // Submit a read of `bytes` starting at byte offset `offset`. Data lands
   // in `out` (sized to `bytes`) when the completion fires. Requests are
@@ -50,16 +54,23 @@ class DiskModel {
 
   const DiskGeometry& geometry() const { return geometry_; }
   std::uint64_t completed_requests() const { return completed_.value(); }
+  std::uint64_t media_errors() const { return media_errors_.value(); }
+
+  // Optional fault injection (kDiskMediaError). Null = no faults, no cost.
+  void set_fault_plan(sim::FaultPlan* plan) { fault_plan_ = plan; }
 
  private:
   sim::PicoSeconds ServiceTime(std::uint64_t bytes) const;
   std::uint8_t PatternByte(std::uint64_t offset) const;
+  Status MediaStatus();
 
   sim::EventQueue* events_;
   DiskGeometry geometry_;
   sim::PicoSeconds busy_until_ = 0;
   std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> sectors_;
   sim::Counter completed_;
+  sim::Counter media_errors_;
+  sim::FaultPlan* fault_plan_ = nullptr;
 };
 
 }  // namespace nova::hw

@@ -54,6 +54,13 @@ bool Iommu::GsiAllowed(DeviceId dev, std::uint32_t gsi) const {
   return it != allowed_gsis_.end() && (it->second & (1ull << gsi)) != 0;
 }
 
+void Iommu::RecordFault(DeviceId dev, std::uint64_t iova, bool write) {
+  faults_.Add();
+  if (fault_log_.size() < kMaxFaultRecords) {
+    fault_log_.push_back({dev, iova, write});
+  }
+}
+
 bool Iommu::IsProtected(PhysAddr pa, std::uint64_t len) const {
   for (const auto& [base, size] : protected_) {
     if (pa < base + size && base < pa + len) {
@@ -78,7 +85,7 @@ Status Iommu::Translate(DeviceId dev, std::uint64_t iova, bool write, PhysAddr* 
   const WalkResult r = it->second.table->Walk(
       iova, Access{.write = write, .user = true}, /*set_ad=*/false);
   if (!Ok(r.status)) {
-    faults_.Add();
+    RecordFault(dev, iova, write);
     return Status::kDenied;
   }
   *out = r.pa;
@@ -95,7 +102,7 @@ Status Iommu::DmaRead(DeviceId dev, std::uint64_t iova, void* out, std::uint64_t
       return s;
     }
     if (present_ && IsProtected(pa, chunk)) {
-      faults_.Add();
+      RecordFault(dev, iova, /*write=*/false);
       return Status::kDenied;
     }
     const Status rs = mem_->Read(pa, dst, chunk);
@@ -123,7 +130,7 @@ Status Iommu::DmaWrite(DeviceId dev, std::uint64_t iova, const void* data,
       return s;
     }
     if (present_ && IsProtected(pa, chunk)) {
-      faults_.Add();
+      RecordFault(dev, probe, /*write=*/true);
       return Status::kDenied;
     }
     probe += chunk;

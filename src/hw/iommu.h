@@ -57,7 +57,21 @@ class Iommu {
 
   std::uint64_t faults() const { return faults_.value(); }
 
+  // Latched fault log: one record per remapping fault (like the VT-d fault
+  // recording registers). Bounded; the root task reads and clears it to
+  // attribute DMA violations to a device.
+  struct FaultRecord {
+    DeviceId dev = 0;
+    std::uint64_t iova = 0;
+    bool write = false;
+  };
+  const std::vector<FaultRecord>& fault_log() const { return fault_log_; }
+  void ClearFaultLog() { fault_log_.clear(); }
+
  private:
+  static constexpr std::size_t kMaxFaultRecords = 64;
+
+  void RecordFault(DeviceId dev, std::uint64_t iova, bool write);
   // Translate one page-contained chunk; returns kDenied on fault.
   Status Translate(DeviceId dev, std::uint64_t iova, bool write, PhysAddr* out);
   bool IsProtected(PhysAddr pa, std::uint64_t len) const;
@@ -72,6 +86,7 @@ class Iommu {
   std::unordered_map<DeviceId, std::uint64_t> allowed_gsis_;  // Bitmask.
   std::vector<std::pair<PhysAddr, std::uint64_t>> protected_;
   sim::Counter faults_;
+  std::vector<FaultRecord> fault_log_;
 };
 
 }  // namespace nova::hw

@@ -47,6 +47,20 @@ void Nic::MmioWrite(std::uint64_t offset, unsigned /*size*/, std::uint64_t value
 }
 
 bool Nic::Receive(const std::uint8_t* frame, std::uint32_t length) {
+  if (fault_plan_ != nullptr &&
+      fault_plan_->ShouldFault(sim::FaultKind::kNicDrop, "nic")) {
+    rx_dropped_.Add();  // Injected wire loss.
+    return false;
+  }
+  std::vector<std::uint8_t> corrupted;
+  if (fault_plan_ != nullptr && length > 0 &&
+      fault_plan_->ShouldFault(sim::FaultKind::kNicCorrupt, "nic")) {
+    // Injected bit error: flip one byte, deterministically placed.
+    corrupted.assign(frame, frame + length);
+    corrupted[length / 2] ^= 0xff;
+    frame = corrupted.data();
+    rx_corrupted_.Add();
+  }
   if ((rctl_ & nic::kRctlEnable) == 0 || RingEntries() == 0) {
     rx_dropped_.Add();
     return false;

@@ -15,6 +15,7 @@
 #include "src/hw/iommu.h"
 #include "src/hw/irq.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/fault.h"
 #include "src/sim/stats.h"
 
 namespace nova::hw {
@@ -68,7 +69,11 @@ class Nic : public Device {
   std::uint32_t gsi() const { return gsi_; }
   std::uint64_t packets_received() const { return rx_packets_.value(); }
   std::uint64_t packets_dropped() const { return rx_dropped_.value(); }
+  std::uint64_t packets_corrupted() const { return rx_corrupted_.value(); }
   std::uint64_t interrupts_raised() const { return irqs_.value(); }
+
+  // Optional fault injection (kNicDrop / kNicCorrupt on the wire side).
+  void set_fault_plan(sim::FaultPlan* plan) { fault_plan_ = plan; }
 
  private:
   std::uint32_t RingEntries() const { return rdlen_ / 16; }
@@ -95,7 +100,9 @@ class Nic : public Device {
   sim::PicoSeconds last_irq_ = 0;
   sim::Counter rx_packets_;
   sim::Counter rx_dropped_;
+  sim::Counter rx_corrupted_;
   sim::Counter irqs_;
+  sim::FaultPlan* fault_plan_ = nullptr;
 };
 
 // Generates a constant-bandwidth stream of fixed-size frames into a NIC,

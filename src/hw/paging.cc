@@ -149,4 +149,26 @@ WalkResult PageTable::Probe(VirtAddr va) const {
   return Walk(va, Access{}, /*set_ad=*/false);
 }
 
+void PageTable::FreeLevel(PhysAddr table, int level,
+                          const FrameReleaser& free_frame) {
+  if (level > 0) {
+    const LevelInfo li = Level(level);
+    for (std::uint64_t index = 0; index < (1ull << li.bits); ++index) {
+      const std::uint64_t entry = ReadEntry(table, index);
+      if (!(entry & pte::kPresent)) {
+        continue;
+      }
+      if (level == 1 && (entry & pte::kLarge)) {
+        continue;  // Superpage leaf: no table below.
+      }
+      FreeLevel(entry & pte::kAddrMask, level - 1, free_frame);
+    }
+  }
+  free_frame(table);
+}
+
+void PageTable::FreeTables(const FrameReleaser& free_frame) {
+  FreeLevel(root_, Levels(mode_) - 1, free_frame);
+}
+
 }  // namespace nova::hw

@@ -101,7 +101,15 @@ class PageTable {
   // Read the leaf entry covering `va` without permission checks.
   WalkResult Probe(VirtAddr va) const;
 
+  // Tear down the radix tree: release every intermediate table frame (and
+  // the root itself) through `free_frame`. Leaf pages are the owner's
+  // problem — only paging-structure frames are returned. The table must
+  // not be used afterwards.
+  using FrameReleaser = std::function<void(PhysAddr)>;
+  void FreeTables(const FrameReleaser& free_frame);
+
  private:
+  void FreeLevel(PhysAddr table, int level, const FrameReleaser& free_frame);
   struct LevelInfo {
     int shift;            // Bit position of this level's index field.
     int bits;             // Index width.

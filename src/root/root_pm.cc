@@ -77,6 +77,31 @@ std::uint64_t RootPartitionManager::GrantMemory(hv::CapSel pd_sel,
   return first;
 }
 
+std::uint64_t RootPartitionManager::GrantMemoryAt(hv::CapSel pd_sel,
+                                                  std::uint64_t first_page,
+                                                  std::uint64_t pages,
+                                                  std::uint8_t perms, bool large) {
+  const std::uint64_t large_pages =
+      hw::LargePageSize(hv_->machine().cpu(0).model().host_paging) / hw::kPageSize;
+  std::uint64_t remaining = pages;
+  std::uint64_t page = first_page;
+  while (remaining > 0) {
+    std::uint8_t order = 0;
+    while ((2ull << order) <= remaining && (page & ((2ull << order) - 1)) == 0) {
+      ++order;
+    }
+    const std::uint64_t chunk = 1ull << order;
+    const bool chunk_large = large && chunk % large_pages == 0;
+    if (!Ok(hv_->Delegate(pd_, pd_sel, hv::Crd::Mem(page, order, perms), page, 0xff,
+                          chunk_large))) {
+      return 0;
+    }
+    page += chunk;
+    remaining -= chunk;
+  }
+  return first_page;
+}
+
 void RootPartitionManager::RegisterDevice(const std::string& name,
                                           const DeviceInfo& info) {
   devices_[name] = info;

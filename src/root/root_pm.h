@@ -54,6 +54,13 @@ class RootPartitionManager {
                             std::uint64_t hotspot_page, std::uint8_t perms,
                             bool large = false, bool align_pow2 = false);
 
+  // Re-grant an already-allocated range at its identity address, without
+  // allocating. Used when restarting a crashed VMM over the surviving guest
+  // RAM: the root still owns the frames after the old domain's teardown.
+  std::uint64_t GrantMemoryAt(hv::CapSel pd_sel, std::uint64_t first_page,
+                              std::uint64_t pages, std::uint8_t perms,
+                              bool large = false);
+
   // --- Device policy ----------------------------------------------------
   void RegisterDevice(const std::string& name, const DeviceInfo& info);
   const DeviceInfo* FindDevice(const std::string& name) const;

@@ -1,0 +1,91 @@
+#include "src/root/supervisor.h"
+
+namespace nova::root {
+
+VmmSupervisor::VmmSupervisor(hv::Hypervisor* hv, RootPartitionManager* root,
+                             Config config)
+    : hv_(hv), root_(root), config_(config), alive_(std::make_shared<bool>(true)) {}
+
+VmmSupervisor::~VmmSupervisor() { *alive_ = false; }
+
+void VmmSupervisor::Watch(vmm::Vmm* vmm, RestartFn on_restart) {
+  if (hb_page_ == 0) {
+    hb_page_ = root_->AllocPages(1);
+  }
+  Watched w;
+  w.vmm = vmm;
+  w.hb_addr = (hb_page_ << hw::kPageShift) + watched_.size() * sizeof(std::uint64_t);
+  // The teardown selectors are fetched eagerly: once the VMM is dead it can
+  // no longer push its VM capability up to the root.
+  w.vm_sel = vmm->ExposeVmToRoot();
+  w.vmm_sel = vmm->vmm_pd_sel();
+  w.on_restart = std::move(on_restart);
+  watched_.push_back(std::move(w));
+
+  vmm->StartHeartbeat(config_.check_period_ps / 2, watched_.back().hb_addr);
+
+  if (!check_running_) {
+    check_running_ = true;
+    const std::shared_ptr<bool> alive = alive_;
+    auto tick = std::make_shared<std::function<void()>>();
+    *tick = [this, alive, tick] {
+      if (!*alive) {
+        return;
+      }
+      CheckAll();
+      hv_->machine().events().ScheduleAfter(config_.check_period_ps,
+                                            [tick] { (*tick)(); });
+    };
+    hv_->machine().events().ScheduleAfter(config_.check_period_ps,
+                                          [tick] { (*tick)(); });
+  }
+}
+
+void VmmSupervisor::CheckAll() {
+  // Index-based: a restart callback may Watch() the replacement VMM, which
+  // can grow (and reallocate) the watch list mid-loop.
+  for (std::size_t i = 0; i < watched_.size(); ++i) {
+    if (watched_[i].recovered) {
+      continue;
+    }
+    std::uint64_t hb = 0;
+    hv_->machine().mem().Read(watched_[i].hb_addr, &hb, sizeof(hb));
+    if (hb != watched_[i].last_seen) {
+      watched_[i].last_seen = hb;
+      watched_[i].stale = 0;
+      continue;
+    }
+    if (++watched_[i].stale >= config_.stale_checks) {
+      Recover(watched_[i]);
+    }
+  }
+}
+
+void VmmSupervisor::Recover(Watched& w) {
+  // Checkpoint everything that dies with the domains: the vCPU's
+  // architectural state and the guest-programmed virtual-controller
+  // registers. Guest RAM needs no copying — the frames fall back to the
+  // root when the mappings are revoked and are re-granted in place.
+  RecoveryInfo info;
+  info.gstate = w.vmm->gstate(0);
+  info.guest_base_page = w.vmm->guest_base_page();
+  info.vahci_regs = w.vmm->vahci().SaveRegs();
+  info.detected_at_ps = hv_->machine().events().now();
+  last_detect_latency_ps_ = config_.stale_checks * config_.check_period_ps;
+
+  // Teardown through the ordinary hypercall interface: child domains first
+  // (the VM), then the VMM itself. Revocation recursively strips every
+  // mapping either domain delegated onward; the kernel reclaims shadow
+  // contexts, TLB tags, paging structures and scheduling contexts.
+  hv_->DestroyPd(root_->pd(), w.vm_sel);
+  hv_->DestroyPd(root_->pd(), w.vmm_sel);
+
+  w.recovered = true;
+  ++recoveries_;
+  const RestartFn restart = std::move(w.on_restart);
+  if (restart) {
+    restart(info);  // May Watch() the replacement — `w` is dead after this.
+  }
+}
+
+}  // namespace nova::root

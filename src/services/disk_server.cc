@@ -36,11 +36,20 @@ DiskServer::DiskServer(hv::Hypervisor* hv, root::RootPartitionManager* root,
   const hv::CapSel irq_sc_sel = root->FreeSel();
   hv_->CreateSc(root->pd(), irq_sc_sel, irq_ec_sel, irq_prio, 5'000'000);
 
-  // Bring the controller up.
+  // Bring the controller up. Task-file errors interrupt too, so errored
+  // commands surface on the same semaphore as completions.
   MmioWrite(hw::ahci::kGhc, hw::ahci::kGhcIntrEnable);
   MmioWrite(hw::ahci::kPxClb, clb_page_ << hw::kPageShift);
-  MmioWrite(hw::ahci::kPxIe, hw::ahci::kPxIsDhrs);
+  MmioWrite(hw::ahci::kPxIe, hw::ahci::kPxIsDhrs | hw::ahci::kPxIsTfes);
   MmioWrite(hw::ahci::kPxCmd, hw::ahci::kPxCmdStart);
+}
+
+void DiskServer::SetRequestDeadline(sim::PicoSeconds deadline_ps,
+                                    std::uint32_t max_retries,
+                                    sim::PicoSeconds backoff_ps) {
+  deadline_ps_ = deadline_ps;
+  max_retries_ = max_retries;
+  backoff_ps_ = backoff_ps;
 }
 
 std::uint64_t DiskServer::MmioRead(std::uint64_t offset) {
@@ -60,6 +69,35 @@ DiskServer::Channel DiskServer::OpenChannel(hv::CapSel client_pd_sel,
   if (client == nullptr) {
     return out;
   }
+
+  // The server-side handle on the client's completion portal.
+  const hv::CapSel comp_sel = next_comp_sel_++;
+  hv_->Delegate(root_->pd(), pd_sel_,
+                hv::Crd::Obj(completion_pt_sel, 0, hv::perm::kCall), comp_sel);
+
+  if (!free_channels_.empty()) {
+    // Recycle a closed channel: its ring frame keeps its address (so the
+    // server-side mapping — and its paging structures — survive) and its
+    // request portal already dispatches with this channel id.
+    const std::uint32_t channel_id = free_channels_.back();
+    free_channels_.pop_back();
+    ChannelState& ch = channels_[channel_id];
+    hv_->Delegate(root_->pd(), client_pd_sel,
+                  hv::Crd::Mem(ch.shared_page, 0, hv::perm::kRw), ch.shared_page);
+    const hv::CapSel client_sel = client->caps().FindFree(hv::kSelFirstFree);
+    hv_->Delegate(root_->pd(), client_pd_sel,
+                  hv::Crd::Obj(ch.request_pt, 0, hv::perm::kCall), client_sel);
+    ch.completion_pt = comp_sel;
+    ch.outstanding = 0;
+    ch.max_outstanding = max_outstanding;
+    ch.ring_head = 0;  // A fresh client starts reading at ring index 0.
+    ch.open = true;
+    out.request_portal = client_sel;
+    out.shared_page = ch.shared_page;
+    out.channel_id = channel_id;
+    return out;
+  }
+
   const auto channel_id = static_cast<std::uint32_t>(channels_.size());
 
   // Shared completion ring: one frame mapped in both domains.
@@ -67,11 +105,6 @@ DiskServer::Channel DiskServer::OpenChannel(hv::CapSel client_pd_sel,
   hv_->Delegate(root_->pd(), pd_sel_, hv::Crd::Mem(frame, 0, hv::perm::kRw), frame);
   hv_->Delegate(root_->pd(), client_pd_sel, hv::Crd::Mem(frame, 0, hv::perm::kRw),
                 frame);
-
-  // The server-side handle on the client's completion portal.
-  const hv::CapSel comp_sel = next_comp_sel_++;
-  hv_->Delegate(root_->pd(), pd_sel_,
-                hv::Crd::Obj(completion_pt_sel, 0, hv::perm::kCall), comp_sel);
 
   // Dedicated request portal for this client (§4.2: per-VMM channels).
   const hv::CapSel pt_sel = root_->FreeSel();
@@ -81,6 +114,7 @@ DiskServer::Channel DiskServer::OpenChannel(hv::CapSel client_pd_sel,
                 client_sel);
 
   channels_.push_back(ChannelState{.completion_pt = comp_sel,
+                                   .request_pt = pt_sel,
                                    .shared_page = frame,
                                    .outstanding = 0,
                                    .max_outstanding = max_outstanding,
@@ -88,6 +122,7 @@ DiskServer::Channel DiskServer::OpenChannel(hv::CapSel client_pd_sel,
                                    .open = true});
   out.request_portal = client_sel;
   out.shared_page = frame;
+  out.channel_id = channel_id;
   return out;
 }
 
@@ -95,6 +130,30 @@ void DiskServer::ShutChannel(std::uint32_t channel_id) {
   if (channel_id < channels_.size()) {
     channels_[channel_id].open = false;
   }
+}
+
+void DiskServer::CloseChannel(std::uint32_t channel_id) {
+  if (channel_id >= channels_.size() || !channels_[channel_id].open) {
+    return;
+  }
+  ChannelState& ch = channels_[channel_id];
+  ch.open = false;
+  // Orphan the channel's in-flight requests: the client is gone, nobody
+  // will consume the completions. The hardware commands may still be
+  // running, so the slots are quarantined until the controller reports
+  // them done (quarantine clears in IrqThreadStep).
+  for (int s = 0; s < hw::ahci::kNumSlots; ++s) {
+    if (slots_[s].active && slots_[s].channel == channel_id) {
+      if (slots_[s].deadline_event != 0) {
+        hv_->machine().events().Cancel(slots_[s].deadline_event);
+        slots_[s].deadline_event = 0;
+      }
+      slots_[s].active = false;
+      quarantine_mask_ |= 1u << s;
+    }
+  }
+  ch.outstanding = 0;
+  free_channels_.push_back(channel_id);
 }
 
 void DiskServer::HandleRequest(std::uint32_t channel_id) {
@@ -143,7 +202,7 @@ void DiskServer::HandleRequest(std::uint32_t channel_id) {
 
   int slot = -1;
   for (int s = 0; s < hw::ahci::kNumSlots; ++s) {
-    if (!slots_[s].active) {
+    if (!slots_[s].active && (quarantine_mask_ & (1u << s)) == 0) {
       slot = s;
       break;
     }
@@ -182,9 +241,22 @@ void DiskServer::HandleRequest(std::uint32_t channel_id) {
   slots_[slot] = Slot{.active = true,
                       .channel = channel_id,
                       .cookie = cookie,
-                      .buffer_page = buffer_page};
+                      .buffer_page = buffer_page,
+                      .attempts = 0,
+                      .generation = next_generation_++,
+                      .deadline_event = 0};
   ++ch.outstanding;
   ++issued_;
+  if (deadline_ps_ != 0) {
+    const std::uint64_t gen = slots_[slot].generation;
+    slots_[slot].deadline_event = hv_->machine().events().ScheduleAfter(
+        deadline_ps_, [this, slot, gen] {
+          if (slots_[slot].active && slots_[slot].generation == gen) {
+            slots_[slot].deadline_event = 0;
+            FailRequest(slot, Status::kTimeout);
+          }
+        });
+  }
   MmioWrite(hw::ahci::kPxCi, 1u << slot);
   reply(Status::kSuccess, static_cast<std::uint64_t>(slot));
 }
@@ -201,7 +273,81 @@ void DiskServer::IrqThreadStep() {
   MmioWrite(hw::ahci::kIs, is);
 
   const auto ci = static_cast<std::uint32_t>(MmioRead(hw::ahci::kPxCi));
-  CompleteSlots(~ci);
+  // The error register is only consulted when a task-file error actually
+  // interrupted — the fault-free path performs no extra device accesses.
+  std::uint32_t err = 0;
+  if ((px_is & hw::ahci::kPxIsTfes) != 0) {
+    err = static_cast<std::uint32_t>(MmioRead(hw::ahci::kPxVs));
+    MmioWrite(hw::ahci::kPxVs, err);
+  }
+  // A quarantined slot leaves quarantine once the hardware finished with
+  // it, successfully or not.
+  quarantine_mask_ &= ci & ~err;
+  if (err != 0) {
+    HandleErrorSlots(err);
+  }
+  CompleteSlots(~ci & ~err);
+}
+
+void DiskServer::HandleErrorSlots(std::uint32_t err_mask) {
+  for (int s = 0; s < hw::ahci::kNumSlots; ++s) {
+    if (!slots_[s].active || (err_mask & (1u << s)) == 0) {
+      continue;
+    }
+    Slot& slot = slots_[s];
+    if (slot.attempts < max_retries_) {
+      ++slot.attempts;
+      ++retried_;
+      // Exponential backoff, then re-issue: the command structures are
+      // still in place, so re-writing the issue bit replays the command.
+      const sim::PicoSeconds delay = backoff_ps_ << (slot.attempts - 1);
+      const std::uint64_t gen = slot.generation;
+      hv_->machine().events().ScheduleAfter(delay, [this, s, gen] {
+        if (slots_[s].active && slots_[s].generation == gen) {
+          MmioWrite(hw::ahci::kPxCi, 1u << s);
+        }
+      });
+    } else {
+      FailRequest(s, Status::kBadDevice);
+    }
+  }
+}
+
+void DiskServer::NotifyClient(ChannelState& ch, std::uint64_t cookie) {
+  if (ch.completion_pt != hv::kInvalidSel && ch.open) {
+    hv::Utcb& u = irq_ec_->utcb();
+    u.Clear();
+    u.untyped = 2;
+    u.words[0] = cookie;
+    u.words[1] = ch.ring_head;
+    hv_->Call(irq_ec_, ch.completion_pt);  // kAbort (dead client) tolerated.
+  }
+}
+
+void DiskServer::FailRequest(int s, Status status) {
+  Slot& slot = slots_[s];
+  ChannelState& ch = channels_[slot.channel];
+  if (slot.deadline_event != 0) {
+    hv_->machine().events().Cancel(slot.deadline_event);
+    slot.deadline_event = 0;
+  }
+  if (status == Status::kTimeout) {
+    // The hardware command may still be in flight: park the slot until the
+    // controller reports it done so a reused slot cannot complete early.
+    quarantine_mask_ |= 1u << s;
+  }
+  hw::PhysMem& mem = hv_->machine().mem();
+  const hw::PhysAddr ring = ch.shared_page << hw::kPageShift;
+  const std::uint32_t index =
+      ch.ring_head % (hw::kPageSize / sizeof(DiskCompletionRecord));
+  const DiskCompletionRecord rec{slot.cookie, static_cast<std::uint64_t>(status)};
+  mem.Write(ring + index * sizeof(DiskCompletionRecord), &rec, sizeof(rec));
+  ++ch.ring_head;
+  slot.active = false;
+  --ch.outstanding;
+  ++failed_;
+  hv_->machine().cpu(cpu_).Charge(60);
+  NotifyClient(ch, slot.cookie);
 }
 
 void DiskServer::CompleteSlots(std::uint32_t done_mask) {
@@ -212,6 +358,10 @@ void DiskServer::CompleteSlots(std::uint32_t done_mask) {
     }
     Slot& slot = slots_[s];
     ChannelState& ch = channels_[slot.channel];
+    if (slot.deadline_event != 0) {
+      hv_->machine().events().Cancel(slot.deadline_event);
+      slot.deadline_event = 0;
+    }
     // Completion record into the shared ring.
     const hw::PhysAddr ring = ch.shared_page << hw::kPageShift;
     const std::uint32_t index =
@@ -225,14 +375,7 @@ void DiskServer::CompleteSlots(std::uint32_t done_mask) {
     hv_->machine().cpu(cpu_).Charge(60);
 
     // Notify the client ("7) completed" in Figure 4).
-    if (ch.completion_pt != hv::kInvalidSel && ch.open) {
-      hv::Utcb& u = irq_ec_->utcb();
-      u.Clear();
-      u.untyped = 2;
-      u.words[0] = slot.cookie;
-      u.words[1] = ch.ring_head;
-      hv_->Call(irq_ec_, ch.completion_pt);
-    }
+    NotifyClient(ch, slot.cookie);
   }
 }
 

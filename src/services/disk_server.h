@@ -50,6 +50,7 @@ class DiskServer {
   struct Channel {
     hv::CapSel request_portal;   // In the *client's* capability space.
     std::uint64_t shared_page;   // Frame of the completion ring (client-visible).
+    std::uint32_t channel_id = 0;
   };
 
   // Open a channel for `client_pd_sel` (selector in the root's space).
@@ -63,15 +64,36 @@ class DiskServer {
   // rejected (§4.2 denial-of-service defence).
   void ShutChannel(std::uint32_t channel_id);
 
+  // Retire a channel whose client died (VMM crash): in-flight slots are
+  // orphaned — quarantined until the hardware finishes with them, their
+  // completions dropped — and the channel's ring frame and request portal
+  // are recycled by the next OpenChannel, so restart cycles do not grow
+  // the server's address space.
+  void CloseChannel(std::uint32_t channel_id);
+
   hv::CapSel pd_sel() const { return pd_sel_; }
   hv::Pd* pd() { return pd_; }
   std::uint64_t requests_issued() const { return issued_; }
   std::uint64_t requests_completed() const { return completed_; }
   std::uint64_t requests_throttled() const { return throttled_; }
+  std::uint64_t requests_retried() const { return retried_; }
+  std::uint64_t requests_failed() const { return failed_; }
+
+  // Robustness knobs, all off by default (the fault-free fast path performs
+  // no extra device accesses or events). A non-zero `deadline_ps` bounds
+  // every request end-to-end: if neither success nor error arrived by then,
+  // the request is retired with a kTimeout completion. An errored slot is
+  // re-issued up to `max_retries` times with exponential backoff before a
+  // kBadDevice completion is delivered. Either way a request always ends
+  // in a typed completion record — the server never hangs a client.
+  void SetRequestDeadline(sim::PicoSeconds deadline_ps,
+                          std::uint32_t max_retries = 0,
+                          sim::PicoSeconds backoff_ps = 0);
 
  private:
   struct ChannelState {
     hv::CapSel completion_pt = hv::kInvalidSel;  // In the server's space.
+    hv::CapSel request_pt = hv::kInvalidSel;     // In the root's space.
     std::uint64_t shared_page = 0;
     std::uint32_t outstanding = 0;
     std::uint32_t max_outstanding = 0;
@@ -83,11 +105,18 @@ class DiskServer {
     std::uint32_t channel = 0;
     std::uint64_t cookie = 0;
     std::uint64_t buffer_page = 0;
+    std::uint32_t attempts = 0;
+    std::uint64_t generation = 0;   // Guards stale deadline/retry events.
+    std::uint64_t deadline_event = 0;
   };
 
   void HandleRequest(std::uint32_t channel_id);
   void IrqThreadStep();
   void CompleteSlots(std::uint32_t done_mask);
+  void HandleErrorSlots(std::uint32_t err_mask);
+  // Retire a request with a typed error completion record.
+  void FailRequest(int slot, Status status);
+  void NotifyClient(ChannelState& ch, std::uint64_t cookie);
 
   std::uint64_t MmioRead(std::uint64_t offset);
   void MmioWrite(std::uint64_t offset, std::uint64_t value);
@@ -108,12 +137,23 @@ class DiskServer {
   std::uint64_t ctba_page_ = 0;  // Command tables (one page per slot group).
 
   std::vector<ChannelState> channels_;
+  std::vector<std::uint32_t> free_channels_;  // Closed, recyclable ids.
   std::array<Slot, hw::ahci::kNumSlots> slots_{};
   std::uint32_t next_comp_sel_ = kCompBase;
 
   std::uint64_t issued_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t throttled_ = 0;
+  std::uint64_t retried_ = 0;
+  std::uint64_t failed_ = 0;
+
+  sim::PicoSeconds deadline_ps_ = 0;  // 0 = deadlines/retries disabled.
+  std::uint32_t max_retries_ = 0;
+  sim::PicoSeconds backoff_ps_ = 0;
+  std::uint64_t next_generation_ = 1;
+  // Slots retired by deadline while the hardware command was still in
+  // flight: unusable until the controller reports the command done.
+  std::uint32_t quarantine_mask_ = 0;
 };
 
 }  // namespace nova::services

@@ -1,0 +1,45 @@
+#include "src/sim/fault.h"
+
+namespace nova::sim {
+
+void FaultPlan::Arm(EventQueue* events) {
+  armed_ = true;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    Entry& entry = entries_[i];
+    if (entry.ev.at <= events->now()) {
+      entry.active = true;
+    } else {
+      events->ScheduleAt(entry.ev.at, [this, i] { entries_[i].active = true; });
+    }
+  }
+}
+
+bool FaultPlan::ShouldFault(FaultKind kind, std::string_view target) {
+  for (Entry& entry : entries_) {
+    if (!entry.active || entry.ev.kind != kind) {
+      continue;
+    }
+    if (!entry.ev.target.empty() && entry.ev.target != target) {
+      continue;
+    }
+    if (entry.ev.rate < 1.0 && !rng_.Chance(entry.ev.rate)) {
+      continue;
+    }
+    if (entry.ev.count != 0 && --entry.ev.count == 0) {
+      entry.active = false;
+    }
+    ++injected_[static_cast<int>(kind)];
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t FaultPlan::total_injected() const {
+  std::uint64_t total = 0;
+  for (int i = 0; i < kNumFaultKinds; ++i) {
+    total += injected_[i];
+  }
+  return total;
+}
+
+}  // namespace nova::sim

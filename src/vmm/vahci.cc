@@ -19,6 +19,7 @@ std::uint64_t VAhci::MmioRead(std::uint64_t gpa, unsigned /*size*/) {
     case hw::ahci::kPxTfd: return 0x50;
     case hw::ahci::kPxSsts: return 0x123;
     case hw::ahci::kPxCi: return px_ci_;
+    case hw::ahci::kPxVs: return error_slots_;
     default: return 0;
   }
 }
@@ -57,17 +58,25 @@ void VAhci::MmioWrite(std::uint64_t gpa, unsigned /*size*/, std::uint64_t value)
         }
       }
       break;
+    case hw::ahci::kPxVs:
+      error_slots_ &= ~v;  // Write-1-clear.
+      break;
     default:
       break;
   }
 }
 
+void VAhci::FailSlot(int slot) {
+  px_is_ |= hw::ahci::kPxIsTfes;
+  px_ci_ &= ~(1u << slot);
+  error_slots_ |= 1u << slot;
+  is_ |= 0x1;
+  ++errored_;
+  UpdateIrq();
+}
+
 void VAhci::IssueSlot(int slot) {
-  auto fail = [&] {
-    px_is_ |= hw::ahci::kPxIsTfes;
-    px_ci_ &= ~(1u << slot);
-    UpdateIrq();
-  };
+  auto fail = [&] { FailSlot(slot); };
   // Parse the guest's command header, FIS and PRDT (in guest memory).
   std::uint8_t header[32];
   if (!backend_.read_guest(px_clb_ + slot * 32ull, header, sizeof(header))) {
@@ -113,15 +122,30 @@ void VAhci::IssueSlot(int slot) {
   ++issued_;
 }
 
-void VAhci::OnCompletion(std::uint64_t cookie) {
+void VAhci::OnCompletion(std::uint64_t cookie, Status status) {
   const int slot = static_cast<int>(cookie);
   if (slot < 0 || slot >= kNumSlots || (px_ci_ & (1u << slot)) == 0) {
+    return;
+  }
+  if (!Ok(status)) {
+    FailSlot(slot);
     return;
   }
   px_ci_ &= ~(1u << slot);
   px_is_ |= hw::ahci::kPxIsDhrs;
   is_ |= 0x1;
   ++completed_;
+  UpdateIrq();
+}
+
+void VAhci::InjectAbort(std::uint32_t mask) {
+  if (mask == 0) {
+    return;
+  }
+  px_is_ |= hw::ahci::kPxIsTfes;
+  px_ci_ &= ~mask;
+  error_slots_ |= mask;
+  is_ |= 0x1;
   UpdateIrq();
 }
 

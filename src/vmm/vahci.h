@@ -45,14 +45,42 @@ class VAhci : public DeviceModel {
   std::uint64_t MmioRead(std::uint64_t gpa, unsigned size) override;
   void MmioWrite(std::uint64_t gpa, unsigned size, std::uint64_t value) override;
 
-  // Host completion arrived for `cookie` (the slot number).
-  void OnCompletion(std::uint64_t cookie);
+  // Host completion arrived for `cookie` (the slot number). A non-success
+  // status surfaces to the guest as a task-file error on that slot, with
+  // the slot recorded in the vendor error register (kPxVs) for the guest
+  // driver's retry path.
+  void OnCompletion(std::uint64_t cookie, Status status = Status::kSuccess);
+
+  // Post-restart recovery: report every slot in `mask` as errored so the
+  // guest driver re-issues the commands that were in flight when the old
+  // VMM (and with it the old controller state) went down.
+  void InjectAbort(std::uint32_t mask);
+
+  // Guest-programmed control registers, checkpointed by the supervisor and
+  // restored into the replacement VMM's controller model — the resumed
+  // guest does not re-run its driver bring-up code.
+  struct Regs {
+    std::uint32_t ghc = 0;
+    std::uint32_t px_clb = 0;
+    std::uint32_t px_ie = 0;
+    std::uint32_t px_cmd = 0;
+  };
+  Regs SaveRegs() const { return Regs{ghc_, px_clb_, px_ie_, px_cmd_}; }
+  void RestoreRegs(const Regs& r) {
+    ghc_ = r.ghc;
+    px_clb_ = r.px_clb;
+    px_ie_ = r.px_ie;
+    px_cmd_ = r.px_cmd;
+  }
 
   std::uint64_t commands_issued() const { return issued_; }
   std::uint64_t commands_completed() const { return completed_; }
+  std::uint64_t commands_errored() const { return errored_; }
+  std::uint32_t error_slots() const { return error_slots_; }
 
  private:
   void IssueSlot(int slot);
+  void FailSlot(int slot);
   void UpdateIrq();
 
   Backend backend_;
@@ -63,8 +91,10 @@ class VAhci : public DeviceModel {
   std::uint32_t px_ie_ = 0;
   std::uint32_t px_cmd_ = 0;
   std::uint32_t px_ci_ = 0;
+  std::uint32_t error_slots_ = 0;
   std::uint64_t issued_ = 0;
   std::uint64_t completed_ = 0;
+  std::uint64_t errored_ = 0;
 };
 
 }  // namespace nova::vmm

@@ -54,8 +54,16 @@ Vmm::Vmm(hv::Hypervisor* hv, root::RootPartitionManager* root, VmmConfig config)
   // VMM -> VM at guest-physical 0. Power-of-two aligned so the whole guest
   // is one mapping-database node.
   const std::uint64_t pages = config_.guest_mem_bytes >> hw::kPageShift;
-  guest_base_page_ = root_->GrantMemory(vmm_pd_sel_, pages, ~0ull, hv::perm::kRwx,
-                                        config_.large_pages, /*align_pow2=*/true);
+  if (config_.fixed_guest_base_page != 0) {
+    // Restart over surviving guest RAM: the frames were returned to the
+    // root when the crashed VMM's domains were destroyed; re-grant the same
+    // identity range so guest-physical to host-physical stays constant.
+    guest_base_page_ = root_->GrantMemoryAt(vmm_pd_sel_, config_.fixed_guest_base_page,
+                                            pages, hv::perm::kRwx, config_.large_pages);
+  } else {
+    guest_base_page_ = root_->GrantMemory(vmm_pd_sel_, pages, ~0ull, hv::perm::kRwx,
+                                          config_.large_pages, /*align_pow2=*/true);
+  }
 
   vpic_ = std::make_unique<VPic>([this] { KickVcpus(); });
   vpit_ = std::make_unique<VPit>(&hv_->machine().events(), vpic_.get());
@@ -76,7 +84,26 @@ Vmm::Vmm(hv::Hypervisor* hv, root::RootPartitionManager* root, VmmConfig config)
   CreateVm();
 }
 
-Vmm::~Vmm() = default;
+Vmm::~Vmm() {
+  if (hb_alive_ != nullptr) {
+    *hb_alive_ = false;  // Orphan any in-flight heartbeat event.
+  }
+}
+
+void Vmm::StartHeartbeat(sim::PicoSeconds period_ps, hw::PhysAddr hb_addr) {
+  hb_alive_ = std::make_shared<bool>(true);
+  const std::shared_ptr<bool> alive = hb_alive_;
+  auto beat = std::make_shared<std::function<void()>>();
+  *beat = [this, alive, beat, period_ps, hb_addr] {
+    if (!*alive || crashed_) {
+      return;  // A dead VMM stops beating — that is the signal.
+    }
+    ++hb_count_;
+    hv_->machine().mem().Write(hb_addr, &hb_count_, sizeof(hb_count_));
+    hv_->machine().events().ScheduleAfter(period_ps, [beat] { (*beat)(); });
+  };
+  (*beat)();
+}
 
 std::uint64_t Vmm::GpaToHpa(std::uint64_t gpa) const {
   if (gpa >= config_.guest_mem_bytes) {
@@ -273,6 +300,7 @@ void Vmm::ConnectDiskServer(services::DiskServer* server) {
       server->OpenChannel(vmm_pd_sel_, comp_pt_sel);
   disk_portal_ = ch.request_portal;
   disk_shared_page_ = ch.shared_page;
+  disk_channel_id_ = ch.channel_id;
 }
 
 Status Vmm::IssueDisk(bool write, std::uint64_t lba, std::uint64_t sectors,
@@ -334,6 +362,9 @@ Status Vmm::IssueDisk(bool write, std::uint64_t lba, std::uint64_t sectors,
 }
 
 void Vmm::OnDiskCompletion() {
+  if (crashed_) {
+    return;  // Completions for a dead VMM fall on the floor.
+  }
   // Drain new completion records from the shared ring ("7) completed").
   hv::Utcb& u = comp_ec_->utcb();
   const std::uint32_t ring_head =
@@ -347,7 +378,7 @@ void Vmm::OnDiskCompletion() {
     mem.Read(ring + (disk_ring_tail_ % kRecords) * sizeof(rec), &rec, sizeof(rec));
     ++disk_ring_tail_;
     cpu().Charge(config_.device_update);
-    vahci_->OnCompletion(rec.cookie);
+    vahci_->OnCompletion(rec.cookie, static_cast<Status>(rec.status));
   }
   u.Clear();
 }
@@ -375,6 +406,18 @@ void Vmm::HandleExit(std::uint32_t vcpu, hv::Event event) {
   in_exit_[vcpu] = true;
   ++exits_handled_;
   hv::ArchState& arch = handler_ecs_[vcpu]->utcb().arch;
+
+  if (fault_plan_ != nullptr &&
+      fault_plan_->ShouldFault(sim::FaultKind::kVmmCrash, config_.name)) {
+    Crash();
+  }
+  if (crashed_) {
+    // A dead monitor answers no exits: the vCPU parks until the supervisor
+    // tears this domain down and restarts the VM under a fresh VMM.
+    arch.halted = true;
+    in_exit_[vcpu] = false;
+    return;
+  }
 
   switch (event) {
     case hv::Event::kPio: OnPio(arch); break;

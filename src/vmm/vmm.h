@@ -19,6 +19,7 @@
 #include "src/hv/kernel.h"
 #include "src/hw/disk.h"
 #include "src/hw/isa.h"
+#include "src/sim/fault.h"
 #include "src/root/root_pm.h"
 #include "src/services/disk_server.h"
 #include "src/vmm/emulator.h"
@@ -46,6 +47,11 @@ struct VmmConfig {
   bool full_state_transfer = false;
   std::uint8_t prio = 1;
   sim::Cycles quantum = 10'000'000;
+
+  // Restart path: back the guest with this exact (already-allocated) frame
+  // range instead of allocating fresh RAM. Guest memory survives a VMM
+  // crash — only the monitor is rebuilt around it.
+  std::uint64_t fixed_guest_base_page = 0;
 
   // VMM-side emulation costs (the ~59% share of exit handling, §8.5).
   sim::Cycles pio_dispatch = 360;
@@ -100,6 +106,24 @@ class Vmm {
   hv::Pd* vm_pd() { return vm_pd_; }
   hv::Pd* vmm_pd() { return vmm_pd_; }
   hv::CapSel vmm_pd_sel() const { return vmm_pd_sel_; }
+  std::uint64_t guest_base_page() const { return guest_base_page_; }
+  std::uint32_t disk_channel_id() const { return disk_channel_id_; }
+
+  // --- Fault injection / crash recovery ----------------------------------
+  // Arm the VMM against an external fault plan: a kVmmCrash fault scheduled
+  // for this VMM's name makes the monitor stop handling exits, mimicking a
+  // wild crash in the user-level VMM (§4.2's failure model: the VMM is
+  // untrusted and its death must not take the system down).
+  void SetFaultPlan(sim::FaultPlan* plan) { fault_plan_ = plan; }
+  // Simulate the VMM process dying: exit handling stops (vCPUs park on
+  // their next exit) and the heartbeat ceases, so a supervisor detects it.
+  void Crash() { crashed_ = true; }
+  bool crashed() const { return crashed_; }
+
+  // Periodically write an incrementing counter to `hb_addr` (a host
+  // physical address owned by the supervisor). Stops when the VMM crashes;
+  // a stale counter is the supervisor's death signal.
+  void StartHeartbeat(sim::PicoSeconds period_ps, hw::PhysAddr hb_addr);
 
   // --- Device models ----------------------------------------------------
   VPic& vpic() { return *vpic_; }
@@ -166,6 +190,7 @@ class Vmm {
   services::DiskServer* disk_server_ = nullptr;
   hv::CapSel disk_portal_ = hv::kInvalidSel;  // Request portal (VMM space).
   std::uint64_t disk_shared_page_ = 0;
+  std::uint32_t disk_channel_id_ = 0;
   std::uint32_t disk_ring_tail_ = 0;
   std::unordered_set<std::uint64_t> delegated_buffer_pages_;
 
@@ -176,6 +201,12 @@ class Vmm {
   hw::DiskModel* boot_disk_ = nullptr;
   std::uint64_t exits_handled_ = 0;
   std::uint64_t injected_ = 0;
+
+  sim::FaultPlan* fault_plan_ = nullptr;
+  bool crashed_ = false;
+  std::uint64_t hb_count_ = 0;
+  // Guards the self-rescheduling heartbeat event across destruction.
+  std::shared_ptr<bool> hb_alive_;
 };
 
 }  // namespace nova::vmm

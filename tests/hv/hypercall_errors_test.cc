@@ -3,6 +3,7 @@
 // compromised VMM gets to poke at (§4.2, "VMM attacks").
 #include <gtest/gtest.h>
 
+#include "src/root/root_pm.h"
 #include "tests/hv/test_util.h"
 
 namespace nova::hv {
@@ -111,6 +112,44 @@ TEST_F(HypercallErrorsTest, CallAcrossCpusRejected) {
   ASSERT_EQ(hv.CreateEcGlobal(root, 102, kSelOwnPd, /*cpu=*/0, [] {}, &caller),
             Status::kSuccess);
   EXPECT_EQ(hv.Call(caller, 101), Status::kBadCpu);
+}
+
+TEST_F(HypercallErrorsTest, CallToBusyHandlerRejected) {
+  // One in-flight call per handler EC: a re-entrant call through the same
+  // portal while the handler is executing must bounce with kBusy.
+  Status reentry = Status::kSuccess;
+  Ec* handler = nullptr;
+  ASSERT_EQ(hv_.CreateEcLocal(root_, 100, kSelOwnPd, 0,
+                              [&](std::uint64_t) { reentry = hv_.Call(handler, 101); },
+                              &handler),
+            Status::kSuccess);
+  ASSERT_EQ(hv_.CreatePt(root_, 101, 100, 0, 0), Status::kSuccess);
+  Ec* caller = nullptr;
+  ASSERT_EQ(hv_.CreateEcGlobal(root_, 102, kSelOwnPd, 0, [] {}, &caller),
+            Status::kSuccess);
+  EXPECT_EQ(hv_.Call(caller, 101), Status::kSuccess);
+  EXPECT_EQ(reentry, Status::kBusy);
+}
+
+TEST_F(HypercallErrorsTest, UnknownDeviceRejected) {
+  // Device assignment of a name the root never registered, interrupt
+  // binding against it, and a DMA mapping for a device id the IOMMU has no
+  // context for: all must report kBadDevice.
+  root::RootPartitionManager pm(&hv_);
+  const hv::CapSel child = pm.CreatePd("driver", /*is_vm=*/false);
+  EXPECT_EQ(pm.AssignDevice(child, "no-such-device"), Status::kBadDevice);
+  EXPECT_EQ(pm.BindInterrupt(child, "no-such-device", 50, 0), Status::kBadDevice);
+  EXPECT_EQ(machine_.iommu().Map(/*dev=*/123, 0x1000, 0x1000, hw::kPageSize,
+                                 /*writable=*/true, nullptr),
+            Status::kBadDevice);
+}
+
+TEST_F(HypercallErrorsTest, DoubleDestroyPdRejected) {
+  ASSERT_EQ(hv_.CreatePd(root_, 100, "victim", false), Status::kSuccess);
+  EXPECT_EQ(hv_.DestroyPd(root_, 100), Status::kSuccess);
+  // The control capability was removed with the domain: destroying it
+  // again is an ordinary bad-capability error, not a crash.
+  EXPECT_EQ(hv_.DestroyPd(root_, 100), Status::kBadCapability);
 }
 
 TEST_F(HypercallErrorsTest, CapSpaceExhaustionOverflows) {

@@ -141,6 +141,46 @@ TEST_F(SchedTest, SemaphoreCountingSemantics) {
   EXPECT_EQ(hv_.SmDown(waiter, kSm), Hypervisor::DownResult::kBlocked);
 }
 
+TEST_F(SchedTest, SemaphoreWaitDeadlineTimesOutAndRerunsCleanly) {
+  constexpr CapSel kSm = 90;
+  ASSERT_EQ(hv_.CreateSm(root_, kSm, 0), Status::kSuccess);
+  std::vector<Hypervisor::DownResult> log;
+  Ec* waiter = nullptr;
+  ASSERT_EQ(hv_.CreateEcGlobal(root_, 100, kSelOwnPd, 0,
+                               [&] {
+                                 const auto r =
+                                     hv_.SmDown(waiter, kSm, /*unmask_gsi=*/false,
+                                                sim::Milliseconds(1));
+                                 if (r == Hypervisor::DownResult::kBlocked) {
+                                   return;
+                                 }
+                                 log.push_back(r);
+                                 if (r == Hypervisor::DownResult::kTimeout) {
+                                   // Retry: the wait must re-enter cleanly.
+                                   log.push_back(hv_.SmDown(waiter, kSm));
+                                 }
+                               },
+                               &waiter),
+            Status::kSuccess);
+  ASSERT_EQ(hv_.CreateSc(root_, 101, 100, 10, 100000), Status::kSuccess);
+
+  hv_.StepOnce();  // Blocks with a 1 ms deadline.
+  EXPECT_EQ(waiter->block_state(), Ec::BlockState::kBlockedSm);
+  hv_.StepOnce();  // Idle: skips to the deadline event, which expires the wait.
+  EXPECT_EQ(waiter->block_state(), Ec::BlockState::kRunnable);
+
+  // The timed-out waiter was removed from the semaphore queue, so this Up
+  // finds nobody to wake and banks the count instead. If the waiter had
+  // leaked in the queue, the Up would be consumed waking it and the retry
+  // below would block rather than acquire.
+  ASSERT_EQ(hv_.SmUp(root_, kSm), Status::kSuccess);
+
+  hv_.StepOnce();  // Re-entry reports the timeout; the retry acquires.
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], Hypervisor::DownResult::kTimeout);
+  EXPECT_EQ(log[1], Hypervisor::DownResult::kAcquired);
+}
+
 TEST_F(SchedTest, GsiDeliveryWakesDriverThread) {
   constexpr CapSel kSm = 90;
   constexpr std::uint32_t kGsi = 7;

@@ -33,7 +33,7 @@ TEST(DiskModel, ReadCompletesAfterServiceTime) {
 
   std::vector<std::uint8_t> buf(4096);
   bool done = false;
-  disk.SubmitRead(0, buf.size(), buf.data(), [&] { done = true; });
+  disk.SubmitRead(0, buf.size(), buf.data(), [&](Status) { done = true; });
   // 4 KiB at 100 MB/s is ~41 us of media time: the fixed overhead
   // dominates, so completion lands at 100 us.
   events.AdvanceTo(sim::Microseconds(99));
@@ -51,7 +51,7 @@ TEST(DiskModel, LargeReadLimitedByBandwidth) {
 
   std::vector<std::uint8_t> buf(1 << 20);  // 1 MiB: ~10.5 ms of media time.
   bool done = false;
-  disk.SubmitRead(0, buf.size(), buf.data(), [&] { done = true; });
+  disk.SubmitRead(0, buf.size(), buf.data(), [&](Status) { done = true; });
   events.AdvanceTo(sim::Milliseconds(10));
   EXPECT_FALSE(done);
   events.AdvanceTo(sim::Milliseconds(11));
@@ -66,8 +66,8 @@ TEST(DiskModel, RequestsServicedInOrder) {
 
   std::vector<std::uint8_t> buf(512);
   std::vector<int> order;
-  disk.SubmitRead(0, 512, buf.data(), [&] { order.push_back(1); });
-  disk.SubmitRead(512, 512, buf.data(), [&] { order.push_back(2); });
+  disk.SubmitRead(0, 512, buf.data(), [&](Status) { order.push_back(1); });
+  disk.SubmitRead(512, 512, buf.data(), [&](Status) { order.push_back(2); });
   // Second request queues behind the first: 200 us total.
   events.AdvanceTo(sim::Microseconds(150));
   EXPECT_EQ(order.size(), 1u);
@@ -82,7 +82,7 @@ TEST(DiskModel, WritePersists) {
   DiskModel disk(&events, DiskGeometry{});
   const std::uint8_t data[8] = {9, 8, 7, 6, 5, 4, 3, 2};
   bool done = false;
-  disk.SubmitWrite(4096, data, sizeof(data), [&] { done = true; });
+  disk.SubmitWrite(4096, data, sizeof(data), [&](Status) { done = true; });
   events.AdvanceTo(sim::Seconds(1));
   ASSERT_TRUE(done);
   std::uint8_t out[8] = {};
@@ -97,7 +97,7 @@ TEST(DiskModel, ReadCallbackDeliversData) {
   disk.WriteContent(0, msg, sizeof(msg));
   std::vector<std::uint8_t> buf(sizeof(msg));
   bool done = false;
-  disk.SubmitRead(0, buf.size(), buf.data(), [&] { done = true; });
+  disk.SubmitRead(0, buf.size(), buf.data(), [&](Status) { done = true; });
   events.AdvanceTo(sim::Seconds(1));
   ASSERT_TRUE(done);
   EXPECT_STREQ(reinterpret_cast<char*>(buf.data()), "payload");

@@ -3,12 +3,22 @@
 // agreement, physical-memory read-back, and IOMMU translation integrity.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <map>
+#include <memory>
+#include <vector>
 
+#include "src/guest/driver_ahci.h"
+#include "src/guest/kernel.h"
+#include "src/guest/workload_disk.h"
 #include "src/hw/iommu.h"
 #include "src/hw/paging.h"
 #include "src/hw/tlb.h"
+#include "src/root/supervisor.h"
+#include "src/root/system.h"
+#include "src/sim/fault.h"
 #include "src/sim/rng.h"
+#include "src/vmm/vmm.h"
 
 namespace nova::hw {
 namespace {
@@ -137,6 +147,143 @@ TEST(PhysMemProperty, RandomReadWriteRoundTrip) {
     }
   }
 }
+
+// --- Randomized fault schedules vs. the kernel frame pool ---------------
+// Property: however many times a VMM is killed and restarted, and whenever
+// the crashes land, the kernel frame pool balances — every restart cycle
+// ends with the same number of frames in use, and the final count matches
+// a fault-free run.
+
+struct FaultCycleResult {
+  bool done = false;
+  std::uint64_t completed = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t frames_end = 0;
+  std::vector<std::uint64_t> frames_after_restart;
+};
+
+constexpr std::uint64_t kCycleRequests = 120;
+
+FaultCycleResult RunFaultCycles(std::uint64_t seed, std::uint64_t crashes) {
+  root::SystemConfig sc;
+  sc.machine =
+      hw::MachineConfig{.cpus = {&hw::CoreI7_920()}, .ram_size = 512ull << 20};
+  root::NovaSystem system(sc);
+  services::DiskServer& server = system.StartDiskServer();
+
+  // Crash times are drawn from the seed: spaced widely enough for the
+  // supervisor to finish one recovery before the next crash activates.
+  sim::Rng rng(seed);
+  sim::FaultPlan plan(seed);
+  for (std::uint64_t i = 0; i < crashes; ++i) {
+    plan.Schedule({.at = sim::Milliseconds(1 + 2 * i) +
+                         sim::Microseconds(rng.Below(900)),
+                   .kind = sim::FaultKind::kVmmCrash,
+                   .target = "a",
+                   .count = 1,
+                   .rate = 1.0});
+  }
+  plan.Arm(&system.machine.events());
+
+  vmm::VmmConfig ca;
+  ca.name = "a";
+  ca.guest_mem_bytes = 32ull << 20;
+  ca.first_cpu = 0;
+  auto vm_a = std::make_unique<vmm::Vmm>(&system.hv, system.root.get(), ca);
+  vm_a->SetFaultPlan(&plan);
+  vm_a->ConnectDiskServer(&server);
+
+  guest::GuestLogicMux mux;
+  mux.Attach(system.hv.engine(0));
+  guest::GuestKernel gk(
+      &system.machine.mem(),
+      [&vm_a](std::uint64_t gpa) { return vm_a->GpaToHpa(gpa); }, &mux,
+      guest::GuestKernelConfig{.mem_bytes = 32ull << 20});
+  gk.BuildStandardHandlers();
+  guest::GuestAhciDriver driver(
+      &gk, guest::GuestAhciDriver::Config{
+               .mmio_base = vmm::vahci::kMmioBase,
+               .irq_vector = vmm::vahci::kVector,
+               .read_ci =
+                   [&vm_a]() -> std::uint32_t {
+                 return static_cast<std::uint32_t>(vm_a->vahci().MmioRead(
+                     vmm::vahci::kMmioBase + ahci::kPxCi, 4));
+               },
+               .handle_errors = true,
+               .read_err =
+                   [&vm_a]() -> std::uint32_t {
+                 return static_cast<std::uint32_t>(vm_a->vahci().MmioRead(
+                     vmm::vahci::kMmioBase + ahci::kPxVs, 4));
+               }});
+  guest::DiskWorkload workload(
+      &gk, &driver,
+      guest::DiskWorkload::Config{.block_bytes = 4096,
+                                  .total_requests = kCycleRequests});
+  gk.EmitBoot(workload.EmitMain());
+  gk.Install();
+  gk.PrimeState(vm_a->gstate());
+  vm_a->Start(vm_a->gstate().rip);
+
+  root::VmmSupervisor::Config supc;
+  supc.check_period_ps = sim::Microseconds(200);
+  supc.stale_checks = 2;
+  root::VmmSupervisor supervisor(&system.hv, system.root.get(), supc);
+
+  FaultCycleResult r;
+  std::function<void(const root::VmmSupervisor::RecoveryInfo&)> restart;
+  restart = [&](const root::VmmSupervisor::RecoveryInfo& info) {
+    server.CloseChannel(vm_a->disk_channel_id());
+    vm_a.reset();
+    vmm::VmmConfig cr = ca;
+    cr.fixed_guest_base_page = info.guest_base_page;
+    vm_a = std::make_unique<vmm::Vmm>(&system.hv, system.root.get(), cr);
+    vm_a->SetFaultPlan(&plan);  // The replacement can crash again.
+    vm_a->ConnectDiskServer(&server);
+    vm_a->Start(info.gstate.rip);
+    vm_a->gstate() = info.gstate;
+    vm_a->vahci().RestoreRegs(info.vahci_regs);
+    vm_a->vahci().InjectAbort(driver.issued_mask());
+    supervisor.Watch(vm_a.get(), restart);
+    r.frames_after_restart.push_back(system.hv.FramesInUse());
+  };
+  supervisor.Watch(vm_a.get(), restart);
+
+  system.hv.RunUntilCondition(
+      [&] { return workload.done() && supervisor.recoveries() >= crashes; },
+      sim::Seconds(30));
+  r.done = workload.done();
+  r.completed = workload.completed();
+  r.recoveries = supervisor.recoveries();
+  r.frames_end = system.hv.FramesInUse();
+  return r;
+}
+
+class FaultScheduleProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultScheduleProperty, FramePoolBalancesAfterEveryKillRestartCycle) {
+  const std::uint64_t seed = GetParam();
+  sim::Rng rng(seed ^ 0xfa);
+  const std::uint64_t crashes = 1 + rng.Below(3);
+
+  const FaultCycleResult clean = RunFaultCycles(seed, /*crashes=*/0);
+  ASSERT_TRUE(clean.done);
+  ASSERT_EQ(clean.recoveries, 0u);
+
+  const FaultCycleResult faulted = RunFaultCycles(seed, crashes);
+  ASSERT_TRUE(faulted.done);
+  EXPECT_EQ(faulted.recoveries, crashes);
+  EXPECT_EQ(faulted.completed, kCycleRequests);
+
+  // Every kill/restart cycle balanced: no frame count ratchets upward.
+  ASSERT_EQ(faulted.frames_after_restart.size(), crashes);
+  for (const std::uint64_t frames : faulted.frames_after_restart) {
+    EXPECT_EQ(frames, faulted.frames_after_restart.front());
+  }
+  EXPECT_EQ(faulted.frames_end, clean.frames_end);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultScheduleProperty,
+                         ::testing::Values(3u, 11u, 42u));
 
 TEST(IommuProperty, TranslationsNeverLeakAcrossDevices) {
   PhysMem mem(256ull << 20);

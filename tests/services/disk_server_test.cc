@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "src/root/system.h"
+#include "src/sim/fault.h"
 
 namespace nova::services {
 namespace {
@@ -165,6 +166,87 @@ TEST_F(DiskServerTest, WriteRequestPersistsToDisk) {
   char out[sizeof(data)] = {};
   system_.platform.disk->ReadContent(77 * hw::kSectorSize, out, sizeof(out));
   EXPECT_STREQ(out, data);
+}
+
+TEST_F(DiskServerTest, RequestDeadlineTimesOutAndServerRecovers) {
+  // A deadline far below the media service time (~180 us for one sector):
+  // the request must be retired with a typed kTimeout completion, not hang.
+  server_.SetRequestDeadline(sim::Microseconds(20), /*max_retries=*/0, 0);
+  const auto ch = Open();
+  ASSERT_EQ(Issue(ch, 4, 1), Status::kSuccess);
+  Drain();
+  EXPECT_EQ(server_.requests_failed(), 1u);
+  EXPECT_EQ(completions_, 1);
+  DiskCompletionRecord rec{};
+  system_.machine.mem().Read(ch.shared_page << hw::kPageShift, &rec, sizeof(rec));
+  EXPECT_EQ(rec.status, static_cast<std::uint64_t>(Status::kTimeout));
+  // The slot sat in quarantine while the stale hardware command finished,
+  // then was released: with a sane deadline the server serves again.
+  server_.SetRequestDeadline(sim::Milliseconds(50), 0, 0);
+  ASSERT_EQ(Issue(ch, 8, 1), Status::kSuccess);
+  Drain();
+  EXPECT_EQ(server_.requests_completed(), 1u);
+}
+
+TEST_F(DiskServerTest, FaultScheduleSweepRetiresEveryRequest) {
+  // Seeded media-error schedules with retry budgets: whatever the schedule
+  // injects, every accepted request ends in exactly one typed completion —
+  // the issue/retire counters balance and the server never wedges.
+  server_.SetRequestDeadline(sim::Milliseconds(5), /*max_retries=*/2,
+                             sim::Microseconds(50));
+  const auto ch = Open();
+  std::uint64_t sent = 0;
+  for (const std::uint64_t seed : {21ull, 22ull, 23ull}) {
+    sim::FaultPlan plan(seed);
+    plan.Schedule({.at = 0,  // Active immediately: no queued events.
+                   .kind = sim::FaultKind::kDiskMediaError,
+                   .target = "disk",
+                   .count = 2 + seed % 3,
+                   .rate = 0.5});
+    plan.Arm(&system_.machine.events());
+    system_.platform.disk->set_fault_plan(&plan);
+    for (int burst = 0; burst < 4; ++burst) {
+      for (int i = 0; i < 3; ++i) {
+        ASSERT_EQ(Issue(ch, 8 * static_cast<std::uint64_t>(sent), 1),
+                  Status::kSuccess);
+        ++sent;
+      }
+      Drain();
+    }
+    system_.platform.disk->set_fault_plan(nullptr);
+  }
+  EXPECT_EQ(server_.requests_issued(), sent);
+  EXPECT_EQ(server_.requests_completed() + server_.requests_failed(), sent);
+  EXPECT_EQ(completions_, static_cast<int>(sent));
+  // Every ring record is a typed outcome: success or a bounded error.
+  for (std::uint64_t i = 0; i < sent; ++i) {
+    DiskCompletionRecord rec{};
+    system_.machine.mem().Read(
+        (ch.shared_page << hw::kPageShift) + i * sizeof(rec), &rec, sizeof(rec));
+    EXPECT_TRUE(rec.status == 0 ||
+                rec.status == static_cast<std::uint64_t>(Status::kBadDevice) ||
+                rec.status == static_cast<std::uint64_t>(Status::kTimeout))
+        << "record " << i << " status " << rec.status;
+  }
+}
+
+TEST_F(DiskServerTest, ClosedChannelIsRecycledWithoutNewRingFrame) {
+  const auto ch1 = Open();
+  ASSERT_EQ(Issue(ch1, 0, 1), Status::kSuccess);
+  server_.CloseChannel(ch1.channel_id);
+  // The orphaned request's completion is dropped, not delivered.
+  Drain();
+  EXPECT_EQ(completions_, 0);
+  // A new client reuses the retired channel: same id, same ring frame.
+  const auto ch2 = Open();
+  EXPECT_EQ(ch2.channel_id, ch1.channel_id);
+  EXPECT_EQ(ch2.shared_page, ch1.shared_page);
+  ASSERT_EQ(Issue(ch2, 8, 1), Status::kSuccess);
+  Drain();
+  EXPECT_EQ(completions_, 1);
+  DiskCompletionRecord rec{};
+  system_.machine.mem().Read(ch2.shared_page << hw::kPageShift, &rec, sizeof(rec));
+  EXPECT_EQ(rec.status, 0u);
 }
 
 TEST_F(DiskServerTest, ServerCannotTouchHypervisorMemory) {

@@ -1,0 +1,150 @@
+// Extension: guest throughput under kernel-memory quota pressure.
+//
+// A shadow-paged guest cycles through many address spaces — the workload
+// shape whose kernel-memory appetite (shadow page tables, vTLB contexts)
+// is largest — while its VMM's per-PD quota is swept from unlimited down
+// to a handful of spare frames. The interesting shape: throughput
+// degrades smoothly as the quota pinches, because the kernel reclaims the
+// guest's own least-recently-used shadow contexts under pressure instead
+// of failing the allocation; the guest pays re-fill work, never a crash.
+#include <cstdio>
+#include <memory>
+
+#include "bench/common.h"
+#include "src/guest/workload_compile.h"
+#include "src/root/system.h"
+#include "src/vmm/vmm.h"
+
+namespace nova::bench {
+namespace {
+
+constexpr std::uint64_t kGuestMem = 32ull << 20;
+
+// Many processes, a context switch every unit, constant address-space
+// recycling: maximal shadow-table churn per unit of useful work.
+guest::CompileWorkload::Config ThrashWorkload() {
+  guest::CompileWorkload::Config w;
+  w.processes = 6;
+  w.ws_pages = 16;
+  w.total_units = 2000;
+  w.compute_cycles = 2000;
+  w.mem_bursts = 2;
+  w.switch_every = 1;
+  w.disk_every = 0;
+  w.recycle_every = 40;
+  return w;
+}
+
+struct KmemResult {
+  bool completed = false;
+  double ms = 0;
+  double units_per_s = 0;
+  std::uint64_t vtlb_fills = 0;
+  std::uint64_t pressure_evicts = 0;
+  std::uint64_t flush_evicts = 0;
+  std::uint64_t used_end = 0;
+  std::uint64_t vm_errors = 0;
+  // Post-construction appetite; the sweep derives pinch points from it.
+  std::uint64_t boot_used = 0;
+};
+
+KmemResult RunWithQuota(std::uint64_t quota_frames) {
+  root::SystemConfig sc;
+  sc.machine =
+      hw::MachineConfig{.cpus = {&hw::CoreI7_920()}, .ram_size = 512ull << 20};
+  root::NovaSystem system(sc);
+  system.hv.set_vtlb_policy(hv::VtlbPolicy{.cache_contexts = true});
+
+  vmm::VmmConfig vc;
+  vc.name = "kmem-sweep";
+  vc.guest_mem_bytes = kGuestMem;
+  vc.mode = hw::TranslationMode::kShadow;
+  vc.kmem_quota_frames = quota_frames;
+  vmm::Vmm vm(&system.hv, system.root.get(), vc);
+
+  guest::GuestLogicMux mux;
+  mux.Attach(system.hv.engine(0));
+  guest::GuestKernel gk(
+      &system.machine.mem(),
+      [&vm](std::uint64_t gpa) { return vm.GpaToHpa(gpa); }, &mux,
+      guest::GuestKernelConfig{.mem_bytes = kGuestMem});
+  gk.BuildStandardHandlers();
+  guest::CompileWorkload workload(&gk, nullptr, ThrashWorkload());
+  gk.EmitBoot(workload.EmitMain());
+  gk.Install();
+  gk.PrimeState(vm.gstate());
+  vm.Start(vm.gstate().rip);
+
+  KmemResult r;
+  r.boot_used = vm.vmm_pd()->kmem().used();
+
+  const sim::PicoSeconds t0 = system.machine.cpu(0).NowPs();
+  system.hv.RunUntilCondition([&workload] { return workload.done(); },
+                              sim::Seconds(60));
+
+  r.completed = workload.done();
+  r.ms = static_cast<double>(system.machine.cpu(0).NowPs() - t0) / 1e9;
+  r.units_per_s =
+      static_cast<double>(workload.units_done()) / (r.ms / 1e3);
+  r.vtlb_fills = system.hv.EventCount("vTLB Fill");
+  r.pressure_evicts = system.hv.EventCount("vTLB Pressure Evict");
+  r.flush_evicts = system.hv.EventCount("vTLB Context Evict");
+  r.used_end = vm.vmm_pd()->kmem().used();
+  r.vm_errors = system.hv.EventCount("VM Error");
+  return r;
+}
+
+void Run() {
+  PrintHeader("Extension: shadow-paging throughput vs kernel-memory quota");
+
+  // Unlimited reference: how much kernel memory the workload wants when
+  // nothing pinches, and the throughput ceiling.
+  const KmemResult free_run = RunWithQuota(hv::KmemQuota::kUnlimited);
+  const std::uint64_t appetite = free_run.used_end - free_run.boot_used;
+  std::printf("construction baseline: %llu frames; workload appetite: +%llu "
+              "frames; unlimited run: %.3f ms\n\n",
+              static_cast<unsigned long long>(free_run.boot_used),
+              static_cast<unsigned long long>(appetite), free_run.ms);
+
+  std::printf("%-16s | %10s %10s %10s %10s %10s %8s\n", "quota[frames]",
+              "time[ms]", "units/s", "fills", "p-evict", "used-end", "errors");
+  auto row = [](const char* label, const KmemResult& r) {
+    std::printf("%-16s | %10.3f %10.0f %10llu %10llu %10llu %8llu%s\n", label,
+                r.ms, r.units_per_s,
+                static_cast<unsigned long long>(r.vtlb_fills),
+                static_cast<unsigned long long>(r.pressure_evicts),
+                static_cast<unsigned long long>(r.used_end),
+                static_cast<unsigned long long>(r.vm_errors),
+                r.completed ? "" : "  [INCOMPLETE]");
+  };
+  row("unlimited", free_run);
+
+  // Pinch points: the construction baseline plus a shrinking slice of the
+  // workload's appetite. The last point leaves barely one context's worth
+  // of headroom — maximal pressure that can still make progress.
+  const std::uint64_t spares[] = {appetite / 2, appetite / 4, appetite / 8, 8};
+  for (const std::uint64_t spare : spares) {
+    const std::uint64_t quota = free_run.boot_used + spare;
+    char label[32];
+    std::snprintf(label, sizeof label, "boot+%llu",
+                  static_cast<unsigned long long>(spare));
+    row(label, RunWithQuota(quota));
+  }
+
+  std::printf(
+      "\nShape: below the workload's natural appetite the kernel serves new "
+      "shadow-table frames by evicting the guest's own LRU contexts "
+      "(p-evict). Moderate pinches only trim dormant contexts the guest "
+      "would have flushed anyway; once the quota nears a single working "
+      "set, every context switch re-faults its tables and throughput bends "
+      "— but it bends instead of breaking: used-end stays under the quota "
+      "and no point reports a VM error.\n");
+}
+
+}  // namespace
+}  // namespace nova::bench
+
+int main() {
+  nova::bench::Run();
+  return 0;
+}

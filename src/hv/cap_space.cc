@@ -9,6 +9,14 @@ Status CapSpace::Insert(CapSel sel, Capability cap) {
   if (slots_[sel].object != nullptr && slots_[sel].Valid()) {
     return Status::kBusy;
   }
+  const std::uint32_t chunk_bit = 1u << (sel / kChunkSlots);
+  if ((committed_ & chunk_bit) == 0) {
+    if (charge_ && !charge_(1)) {
+      return Status::kNoMem;
+    }
+    committed_ |= chunk_bit;
+    ++committed_count_;
+  }
   slots_[sel] = std::move(cap);
   return Status::kSuccess;
 }

@@ -6,6 +6,7 @@
 #ifndef SRC_HV_CAP_SPACE_H_
 #define SRC_HV_CAP_SPACE_H_
 
+#include <functional>
 #include <vector>
 
 #include "src/hv/object.h"
@@ -25,9 +26,20 @@ class CapSpace {
  public:
   CapSpace() : slots_(kCapSpaceSlots) {}
 
-  // Install `cap` at `sel`. Fails with kOverflow when out of range and
-  // kBusy when the slot is occupied.
+  // Install `cap` at `sel`. Fails with kOverflow when out of range,
+  // kBusy when the slot is occupied, and kNoMem when committing the
+  // backing chunk is refused by the owner's kernel-memory account.
   Status Insert(CapSel sel, Capability cap);
+
+  // Selector space is committed lazily in chunks of kChunkSlots; the
+  // first Insert into a chunk charges one kernel frame through this
+  // callback (unset: no accounting, the pre-quota behaviour).
+  static constexpr CapSel kChunkSlots = 256;
+  using ChargeFn = std::function<bool(std::uint64_t frames)>;
+  void set_charge_fn(ChargeFn fn) { charge_ = std::move(fn); }
+
+  // Chunks committed so far (each is one charged kernel frame).
+  std::uint64_t committed_chunks() const { return committed_count_; }
 
   // Look up a selector. Returns nullptr for empty, dead or out-of-range
   // slots. Cost is charged by the hypercall layer.
@@ -56,6 +68,9 @@ class CapSpace {
 
  private:
   std::vector<Capability> slots_;
+  ChargeFn charge_;
+  std::uint32_t committed_ = 0;  // Bitmask, one bit per chunk.
+  std::uint64_t committed_count_ = 0;
 };
 
 }  // namespace nova::hv

@@ -41,7 +41,7 @@ Hypervisor::Hypervisor(hw::Machine* machine, HvCosts costs)
 
 Hypervisor::~Hypervisor() = default;
 
-hw::PhysAddr Hypervisor::AllocFrame() {
+hw::PhysAddr Hypervisor::PoolAlloc() {
   if (!pool_free_.empty()) {
     const hw::PhysAddr frame = pool_free_.back();
     pool_free_.pop_back();
@@ -56,15 +56,78 @@ hw::PhysAddr Hypervisor::AllocFrame() {
   return frame;
 }
 
-void Hypervisor::FreeFrame(hw::PhysAddr frame) { pool_free_.push_back(frame); }
+void Hypervisor::PoolFree(hw::PhysAddr frame) { pool_free_.push_back(frame); }
 
-std::shared_ptr<Pd> Hypervisor::MakePd(const std::string& name, bool is_vm) {
-  const hw::PhysAddr root = AllocFrame();
+hw::PhysAddr Hypervisor::AllocFrameFor(Pd* pd) {
+  if (fault_plan_ != nullptr &&
+      fault_plan_->ShouldFault(sim::FaultKind::kAllocFail, pd->name())) {
+    return 0;
+  }
+  if (!pd->ChargeKmem(1)) {
+    return 0;
+  }
+  const hw::PhysAddr frame = PoolAlloc();
+  if (frame == 0) {
+    pd->CreditKmem(1);
+  }
+  return frame;
+}
+
+void Hypervisor::FreeFrameFor(Pd* pd, hw::PhysAddr frame) {
+  pd->CreditKmem(1);
+  PoolFree(frame);
+}
+
+bool Hypervisor::ChargeObjectFrames(Pd* pd, std::uint64_t frames) {
+  if (fault_plan_ != nullptr &&
+      fault_plan_->ShouldFault(sim::FaultKind::kAllocFail, pd->name())) {
+    return false;
+  }
+  return pd->ChargeKmem(frames);
+}
+
+std::shared_ptr<Pd> Hypervisor::SelfRef(Pd* caller) {
+  if (caller == root_pd_.get()) {
+    return root_pd_;
+  }
+  auto self = RefAs<Pd>(caller->caps().LookupRef(kSelOwnPd), ObjType::kPd);
+  return self != nullptr ? self : root_pd_;
+}
+
+hw::PhysAddr Hypervisor::AllocFrame() {
+  return root_pd_ != nullptr ? AllocFrameFor(root_pd_.get()) : PoolAlloc();
+}
+
+void Hypervisor::FreeFrame(hw::PhysAddr frame) {
+  if (root_pd_ != nullptr) {
+    FreeFrameFor(root_pd_.get(), frame);
+  } else {
+    PoolFree(frame);
+  }
+}
+
+std::shared_ptr<Pd> Hypervisor::MakePd(const std::string& name, bool is_vm,
+                                       std::shared_ptr<Pd> donor,
+                                       std::uint64_t quota_frames) {
+  if (fault_plan_ != nullptr &&
+      fault_plan_->ShouldFault(sim::FaultKind::kAllocFail, name)) {
+    return nullptr;
+  }
+  const hw::PhysAddr root = PoolAlloc();
   if (root == 0) {
     return nullptr;
   }
   auto pd = std::make_shared<Pd>(name, is_vm, &machine_->mem(), host_paging_mode_,
-                                 root, [this] { return AllocFrame(); });
+                                 root, this);
+  pd->set_kmem_donor(std::move(donor));
+  if (quota_frames != KmemQuota::kUnlimited) {
+    pd->kmem().SetLimit(quota_frames);
+  }
+  // The page-table root frame is the domain's first charge.
+  if (!pd->ChargeKmem(1)) {
+    PoolFree(root);
+    return nullptr;
+  }
   if (is_vm) {
     pd->set_vm_tag(tlb_tags_.Allocate());
   }
@@ -82,8 +145,8 @@ Vtlb& Hypervisor::VtlbFor(Ec* vcpu) {
     env.pd = &vcpu->pd();
     env.pd_root = vcpu->pd().mem_space().root();
     env.costs = &costs_;
-    env.alloc = [this] { return AllocFrame(); };
-    env.free = [this](hw::PhysAddr f) { FreeFrame(f); };
+    env.alloc = [this, pd = &vcpu->pd()] { return AllocFrameFor(pd); };
+    env.free = [this, pd = &vcpu->pd()](hw::PhysAddr f) { FreeFrameFor(pd, f); };
     env.tags = &tlb_tags_;
     env.stats = &stats_;
     vcpu->set_vtlb(std::make_shared<Vtlb>(std::move(env), vtlb_policy_));
@@ -111,8 +174,11 @@ Pd* Hypervisor::Boot(std::uint64_t kernel_reserve) {
   // The hypervisor shields its own memory from device DMA (§4.2).
   machine_->iommu().ProtectRange(0, kernel_reserve_);
 
-  root_pd_ = MakePd("root", /*is_vm=*/false);
+  root_pd_ = MakePd("root", /*is_vm=*/false, nullptr, KmemQuota::kUnlimited);
   InstallCap(root_pd_.get(), kSelOwnPd, root_pd_, perm::kAll);
+  // Root's account is bounded by the physical pool itself (frame 0 stays
+  // reserved); every pass-through descendant ultimately charges here.
+  root_pd_->kmem().SetLimit(kernel_reserve_ / hw::kPageSize - 1);
 
   // The root partition manager receives capabilities for all remaining
   // memory regions, I/O ports and interrupts (§6).
@@ -136,19 +202,58 @@ Status Hypervisor::InstallCap(Pd* target, CapSel sel, ObjRef obj, std::uint8_t p
 }
 
 Status Hypervisor::CreatePd(Pd* caller, CapSel dst_sel, const std::string& name,
-                            bool is_vm, Pd** out) {
+                            bool is_vm, Pd** out, std::uint64_t quota_frames) {
   Charge(boot_cpu_for_step_, costs_.hypercall_dispatch);
-  auto pd = MakePd(name, is_vm);
-  if (pd == nullptr) {
-    return Status::kOverflow;
+  std::shared_ptr<Pd> donor = SelfRef(caller);
+  // An explicit quota is carved out of the creator's nearest bounded
+  // account up front and handed back if creation fails below.
+  Pd* grantor = nullptr;
+  if (quota_frames != KmemQuota::kUnlimited) {
+    grantor = caller;
+    while (!grantor->kmem().bounded() && grantor->kmem_donor() != nullptr) {
+      grantor = grantor->kmem_donor().get();
+    }
+    if (!grantor->kmem().bounded()) {
+      grantor = nullptr;
+    } else if (grantor->kmem().available() < quota_frames) {
+      return Status::kNoMem;
+    } else {
+      grantor->kmem().ShrinkLimit(quota_frames);
+    }
   }
-  // The creator obtains the control capability (it can destroy the domain);
-  // the new domain holds a non-control capability to itself.
-  const Status s = InstallCap(caller, dst_sel, pd, perm::kAll);
+  auto unwind = [&](const std::shared_ptr<Pd>& pd) {
+    if (pd != nullptr) {
+      pd->MarkDead();
+      mdb_.DropDomain(pd.get(), [](const MdbNode&) {});
+      pd->mem_space().table().FreeTables(
+          [this, &pd](hw::PhysAddr f) { FreeFrameFor(pd.get(), f); });
+      if (pd->is_vm() && pd->vm_tag() != hw::kHostTag) {
+        tlb_tags_.Release(pd->vm_tag());
+        pd->set_vm_tag(hw::kHostTag);
+      }
+    }
+    if (grantor != nullptr) {
+      grantor->kmem().GrowLimit(quota_frames);
+    }
+  };
+  auto pd = MakePd(name, is_vm, donor, quota_frames);
+  if (pd == nullptr) {
+    unwind(nullptr);
+    return Status::kNoMem;
+  }
+  // The new domain's own (non-control) handle goes in first, so a failure
+  // on either insert leaves no half-visible domain behind. The creator
+  // obtains the control capability (it can destroy the domain).
+  Status s = InstallCap(pd.get(), kSelOwnPd, pd, perm::kDelegate);
   if (!Ok(s)) {
+    unwind(pd);
     return s;
   }
-  InstallCap(pd.get(), kSelOwnPd, pd, perm::kDelegate);
+  s = InstallCap(caller, dst_sel, pd, perm::kAll);
+  if (!Ok(s)) {
+    unwind(pd);
+    return s;
+  }
   if (out != nullptr) {
     *out = pd.get();
   }
@@ -279,9 +384,25 @@ void Hypervisor::ReclaimPd(Pd* pd) {
 
   // Finally the paging structures themselves: DropDomain zeroed the leaf
   // entries, but the radix-tree frames (and the root) are kernel pool
-  // frames that must balance out.
+  // frames that must balance out — credited to the dying domain's own
+  // account chain, not to root.
   pd->mem_space().table().FreeTables(
-      [this](hw::PhysAddr frame) { FreeFrame(frame); });
+      [this, pd](hw::PhysAddr frame) { FreeFrameFor(pd, frame); });
+
+  // A bounded domain's quota returns to the nearest live bounded ancestor
+  // (the supervisor destroys a VMM's VM first, so a VM's quota flows
+  // through the VMM back to root). Zero the limit afterwards so a second
+  // pass can never return it twice.
+  if (pd->kmem().bounded() && pd->kmem().limit() > 0) {
+    Pd* heir = pd->kmem_donor().get();
+    while (heir != nullptr && (heir->dead() || !heir->kmem().bounded())) {
+      heir = heir->kmem_donor().get();
+    }
+    if (heir != nullptr) {
+      heir->kmem().GrowLimit(pd->kmem().limit());
+    }
+    pd->kmem().SetLimit(0);
+  }
 }
 
 Status Hypervisor::CreateEcLocal(Pd* caller, CapSel dst_sel, CapSel pd_sel,
@@ -295,12 +416,17 @@ Status Hypervisor::CreateEcLocal(Pd* caller, CapSel dst_sel, CapSel pd_sel,
   if (pd == nullptr) {
     return Status::kBadCapability;
   }
+  if (!ChargeObjectFrames(pd.get(), 1)) {  // UTCB frame.
+    return Status::kNoMem;
+  }
   auto ec = std::make_shared<Ec>(Ec::Kind::kLocal, pd, cpu_id);
   ec->set_handler(std::move(handler));
   const Status s = InstallCap(caller, dst_sel, ec, perm::kAll);
   if (!Ok(s)) {
+    pd->CreditKmem(1);
     return s;
   }
+  ec->set_release_hook([pd] { pd->CreditKmem(1); });
   ecs_.push_back(ec);
   if (out != nullptr) {
     *out = ec.get();
@@ -319,12 +445,17 @@ Status Hypervisor::CreateEcGlobal(Pd* caller, CapSel dst_sel, CapSel pd_sel,
   if (pd == nullptr) {
     return Status::kBadCapability;
   }
+  if (!ChargeObjectFrames(pd.get(), 1)) {  // UTCB frame.
+    return Status::kNoMem;
+  }
   auto ec = std::make_shared<Ec>(Ec::Kind::kGlobal, pd, cpu_id);
   ec->set_step_fn(std::move(step));
   const Status s = InstallCap(caller, dst_sel, ec, perm::kAll);
   if (!Ok(s)) {
+    pd->CreditKmem(1);
     return s;
   }
+  ec->set_release_hook([pd] { pd->CreditKmem(1); });
   ecs_.push_back(ec);
   if (out != nullptr) {
     *out = ec.get();
@@ -346,6 +477,9 @@ Status Hypervisor::CreateVcpu(Pd* caller, CapSel dst_sel, CapSel vm_pd_sel,
   if (!pd->is_vm()) {
     return Status::kBadParameter;
   }
+  if (!ChargeObjectFrames(pd.get(), 2)) {  // UTCB + VMCS frames.
+    return Status::kNoMem;
+  }
   auto ec = std::make_shared<Ec>(Ec::Kind::kVcpu, pd, cpu_id);
   ec->set_evt_base(evt_base);
   // Default controls: full virtualization with nested paging on the VM's
@@ -362,8 +496,10 @@ Status Hypervisor::CreateVcpu(Pd* caller, CapSel dst_sel, CapSel vm_pd_sel,
   ctl.io_passthrough = &pd->io_space().bitmap();
   const Status s = InstallCap(caller, dst_sel, ec, perm::kAll);
   if (!Ok(s)) {
+    pd->CreditKmem(2);
     return s;
   }
+  ec->set_release_hook([pd] { pd->CreditKmem(2); });
   vcpus_.push_back(ec);
   ecs_.push_back(ec);
   if (out != nullptr) {
@@ -389,13 +525,19 @@ Status Hypervisor::CreateSc(Pd* caller, CapSel dst_sel, CapSel ec_sel,
   if (quantum == 0) {
     return Status::kBadParameter;
   }
+  auto sc_pd = ec->pd_ref();
+  if (!ChargeObjectFrames(sc_pd.get(), 1)) {
+    return Status::kNoMem;
+  }
   auto sc = std::make_shared<Sc>(ec, prio, quantum);
   ec->set_sc(sc.get());
   const Status s = InstallCap(caller, dst_sel, sc, perm::kAll);
   if (!Ok(s)) {
     ec->set_sc(nullptr);
+    sc_pd->CreditKmem(1);
     return s;
   }
+  sc->set_release_hook([sc_pd] { sc_pd->CreditKmem(1); });
   cpu_states_[ec->cpu()].runqueue.Enqueue(sc.get());
   return Status::kSuccess;
 }
@@ -411,8 +553,18 @@ Status Hypervisor::CreatePt(Pd* caller, CapSel dst_sel, CapSel handler_ec_sel,
   if (ec->kind() != Ec::Kind::kLocal) {
     return Status::kBadParameter;
   }
+  auto pt_pd = ec->pd_ref();
+  if (!ChargeObjectFrames(pt_pd.get(), 1)) {
+    return Status::kNoMem;
+  }
   auto pt = std::make_shared<Pt>(ec, m, id);
-  return InstallCap(caller, dst_sel, pt, perm::kAll);
+  const Status s = InstallCap(caller, dst_sel, pt, perm::kAll);
+  if (!Ok(s)) {
+    pt_pd->CreditKmem(1);
+    return s;
+  }
+  pt->set_release_hook([pt_pd] { pt_pd->CreditKmem(1); });
+  return Status::kSuccess;
 }
 
 Status Hypervisor::PtCtrlMtd(Pd* caller, CapSel pt_sel, Mtd m) {
@@ -427,12 +579,19 @@ Status Hypervisor::PtCtrlMtd(Pd* caller, CapSel pt_sel, Mtd m) {
 
 Status Hypervisor::CreateSm(Pd* caller, CapSel dst_sel, std::uint64_t initial) {
   Charge(boot_cpu_for_step_, costs_.hypercall_dispatch);
+  auto sm_pd = SelfRef(caller);
+  if (!ChargeObjectFrames(sm_pd.get(), 1)) {
+    return Status::kNoMem;
+  }
   auto sm = std::make_shared<Sm>(initial);
   sm->set_owner(caller);
   const Status s = InstallCap(caller, dst_sel, sm, perm::kAll);
-  if (Ok(s)) {
-    sms_.push_back(sm);
+  if (!Ok(s)) {
+    sm_pd->CreditKmem(1);
+    return s;
   }
+  sm->set_release_hook([sm_pd] { sm_pd->CreditKmem(1); });
+  sms_.push_back(sm);
   return s;
 }
 

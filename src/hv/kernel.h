@@ -22,11 +22,13 @@
 
 #include "src/hw/machine.h"
 #include "src/hw/vm_engine.h"
+#include "src/hv/kmem.h"
 #include "src/hv/mdb.h"
 #include "src/hv/objects.h"
 #include "src/hv/scheduler.h"
 #include "src/hv/types.h"
 #include "src/hv/vtlb.h"
+#include "src/sim/fault.h"
 #include "src/sim/stats.h"
 
 namespace nova::hv {
@@ -35,7 +37,7 @@ namespace nova::hv {
 constexpr CapSel kSelOwnPd = 0;
 constexpr CapSel kSelFirstFree = 32;
 
-class Hypervisor {
+class Hypervisor : public KmemPool {
  public:
   explicit Hypervisor(hw::Machine* machine, HvCosts costs = HvCosts{});
   ~Hypervisor();
@@ -51,8 +53,14 @@ class Hypervisor {
   // `caller` is the invoking protection domain (all selectors are resolved
   // in its capability space).
 
+  // `quota_frames` bounds the new domain's kernel-memory account; the
+  // quota is carved out of (donated from) the caller's nearest bounded
+  // account and returned when the domain is destroyed. The default leaves
+  // the account pass-through: charges land on the creator's account, the
+  // pre-quota behaviour.
   Status CreatePd(Pd* caller, CapSel dst_sel, const std::string& name, bool is_vm,
-                  Pd** out = nullptr);
+                  Pd** out = nullptr,
+                  std::uint64_t quota_frames = KmemQuota::kUnlimited);
   Status DestroyPd(Pd* caller, CapSel pd_sel);
 
   Status CreateEcLocal(Pd* caller, CapSel dst_sel, CapSel pd_sel, std::uint32_t cpu,
@@ -147,9 +155,19 @@ class Hypervisor {
   Mdb& mdb() { return mdb_; }
 
   // Kernel frame allocator (exposed for the root PM to build tables for
-  // guests during image installation).
+  // guests during image installation). Charged to the root PD's account.
   hw::PhysAddr AllocFrame();
   void FreeFrame(hw::PhysAddr frame);
+  // KmemPool: allocate/free one kernel frame charged to `pd`'s quota
+  // chain. Returns 0 on quota or pool exhaustion — never a fake frame.
+  hw::PhysAddr AllocFrameFor(Pd* pd) override;
+  void FreeFrameFor(Pd* pd, hw::PhysAddr frame) override;
+
+  // Deterministic fault injection: when set, every charged allocation
+  // consults the plan for FaultKind::kAllocFail (target = owning PD's
+  // name) and fails transiently on a hit. Null (the default) costs
+  // nothing on the allocation path.
+  void SetFaultPlan(sim::FaultPlan* plan) { fault_plan_ = plan; }
   std::uint64_t kernel_reserve() const { return kernel_reserve_; }
   // Frames currently handed out by the pool (leak accounting in tests).
   std::uint64_t FramesInUse() const {
@@ -186,7 +204,20 @@ class Hypervisor {
 
   // Object creation plumbing.
   Status InstallCap(Pd* target, CapSel sel, ObjRef obj, std::uint8_t perms);
-  std::shared_ptr<Pd> MakePd(const std::string& name, bool is_vm);
+  std::shared_ptr<Pd> MakePd(const std::string& name, bool is_vm,
+                             std::shared_ptr<Pd> donor,
+                             std::uint64_t quota_frames);
+
+  // Raw pool operations (no accounting); everything outside Boot goes
+  // through the charged AllocFrameFor/FreeFrameFor pair.
+  hw::PhysAddr PoolAlloc();
+  void PoolFree(hw::PhysAddr frame);
+  // Charge `frames` to `pd` for a kernel object (UTCB, VMCS, SC, portal,
+  // semaphore); consults the fault plan like a real frame allocation.
+  bool ChargeObjectFrames(Pd* pd, std::uint64_t frames);
+  // The caller's own-PD reference (selector 0), for donor chains and
+  // object charges that outlive the raw pointer.
+  std::shared_ptr<Pd> SelfRef(Pd* caller);
 
   // IPC internals.
   Status DoCall(Ec* caller_ec, Pt* portal);
@@ -271,6 +302,7 @@ class Hypervisor {
   std::uint64_t kernel_reserve_ = 0;
   hw::PhysAddr pool_next_ = 0;
   std::vector<hw::PhysAddr> pool_free_;
+  sim::FaultPlan* fault_plan_ = nullptr;
 
   std::shared_ptr<Pd> root_pd_;
   std::vector<std::unique_ptr<hw::VmEngine>> engines_;

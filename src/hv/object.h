@@ -5,7 +5,9 @@
 #define SRC_HV_OBJECT_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <utility>
 
 namespace nova::hv {
 
@@ -25,7 +27,9 @@ constexpr const char* ObjTypeName(ObjType t) {
 class KObject {
  public:
   explicit KObject(ObjType type) : type_(type) {}
-  virtual ~KObject() = default;
+  virtual ~KObject() {
+    if (release_) release_();
+  }
 
   KObject(const KObject&) = delete;
   KObject& operator=(const KObject&) = delete;
@@ -37,9 +41,17 @@ class KObject {
   bool dead() const { return dead_; }
   void MarkDead() { dead_ = true; }
 
+  // Invoked exactly once when the object is destroyed; the kernel uses it
+  // to credit the owning PD's kernel-memory account once the last
+  // capability drops (a dead object can outlive its domain's reclaim).
+  void set_release_hook(std::function<void()> hook) {
+    release_ = std::move(hook);
+  }
+
  private:
   ObjType type_;
   bool dead_ = false;
+  std::function<void()> release_;
 };
 
 using ObjRef = std::shared_ptr<KObject>;

@@ -11,6 +11,7 @@
 
 #include "src/hw/guest_state.h"
 #include "src/hv/cap_space.h"
+#include "src/hv/kmem.h"
 #include "src/hv/object.h"
 #include "src/hv/spaces.h"
 #include "src/hv/types.h"
@@ -28,14 +29,59 @@ class Vtlb;
 class Pd : public KObject {
  public:
   Pd(std::string name, bool is_vm, hw::PhysMem* mem, hw::PagingMode mode,
-     hw::PhysAddr pt_root, hw::PageTable::FrameAllocator alloc)
+     hw::PhysAddr pt_root, KmemPool* pool)
       : KObject(ObjType::kPd),
         name_(std::move(name)),
         is_vm_(is_vm),
-        mem_space_(mem, mode, pt_root, std::move(alloc)) {}
+        pool_(pool),
+        mem_space_(mem, mode, pt_root,
+                   [this] { return pool_->AllocFrameFor(this); }) {
+    caps_.set_charge_fn([this](std::uint64_t frames) {
+      return ChargeKmem(frames);
+    });
+  }
+
+  ~Pd() override {
+    // Capability-space chunks die with the domain; the release hooks of
+    // the other object types credit their own charges.
+    CreditKmem(caps_.committed_chunks());
+  }
 
   const std::string& name() const { return name_; }
   bool is_vm() const { return is_vm_; }
+
+  // Kernel-memory account (frames). Charges walk the donor chain to the
+  // nearest bounded account; every account on the path records the usage
+  // so used() always reflects this PD's subtree.
+  KmemQuota& kmem() { return kmem_; }
+  const KmemQuota& kmem() const { return kmem_; }
+  const std::shared_ptr<Pd>& kmem_donor() const { return kmem_donor_; }
+  void set_kmem_donor(std::shared_ptr<Pd> donor) {
+    kmem_donor_ = std::move(donor);
+  }
+
+  bool ChargeKmem(std::uint64_t frames) {
+    Pd* terminal = this;
+    while (!terminal->kmem_.bounded() && terminal->kmem_donor_ != nullptr) {
+      terminal = terminal->kmem_donor_.get();
+    }
+    if (!terminal->kmem_.TryCharge(frames)) {
+      return false;
+    }
+    for (Pd* pd = this; pd != terminal; pd = pd->kmem_donor_.get()) {
+      pd->kmem_.RecordCharge(frames);
+    }
+    return true;
+  }
+
+  void CreditKmem(std::uint64_t frames) {
+    Pd* pd = this;
+    while (true) {
+      pd->kmem_.Credit(frames);
+      if (pd->kmem_.bounded() || pd->kmem_donor_ == nullptr) break;
+      pd = pd->kmem_donor_.get();
+    }
+  }
 
   CapSpace& caps() { return caps_; }
   const CapSpace& caps() const { return caps_; }
@@ -53,6 +99,9 @@ class Pd : public KObject {
  private:
   std::string name_;
   bool is_vm_;
+  KmemPool* pool_;
+  KmemQuota kmem_;
+  std::shared_ptr<Pd> kmem_donor_;
   CapSpace caps_;
   MemSpace mem_space_;
   IoSpace io_space_;

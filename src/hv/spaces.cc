@@ -17,6 +17,9 @@ Status MemSpace::Map(std::uint64_t page, std::uint64_t hpa_page,
                      std::uint64_t count, std::uint8_t perms, bool large) {
   const std::uint64_t large_size = hw::LargePageSize(table_.mode());
   const std::uint64_t large_pages = large_size / hw::kPageSize;
+  // A failed table-node allocation surfaces from the walker as kOverflow;
+  // report it as kNoMem and unmap the partially-built prefix so a failed
+  // Map leaves no half-installed range behind.
   if (large) {
     if (page % large_pages != 0 || hpa_page % large_pages != 0 ||
         count % large_pages != 0) {
@@ -27,7 +30,10 @@ Status MemSpace::Map(std::uint64_t page, std::uint64_t hpa_page,
           table_.Map((page + off) << hw::kPageShift, (hpa_page + off) << hw::kPageShift,
                      large_size, PteFlags(perms), alloc_);
       if (!Ok(s)) {
-        return s;
+        for (std::uint64_t undo = 0; undo < off; undo += large_pages) {
+          table_.Unmap((page + undo) << hw::kPageShift);
+        }
+        return s == Status::kOverflow ? Status::kNoMem : s;
       }
     }
   } else {
@@ -36,7 +42,10 @@ Status MemSpace::Map(std::uint64_t page, std::uint64_t hpa_page,
           table_.Map((page + off) << hw::kPageShift, (hpa_page + off) << hw::kPageShift,
                      hw::kPageSize, PteFlags(perms), alloc_);
       if (!Ok(s)) {
-        return s;
+        for (std::uint64_t undo = 0; undo < off; ++undo) {
+          table_.Unmap((page + undo) << hw::kPageShift);
+        }
+        return s == Status::kOverflow ? Status::kNoMem : s;
       }
     }
   }

@@ -287,6 +287,14 @@ void Hypervisor::RunVcpu(Sc* sc, sim::Cycles budget) {
             }
             break;
           }
+          case Vtlb::Outcome::kNoMem:
+            // The VM's kernel-memory quota is exhausted and eviction found
+            // nothing to reclaim: surface the failure to the VMM and park
+            // the vCPU; a Recall retries once the monitor frees resources.
+            ctr_.vm_error.Add();
+            DispatchVmEvent(vcpu, Event::kError, exit);
+            vcpu->set_block_state(Ec::BlockState::kBlockedHalt);
+            return;
         }
         break;
       }

@@ -56,14 +56,55 @@ Vtlb::Vtlb(Env env, VtlbPolicy policy)
       flushes_(env_.stats->counter("vTLB Flush")),
       switch_hits_(env_.stats->counter("vTLB Context Hit")),
       switch_misses_(env_.stats->counter("vTLB Context Miss")),
-      evictions_(env_.stats->counter("vTLB Context Evict")) {}
+      evictions_(env_.stats->counter("vTLB Context Evict")),
+      pressure_evictions_(env_.stats->counter("vTLB Pressure Evict")) {}
 
 Vtlb::~Vtlb() { DropAllContexts(); }
 
 hw::PhysAddr Vtlb::AllocCounted(Context& ctx) {
+  const hw::PhysAddr frame = env_.alloc();
+  if (frame == 0) {
+    return 0;  // Quota or pool exhausted; the caller runs the pressure path.
+  }
   ++ctx.frames;
   ++frames_held_;
-  return env_.alloc();
+  return frame;
+}
+
+hw::PhysAddr Vtlb::AllocWithPressure(Context& ctx) {
+  hw::PhysAddr frame = AllocCounted(ctx);
+  while (frame == 0 && EvictOneForPressure(&ctx)) {
+    frame = AllocCounted(ctx);
+  }
+  return frame;
+}
+
+bool Vtlb::EvictOneForPressure(const Context* keep) {
+  auto victim = contexts_.end();
+  for (auto it = contexts_.begin(); it != contexts_.end(); ++it) {
+    if (&it->second == keep || it->second.root == 0) {
+      continue;
+    }
+    if (has_active_ && it->first == active_key_) {
+      continue;  // The hardware is walking the active tree: pinned.
+    }
+    if (victim == contexts_.end() ||
+        it->second.last_use < victim->second.last_use) {
+      victim = it;
+    }
+  }
+  if (victim == contexts_.end()) {
+    return false;
+  }
+  Context& ctx = victim->second;
+  if (ctx.tag != env_.ctl->base_tag) {
+    env_.cpu->tlb().FlushTag(ctx.tag);
+    env_.tags->Release(ctx.tag);
+  }
+  FreeTree(ctx);
+  pressure_evictions_.Add();
+  contexts_.erase(victim);
+  return true;
 }
 
 void Vtlb::FreeBelowRoot(Context& ctx) {
@@ -119,7 +160,9 @@ Vtlb::Context& Vtlb::EnsureActive() {
       ++ctx.frames;
       ++frames_held_;
     } else {
-      ctx.root = AllocCounted(ctx);
+      // May stay 0 under hard quota pressure; Resolve reports kNoMem and
+      // the next attempt retries once frames have been credited back.
+      ctx.root = AllocWithPressure(ctx);
     }
   }
   active_key_ = key;
@@ -217,6 +260,10 @@ Vtlb::Outcome Vtlb::Resolve(const hw::VmExit& exit, std::uint64_t* gpa_out) {
   }
 
   Context& ctx = EnsureActive();
+  *gpa_out = gpa;
+  if (ctx.root == 0) {
+    return Outcome::kNoMem;  // Could not even build a shadow root.
+  }
   hw::PageTable shadow(&mem, env_.ctl->nested_format, ctx.root);
   // Shadow granularity: a guest superpage can only be shadowed at host
   // superpage granularity when the backing is contiguous; install the
@@ -224,12 +271,20 @@ Vtlb::Outcome Vtlb::Resolve(const hw::VmExit& exit, std::uint64_t* gpa_out) {
   // simple and faithful to fill-on-demand behaviour.
   const std::uint64_t page_va = gva & ~(hw::kPageSize - 1);
   const std::uint64_t page_pa = fx.pa & ~(hw::kPageSize - 1);
-  shadow.Map(page_va, page_pa, hw::kPageSize, flags,
-             [this, &ctx] { return AllocCounted(ctx); });
+  // Graceful degradation: a failed table-node allocation evicts one LRU
+  // dormant context and retries the fill, so a quota-pinched VM trades
+  // re-fills for forward progress instead of failing.
+  Status ms = shadow.Map(page_va, page_pa, hw::kPageSize, flags,
+                         [this, &ctx] { return AllocCounted(ctx); });
+  while (ms == Status::kOverflow && EvictOneForPressure(&ctx)) {
+    ms = shadow.Map(page_va, page_pa, hw::kPageSize, flags,
+                    [this, &ctx] { return AllocCounted(ctx); });
+  }
   c.Charge(env_.costs->map_page);
+  if (!Ok(ms)) {
+    return Outcome::kNoMem;
+  }
   EnforceFrameBudget();
-
-  *gpa_out = gpa;
   return Outcome::kFilled;
 }
 
@@ -265,7 +320,9 @@ void Vtlb::HandleMovCr3(std::uint64_t new_cr3) {
   Context& ctx = ContextFor(new_cr3, &created);
   const bool hit = !created && ctx.root != 0;
   if (ctx.root == 0) {
-    ctx.root = AllocCounted(ctx);
+    // Under pressure the root may stay unallocated; the vCPU's next page
+    // fault retries through Resolve once frames are credited back.
+    ctx.root = AllocWithPressure(ctx);
   }
   (hit ? switch_hits_ : switch_misses_).Add();
   active_key_ = new_cr3;

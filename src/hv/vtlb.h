@@ -53,7 +53,12 @@ struct VtlbPolicy {
 
 class Vtlb {
  public:
-  enum class Outcome : std::uint8_t { kFilled, kGuestFault, kHostFault };
+  enum class Outcome : std::uint8_t {
+    kFilled,
+    kGuestFault,
+    kHostFault,
+    kNoMem,  // Kernel-memory quota exhausted even after pressure eviction.
+  };
 
   // Everything the subsystem needs from its surroundings. All pointers
   // must outlive the Vtlb (they live in the owning Ec / Pd / Machine).
@@ -126,6 +131,13 @@ class Vtlb {
   Context& EnsureActive();
   Context& ContextFor(std::uint64_t key, bool* created);
   hw::PhysAddr AllocCounted(Context& ctx);
+  // AllocCounted plus graceful degradation: on allocation failure, evict
+  // the VM's own LRU dormant contexts one at a time and retry, so quota
+  // pressure degrades into extra re-fills instead of a guest failure.
+  hw::PhysAddr AllocWithPressure(Context& ctx);
+  // Evict one LRU dormant context (never `keep`, never the active one) to
+  // relieve allocation pressure. False when nothing is evictable.
+  bool EvictOneForPressure(const Context* keep);
   void FreeBelowRoot(Context& ctx);   // Tree minus root; root zeroed.
   void FreeTree(Context& ctx);        // Whole tree, including the root.
   void EnforceFrameBudget();
@@ -144,6 +156,7 @@ class Vtlb {
   sim::Counter& switch_hits_;
   sim::Counter& switch_misses_;
   sim::Counter& evictions_;
+  sim::Counter& pressure_evictions_;
 };
 
 }  // namespace nova::hv

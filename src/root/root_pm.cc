@@ -24,12 +24,13 @@ std::uint64_t RootPartitionManager::AllocPages(std::uint64_t pages,
 }
 
 hv::CapSel RootPartitionManager::CreatePd(const std::string& name, bool is_vm,
-                                          hv::Pd** out) {
+                                          hv::Pd** out,
+                                          std::uint64_t quota_frames) {
   const hv::CapSel sel = FreeSel();
   if (sel == hv::kInvalidSel) {
     return hv::kInvalidSel;
   }
-  if (!Ok(hv_->CreatePd(pd_, sel, name, is_vm, out))) {
+  if (!Ok(hv_->CreatePd(pd_, sel, name, is_vm, out, quota_frames))) {
     return hv::kInvalidSel;
   }
   return sel;

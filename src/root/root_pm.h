@@ -42,8 +42,11 @@ class RootPartitionManager {
   std::uint64_t AllocPages(std::uint64_t pages, std::uint64_t align_pages = 1);
 
   // Create a child protection domain; the returned selector (in the root's
-  // capability space) carries the control capability.
-  hv::CapSel CreatePd(const std::string& name, bool is_vm, hv::Pd** out = nullptr);
+  // capability space) carries the control capability. `quota_frames`
+  // bounds the child's kernel-memory account (donated from root's own
+  // account, returned on destroy); the default leaves it pass-through.
+  hv::CapSel CreatePd(const std::string& name, bool is_vm, hv::Pd** out = nullptr,
+                      std::uint64_t quota_frames = hv::KmemQuota::kUnlimited);
 
   // Grant `pages` frames at `hotspot_page` in `pd_sel`'s space (~0 keeps
   // the identity address); allocates the backing frames. `align_pow2`

@@ -31,9 +31,10 @@ enum class FaultKind : std::uint8_t {
   kNicCorrupt,      // Inbound frame delivered with a flipped byte.
   kDmaUnmapped,     // Device DMA redirected to an unmapped/protected iova.
   kVmmCrash,        // User-level VMM stops responding (heartbeat ceases).
+  kAllocFail,       // Kernel frame allocation fails transiently.
 };
 
-constexpr int kNumFaultKinds = 5;
+constexpr int kNumFaultKinds = 6;
 
 constexpr const char* FaultKindName(FaultKind k) {
   switch (k) {
@@ -42,6 +43,7 @@ constexpr const char* FaultKindName(FaultKind k) {
     case FaultKind::kNicCorrupt: return "nic-corrupt";
     case FaultKind::kDmaUnmapped: return "dma-unmapped";
     case FaultKind::kVmmCrash: return "vmm-crash";
+    case FaultKind::kAllocFail: return "alloc-fail";
   }
   return "?";
 }

@@ -24,6 +24,7 @@ enum class Status : std::uint8_t {
   kOverflow,        // Resource exhausted (space full, quota reached).
   kDenied,          // Permission check failed.
   kBusy,            // Object is in use and cannot be reconfigured.
+  kNoMem,           // Kernel-memory quota or frame pool exhausted.
 };
 
 // Human-readable name for diagnostics and test output.
@@ -42,6 +43,7 @@ constexpr const char* StatusName(Status s) {
     case Status::kOverflow: return "kOverflow";
     case Status::kDenied: return "kDenied";
     case Status::kBusy: return "kBusy";
+    case Status::kNoMem: return "kNoMem";
   }
   return "kUnknown";
 }

@@ -41,8 +41,15 @@ hv::Mtd PortalMtd(hv::Event event) {
 
 Vmm::Vmm(hv::Hypervisor* hv, root::RootPartitionManager* root, VmmConfig config)
     : hv_(hv), root_(root), config_(std::move(config)) {
-  // The VMM itself is an ordinary user domain created by the root PM.
-  vmm_pd_sel_ = root_->CreatePd(config_.name + "-vmm", /*is_vm=*/false, &vmm_pd_);
+  // The VMM itself is an ordinary user domain created by the root PM; its
+  // kernel-memory account bounds everything the kernel allocates for this
+  // VM (the VM's domain is a pass-through child of it).
+  vmm_pd_sel_ = root_->CreatePd(config_.name + "-vmm", /*is_vm=*/false, &vmm_pd_,
+                                config_.kmem_quota_frames);
+  if (vmm_pd_ == nullptr) {
+    create_status_ = Status::kNoMem;  // Quota too small for the domain itself.
+    return;
+  }
   // Parent channel: a handle on the root domain so the VMM can push
   // capabilities up when requesting services (device assignment).
   root_handle_sel_ = vmm_pd_->caps().FindFree(hv::kSelFirstFree);
@@ -136,7 +143,10 @@ void Vmm::InstallImage(const hw::isa::Assembler& as, std::uint64_t gpa_base) {
 void Vmm::CreateVm() {
   // VM protection domain.
   vm_pd_sel_ = vmm_pd_->caps().FindFree(hv::kSelFirstFree);
-  hv_->CreatePd(vmm_pd_, vm_pd_sel_, config_.name, /*is_vm=*/true, &vm_pd_);
+  if (!NoteStatus(
+          hv_->CreatePd(vmm_pd_, vm_pd_sel_, config_.name, /*is_vm=*/true, &vm_pd_))) {
+    return;
+  }
 
   // Guest-physical memory: delegate the whole (power-of-two) range in
   // chunks, with superpage host mappings when configured (§8.1).
@@ -154,8 +164,9 @@ void Vmm::CreateVm() {
     }
     const std::uint64_t chunk = 1ull << order;
     const bool chunk_large = config_.large_pages && chunk % large_pages == 0;
-    hv_->Delegate(vmm_pd_, vm_pd_sel_, hv::Crd::Mem(src, order, hv::perm::kRwx), dst,
-                  0xff, chunk_large);
+    NoteStatus(hv_->Delegate(vmm_pd_, vm_pd_sel_,
+                             hv::Crd::Mem(src, order, hv::perm::kRwx), dst, 0xff,
+                             chunk_large));
     src += chunk;
     dst += chunk;
     remaining -= chunk;
@@ -166,19 +177,24 @@ void Vmm::CreateVm() {
     const std::uint32_t cpu_id = config_.first_cpu + v;
     const hv::CapSel handler_sel = vmm_pd_->caps().FindFree(hv::kSelFirstFree);
     hv::Ec* handler = nullptr;
-    hv_->CreateEcLocal(vmm_pd_, handler_sel, hv::kSelOwnPd, cpu_id,
-                       [this](std::uint64_t id) {
-                         HandleExit(static_cast<std::uint32_t>(id >> 8),
-                                    static_cast<hv::Event>(id & 0xff));
-                       },
-                       &handler);
+    if (!NoteStatus(hv_->CreateEcLocal(vmm_pd_, handler_sel, hv::kSelOwnPd, cpu_id,
+                                       [this](std::uint64_t id) {
+                                         HandleExit(static_cast<std::uint32_t>(id >> 8),
+                                                    static_cast<hv::Event>(id & 0xff));
+                                       },
+                                       &handler))) {
+      return;
+    }
     handler_ecs_.push_back(handler);
     in_exit_.push_back(false);
 
     const hv::CapSel evt_base = 0x100 + v * 0x10;  // In the VM's cap space.
     const hv::CapSel vcpu_sel = vmm_pd_->caps().FindFree(hv::kSelFirstFree);
     hv::Ec* vcpu = nullptr;
-    hv_->CreateVcpu(vmm_pd_, vcpu_sel, vm_pd_sel_, cpu_id, evt_base, &vcpu);
+    if (!NoteStatus(
+            hv_->CreateVcpu(vmm_pd_, vcpu_sel, vm_pd_sel_, cpu_id, evt_base, &vcpu))) {
+      return;
+    }
     vcpus_.push_back(vcpu);
     vcpu_sels_.push_back(vcpu_sel);
 
@@ -189,10 +205,12 @@ void Vmm::CreateVm() {
           config_.full_state_transfer
               ? (hv::mtd::kAll & ~hv::mtd::kTlbFlush)
               : PortalMtd(event);
-      hv_->CreatePt(vmm_pd_, pt_sel, handler_sel, m,
-                    (static_cast<std::uint64_t>(v) << 8) | e);
-      hv_->Delegate(vmm_pd_, vm_pd_sel_, hv::Crd::Obj(pt_sel, 0, hv::perm::kCall),
-                    evt_base + e);
+      if (!NoteStatus(hv_->CreatePt(vmm_pd_, pt_sel, handler_sel, m,
+                                    (static_cast<std::uint64_t>(v) << 8) | e))) {
+        return;
+      }
+      NoteStatus(hv_->Delegate(vmm_pd_, vm_pd_sel_,
+                               hv::Crd::Obj(pt_sel, 0, hv::perm::kCall), evt_base + e));
     }
 
     // Execution controls per configuration.
@@ -212,10 +230,16 @@ void Vmm::CreateVm() {
   }
 }
 
-void Vmm::Start(std::uint64_t entry_rip, std::uint32_t vcpu) {
+Status Vmm::Start(std::uint64_t entry_rip, std::uint32_t vcpu) {
+  if (!Ok(create_status_) || vcpu >= vcpus_.size()) {
+    return Ok(create_status_) ? Status::kBadParameter : create_status_;
+  }
   gstate(vcpu).rip = entry_rip;
   const hv::CapSel sc_sel = vmm_pd_->caps().FindFree(hv::kSelFirstFree);
-  hv_->CreateSc(vmm_pd_, sc_sel, vcpu_sels_[vcpu], config_.prio, config_.quantum);
+  const Status s =
+      hv_->CreateSc(vmm_pd_, sc_sel, vcpu_sels_[vcpu], config_.prio, config_.quantum);
+  NoteStatus(s);
+  return s;
 }
 
 hv::CapSel Vmm::ExposeVmToRoot() {

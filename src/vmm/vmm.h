@@ -48,6 +48,13 @@ struct VmmConfig {
   std::uint8_t prio = 1;
   sim::Cycles quantum = 10'000'000;
 
+  // Kernel-memory quota for the VMM's protection domain (frames, donated
+  // from the root's account). The VM's domain is a pass-through child, so
+  // everything the kernel allocates on this VM's behalf — shadow page
+  // tables, UTCB/VMCS frames, capability-space chunks — charges against
+  // this bound. Unlimited by default.
+  std::uint64_t kmem_quota_frames = hv::KmemQuota::kUnlimited;
+
   // Restart path: back the guest with this exact (already-allocated) frame
   // range instead of allocating fresh RAM. Guest memory survives a VMM
   // crash — only the monitor is rebuilt around it.
@@ -99,7 +106,12 @@ class Vmm {
 
   // --- Control ----------------------------------------------------------
   // Start virtual CPU `i` at `entry` (creates its scheduling context).
-  void Start(std::uint64_t entry_rip, std::uint32_t vcpu = 0);
+  Status Start(std::uint64_t entry_rip, std::uint32_t vcpu = 0);
+
+  // First hypercall failure observed while building the VM, or kSuccess. A VMM
+  // whose construction ran out of kernel memory reports kNoMem here rather
+  // than limping along with half a VM.
+  Status create_status() const { return create_status_; }
 
   hw::GuestState& gstate(std::uint32_t vcpu = 0) { return vcpus_[vcpu]->gstate(); }
   hv::Ec* vcpu_ec(std::uint32_t vcpu = 0) { return vcpus_[vcpu]; }
@@ -137,6 +149,13 @@ class Vmm {
 
  private:
   void CreateVm();
+  // Latch the first hypercall failure during VM construction.
+  bool NoteStatus(Status s) {
+    if (Ok(create_status_) && !Ok(s)) {
+      create_status_ = s;
+    }
+    return Ok(s);
+  }
   void HandleExit(std::uint32_t vcpu, hv::Event event);
 
   // Exit handlers (operate on the handler EC's UTCB arch area).
@@ -202,6 +221,7 @@ class Vmm {
   std::uint64_t exits_handled_ = 0;
   std::uint64_t injected_ = 0;
 
+  Status create_status_ = Status::kSuccess;
   sim::FaultPlan* fault_plan_ = nullptr;
   bool crashed_ = false;
   std::uint64_t hb_count_ = 0;

@@ -296,6 +296,69 @@ TEST_F(VtlbVpidTest, VpidTurnsContextSwitchIntoTagSwitch) {
   EXPECT_NE(vcpu_->ctl().tag, vcpu_->ctl().base_tag);
 }
 
+// Instantiable variant of the cached-mode scaffold: quota-pressure tests
+// run the same ladder workload twice (unlimited, pinched) and compare.
+class VtlbPressureScenario : public VtlbCacheTest {
+ public:
+  VtlbPressureScenario() = default;
+  void TestBody() override {}
+
+  struct Result {
+    std::uint64_t a_val = 0;
+    std::uint64_t b_val = 0;
+    std::uint64_t fills = 0;
+    std::uint64_t pressure_evicts = 0;
+    std::uint64_t vm_errors = 0;
+    std::uint64_t used_end = 0;
+  };
+
+  // `limit_frames` == 0 runs with the VM's account pass-through
+  // (unlimited); otherwise the VM is pinched to that many frames before
+  // the guest starts.
+  Result Run(std::uint64_t limit_frames) {
+    hv_.set_vtlb_policy(VtlbPolicy{.cache_contexts = true});
+    BuildTwoAddressSpaces();
+    InstallSwitchProgram();
+    InstallHltPortal();
+    if (limit_frames != 0) {
+      vm_->kmem().SetLimit(limit_frames);
+    }
+    StartAndRun(/*steps=*/80);
+    Result r;
+    r.a_val = machine_.mem().Read64(GuestHpa(0x200000));
+    r.b_val = machine_.mem().Read64(GuestHpa(0x300000));
+    r.fills = hv_.EventCount("vTLB Fill");
+    r.pressure_evicts = hv_.EventCount("vTLB Pressure Evict");
+    r.vm_errors = hv_.EventCount("VM Error");
+    r.used_end = vm_->kmem().used();
+    return r;
+  }
+};
+
+TEST(VtlbPressure, QuotaPinchEvictsOwnContextsAndStillCompletes) {
+  // Reference run: unlimited quota, context cache on. Both dormant
+  // contexts stay resident; used_end is the VM's full appetite.
+  VtlbPressureScenario unlimited;
+  const auto clean = unlimited.Run(0);
+  ASSERT_EQ(clean.a_val, 0xcccu);
+  ASSERT_EQ(clean.b_val, 0xdddu);
+  ASSERT_EQ(clean.pressure_evicts, 0u);
+  ASSERT_EQ(clean.vm_errors, 0u);
+
+  // Pinched run: one frame short of the full appetite, so both shadow
+  // trees can never coexist. The vTLB must degrade gracefully — evict its
+  // own LRU dormant context, re-fill on revisit — and the guest's
+  // architectural results must be identical to the unlimited run.
+  VtlbPressureScenario pinched;
+  const auto r = pinched.Run(clean.used_end - 1);
+  EXPECT_EQ(r.a_val, 0xcccu);
+  EXPECT_EQ(r.b_val, 0xdddu);
+  EXPECT_EQ(r.vm_errors, 0u);           // Forward progress, never parked.
+  EXPECT_GE(r.pressure_evicts, 1u);     // Pressure actually hit.
+  EXPECT_GT(r.fills, clean.fills);      // Paid for in extra re-fills...
+  EXPECT_LT(r.used_end, clean.used_end);  // ...not in extra memory.
+}
+
 TEST_F(VtlbVpidTest, UntaggedPolicyStillFlushesHardwareTlb) {
   // Same hardware, VPID layer off: the context cache keeps the shadow
   // trees but each switch must flush the shared identity tag.

@@ -160,9 +160,19 @@ struct FaultCycleResult {
   std::uint64_t recoveries = 0;
   std::uint64_t frames_end = 0;
   std::vector<std::uint64_t> frames_after_restart;
+  // Kernel-memory quota balance: the root's donatable limit before the
+  // VMM exists, after every kill/restart cycle, and at the end.
+  std::uint64_t root_limit_start = 0;
+  std::uint64_t root_limit_end = 0;
+  std::vector<std::uint64_t> root_limit_after_restart;
+  std::uint64_t vmm_used_end = 0;
+  std::uint64_t vmm_limit_end = 0;
 };
 
 constexpr std::uint64_t kCycleRequests = 120;
+// Every VMM in the sweep runs under a bounded kernel-memory quota, so the
+// kill/restart cycles also exercise donation return on teardown.
+constexpr std::uint64_t kVmmQuotaFrames = 512;
 
 FaultCycleResult RunFaultCycles(std::uint64_t seed, std::uint64_t crashes) {
   root::SystemConfig sc;
@@ -189,6 +199,9 @@ FaultCycleResult RunFaultCycles(std::uint64_t seed, std::uint64_t crashes) {
   ca.name = "a";
   ca.guest_mem_bytes = 32ull << 20;
   ca.first_cpu = 0;
+  ca.kmem_quota_frames = kVmmQuotaFrames;
+  FaultCycleResult r;
+  r.root_limit_start = system.hv.root_pd()->kmem().limit();
   auto vm_a = std::make_unique<vmm::Vmm>(&system.hv, system.root.get(), ca);
   vm_a->SetFaultPlan(&plan);
   vm_a->ConnectDiskServer(&server);
@@ -229,7 +242,6 @@ FaultCycleResult RunFaultCycles(std::uint64_t seed, std::uint64_t crashes) {
   supc.stale_checks = 2;
   root::VmmSupervisor supervisor(&system.hv, system.root.get(), supc);
 
-  FaultCycleResult r;
   std::function<void(const root::VmmSupervisor::RecoveryInfo&)> restart;
   restart = [&](const root::VmmSupervisor::RecoveryInfo& info) {
     server.CloseChannel(vm_a->disk_channel_id());
@@ -245,6 +257,7 @@ FaultCycleResult RunFaultCycles(std::uint64_t seed, std::uint64_t crashes) {
     vm_a->vahci().InjectAbort(driver.issued_mask());
     supervisor.Watch(vm_a.get(), restart);
     r.frames_after_restart.push_back(system.hv.FramesInUse());
+    r.root_limit_after_restart.push_back(system.hv.root_pd()->kmem().limit());
   };
   supervisor.Watch(vm_a.get(), restart);
 
@@ -255,6 +268,9 @@ FaultCycleResult RunFaultCycles(std::uint64_t seed, std::uint64_t crashes) {
   r.completed = workload.completed();
   r.recoveries = supervisor.recoveries();
   r.frames_end = system.hv.FramesInUse();
+  r.root_limit_end = system.hv.root_pd()->kmem().limit();
+  r.vmm_used_end = vm_a->vmm_pd()->kmem().used();
+  r.vmm_limit_end = vm_a->vmm_pd()->kmem().limit();
   return r;
 }
 
@@ -280,6 +296,19 @@ TEST_P(FaultScheduleProperty, FramePoolBalancesAfterEveryKillRestartCycle) {
     EXPECT_EQ(frames, faulted.frames_after_restart.front());
   }
   EXPECT_EQ(faulted.frames_end, clean.frames_end);
+
+  // The quota ledger balances the same way: each dead VMM returned its
+  // full donation to the root before the replacement took it back, so
+  // the root's donatable limit is identical after every cycle and equals
+  // the clean run's. The live VMM never exceeds its bound.
+  ASSERT_EQ(faulted.root_limit_after_restart.size(), crashes);
+  for (const std::uint64_t limit : faulted.root_limit_after_restart) {
+    EXPECT_EQ(limit, faulted.root_limit_start - kVmmQuotaFrames);
+  }
+  EXPECT_EQ(faulted.root_limit_end, clean.root_limit_end);
+  EXPECT_EQ(faulted.root_limit_end, faulted.root_limit_start - kVmmQuotaFrames);
+  EXPECT_EQ(faulted.vmm_limit_end, kVmmQuotaFrames);
+  EXPECT_LE(faulted.vmm_used_end, faulted.vmm_limit_end);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultScheduleProperty,

@@ -1,5 +1,7 @@
 #include "bench/common.h"
 
+#include <cstring>
+
 namespace nova::bench {
 namespace {
 
@@ -114,6 +116,16 @@ RunResult RunVirtualized(const RunConfig& config) {
   hw::Cpu& cpu = system.machine.cpu(0);
   cpu.ResetUtilization();
   system.hv.stats().ResetAll();
+  // Tracing starts exactly where the counters reset so the folded trace
+  // attribution and the counter table describe the same window. The tracer
+  // charges no cycles, so traced and untraced runs are timing-identical.
+  sim::Tracer& tracer = system.machine.tracer();
+  sim::TraceReport report;
+  if (config.trace) {
+    tracer.Reset();
+    tracer.set_sink(&report);
+    tracer.set_enabled(true);
+  }
   const sim::PicoSeconds t0 = cpu.NowPs();
   system.hv.RunUntilCondition([&workload] { return workload.done(); }, kDeadline);
 
@@ -128,10 +140,35 @@ RunResult RunVirtualized(const RunConfig& config) {
   }
   result.stats.counter("disk-reads").Add(workload.disk_reads());
   result.stats.counter("Injected vIRQ").Add(vm.interrupts_injected());
+  if (config.trace) {
+    tracer.set_enabled(false);
+    report.FoldRemaining(tracer);
+    result.trace_digest = tracer.digest();
+    result.trace_rows = report.Rows(tracer);
+    if (!config.trace_json.empty()) {
+      tracer.WriteChromeJsonFile(config.trace_json);
+    }
+    tracer.set_sink(nullptr);
+  }
   return result;
 }
 
 }  // namespace
+
+BenchOptions ParseBenchArgs(int argc, char** argv) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--smoke") == 0) {
+      opts.smoke = true;
+    } else if (std::strncmp(arg, "--trace-json=", 13) == 0) {
+      opts.trace_json = arg + 13;
+    } else if (std::strcmp(arg, "--trace-json") == 0 && i + 1 < argc) {
+      opts.trace_json = argv[++i];
+    }
+  }
+  return opts;
+}
 
 RunResult RunCompile(const RunConfig& config) {
   if (config.stack == StackKind::kNative) {

@@ -3,8 +3,10 @@
 #ifndef BENCH_COMMON_H_
 #define BENCH_COMMON_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 
@@ -14,9 +16,23 @@
 #include "src/guest/kernel.h"
 #include "src/guest/workload_compile.h"
 #include "src/root/system.h"
+#include "src/sim/trace.h"
 #include "src/vmm/vmm.h"
 
 namespace nova::bench {
+
+// Command-line options shared by all benchmark binaries.
+//   --smoke            scale workloads down for fast schema-validation runs
+//   --trace-json=FILE  dump the structured trace (Chrome trace_event JSON,
+//                      loadable in Perfetto) of the last traced run to FILE
+struct BenchOptions {
+  bool smoke = false;
+  std::string trace_json;
+};
+
+// Parses argv; unknown arguments are ignored so existing invocations keep
+// working unchanged.
+BenchOptions ParseBenchArgs(int argc, char** argv);
 
 // How a guest runs: the bars of Figure 5.
 enum class StackKind {
@@ -35,6 +51,8 @@ struct RunConfig {
   hv::VtlbPolicy vtlb{};  // Shadow-paging ladder (mode == kShadow only).
   guest::CompileWorkload::Config workload{};
   std::uint32_t timer_hz = 250;
+  bool trace = false;          // Record a structured trace of the run.
+  std::string trace_json;      // If set (and trace), dump Chrome JSON here.
 };
 
 struct RunResult {
@@ -43,6 +61,10 @@ struct RunResult {
   std::uint64_t exits = 0;     // VM exits dispatched to user level.
   sim::StatRegistry stats;     // Hypervisor event counters (Table 2).
   std::uint64_t guest_insns = 0;
+  // Filled only when RunConfig::trace is set: the deterministic FNV-1a
+  // digest of the full event stream and the per-name folded attribution.
+  std::uint64_t trace_digest = 0;
+  std::map<std::string, sim::TraceReport::Entry> trace_rows;
 };
 
 // Run the kernel-compile workload under `config`; returns the timing.

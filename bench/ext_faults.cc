@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "bench/common.h"
 #include "src/guest/workload_disk.h"
@@ -114,7 +115,8 @@ struct RecoveryResult {
   double total_ms = 0;
 };
 
-RecoveryResult RunCrashRecovery(sim::PicoSeconds check_period_ps, bool crash) {
+RecoveryResult RunCrashRecovery(sim::PicoSeconds check_period_ps, bool crash,
+                                std::uint64_t requests) {
   root::SystemConfig sc;
   sc.machine =
       hw::MachineConfig{.cpus = {&hw::CoreI7_920()}, .ram_size = 512ull << 20};
@@ -162,7 +164,8 @@ RecoveryResult RunCrashRecovery(sim::PicoSeconds check_period_ps, bool crash) {
                }});
   guest::DiskWorkload workload(
       &gk, &driver,
-      guest::DiskWorkload::Config{.block_bytes = kBlock, .total_requests = 150});
+      guest::DiskWorkload::Config{.block_bytes = kBlock,
+                                  .total_requests = requests});
   gk.EmitBoot(workload.EmitMain());
   gk.Install();
   gk.PrimeState(vm->gstate());
@@ -196,12 +199,14 @@ RecoveryResult RunCrashRecovery(sim::PicoSeconds check_period_ps, bool crash) {
   return r;
 }
 
-void Run() {
+void Run(const BenchOptions& opts) {
+  const std::uint64_t disk_requests = opts.smoke ? 60 : 500;
+  const std::uint64_t recovery_requests = opts.smoke ? 40 : 150;
   PrintHeader("Extension: disk throughput under injected media-error rates");
   std::printf("%-10s | %10s %10s %10s %10s %10s\n", "error rate", "req/s",
               "util[%]", "injected", "srv-retry", "drv-retry");
   for (const double rate : {0.0, 1e-3, 1e-2, 5e-2}) {
-    const FaultDiskResult r = RunDiskWithErrorRate(rate, /*requests=*/500);
+    const FaultDiskResult r = RunDiskWithErrorRate(rate, disk_requests);
     std::printf("%-10g | %10.0f %10.2f %10llu %10llu %10llu\n", rate,
                 r.requests_per_s, r.utilization * 100,
                 static_cast<unsigned long long>(r.injected),
@@ -210,13 +215,17 @@ void Run() {
   }
 
   PrintHeader("Extension: VMM crash recovery vs supervisor check period");
-  const RecoveryResult clean = RunCrashRecovery(sim::Microseconds(200), false);
+  const RecoveryResult clean =
+      RunCrashRecovery(sim::Microseconds(200), false, recovery_requests);
   std::printf("fault-free workload time: %.3f ms\n\n", clean.total_ms);
   std::printf("%-12s | %12s %12s %12s\n", "period[us]", "detect[us]",
               "total[ms]", "overhead[ms]");
-  for (const std::uint64_t period_us : {100ull, 200ull, 500ull, 1000ull, 2000ull}) {
-    const RecoveryResult r =
-        RunCrashRecovery(sim::Microseconds(period_us), /*crash=*/true);
+  const std::vector<std::uint64_t> periods =
+      opts.smoke ? std::vector<std::uint64_t>{200, 1000}
+                 : std::vector<std::uint64_t>{100, 200, 500, 1000, 2000};
+  for (const std::uint64_t period_us : periods) {
+    const RecoveryResult r = RunCrashRecovery(sim::Microseconds(period_us),
+                                              /*crash=*/true, recovery_requests);
     std::printf("%-12llu | %12.0f %12.3f %12.3f%s\n",
                 static_cast<unsigned long long>(period_us), r.detect_us,
                 r.total_ms, r.total_ms - clean.total_ms,
@@ -232,7 +241,7 @@ void Run() {
 }  // namespace
 }  // namespace nova::bench
 
-int main() {
-  nova::bench::Run();
+int main(int argc, char** argv) {
+  nova::bench::Run(nova::bench::ParseBenchArgs(argc, argv));
   return 0;
 }

@@ -22,11 +22,11 @@ constexpr std::uint64_t kGuestMem = 32ull << 20;
 
 // Many processes, a context switch every unit, constant address-space
 // recycling: maximal shadow-table churn per unit of useful work.
-guest::CompileWorkload::Config ThrashWorkload() {
+guest::CompileWorkload::Config ThrashWorkload(bool smoke) {
   guest::CompileWorkload::Config w;
   w.processes = 6;
   w.ws_pages = 16;
-  w.total_units = 2000;
+  w.total_units = smoke ? 300 : 2000;
   w.compute_cycles = 2000;
   w.mem_bursts = 2;
   w.switch_every = 1;
@@ -48,7 +48,7 @@ struct KmemResult {
   std::uint64_t boot_used = 0;
 };
 
-KmemResult RunWithQuota(std::uint64_t quota_frames) {
+KmemResult RunWithQuota(std::uint64_t quota_frames, bool smoke) {
   root::SystemConfig sc;
   sc.machine =
       hw::MachineConfig{.cpus = {&hw::CoreI7_920()}, .ram_size = 512ull << 20};
@@ -69,7 +69,7 @@ KmemResult RunWithQuota(std::uint64_t quota_frames) {
       [&vm](std::uint64_t gpa) { return vm.GpaToHpa(gpa); }, &mux,
       guest::GuestKernelConfig{.mem_bytes = kGuestMem});
   gk.BuildStandardHandlers();
-  guest::CompileWorkload workload(&gk, nullptr, ThrashWorkload());
+  guest::CompileWorkload workload(&gk, nullptr, ThrashWorkload(smoke));
   gk.EmitBoot(workload.EmitMain());
   gk.Install();
   gk.PrimeState(vm.gstate());
@@ -94,12 +94,12 @@ KmemResult RunWithQuota(std::uint64_t quota_frames) {
   return r;
 }
 
-void Run() {
+void Run(const BenchOptions& opts) {
   PrintHeader("Extension: shadow-paging throughput vs kernel-memory quota");
 
   // Unlimited reference: how much kernel memory the workload wants when
   // nothing pinches, and the throughput ceiling.
-  const KmemResult free_run = RunWithQuota(hv::KmemQuota::kUnlimited);
+  const KmemResult free_run = RunWithQuota(hv::KmemQuota::kUnlimited, opts.smoke);
   const std::uint64_t appetite = free_run.used_end - free_run.boot_used;
   std::printf("construction baseline: %llu frames; workload appetite: +%llu "
               "frames; unlimited run: %.3f ms\n\n",
@@ -128,7 +128,7 @@ void Run() {
     char label[32];
     std::snprintf(label, sizeof label, "boot+%llu",
                   static_cast<unsigned long long>(spare));
-    row(label, RunWithQuota(quota));
+    row(label, RunWithQuota(quota, opts.smoke));
   }
 
   std::printf(
@@ -144,7 +144,7 @@ void Run() {
 }  // namespace
 }  // namespace nova::bench
 
-int main() {
-  nova::bench::Run();
+int main(int argc, char** argv) {
+  nova::bench::Run(nova::bench::ParseBenchArgs(argc, argv));
   return 0;
 }

@@ -13,9 +13,12 @@ namespace nova::bench {
 namespace {
 
 constexpr int kMessageLen = 64;
-constexpr int kRepeats = 200;
+
+// Set by --smoke: fewer repeats per path.
+int g_repeats = 200;
 
 double RunConsole(bool paravirt, std::uint64_t* exits_out) {
+  const int kRepeats = g_repeats;
   root::SystemConfig sc;
   sc.machine = hw::MachineConfig{.cpus = {&hw::CoreI7_920()}, .ram_size = 512ull << 20};
   root::NovaSystem system(sc);
@@ -64,7 +67,10 @@ double RunConsole(bool paravirt, std::uint64_t* exits_out) {
          (kRepeats * kMessageLen);
 }
 
-void Run() {
+void Run(const BenchOptions& opts) {
+  if (opts.smoke) {
+    g_repeats = 10;
+  }
   PrintHeader("Extension: paravirtualized console (enlightened guest, §4)");
   std::uint64_t pio_exits = 0;
   std::uint64_t pv_exits = 0;
@@ -83,7 +89,7 @@ void Run() {
 }  // namespace
 }  // namespace nova::bench
 
-int main() {
-  nova::bench::Run();
+int main(int argc, char** argv) {
+  nova::bench::Run(nova::bench::ParseBenchArgs(argc, argv));
   return 0;
 }

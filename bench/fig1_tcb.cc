@@ -4,7 +4,11 @@
 
 #include "src/baseline/tcb_data.h"
 
-int main() {
+// Accepts --smoke for uniformity with the other benchmarks; the figure is
+// a static table, so the flag changes nothing.
+int main(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
   std::printf("\n=== Figure 1: TCB size of virtual environments (KLOC) ===\n");
   std::printf("%-10s %8s %12s   components\n", "system", "total", "privileged");
   for (const auto& stack : nova::baseline::Figure1Stacks()) {

@@ -17,11 +17,15 @@ struct DiskRunResult {
   std::uint64_t pio_exits = 0;
 };
 
+// Set by --smoke: shorter sweep, fewer requests per point.
+bool g_smoke = false;
+
 std::uint64_t RequestsFor(std::uint32_t block) {
   // Enough requests to measure a stable rate without long runtimes.
   const double rate = std::min(8333.0, 67e6 / block);
   const auto n = static_cast<std::uint64_t>(rate * 0.25);
-  return std::max<std::uint64_t>(n, 200);
+  const std::uint64_t full = std::max<std::uint64_t>(n, 200);
+  return g_smoke ? std::min<std::uint64_t>(full, 50) : full;
 }
 
 DiskRunResult RunNativeDisk(std::uint32_t block) {
@@ -130,14 +134,17 @@ DiskRunResult RunVmDisk(std::uint32_t block, bool direct) {
   return r;
 }
 
-void Run() {
+void Run(const BenchOptions& opts) {
+  g_smoke = opts.smoke;
   PrintHeader("Figure 6: sequential disk reads, CPU utilization vs block size");
   std::printf("%-8s | %-22s | %-22s | %-22s\n", "", "Native", "Direct (IOMMU)",
               "Virtualized vAHCI");
   std::printf("%-8s | %10s %10s | %10s %10s | %10s %10s %6s\n", "block",
               "util[%]", "req/s", "util[%]", "req/s", "util[%]", "req/s",
               "mmio/rq");
-  for (std::uint32_t block = 512; block <= 65536; block *= 2) {
+  const std::uint32_t max_block = g_smoke ? 4096 : 65536;
+  const std::uint32_t step = g_smoke ? 8 : 2;
+  for (std::uint32_t block = 512; block <= max_block; block *= step) {
     const DiskRunResult native = RunNativeDisk(block);
     const DiskRunResult direct = RunVmDisk(block, /*direct=*/true);
     const DiskRunResult virt = RunVmDisk(block, /*direct=*/false);
@@ -158,7 +165,7 @@ void Run() {
 }  // namespace
 }  // namespace nova::bench
 
-int main() {
-  nova::bench::Run();
+int main(int argc, char** argv) {
+  nova::bench::Run(nova::bench::ParseBenchArgs(argc, argv));
   return 0;
 }

@@ -14,6 +14,10 @@ namespace {
 constexpr sim::PicoSeconds kWarmup = sim::Milliseconds(5);
 constexpr sim::PicoSeconds kMeasure = sim::Milliseconds(60);
 
+// Set by --smoke: shorter measurement window, truncated bandwidth sweep.
+sim::PicoSeconds g_measure = kMeasure;
+double g_max_mbit = 1024;
+
 struct NetRunResult {
   double utilization = 0;
   double packets_per_s = 0;
@@ -48,7 +52,7 @@ NetRunResult RunNativeNet(double mbit, std::uint32_t packet_bytes) {
   cpu.ResetUtilization();
   const std::uint64_t p0 = workload.packets();
   const sim::PicoSeconds t0 = cpu.NowPs();
-  runner.RunUntil([] { return false; }, t0 + kMeasure);
+  runner.RunUntil([] { return false; }, t0 + g_measure);
   platform.link->Stop();
 
   NetRunResult r;
@@ -92,7 +96,7 @@ NetRunResult RunDirectNet(double mbit, std::uint32_t packet_bytes) {
   cpu.ResetUtilization();
   const std::uint64_t p0 = workload.packets();
   const sim::PicoSeconds t0 = cpu.NowPs();
-  system.hv.RunUntilCondition([] { return false; }, t0 + kMeasure);
+  system.hv.RunUntilCondition([] { return false; }, t0 + g_measure);
   system.platform.link->Stop();
 
   NetRunResult r;
@@ -103,14 +107,18 @@ NetRunResult RunDirectNet(double mbit, std::uint32_t packet_bytes) {
   return r;
 }
 
-void Run() {
+void Run(const BenchOptions& opts) {
+  if (opts.smoke) {
+    g_measure = sim::Milliseconds(10);
+    g_max_mbit = 16;
+  }
   PrintHeader("Figure 7: UDP receive, CPU utilization vs bandwidth");
   const std::uint32_t sizes[] = {64, 1472, 9188};
   for (const std::uint32_t size : sizes) {
     std::printf("\n-- packet size %u bytes --\n", size);
     std::printf("%10s %14s %14s %14s %14s\n", "MBit/s", "native util[%]",
                 "direct util[%]", "native kpps", "direct kpps");
-    for (double mbit = 2; mbit <= 1024; mbit *= 2) {
+    for (double mbit = 2; mbit <= g_max_mbit; mbit *= 2) {
       // Skip configurations beyond the wire's packet capacity.
       if (mbit * 1e6 / (size * 8.0) > 2.2e6) {
         continue;
@@ -131,7 +139,7 @@ void Run() {
 }  // namespace
 }  // namespace nova::bench
 
-int main() {
-  nova::bench::Run();
+int main(int argc, char** argv) {
+  nova::bench::Run(nova::bench::ParseBenchArgs(argc, argv));
   return 0;
 }

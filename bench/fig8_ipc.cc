@@ -11,6 +11,9 @@
 namespace nova::bench {
 namespace {
 
+// Set by --smoke: fewer iterations per measurement.
+int g_iterations = 1000;
+
 struct IpcCost {
   double entry_exit = 0;
   double ipc_path = 0;
@@ -37,16 +40,16 @@ IpcCost MeasureIpc(const hw::CpuModel* model, bool cross_as, int words) {
   hv::Ec* client = nullptr;
   hv.CreateEcGlobal(root, 112, 101, 0, [] {}, &client);
 
-  constexpr int kIterations = 1000;
+  const int iterations = g_iterations;
   client->utcb().untyped = words;
   // Warm up once.
   hv.Call(client, 50);
   const sim::Cycles before = machine.cpu(0).cycles();
-  for (int i = 0; i < kIterations; ++i) {
+  for (int i = 0; i < iterations; ++i) {
     hv.Call(client, 50);
   }
   const double per_call =
-      static_cast<double>(machine.cpu(0).cycles() - before) / kIterations;
+      static_cast<double>(machine.cpu(0).cycles() - before) / iterations;
 
   IpcCost cost;
   // One call/reply comprises one kernel entry + exit; the rest is the IPC
@@ -64,7 +67,10 @@ IpcCost MeasureIpc(const hw::CpuModel* model, bool cross_as, int words) {
   return cost;
 }
 
-void Run() {
+void Run(const BenchOptions& opts) {
+  if (opts.smoke) {
+    g_iterations = 50;
+  }
   PrintHeader("Figure 8: IPC microbenchmark (cycles; one call+reply)");
   std::printf("%-12s | %-34s | %-44s\n", "", "same address space",
               "cross address space");
@@ -103,7 +109,7 @@ void Run() {
 }  // namespace
 }  // namespace nova::bench
 
-int main() {
-  nova::bench::Run();
+int main(int argc, char** argv) {
+  nova::bench::Run(nova::bench::ParseBenchArgs(argc, argv));
   return 0;
 }

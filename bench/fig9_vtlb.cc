@@ -18,6 +18,10 @@
 namespace nova::bench {
 namespace {
 
+// Set by --smoke: fewer pages in the miss loop, fewer ladder repeats.
+int g_pages = 4096;
+int g_repeat = 32;
+
 struct VtlbCost {
   double exit_resume = 0;
   double vmread = 0;
@@ -49,7 +53,7 @@ VtlbCost MeasureVtlbMiss(const hw::CpuModel* model) {
 
   // Guest page table: code identity plus a large data region, pre-mapped
   // and pre-dirtied so every access is a pure vTLB fill (no guest faults).
-  constexpr int kPages = 4096;
+  const int kPages = g_pages;
   gpt.Map(0x100000, 0x1000, 0x1000, hw::kPageSize, hw::pte::kWritable);
   for (int i = 0; i < kPages; ++i) {
     gpt.Map(0x100000, 0x400000 + i * hw::kPageSize, 0x400000 + i * hw::kPageSize,
@@ -209,7 +213,7 @@ void RunLadder() {
                                                    &hw::CoreI7_920()};
 
   constexpr int kWarm = 1;
-  constexpr int kRepeat = 32;
+  const int kRepeat = g_repeat;
   for (const hw::CpuModel* model : models) {
     for (const Rung& rung : rungs) {
       if (rung.policy.use_vpid && !model->has_guest_tlb_tags) {
@@ -238,7 +242,11 @@ void RunLadder() {
       "warm across the switch (hw-flush/pass -> 0 on tagged parts).\n");
 }
 
-void Run() {
+void Run(const BenchOptions& opts) {
+  if (opts.smoke) {
+    g_pages = 256;
+    g_repeat = 4;
+  }
   PrintHeader("Figure 9: vTLB miss microbenchmark (cycles per miss)");
   std::printf("%-12s %12s %10s %10s %10s %10s\n", "CPU", "exit+resume",
               "6xVMREAD", "vTLB fill", "total", "ns");
@@ -259,8 +267,9 @@ void Run() {
 }  // namespace
 }  // namespace nova::bench
 
-int main() {
-  nova::bench::Run();
+int main(int argc, char** argv) {
+  const nova::bench::BenchOptions opts = nova::bench::ParseBenchArgs(argc, argv);
+  nova::bench::Run(opts);
   nova::bench::RunLadder();
   return 0;
 }

@@ -1,7 +1,13 @@
 // Table 2: distribution of virtualization events — kernel compilation
 // under nested paging (EPT) and shadow paging (vTLB), plus the 4 KiB disk
 // benchmark. Also prints the §8.5 average VM-exit cost breakdown.
+//
+// The printed event counts are derived from the structured trace (the
+// TraceReport folding pass), not read off the counter registry. The
+// counters are kept as an independent tally and the two are cross-checked
+// row by row before anything is printed; a mismatch aborts the benchmark.
 #include <cstdio>
+#include <cstdlib>
 #include <algorithm>
 #include <vector>
 
@@ -18,11 +24,11 @@ const char* kRows[] = {
     "Recall",           "CPUID",
 };
 
-guest::CompileWorkload::Config Tab2Workload() {
+guest::CompileWorkload::Config Tab2Workload(bool smoke) {
   guest::CompileWorkload::Config w;
   w.processes = 4;
   w.ws_pages = 192;
-  w.total_units = 40000;  // Longer run for stable event statistics.
+  w.total_units = smoke ? 800 : 40000;  // Longer run for stable statistics.
   w.compute_cycles = 30000;
   w.mem_bursts = 6;
   w.fresh_prob = 0.04;
@@ -31,8 +37,36 @@ guest::CompileWorkload::Config Tab2Workload() {
   return w;
 }
 
+// Trace-derived event count for one Table 2 row.
+std::uint64_t TraceValue(const RunResult& r, const char* row) {
+  const auto it = r.trace_rows.find(row);
+  return it == r.trace_rows.end() ? 0 : it->second.count;
+}
+
+// Every printed row must be backed by an identical counter value; the
+// trace and the counters are maintained at the same call sites, so any
+// divergence means an instrumentation bug.
+void CheckTraceAgreesWithCounters(const char* label, const RunResult& r) {
+  bool ok = true;
+  for (const char* row : kRows) {
+    const std::uint64_t traced = TraceValue(r, row);
+    const std::uint64_t counted = r.stats.Value(row);
+    if (traced != counted) {
+      std::fprintf(stderr,
+                   "tab2: %s: trace/counter mismatch for '%s': "
+                   "trace=%llu counter=%llu\n",
+                   label, row, static_cast<unsigned long long>(traced),
+                   static_cast<unsigned long long>(counted));
+      ok = false;
+    }
+  }
+  if (!ok) {
+    std::exit(1);
+  }
+}
+
 // Cycles per VM exit for one exit-causing opcode, measured in isolation.
-double MeasureExitCost(hw::isa::Opcode opcode) {
+double MeasureExitCost(hw::isa::Opcode opcode, std::uint64_t iters) {
   root::SystemConfig sc;
   sc.machine = hw::MachineConfig{.cpus = {&hw::CoreI7_920()}, .ram_size = 512ull << 20};
   root::NovaSystem system(sc);
@@ -52,10 +86,9 @@ double MeasureExitCost(hw::isa::Opcode opcode) {
     gk.MapDevice(gk.kernel_cr3(), vmm::vahci::kMmioBase, hw::kPageSize);
   }
 
-  constexpr std::uint64_t kIters = 2000;
   hw::isa::Assembler& as = gk.text();
   const std::uint64_t main = as.Here();
-  as.MovImm(5, kIters);  // r5: CPUID/emulation clobber r0-r3.
+  as.MovImm(5, iters);  // r5: CPUID/emulation clobber r0-r3.
   std::uint64_t top = 0;
   switch (opcode) {
     case hw::isa::Opcode::kOut:
@@ -81,10 +114,10 @@ double MeasureExitCost(hw::isa::Opcode opcode) {
   system.hv.RunUntilCondition([&gs] { return gs.halted; }, sim::Seconds(30));
   const sim::Cycles total = system.machine.cpu(0).cycles() - before;
   // Subtract the loop's own work (~2 instructions/iteration).
-  return static_cast<double>(total) / kIters;
+  return static_cast<double>(total) / static_cast<double>(iters);
 }
 
-RunResult RunDisk4k() {
+RunResult RunDisk4k(bool smoke) {
   // The disk column: the 4 KiB virtualized-AHCI benchmark.
   root::SystemConfig sc;
   sc.machine = hw::MachineConfig{.cpus = {&hw::CoreI7_920()}, .ram_size = 512ull << 20};
@@ -109,15 +142,21 @@ RunResult RunDisk4k() {
                  return static_cast<std::uint32_t>(vm.vahci().MmioRead(
                      vmm::vahci::kMmioBase + hw::ahci::kPxCi, 4));
                }});
-  guest::DiskWorkload workload(&gk, &driver,
-                               guest::DiskWorkload::Config{.block_bytes = 4096,
-                                                           .total_requests = 2000});
+  guest::DiskWorkload workload(
+      &gk, &driver,
+      guest::DiskWorkload::Config{.block_bytes = 4096,
+                                  .total_requests = smoke ? 100u : 2000u});
   gk.EmitBoot(workload.EmitMain());
   gk.Install();
   gk.PrimeState(vm.gstate());
   vm.Start(vm.gstate().rip);
 
   system.hv.stats().ResetAll();
+  sim::Tracer& tracer = system.machine.tracer();
+  sim::TraceReport report;
+  tracer.Reset();
+  tracer.set_sink(&report);
+  tracer.set_enabled(true);
   const sim::PicoSeconds t0 = system.machine.cpu(0).NowPs();
   system.hv.RunUntilCondition([&workload] { return workload.done(); },
                               sim::Seconds(60));
@@ -126,33 +165,47 @@ RunResult RunDisk4k() {
   for (const auto& [name, counter] : system.hv.stats().counters()) {
     r.stats.counter(name).Add(counter.value());
   }
+  tracer.set_enabled(false);
+  report.FoldRemaining(tracer);
+  r.trace_digest = tracer.digest();
+  r.trace_rows = report.Rows(tracer);
+  tracer.set_sink(nullptr);
   r.stats.counter("Disk Operations").Add(workload.completed());
   r.stats.counter("Injected vIRQ").Add(vm.interrupts_injected());
   r.exits = vm.exits_handled();
   return r;
 }
 
-void Run() {
+void Run(const BenchOptions& opts) {
   PrintHeader("Table 2: distribution of virtualization events");
 
   RunConfig ept;
   ept.label = "EPT";
   ept.stack = StackKind::kNova;
-  ept.workload = Tab2Workload();
+  ept.workload = Tab2Workload(opts.smoke);
+  ept.trace = true;
+  ept.trace_json = opts.trace_json;
   RunConfig vtlb = ept;
   vtlb.label = "vTLB";
   vtlb.mode = hw::TranslationMode::kShadow;
+  vtlb.trace_json.clear();  // --trace-json dumps the EPT run.
 
   const RunResult ept_r = RunCompile(ept);
   const RunResult vtlb_r = RunCompile(vtlb);
-  const RunResult disk_r = RunDisk4k();
+  const RunResult disk_r = RunDisk4k(opts.smoke);
+
+  // The table below is printed from the trace; fail loudly first if the
+  // folded trace disagrees with the independent counter tally anywhere.
+  CheckTraceAgreesWithCounters("EPT", ept_r);
+  CheckTraceAgreesWithCounters("vTLB", vtlb_r);
+  CheckTraceAgreesWithCounters("Disk 4k", disk_r);
 
   std::printf("%-22s %14s %14s %14s\n", "Event", "EPT", "vTLB", "Disk 4k");
   for (const char* row : kRows) {
     std::printf("%-22s %14llu %14llu %14llu\n", row,
-                static_cast<unsigned long long>(ept_r.stats.Value(row)),
-                static_cast<unsigned long long>(vtlb_r.stats.Value(row)),
-                static_cast<unsigned long long>(disk_r.stats.Value(row)));
+                static_cast<unsigned long long>(TraceValue(ept_r, row)),
+                static_cast<unsigned long long>(TraceValue(vtlb_r, row)),
+                static_cast<unsigned long long>(TraceValue(disk_r, row)));
   }
   std::printf("%-22s %14llu %14llu %14llu\n", "Injected vIRQ",
               static_cast<unsigned long long>(ept_r.stats.Value("Injected vIRQ")),
@@ -167,9 +220,10 @@ void Run() {
 
   // §8.5: average cost of a user-level VM exit, measured with dedicated
   // exit micro-loops and weighted by the EPT column's event mix.
-  const double pio_cost = MeasureExitCost(hw::isa::Opcode::kOut);
-  const double cpuid_cost = MeasureExitCost(hw::isa::Opcode::kCpuid);
-  const double mmio_cost = MeasureExitCost(hw::isa::Opcode::kLoad);
+  const std::uint64_t iters = opts.smoke ? 200 : 2000;
+  const double pio_cost = MeasureExitCost(hw::isa::Opcode::kOut, iters);
+  const double cpuid_cost = MeasureExitCost(hw::isa::Opcode::kCpuid, iters);
+  const double mmio_cost = MeasureExitCost(hw::isa::Opcode::kLoad, iters);
   const double pio_n = static_cast<double>(ept_r.stats.Value("Port I/O"));
   const double mmio_n = static_cast<double>(ept_r.stats.Value("Memory-Mapped I/O"));
   const double other_n = static_cast<double>(ept_r.exits) - pio_n - mmio_n;
@@ -202,7 +256,7 @@ void Run() {
 }  // namespace
 }  // namespace nova::bench
 
-int main() {
-  nova::bench::Run();
+int main(int argc, char** argv) {
+  nova::bench::Run(nova::bench::ParseBenchArgs(argc, argv));
   return 0;
 }

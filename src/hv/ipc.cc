@@ -99,6 +99,14 @@ Status Hypervisor::DoCall(Ec* caller_ec, Pt* portal) {
   const bool cross_as = &handler.pd() != &caller_ec->pd();
   const hw::CpuModel& model = cpu(cpu_id).model();
 
+  // "IPC Call" span: portal traversal through reply, ended on every exit
+  // path (including typed-item transfer errors) by the scope guard.
+  sim::ScopedSpan ipc_span(
+      tracer_, sim::TraceCat::kIpc, trc_.ipc_call,
+      static_cast<std::uint8_t>(cpu_id),
+      [this, cpu_id] { return cpu(cpu_id).NowPs(); }, portal->id(),
+      cross_as ? 1 : 0);
+
   // Portal traversal + switch to the handler, donating the caller's SC.
   Charge(cpu_id, costs_.portal_traversal + costs_.context_switch);
   if (cross_as) {

@@ -29,6 +29,32 @@ int FieldCount(Mtd m) {
 
 }  // namespace mtd
 
+Hypervisor::HotTraceIds::HotTraceIds(sim::Tracer& t)
+    : hlt(t.Intern("HLT")),
+      hw_intr(t.Intern("Hardware Interrupts")),
+      recall(t.Intern("Recall")),
+      vtlb_fill(t.Intern("vTLB Fill")),
+      guest_pf(t.Intern("Guest Page Fault")),
+      mmio(t.Intern("Memory-Mapped I/O")),
+      pio(t.Intern("Port I/O")),
+      cpuid(t.Intern("CPUID")),
+      mov_cr(t.Intern("CR Read/Write")),
+      invlpg(t.Intern("INVLPG")),
+      intr_window(t.Intern("Interrupt Window")),
+      vmcall(t.Intern("VMCALL")),
+      vm_error(t.Intern("VM Error")),
+      ipc_call(t.Intern("IPC Call")),
+      vm_event(t.Intern("VM Event IPC")),
+      sched_dispatch(t.Intern("Sched Dispatch")),
+      sched_preempt(t.Intern("Sched Preempt")),
+      gsi_delivered(t.Intern("GSI Delivered")),
+      vtlb_resolve(t.Intern("vTLB Resolve")) {
+  for (int i = 0; i < hw::kNumExitReasons; ++i) {
+    exit[i] = t.Intern(std::string("exit:") +
+                       hw::ExitReasonName(static_cast<hw::ExitReason>(i)));
+  }
+}
+
 Hypervisor::Hypervisor(hw::Machine* machine, HvCosts costs)
     : machine_(machine), costs_(costs) {
   host_paging_mode_ = machine_->cpu(0).model().host_paging;
@@ -149,6 +175,7 @@ Vtlb& Hypervisor::VtlbFor(Ec* vcpu) {
     env.free = [this, pd = &vcpu->pd()](hw::PhysAddr f) { FreeFrameFor(pd, f); };
     env.tags = &tlb_tags_;
     env.stats = &stats_;
+    env.tracer = tracer_;
     vcpu->set_vtlb(std::make_shared<Vtlb>(std::move(env), vtlb_policy_));
   }
   return *vcpu->vtlb();
@@ -902,7 +929,8 @@ void Hypervisor::ProcessPendingIrqs(std::uint32_t cpu_id) {
     chip.Acknowledge(cpu_id, vector);
     chip.Mask(gsi);
     Charge(cpu_id, costs_.irq_ack);
-    ctr_.gsi_delivered.Add();
+    CountEvent(ctr_.gsi_delivered, trc_.gsi_delivered, cpu_id, gsi,
+               sim::TraceCat::kIrq);
     if (auto& sm = gsi_sms_[gsi]; sm != nullptr) {
       sm->set_counter(sm->counter() + 1);
       if (!sm->waiters().empty()) {
@@ -979,6 +1007,11 @@ bool Hypervisor::StepOnce() {
   // domain, freeing the SC (and with it the last plain reference).
   const std::shared_ptr<Ec> ec_ref = sc->ec_ref();
   Ec& ec = *ec_ref;
+  if (tracer_->enabled()) {
+    tracer_->InstantAt(c.NowPs(), sim::TraceCat::kSched, trc_.sched_dispatch,
+                       static_cast<std::uint8_t>(chosen), sc->prio(),
+                       static_cast<std::uint64_t>(ec.kind()));
+  }
   const sim::Cycles before = c.cycles();
 
   switch (ec.kind()) {
@@ -1008,6 +1041,13 @@ bool Hypervisor::StepOnce() {
 
   if (ec.block_state() == Ec::BlockState::kRunnable) {
     if (depleted) {
+      // Quantum exhausted with the EC still runnable: a preemption in the
+      // round-robin sense — the SC refills and goes to the tail.
+      if (tracer_->enabled()) {
+        tracer_->InstantAt(c.NowPs(), sim::TraceCat::kSched,
+                           trc_.sched_preempt,
+                           static_cast<std::uint8_t>(chosen), sc->prio());
+      }
       sc->Refill();
     }
     state.runqueue.Enqueue(sc, /*at_head=*/false);

@@ -30,6 +30,7 @@
 #include "src/hv/vtlb.h"
 #include "src/sim/fault.h"
 #include "src/sim/stats.h"
+#include "src/sim/trace.h"
 
 namespace nova::hv {
 
@@ -292,10 +293,40 @@ class Hypervisor : public KmemPool {
     sim::Counter& gsi_delivered;
   };
 
+  // Interned trace-name ids resolved once at construction. The Table 2
+  // rows reuse the exact counter-registry row names and are emitted
+  // adjacent to the counter bumps, which is what lets bench/tab2_events
+  // derive the table from a TraceReport and cross-check it against the
+  // counters record for record.
+  struct HotTraceIds {
+    explicit HotTraceIds(sim::Tracer& t);
+    std::uint16_t hlt, hw_intr, recall, vtlb_fill, guest_pf, mmio, pio,
+        cpuid, mov_cr, invlpg, intr_window, vmcall, vm_error;
+    std::uint16_t ipc_call, vm_event, sched_dispatch, sched_preempt,
+        gsi_delivered, vtlb_resolve;
+    // Host-side handling span per exit reason ("exit:<reason>").
+    std::uint16_t exit[hw::kNumExitReasons] = {};
+  };
+
+  // Bump a Table 2 counter and emit the matching trace instant (stamped
+  // with the CPU's local clock; the timestamp is only computed when the
+  // tracer is enabled).
+  void CountEvent(sim::Counter& c, std::uint16_t name, std::uint32_t cpu_id,
+                  std::uint64_t a0 = 0,
+                  sim::TraceCat cat = sim::TraceCat::kVmExit) {
+    c.Add();
+    if (tracer_->enabled()) {
+      tracer_->InstantAt(cpu(cpu_id).NowPs(), cat, name,
+                         static_cast<std::uint8_t>(cpu_id), a0);
+    }
+  }
+
   hw::Machine* machine_;
   HvCosts costs_;
   sim::StatRegistry stats_;
   HotCounters ctr_{stats_};
+  sim::Tracer* tracer_{&machine_->tracer()};
+  HotTraceIds trc_{*tracer_};
   Mdb mdb_;
 
   // Kernel memory pool.

@@ -136,7 +136,8 @@ bool Hypervisor::DispatchVmEvent(Ec* vcpu, Event event, const hw::VmExit& exit) 
   Charge(cpu_id, costs_.portal_traversal + costs_.context_switch +
                      costs_.addr_space_switch + model.tlb_flush / 2 +
                      costs_.ipc_refill_entries * model.tlb_refill_entry);
-  ctr_.vm_event_ipc.Add();
+  CountEvent(ctr_.vm_event_ipc, trc_.vm_event, cpu_id,
+             static_cast<std::uint64_t>(event), sim::TraceCat::kIpc);
 
   TransferToUtcb(vcpu, exit, pt->mtd(), handler.utcb());
   handler.set_busy(true);
@@ -217,13 +218,22 @@ void Hypervisor::RunVcpu(Sc* sc, sim::Cycles budget) {
       c.tlb().FlushAll();
     }
 
+    // Host-side handling span ("exit:<reason>"): Begin here, End on every
+    // path out of the handling below — including the early returns —
+    // courtesy of the scope guard.
+    sim::ScopedSpan exit_span(
+        tracer_, sim::TraceCat::kVmExit,
+        trc_.exit[static_cast<int>(exit.reason)],
+        static_cast<std::uint8_t>(cpu_id), [&c] { return c.NowPs(); },
+        exit.gva, static_cast<std::uint64_t>(exit.reason));
+
     switch (exit.reason) {
       case hw::ExitReason::kPreempt:
         return;
 
       case hw::ExitReason::kHlt:
         if (ctl.intercept_hlt) {
-          ctr_.hlt.Add();
+          CountEvent(ctr_.hlt, trc_.hlt, cpu_id);
           if (!DispatchVmEvent(vcpu, Event::kHlt, exit)) {
             vcpu->set_block_state(Ec::BlockState::kBlockedHalt);
             return;
@@ -241,7 +251,7 @@ void Hypervisor::RunVcpu(Sc* sc, sim::Cycles budget) {
         return;
 
       case hw::ExitReason::kExtInt:
-        ctr_.hw_intr.Add();
+        CountEvent(ctr_.hw_intr, trc_.hw_intr, cpu_id);
         ProcessPendingIrqs(cpu_id);
         // Return to the scheduler: the unblocked driver thread may have
         // a higher-priority scheduling context.
@@ -249,7 +259,7 @@ void Hypervisor::RunVcpu(Sc* sc, sim::Cycles budget) {
 
       case hw::ExitReason::kRecall: {
         gs.recall_pending = false;
-        ctr_.recall.Add();
+        CountEvent(ctr_.recall, trc_.recall, cpu_id);
         if (!DispatchVmEvent(vcpu, Event::kRecall, exit)) {
           vcpu->set_block_state(Ec::BlockState::kBlockedHalt);
           return;
@@ -267,10 +277,10 @@ void Hypervisor::RunVcpu(Sc* sc, sim::Cycles budget) {
         std::uint64_t gpa = 0;
         switch (VtlbFor(vcpu).Resolve(exit, &gpa)) {
           case Vtlb::Outcome::kFilled:
-            ctr_.vtlb_fill.Add();
+            CountEvent(ctr_.vtlb_fill, trc_.vtlb_fill, cpu_id, exit.gva);
             break;
           case Vtlb::Outcome::kGuestFault:
-            ctr_.guest_pf.Add();
+            CountEvent(ctr_.guest_pf, trc_.guest_pf, cpu_id, exit.gva);
             gs.cr2 = exit.gva;
             if (!engine.InjectEvent(gs, hw::kVectorPageFault)) {
               DispatchVmEvent(vcpu, Event::kError, exit);
@@ -280,7 +290,7 @@ void Hypervisor::RunVcpu(Sc* sc, sim::Cycles budget) {
           case Vtlb::Outcome::kHostFault: {
             hw::VmExit mmio = exit;
             mmio.gpa = gpa;
-            ctr_.mmio.Add();
+            CountEvent(ctr_.mmio, trc_.mmio, cpu_id, gpa);
             if (!DispatchVmEvent(vcpu, Event::kMmio, mmio)) {
               vcpu->set_block_state(Ec::BlockState::kBlockedHalt);
               return;
@@ -291,7 +301,7 @@ void Hypervisor::RunVcpu(Sc* sc, sim::Cycles budget) {
             // The VM's kernel-memory quota is exhausted and eviction found
             // nothing to reclaim: surface the failure to the VMM and park
             // the vCPU; a Recall retries once the monitor frees resources.
-            ctr_.vm_error.Add();
+            CountEvent(ctr_.vm_error, trc_.vm_error, cpu_id);
             DispatchVmEvent(vcpu, Event::kError, exit);
             vcpu->set_block_state(Ec::BlockState::kBlockedHalt);
             return;
@@ -300,7 +310,7 @@ void Hypervisor::RunVcpu(Sc* sc, sim::Cycles budget) {
       }
 
       case hw::ExitReason::kEptViolation:
-        ctr_.mmio.Add();
+        CountEvent(ctr_.mmio, trc_.mmio, cpu_id, exit.gpa);
         if (!DispatchVmEvent(vcpu, Event::kMmio, exit)) {
           vcpu->set_block_state(Ec::BlockState::kBlockedHalt);
           return;
@@ -308,7 +318,7 @@ void Hypervisor::RunVcpu(Sc* sc, sim::Cycles budget) {
         break;
 
       case hw::ExitReason::kPio:
-        ctr_.pio.Add();
+        CountEvent(ctr_.pio, trc_.pio, cpu_id, exit.port);
         if (!DispatchVmEvent(vcpu, Event::kPio, exit)) {
           vcpu->set_block_state(Ec::BlockState::kBlockedHalt);
           return;
@@ -316,7 +326,7 @@ void Hypervisor::RunVcpu(Sc* sc, sim::Cycles budget) {
         break;
 
       case hw::ExitReason::kCpuid:
-        ctr_.cpuid.Add();
+        CountEvent(ctr_.cpuid, trc_.cpuid, cpu_id);
         if (!DispatchVmEvent(vcpu, Event::kCpuid, exit)) {
           vcpu->set_block_state(Ec::BlockState::kBlockedHalt);
           return;
@@ -324,7 +334,7 @@ void Hypervisor::RunVcpu(Sc* sc, sim::Cycles budget) {
         break;
 
       case hw::ExitReason::kMovCr:
-        ctr_.mov_cr.Add();
+        CountEvent(ctr_.mov_cr, trc_.mov_cr, cpu_id, exit.qual);
         if (ctl.mode == hw::TranslationMode::kShadow) {
           VtlbFor(vcpu).HandleMovCr3(exit.qual);
           gs.rip += hw::isa::kInsnSize;  // Emulated: skip the instruction.
@@ -335,7 +345,7 @@ void Hypervisor::RunVcpu(Sc* sc, sim::Cycles budget) {
         break;
 
       case hw::ExitReason::kInvlpg:
-        ctr_.invlpg.Add();
+        CountEvent(ctr_.invlpg, trc_.invlpg, cpu_id, exit.gva);
         if (ctl.mode == hw::TranslationMode::kShadow) {
           VtlbFor(vcpu).HandleInvlpg(exit.gva);
           gs.rip += hw::isa::kInsnSize;  // Emulated: skip the instruction.
@@ -346,7 +356,7 @@ void Hypervisor::RunVcpu(Sc* sc, sim::Cycles budget) {
         break;
 
       case hw::ExitReason::kIntrWindow:
-        ctr_.intr_window.Add();
+        CountEvent(ctr_.intr_window, trc_.intr_window, cpu_id);
         if (!DispatchVmEvent(vcpu, Event::kIntrWindow, exit)) {
           vcpu->set_block_state(Ec::BlockState::kBlockedHalt);
           return;
@@ -354,7 +364,7 @@ void Hypervisor::RunVcpu(Sc* sc, sim::Cycles budget) {
         break;
 
       case hw::ExitReason::kVmcall:
-        ctr_.vmcall.Add();
+        CountEvent(ctr_.vmcall, trc_.vmcall, cpu_id, exit.hypercall);
         if (!DispatchVmEvent(vcpu, Event::kVmcall, exit)) {
           vcpu->set_block_state(Ec::BlockState::kBlockedHalt);
           return;
@@ -363,7 +373,7 @@ void Hypervisor::RunVcpu(Sc* sc, sim::Cycles budget) {
 
       case hw::ExitReason::kError:
       case hw::ExitReason::kNone:
-        ctr_.vm_error.Add();
+        CountEvent(ctr_.vm_error, trc_.vm_error, cpu_id);
         DispatchVmEvent(vcpu, Event::kError, exit);
         // Unrecoverable: park the virtual CPU.
         vcpu->set_block_state(Ec::BlockState::kBlockedHalt);

@@ -57,7 +57,12 @@ Vtlb::Vtlb(Env env, VtlbPolicy policy)
       switch_hits_(env_.stats->counter("vTLB Context Hit")),
       switch_misses_(env_.stats->counter("vTLB Context Miss")),
       evictions_(env_.stats->counter("vTLB Context Evict")),
-      pressure_evictions_(env_.stats->counter("vTLB Pressure Evict")) {}
+      pressure_evictions_(env_.stats->counter("vTLB Pressure Evict")),
+      trace_flush_(env_.tracer->Intern("vTLB Flush")),
+      trace_hit_(env_.tracer->Intern("vTLB Context Hit")),
+      trace_miss_(env_.tracer->Intern("vTLB Context Miss")),
+      trace_evict_(env_.tracer->Intern("vTLB Context Evict")),
+      trace_pevict_(env_.tracer->Intern("vTLB Pressure Evict")) {}
 
 Vtlb::~Vtlb() { DropAllContexts(); }
 
@@ -103,6 +108,7 @@ bool Vtlb::EvictOneForPressure(const Context* keep) {
   }
   FreeTree(ctx);
   pressure_evictions_.Add();
+  Mark(trace_pevict_, victim->first);
   contexts_.erase(victim);
   return true;
 }
@@ -309,6 +315,7 @@ void Vtlb::HandleMovCr3(std::uint64_t new_cr3) {
     env_.cpu->tlb().FlushTag(it->second.tag);
     env_.cpu->Charge(env_.cpu->model().tlb_flush);
     flushes_.Add();
+    Mark(trace_flush_, new_cr3);
     return;
   }
 
@@ -325,6 +332,7 @@ void Vtlb::HandleMovCr3(std::uint64_t new_cr3) {
     ctx.root = AllocWithPressure(ctx);
   }
   (hit ? switch_hits_ : switch_misses_).Add();
+  Mark(hit ? trace_hit_ : trace_miss_, new_cr3);
   active_key_ = new_cr3;
   has_active_ = true;
   ctx.last_use = ++use_clock_;
@@ -409,6 +417,7 @@ void Vtlb::Flush() {
   env_.cpu->tlb().FlushTag(env_.ctl->tag);
   env_.cpu->Charge(env_.cpu->model().tlb_flush);
   flushes_.Add();
+  Mark(trace_flush_, env_.gs->cr3);
 }
 
 void Vtlb::DropAllContexts() {
@@ -455,6 +464,7 @@ void Vtlb::EnforceFrameBudget() {
     }
     FreeTree(ctx);
     evictions_.Add();
+    Mark(trace_evict_, victim->first);
     contexts_.erase(victim);
   }
 }

@@ -35,6 +35,7 @@
 #include "src/hw/phys_mem.h"
 #include "src/hw/tlb.h"
 #include "src/sim/stats.h"
+#include "src/sim/trace.h"
 
 namespace nova::hv {
 
@@ -75,6 +76,9 @@ class Vtlb {
     std::function<void(hw::PhysAddr)> free;
     hw::TlbTagAllocator* tags = nullptr;       // Per-context hardware tags.
     sim::StatRegistry* stats = nullptr;
+    // Machine tracer; the permanently disabled default keeps direct Vtlb
+    // construction in tests null-check free.
+    sim::Tracer* tracer = &sim::Tracer::Disabled();
   };
 
   Vtlb(Env env, VtlbPolicy policy);
@@ -157,6 +161,21 @@ class Vtlb {
   sim::Counter& switch_misses_;
   sim::Counter& evictions_;
   sim::Counter& pressure_evictions_;
+
+  // Trace-name ids interned at construction; instants are emitted at the
+  // exact sites the matching counters are bumped, stamped with the owning
+  // CPU's clock.
+  void Mark(std::uint16_t name, std::uint64_t a0 = 0, std::uint64_t a1 = 0) {
+    if (env_.tracer->enabled()) {
+      env_.tracer->InstantAt(env_.cpu->NowPs(), sim::TraceCat::kVtlb, name,
+                             static_cast<std::uint8_t>(env_.cpu->id()), a0, a1);
+    }
+  }
+  std::uint16_t trace_flush_;
+  std::uint16_t trace_hit_;
+  std::uint16_t trace_miss_;
+  std::uint16_t trace_evict_;
+  std::uint16_t trace_pevict_;
 };
 
 }  // namespace nova::hv

@@ -10,6 +10,12 @@ AhciController::AhciController(DeviceId id, Iommu* iommu, IrqChip* irq,
                                std::uint32_t gsi, DiskModel* disk)
     : Device(id, "ahci"), iommu_(iommu), irq_(irq), gsi_(gsi), disk_(disk) {}
 
+void AhciController::set_tracer(sim::Tracer* t) {
+  tracer_ = t;
+  trace_issue_ = t->Intern("AHCI Issue");
+  trace_dma_ = t->Intern("AHCI DMA");
+}
+
 std::uint64_t AhciController::MmioRead(std::uint64_t offset, unsigned /*size*/) {
   switch (offset) {
     case ahci::kCap: return 0x1;  // One command slot group, one port.
@@ -144,6 +150,7 @@ void AhciController::IssueSlot(int slot) {
   }
 
   fl.data.resize(bytes);
+  tracer_->Instant(sim::TraceCat::kDevice, trace_issue_, bytes, write ? 1 : 0);
   if (write) {
     // Gather data from the PRDT buffers, then hand it to the disk.
     std::uint64_t off = 0;
@@ -200,6 +207,8 @@ void AhciController::CompleteSlot(int slot, std::uint64_t prd_bytes,
     }
   }
   fl.active = false;
+  tracer_->Instant(sim::TraceCat::kDevice, trace_dma_, prd_bytes,
+                   fl.write ? 1 : 0);
   px_ci_ &= ~(1u << slot);
   px_is_ |= ahci::kPxIsDhrs;
   is_ |= 0x1;

@@ -70,6 +70,9 @@ class AhciController : public Device {
   // Optional fault injection (kDmaUnmapped on the completion scatter path).
   void set_fault_plan(sim::FaultPlan* plan) { fault_plan_ = plan; }
 
+  // Wires the machine's tracer in; interns the controller's event names.
+  void set_tracer(sim::Tracer* t);
+
  private:
   void IssueSlot(int slot);
   void CompleteSlot(int slot, std::uint64_t prd_bytes, Status status);
@@ -102,6 +105,9 @@ class AhciController : public Device {
   Inflight inflight_[ahci::kNumSlots];
   std::uint64_t dma_faults_ = 0;
   sim::FaultPlan* fault_plan_ = nullptr;
+  sim::Tracer* tracer_ = &sim::Tracer::Disabled();
+  std::uint16_t trace_issue_ = 0;
+  std::uint16_t trace_dma_ = 0;
 };
 
 }  // namespace nova::hw

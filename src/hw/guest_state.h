@@ -104,6 +104,10 @@ enum class ExitReason : std::uint8_t {
   kError,        // Invalid opcode / nested fault: would triple-fault.
 };
 
+// Keep in sync when appending reasons; the enum-coverage test walks
+// [0, kNumExitReasons) and fails if ExitReasonName lags behind.
+constexpr int kNumExitReasons = static_cast<int>(ExitReason::kError) + 1;
+
 const char* ExitReasonName(ExitReason r);
 
 struct VmExit {

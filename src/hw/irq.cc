@@ -2,6 +2,12 @@
 
 namespace nova::hw {
 
+void IrqChip::set_tracer(sim::Tracer* t) {
+  tracer_ = t;
+  trace_assert_ = t->Intern("IRQ Assert");
+  trace_deliver_ = t->Intern("IRQ Deliver");
+}
+
 void IrqChip::Configure(std::uint32_t gsi, std::uint32_t cpu, std::uint8_t vector) {
   if (gsi >= kNumGsis || cpu >= kMaxCpus) {
     return;
@@ -31,6 +37,7 @@ void IrqChip::Assert(std::uint32_t gsi) {
     return;
   }
   ++assert_counts_[gsi];
+  tracer_->Instant(sim::TraceCat::kIrq, trace_assert_, gsi);
   const Route& r = routes_[gsi];
   if (!r.enabled) {
     return;  // Unrouted interrupts are dropped.
@@ -44,6 +51,7 @@ void IrqChip::Assert(std::uint32_t gsi) {
 
 void IrqChip::Deliver(std::uint32_t gsi) {
   const Route& r = routes_[gsi];
+  tracer_->Instant(sim::TraceCat::kIrq, trace_deliver_, gsi, r.vector);
   pending_[r.cpu][r.vector / 64] |= 1ull << (r.vector % 64);
 }
 

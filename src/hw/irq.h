@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/sim/stats.h"
+#include "src/sim/trace.h"
 
 namespace nova::hw {
 
@@ -50,9 +51,15 @@ class IrqChip {
 
   std::uint64_t asserted(std::uint32_t gsi) const { return assert_counts_[gsi]; }
 
+  // Wires the machine's tracer in; interns the chip's event names once.
+  void set_tracer(sim::Tracer* t);
+
  private:
   void Deliver(std::uint32_t gsi);
 
+  sim::Tracer* tracer_ = &sim::Tracer::Disabled();
+  std::uint16_t trace_assert_ = 0;
+  std::uint16_t trace_deliver_ = 0;
   std::array<Route, kNumGsis> routes_{};
   std::array<bool, kNumGsis> latched_{};
   // Per-CPU pending vector bitmap (256 vectors).

@@ -4,6 +4,7 @@ namespace nova::hw {
 
 Machine::Machine(const MachineConfig& config)
     : mem_(config.ram_size), iommu_(&mem_, config.iommu_present) {
+  irq_.set_tracer(&tracer_);
   std::uint32_t id = 0;
   for (const CpuModel* model : config.cpus) {
     cpus_.push_back(std::make_unique<Cpu>(id++, model));

@@ -15,6 +15,7 @@
 #include "src/hw/phys_mem.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/stats.h"
+#include "src/sim/trace.h"
 
 namespace nova::hw {
 
@@ -34,6 +35,9 @@ class Machine {
   Iommu& iommu() { return iommu_; }
   Bus& bus() { return bus_; }
   sim::StatRegistry& stats() { return stats_; }
+  // Structured event tracer; disabled by default and shared by every layer
+  // riding on this machine (hypervisor, devices, interrupt fabric).
+  sim::Tracer& tracer() { return tracer_; }
 
   std::size_t num_cpus() const { return cpus_.size(); }
   Cpu& cpu(std::uint32_t id) { return *cpus_[id]; }
@@ -62,6 +66,7 @@ class Machine {
   Iommu iommu_;
   Bus bus_;
   sim::StatRegistry stats_;
+  sim::Tracer tracer_{&events_};
   std::vector<std::unique_ptr<Cpu>> cpus_;
   std::vector<std::unique_ptr<Device>> devices_;
 };

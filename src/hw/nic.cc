@@ -8,6 +8,11 @@ Nic::Nic(DeviceId id, Iommu* iommu, IrqChip* irq, std::uint32_t gsi,
          sim::EventQueue* events)
     : Device(id, "nic"), iommu_(iommu), irq_(irq), gsi_(gsi), events_(events) {}
 
+void Nic::set_tracer(sim::Tracer* t) {
+  tracer_ = t;
+  trace_rx_ = t->Intern("NIC RX DMA");
+}
+
 std::uint64_t Nic::MmioRead(std::uint64_t offset, unsigned /*size*/) {
   switch (offset) {
     case nic::kCtrl: return ctrl_;
@@ -91,6 +96,7 @@ bool Nic::Receive(const std::uint8_t* frame, std::uint32_t length) {
   }
   rdh_ = (rdh_ + 1) % RingEntries();
   rx_packets_.Add();
+  tracer_->Instant(sim::TraceCat::kDevice, trace_rx_, length);
 
   icr_ |= nic::kIcrRxt0;
   RaiseOrCoalesce();

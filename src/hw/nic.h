@@ -75,6 +75,9 @@ class Nic : public Device {
   // Optional fault injection (kNicDrop / kNicCorrupt on the wire side).
   void set_fault_plan(sim::FaultPlan* plan) { fault_plan_ = plan; }
 
+  // Wires the machine's tracer in; interns the NIC's event names.
+  void set_tracer(sim::Tracer* t);
+
  private:
   std::uint32_t RingEntries() const { return rdlen_ / 16; }
   void RaiseOrCoalesce();
@@ -103,6 +106,8 @@ class Nic : public Device {
   sim::Counter rx_corrupted_;
   sim::Counter irqs_;
   sim::FaultPlan* fault_plan_ = nullptr;
+  sim::Tracer* tracer_ = &sim::Tracer::Disabled();
+  std::uint16_t trace_rx_ = 0;
 };
 
 // Generates a constant-bandwidth stream of fixed-size frames into a NIC,

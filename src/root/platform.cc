@@ -17,11 +17,13 @@ Platform SetupStandardPlatform(hw::Machine* machine, RootPartitionManager* root,
   auto ahci = std::make_unique<hw::AhciController>(
       kAhciDevId, &machine->iommu(), &machine->irq(), kAhciGsi, disk.get());
   p.ahci = machine->AddDevice(std::move(ahci));
+  p.ahci->set_tracer(&machine->tracer());
   machine->bus().RegisterMmio(kAhciMmioBase, kAhciMmioSize, p.ahci);
 
   auto nic = std::make_unique<hw::Nic>(kNicDevId, &machine->iommu(),
                                        &machine->irq(), kNicGsi, &machine->events());
   p.nic = machine->AddDevice(std::move(nic));
+  p.nic->set_tracer(&machine->tracer());
   machine->bus().RegisterMmio(kNicMmioBase, kNicMmioSize, p.nic);
   p.link = std::make_unique<hw::NetLink>(&machine->events(), p.nic);
 

@@ -2,6 +2,14 @@
 
 namespace nova::sim {
 
+void FaultPlan::set_tracer(Tracer* t) {
+  tracer_ = t;
+  for (int i = 0; i < kNumFaultKinds; ++i) {
+    trace_fire_[i] = t->Intern(
+        std::string("fault:") + FaultKindName(static_cast<FaultKind>(i)));
+  }
+}
+
 void FaultPlan::Arm(EventQueue* events) {
   armed_ = true;
   for (std::size_t i = 0; i < entries_.size(); ++i) {
@@ -29,6 +37,8 @@ bool FaultPlan::ShouldFault(FaultKind kind, std::string_view target) {
       entry.active = false;
     }
     ++injected_[static_cast<int>(kind)];
+    tracer_->Instant(TraceCat::kFault, trace_fire_[static_cast<int>(kind)],
+                     static_cast<std::uint64_t>(kind));
     return true;
   }
   return false;

@@ -22,6 +22,7 @@
 
 #include "src/sim/event_queue.h"
 #include "src/sim/rng.h"
+#include "src/sim/trace.h"
 
 namespace nova::sim {
 
@@ -79,6 +80,10 @@ class FaultPlan {
   }
   std::uint64_t total_injected() const;
 
+  // Wires a tracer in: every firing emits a "fault:<kind>" instant
+  // (timestamped from the tracer's event-queue clock).
+  void set_tracer(Tracer* t);
+
  private:
   struct Entry {
     FaultEvent ev;
@@ -89,6 +94,8 @@ class FaultPlan {
   std::vector<Entry> entries_;
   bool armed_ = false;
   std::uint64_t injected_[kNumFaultKinds] = {};
+  Tracer* tracer_ = &Tracer::Disabled();
+  std::uint16_t trace_fire_[kNumFaultKinds] = {};
 };
 
 }  // namespace nova::sim

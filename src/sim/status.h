@@ -27,6 +27,10 @@ enum class Status : std::uint8_t {
   kNoMem,           // Kernel-memory quota or frame pool exhausted.
 };
 
+// Keep in sync when appending codes; the enum-coverage test walks
+// [0, kNumStatuses) and fails if StatusName lags behind.
+constexpr int kNumStatuses = static_cast<int>(Status::kNoMem) + 1;
+
 // Human-readable name for diagnostics and test output.
 constexpr const char* StatusName(Status s) {
   switch (s) {

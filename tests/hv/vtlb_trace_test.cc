@@ -1,0 +1,242 @@
+// Trace-sequence assertions for the §8.4 vTLB optimization ladder: the
+// structured trace must show the expected *ordering* of fill/flush/context
+// events per rung — naive flushes on every MOV CR3, the context cache
+// emits zero full-flush events on guest context switches, and VPID leaves
+// the shadow-event sequence untouched (it only spares the hardware TLB).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/guest/guest_pt.h"
+#include "src/hw/isa.h"
+#include "src/sim/trace.h"
+#include "tests/hv/test_util.h"
+
+namespace nova::hv {
+namespace {
+
+class VtlbTraceTest : public HvTest {
+ protected:
+  static constexpr CapSel kVmPd = 100;
+  static constexpr CapSel kVcpuSel = 101;
+  static constexpr CapSel kScSel = 102;
+  static constexpr CapSel kEvtBase = 200;
+  static constexpr CapSel kHandlerBase = 300;
+  static constexpr CapSel kPortalBase = 320;
+
+  static constexpr std::uint64_t kRootA = 0x100000;
+  static constexpr std::uint64_t kRootB = 0x108000;
+  static constexpr std::uint64_t kGuestPtPool = 0x110000;
+
+  explicit VtlbTraceTest(const hw::CpuModel* cpu = &hw::CoreDuoT2500())
+      : HvTest(hw::MachineConfig{.cpus = {cpu}, .ram_size = 512ull << 20}) {
+    EXPECT_EQ(hv_.CreatePd(root_, kVmPd, "vm", true, &vm_), Status::kSuccess);
+    guest_base_page_ = hv_.kernel_reserve() >> hw::kPageShift;
+    EXPECT_EQ(hv_.Delegate(root_, kVmPd,
+                           Crd{CrdKind::kMem, guest_base_page_, 13, perm::kRwx}, 0),
+              Status::kSuccess);
+    EXPECT_EQ(hv_.CreateVcpu(root_, kVcpuSel, kVmPd, 0, kEvtBase, &vcpu_),
+              Status::kSuccess);
+    hw::VmControls& ctl = vcpu_->ctl();
+    ctl.mode = hw::TranslationMode::kShadow;
+    ctl.nested_root = 0;
+    ctl.intercept_cr3 = true;
+    ctl.intercept_invlpg = true;
+    gpt_ = std::make_unique<guest::GuestPageTableBuilder>(
+        &machine_.mem(), [this](std::uint64_t gpa) { return GuestHpa(gpa); },
+        kGuestPtPool);
+  }
+
+  hw::PhysAddr GuestHpa(std::uint64_t gpa) {
+    return (guest_base_page_ << hw::kPageShift) + gpa;
+  }
+
+  void GuestMap(std::uint64_t root_gpa, std::uint64_t gva, std::uint64_t gpa) {
+    ASSERT_EQ(gpt_->Map(root_gpa, gva, gpa, hw::kPageSize, hw::pte::kWritable),
+              Status::kSuccess);
+  }
+
+  void BuildTwoAddressSpaces() {
+    GuestMap(kRootA, 0x1000, 0x1000);
+    GuestMap(kRootA, 0x400000, 0x200000);
+    GuestMap(kRootB, 0x1000, 0x1000);
+    GuestMap(kRootB, 0x400000, 0x300000);
+  }
+
+  // A -> B -> A -> B with one store per visit: three MOV CR3 context
+  // switches, two of them revisits.
+  void InstallSwitchProgram() {
+    hw::isa::Assembler as(0x1000);
+    as.MovImm(0, 0xaaa);
+    as.StoreAbs(0, 0x400000);
+    as.MovCr3Imm(kRootB);
+    as.MovImm(0, 0xbbb);
+    as.StoreAbs(0, 0x400000);
+    as.MovCr3Imm(kRootA);
+    as.MovImm(0, 0xccc);
+    as.StoreAbs(0, 0x400000);
+    as.MovCr3Imm(kRootB);
+    as.MovImm(0, 0xddd);
+    as.StoreAbs(0, 0x400000);
+    as.Hlt();
+    machine_.mem().Write(GuestHpa(as.base()), as.bytes().data(),
+                         as.bytes().size());
+    vcpu_->gstate().rip = 0x1000;
+    vcpu_->gstate().cr3 = kRootA;
+    vcpu_->gstate().paging = true;
+  }
+
+  void InstallHltPortal() {
+    const auto idx = static_cast<CapSel>(Event::kHlt);
+    Ec* handler = nullptr;
+    ASSERT_EQ(hv_.CreateEcLocal(
+                  root_, kHandlerBase + idx, kSelOwnPd, 0,
+                  [this, idx](std::uint64_t) {
+                    handlers_[idx]->utcb().arch.halted = true;
+                  },
+                  &handler),
+              Status::kSuccess);
+    handlers_[idx] = handler;
+    ASSERT_EQ(hv_.CreatePt(root_, kPortalBase + idx, kHandlerBase + idx,
+                           mtd::kSta, static_cast<std::uint64_t>(Event::kHlt)),
+              Status::kSuccess);
+    ASSERT_EQ(hv_.Delegate(root_, kVmPd,
+                           Crd::Obj(kPortalBase + idx, 0, perm::kCall),
+                           kEvtBase + idx),
+              Status::kSuccess);
+  }
+
+  void StartAndRun(int steps = 40) {
+    machine_.tracer().set_enabled(true);
+    ASSERT_EQ(hv_.CreateSc(root_, kScSel, kVcpuSel, 1, 30'000'000),
+              Status::kSuccess);
+    for (int i = 0; i < steps && hv_.StepOnce(); ++i) {
+    }
+    machine_.tracer().set_enabled(false);
+  }
+
+  // Emission-order name sequence of the retained trace window, restricted
+  // to the names of interest.
+  std::vector<std::string> EventNames(const std::vector<std::string>& filter) {
+    const sim::Tracer& t = machine_.tracer();
+    std::vector<std::string> out;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      const sim::TraceRecord& r = t.at(i);
+      if (r.type != static_cast<std::uint8_t>(sim::TraceType::kInstant)) {
+        continue;
+      }
+      const std::string& name = t.Name(r.name);
+      for (const std::string& want : filter) {
+        if (name == want) {
+          out.push_back(name);
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
+  static std::uint64_t CountOf(const std::vector<std::string>& seq,
+                               const std::string& name) {
+    std::uint64_t n = 0;
+    for (const std::string& s : seq) n += s == name ? 1 : 0;
+    return n;
+  }
+
+  Pd* vm_ = nullptr;
+  Ec* vcpu_ = nullptr;
+  std::uint64_t guest_base_page_ = 0;
+  std::unique_ptr<guest::GuestPageTableBuilder> gpt_;
+  Ec* handlers_[kNumEvents] = {};
+};
+
+const std::vector<std::string> kLadderNames = {
+    "CR Read/Write",     "vTLB Flush",       "vTLB Fill",
+    "vTLB Context Hit",  "vTLB Context Miss"};
+
+// Core i7 variant for the VPID rung.
+class VtlbTraceVpidTest : public VtlbTraceTest {
+ protected:
+  VtlbTraceVpidTest() : VtlbTraceTest(&hw::CoreI7_920()) {}
+};
+
+TEST_F(VtlbTraceTest, NaiveRungFlushesAfterEveryContextSwitch) {
+  BuildTwoAddressSpaces();
+  InstallSwitchProgram();
+  InstallHltPortal();
+  StartAndRun();
+
+  const std::vector<std::string> seq = EventNames(kLadderNames);
+  EXPECT_EQ(CountOf(seq, "vTLB Flush"), 3u);
+  EXPECT_EQ(CountOf(seq, "vTLB Fill"), 8u);
+  EXPECT_EQ(CountOf(seq, "CR Read/Write"), 3u);
+  EXPECT_EQ(CountOf(seq, "vTLB Context Hit"), 0u);
+  EXPECT_EQ(CountOf(seq, "vTLB Context Miss"), 0u);
+
+  // Ordering: the i-th flush trails the i-th MOV CR3 — the naive rung
+  // tears the shadow tree down as a consequence of each switch.
+  std::vector<std::size_t> movs;
+  std::vector<std::size_t> flushes;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    if (seq[i] == "CR Read/Write") movs.push_back(i);
+    if (seq[i] == "vTLB Flush") flushes.push_back(i);
+  }
+  ASSERT_EQ(movs.size(), flushes.size());
+  for (std::size_t i = 0; i < movs.size(); ++i) {
+    EXPECT_GT(flushes[i], movs[i]) << "flush " << i << " before its MOV CR3";
+  }
+}
+
+TEST_F(VtlbTraceTest, CachedRungEmitsNoFlushOnContextSwitch) {
+  hv_.set_vtlb_policy(VtlbPolicy{.cache_contexts = true});
+  BuildTwoAddressSpaces();
+  InstallSwitchProgram();
+  InstallHltPortal();
+  StartAndRun();
+
+  const std::vector<std::string> seq = EventNames(kLadderNames);
+  // The headline §8.4 property: zero full-flush events on guest context
+  // switches once contexts are cached.
+  EXPECT_EQ(CountOf(seq, "vTLB Flush"), 0u);
+  EXPECT_EQ(CountOf(seq, "vTLB Fill"), 4u);
+  EXPECT_EQ(CountOf(seq, "vTLB Context Miss"), 1u);  // First sight of B.
+  EXPECT_EQ(CountOf(seq, "vTLB Context Hit"), 2u);   // Both revisits.
+
+  // Ordering: the compulsory miss precedes every hit, and no fill happens
+  // after the last context switch (both spaces fully shadowed by then).
+  std::size_t first_hit = seq.size();
+  std::size_t miss_pos = seq.size();
+  std::size_t last_fill = 0;
+  std::size_t last_switch = 0;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    if (seq[i] == "vTLB Context Hit" && first_hit == seq.size()) first_hit = i;
+    if (seq[i] == "vTLB Context Miss") miss_pos = i;
+    if (seq[i] == "vTLB Fill") last_fill = i;
+    if (seq[i] == "vTLB Context Hit" || seq[i] == "vTLB Context Miss") {
+      last_switch = i;
+    }
+  }
+  EXPECT_LT(miss_pos, first_hit);
+  EXPECT_LT(last_fill, last_switch)
+      << "a revisit refilled pages the cache should have kept";
+}
+
+TEST_F(VtlbTraceVpidTest, VpidRungKeepsShadowEventSequenceOfCachedRung) {
+  hv_.set_vtlb_policy(VtlbPolicy{.cache_contexts = true, .use_vpid = true});
+  BuildTwoAddressSpaces();
+  InstallSwitchProgram();
+  InstallHltPortal();
+  StartAndRun();
+
+  // VPID only spares the hardware TLB across world switches; the shadow
+  // event stream must be exactly the cached rung's.
+  const std::vector<std::string> seq = EventNames(kLadderNames);
+  EXPECT_EQ(CountOf(seq, "vTLB Flush"), 0u);
+  EXPECT_EQ(CountOf(seq, "vTLB Fill"), 4u);
+  EXPECT_EQ(CountOf(seq, "vTLB Context Miss"), 1u);
+  EXPECT_EQ(CountOf(seq, "vTLB Context Hit"), 2u);
+}
+
+}  // namespace
+}  // namespace nova::hv

@@ -1,0 +1,69 @@
+// Enum/name drift guards: every hw::ExitReason, sim::FaultKind and
+// sim::Status value must map to a non-null, non-fallback, unique name.
+// Appending an enumerator without extending its name switch (or the kNum*
+// constant) fails here instead of silently printing "?" in traces.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/hw/guest_state.h"
+#include "src/sim/fault.h"
+#include "src/sim/status.h"
+#include "src/sim/trace.h"
+
+namespace nova {
+namespace {
+
+TEST(EnumCoverageTest, ExitReasonNamesAreCompleteAndUnique) {
+  std::set<std::string> seen;
+  for (int i = 0; i < hw::kNumExitReasons; ++i) {
+    const char* name = hw::ExitReasonName(static_cast<hw::ExitReason>(i));
+    ASSERT_NE(name, nullptr) << "ExitReason " << i;
+    EXPECT_STRNE(name, "") << "ExitReason " << i;
+    EXPECT_STRNE(name, "?") << "ExitReason " << i << " hit the fallback";
+    EXPECT_TRUE(seen.insert(name).second)
+        << "duplicate ExitReason name: " << name;
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(hw::kNumExitReasons));
+}
+
+TEST(EnumCoverageTest, FaultKindNamesAreCompleteAndUnique) {
+  std::set<std::string> seen;
+  for (int i = 0; i < sim::kNumFaultKinds; ++i) {
+    const char* name = sim::FaultKindName(static_cast<sim::FaultKind>(i));
+    ASSERT_NE(name, nullptr) << "FaultKind " << i;
+    EXPECT_STRNE(name, "") << "FaultKind " << i;
+    EXPECT_STRNE(name, "?") << "FaultKind " << i << " hit the fallback";
+    EXPECT_TRUE(seen.insert(name).second)
+        << "duplicate FaultKind name: " << name;
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(sim::kNumFaultKinds));
+}
+
+TEST(EnumCoverageTest, StatusNamesAreCompleteAndUnique) {
+  std::set<std::string> seen;
+  for (int i = 0; i < kNumStatuses; ++i) {
+    const char* name = StatusName(static_cast<Status>(i));
+    ASSERT_NE(name, nullptr) << "Status " << i;
+    EXPECT_STRNE(name, "") << "Status " << i;
+    EXPECT_STRNE(name, "kUnknown") << "Status " << i << " hit the fallback";
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate Status name: " << name;
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kNumStatuses));
+}
+
+TEST(EnumCoverageTest, TraceCatNamesAreCompleteAndUnique) {
+  std::set<std::string> seen;
+  for (int i = 0; i < sim::kNumTraceCats; ++i) {
+    const char* name = sim::TraceCatName(static_cast<sim::TraceCat>(i));
+    ASSERT_NE(name, nullptr) << "TraceCat " << i;
+    EXPECT_STRNE(name, "?") << "TraceCat " << i << " hit the fallback";
+    EXPECT_TRUE(seen.insert(name).second)
+        << "duplicate TraceCat name: " << name;
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(sim::kNumTraceCats));
+}
+
+}  // namespace
+}  // namespace nova

@@ -14,7 +14,7 @@ guest::GuestAhciDriver::Config NativeDriverConfig(hw::Machine* machine) {
       .irq_vector = 43,
       .read_ci = [machine]() -> std::uint32_t {
         std::uint64_t v = 0;
-        machine->bus().MmioRead(root::kAhciMmioBase + hw::ahci::kPxCi, 4, &v);
+        (void)machine->bus().MmioRead(root::kAhciMmioBase + hw::ahci::kPxCi, 4, &v);
         return static_cast<std::uint32_t>(v);
       }};
 }
@@ -80,9 +80,9 @@ RunResult RunVirtualized(const RunConfig& config) {
 
   const bool direct = config.stack == StackKind::kDirect;
   if (direct) {
-    vm.AssignHostDevice("ahci", 43);
-    vm.AssignHostDevice("timer", 32);
-    vm.GrantGuestPorts(0x20, 2);  // Interrupt-controller handshake ports.
+    (void)vm.AssignHostDevice("ahci", 43);
+    (void)vm.AssignHostDevice("timer", 32);
+    (void)vm.GrantGuestPorts(0x20, 2);  // Interrupt-controller handshake ports.
   } else if (config.workload.disk_every != 0) {
     vm.ConnectDiskServer(&system.StartDiskServer());
   }
@@ -111,7 +111,7 @@ RunResult RunVirtualized(const RunConfig& config) {
   gk.EmitBoot(main);
   gk.Install();
   gk.PrimeState(vm.gstate());
-  vm.Start(vm.gstate().rip);
+  (void)vm.Start(vm.gstate().rip);
 
   hw::Cpu& cpu = system.machine.cpu(0);
   cpu.ResetUtilization();

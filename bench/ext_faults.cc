@@ -89,7 +89,7 @@ FaultDiskResult RunDiskWithErrorRate(double rate, std::uint64_t requests) {
   gk.EmitBoot(workload.EmitMain());
   gk.Install();
   gk.PrimeState(vm.gstate());
-  vm.Start(vm.gstate().rip);
+  (void)vm.Start(vm.gstate().rip);
 
   hw::Cpu& cpu = system.machine.cpu(0);
   cpu.ResetUtilization();
@@ -169,7 +169,7 @@ RecoveryResult RunCrashRecovery(sim::PicoSeconds check_period_ps, bool crash,
   gk.EmitBoot(workload.EmitMain());
   gk.Install();
   gk.PrimeState(vm->gstate());
-  vm->Start(vm->gstate().rip);
+  (void)vm->Start(vm->gstate().rip);
 
   root::VmmSupervisor::Config supc;
   supc.check_period_ps = check_period_ps;
@@ -182,7 +182,7 @@ RecoveryResult RunCrashRecovery(sim::PicoSeconds check_period_ps, bool crash,
     cr.fixed_guest_base_page = info.guest_base_page;
     vm = std::make_unique<vmm::Vmm>(&system.hv, system.root.get(), cr);
     vm->ConnectDiskServer(&server);
-    vm->Start(info.gstate.rip);
+    (void)vm->Start(info.gstate.rip);
     vm->gstate() = info.gstate;
     vm->vahci().RestoreRegs(info.vahci_regs);
     vm->vahci().InjectAbort(driver.issued_mask());

@@ -73,7 +73,7 @@ KmemResult RunWithQuota(std::uint64_t quota_frames, bool smoke) {
   gk.EmitBoot(workload.EmitMain());
   gk.Install();
   gk.PrimeState(vm.gstate());
-  vm.Start(vm.gstate().rip);
+  (void)vm.Start(vm.gstate().rip);
 
   KmemResult r;
   r.boot_used = vm.vmm_pd()->kmem().used();

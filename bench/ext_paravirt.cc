@@ -57,7 +57,7 @@ double RunConsole(bool paravirt, std::uint64_t* exits_out) {
   gk.EmitBoot(main);
   gk.Install();
   gk.PrimeState(vm.gstate());
-  vm.Start(vm.gstate().rip);
+  (void)vm.Start(vm.gstate().rip);
 
   hw::GuestState& gs = vm.gstate();
   const sim::Cycles before = system.machine.cpu(0).cycles();

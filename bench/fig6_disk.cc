@@ -47,7 +47,7 @@ DiskRunResult RunNativeDisk(std::uint32_t block) {
                .irq_vector = 43,
                .read_ci = [&machine]() -> std::uint32_t {
                  std::uint64_t v = 0;
-                 machine.bus().MmioRead(root::kAhciMmioBase + hw::ahci::kPxCi, 4, &v);
+                 (void)machine.bus().MmioRead(root::kAhciMmioBase + hw::ahci::kPxCi, 4, &v);
                  return static_cast<std::uint32_t>(v);
                }});
   guest::DiskWorkload workload(
@@ -82,12 +82,12 @@ DiskRunResult RunVmDisk(std::uint32_t block, bool direct) {
 
   guest::GuestAhciDriver::Config dc;
   if (direct) {
-    vm.AssignHostDevice("ahci", 43);
+    (void)vm.AssignHostDevice("ahci", 43);
     dc.mmio_base = root::kAhciMmioBase;
     dc.irq_vector = 43;
     dc.read_ci = [&system]() -> std::uint32_t {
       std::uint64_t v = 0;
-      system.machine.bus().MmioRead(root::kAhciMmioBase + hw::ahci::kPxCi, 4, &v);
+      (void)system.machine.bus().MmioRead(root::kAhciMmioBase + hw::ahci::kPxCi, 4, &v);
       return static_cast<std::uint32_t>(v);
     };
   } else {
@@ -115,7 +115,7 @@ DiskRunResult RunVmDisk(std::uint32_t block, bool direct) {
   gk.EmitBoot(workload.EmitMain());
   gk.Install();
   gk.PrimeState(vm.gstate());
-  vm.Start(vm.gstate().rip);
+  (void)vm.Start(vm.gstate().rip);
 
   hw::Cpu& cpu = system.machine.cpu(0);
   cpu.ResetUtilization();

@@ -71,7 +71,7 @@ NetRunResult RunDirectNet(double mbit, std::uint32_t packet_bytes) {
   vmm::VmmConfig vc;
   vc.guest_mem_bytes = 128ull << 20;
   vmm::Vmm vm(&system.hv, system.root.get(), vc);
-  vm.AssignHostDevice("nic", 42);
+  (void)vm.AssignHostDevice("nic", 42);
 
   guest::GuestLogicMux mux;
   mux.Attach(system.hv.engine(0));
@@ -88,7 +88,7 @@ NetRunResult RunDirectNet(double mbit, std::uint32_t packet_bytes) {
   gk.EmitBoot(workload.EmitMain());
   gk.Install();
   gk.PrimeState(vm.gstate());
-  vm.Start(vm.gstate().rip);
+  (void)vm.Start(vm.gstate().rip);
 
   system.platform.link->StartStream(mbit, packet_bytes);
   system.hv.RunUntilCondition([] { return false; }, kWarmup);

@@ -29,24 +29,24 @@ IpcCost MeasureIpc(const hw::CpuModel* model, bool cross_as, int words) {
 
   hv::Pd* server = nullptr;
   hv::Pd* client_pd = nullptr;
-  hv.CreatePd(root, 100, "server", false, &server);
-  hv.CreatePd(root, 101, "client", false, &client_pd);
+  (void)hv.CreatePd(root, 100, "server", false, &server);
+  (void)hv.CreatePd(root, 101, "client", false, &client_pd);
 
   hv::Ec* handler = nullptr;
-  hv.CreateEcLocal(root, 110, cross_as ? 100 : 101, 0, [](std::uint64_t) {},
+  (void)hv.CreateEcLocal(root, 110, cross_as ? 100 : 101, 0, [](std::uint64_t) {},
                    &handler);
-  hv.CreatePt(root, 111, 110, 0, 7);
-  hv.Delegate(root, 101, hv::Crd::Obj(111, 0, hv::perm::kCall), 50);
+  (void)hv.CreatePt(root, 111, 110, 0, 7);
+  (void)hv.Delegate(root, 101, hv::Crd::Obj(111, 0, hv::perm::kCall), 50);
   hv::Ec* client = nullptr;
-  hv.CreateEcGlobal(root, 112, 101, 0, [] {}, &client);
+  (void)hv.CreateEcGlobal(root, 112, 101, 0, [] {}, &client);
 
   const int iterations = g_iterations;
   client->utcb().untyped = words;
   // Warm up once.
-  hv.Call(client, 50);
+  (void)hv.Call(client, 50);
   const sim::Cycles before = machine.cpu(0).cycles();
   for (int i = 0; i < iterations; ++i) {
-    hv.Call(client, 50);
+    (void)hv.Call(client, 50);
   }
   const double per_call =
       static_cast<double>(machine.cpu(0).cycles() - before) / iterations;

@@ -36,11 +36,11 @@ VtlbCost MeasureVtlbMiss(const hw::CpuModel* model) {
   hv::Pd* root = hv.Boot();
 
   hv::Pd* vm = nullptr;
-  hv.CreatePd(root, 100, "vm", true, &vm);
+  (void)hv.CreatePd(root, 100, "vm", true, &vm);
   const std::uint64_t base_page = hv.kernel_reserve() >> hw::kPageShift;
-  hv.Delegate(root, 100, hv::Crd{hv::CrdKind::kMem, base_page, 14, hv::perm::kRwx}, 0);
+  (void)hv.Delegate(root, 100, hv::Crd{hv::CrdKind::kMem, base_page, 14, hv::perm::kRwx}, 0);
   hv::Ec* vcpu = nullptr;
-  hv.CreateVcpu(root, 101, 100, 0, 0x200, &vcpu);
+  (void)hv.CreateVcpu(root, 101, 100, 0, 0x200, &vcpu);
   vcpu->ctl().mode = hw::TranslationMode::kShadow;
   vcpu->ctl().nested_root = 0;
   vcpu->ctl().intercept_cr3 = true;
@@ -54,9 +54,9 @@ VtlbCost MeasureVtlbMiss(const hw::CpuModel* model) {
   // Guest page table: code identity plus a large data region, pre-mapped
   // and pre-dirtied so every access is a pure vTLB fill (no guest faults).
   const int kPages = g_pages;
-  gpt.Map(0x100000, 0x1000, 0x1000, hw::kPageSize, hw::pte::kWritable);
+  (void)gpt.Map(0x100000, 0x1000, 0x1000, hw::kPageSize, hw::pte::kWritable);
   for (int i = 0; i < kPages; ++i) {
-    gpt.Map(0x100000, 0x400000 + i * hw::kPageSize, 0x400000 + i * hw::kPageSize,
+    (void)gpt.Map(0x100000, 0x400000 + i * hw::kPageSize, 0x400000 + i * hw::kPageSize,
             hw::kPageSize,
             hw::pte::kWritable | hw::pte::kAccessed | hw::pte::kDirty);
   }
@@ -69,7 +69,7 @@ VtlbCost MeasureVtlbMiss(const hw::CpuModel* model) {
   as.AddImm(1, hw::kPageSize);
   as.Loop(0, top);
   as.Hlt();
-  machine.mem().Write(gpa_to_hpa(0x1000), as.bytes().data(), as.bytes().size());
+  (void)machine.mem().Write(gpa_to_hpa(0x1000), as.bytes().data(), as.bytes().size());
 
   hw::GuestState& gs = vcpu->gstate();
   gs.rip = 0x1000;
@@ -129,11 +129,11 @@ LadderTotals RunSwitchWorkload(const hw::CpuModel* model,
   hv.set_vtlb_policy(policy);
 
   hv::Pd* vm = nullptr;
-  hv.CreatePd(root, 100, "vm", true, &vm);
+  (void)hv.CreatePd(root, 100, "vm", true, &vm);
   const std::uint64_t base_page = hv.kernel_reserve() >> hw::kPageShift;
-  hv.Delegate(root, 100, hv::Crd{hv::CrdKind::kMem, base_page, 14, hv::perm::kRwx}, 0);
+  (void)hv.Delegate(root, 100, hv::Crd{hv::CrdKind::kMem, base_page, 14, hv::perm::kRwx}, 0);
   hv::Ec* vcpu = nullptr;
-  hv.CreateVcpu(root, 101, 100, 0, 0x200, &vcpu);
+  (void)hv.CreateVcpu(root, 101, 100, 0, 0x200, &vcpu);
   vcpu->ctl().mode = hw::TranslationMode::kShadow;
   vcpu->ctl().nested_root = 0;
   vcpu->ctl().intercept_cr3 = true;
@@ -151,11 +151,11 @@ LadderTotals RunSwitchWorkload(const hw::CpuModel* model,
       hw::pte::kWritable | hw::pte::kAccessed | hw::pte::kDirty;
   for (int i = 0; i < kTouch; ++i) {
     const std::uint64_t va = 0x400000 + static_cast<std::uint64_t>(i) * hw::kPageSize;
-    gpt.Map(kRootA, va, va, hw::kPageSize, kLeafFlags);
-    gpt.Map(kRootB, va, va + 0x200000, hw::kPageSize, kLeafFlags);
+    (void)gpt.Map(kRootA, va, va, hw::kPageSize, kLeafFlags);
+    (void)gpt.Map(kRootB, va, va + 0x200000, hw::kPageSize, kLeafFlags);
   }
-  gpt.Map(kRootA, 0x1000, 0x1000, hw::kPageSize, kLeafFlags);
-  gpt.Map(kRootB, 0x1000, 0x1000, hw::kPageSize, kLeafFlags);
+  (void)gpt.Map(kRootA, 0x1000, 0x1000, hw::kPageSize, kLeafFlags);
+  (void)gpt.Map(kRootB, 0x1000, 0x1000, hw::kPageSize, kLeafFlags);
 
   hw::isa::Assembler as(0x1000);
   as.MovImm(0, static_cast<std::uint64_t>(passes));
@@ -173,7 +173,7 @@ LadderTotals RunSwitchWorkload(const hw::CpuModel* model,
   as.Loop(3, inner_b);
   as.Loop(0, top);
   as.Hlt();
-  machine.mem().Write(gpa_to_hpa(0x1000), as.bytes().data(), as.bytes().size());
+  (void)machine.mem().Write(gpa_to_hpa(0x1000), as.bytes().data(), as.bytes().size());
 
   hw::GuestState& gs = vcpu->gstate();
   gs.rip = 0x1000;

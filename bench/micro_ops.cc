@@ -16,7 +16,7 @@ namespace {
 
 void BM_CapSpaceLookup(benchmark::State& state) {
   hv::CapSpace caps;
-  caps.Insert(100, hv::Capability{std::make_shared<hv::Sm>(0), hv::perm::kAll});
+  (void)caps.Insert(100, hv::Capability{std::make_shared<hv::Sm>(0), hv::perm::kAll});
   for (auto _ : state) {
     benchmark::DoNotOptimize(caps.Lookup(100));
   }
@@ -27,7 +27,7 @@ void BM_PageTableWalk(benchmark::State& state) {
   hw::PhysMem mem(256ull << 20);
   hw::PhysAddr next = 0x100000;
   hw::PageTable pt(&mem, hw::PagingMode::kFourLevel, 0x1000);
-  pt.Map(0x400000, 0x200000, hw::kPageSize, hw::pte::kWritable | hw::pte::kUser,
+  (void)pt.Map(0x400000, 0x200000, hw::kPageSize, hw::pte::kWritable | hw::pte::kUser,
          [&next] {
            const hw::PhysAddr f = next;
            next += hw::kPageSize;
@@ -42,7 +42,7 @@ BENCHMARK(BM_PageTableWalk);
 void BM_TlbLookup(benchmark::State& state) {
   hw::Tlb tlb(512, 32);
   for (std::uint64_t i = 0; i < 256; ++i) {
-    tlb.Insert(1, i << 12, (i + 1000) << 12, hw::kPageSize, true, true, true);
+    (void)tlb.Insert(1, i << 12, (i + 1000) << 12, hw::kPageSize, true, true, true);
   }
   std::uint64_t va = 0;
   for (auto _ : state) {
@@ -57,12 +57,12 @@ void BM_IpcCallReply(benchmark::State& state) {
   hv::Hypervisor hv(&machine);
   hv::Pd* root = hv.Boot();
   hv::Pd* server = nullptr;
-  hv.CreatePd(root, 100, "server", false, &server);
+  (void)hv.CreatePd(root, 100, "server", false, &server);
   hv::Ec* handler = nullptr;
-  hv.CreateEcLocal(root, 110, 100, 0, [](std::uint64_t) {}, &handler);
-  hv.CreatePt(root, 111, 110, 0, 0);
+  (void)hv.CreateEcLocal(root, 110, 100, 0, [](std::uint64_t) {}, &handler);
+  (void)hv.CreatePt(root, 111, 110, 0, 0);
   hv::Ec* client = nullptr;
-  hv.CreateEcGlobal(root, 112, hv::kSelOwnPd, 0, [] {}, &client);
+  (void)hv.CreateEcGlobal(root, 112, hv::kSelOwnPd, 0, [] {}, &client);
   for (auto _ : state) {
     benchmark::DoNotOptimize(hv.Call(client, 111));
   }
@@ -77,7 +77,7 @@ void BM_GuestInstructionDispatch(benchmark::State& state) {
   hw::isa::Assembler as(0x10000);
   const std::uint64_t top = as.AddImm(1, 1);
   as.Jmp(top);
-  machine.mem().Write(as.base(), as.bytes().data(), as.bytes().size());
+  (void)machine.mem().Write(as.base(), as.bytes().data(), as.bytes().size());
   hw::GuestState gs;
   gs.rip = 0x10000;
   for (auto _ : state) {
@@ -92,11 +92,11 @@ void BM_DelegateRevoke(benchmark::State& state) {
                                         .ram_size = 512ull << 20});
   hv::Hypervisor hv(&machine);
   hv::Pd* root = hv.Boot();
-  hv.CreatePd(root, 100, "child", false);
+  (void)hv.CreatePd(root, 100, "child", false);
   const std::uint64_t page = (hv.kernel_reserve() >> hw::kPageShift) + 512;
   for (auto _ : state) {
-    hv.Delegate(root, 100, hv::Crd::Mem(page, 4, hv::perm::kRw), page);
-    hv.Revoke(root, hv::Crd::Mem(page, 4, hv::perm::kRw), false);
+    (void)hv.Delegate(root, 100, hv::Crd::Mem(page, 4, hv::perm::kRw), page);
+    (void)hv.Revoke(root, hv::Crd::Mem(page, 4, hv::perm::kRw), false);
   }
 }
 BENCHMARK(BM_DelegateRevoke);
@@ -133,7 +133,7 @@ void BM_Ablation_MtdStateTransfer(benchmark::State& state) {
     gk.EmitBoot(main);
     gk.Install();
     gk.PrimeState(vm.gstate());
-    vm.Start(vm.gstate().rip);
+    (void)vm.Start(vm.gstate().rip);
     hw::GuestState& gs = vm.gstate();
     const sim::Cycles before = system.machine.cpu(0).cycles();
     system.hv.RunUntilCondition([&gs] { return gs.halted; }, sim::Seconds(10));

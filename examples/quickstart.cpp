@@ -23,14 +23,14 @@ int main() {
   // 2. Two protection domains: a client and a server.
   hv::Pd* server = nullptr;
   hv::Pd* client = nullptr;
-  hypervisor.CreatePd(root, 100, "server", /*is_vm=*/false, &server);
-  hypervisor.CreatePd(root, 101, "client", /*is_vm=*/false, &client);
+  (void)hypervisor.CreatePd(root, 100, "server", /*is_vm=*/false, &server);
+  (void)hypervisor.CreatePd(root, 101, "client", /*is_vm=*/false, &client);
 
   // 3. A portal into the server: the only way in. Its handler echoes the
   //    message and counts invocations.
   int calls = 0;
   hv::Ec* handler = nullptr;
-  hypervisor.CreateEcLocal(root, 110, /*pd_sel=*/100, /*cpu=*/0,
+  (void)hypervisor.CreateEcLocal(root, 110, /*pd_sel=*/100, /*cpu=*/0,
                            [&](std::uint64_t portal_id) {
                              ++calls;
                              hv::Utcb& u = handler->utcb();
@@ -41,15 +41,15 @@ int main() {
                              u.words[0] += 1;  // Reply: increment.
                            },
                            &handler);
-  hypervisor.CreatePt(root, 111, 110, /*mtd=*/0, /*id=*/7);
+  (void)hypervisor.CreatePt(root, 111, 110, /*mtd=*/0, /*id=*/7);
 
   // 4. Hand the client a capability to the portal — nothing else. The
   //    client cannot name any other object in the system.
-  hypervisor.Delegate(root, 101, hv::Crd::Obj(111, 0, hv::perm::kCall), 50);
+  (void)hypervisor.Delegate(root, 101, hv::Crd::Obj(111, 0, hv::perm::kCall), 50);
 
   hv::Ec* client_ec = nullptr;
-  hypervisor.CreateEcGlobal(root, 112, 101, 0, [] {}, &client_ec);
-  hypervisor.CreateSc(root, 113, 112, /*prio=*/5, /*quantum=*/1'000'000);
+  (void)hypervisor.CreateEcGlobal(root, 112, 101, 0, [] {}, &client_ec);
+  (void)hypervisor.CreateSc(root, 113, 112, /*prio=*/5, /*quantum=*/1'000'000);
 
   // 5. IPC: call through the portal; the reply lands in the same UTCB.
   client_ec->utcb().untyped = 1;
@@ -61,25 +61,25 @@ int main() {
 
   // 6. Memory delegation with narrowing, then recursive revocation.
   const std::uint64_t page = (hypervisor.kernel_reserve() >> hw::kPageShift) + 64;
-  hypervisor.Delegate(root, 101, hv::Crd::Mem(page, 2, hv::perm::kRw), page);
+  (void)hypervisor.Delegate(root, 101, hv::Crd::Mem(page, 2, hv::perm::kRw), page);
   std::printf("delegated 4 pages rw to client; client holds them: %s\n",
               hypervisor.mdb().Find(client, hv::CrdKind::kMem, page, 4) ? "yes"
                                                                         : "no");
-  hypervisor.Revoke(root, hv::Crd::Mem(page, 2, hv::perm::kRw),
+  (void)hypervisor.Revoke(root, hv::Crd::Mem(page, 2, hv::perm::kRw),
                     /*include_self=*/false);
   std::printf("after revoke, client holds them: %s\n",
               hypervisor.mdb().Find(client, hv::CrdKind::kMem, page, 4) ? "yes"
                                                                         : "no");
 
   // 7. Semaphores: the kernel's synchronization and interrupt primitive.
-  hypervisor.CreateSm(root, 120, 0);
-  hypervisor.Delegate(root, 101, hv::Crd::Obj(120, 0, hv::perm::kSmDown), 51);
+  (void)hypervisor.CreateSm(root, 120, 0);
+  (void)hypervisor.Delegate(root, 101, hv::Crd::Obj(120, 0, hv::perm::kSmDown), 51);
   std::printf("semaphore down on empty semaphore: %s (client blocks)\n",
               hypervisor.SmDown(client_ec, 51) ==
                       hv::Hypervisor::DownResult::kBlocked
                   ? "blocked"
                   : "acquired");
-  hypervisor.SmUp(root, 120);
+  (void)hypervisor.SmUp(root, 120);
   std::printf("after up, client is runnable again: %s\n",
               client_ec->block_state() == hv::Ec::BlockState::kRunnable ? "yes"
                                                                         : "no");

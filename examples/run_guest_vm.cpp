@@ -81,7 +81,7 @@ int main() {
   gk.EmitBoot(main_gva);
   gk.Install();
   gk.PrimeState(vm.gstate());
-  vm.Start(vm.gstate().rip);
+  (void)vm.Start(vm.gstate().rip);
 
   // Let the machine run for 100 simulated milliseconds.
   system.hv.RunUntil(sim::Milliseconds(100));

@@ -62,7 +62,7 @@ int main() {
   legacy_gk.EmitBoot(legacy_main);
   legacy_gk.Install();
   legacy_gk.PrimeState(legacy.gstate());
-  legacy.Start(legacy.gstate().rip);
+  (void)legacy.Start(legacy.gstate().rip);
 
   // The appliance on CPU 1: small guest, small VMM, higher priority.
   vmm::Vmm appliance(&system.hv, system.root.get(),
@@ -81,7 +81,7 @@ int main() {
   app_gk.EmitBoot(app_main);
   app_gk.Install();
   app_gk.PrimeState(appliance.gstate());
-  appliance.Start(appliance.gstate().rip);
+  (void)appliance.Start(appliance.gstate().rip);
 
   system.hv.RunUntil(sim::Milliseconds(30));
 

@@ -45,7 +45,7 @@ int main() {
   gk.EmitBoot(main_gva);
   gk.Install();
   gk.PrimeState(attacker_vm.gstate());
-  attacker_vm.Start(attacker_vm.gstate().rip);
+  (void)attacker_vm.Start(attacker_vm.gstate().rip);
 
   system.hv.RunUntil(sim::Milliseconds(20));
 
@@ -60,7 +60,7 @@ int main() {
   // The attacker's VMM tries to use capabilities it does not hold: every
   // selector outside its own space fails the capability lookup.
   hv::Ec* rogue = nullptr;
-  system.hv.CreateEcGlobal(attacker_vm.vmm_pd(),
+  (void)system.hv.CreateEcGlobal(attacker_vm.vmm_pd(),
                            attacker_vm.vmm_pd()->caps().FindFree(hv::kSelFirstFree),
                            hv::kSelOwnPd, 0, [] {}, &rogue);
   int denied = 0;
@@ -91,15 +91,15 @@ int main() {
   // Point the controller's command-list base at the hypervisor (below the
   // kernel reserve line) and issue.
   std::uint64_t dummy = 0;
-  system.machine.bus().MmioRead(root::kAhciMmioBase + hw::ahci::kPxClb, 4, &dummy);
-  system.machine.bus().MmioWrite(root::kAhciMmioBase + hw::ahci::kPxClb, 4, 0x8000);
-  system.machine.bus().MmioWrite(root::kAhciMmioBase + hw::ahci::kPxCi, 4, 0x1);
+  (void)system.machine.bus().MmioRead(root::kAhciMmioBase + hw::ahci::kPxClb, 4, &dummy);
+  (void)system.machine.bus().MmioWrite(root::kAhciMmioBase + hw::ahci::kPxClb, 4, 0x8000);
+  (void)system.machine.bus().MmioWrite(root::kAhciMmioBase + hw::ahci::kPxCi, 4, 0x1);
   std::printf("[DMA attack] controller fetched its command list from "
               "hypervisor memory: IOMMU faults %llu -> %llu (transfer "
               "rejected, kernel memory untouched)\n",
               (unsigned long long)faults_before,
               (unsigned long long)system.machine.iommu().faults());
-  system.machine.bus().MmioWrite(root::kAhciMmioBase + hw::ahci::kPxClb, 4,
+  (void)system.machine.bus().MmioWrite(root::kAhciMmioBase + hw::ahci::kPxClb, 4,
                                  static_cast<std::uint32_t>(dummy));
 
   std::printf("\nAll three attack classes of §4.2 were contained.\n");

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Static-analysis gate, exactly what the CI `lint` job runs:
+#   1. build nova-lint and run it over src/, tests/, bench/ and examples/
+#      (non-zero exit on any unsuppressed finding);
+#   2. rebuild src/ with NOVA_WERROR=ON so discarded [[nodiscard]] results
+#      and non-exhaustive enum switches are hard compile errors;
+#   3. if clang-tidy is installed, run the .clang-tidy checks over src/
+#      (advisory by default: set LINT_TIDY_STRICT=1 to make it fatal,
+#      since CI images do not all ship clang-tidy).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build-lint}"
+
+cmake -B "${BUILD_DIR}" -S . -DNOVA_WERROR=ON
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target nova_lint
+
+echo "== nova-lint =="
+"${BUILD_DIR}/tools/nova_lint/nova_lint" src tests bench examples
+
+echo "== NOVA_WERROR build =="
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+
+if command -v clang-tidy > /dev/null 2>&1; then
+  echo "== clang-tidy =="
+  # compile_commands.json is produced by the export flag; limit to src/.
+  cmake -B "${BUILD_DIR}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+  mapfile -t tidy_files < <(find src -name '*.cc')
+  if ! clang-tidy -p "${BUILD_DIR}" "${tidy_files[@]}"; then
+    if [[ "${LINT_TIDY_STRICT:-0}" == "1" ]]; then
+      exit 1
+    fi
+    echo "clang-tidy reported issues (advisory; LINT_TIDY_STRICT=1 to fail)"
+  fi
+else
+  echo "clang-tidy not installed; skipping (.clang-tidy lists the checks)"
+fi
+
+echo "lint gate passed"

@@ -26,7 +26,7 @@ Status GuestPageTableBuilder::Map(std::uint64_t root_gpa, std::uint64_t gva,
   if (!(pde & hw::pte::kPresent)) {
     table_gpa = pool_next_;
     pool_next_ += hw::kPageSize;
-    mem_->Zero(gpa_to_hpa_(table_gpa), hw::kPageSize);
+    (void)mem_->Zero(gpa_to_hpa_(table_gpa), hw::kPageSize);
     WriteEntry(root_gpa, dir_index,
                static_cast<std::uint32_t>(table_gpa | hw::pte::kPresent |
                                           hw::pte::kWritable | hw::pte::kUser));

@@ -46,7 +46,9 @@ class GuestPageTableBuilder {
     return mem_->Read32(gpa_to_hpa_(table_gpa) + index * 4);
   }
   void WriteEntry(std::uint64_t table_gpa, std::uint64_t index, std::uint32_t v) {
-    mem_->Write32(gpa_to_hpa_(table_gpa) + index * 4, v);
+    // Table frames come from the builder's own pool, in installed RAM by
+    // construction; a fault here would mean a corrupted pool cursor.
+    (void)mem_->Write32(gpa_to_hpa_(table_gpa) + index * 4, v);
   }
 
   hw::PhysMem* mem_;

@@ -32,7 +32,7 @@ std::uint64_t GuestKernel::AllocFrames(std::uint64_t n) {
 void GuestKernel::MapDevice(std::uint64_t root_gpa, std::uint64_t base,
                             std::uint64_t size) {
   for (std::uint64_t off = 0; off < size; off += hw::kPageSize) {
-    pt_.Map(root_gpa, base + off, base + off, hw::kPageSize, hw::pte::kWritable);
+    (void)pt_.Map(root_gpa, base + off, base + off, hw::kPageSize, hw::pte::kWritable);
   }
   if (root_gpa == GuestLayout::kPtRoot) {
     device_windows_.emplace_back(base, size);  // Replicated into new ASes.
@@ -45,16 +45,16 @@ void GuestKernel::BuildKernelMappings(std::uint64_t root_gpa) {
   const std::uint64_t flags = hw::pte::kWritable | hw::pte::kGlobal;
   if (config_.large_kernel_pages) {
     for (std::uint64_t gpa = 0; gpa < config_.mem_bytes; gpa += k4M) {
-      pt_.Map(root_gpa, gpa, gpa, k4M, flags);
+      (void)pt_.Map(root_gpa, gpa, gpa, k4M, flags);
     }
   } else {
     for (std::uint64_t gpa = 0; gpa < config_.mem_bytes; gpa += hw::kPageSize) {
-      pt_.Map(root_gpa, gpa, gpa, hw::kPageSize, flags);
+      (void)pt_.Map(root_gpa, gpa, gpa, hw::kPageSize, flags);
     }
   }
   for (const auto& [base, size] : device_windows_) {
     for (std::uint64_t off = 0; off < size; off += hw::kPageSize) {
-      pt_.Map(root_gpa, base + off, base + off, hw::kPageSize, hw::pte::kWritable);
+      (void)pt_.Map(root_gpa, base + off, base + off, hw::kPageSize, hw::pte::kWritable);
     }
   }
 }
@@ -64,7 +64,7 @@ std::uint64_t GuestKernel::CreateAddressSpace() {
   if (root == 0) {
     return 0;
   }
-  mem_->Zero(gpa_to_hpa_(root), hw::kPageSize);
+  (void)mem_->Zero(gpa_to_hpa_(root), hw::kPageSize);
   BuildKernelMappings(root);
   return root;
 }
@@ -76,11 +76,11 @@ void GuestKernel::PfLogic(hw::GuestState& gs) {
   if (page >= GuestLayout::kProcVirtBase) {
     const std::uint64_t frame = AllocFrames(1);
     if (frame != 0) {
-      pt_.Map(gs.cr3, page, frame, hw::kPageSize,
+      (void)pt_.Map(gs.cr3, page, frame, hw::kPageSize,
               hw::pte::kWritable | hw::pte::kUser);
     }
   } else {
-    pt_.Map(gs.cr3, page, page, hw::kPageSize, hw::pte::kWritable);
+    (void)pt_.Map(gs.cr3, page, page, hw::kPageSize, hw::pte::kWritable);
   }
   gs.regs[6] = page;  // For the INVLPG that follows.
 }
@@ -155,11 +155,11 @@ std::uint64_t GuestKernel::Install() {
   const auto& bytes = text_.bytes();
   for (std::uint64_t off = 0; off < bytes.size(); off += hw::kPageSize) {
     const std::uint64_t chunk = std::min<std::uint64_t>(hw::kPageSize, bytes.size() - off);
-    mem_->Write(gpa_to_hpa_(text_.base() + off), bytes.data() + off, chunk);
+    (void)mem_->Write(gpa_to_hpa_(text_.base() + off), bytes.data() + off, chunk);
   }
   // Build the kernel address space.
   if (config_.paging) {
-    mem_->Zero(gpa_to_hpa_(GuestLayout::kPtRoot), hw::kPageSize);
+    (void)mem_->Zero(gpa_to_hpa_(GuestLayout::kPtRoot), hw::kPageSize);
     BuildKernelMappings(GuestLayout::kPtRoot);
   }
   return entry_;

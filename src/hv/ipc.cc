@@ -55,9 +55,9 @@ Status Hypervisor::ApplyTypedItems(Pd* sender, Pd* receiver, Utcb& msg,
       if (receiver_ref == nullptr) {
         return Status::kBadCapability;
       }
-      sender->caps().Insert(tmp_sel, Capability{receiver_ref, 0});
+      (void)sender->caps().Insert(tmp_sel, Capability{receiver_ref, 0});
       s = Delegate(sender, tmp_sel, item.crd, item.hotspot);
-      sender->caps().Remove(tmp_sel);
+      (void)sender->caps().Remove(tmp_sel);
     }
     if (!Ok(s)) {
       return s;
@@ -100,7 +100,9 @@ Status Hypervisor::DoCall(Ec* caller_ec, Pt* portal) {
   const hw::CpuModel& model = cpu(cpu_id).model();
 
   // "IPC Call" span: portal traversal through reply, ended on every exit
-  // path (including typed-item transfer errors) by the scope guard.
+  // path (including typed-item transfer errors) by the scope guard. The
+  // counter pairs with the span's Begin record, so it is bumped here.
+  ctr_.ipc_calls.Add();
   sim::ScopedSpan ipc_span(
       tracer_, sim::TraceCat::kIpc, trc_.ipc_call,
       static_cast<std::uint8_t>(cpu_id),
@@ -116,8 +118,6 @@ Status Hypervisor::DoCall(Ec* caller_ec, Pt* portal) {
                        costs_.ipc_refill_entries * model.tlb_refill_entry);
     cpu(cpu_id).tlb().FlushTag(hw::kHostTag);
   }
-  stats_.counter("ipc-calls").Add();
-
   TransferWords(caller_ec->utcb(), handler.utcb(), cpu_id);
   if (caller_ec->utcb().num_typed > 0) {
     // Delegations ride on the message and are consumed by the kernel; the

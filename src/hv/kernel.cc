@@ -53,6 +53,7 @@ Hypervisor::HotTraceIds::HotTraceIds(sim::Tracer& t)
     exit[i] = t.Intern(std::string("exit:") +
                        hw::ExitReasonName(static_cast<hw::ExitReason>(i)));
   }
+  vm_event_unhandled = t.Intern("vm-event-unhandled");
 }
 
 Hypervisor::Hypervisor(hw::Machine* machine, HvCosts costs)
@@ -71,7 +72,7 @@ hw::PhysAddr Hypervisor::PoolAlloc() {
   if (!pool_free_.empty()) {
     const hw::PhysAddr frame = pool_free_.back();
     pool_free_.pop_back();
-    machine_->mem().Zero(frame, hw::kPageSize);
+    (void)machine_->mem().Zero(frame, hw::kPageSize);
     return frame;
   }
   if (pool_next_ + hw::kPageSize > kernel_reserve_) {
@@ -202,7 +203,7 @@ Pd* Hypervisor::Boot(std::uint64_t kernel_reserve) {
   machine_->iommu().ProtectRange(0, kernel_reserve_);
 
   root_pd_ = MakePd("root", /*is_vm=*/false, nullptr, KmemQuota::kUnlimited);
-  InstallCap(root_pd_.get(), kSelOwnPd, root_pd_, perm::kAll);
+  (void)InstallCap(root_pd_.get(), kSelOwnPd, root_pd_, perm::kAll);
   // Root's account is bounded by the physical pool itself (frame 0 stays
   // reserved); every pass-through descendant ultimately charges here.
   root_pd_->kmem().SetLimit(kernel_reserve_ / hw::kPageSize - 1);
@@ -297,20 +298,22 @@ Status Hypervisor::DestroyPd(Pd* caller, CapSel pd_sel) {
     return Status::kDenied;
   }
   // Withdraw everything this domain held and everything derived from it.
+  // The per-node withdrawals below are best-effort by design: a range the
+  // domain already unmapped itself is not an error during teardown.
   mdb_.DropDomain(pd, [this](const MdbNode& node) {
     if (node.pd->dead()) {
       return;  // A domain destroyed earlier: its spaces are already gone.
     }
     switch (node.kind) {
       case CrdKind::kMem:
-        node.pd->mem_space().Unmap(node.base, node.count);
+        (void)node.pd->mem_space().Unmap(node.base, node.count);
         break;
       case CrdKind::kIo:
-        node.pd->io_space().Revoke(node.base, node.count);
+        (void)node.pd->io_space().Revoke(node.base, node.count);
         break;
       case CrdKind::kObj:
         for (std::uint64_t i = 0; i < node.count; ++i) {
-          node.pd->caps().Remove(static_cast<CapSel>(node.base + i));
+          (void)node.pd->caps().Remove(static_cast<CapSel>(node.base + i));
         }
         break;
       case CrdKind::kNull:
@@ -319,7 +322,7 @@ Status Hypervisor::DestroyPd(Pd* caller, CapSel pd_sel) {
   });
   pd->MarkDead();
   ReclaimPd(pd);
-  caller->caps().Remove(pd_sel);
+  (void)caller->caps().Remove(pd_sel);
   return Status::kSuccess;
 }
 
@@ -369,7 +372,7 @@ void Hypervisor::ReclaimPd(Pd* pd) {
         ec->set_timeout_event(0);
       }
       if (ec->sc() != nullptr && ec->sc()->queued()) {
-        cpu_states_[ec->cpu()].runqueue.Remove(ec->sc());
+        (void)cpu_states_[ec->cpu()].runqueue.Remove(ec->sc());
       }
       if (ec->sc() != nullptr) {
         ec->sc()->MarkDead();
@@ -776,7 +779,7 @@ Status Hypervisor::Delegate(Pd* caller, CapSel dst_pd_sel, const Crd& src,
     case CrdKind::kNull:
       break;
   }
-  mdb_.Delegate(node, dst, hotspot, src.count(), eff, src.base);
+  (void)mdb_.Delegate(node, dst, hotspot, src.count(), eff, src.base);
   return Status::kSuccess;
 }
 
@@ -784,11 +787,13 @@ Status Hypervisor::Revoke(Pd* caller, const Crd& crd, bool include_self) {
   const std::uint32_t cpu_id = boot_cpu_for_step_;
   Charge(cpu_id, costs_.hypercall_dispatch);
   bool touched_mem = false;
-  mdb_.Revoke(caller, crd, include_self, [&](const MdbNode& node) {
+  // As with DestroyPd: per-node withdrawals during a revoke walk are
+  // best-effort, since children may have dropped ranges on their own.
+  (void)mdb_.Revoke(caller, crd, include_self, [&](const MdbNode& node) {
     Charge(cpu_id, costs_.mdb_node);
     switch (node.kind) {
       case CrdKind::kMem:
-        node.pd->mem_space().Unmap(node.base, node.count);
+        (void)node.pd->mem_space().Unmap(node.base, node.count);
         Charge(cpu_id, costs_.map_page * node.count);
         touched_mem = true;
         if (node.pd->is_vm()) {
@@ -802,11 +807,11 @@ Status Hypervisor::Revoke(Pd* caller, const Crd& crd, bool include_self) {
         }
         break;
       case CrdKind::kIo:
-        node.pd->io_space().Revoke(node.base, node.count);
+        (void)node.pd->io_space().Revoke(node.base, node.count);
         break;
       case CrdKind::kObj:
         for (std::uint64_t i = 0; i < node.count; ++i) {
-          node.pd->caps().Remove(static_cast<CapSel>(node.base + i));
+          (void)node.pd->caps().Remove(static_cast<CapSel>(node.base + i));
         }
         break;
       case CrdKind::kNull:

@@ -88,7 +88,7 @@ class Hypervisor : public KmemPool {
   Status Call(Ec* caller_ec, CapSel pt_sel);
 
   Status SmUp(Pd* caller, CapSel sm_sel);
-  enum class DownResult : std::uint8_t {
+  enum class [[nodiscard]] DownResult : std::uint8_t {
     kAcquired,  // Counter was positive; decremented without blocking.
     kBlocked,   // Caller enqueued on the semaphore; retry after wake-up.
     kTimeout,   // A previous blocked wait's deadline expired (kTimeout).
@@ -157,11 +157,11 @@ class Hypervisor : public KmemPool {
 
   // Kernel frame allocator (exposed for the root PM to build tables for
   // guests during image installation). Charged to the root PD's account.
-  hw::PhysAddr AllocFrame();
+  [[nodiscard]] hw::PhysAddr AllocFrame();
   void FreeFrame(hw::PhysAddr frame);
   // KmemPool: allocate/free one kernel frame charged to `pd`'s quota
   // chain. Returns 0 on quota or pool exhaustion — never a fake frame.
-  hw::PhysAddr AllocFrameFor(Pd* pd) override;
+  [[nodiscard]] hw::PhysAddr AllocFrameFor(Pd* pd) override;
   void FreeFrameFor(Pd* pd, hw::PhysAddr frame) override;
 
   // Deterministic fault injection: when set, every charged allocation
@@ -211,11 +211,11 @@ class Hypervisor : public KmemPool {
 
   // Raw pool operations (no accounting); everything outside Boot goes
   // through the charged AllocFrameFor/FreeFrameFor pair.
-  hw::PhysAddr PoolAlloc();
+  [[nodiscard]] hw::PhysAddr PoolAlloc();
   void PoolFree(hw::PhysAddr frame);
   // Charge `frames` to `pd` for a kernel object (UTCB, VMCS, SC, portal,
   // semaphore); consults the fault plan like a real frame allocation.
-  bool ChargeObjectFrames(Pd* pd, std::uint64_t frames);
+  [[nodiscard]] bool ChargeObjectFrames(Pd* pd, std::uint64_t frames);
   // The caller's own-PD reference (selector 0), for donor chains and
   // object charges that outlive the raw pointer.
   std::shared_ptr<Pd> SelfRef(Pd* caller);
@@ -274,7 +274,8 @@ class Hypervisor : public KmemPool {
           vm_error(s.counter("VM Error")),
           vm_event_ipc(s.counter("vm-event-ipc")),
           vm_event_unhandled(s.counter("vm-event-unhandled")),
-          gsi_delivered(s.counter("gsi-delivered")) {}
+          gsi_delivered(s.counter("gsi-delivered")),
+          ipc_calls(s.counter("ipc-calls")) {}
     sim::Counter& hlt;
     sim::Counter& hw_intr;
     sim::Counter& recall;
@@ -291,6 +292,7 @@ class Hypervisor : public KmemPool {
     sim::Counter& vm_event_ipc;
     sim::Counter& vm_event_unhandled;
     sim::Counter& gsi_delivered;
+    sim::Counter& ipc_calls;
   };
 
   // Interned trace-name ids resolved once at construction. The Table 2
@@ -306,6 +308,9 @@ class Hypervisor : public KmemPool {
         gsi_delivered, vtlb_resolve;
     // Host-side handling span per exit reason ("exit:<reason>").
     std::uint16_t exit[hw::kNumExitReasons] = {};
+    // Interned AFTER everything above (see the ctor): ids are dense and
+    // golden trace digests depend on them, so new names only ever append.
+    std::uint16_t vm_event_unhandled = 0;
   };
 
   // Bump a Table 2 counter and emit the matching trace instant (stamped

@@ -45,7 +45,7 @@ class KmemQuota {
 
   // Terminal charge/credit on this account (the donor walk lives in
   // Pd::ChargeKmem, which knows the tree).
-  bool TryCharge(std::uint64_t frames) {
+  [[nodiscard]] bool TryCharge(std::uint64_t frames) {
     if (bounded() && limit_ - used_ < frames) return false;
     used_ += frames;
     return true;
@@ -79,7 +79,9 @@ class KmemPool {
 
   // Allocate one zeroed kernel frame charged to `pd`'s account chain.
   // Returns 0 when the quota or the pool is exhausted.
-  virtual hw::PhysAddr AllocFrameFor(Pd* pd) = 0;
+  // [[nodiscard]]: kNullPhys on quota exhaustion must be observed, or
+  // the caller writes page-table entries into frame 0.
+  [[nodiscard]] virtual hw::PhysAddr AllocFrameFor(Pd* pd) = 0;
 
   // Return a frame to the pool and credit `pd`'s account chain.
   virtual void FreeFrameFor(Pd* pd, hw::PhysAddr frame) = 0;

@@ -34,7 +34,10 @@ class Pd : public KObject {
         name_(std::move(name)),
         is_vm_(is_vm),
         pool_(pool),
+        // Page-table frames charged here are credited by MemSpace's
+        // teardown walk (spaces.cc), not in this file.
         mem_space_(mem, mode, pt_root,
+                   // nova-lint: allow(quota-symmetry)
                    [this] { return pool_->AllocFrameFor(this); }) {
     caps_.set_charge_fn([this](std::uint64_t frames) {
       return ChargeKmem(frames);
@@ -60,7 +63,7 @@ class Pd : public KObject {
     kmem_donor_ = std::move(donor);
   }
 
-  bool ChargeKmem(std::uint64_t frames) {
+  [[nodiscard]] bool ChargeKmem(std::uint64_t frames) {
     Pd* terminal = this;
     while (!terminal->kmem_.bounded() && terminal->kmem_donor_ != nullptr) {
       terminal = terminal->kmem_donor_.get();

@@ -31,7 +31,7 @@ Status MemSpace::Map(std::uint64_t page, std::uint64_t hpa_page,
                      large_size, PteFlags(perms), alloc_);
       if (!Ok(s)) {
         for (std::uint64_t undo = 0; undo < off; undo += large_pages) {
-          table_.Unmap((page + undo) << hw::kPageShift);
+          (void)table_.Unmap((page + undo) << hw::kPageShift);
         }
         return s == Status::kOverflow ? Status::kNoMem : s;
       }
@@ -43,7 +43,7 @@ Status MemSpace::Map(std::uint64_t page, std::uint64_t hpa_page,
                      hw::kPageSize, PteFlags(perms), alloc_);
       if (!Ok(s)) {
         for (std::uint64_t undo = 0; undo < off; ++undo) {
-          table_.Unmap((page + undo) << hw::kPageShift);
+          (void)table_.Unmap((page + undo) << hw::kPageShift);
         }
         return s == Status::kOverflow ? Status::kNoMem : s;
       }
@@ -66,12 +66,12 @@ Status MemSpace::Unmap(std::uint64_t page, std::uint64_t count) {
     if (it->second.large) {
       // Revoking any part of a superpage drops the whole superpage.
       const std::uint64_t base = (page + off) & ~(large_pages - 1);
-      table_.Unmap(base << hw::kPageShift);
+      (void)table_.Unmap(base << hw::kPageShift);
       for (std::uint64_t i = 0; i < large_pages; ++i) {
         pages_.erase(base + i);
       }
     } else {
-      table_.Unmap((page + off) << hw::kPageShift);
+      (void)table_.Unmap((page + off) << hw::kPageShift);
       pages_.erase(it);
     }
   }

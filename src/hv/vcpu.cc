@@ -121,7 +121,7 @@ bool Hypervisor::DispatchVmEvent(Ec* vcpu, Event event, const hw::VmExit& exit) 
   // the VM itself cannot perform hypercalls (§4.2).
   Pt* pt = LookupCharged<Pt>(&vm, sel, ObjType::kPt, perm::kCall, cpu_id);
   if (pt == nullptr) {
-    ctr_.vm_event_unhandled.Add();
+    CountEvent(ctr_.vm_event_unhandled, trc_.vm_event_unhandled, cpu_id);
     return false;
   }
   Ec& handler = pt->handler();

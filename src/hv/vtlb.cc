@@ -35,7 +35,7 @@ void FreeShadowLevel(hw::PhysMem& mem, hw::PagingMode mode, hw::PhysAddr table,
   const int esize = mode == hw::PagingMode::kTwoLevel ? 4 : 8;
   for (int i = 0; i < entries; ++i) {
     std::uint64_t entry = 0;
-    mem.Read(table + static_cast<std::uint64_t>(i) * esize, &entry, esize);
+    (void)mem.Read(table + static_cast<std::uint64_t>(i) * esize, &entry, esize);
     if (!(entry & hw::pte::kPresent) || (entry & hw::pte::kLarge)) {
       continue;
     }
@@ -124,7 +124,7 @@ void Vtlb::FreeBelowRoot(Context& ctx) {
                     --ctx.frames;
                     --frames_held_;
                   });
-  env_.mem->Zero(ctx.root, hw::kPageSize);
+  (void)env_.mem->Zero(ctx.root, hw::kPageSize);
 }
 
 void Vtlb::FreeTree(Context& ctx) {
@@ -218,7 +218,7 @@ Vtlb::Outcome Vtlb::Resolve(const hw::VmExit& exit, std::uint64_t* gpa_out) {
         return Outcome::kHostFault;
       }
       std::uint64_t entry = 0;
-      mem.Read(hx.pa, &entry, 4);
+      (void)mem.Read(hx.pa, &entry, 4);
       c.Charge(model.mem_access);  // One dereference per guest level.
 
       if (!(entry & hw::pte::kPresent) ||
@@ -232,7 +232,7 @@ Vtlb::Outcome Vtlb::Resolve(const hw::VmExit& exit, std::uint64_t* gpa_out) {
         updated |= hw::pte::kDirty;
       }
       if (updated != entry) {
-        mem.Write(hx.pa, &updated, 4);
+        (void)mem.Write(hx.pa, &updated, 4);
         c.Charge(model.mem_access);
         entry = updated;
       }
@@ -360,7 +360,7 @@ void Vtlb::HandleInvlpg(std::uint64_t gva) {
     // Adopted-root quirk before the first fill: operate on the raw root.
     hw::PageTable shadow(env_.mem, env_.ctl->nested_format,
                          env_.ctl->nested_root);
-    shadow.Unmap(gva & ~(hw::kPageSize - 1));
+    (void)shadow.Unmap(gva & ~(hw::kPageSize - 1));
     env_.cpu->tlb().FlushVa(env_.ctl->tag, gva);
     env_.cpu->Charge(env_.costs->map_page);
     return;
@@ -373,7 +373,7 @@ void Vtlb::HandleInvlpg(std::uint64_t gva) {
       continue;
     }
     hw::PageTable shadow(env_.mem, env_.ctl->nested_format, ctx.root);
-    shadow.Unmap(gva & ~(hw::kPageSize - 1));
+    (void)shadow.Unmap(gva & ~(hw::kPageSize - 1));
     env_.cpu->tlb().FlushVa(ctx.tag, gva);
     env_.cpu->Charge(env_.costs->map_page);
   }
@@ -394,7 +394,7 @@ void Vtlb::Flush() {
     FreeShadowLevel(*env_.mem, env_.ctl->nested_format, env_.ctl->nested_root,
                     hw::Levels(env_.ctl->nested_format) - 1,
                     [this](hw::PhysAddr f) { env_.free(f); });
-    env_.mem->Zero(env_.ctl->nested_root, hw::kPageSize);
+    (void)env_.mem->Zero(env_.ctl->nested_root, hw::kPageSize);
   } else {
     // Drop every dormant context outright; the active tree survives with
     // a zeroed root because the VMCS still points at it.

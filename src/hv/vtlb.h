@@ -54,7 +54,9 @@ struct VtlbPolicy {
 
 class Vtlb {
  public:
-  enum class Outcome : std::uint8_t {
+  // [[nodiscard]]: a dropped Outcome means a dropped guest fault or a
+  // silently ignored kNoMem — both must reach the dispatch loop.
+  enum class [[nodiscard]] Outcome : std::uint8_t {
     kFilled,
     kGuestFault,
     kHostFault,

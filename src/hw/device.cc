@@ -65,7 +65,7 @@ Status Bus::MmioWrite(PhysAddr addr, unsigned size, std::uint64_t value) const {
   if (dev == nullptr) {
     return Status::kMemoryFault;
   }
-  dev->MmioWrite(addr - base, size, value);
+  (void)dev->MmioWrite(addr - base, size, value);
   return Status::kSuccess;
 }
 
@@ -84,7 +84,7 @@ Status Bus::PioWrite(std::uint16_t port, unsigned size, std::uint32_t value) con
   if (dev == nullptr) {
     return Status::kBadDevice;
   }
-  dev->PioWrite(port, size, value);
+  (void)dev->PioWrite(port, size, value);
   return Status::kSuccess;
 }
 

@@ -37,7 +37,7 @@ Status Iommu::Unmap(DeviceId dev, std::uint64_t iova, std::uint64_t size) {
     return Status::kBadDevice;
   }
   for (std::uint64_t off = 0; off < size; off += kPageSize) {
-    it->second.table->Unmap(iova + off);
+    (void)it->second.table->Unmap(iova + off);
   }
   return Status::kSuccess;
 }
@@ -141,7 +141,7 @@ Status Iommu::DmaWrite(DeviceId dev, std::uint64_t iova, const void* data,
   while (len > 0) {
     const std::uint64_t chunk = std::min<std::uint64_t>(len, kPageSize - (iova & kPageMask));
     PhysAddr pa = 0;
-    Translate(dev, iova, /*write=*/true, &pa);
+    (void)Translate(dev, iova, /*write=*/true, &pa);
     const Status ws = mem_->Write(pa, src, chunk);
     if (!Ok(ws)) {
       return ws;

@@ -23,9 +23,9 @@ void PageTable::WriteEntry(PhysAddr table, std::uint64_t index,
                            std::uint64_t entry) const {
   const LevelInfo li = Level(0);
   if (li.esize == 4) {
-    mem_->Write32(table + index * 4, static_cast<std::uint32_t>(entry));
+    (void)mem_->Write32(table + index * 4, static_cast<std::uint32_t>(entry));
   } else {
-    mem_->Write64(table + index * 8, entry);
+    (void)mem_->Write64(table + index * 8, entry);
   }
 }
 
@@ -107,7 +107,7 @@ Status PageTable::Map(VirtAddr va, PhysAddr pa, std::uint64_t page_size,
       if (fresh == 0) {
         return Status::kOverflow;
       }
-      mem_->Zero(fresh, kPageSize);
+      (void)mem_->Zero(fresh, kPageSize);
       entry = (fresh & pte::kAddrMask) | pte::kPresent | pte::kWritable | pte::kUser;
       WriteEntry(table, index, entry);
     } else if (level == 1 && (entry & pte::kLarge)) {

@@ -48,7 +48,9 @@ class PhysMem {
   template <typename T>
   T ReadAs(PhysAddr addr) const {
     T v{};
-    Read(addr, &v, sizeof(T));
+    // Out-of-range reads yield T{} by design: callers that need the
+    // fault distinction use Read() directly.
+    (void)Read(addr, &v, sizeof(T));
     return v;
   }
   template <typename T>

@@ -22,7 +22,7 @@ void PlatformTimer::PioWrite(std::uint16_t port, unsigned /*size*/, std::uint32_
       break;
     case timer::kPortPeriodHi: {
       const std::uint32_t micros = (value << 16) | period_lo_;
-      Start(sim::Microseconds(micros));
+      (void)Start(sim::Microseconds(micros));
       break;
     }
     case timer::kPortControl:

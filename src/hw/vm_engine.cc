@@ -31,22 +31,22 @@ std::uint64_t VmEngine::PhysRead(PhysAddr pa, unsigned size) {
   std::uint64_t out = 0;
   if (bus_->FindMmio(pa) != nullptr) {
     cpu_->Charge(costs_.mmio_access);
-    bus_->MmioRead(pa, size, &out);
+    (void)bus_->MmioRead(pa, size, &out);
     return out;
   }
   cpu_->Charge(cpu_->model().mem_access);
-  mem_->Read(pa, &out, size);
+  (void)mem_->Read(pa, &out, size);
   return out;
 }
 
 void VmEngine::PhysWrite(PhysAddr pa, unsigned size, std::uint64_t value) {
   if (bus_->FindMmio(pa) != nullptr) {
     cpu_->Charge(costs_.mmio_access);
-    bus_->MmioWrite(pa, size, value);
+    (void)bus_->MmioWrite(pa, size, value);
     return;
   }
   cpu_->Charge(cpu_->model().mem_access);
-  mem_->Write(pa, &value, size);
+  (void)mem_->Write(pa, &value, size);
 }
 
 VmEngine::XlatResult VmEngine::TranslateGpa(const VmControls& ctl,
@@ -69,7 +69,7 @@ VmEngine::XlatResult VmEngine::TranslateGpa(const VmControls& ctl,
     r.pf = w.fault;
     return r;
   }
-  nested_tlb_.Insert(ctl.tag, gpa, w.pa, w.page_size,
+  (void)nested_tlb_.Insert(ctl.tag, gpa, w.pa, w.page_size,
                      (w.pte & pte::kWritable) != 0, true, true);
   r.hpa = w.pa;
   return r;
@@ -89,7 +89,7 @@ VmEngine::XlatResult VmEngine::Translate(GuestState& gs, const VmControls& ctl,
     case TranslationMode::kNative: {
       if (!gs.paging) {
         r.hpa = gva;
-        tlb.Insert(ctl.tag, gva, gva, kPageSize, true, true, true);
+        (void)tlb.Insert(ctl.tag, gva, gva, kPageSize, true, true, true);
         return r;
       }
       PageTable pt(mem_, PagingMode::kTwoLevel, gs.cr3);
@@ -100,7 +100,7 @@ VmEngine::XlatResult VmEngine::Translate(GuestState& gs, const VmControls& ctl,
         r.pf = w.fault;
         return r;
       }
-      tlb.Insert(ctl.tag, gva, w.pa, w.page_size, (w.pte & pte::kWritable) != 0,
+      (void)tlb.Insert(ctl.tag, gva, w.pa, w.page_size, (w.pte & pte::kWritable) != 0,
                  (w.pte & pte::kUser) != 0, (w.pte & pte::kDirty) != 0,
                  (w.pte & pte::kGlobal) != 0);
       r.hpa = w.pa;
@@ -125,7 +125,7 @@ VmEngine::XlatResult VmEngine::Translate(GuestState& gs, const VmControls& ctl,
             return tx;  // EPT violation while walking the guest table.
           }
           std::uint64_t entry = 0;
-          mem_->Read(tx.hpa, &entry, 4);
+          (void)mem_->Read(tx.hpa, &entry, 4);
           cpu_->Charge(model.mem_access);
 
           if (!(entry & pte::kPresent) ||
@@ -144,7 +144,7 @@ VmEngine::XlatResult VmEngine::Translate(GuestState& gs, const VmControls& ctl,
             updated |= pte::kDirty;
           }
           if (updated != entry) {
-            mem_->Write(tx.hpa, &updated, 4);
+            (void)mem_->Write(tx.hpa, &updated, 4);
             cpu_->Charge(model.mem_access);
             entry = updated;
           }
@@ -166,7 +166,7 @@ VmEngine::XlatResult VmEngine::Translate(GuestState& gs, const VmControls& ctl,
       std::uint64_t span = guest_page != 0 ? guest_page : kPageSize;
       const bool writable = !gs.paging || (leaf & pte::kWritable) != 0;
       const bool user = !gs.paging || (leaf & pte::kUser) != 0;
-      tlb.Insert(ctl.tag, gva, fx.hpa, std::min(span, kPageSize * 512),
+      (void)tlb.Insert(ctl.tag, gva, fx.hpa, std::min(span, kPageSize * 512),
                  writable, user, access.write);
       r.hpa = fx.hpa;
       return r;
@@ -181,7 +181,7 @@ VmEngine::XlatResult VmEngine::Translate(GuestState& gs, const VmControls& ctl,
         r.pf = w.fault;
         return r;
       }
-      tlb.Insert(ctl.tag, gva, w.pa, w.page_size, (w.pte & pte::kWritable) != 0,
+      (void)tlb.Insert(ctl.tag, gva, w.pa, w.page_size, (w.pte & pte::kWritable) != 0,
                  (w.pte & pte::kUser) != 0, (w.pte & pte::kDirty) != 0);
       r.hpa = w.pa;
       return r;
@@ -315,7 +315,7 @@ VmEngine::StepResult VmEngine::Step(GuestState& gs, const VmControls& ctl) {
     return sr;  // #PF delivered internally: retry from the handler.
   }
   std::uint8_t bytes[isa::kInsnSize];
-  mem_->Read(x.hpa, bytes, isa::kInsnSize);
+  (void)mem_->Read(x.hpa, bytes, isa::kInsnSize);
   cpu_->Charge(cpu_->model().mem_access);
   const isa::Insn insn = isa::Decode(bytes);
   cpu_->Charge(cpu_->model().op_cost);
@@ -413,8 +413,8 @@ VmEngine::StepResult VmEngine::Execute(GuestState& gs, const VmControls& ctl,
           return sr;
         }
         std::uint8_t buf[kPageSize];
-        mem_->Read(sx.hpa, buf, chunk);
-        mem_->Write(dx.hpa, buf, chunk);
+        (void)mem_->Read(sx.hpa, buf, chunk);
+        (void)mem_->Write(dx.hpa, buf, chunk);
         cpu_->Charge((chunk + 7) / 8 * cpu_->model().word_copy +
                      2 * cpu_->model().mem_access);
         src += chunk;
@@ -447,10 +447,10 @@ VmEngine::StepResult VmEngine::Execute(GuestState& gs, const VmControls& ctl,
       if (direct) {
         cpu_->Charge(costs_.pio_access);
         if (is_out) {
-          bus_->PioWrite(port, 4, static_cast<std::uint32_t>(gs.regs[insn.r1 & 7]));
+          (void)bus_->PioWrite(port, 4, static_cast<std::uint32_t>(gs.regs[insn.r1 & 7]));
         } else {
           std::uint32_t v = 0;
-          bus_->PioRead(port, 4, &v);
+          (void)bus_->PioRead(port, 4, &v);
           gs.regs[insn.r1 & 7] = v;
         }
         gs.rip = next_rip;

@@ -18,23 +18,23 @@ Platform SetupStandardPlatform(hw::Machine* machine, RootPartitionManager* root,
       kAhciDevId, &machine->iommu(), &machine->irq(), kAhciGsi, disk.get());
   p.ahci = machine->AddDevice(std::move(ahci));
   p.ahci->set_tracer(&machine->tracer());
-  machine->bus().RegisterMmio(kAhciMmioBase, kAhciMmioSize, p.ahci);
+  (void)machine->bus().RegisterMmio(kAhciMmioBase, kAhciMmioSize, p.ahci);
 
   auto nic = std::make_unique<hw::Nic>(kNicDevId, &machine->iommu(),
                                        &machine->irq(), kNicGsi, &machine->events());
   p.nic = machine->AddDevice(std::move(nic));
   p.nic->set_tracer(&machine->tracer());
-  machine->bus().RegisterMmio(kNicMmioBase, kNicMmioSize, p.nic);
+  (void)machine->bus().RegisterMmio(kNicMmioBase, kNicMmioSize, p.nic);
   p.link = std::make_unique<hw::NetLink>(&machine->events(), p.nic);
 
   auto timer = std::make_unique<hw::PlatformTimer>(kTimerDevId, &machine->irq(),
                                                    kTimerGsi, &machine->events());
   p.timer = machine->AddDevice(std::move(timer));
-  machine->bus().RegisterPio(hw::timer::kPortPeriodLo, 4, p.timer);
+  (void)machine->bus().RegisterPio(hw::timer::kPortPeriodLo, 4, p.timer);
 
   auto uart = std::make_unique<hw::Uart>(kUartDevId);
   p.uart = machine->AddDevice(std::move(uart));
-  machine->bus().RegisterPio(hw::uart::kPortBase, 8, p.uart);
+  (void)machine->bus().RegisterPio(hw::uart::kPortBase, 8, p.uart);
 
   // Transfer disk-model ownership into the machine's device list by
   // wrapping it; the controller holds the functional pointer.

@@ -107,7 +107,7 @@ void RootPartitionManager::RegisterDevice(const std::string& name,
                                           const DeviceInfo& info) {
   devices_[name] = info;
   if (info.mmio_size > 0) {
-    hv_->GrantDeviceWindow(info.mmio_base, info.mmio_size);
+    (void)hv_->GrantDeviceWindow(info.mmio_base, info.mmio_size);
   }
 }
 

@@ -49,7 +49,7 @@ void VmmSupervisor::CheckAll() {
       continue;
     }
     std::uint64_t hb = 0;
-    hv_->machine().mem().Read(watched_[i].hb_addr, &hb, sizeof(hb));
+    (void)hv_->machine().mem().Read(watched_[i].hb_addr, &hb, sizeof(hb));
     if (hb != watched_[i].last_seen) {
       watched_[i].last_seen = hb;
       watched_[i].stale = 0;
@@ -77,8 +77,8 @@ void VmmSupervisor::Recover(Watched& w) {
   // (the VM), then the VMM itself. Revocation recursively strips every
   // mapping either domain delegated onward; the kernel reclaims shadow
   // contexts, TLB tags, paging structures and scheduling contexts.
-  hv_->DestroyPd(root_->pd(), w.vm_sel);
-  hv_->DestroyPd(root_->pd(), w.vmm_sel);
+  (void)hv_->DestroyPd(root_->pd(), w.vm_sel);
+  (void)hv_->DestroyPd(root_->pd(), w.vmm_sel);
 
   w.recovered = true;
   ++recoveries_;

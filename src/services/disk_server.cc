@@ -12,8 +12,8 @@ DiskServer::DiskServer(hv::Hypervisor* hv, root::RootPartitionManager* root,
                        std::uint32_t cpu, std::uint8_t irq_prio)
     : hv_(hv), root_(root), cpu_(cpu) {
   pd_sel_ = root->CreatePd("disk-server", /*is_vm=*/false, &pd_);
-  root->AssignDevice(pd_sel_, "ahci");
-  root->BindInterrupt(pd_sel_, "ahci", kSmSel, cpu);
+  (void)root->AssignDevice(pd_sel_, "ahci");
+  (void)root->BindInterrupt(pd_sel_, "ahci", kSmSel, cpu);
 
   // Command list (1 KiB) + command tables (32 x 256 B): three pages.
   clb_page_ = root->GrantMemory(pd_sel_, 1, ~0ull, hv::perm::kRw);
@@ -21,7 +21,7 @@ DiskServer::DiskServer(hv::Hypervisor* hv, root::RootPartitionManager* root,
 
   // Request handler EC: one per server, shared by every channel portal.
   req_ec_cap_sel_ = root->FreeSel();
-  hv_->CreateEcLocal(root->pd(), req_ec_cap_sel_, pd_sel_, cpu,
+  (void)hv_->CreateEcLocal(root->pd(), req_ec_cap_sel_, pd_sel_, cpu,
                      [this](std::uint64_t channel_id) {
                        HandleRequest(static_cast<std::uint32_t>(channel_id));
                      },
@@ -31,17 +31,17 @@ DiskServer::DiskServer(hv::Hypervisor* hv, root::RootPartitionManager* root,
 
   // Interrupt thread.
   const hv::CapSel irq_ec_sel = root->FreeSel();
-  hv_->CreateEcGlobal(root->pd(), irq_ec_sel, pd_sel_, cpu,
+  (void)hv_->CreateEcGlobal(root->pd(), irq_ec_sel, pd_sel_, cpu,
                       [this] { IrqThreadStep(); }, &irq_ec_);
   const hv::CapSel irq_sc_sel = root->FreeSel();
-  hv_->CreateSc(root->pd(), irq_sc_sel, irq_ec_sel, irq_prio, 5'000'000);
+  (void)hv_->CreateSc(root->pd(), irq_sc_sel, irq_ec_sel, irq_prio, 5'000'000);
 
   // Bring the controller up. Task-file errors interrupt too, so errored
   // commands surface on the same semaphore as completions.
-  MmioWrite(hw::ahci::kGhc, hw::ahci::kGhcIntrEnable);
-  MmioWrite(hw::ahci::kPxClb, clb_page_ << hw::kPageShift);
-  MmioWrite(hw::ahci::kPxIe, hw::ahci::kPxIsDhrs | hw::ahci::kPxIsTfes);
-  MmioWrite(hw::ahci::kPxCmd, hw::ahci::kPxCmdStart);
+  (void)MmioWrite(hw::ahci::kGhc, hw::ahci::kGhcIntrEnable);
+  (void)MmioWrite(hw::ahci::kPxClb, clb_page_ << hw::kPageShift);
+  (void)MmioWrite(hw::ahci::kPxIe, hw::ahci::kPxIsDhrs | hw::ahci::kPxIsTfes);
+  (void)MmioWrite(hw::ahci::kPxCmd, hw::ahci::kPxCmdStart);
 }
 
 void DiskServer::SetRequestDeadline(sim::PicoSeconds deadline_ps,
@@ -57,7 +57,7 @@ std::uint64_t DiskServer::MmioRead(std::uint64_t offset) {
 }
 
 void DiskServer::MmioWrite(std::uint64_t offset, std::uint64_t value) {
-  HostMmioWrite(hv_, pd_, cpu_, kAhciMmioBase + offset, 4, value);
+  (void)HostMmioWrite(hv_, pd_, cpu_, kAhciMmioBase + offset, 4, value);
 }
 
 DiskServer::Channel DiskServer::OpenChannel(hv::CapSel client_pd_sel,
@@ -72,7 +72,7 @@ DiskServer::Channel DiskServer::OpenChannel(hv::CapSel client_pd_sel,
 
   // The server-side handle on the client's completion portal.
   const hv::CapSel comp_sel = next_comp_sel_++;
-  hv_->Delegate(root_->pd(), pd_sel_,
+  (void)hv_->Delegate(root_->pd(), pd_sel_,
                 hv::Crd::Obj(completion_pt_sel, 0, hv::perm::kCall), comp_sel);
 
   if (!free_channels_.empty()) {
@@ -82,10 +82,10 @@ DiskServer::Channel DiskServer::OpenChannel(hv::CapSel client_pd_sel,
     const std::uint32_t channel_id = free_channels_.back();
     free_channels_.pop_back();
     ChannelState& ch = channels_[channel_id];
-    hv_->Delegate(root_->pd(), client_pd_sel,
+    (void)hv_->Delegate(root_->pd(), client_pd_sel,
                   hv::Crd::Mem(ch.shared_page, 0, hv::perm::kRw), ch.shared_page);
     const hv::CapSel client_sel = client->caps().FindFree(hv::kSelFirstFree);
-    hv_->Delegate(root_->pd(), client_pd_sel,
+    (void)hv_->Delegate(root_->pd(), client_pd_sel,
                   hv::Crd::Obj(ch.request_pt, 0, hv::perm::kCall), client_sel);
     ch.completion_pt = comp_sel;
     ch.outstanding = 0;
@@ -102,15 +102,15 @@ DiskServer::Channel DiskServer::OpenChannel(hv::CapSel client_pd_sel,
 
   // Shared completion ring: one frame mapped in both domains.
   const std::uint64_t frame = root_->AllocPages(1);
-  hv_->Delegate(root_->pd(), pd_sel_, hv::Crd::Mem(frame, 0, hv::perm::kRw), frame);
-  hv_->Delegate(root_->pd(), client_pd_sel, hv::Crd::Mem(frame, 0, hv::perm::kRw),
+  (void)hv_->Delegate(root_->pd(), pd_sel_, hv::Crd::Mem(frame, 0, hv::perm::kRw), frame);
+  (void)hv_->Delegate(root_->pd(), client_pd_sel, hv::Crd::Mem(frame, 0, hv::perm::kRw),
                 frame);
 
   // Dedicated request portal for this client (§4.2: per-VMM channels).
   const hv::CapSel pt_sel = root_->FreeSel();
-  hv_->CreatePt(root_->pd(), pt_sel, req_ec_cap_sel_, /*mtd=*/0, channel_id);
+  (void)hv_->CreatePt(root_->pd(), pt_sel, req_ec_cap_sel_, /*mtd=*/0, channel_id);
   const hv::CapSel client_sel = client->caps().FindFree(hv::kSelFirstFree);
-  hv_->Delegate(root_->pd(), client_pd_sel, hv::Crd::Obj(pt_sel, 0, hv::perm::kCall),
+  (void)hv_->Delegate(root_->pd(), client_pd_sel, hv::Crd::Obj(pt_sel, 0, hv::perm::kCall),
                 client_sel);
 
   channels_.push_back(ChannelState{.completion_pt = comp_sel,
@@ -221,8 +221,8 @@ void DiskServer::HandleRequest(std::uint32_t channel_id) {
   if (write) {
     dw0 |= 1u << 6;
   }
-  mem.Write32(clb, dw0);
-  mem.Write32(clb + 8, static_cast<std::uint32_t>(ctba));
+  (void)mem.Write32(clb, dw0);
+  (void)mem.Write32(clb + 8, static_cast<std::uint32_t>(ctba));
   std::uint8_t cfis[64] = {};
   cfis[0] = hw::ahci::kFisH2d;
   cfis[2] = write ? hw::ahci::kCmdWriteDmaExt : hw::ahci::kCmdReadDmaExt;
@@ -231,9 +231,9 @@ void DiskServer::HandleRequest(std::uint32_t channel_id) {
   }
   const auto sect16 = static_cast<std::uint16_t>(sectors);
   std::memcpy(cfis + 12, &sect16, 2);
-  mem.Write(ctba, cfis, sizeof(cfis));
-  mem.Write64(ctba + 0x80, buffer_page << hw::kPageShift);
-  mem.Write32(ctba + 0x80 + 12,
+  (void)mem.Write(ctba, cfis, sizeof(cfis));
+  (void)mem.Write64(ctba + 0x80, buffer_page << hw::kPageShift);
+  (void)mem.Write32(ctba + 0x80 + 12,
               static_cast<std::uint32_t>(sectors * hw::kSectorSize - 1));
   // The driver's structure setup costs real work.
   hv_->machine().cpu(cpu_).Charge(180);
@@ -257,7 +257,7 @@ void DiskServer::HandleRequest(std::uint32_t channel_id) {
           }
         });
   }
-  MmioWrite(hw::ahci::kPxCi, 1u << slot);
+  (void)MmioWrite(hw::ahci::kPxCi, 1u << slot);
   reply(Status::kSuccess, static_cast<std::uint64_t>(slot));
 }
 
@@ -269,8 +269,8 @@ void DiskServer::IrqThreadStep() {
   // Acknowledge the controller.
   const std::uint64_t is = MmioRead(hw::ahci::kIs);
   const std::uint64_t px_is = MmioRead(hw::ahci::kPxIs);
-  MmioWrite(hw::ahci::kPxIs, px_is);
-  MmioWrite(hw::ahci::kIs, is);
+  (void)MmioWrite(hw::ahci::kPxIs, px_is);
+  (void)MmioWrite(hw::ahci::kIs, is);
 
   const auto ci = static_cast<std::uint32_t>(MmioRead(hw::ahci::kPxCi));
   // The error register is only consulted when a task-file error actually
@@ -278,7 +278,7 @@ void DiskServer::IrqThreadStep() {
   std::uint32_t err = 0;
   if ((px_is & hw::ahci::kPxIsTfes) != 0) {
     err = static_cast<std::uint32_t>(MmioRead(hw::ahci::kPxVs));
-    MmioWrite(hw::ahci::kPxVs, err);
+    (void)MmioWrite(hw::ahci::kPxVs, err);
   }
   // A quarantined slot leaves quarantine once the hardware finished with
   // it, successfully or not.
@@ -304,7 +304,7 @@ void DiskServer::HandleErrorSlots(std::uint32_t err_mask) {
       const std::uint64_t gen = slot.generation;
       hv_->machine().events().ScheduleAfter(delay, [this, s, gen] {
         if (slots_[s].active && slots_[s].generation == gen) {
-          MmioWrite(hw::ahci::kPxCi, 1u << s);
+          (void)MmioWrite(hw::ahci::kPxCi, 1u << s);
         }
       });
     } else {
@@ -320,7 +320,7 @@ void DiskServer::NotifyClient(ChannelState& ch, std::uint64_t cookie) {
     u.untyped = 2;
     u.words[0] = cookie;
     u.words[1] = ch.ring_head;
-    hv_->Call(irq_ec_, ch.completion_pt);  // kAbort (dead client) tolerated.
+    (void)hv_->Call(irq_ec_, ch.completion_pt);  // kAbort (dead client) tolerated.
   }
 }
 
@@ -341,7 +341,7 @@ void DiskServer::FailRequest(int s, Status status) {
   const std::uint32_t index =
       ch.ring_head % (hw::kPageSize / sizeof(DiskCompletionRecord));
   const DiskCompletionRecord rec{slot.cookie, static_cast<std::uint64_t>(status)};
-  mem.Write(ring + index * sizeof(DiskCompletionRecord), &rec, sizeof(rec));
+  (void)mem.Write(ring + index * sizeof(DiskCompletionRecord), &rec, sizeof(rec));
   ++ch.ring_head;
   slot.active = false;
   --ch.outstanding;
@@ -367,7 +367,7 @@ void DiskServer::CompleteSlots(std::uint32_t done_mask) {
     const std::uint32_t index =
         ch.ring_head % (hw::kPageSize / sizeof(DiskCompletionRecord));
     const DiskCompletionRecord rec{slot.cookie, 0};
-    mem.Write(ring + index * sizeof(DiskCompletionRecord), &rec, sizeof(rec));
+    (void)mem.Write(ring + index * sizeof(DiskCompletionRecord), &rec, sizeof(rec));
     ++ch.ring_head;
     slot.active = false;
     --ch.outstanding;

@@ -9,8 +9,11 @@
 
 namespace nova {
 
-// Result of a hypercall or internal kernel operation.
-enum class Status : std::uint8_t {
+// Result of a hypercall or internal kernel operation. The enum itself is
+// [[nodiscard]]: every function returning a Status inherits the
+// must-check contract, so a silently dropped error fails compilation
+// under NOVA_WERROR and is flagged by nova-lint's unchecked-status rule.
+enum class [[nodiscard]] Status : std::uint8_t {
   kSuccess = 0,     // Operation completed.
   kTimeout,         // Operation timed out (blocking IPC / semaphore).
   kAbort,           // Operation aborted by a third party.

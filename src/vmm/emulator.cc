@@ -49,7 +49,7 @@ bool InsnEmulator::ReadGuestVirt(const hv::ArchState& arch, std::uint64_t gva,
     }
     const std::uint64_t chunk =
         std::min<std::uint64_t>(len, hw::kPageSize - (gva & hw::kPageMask));
-    mem_->Read(hpa, dst, chunk);
+    (void)mem_->Read(hpa, dst, chunk);
     gva += chunk;
     dst += chunk;
     len -= chunk;
@@ -98,7 +98,36 @@ InsnEmulator::Result InsnEmulator::EmulateMmio(hv::ArchState& arch,
       write(gpa, 8, arch.regs[insn.r1 & 7]);
       break;
     }
+    // Only plain loads and stores can fault into MMIO emulation; anything
+    // else reaching here means the guest jumped into a device window, and
+    // the VMM refuses rather than interpret it.
+    case Opcode::kNopBlock:
+    case Opcode::kMovImm:
+    case Opcode::kAdd:
+    case Opcode::kAnd:
+    case Opcode::kCopy:
+    case Opcode::kJmp:
+    case Opcode::kJnz:
+    case Opcode::kLoop:
+    case Opcode::kOut:
+    case Opcode::kIn:
+    case Opcode::kCpuid:
+    case Opcode::kHlt:
+    case Opcode::kRdtsc:
+    case Opcode::kMovCr3:
+    case Opcode::kReadCr3:
+    case Opcode::kReadCr2:
+    case Opcode::kInvlpg:
+    case Opcode::kSti:
+    case Opcode::kCli:
+    case Opcode::kIret:
+    case Opcode::kSetIdt:
+    case Opcode::kVmcall:
+    case Opcode::kGuestLogic:
+      return Result::kUnsupported;
     default:
+      // Decode() passes raw bytes through, so a corrupted fetch can carry
+      // a value outside the enum; those are equally unsupported.
       return Result::kUnsupported;
   }
 

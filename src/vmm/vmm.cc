@@ -53,7 +53,7 @@ Vmm::Vmm(hv::Hypervisor* hv, root::RootPartitionManager* root, VmmConfig config)
   // Parent channel: a handle on the root domain so the VMM can push
   // capabilities up when requesting services (device assignment).
   root_handle_sel_ = vmm_pd_->caps().FindFree(hv::kSelFirstFree);
-  hv_->Delegate(root_->pd(), vmm_pd_sel_,
+  (void)hv_->Delegate(root_->pd(), vmm_pd_sel_,
                 hv::Crd::Obj(hv::kSelOwnPd, 0, hv::perm::kDelegate),
                 root_handle_sel_);
 
@@ -106,7 +106,7 @@ void Vmm::StartHeartbeat(sim::PicoSeconds period_ps, hw::PhysAddr hb_addr) {
       return;  // A dead VMM stops beating — that is the signal.
     }
     ++hb_count_;
-    hv_->machine().mem().Write(hb_addr, &hb_count_, sizeof(hb_count_));
+    (void)hv_->machine().mem().Write(hb_addr, &hb_count_, sizeof(hb_count_));
     hv_->machine().events().ScheduleAfter(period_ps, [beat] { (*beat)(); });
   };
   (*beat)();
@@ -250,7 +250,7 @@ hv::CapSel Vmm::ExposeVmToRoot() {
   // needs a capability to the VM pd, which the VMM delegates up through
   // its parent channel.
   vm_sel_in_root_ = root_->FreeSel();
-  hv_->Delegate(vmm_pd_, root_handle_sel_,
+  (void)hv_->Delegate(vmm_pd_, root_handle_sel_,
                 hv::Crd::Obj(vm_pd_sel_, 0, hv::perm::kAll), vm_sel_in_root_);
   return vm_sel_in_root_;
 }
@@ -279,18 +279,18 @@ Status Vmm::AssignHostDevice(const std::string& name, std::uint8_t vector,
       // Idealized zero-exit configuration: interrupts delivered straight
       // into the guest (§8.1 "Direct" bar).
       const hv::CapSel vcpu_in_root = root_->FreeSel();
-      hv_->Delegate(vmm_pd_, root_handle_sel_,
+      (void)hv_->Delegate(vmm_pd_, root_handle_sel_,
                     hv::Crd::Obj(vcpu_sels_[0], 0, hv::perm::kAll), vcpu_in_root);
       return hv_->AssignGsiDirect(root_->pd(), vcpu_in_root, dev->gsi);
     }
     const hv::CapSel sm_sel = vmm_pd_->caps().FindFree(hv::kSelFirstFree);
-    root_->BindInterrupt(vmm_pd_sel_, name, sm_sel, config_.first_cpu);
+    (void)root_->BindInterrupt(vmm_pd_sel_, name, sm_sel, config_.first_cpu);
     // Interrupt thread: wait on the semaphore, raise the virtual vector.
     const hv::CapSel irq_ec_sel = vmm_pd_->caps().FindFree(hv::kSelFirstFree);
     irq_ecs_storage_.push_back(nullptr);
     const std::size_t slot = irq_ecs_storage_.size() - 1;
     hv::Ec* irq_ec = nullptr;
-    hv_->CreateEcGlobal(vmm_pd_, irq_ec_sel, hv::kSelOwnPd, config_.first_cpu,
+    (void)hv_->CreateEcGlobal(vmm_pd_, irq_ec_sel, hv::kSelOwnPd, config_.first_cpu,
                         [this, sm_sel, vector, slot] {
                           hv::Ec* self = irq_ecs_storage_[slot];
                           if (hv_->SmDown(self, sm_sel, /*unmask_gsi=*/true) !=
@@ -302,7 +302,7 @@ Status Vmm::AssignHostDevice(const std::string& name, std::uint8_t vector,
                         &irq_ec);
     irq_ecs_storage_[slot] = irq_ec;
     const hv::CapSel sc_sel = vmm_pd_->caps().FindFree(hv::kSelFirstFree);
-    hv_->CreateSc(vmm_pd_, sc_sel, irq_ec_sel, config_.prio + 10, 2'000'000);
+    (void)hv_->CreateSc(vmm_pd_, sc_sel, irq_ec_sel, config_.prio + 10, 2'000'000);
   }
   return Status::kSuccess;
 }
@@ -314,11 +314,11 @@ void Vmm::ConnectDiskServer(services::DiskServer* server) {
   // the server (channel setup is a control-plane operation).
   const hv::CapSel comp_ec_sel = root_->FreeSel();
   hv::Ec* comp_ec = nullptr;
-  hv_->CreateEcLocal(root_->pd(), comp_ec_sel, vmm_pd_sel_, config_.first_cpu,
+  (void)hv_->CreateEcLocal(root_->pd(), comp_ec_sel, vmm_pd_sel_, config_.first_cpu,
                      [this](std::uint64_t) { OnDiskCompletion(); }, &comp_ec);
   comp_ec_ = comp_ec;
   const hv::CapSel comp_pt_sel = root_->FreeSel();
-  hv_->CreatePt(root_->pd(), comp_pt_sel, comp_ec_sel, 0, 0);
+  (void)hv_->CreatePt(root_->pd(), comp_pt_sel, comp_ec_sel, 0, 0);
 
   const services::DiskServer::Channel ch =
       server->OpenChannel(vmm_pd_sel_, comp_pt_sel);
@@ -399,7 +399,7 @@ void Vmm::OnDiskCompletion() {
       hw::kPageSize / sizeof(services::DiskCompletionRecord);
   while (disk_ring_tail_ != ring_head) {
     services::DiskCompletionRecord rec{};
-    mem.Read(ring + (disk_ring_tail_ % kRecords) * sizeof(rec), &rec, sizeof(rec));
+    (void)mem.Read(ring + (disk_ring_tail_ % kRecords) * sizeof(rec), &rec, sizeof(rec));
     ++disk_ring_tail_;
     cpu().Charge(config_.device_update);
     vahci_->OnCompletion(rec.cookie, static_cast<Status>(rec.status));
@@ -480,7 +480,7 @@ void Vmm::OnPio(hv::ArchState& arch) {
   cpu().Charge(config_.device_update);
   if (is_write) {
     if (model != nullptr) {
-      model->PioWrite(port, static_cast<std::uint32_t>(arch.regs[reg]));
+      (void)model->PioWrite(port, static_cast<std::uint32_t>(arch.regs[reg]));
     }
   } else {
     arch.regs[reg] = model != nullptr ? model->PioRead(port) : ~0u;
@@ -520,7 +520,7 @@ void Vmm::OnMmio(hv::ArchState& arch) {
         cpu().Charge(config_.device_update);
         DeviceModel* m = RouteGpa(gpa);
         if (m != nullptr) {
-          m->MmioWrite(gpa, size, value);
+          (void)m->MmioWrite(gpa, size, value);
         }
       });
   switch (r) {
@@ -553,7 +553,7 @@ void Vmm::OnVmcall(hv::ArchState& arch) {
   cpu().Charge(config_.device_update);
   switch (arch.qual) {
     case 1:  // putchar(r1)
-      vuart_->PioWrite(vuart::kData, static_cast<std::uint32_t>(arch.regs[1]));
+      (void)vuart_->PioWrite(vuart::kData, static_cast<std::uint32_t>(arch.regs[1]));
       arch.regs[0] = 0;
       break;
     case 2: {  // disk read: lba=r1, sectors=r2, dest gpa=r3
@@ -582,7 +582,7 @@ void Vmm::OnVmcall(hv::ArchState& arch) {
       std::vector<char> buf(len);
       if (emulator_->ReadGuestVirt(arch, arch.regs[1], buf.data(), len)) {
         for (const char c : buf) {
-          vuart_->PioWrite(vuart::kData, static_cast<std::uint8_t>(c));
+          (void)vuart_->PioWrite(vuart::kData, static_cast<std::uint8_t>(c));
         }
         cpu().Charge(len / 8 * cpu().model().word_copy);
         arch.regs[0] = 0;
@@ -624,7 +624,7 @@ void Vmm::KickVcpus() {
     if (in_exit_[v]) {
       continue;  // Delivered with the in-flight reply.
     }
-    hv_->Recall(vmm_pd_, vcpu_sels_[v]);
+    (void)hv_->Recall(vmm_pd_, vcpu_sels_[v]);
   }
 }
 

@@ -93,8 +93,8 @@ TEST_F(GuestPtTest, SmallUnderLargeRejected) {
 }
 
 TEST_F(GuestPtTest, UnmapSmallAndLarge) {
-  gpt_.Map(0x100000, 0x400000, 0x200000, hw::kPageSize, hw::pte::kWritable);
-  gpt_.Map(0x100000, 8ull << 22, 4ull << 22, 4ull << 20, hw::pte::kWritable);
+  (void)gpt_.Map(0x100000, 0x400000, 0x200000, hw::kPageSize, hw::pte::kWritable);
+  (void)gpt_.Map(0x100000, 8ull << 22, 4ull << 22, 4ull << 20, hw::pte::kWritable);
   EXPECT_EQ(gpt_.Unmap(0x100000, 0x400000), Status::kSuccess);
   EXPECT_EQ(Walk(0x400000).status, Status::kMemoryFault);
   EXPECT_EQ(gpt_.Unmap(0x100000, 8ull << 22), Status::kSuccess);
@@ -103,7 +103,7 @@ TEST_F(GuestPtTest, UnmapSmallAndLarge) {
 }
 
 TEST_F(GuestPtTest, LeafEntryGpaLocatesPte) {
-  gpt_.Map(0x100000, 0x400000, 0x200000, hw::kPageSize, hw::pte::kWritable);
+  (void)gpt_.Map(0x100000, 0x400000, 0x200000, hw::kPageSize, hw::pte::kWritable);
   const std::uint64_t pte_gpa = gpt_.LeafEntryGpa(0x100000, 0x400000);
   ASSERT_NE(pte_gpa, 0u);
   const std::uint32_t pte = mem_.Read32(kBase + pte_gpa);
@@ -112,8 +112,8 @@ TEST_F(GuestPtTest, LeafEntryGpaLocatesPte) {
 }
 
 TEST_F(GuestPtTest, SeparateRootsAreIndependent) {
-  gpt_.Map(0x100000, 0x400000, 0x200000, hw::kPageSize, hw::pte::kWritable);
-  gpt_.Map(0x108000, 0x400000, 0x300000, hw::kPageSize, hw::pte::kWritable);
+  (void)gpt_.Map(0x100000, 0x400000, 0x200000, hw::kPageSize, hw::pte::kWritable);
+  (void)gpt_.Map(0x108000, 0x400000, 0x300000, hw::kPageSize, hw::pte::kWritable);
   EXPECT_EQ(Walk(0x400000).pa, 0x200000u);
   // Manually walk the second root.
   const std::uint32_t pde2 = mem_.Read32(kBase + 0x108000 + 1 * 4);

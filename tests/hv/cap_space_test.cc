@@ -37,7 +37,7 @@ TEST(CapSpace, OutOfRangeInsertOverflows) {
 
 TEST(CapSpace, TypedLookupChecksTypeAndPerms) {
   CapSpace caps;
-  caps.Insert(3, Capability{MakeSm(), perm::kSmUp});
+  (void)caps.Insert(3, Capability{MakeSm(), perm::kSmUp});
   EXPECT_NE(caps.LookupAs<Sm>(3, ObjType::kSm, perm::kSmUp), nullptr);
   // Wrong type.
   EXPECT_EQ(caps.LookupAs<Pt>(3, ObjType::kPt, 0), nullptr);
@@ -48,14 +48,14 @@ TEST(CapSpace, TypedLookupChecksTypeAndPerms) {
 TEST(CapSpace, DeadObjectLookupFails) {
   CapSpace caps;
   auto sm = MakeSm();
-  caps.Insert(4, Capability{sm, perm::kAll});
+  (void)caps.Insert(4, Capability{sm, perm::kAll});
   sm->MarkDead();
   EXPECT_EQ(caps.Lookup(4), nullptr);
 }
 
 TEST(CapSpace, RemoveFreesSlot) {
   CapSpace caps;
-  caps.Insert(6, Capability{MakeSm(), perm::kAll});
+  (void)caps.Insert(6, Capability{MakeSm(), perm::kAll});
   EXPECT_EQ(caps.Remove(6), Status::kSuccess);
   EXPECT_EQ(caps.Lookup(6), nullptr);
   EXPECT_EQ(caps.Insert(6, Capability{MakeSm(), perm::kAll}), Status::kSuccess);
@@ -63,16 +63,16 @@ TEST(CapSpace, RemoveFreesSlot) {
 
 TEST(CapSpace, FindFreeSkipsUsedSlots) {
   CapSpace caps;
-  caps.Insert(32, Capability{MakeSm(), perm::kAll});
-  caps.Insert(33, Capability{MakeSm(), perm::kAll});
+  (void)caps.Insert(32, Capability{MakeSm(), perm::kAll});
+  (void)caps.Insert(33, Capability{MakeSm(), perm::kAll});
   EXPECT_EQ(caps.FindFree(32), 34u);
 }
 
 TEST(CapSpace, UsedCountsOccupiedSlots) {
   CapSpace caps;
   EXPECT_EQ(caps.used(), 0u);
-  caps.Insert(1, Capability{MakeSm(), perm::kAll});
-  caps.Insert(2, Capability{MakeSm(), perm::kAll});
+  (void)caps.Insert(1, Capability{MakeSm(), perm::kAll});
+  (void)caps.Insert(2, Capability{MakeSm(), perm::kAll});
   EXPECT_EQ(caps.used(), 2u);
 }
 

@@ -31,10 +31,10 @@ TEST(Mdb, RevokeRemovesChildrenRecursively) {
   FakePds pds;
   MdbNode* root = mdb.CreateRoot(pds.A(), CrdKind::kMem, 0, 100, perm::kRw);
   MdbNode* child = mdb.Delegate(root, pds.B(), 10, 20, perm::kRead, 10);
-  mdb.Delegate(child, pds.C(), 30, 20, perm::kRead, 12);
+  (void)mdb.Delegate(child, pds.C(), 30, 20, perm::kRead, 12);
 
   std::vector<const Pd*> unmapped;
-  mdb.Revoke(pds.A(), Crd::Mem(0, 7, perm::kRw), /*include_self=*/false,
+  (void)mdb.Revoke(pds.A(), Crd::Mem(0, 7, perm::kRw), /*include_self=*/false,
              [&](const MdbNode& n) { unmapped.push_back(n.pd); });
   // Depth-first: C before B; A itself survives.
   ASSERT_EQ(unmapped.size(), 2u);
@@ -48,10 +48,10 @@ TEST(Mdb, RevokeIncludeSelfRemovesOwnHolding) {
   Mdb mdb;
   FakePds pds;
   MdbNode* root = mdb.CreateRoot(pds.A(), CrdKind::kMem, 0, 100, perm::kRw);
-  mdb.Delegate(root, pds.B(), 0, 100, perm::kRead, 0);
+  (void)mdb.Delegate(root, pds.B(), 0, 100, perm::kRead, 0);
 
   int count = 0;
-  mdb.Revoke(pds.A(), Crd::Mem(0, 7, perm::kRw), /*include_self=*/true,
+  (void)mdb.Revoke(pds.A(), Crd::Mem(0, 7, perm::kRw), /*include_self=*/true,
              [&](const MdbNode&) { ++count; });
   EXPECT_EQ(count, 2);
   EXPECT_EQ(mdb.node_count(), 0u);
@@ -61,14 +61,14 @@ TEST(Mdb, RevokeOnlyTouchesOverlap) {
   Mdb mdb;
   FakePds pds;
   MdbNode* root = mdb.CreateRoot(pds.A(), CrdKind::kMem, 0, 1024, perm::kRw);
-  mdb.Delegate(root, pds.B(), 0, 16, perm::kRw, 0);
-  mdb.Delegate(root, pds.C(), 512, 16, perm::kRw, 512);
+  (void)mdb.Delegate(root, pds.B(), 0, 16, perm::kRw, 0);
+  (void)mdb.Delegate(root, pds.C(), 512, 16, perm::kRw, 512);
 
   std::vector<const Pd*> unmapped;
   // Revoke only B's range from A's perspective: both children derive from
   // the same root node, so revoking the overlapping parent region drops
   // everything derived from it.
-  mdb.Revoke(pds.B(), Crd::Mem(0, 4, perm::kRw), /*include_self=*/true,
+  (void)mdb.Revoke(pds.B(), Crd::Mem(0, 4, perm::kRw), /*include_self=*/true,
              [&](const MdbNode& n) { unmapped.push_back(n.pd); });
   EXPECT_EQ(unmapped, (std::vector<const Pd*>{pds.B()}));
   EXPECT_NE(mdb.Find(pds.C(), CrdKind::kMem, 512, 16), nullptr);
@@ -79,8 +79,8 @@ TEST(Mdb, DropDomainRemovesAllHoldings) {
   FakePds pds;
   MdbNode* m = mdb.CreateRoot(pds.A(), CrdKind::kMem, 0, 100, perm::kRw);
   MdbNode* io = mdb.CreateRoot(pds.A(), CrdKind::kIo, 0x3f8, 8, perm::kAll);
-  mdb.Delegate(m, pds.B(), 0, 10, perm::kRead, 0);
-  mdb.Delegate(io, pds.B(), 0x3f8, 8, perm::kAll, 0x3f8);
+  (void)mdb.Delegate(m, pds.B(), 0, 10, perm::kRead, 0);
+  (void)mdb.Delegate(io, pds.B(), 0x3f8, 8, perm::kAll, 0x3f8);
 
   int b_unmaps = 0;
   mdb.DropDomain(pds.B(), [&](const MdbNode& n) {
@@ -96,7 +96,7 @@ TEST(Mdb, DropDomainCascadesToDerived) {
   FakePds pds;
   MdbNode* root = mdb.CreateRoot(pds.A(), CrdKind::kMem, 0, 100, perm::kRw);
   MdbNode* b = mdb.Delegate(root, pds.B(), 0, 50, perm::kRw, 0);
-  mdb.Delegate(b, pds.C(), 0, 25, perm::kRead, 0);
+  (void)mdb.Delegate(b, pds.C(), 0, 25, perm::kRead, 0);
 
   std::vector<const Pd*> order;
   mdb.DropDomain(pds.B(), [&](const MdbNode& n) { order.push_back(n.pd); });

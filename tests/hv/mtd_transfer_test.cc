@@ -45,7 +45,7 @@ class MtdTransferTest : public HvTest {
     as.MovImm(5, 0x5555);
     as.Cpuid();
     as.Hlt();
-    machine_.mem().Write((base << hw::kPageShift) + 0x1000, as.bytes().data(),
+    (void)machine_.mem().Write((base << hw::kPageShift) + 0x1000, as.bytes().data(),
                          as.bytes().size());
     vcpu_->gstate().rip = 0x1000;
     ASSERT_EQ(hv_.CreateSc(root_, 120, kVcpuSel, 1, 30'000'000), Status::kSuccess);

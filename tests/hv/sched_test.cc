@@ -64,7 +64,7 @@ TEST(RunQueue, RemoveUnlinks) {
   RunQueue q;
   q.Enqueue(&a);
   q.Enqueue(&b);
-  q.Remove(&a);
+  (void)q.Remove(&a);
   EXPECT_EQ(q.Dequeue(), &b);
   EXPECT_TRUE(q.empty());
 }

@@ -41,7 +41,7 @@ class TlbIsolationTest : public HvTest {
     as.AddImm(1, hw::kPageSize);
     as.Loop(0, top);
     as.Hlt();
-    machine_.mem().Write((vm.base_page << hw::kPageShift) + 0x1000,
+    (void)machine_.mem().Write((vm.base_page << hw::kPageShift) + 0x1000,
                          as.bytes().data(), as.bytes().size());
     vm.vcpu->gstate().rip = 0x1000;
     EXPECT_EQ(hv_.CreateSc(root_, sc_sel, vcpu_sel, 1, 30'000'000),

@@ -50,7 +50,7 @@ class VcpuTest : public HvTest {
   }
 
   void InstallProgram(const hw::isa::Assembler& as) {
-    machine_.mem().Write(GuestHpa(as.base()), as.bytes().data(), as.bytes().size());
+    (void)machine_.mem().Write(GuestHpa(as.base()), as.bytes().data(), as.bytes().size());
   }
 
   void StartVcpu() {

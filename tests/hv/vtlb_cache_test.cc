@@ -88,7 +88,7 @@ class VtlbLadderTest : public HvTest {
   }
 
   void InstallProgram(const hw::isa::Assembler& as) {
-    machine_.mem().Write(GuestHpa(as.base()), as.bytes().data(), as.bytes().size());
+    (void)machine_.mem().Write(GuestHpa(as.base()), as.bytes().data(), as.bytes().size());
   }
 
   void InstallHltPortal() {

@@ -78,7 +78,7 @@ class VtlbTest : public HvTest {
   }
 
   void InstallProgram(const hw::isa::Assembler& as) {
-    machine_.mem().Write(GuestHpa(as.base()), as.bytes().data(), as.bytes().size());
+    (void)machine_.mem().Write(GuestHpa(as.base()), as.bytes().data(), as.bytes().size());
   }
 
   void StartAndRun(int steps = 20) {

@@ -80,7 +80,7 @@ class VtlbTraceTest : public HvTest {
     as.MovImm(0, 0xddd);
     as.StoreAbs(0, 0x400000);
     as.Hlt();
-    machine_.mem().Write(GuestHpa(as.base()), as.bytes().data(),
+    (void)machine_.mem().Write(GuestHpa(as.base()), as.bytes().data(),
                          as.bytes().size());
     vcpu_->gstate().rip = 0x1000;
     vcpu_->gstate().cr3 = kRootA;

@@ -28,18 +28,18 @@ class AhciTest : public ::testing::Test {
     irq_.Unmask(kGsi);
     iommu_.AllowGsi(7, kGsi);
     // Bring the HBA up the way a driver would.
-    hba_.MmioWrite(ahci::kGhc, 4, ahci::kGhcIntrEnable);
-    hba_.MmioWrite(ahci::kPxClb, 4, kClb);
-    hba_.MmioWrite(ahci::kPxIe, 4, ahci::kPxIsDhrs);
-    hba_.MmioWrite(ahci::kPxCmd, 4, ahci::kPxCmdStart);
+    (void)hba_.MmioWrite(ahci::kGhc, 4, ahci::kGhcIntrEnable);
+    (void)hba_.MmioWrite(ahci::kPxClb, 4, kClb);
+    (void)hba_.MmioWrite(ahci::kPxIe, 4, ahci::kPxIsDhrs);
+    (void)hba_.MmioWrite(ahci::kPxCmd, 4, ahci::kPxCmdStart);
   }
 
   void BuildRead(int slot, std::uint64_t lba, std::uint16_t sectors,
                  PhysAddr buffer) {
     // Command header.
     std::uint32_t dw0 = 1u << 16;  // One PRDT entry.
-    mem_.Write32(kClb + slot * 32, dw0);
-    mem_.Write32(kClb + slot * 32 + 8, static_cast<std::uint32_t>(kCtba));
+    (void)mem_.Write32(kClb + slot * 32, dw0);
+    (void)mem_.Write32(kClb + slot * 32 + 8, static_cast<std::uint32_t>(kCtba));
     // Command FIS.
     std::uint8_t cfis[64] = {};
     cfis[0] = ahci::kFisH2d;
@@ -48,10 +48,10 @@ class AhciTest : public ::testing::Test {
       cfis[4 + i] = static_cast<std::uint8_t>(lba >> (8 * i));
     }
     std::memcpy(cfis + 12, &sectors, 2);
-    mem_.Write(kCtba, cfis, sizeof(cfis));
+    (void)mem_.Write(kCtba, cfis, sizeof(cfis));
     // PRDT entry 0.
-    mem_.Write64(kCtba + 0x80, buffer);
-    mem_.Write32(kCtba + 0x80 + 12, sectors * kSectorSize - 1);
+    (void)mem_.Write64(kCtba + 0x80, buffer);
+    (void)mem_.Write32(kCtba + 0x80 + 12, sectors * kSectorSize - 1);
   }
 
   sim::EventQueue events_;
@@ -67,7 +67,7 @@ TEST_F(AhciTest, ReadDmaCompletesWithInterrupt) {
   disk_.WriteContent(5 * kSectorSize, msg, sizeof(msg));
 
   BuildRead(0, 5, 1, kBuf);
-  hba_.MmioWrite(ahci::kPxCi, 4, 1);
+  (void)hba_.MmioWrite(ahci::kPxCi, 4, 1);
   EXPECT_EQ(hba_.MmioRead(ahci::kPxCi, 4), 1u);  // In flight.
 
   events_.AdvanceTo(sim::Milliseconds(10));
@@ -77,29 +77,29 @@ TEST_F(AhciTest, ReadDmaCompletesWithInterrupt) {
   EXPECT_TRUE(irq_.HasPending(0));
 
   char out[sizeof(msg)] = {};
-  mem_.Read(kBuf, out, sizeof(out));
+  (void)mem_.Read(kBuf, out, sizeof(out));
   EXPECT_STREQ(out, msg);
 }
 
 TEST_F(AhciTest, WriteThenReadBack) {
   const char msg[] = "written via hba";
-  mem_.Write(kBuf, msg, sizeof(msg));
+  (void)mem_.Write(kBuf, msg, sizeof(msg));
 
   // Build a write command.
   std::uint32_t dw0 = (1u << 16) | (1u << 6);  // One PRDT entry, write.
-  mem_.Write32(kClb, dw0);
-  mem_.Write32(kClb + 8, static_cast<std::uint32_t>(kCtba));
+  (void)mem_.Write32(kClb, dw0);
+  (void)mem_.Write32(kClb + 8, static_cast<std::uint32_t>(kCtba));
   std::uint8_t cfis[64] = {};
   cfis[0] = ahci::kFisH2d;
   cfis[2] = ahci::kCmdWriteDmaExt;
   cfis[4] = 9;  // LBA 9.
   std::uint16_t sectors = 1;
   std::memcpy(cfis + 12, &sectors, 2);
-  mem_.Write(kCtba, cfis, sizeof(cfis));
-  mem_.Write64(kCtba + 0x80, kBuf);
-  mem_.Write32(kCtba + 0x80 + 12, kSectorSize - 1);
+  (void)mem_.Write(kCtba, cfis, sizeof(cfis));
+  (void)mem_.Write64(kCtba + 0x80, kBuf);
+  (void)mem_.Write32(kCtba + 0x80 + 12, kSectorSize - 1);
 
-  hba_.MmioWrite(ahci::kPxCi, 4, 1);
+  (void)hba_.MmioWrite(ahci::kPxCi, 4, 1);
   events_.AdvanceTo(sim::Milliseconds(10));
 
   char out[sizeof(msg)] = {};
@@ -109,18 +109,18 @@ TEST_F(AhciTest, WriteThenReadBack) {
 
 TEST_F(AhciTest, InterruptStatusWriteOneClears) {
   BuildRead(0, 5, 1, kBuf);
-  hba_.MmioWrite(ahci::kPxCi, 4, 1);
+  (void)hba_.MmioWrite(ahci::kPxCi, 4, 1);
   events_.AdvanceTo(sim::Milliseconds(10));
-  hba_.MmioWrite(ahci::kPxIs, 4, ahci::kPxIsDhrs);
-  hba_.MmioWrite(ahci::kIs, 4, 1);
+  (void)hba_.MmioWrite(ahci::kPxIs, 4, ahci::kPxIsDhrs);
+  (void)hba_.MmioWrite(ahci::kIs, 4, 1);
   EXPECT_EQ(hba_.MmioRead(ahci::kPxIs, 4), 0u);
   EXPECT_EQ(hba_.MmioRead(ahci::kIs, 4), 0u);
 }
 
 TEST_F(AhciTest, NoIssueWhileStopped) {
-  hba_.MmioWrite(ahci::kPxCmd, 4, 0);  // Stop the command engine.
+  (void)hba_.MmioWrite(ahci::kPxCmd, 4, 0);  // Stop the command engine.
   BuildRead(0, 5, 1, kBuf);
-  hba_.MmioWrite(ahci::kPxCi, 4, 1);
+  (void)hba_.MmioWrite(ahci::kPxCi, 4, 1);
   EXPECT_EQ(hba_.MmioRead(ahci::kPxCi, 4), 0u);  // Not accepted.
   events_.AdvanceTo(sim::Milliseconds(10));
   EXPECT_EQ(disk_.completed_requests(), 0u);
@@ -131,7 +131,7 @@ TEST_F(AhciTest, DmaFaultSetsTaskFileError) {
   // command-list fetch itself faults.
   iommu_.AttachDevice(7, 0x80000);
   BuildRead(0, 5, 1, kBuf);
-  hba_.MmioWrite(ahci::kPxCi, 4, 1);
+  (void)hba_.MmioWrite(ahci::kPxCi, 4, 1);
   EXPECT_EQ(hba_.MmioRead(ahci::kPxIs, 4) & ahci::kPxIsTfes, ahci::kPxIsTfes);
   EXPECT_GE(hba_.dma_faults(), 1u);
   EXPECT_EQ(hba_.MmioRead(ahci::kPxCi, 4), 0u);
@@ -147,19 +147,19 @@ TEST_F(AhciTest, MultipleSlotsComplete) {
   static constexpr PhysAddr kCtba2 = 0x12000;
   BuildRead(0, 5, 1, kBuf);
   // Slot 1 with its own command table.
-  mem_.Write32(kClb + 32, 1u << 16);
-  mem_.Write32(kClb + 32 + 8, static_cast<std::uint32_t>(kCtba2));
+  (void)mem_.Write32(kClb + 32, 1u << 16);
+  (void)mem_.Write32(kClb + 32 + 8, static_cast<std::uint32_t>(kCtba2));
   std::uint8_t cfis[64] = {};
   cfis[0] = ahci::kFisH2d;
   cfis[2] = ahci::kCmdReadDmaExt;
   cfis[4] = 20;
   std::uint16_t sectors = 1;
   std::memcpy(cfis + 12, &sectors, 2);
-  mem_.Write(kCtba2, cfis, sizeof(cfis));
-  mem_.Write64(kCtba2 + 0x80, kBuf + 0x1000);
-  mem_.Write32(kCtba2 + 0x80 + 12, kSectorSize - 1);
+  (void)mem_.Write(kCtba2, cfis, sizeof(cfis));
+  (void)mem_.Write64(kCtba2 + 0x80, kBuf + 0x1000);
+  (void)mem_.Write32(kCtba2 + 0x80 + 12, kSectorSize - 1);
 
-  hba_.MmioWrite(ahci::kPxCi, 4, 0b11);
+  (void)hba_.MmioWrite(ahci::kPxCi, 4, 0b11);
   events_.AdvanceTo(sim::Milliseconds(10));
   EXPECT_EQ(hba_.MmioRead(ahci::kPxCi, 4), 0u);
   EXPECT_EQ(disk_.completed_requests(), 2u);

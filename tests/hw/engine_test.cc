@@ -26,7 +26,7 @@ class EngineTest : public ::testing::Test {
 
   // Place an assembled program at physical address == its base.
   void Install(const isa::Assembler& as) {
-    machine_.mem().Write(as.base(), as.bytes().data(), as.bytes().size());
+    (void)machine_.mem().Write(as.base(), as.bytes().data(), as.bytes().size());
   }
 
   Machine machine_;
@@ -416,7 +416,7 @@ TEST_F(EngineTest, HaltWakesOnInjection) {
 }
 
 TEST_F(EngineTest, InvalidOpcodeIsError) {
-  machine_.mem().WriteAs<std::uint8_t>(0x10000, 0xff);
+  (void)machine_.mem().WriteAs<std::uint8_t>(0x10000, 0xff);
   GuestState gs;
   gs.rip = 0x10000;
   EXPECT_EQ(engine_.Run(gs, VmControls{}, kBudget).reason, ExitReason::kError);
@@ -450,7 +450,7 @@ TEST_F(EngineTest, CopyMovesBytesAndCharges) {
   Install(as);
 
   for (std::uint64_t off = 0; off < 8192; off += 8) {
-    machine_.mem().Write64(0x20000 + off, off * 3 + 1);
+    (void)machine_.mem().Write64(0x20000 + off, off * 3 + 1);
   }
   GuestState gs;
   gs.rip = 0x10000;

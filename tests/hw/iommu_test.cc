@@ -24,7 +24,7 @@ class IommuTest : public ::testing::Test {
 
 TEST_F(IommuTest, UnattachedDeviceIsIdentity) {
   const std::uint64_t v = 0x1122334455667788ull;
-  mem_.Write64(0x5000, v);
+  (void)mem_.Write64(0x5000, v);
   std::uint64_t out = 0;
   EXPECT_EQ(iommu_.DmaRead(7, 0x5000, &out, 8), Status::kSuccess);
   EXPECT_EQ(out, v);

@@ -12,7 +12,7 @@ namespace {
 TEST(Uart, CollectsOutputBytes) {
   Uart uart(1);
   for (const char c : std::string("hello")) {
-    uart.PioWrite(uart::kPortBase, 1, static_cast<std::uint8_t>(c));
+    (void)uart.PioWrite(uart::kPortBase, 1, static_cast<std::uint8_t>(c));
   }
   EXPECT_EQ(uart.output(), "hello");
   EXPECT_EQ(uart.PioRead(uart::kPortBase + uart::kLsr, 1), uart::kLsrTxEmpty);
@@ -26,7 +26,7 @@ TEST(PlatformTimer, PeriodicTicksAssertGsi) {
   chip.Configure(0, 0, 32);
   chip.Unmask(0);
   PlatformTimer timer(2, &chip, 0, &events);
-  timer.Start(sim::Milliseconds(1));
+  (void)timer.Start(sim::Milliseconds(1));
   events.AdvanceTo(sim::Milliseconds(10));
   EXPECT_EQ(timer.ticks(), 10u);
   EXPECT_TRUE(chip.HasPending(0));
@@ -39,13 +39,13 @@ TEST(PlatformTimer, PioProgrammingInterface) {
   chip.Unmask(0);
   PlatformTimer timer(2, &chip, 0, &events);
   // Program 4000 us via the two-port handshake.
-  timer.PioWrite(timer::kPortPeriodLo, 1, 4000 & 0xffff);
-  timer.PioWrite(timer::kPortPeriodHi, 1, 4000 >> 16);
+  (void)timer.PioWrite(timer::kPortPeriodLo, 1, 4000 & 0xffff);
+  (void)timer.PioWrite(timer::kPortPeriodHi, 1, 4000 >> 16);
   events.AdvanceTo(sim::Milliseconds(20));
   EXPECT_EQ(timer.ticks(), 5u);
   EXPECT_EQ(timer.PioRead(timer::kPortControl, 1), 1u);
   // Stop.
-  timer.PioWrite(timer::kPortControl, 1, 0);
+  (void)timer.PioWrite(timer::kPortControl, 1, 0);
   events.AdvanceTo(sim::Milliseconds(40));
   EXPECT_EQ(timer.ticks(), 5u);
   EXPECT_EQ(timer.PioRead(timer::kPortControl, 1), 0u);
@@ -55,8 +55,8 @@ TEST(PlatformTimer, RestartInvalidatesOldSchedule) {
   sim::EventQueue events;
   IrqChip chip;
   PlatformTimer timer(2, &chip, 0, &events);
-  timer.Start(sim::Milliseconds(1));
-  timer.Start(sim::Milliseconds(10));  // Reprogram before first tick.
+  (void)timer.Start(sim::Milliseconds(1));
+  (void)timer.Start(sim::Milliseconds(10));  // Reprogram before first tick.
   events.AdvanceTo(sim::Milliseconds(9));
   EXPECT_EQ(timer.ticks(), 0u);  // Old 1 ms schedule was cancelled.
   events.AdvanceTo(sim::Milliseconds(21));

@@ -27,14 +27,14 @@ class NicTest : public ::testing::Test {
     for (std::uint32_t i = 0; i < kRingEntries; ++i) {
       nic::RxDescriptor d{};
       d.buffer = kBufs + i * 0x4000;
-      mem_.Write(kRing + i * 16, &d, sizeof(d));
+      (void)mem_.Write(kRing + i * 16, &d, sizeof(d));
     }
-    nic_.MmioWrite(nic::kRdbal, 4, kRing);
-    nic_.MmioWrite(nic::kRdlen, 4, kRingEntries * 16);
-    nic_.MmioWrite(nic::kRdh, 4, 0);
-    nic_.MmioWrite(nic::kRdt, 4, kRingEntries - 1);  // Hardware owns 0..6.
-    nic_.MmioWrite(nic::kIms, 4, nic::kIcrRxt0);
-    nic_.MmioWrite(nic::kRctl, 4, nic::kRctlEnable);
+    (void)nic_.MmioWrite(nic::kRdbal, 4, kRing);
+    (void)nic_.MmioWrite(nic::kRdlen, 4, kRingEntries * 16);
+    (void)nic_.MmioWrite(nic::kRdh, 4, 0);
+    (void)nic_.MmioWrite(nic::kRdt, 4, kRingEntries - 1);  // Hardware owns 0..6.
+    (void)nic_.MmioWrite(nic::kIms, 4, nic::kIcrRxt0);
+    (void)nic_.MmioWrite(nic::kRctl, 4, nic::kRctlEnable);
   }
 
   std::vector<std::uint8_t> Frame(std::uint32_t size, std::uint8_t fill) {
@@ -53,7 +53,7 @@ TEST_F(NicTest, ReceiveWritesDescriptorAndBuffer) {
   ASSERT_TRUE(nic_.Receive(frame.data(), frame.size()));
 
   nic::RxDescriptor d{};
-  mem_.Read(kRing, &d, sizeof(d));
+  (void)mem_.Read(kRing, &d, sizeof(d));
   EXPECT_EQ(d.length, 128);
   EXPECT_TRUE(d.status & nic::kRxStatusDd);
   EXPECT_TRUE(d.status & nic::kRxStatusEop);
@@ -78,18 +78,18 @@ TEST_F(NicTest, RingFullDrops) {
   EXPECT_FALSE(nic_.Receive(frame.data(), frame.size()));
   EXPECT_EQ(nic_.packets_dropped(), 1u);
   // Software returns descriptors by advancing RDT.
-  nic_.MmioWrite(nic::kRdt, 4, 0);
+  (void)nic_.MmioWrite(nic::kRdt, 4, 0);
   EXPECT_TRUE(nic_.Receive(frame.data(), frame.size()));
 }
 
 TEST_F(NicTest, DisabledReceiverDrops) {
-  nic_.MmioWrite(nic::kRctl, 4, 0);
+  (void)nic_.MmioWrite(nic::kRctl, 4, 0);
   auto frame = Frame(64, 3);
   EXPECT_FALSE(nic_.Receive(frame.data(), frame.size()));
 }
 
 TEST_F(NicTest, MaskedInterruptDoesNotFire) {
-  nic_.MmioWrite(nic::kImc, 4, nic::kIcrRxt0);
+  (void)nic_.MmioWrite(nic::kImc, 4, nic::kIcrRxt0);
   auto frame = Frame(64, 4);
   nic_.Receive(frame.data(), frame.size());
   EXPECT_FALSE(irq_.HasPending(0));
@@ -106,7 +106,7 @@ TEST_F(NicTest, CoalescingLimitsInterruptRate) {
   for (int i = 0; i < 200; ++i) {
     events_.AdvanceTo(sim::Microseconds(i));
     nic_.Receive(frame.data(), frame.size());
-    nic_.MmioWrite(nic::kRdt, 4, (nic_.MmioRead(nic::kRdh, 4) + kRingEntries - 1) %
+    (void)nic_.MmioWrite(nic::kRdt, 4, (nic_.MmioRead(nic::kRdh, 4) + kRingEntries - 1) %
                                      kRingEntries);
   }
   events_.AdvanceTo(sim::Microseconds(300));
@@ -122,7 +122,7 @@ TEST_F(NicTest, NetLinkGeneratesConfiguredRate) {
   // Keep the ring drained.
   for (int ms = 1; ms <= 10; ++ms) {
     events_.AdvanceTo(sim::Milliseconds(ms));
-    nic_.MmioWrite(nic::kRdt, 4, (nic_.MmioRead(nic::kRdh, 4) + kRingEntries - 1) %
+    (void)nic_.MmioWrite(nic::kRdt, 4, (nic_.MmioRead(nic::kRdh, 4) + kRingEntries - 1) %
                                      kRingEntries);
   }
   link.Stop();
@@ -135,7 +135,7 @@ TEST_F(NicTest, WrapAroundRing) {
   for (int round = 0; round < 3; ++round) {
     for (std::uint32_t i = 0; i < kRingEntries - 1; ++i) {
       ASSERT_TRUE(nic_.Receive(frame.data(), frame.size()));
-      nic_.MmioWrite(nic::kRdt, 4,
+      (void)nic_.MmioWrite(nic::kRdt, 4,
                      (nic_.MmioRead(nic::kRdh, 4) + kRingEntries - 1) % kRingEntries);
     }
   }

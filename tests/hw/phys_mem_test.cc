@@ -39,8 +39,8 @@ TEST(PhysMem, OutOfBoundsFaults) {
 
 TEST(PhysMem, ZeroClearsRange) {
   PhysMem mem(1 << 20);
-  mem.Write64(0x3000, ~0ull);
-  mem.Write64(0x3ff8, ~0ull);
+  (void)mem.Write64(0x3000, ~0ull);
+  (void)mem.Write64(0x3ff8, ~0ull);
   EXPECT_EQ(mem.Zero(0x3000, kPageSize), Status::kSuccess);
   EXPECT_EQ(mem.Read64(0x3000), 0u);
   EXPECT_EQ(mem.Read64(0x3ff8), 0u);

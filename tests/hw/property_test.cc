@@ -58,7 +58,7 @@ TEST_P(PagingProperty, RandomMapWalkUnmapAgreesWithModel) {
       ASSERT_EQ(pt.Map(va, pa, kPageSize, flags, alloc), Status::kSuccess);
       model[va] = {pa, writable};
     } else {
-      pt.Unmap(va);
+      (void)pt.Unmap(va);
       model.erase(va);
     }
 
@@ -108,7 +108,7 @@ TEST_P(TlbProperty, NeverReturnsStaleOrWrongTranslation) {
     const int action = static_cast<int>(rng.Below(10));
     if (action < 6) {
       const std::uint64_t pa = (rng.Below(1 << 20) + 1) * kPageSize;
-      tlb.Insert(1, va, pa, kPageSize, true, true, true);
+      (void)tlb.Insert(1, va, pa, kPageSize, true, true, true);
       inserted[va] = pa;
     } else if (action < 8) {
       tlb.FlushVa(1, va);
@@ -235,7 +235,7 @@ FaultCycleResult RunFaultCycles(std::uint64_t seed, std::uint64_t crashes) {
   gk.EmitBoot(workload.EmitMain());
   gk.Install();
   gk.PrimeState(vm_a->gstate());
-  vm_a->Start(vm_a->gstate().rip);
+  (void)vm_a->Start(vm_a->gstate().rip);
 
   root::VmmSupervisor::Config supc;
   supc.check_period_ps = sim::Microseconds(200);
@@ -251,7 +251,7 @@ FaultCycleResult RunFaultCycles(std::uint64_t seed, std::uint64_t crashes) {
     vm_a = std::make_unique<vmm::Vmm>(&system.hv, system.root.get(), cr);
     vm_a->SetFaultPlan(&plan);  // The replacement can crash again.
     vm_a->ConnectDiskServer(&server);
-    vm_a->Start(info.gstate.rip);
+    (void)vm_a->Start(info.gstate.rip);
     vm_a->gstate() = info.gstate;
     vm_a->vahci().RestoreRegs(info.vahci_regs);
     vm_a->vahci().InjectAbort(driver.issued_mask());

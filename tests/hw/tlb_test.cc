@@ -10,7 +10,7 @@ constexpr std::uint64_t k2M = 2ull << 20;
 TEST(Tlb, MissThenHit) {
   Tlb tlb(16, 4);
   EXPECT_FALSE(tlb.Lookup(kHostTag, 0x1000, Access{}).has_value());
-  tlb.Insert(kHostTag, 0x1000, 0x5000, kPageSize, true, true, true);
+  (void)tlb.Insert(kHostTag, 0x1000, 0x5000, kPageSize, true, true, true);
   const auto hit = tlb.Lookup(kHostTag, 0x1234, Access{});
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(*hit, 0x5234u);
@@ -20,7 +20,7 @@ TEST(Tlb, MissThenHit) {
 
 TEST(Tlb, TagsIsolate) {
   Tlb tlb(16, 4);
-  tlb.Insert(1, 0x1000, 0x5000, kPageSize, true, true, true);
+  (void)tlb.Insert(1, 0x1000, 0x5000, kPageSize, true, true, true);
   EXPECT_FALSE(tlb.Lookup(2, 0x1000, Access{}).has_value());
   EXPECT_TRUE(tlb.Lookup(1, 0x1000, Access{}).has_value());
 }
@@ -28,30 +28,30 @@ TEST(Tlb, TagsIsolate) {
 TEST(Tlb, WriteToCleanEntryMisses) {
   Tlb tlb(16, 4);
   // Installed by a read walk: not dirty.
-  tlb.Insert(kHostTag, 0x1000, 0x5000, kPageSize, true, true, /*dirty=*/false);
+  (void)tlb.Insert(kHostTag, 0x1000, 0x5000, kPageSize, true, true, /*dirty=*/false);
   EXPECT_TRUE(tlb.Lookup(kHostTag, 0x1000, Access{.write = false}).has_value());
   EXPECT_FALSE(tlb.Lookup(kHostTag, 0x1000, Access{.write = true}).has_value());
   // Re-walked with dirty set: write hits now.
-  tlb.Insert(kHostTag, 0x1000, 0x5000, kPageSize, true, true, /*dirty=*/true);
+  (void)tlb.Insert(kHostTag, 0x1000, 0x5000, kPageSize, true, true, /*dirty=*/true);
   EXPECT_TRUE(tlb.Lookup(kHostTag, 0x1000, Access{.write = true}).has_value());
 }
 
 TEST(Tlb, ReadOnlyEntryRejectsWrites) {
   Tlb tlb(16, 4);
-  tlb.Insert(kHostTag, 0x1000, 0x5000, kPageSize, /*writable=*/false, true, true);
+  (void)tlb.Insert(kHostTag, 0x1000, 0x5000, kPageSize, /*writable=*/false, true, true);
   EXPECT_FALSE(tlb.Lookup(kHostTag, 0x1000, Access{.write = true}).has_value());
 }
 
 TEST(Tlb, SupervisorEntryRejectsUser) {
   Tlb tlb(16, 4);
-  tlb.Insert(kHostTag, 0x1000, 0x5000, kPageSize, true, /*user=*/false, true);
+  (void)tlb.Insert(kHostTag, 0x1000, 0x5000, kPageSize, true, /*user=*/false, true);
   EXPECT_FALSE(tlb.Lookup(kHostTag, 0x1000, Access{.user = true}).has_value());
   EXPECT_TRUE(tlb.Lookup(kHostTag, 0x1000, Access{.user = false}).has_value());
 }
 
 TEST(Tlb, LargePageCoversRange) {
   Tlb tlb(16, 4);
-  tlb.Insert(kHostTag, k2M, k2M * 3, k2M, true, true, true);
+  (void)tlb.Insert(kHostTag, k2M, k2M * 3, k2M, true, true, true);
   const auto hit = tlb.Lookup(kHostTag, k2M + 0x12345, Access{});
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(*hit, k2M * 3 + 0x12345);
@@ -59,11 +59,11 @@ TEST(Tlb, LargePageCoversRange) {
 
 TEST(Tlb, CapacityEvictsLru) {
   Tlb tlb(2, 2);
-  tlb.Insert(kHostTag, 0x1000, 0xa000, kPageSize, true, true, true);
-  tlb.Insert(kHostTag, 0x2000, 0xb000, kPageSize, true, true, true);
+  (void)tlb.Insert(kHostTag, 0x1000, 0xa000, kPageSize, true, true, true);
+  (void)tlb.Insert(kHostTag, 0x2000, 0xb000, kPageSize, true, true, true);
   // Touch the first entry so the second becomes LRU.
   EXPECT_TRUE(tlb.Lookup(kHostTag, 0x1000, Access{}).has_value());
-  tlb.Insert(kHostTag, 0x3000, 0xc000, kPageSize, true, true, true);
+  (void)tlb.Insert(kHostTag, 0x3000, 0xc000, kPageSize, true, true, true);
   EXPECT_TRUE(tlb.Lookup(kHostTag, 0x1000, Access{}).has_value());
   EXPECT_FALSE(tlb.Lookup(kHostTag, 0x2000, Access{}).has_value());  // Evicted.
   EXPECT_TRUE(tlb.Lookup(kHostTag, 0x3000, Access{}).has_value());
@@ -71,8 +71,8 @@ TEST(Tlb, CapacityEvictsLru) {
 
 TEST(Tlb, SizeClassesIndependent) {
   Tlb tlb(1, 1);
-  tlb.Insert(kHostTag, 0x1000, 0xa000, kPageSize, true, true, true);
-  tlb.Insert(kHostTag, 0, k2M * 5, k2M, true, true, true);
+  (void)tlb.Insert(kHostTag, 0x1000, 0xa000, kPageSize, true, true, true);
+  (void)tlb.Insert(kHostTag, 0, k2M * 5, k2M, true, true, true);
   // Both survive: they occupy different arrays.
   EXPECT_TRUE(tlb.Lookup(kHostTag, 0x1000, Access{}).has_value());
   EXPECT_TRUE(tlb.Lookup(kHostTag, 0x100, Access{}).has_value());
@@ -80,8 +80,8 @@ TEST(Tlb, SizeClassesIndependent) {
 
 TEST(Tlb, FlushTagOnlyAffectsTag) {
   Tlb tlb(16, 4);
-  tlb.Insert(1, 0x1000, 0xa000, kPageSize, true, true, true);
-  tlb.Insert(2, 0x1000, 0xb000, kPageSize, true, true, true);
+  (void)tlb.Insert(1, 0x1000, 0xa000, kPageSize, true, true, true);
+  (void)tlb.Insert(2, 0x1000, 0xb000, kPageSize, true, true, true);
   tlb.FlushTag(1);
   EXPECT_FALSE(tlb.Lookup(1, 0x1000, Access{}).has_value());
   EXPECT_TRUE(tlb.Lookup(2, 0x1000, Access{}).has_value());
@@ -89,8 +89,8 @@ TEST(Tlb, FlushTagOnlyAffectsTag) {
 
 TEST(Tlb, FlushNonGlobalKeepsGlobalEntries) {
   Tlb tlb(16, 4);
-  tlb.Insert(1, 0x1000, 0xa000, kPageSize, true, true, true, /*global=*/true);
-  tlb.Insert(1, 0x2000, 0xb000, kPageSize, true, true, true, /*global=*/false);
+  (void)tlb.Insert(1, 0x1000, 0xa000, kPageSize, true, true, true, /*global=*/true);
+  (void)tlb.Insert(1, 0x2000, 0xb000, kPageSize, true, true, true, /*global=*/false);
   tlb.FlushNonGlobal(1);
   EXPECT_TRUE(tlb.Lookup(1, 0x1000, Access{}).has_value());
   EXPECT_FALSE(tlb.Lookup(1, 0x2000, Access{}).has_value());
@@ -98,8 +98,8 @@ TEST(Tlb, FlushNonGlobalKeepsGlobalEntries) {
 
 TEST(Tlb, FlushVaRemovesSingleTranslation) {
   Tlb tlb(16, 4);
-  tlb.Insert(1, 0x1000, 0xa000, kPageSize, true, true, true);
-  tlb.Insert(1, 0x2000, 0xb000, kPageSize, true, true, true);
+  (void)tlb.Insert(1, 0x1000, 0xa000, kPageSize, true, true, true);
+  (void)tlb.Insert(1, 0x2000, 0xb000, kPageSize, true, true, true);
   tlb.FlushVa(1, 0x1000);
   EXPECT_FALSE(tlb.Lookup(1, 0x1000, Access{}).has_value());
   EXPECT_TRUE(tlb.Lookup(1, 0x2000, Access{}).has_value());
@@ -107,8 +107,8 @@ TEST(Tlb, FlushVaRemovesSingleTranslation) {
 
 TEST(Tlb, FlushAllEmpties) {
   Tlb tlb(16, 4);
-  tlb.Insert(1, 0x1000, 0xa000, kPageSize, true, true, true);
-  tlb.Insert(2, 0, k2M, k2M, true, true, true);
+  (void)tlb.Insert(1, 0x1000, 0xa000, kPageSize, true, true, true);
+  (void)tlb.Insert(2, 0, k2M, k2M, true, true, true);
   tlb.FlushAll();
   EXPECT_EQ(tlb.size(), 0u);
   EXPECT_EQ(tlb.flushes().value(), 1u);
@@ -116,9 +116,9 @@ TEST(Tlb, FlushAllEmpties) {
 
 TEST(Tlb, EntryCountPerTag) {
   Tlb tlb(16, 4);
-  tlb.Insert(1, 0x1000, 0xa000, kPageSize, true, true, true);
-  tlb.Insert(1, 0x2000, 0xb000, kPageSize, true, true, true);
-  tlb.Insert(2, 0x3000, 0xc000, kPageSize, true, true, true);
+  (void)tlb.Insert(1, 0x1000, 0xa000, kPageSize, true, true, true);
+  (void)tlb.Insert(1, 0x2000, 0xb000, kPageSize, true, true, true);
+  (void)tlb.Insert(2, 0x3000, 0xc000, kPageSize, true, true, true);
   EXPECT_EQ(tlb.EntryCount(1), 2u);
   EXPECT_EQ(tlb.EntryCount(2), 1u);
 }

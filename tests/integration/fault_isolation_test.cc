@@ -91,7 +91,7 @@ ScenarioResult RunScenario(bool crash) {
   gk_a.EmitBoot(workload_a.EmitMain());
   gk_a.Install();
   gk_a.PrimeState(vm_a->gstate());
-  vm_a->Start(vm_a->gstate().rip);
+  (void)vm_a->Start(vm_a->gstate().rip);
 
   // --- VM B: compute-only kernel compile on CPU 1 -----------------------
   vmm::VmmConfig cb;
@@ -120,7 +120,7 @@ ScenarioResult RunScenario(bool crash) {
   gk_b.EmitBoot(workload_b.EmitMain());
   gk_b.Install();
   gk_b.PrimeState(vm_b.gstate());
-  vm_b.Start(vm_b.gstate().rip);
+  (void)vm_b.Start(vm_b.gstate().rip);
 
   // --- Supervision + restart policy -------------------------------------
   root::VmmSupervisor::Config supc;
@@ -137,7 +137,7 @@ ScenarioResult RunScenario(bool crash) {
     cr.fixed_guest_base_page = info.guest_base_page;
     vm_a = std::make_unique<vmm::Vmm>(&system.hv, system.root.get(), cr);
     vm_a->ConnectDiskServer(&server);
-    vm_a->Start(info.gstate.rip);
+    (void)vm_a->Start(info.gstate.rip);
     vm_a->gstate() = info.gstate;
     vm_a->vahci().RestoreRegs(info.vahci_regs);
     // The guest driver still considers its in-flight slots issued; surface

@@ -50,7 +50,7 @@ TEST_F(ShadowStackTest, GuestWithPagingRunsUnderVtlb) {
   gk.EmitBoot(main);
   gk.Install();
   gk.PrimeState(vm.gstate());
-  vm.Start(vm.gstate().rip);
+  (void)vm.Start(vm.gstate().rip);
 
   system_.hv.RunUntilCondition(
       [&] {
@@ -97,7 +97,7 @@ TEST_F(ShadowStackTest, MmioStillReachesVmmUnderShadow) {
   gk.EmitBoot(main);
   gk.Install();
   gk.PrimeState(vm.gstate());
-  vm.Start(vm.gstate().rip);
+  (void)vm.Start(vm.gstate().rip);
 
   system_.hv.RunUntilCondition(
       [&] {

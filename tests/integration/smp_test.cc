@@ -51,8 +51,8 @@ TEST_F(SmpTest, TwoVcpusRunConcurrently) {
 
   vm.gstate(0).rip = 0x10000;
   vm.gstate(1).rip = 0x20000;
-  vm.Start(0x10000, 0);
-  vm.Start(0x20000, 1);
+  (void)vm.Start(0x10000, 0);
+  (void)vm.Start(0x20000, 1);
 
   system_.hv.RunUntilCondition(
       [&] {
@@ -95,7 +95,7 @@ TEST_F(SmpTest, RecallReachesEveryVcpu) {
     as.Jmp(spin);
     vm.InstallImage(as);
     vm.gstate(v).rip = as.base();
-    vm.Start(as.base(), v);
+    (void)vm.Start(as.base(), v);
   }
 
   // Let both vCPUs start spinning.
@@ -137,7 +137,7 @@ TEST_F(SmpTest, TwoIndependentVmsOnSeparateCpus) {
     as.Hlt();
     as.Jmp(hlt);
     vm.InstallImage(as);
-    vm.Start(0x10000);
+    (void)vm.Start(0x10000);
   };
   build(vm_a, 0x1234);
   build(vm_b, 0x5678);

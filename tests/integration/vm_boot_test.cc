@@ -38,7 +38,7 @@ class VmBootTest : public ::testing::Test {
     gk_->EmitBoot(main_gva);
     gk_->Install();
     gk_->PrimeState(vm_->gstate());
-    vm_->Start(vm_->gstate().rip);
+    (void)vm_->Start(vm_->gstate().rip);
     system_.hv.RunUntilCondition(pred, deadline);
   }
 
@@ -177,7 +177,7 @@ TEST_F(VmBootTest, DirectAssignedDiskBypassesDeviceEmulation) {
                      .irq_vector = 43,
                      .read_ci = [this]() -> std::uint32_t {
                        std::uint64_t v = 0;
-                       system_.machine.bus().MmioRead(
+                       (void)system_.machine.bus().MmioRead(
                            root::kAhciMmioBase + hw::ahci::kPxCi, 4, &v);
                        return static_cast<std::uint32_t>(v);
                      }});

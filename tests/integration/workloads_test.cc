@@ -108,7 +108,7 @@ TEST(UdpWorkload, ReceivesStreamBareMetal) {
   EXPECT_EQ(platform.nic->packets_dropped(), 0u);
   // The payload copy landed in the application buffer.
   std::uint8_t first = 0;
-  machine.mem().Read(0x7a0000, &first, 1);
+  (void)machine.mem().Read(0x7a0000, &first, 1);
   EXPECT_EQ(first, 0xee);  // Frame header fill byte from the generator.
 }
 

@@ -16,14 +16,14 @@ class DiskServerTest : public ::testing::Test {
     // A client domain with an EC to issue requests and a completion portal.
     client_sel_ = system_.root->CreatePd("client", false, &client_);
     const hv::CapSel ec_sel = system_.root->FreeSel();
-    system_.hv.CreateEcGlobal(system_.root->pd(), ec_sel, client_sel_, 0, [] {},
+    (void)system_.hv.CreateEcGlobal(system_.root->pd(), ec_sel, client_sel_, 0, [] {},
                               &client_ec_);
     const hv::CapSel comp_ec_sel = system_.root->FreeSel();
-    system_.hv.CreateEcLocal(system_.root->pd(), comp_ec_sel, client_sel_, 0,
+    (void)system_.hv.CreateEcLocal(system_.root->pd(), comp_ec_sel, client_sel_, 0,
                              [this](std::uint64_t) { ++completions_; },
                              &comp_ec_);
     comp_pt_sel_ = system_.root->FreeSel();
-    system_.hv.CreatePt(system_.root->pd(), comp_pt_sel_, comp_ec_sel, 0, 0);
+    (void)system_.hv.CreatePt(system_.root->pd(), comp_pt_sel_, comp_ec_sel, 0, 0);
     // Buffer pages owned by the client.
     buffer_page_ = system_.root->GrantMemory(client_sel_, 4, ~0ull, hv::perm::kRw,
                                              false, /*align_pow2=*/true);
@@ -82,11 +82,11 @@ TEST_F(DiskServerTest, ReadRequestCompletesAndNotifies) {
   EXPECT_EQ(completions_, 1);
   // The controller DMAed straight into the client's buffer.
   char out[sizeof(payload)] = {};
-  system_.machine.mem().Read(buffer_page_ << hw::kPageShift, out, sizeof(out));
+  (void)system_.machine.mem().Read(buffer_page_ << hw::kPageShift, out, sizeof(out));
   EXPECT_STREQ(out, payload);
   // Completion record in the shared ring.
   DiskCompletionRecord rec{};
-  system_.machine.mem().Read(ch.shared_page << hw::kPageShift, &rec, sizeof(rec));
+  (void)system_.machine.mem().Read(ch.shared_page << hw::kPageShift, &rec, sizeof(rec));
   EXPECT_EQ(rec.cookie, 100u);
   EXPECT_EQ(rec.status, 0u);
 }
@@ -147,7 +147,7 @@ TEST_F(DiskServerTest, TwoClientsHaveIndependentChannels) {
 
 TEST_F(DiskServerTest, WriteRequestPersistsToDisk) {
   const char data[] = "written by client";
-  system_.machine.mem().Write(buffer_page_ << hw::kPageShift, data, sizeof(data));
+  (void)system_.machine.mem().Write(buffer_page_ << hw::kPageShift, data, sizeof(data));
   const auto ch = Open();
   hv::Utcb& u = client_ec_->utcb();
   u.Clear();
@@ -178,7 +178,7 @@ TEST_F(DiskServerTest, RequestDeadlineTimesOutAndServerRecovers) {
   EXPECT_EQ(server_.requests_failed(), 1u);
   EXPECT_EQ(completions_, 1);
   DiskCompletionRecord rec{};
-  system_.machine.mem().Read(ch.shared_page << hw::kPageShift, &rec, sizeof(rec));
+  (void)system_.machine.mem().Read(ch.shared_page << hw::kPageShift, &rec, sizeof(rec));
   EXPECT_EQ(rec.status, static_cast<std::uint64_t>(Status::kTimeout));
   // The slot sat in quarantine while the stale hardware command finished,
   // then was released: with a sane deadline the server serves again.
@@ -221,7 +221,7 @@ TEST_F(DiskServerTest, FaultScheduleSweepRetiresEveryRequest) {
   // Every ring record is a typed outcome: success or a bounded error.
   for (std::uint64_t i = 0; i < sent; ++i) {
     DiskCompletionRecord rec{};
-    system_.machine.mem().Read(
+    (void)system_.machine.mem().Read(
         (ch.shared_page << hw::kPageShift) + i * sizeof(rec), &rec, sizeof(rec));
     EXPECT_TRUE(rec.status == 0 ||
                 rec.status == static_cast<std::uint64_t>(Status::kBadDevice) ||
@@ -245,7 +245,7 @@ TEST_F(DiskServerTest, ClosedChannelIsRecycledWithoutNewRingFrame) {
   Drain();
   EXPECT_EQ(completions_, 1);
   DiskCompletionRecord rec{};
-  system_.machine.mem().Read(ch2.shared_page << hw::kPageShift, &rec, sizeof(rec));
+  (void)system_.machine.mem().Read(ch2.shared_page << hw::kPageShift, &rec, sizeof(rec));
   EXPECT_EQ(rec.status, 0u);
 }
 

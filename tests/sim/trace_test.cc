@@ -1,6 +1,10 @@
 // Tracer unit tests: interning, digest determinism, ring wraparound with
 // digest coverage of evicted records, nested-span attribution through the
 // TraceReport sink, disabled-mode no-ops and the Chrome JSON exporter.
+//
+// These tests exercise the raw Begin/End API that ScopedSpan wraps, so
+// the raw-span rule does not apply in this file.
+// nova-lint: allow-file(raw-span)
 #include "src/sim/trace.h"
 
 #include <gtest/gtest.h>

@@ -29,13 +29,13 @@ class EmulatorTest : public ::testing::Test {
   void SetInsn(const hw::isa::Insn& insn) {
     std::uint8_t bytes[hw::isa::kInsnSize];
     hw::isa::Encode(insn, bytes);
-    machine_.mem().Write(kGuestBase + 0x1000, bytes, sizeof(bytes));
+    (void)machine_.mem().Write(kGuestBase + 0x1000, bytes, sizeof(bytes));
     arch_.rip = 0x1000;
     arch_.insn_len = hw::isa::kInsnSize;
   }
 
   void EnableGuestPaging() {
-    gpt_.Map(0x100000, 0x1000, 0x1000, hw::kPageSize, hw::pte::kWritable);
+    (void)gpt_.Map(0x100000, 0x1000, 0x1000, hw::kPageSize, hw::pte::kWritable);
     arch_.paging = true;
     arch_.cr3 = 0x100000;
   }
@@ -84,7 +84,7 @@ TEST_F(EmulatorTest, FetchesThroughGuestPageTables) {
   EnableGuestPaging();
   // The device address must also be mapped in the guest page table; map
   // GVA 0x800000 -> GPA 0xfe000000 (a device region).
-  gpt_.Map(0x100000, 0x800000, 0xfe000000, hw::kPageSize, hw::pte::kWritable);
+  (void)gpt_.Map(0x100000, 0x800000, 0xfe000000, hw::kPageSize, hw::pte::kWritable);
   SetInsn({.opcode = hw::isa::Opcode::kLoad,
            .r1 = 1,
            .r2 = hw::isa::kNoReg,
@@ -115,7 +115,7 @@ TEST_F(EmulatorTest, UnmappedOperandInjectsPageFault) {
 
 TEST_F(EmulatorTest, WriteToReadOnlyGuestMappingFaults) {
   EnableGuestPaging();
-  gpt_.Map(0x100000, 0x800000, 0xfe000000, hw::kPageSize, /*flags=*/0);  // RO.
+  (void)gpt_.Map(0x100000, 0x800000, 0xfe000000, hw::kPageSize, /*flags=*/0);  // RO.
   SetInsn({.opcode = hw::isa::Opcode::kStore, .r1 = 1, .r2 = hw::isa::kNoReg,
            .imm64 = 0x800000});
   EXPECT_EQ(emu_.EmulateMmio(arch_, Reader(), Writer()),
@@ -142,11 +142,11 @@ TEST_F(EmulatorTest, ChargesDecodeCycles) {
 
 TEST_F(EmulatorTest, ReadGuestVirtCrossesPages) {
   EnableGuestPaging();
-  gpt_.Map(0x100000, 0x2000, 0x2000, hw::kPageSize, hw::pte::kWritable);
-  gpt_.Map(0x100000, 0x3000, 0x5000, hw::kPageSize, hw::pte::kWritable);
+  (void)gpt_.Map(0x100000, 0x2000, 0x2000, hw::kPageSize, hw::pte::kWritable);
+  (void)gpt_.Map(0x100000, 0x3000, 0x5000, hw::kPageSize, hw::pte::kWritable);
   // Data straddling the 0x2000/0x3000 boundary maps to 0x2000/0x5000.
-  machine_.mem().Write64(kGuestBase + 0x2ff8, 0x1111);
-  machine_.mem().Write64(kGuestBase + 0x5000, 0x2222);
+  (void)machine_.mem().Write64(kGuestBase + 0x2ff8, 0x1111);
+  (void)machine_.mem().Write64(kGuestBase + 0x5000, 0x2222);
   std::uint64_t out[2] = {};
   ASSERT_TRUE(emu_.ReadGuestVirt(arch_, 0x2ff8, out, sizeof(out)));
   EXPECT_EQ(out[0], 0x1111u);

@@ -39,7 +39,7 @@ class VAhciTest : public ::testing::Test {
   }
 
   void W(std::uint64_t off, std::uint64_t v) {
-    vahci_.MmioWrite(vahci::kMmioBase + off, 4, v);
+    (void)vahci_.MmioWrite(vahci::kMmioBase + off, 4, v);
   }
   std::uint64_t R(std::uint64_t off) {
     return vahci_.MmioRead(vahci::kMmioBase + off, 4);
@@ -48,8 +48,8 @@ class VAhciTest : public ::testing::Test {
   void BuildCommand(int slot, std::uint64_t lba, std::uint16_t sectors,
                     std::uint64_t buffer, bool write = false) {
     std::uint32_t dw0 = (1u << 16) | (write ? (1u << 6) : 0);
-    mem_.Write32(kClb + slot * 32, dw0);
-    mem_.Write32(kClb + slot * 32 + 8, kCtba + slot * 0x100);
+    (void)mem_.Write32(kClb + slot * 32, dw0);
+    (void)mem_.Write32(kClb + slot * 32 + 8, kCtba + slot * 0x100);
     std::uint8_t cfis[64] = {};
     cfis[0] = hw::ahci::kFisH2d;
     cfis[2] = write ? hw::ahci::kCmdWriteDmaExt : hw::ahci::kCmdReadDmaExt;
@@ -57,9 +57,9 @@ class VAhciTest : public ::testing::Test {
       cfis[4 + i] = static_cast<std::uint8_t>(lba >> (8 * i));
     }
     std::memcpy(cfis + 12, &sectors, 2);
-    mem_.Write(kCtba + slot * 0x100, cfis, sizeof(cfis));
-    mem_.Write64(kCtba + slot * 0x100 + 0x80, buffer);
-    mem_.Write32(kCtba + slot * 0x100 + 0x80 + 12, sectors * 512 - 1);
+    (void)mem_.Write(kCtba + slot * 0x100, cfis, sizeof(cfis));
+    (void)mem_.Write64(kCtba + slot * 0x100 + 0x80, buffer);
+    (void)mem_.Write32(kCtba + slot * 0x100 + 0x80 + 12, sectors * 512 - 1);
   }
 
   struct Issue {
@@ -127,7 +127,7 @@ TEST_F(VAhciTest, BackendFailureSetsTaskFileError) {
 
 TEST_F(VAhciTest, MalformedFisRejected) {
   BuildCommand(0, 1, 1, 0x800000);
-  mem_.WriteAs<std::uint8_t>(kCtba, 0x00);  // Not an H2D FIS.
+  (void)mem_.WriteAs<std::uint8_t>(kCtba, 0x00);  // Not an H2D FIS.
   W(hw::ahci::kPxCi, 1);
   EXPECT_TRUE(issues_.empty());
   EXPECT_EQ(R(hw::ahci::kPxIs) & hw::ahci::kPxIsTfes, hw::ahci::kPxIsTfes);

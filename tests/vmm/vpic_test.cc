@@ -33,26 +33,26 @@ TEST(VPic, BeginServiceMovesToInService) {
   // The ISR reads the in-service vector from the status port.
   EXPECT_EQ(pic.PioRead(vpic::kPortVector), 33u);
   // EOI clears it.
-  pic.PioWrite(vpic::kPortVector, 33);
+  (void)pic.PioWrite(vpic::kPortVector, 33);
   EXPECT_EQ(pic.PioRead(vpic::kPortVector), vpic::kNoVector);
 }
 
 TEST(VPic, MaskedVectorNotDeliverable) {
   int kicks = 0;
   VPic pic([&] { ++kicks; });
-  pic.PioWrite(vpic::kPortMask, 33);
+  (void)pic.PioWrite(vpic::kPortMask, 33);
   pic.Raise(33);
   EXPECT_FALSE(pic.HasDeliverable());
   EXPECT_EQ(kicks, 0);  // Masked: no kick.
   // Unmask re-arms and kicks.
-  pic.PioWrite(vpic::kPortUnmask, 33);
+  (void)pic.PioWrite(vpic::kPortUnmask, 33);
   EXPECT_TRUE(pic.HasDeliverable());
   EXPECT_EQ(kicks, 1);
 }
 
 TEST(VPic, MaskOnlyAffectsThatVector) {
   VPic pic({});
-  pic.PioWrite(vpic::kPortMask, 33);
+  (void)pic.PioWrite(vpic::kPortMask, 33);
   pic.Raise(33);
   pic.Raise(34);
   EXPECT_EQ(pic.HighestDeliverable(), 34);
@@ -60,7 +60,7 @@ TEST(VPic, MaskOnlyAffectsThatVector) {
 
 TEST(VPic, SoftwareRaisePort) {
   VPic pic({});
-  pic.PioWrite(vpic::kPortRaise, 40);
+  (void)pic.PioWrite(vpic::kPortRaise, 40);
   EXPECT_EQ(pic.HighestDeliverable(), 40);
   EXPECT_EQ(pic.raised(), 1u);
 }

@@ -10,8 +10,8 @@ class VPitTest : public ::testing::Test {
   VPitTest() : pic_([] {}), pit_(&events_, &pic_) {}
 
   void Program(std::uint32_t micros) {
-    pit_.PioWrite(vpit::kPortPeriodLo, micros & 0xffff);
-    pit_.PioWrite(vpit::kPortPeriodHi, micros >> 16);
+    (void)pit_.PioWrite(vpit::kPortPeriodLo, micros & 0xffff);
+    (void)pit_.PioWrite(vpit::kPortPeriodHi, micros >> 16);
   }
 
   sim::EventQueue events_;
@@ -31,7 +31,7 @@ TEST_F(VPitTest, PeriodicTicksRaiseTimerVector) {
 TEST_F(VPitTest, StopViaControlPort) {
   Program(1000);
   events_.AdvanceTo(sim::Milliseconds(3));
-  pit_.PioWrite(vpit::kPortControl, 0);
+  (void)pit_.PioWrite(vpit::kPortControl, 0);
   EXPECT_FALSE(pit_.running());
   const std::uint64_t at_stop = pit_.ticks();
   events_.AdvanceTo(sim::Milliseconds(20));

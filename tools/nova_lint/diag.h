@@ -1,0 +1,24 @@
+// Diagnostic types shared by every nova-lint rule.
+#ifndef TOOLS_NOVA_LINT_DIAG_H_
+#define TOOLS_NOVA_LINT_DIAG_H_
+
+#include <string>
+#include <vector>
+
+namespace nova::lint {
+
+// One rule violation at a source location. `line` is 1-based.
+struct Finding {
+  std::string rule;
+  std::string file;
+  int line = 0;
+  std::string message;
+
+  bool operator==(const Finding&) const = default;
+};
+
+using Findings = std::vector<Finding>;
+
+}  // namespace nova::lint
+
+#endif  // TOOLS_NOVA_LINT_DIAG_H_

@@ -1,0 +1,136 @@
+#include "tools/nova_lint/lexer.h"
+
+#include <cctype>
+
+namespace nova::lint {
+namespace {
+
+bool IdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IdentCont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character punctuators the rules rely on; longest match first.
+const char* kPuncts[] = {
+    "->*", "<<=", ">>=", "...", "::", "->", "==", "!=", "<=", ">=",
+    "&&",  "||",  "<<",  ">>", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=",  "^=",  "++",  "--",
+};
+
+}  // namespace
+
+Tokens Lex(const SourceFile& file) {
+  const std::string& s = file.code();
+  Tokens out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    const char c = s[i];
+    if (c == ' ' || c == '\t' || c == '\n') {
+      ++i;
+      continue;
+    }
+    const int line = file.LineOf(i);
+    if (IdentStart(c)) {
+      std::size_t j = i;
+      while (j < s.size() && IdentCont(s[j])) ++j;
+      out.push_back({TokKind::kIdent, s.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < s.size() && (IdentCont(s[j]) || s[j] == '.' ||
+                              ((s[j] == '+' || s[j] == '-') && j > i &&
+                               (s[j - 1] == 'e' || s[j - 1] == 'E' ||
+                                s[j - 1] == 'p' || s[j - 1] == 'P')))) {
+      ++j;
+      }
+      out.push_back({TokKind::kNumber, s.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    bool matched = false;
+    for (const char* p : kPuncts) {
+      const std::size_t n = std::char_traits<char>::length(p);
+      if (s.compare(i, n, p) == 0) {
+        out.push_back({TokKind::kPunct, p, line});
+        i += n;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      out.push_back({TokKind::kPunct, std::string(1, c), line});
+      ++i;
+    }
+  }
+  return out;
+}
+
+int MatchForward(const Tokens& toks, int i) {
+  if (i < 0 || i >= static_cast<int>(toks.size())) return -1;
+  const std::string& open = toks[static_cast<std::size_t>(i)].text;
+  std::string close;
+  if (open == "(") close = ")";
+  else if (open == "{") close = "}";
+  else if (open == "[") close = "]";
+  else if (open == "<") close = ">";
+  else return -1;
+
+  int depth = 0;
+  for (int j = i; j < static_cast<int>(toks.size()); ++j) {
+    const Token& t = toks[static_cast<std::size_t>(j)];
+    if (t.kind != TokKind::kPunct) {
+      // Template argument lists contain only type-ish tokens; a ';' or
+      // '{' before the close means this '<' was a comparison.
+      continue;
+    }
+    if (open == "<" && (t.text == ";" || t.text == "{" || t.text == "&&" ||
+                        t.text == "||")) {
+      if (j > i) return -1;
+    }
+    if (t.text == open) ++depth;
+    if (t.text == close && --depth == 0) return j;
+    // '>>' closes two template levels.
+    if (open == "<" && t.text == ">>") {
+      depth -= 2;
+      if (depth <= 0) return j;
+    }
+  }
+  return -1;
+}
+
+int MatchBackward(const Tokens& toks, int i) {
+  if (i < 0 || i >= static_cast<int>(toks.size())) return -1;
+  const std::string& close = toks[static_cast<std::size_t>(i)].text;
+  std::string open;
+  if (close == ")") open = "(";
+  else if (close == "}") open = "{";
+  else if (close == "]") open = "[";
+  else return -1;
+
+  int depth = 0;
+  for (int j = i; j >= 0; --j) {
+    const Token& t = toks[static_cast<std::size_t>(j)];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == close) ++depth;
+    if (t.text == open && --depth == 0) return j;
+  }
+  return -1;
+}
+
+bool IsIdent(const Tokens& toks, int i, const char* text) {
+  return i >= 0 && i < static_cast<int>(toks.size()) &&
+         toks[static_cast<std::size_t>(i)].kind == TokKind::kIdent &&
+         toks[static_cast<std::size_t>(i)].text == text;
+}
+
+bool IsPunct(const Tokens& toks, int i, const char* text) {
+  return i >= 0 && i < static_cast<int>(toks.size()) &&
+         toks[static_cast<std::size_t>(i)].kind == TokKind::kPunct &&
+         toks[static_cast<std::size_t>(i)].text == text;
+}
+
+}  // namespace nova::lint

@@ -1,0 +1,46 @@
+// A minimal C++ token scanner for nova-lint.
+//
+// Runs over SourceFile::code() — comments, literals and preprocessor
+// directives are already blanked — so only identifiers, numbers and
+// punctuators remain. This is deliberately not a full C++ lexer: the
+// rules only need identifier adjacency and balanced-delimiter walks.
+#ifndef TOOLS_NOVA_LINT_LEXER_H_
+#define TOOLS_NOVA_LINT_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/nova_lint/source.h"
+
+namespace nova::lint {
+
+enum class TokKind { kIdent, kNumber, kPunct };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  // 1-based source line
+};
+
+using Tokens = std::vector<Token>;
+
+// Tokenizes the blanked code view of `file`.
+Tokens Lex(const SourceFile& file);
+
+// Index of the matching close delimiter for the open one at `i`
+// ('(' -> ')', '{' -> '}', '[' -> ']', '<' -> '>'), or -1. The '<' form
+// bails out on tokens that cannot appear in a template argument list.
+int MatchForward(const Tokens& toks, int i);
+
+// Index of the matching open delimiter for the close one at `i`, or -1.
+int MatchBackward(const Tokens& toks, int i);
+
+// Convenience: true when toks[i] is an identifier with exactly `text`.
+bool IsIdent(const Tokens& toks, int i, const char* text);
+
+// True when toks[i] is the punctuator `text`.
+bool IsPunct(const Tokens& toks, int i, const char* text);
+
+}  // namespace nova::lint
+
+#endif  // TOOLS_NOVA_LINT_LEXER_H_

@@ -1,0 +1,118 @@
+#include "tools/nova_lint/lint.h"
+
+#include <algorithm>
+#include <filesystem>
+
+namespace nova::lint {
+namespace {
+
+bool IsSourceExtension(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::vector<std::string> CollectFiles(const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> out;
+  for (const std::string& p : paths) {
+    std::error_code ec;
+    if (fs::is_regular_file(p, ec)) {
+      out.push_back(p);
+      continue;
+    }
+    if (!fs::is_directory(p, ec)) continue;
+    for (fs::recursive_directory_iterator it(p, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (it->is_regular_file(ec) && IsSourceExtension(it->path())) {
+        out.push_back(it->path().generic_string());
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+LintResult RunLint(const std::vector<SourceFile>& files,
+                   const std::vector<std::unique_ptr<Rule>>& rules) {
+  const ProjectModel model = BuildModel(files);
+  LintResult result;
+  result.files_scanned = static_cast<int>(files.size());
+  for (const SourceFile& f : files) {
+    Findings raw;
+    for (const auto& rule : rules) {
+      rule->Check(f, model, &raw);
+    }
+    for (Finding& fi : raw) {
+      if (f.Suppressed(fi.line, fi.rule)) {
+        ++result.suppressed;
+      } else {
+        result.findings.push_back(std::move(fi));
+      }
+    }
+  }
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return result;
+}
+
+std::string FormatText(const LintResult& result) {
+  std::string out;
+  for (const Finding& f : result.findings) {
+    out += f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
+           f.message + "\n";
+  }
+  out += "nova-lint: " + std::to_string(result.findings.size()) +
+         " finding(s), " + std::to_string(result.suppressed) +
+         " suppressed, " + std::to_string(result.files_scanned) +
+         " file(s) scanned\n";
+  return out;
+}
+
+std::string FormatJson(const LintResult& result) {
+  std::string out = "{\"findings\":[";
+  for (std::size_t i = 0; i < result.findings.size(); ++i) {
+    const Finding& f = result.findings[i];
+    if (i) out += ",";
+    out += "{\"rule\":";
+    AppendJsonString(&out, f.rule);
+    out += ",\"file\":";
+    AppendJsonString(&out, f.file);
+    out += ",\"line\":" + std::to_string(f.line) + ",\"message\":";
+    AppendJsonString(&out, f.message);
+    out += "}";
+  }
+  out += "],\"count\":" + std::to_string(result.findings.size()) +
+         ",\"suppressed\":" + std::to_string(result.suppressed) +
+         ",\"files_scanned\":" + std::to_string(result.files_scanned) + "}\n";
+  return out;
+}
+
+}  // namespace nova::lint

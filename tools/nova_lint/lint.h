@@ -1,0 +1,42 @@
+// The nova-lint driver: file collection, rule execution, suppression
+// filtering and output formatting. Kept separate from main() so the test
+// suite can run the whole pipeline in-process on fixture snippets.
+#ifndef TOOLS_NOVA_LINT_LINT_H_
+#define TOOLS_NOVA_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/nova_lint/diag.h"
+#include "tools/nova_lint/rule.h"
+#include "tools/nova_lint/source.h"
+
+namespace nova::lint {
+
+struct LintResult {
+  Findings findings;     // sorted by (file, line, rule); suppressions applied
+  int files_scanned = 0;
+  int suppressed = 0;    // findings dropped by allow()/allow-file()
+};
+
+// Recursively collects .h/.hpp/.cc/.cpp files under each path (a path
+// that is itself a file is taken as-is), sorted for determinism.
+std::vector<std::string> CollectFiles(const std::vector<std::string>& paths);
+
+// Runs `rules` over `files`. The model is built from the same file set,
+// so invocations should include src/ for full enum / API knowledge.
+LintResult RunLint(const std::vector<SourceFile>& files,
+                   const std::vector<std::unique_ptr<Rule>>& rules);
+
+// Human-readable report: one `file:line: [rule] message` per finding
+// plus a trailing summary line.
+std::string FormatText(const LintResult& result);
+
+// Machine-readable report:
+//   {"findings":[{"rule":…,"file":…,"line":N,"message":…}],
+//    "count":N,"suppressed":N,"files_scanned":N}
+std::string FormatJson(const LintResult& result);
+
+}  // namespace nova::lint
+
+#endif  // TOOLS_NOVA_LINT_LINT_H_

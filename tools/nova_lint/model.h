@@ -1,0 +1,47 @@
+// ProjectModel: facts nova-lint mines from the source tree before any
+// rule runs — enum definitions (for switch-coverage checking), the set of
+// functions whose result must not be discarded, and the layer rank of
+// each directory under src/.
+#ifndef TOOLS_NOVA_LINT_MODEL_H_
+#define TOOLS_NOVA_LINT_MODEL_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/nova_lint/source.h"
+
+namespace nova::lint {
+
+struct ProjectModel {
+  // Enum name (unqualified) -> one enumerator list per distinct
+  // definition. Short names collide across classes (Ec::Kind vs
+  // Vtlb::Kind), so rules must pick the definition consistent with the
+  // enumerators they actually observe at the use site.
+  std::map<std::string, std::vector<std::vector<std::string>>> enums;
+
+  // Function names whose return value must be consumed: anything
+  // declared to return Status / Outcome / DownResult, plus functions
+  // carrying an explicit [[nodiscard]].
+  std::set<std::string> must_check;
+
+  // Architecture ranks for the layering rule. A file may include headers
+  // of its own rank or below, never above. Directories absent from the
+  // map (tests/, bench/, examples/, tools/) are unrestricted consumers.
+  //   sim(0) -> hw(1) -> hv(2) -> {services, root, vmm, guest, baseline}(3)
+  static int LayerRank(const std::string& layer);
+
+  // Layer name ("sim", "hw", ...) of a path under src/, or "" when the
+  // path is not in src/.
+  static std::string LayerOf(const std::string& path);
+};
+
+// Scans `files` (headers and sources alike) and builds the model. The
+// scan is token-based and deliberately forgiving: it only has to be
+// right for this repository's idioms, not for arbitrary C++.
+ProjectModel BuildModel(const std::vector<SourceFile>& files);
+
+}  // namespace nova::lint
+
+#endif  // TOOLS_NOVA_LINT_MODEL_H_

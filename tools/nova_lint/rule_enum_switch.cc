@@ -1,0 +1,131 @@
+// enum-switch: a switch over a project enum that does not name every
+// enumerator.
+//
+// Motivating bug class: PR 2 and PR 3 both appended enum values
+// (FaultKind::kVmmCrash, Status::kNoMem) — every switch hiding behind a
+// bare `default:` silently mis-handled the new value until a test
+// happened to hit it. The invariant mirrors -Wswitch-enum (which
+// NOVA_WERROR promotes to an error for src/): list every enumerator, or
+// carry an explicit default with a line suppression stating why partial
+// coverage is intended.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/nova_lint/lexer.h"
+#include "tools/nova_lint/rule.h"
+
+namespace nova::lint {
+namespace {
+
+class EnumSwitchRule : public Rule {
+ public:
+  const char* name() const override { return "enum-switch"; }
+  const char* summary() const override {
+    return "switch over a project enum without full enumerator coverage";
+  }
+
+  void Check(const SourceFile& file, const ProjectModel& model,
+             Findings* out) const override {
+    const Tokens toks = Lex(file);
+    const int n = static_cast<int>(toks.size());
+    for (int i = 0; i < n; ++i) {
+      if (!IsIdent(toks, i, "switch") || !IsPunct(toks, i + 1, "(")) continue;
+      const int cond_close = MatchForward(toks, i + 1);
+      if (cond_close < 0 || !IsPunct(toks, cond_close + 1, "{")) continue;
+      const int body_open = cond_close + 1;
+      const int body_close = MatchForward(toks, body_open);
+      if (body_close < 0) continue;
+
+      // Collect `case Enum::kValue:` labels at the switch's own depth
+      // (case bodies may open nested blocks; nested switches get their
+      // own pass of this loop).
+      std::map<std::string, std::set<std::string>> cases;
+      bool has_default = false;
+      int depth = 0;
+      for (int j = body_open; j < body_close; ++j) {
+        const Token& t = toks[static_cast<std::size_t>(j)];
+        if (t.kind == TokKind::kPunct) {
+          if (t.text == "{") ++depth;
+          if (t.text == "}") --depth;
+          continue;
+        }
+        if (depth != 1) continue;
+        if (t.text == "default" && IsPunct(toks, j + 1, ":")) {
+          has_default = true;
+        }
+        if (t.text != "case") continue;
+        // Scan the label up to the terminating single ':' and remember
+        // the last `Name::value` pair (handles nested qualification).
+        std::string enum_name, value;
+        for (int k = j + 1; k < body_close; ++k) {
+          if (IsPunct(toks, k, ":")) break;
+          if (toks[static_cast<std::size_t>(k)].kind == TokKind::kIdent &&
+              IsPunct(toks, k + 1, "::") &&
+              toks[static_cast<std::size_t>(k + 2)].kind == TokKind::kIdent) {
+            enum_name = toks[static_cast<std::size_t>(k)].text;
+            value = toks[static_cast<std::size_t>(k + 2)].text;
+          }
+        }
+        if (!enum_name.empty()) cases[enum_name].insert(value);
+      }
+      if (cases.size() != 1) continue;  // not an enum switch we can model
+      const auto& [enum_name, covered] = *cases.begin();
+      auto it = model.enums.find(enum_name);
+      if (it == model.enums.end()) continue;
+
+      // Short enum names collide (Ec::Kind vs Vtlb::Kind): of the known
+      // definitions, use the one whose enumerators contain every case
+      // label seen here. Ambiguity (several fit, different gaps) and no
+      // fit both mean we cannot attribute the switch — stay silent
+      // rather than report against the wrong enum.
+      const std::vector<std::string>* def = nullptr;
+      for (const auto& candidate : it->second) {
+        bool fits = true;
+        for (const std::string& c : covered) {
+          fits = fits && std::find(candidate.begin(), candidate.end(), c) !=
+                             candidate.end();
+        }
+        if (!fits) continue;
+        if (def != nullptr && *def != candidate) {
+          def = nullptr;
+          break;
+        }
+        def = &candidate;
+      }
+      if (def == nullptr) continue;
+
+      std::vector<std::string> missing;
+      for (const std::string& v : *def) {
+        if (covered.count(v) == 0) missing.push_back(v);
+      }
+      if (missing.empty()) continue;
+      std::string list;
+      for (std::size_t m = 0; m < std::min<std::size_t>(missing.size(), 4);
+           ++m) {
+        list += (m ? ", " : "") + missing[m];
+      }
+      if (missing.size() > 4) {
+        list += ", … (" + std::to_string(missing.size()) + " total)";
+      }
+      out->push_back(
+          {name(), file.path(), toks[static_cast<std::size_t>(i)].line,
+           "switch over '" + enum_name + "' does not handle: " + list +
+               (has_default
+                    ? "; an intentional partial switch needs a suppression "
+                      "on this line"
+                    : "; add the missing cases or an explicit default with "
+                      "a suppression")});
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeEnumSwitchRule() {
+  return std::make_unique<EnumSwitchRule>();
+}
+
+}  // namespace nova::lint

@@ -1,0 +1,121 @@
+// unchecked-status: a call to a must-check API (anything returning
+// Status / Vtlb::Outcome / DownResult, or carrying [[nodiscard]]) whose
+// result is discarded as a full-expression statement.
+//
+// Motivating bug: PR 3 found AllocFrame results ignored on page-table
+// growth paths, turning quota exhaustion into silent corruption instead
+// of a clean kNoMem. The compiler enforces the same contract through
+// [[nodiscard]] (NOVA_WERROR makes it fatal); this rule keeps the check
+// available without a build and catches pre-[[nodiscard]] call sites.
+#include <string>
+
+#include "tools/nova_lint/lexer.h"
+#include "tools/nova_lint/rule.h"
+
+namespace nova::lint {
+namespace {
+
+bool IsBoundary(const Token& t) {
+  return t.kind == TokKind::kPunct &&
+         (t.text == ";" || t.text == "{" || t.text == "}" || t.text == ":");
+}
+
+// Classifies the tokens before a candidate call at `callee`: true when
+// the call is the start of a full-expression statement (its result can
+// only be discarded), false when it is consumed or is a declaration.
+bool CallIsStatement(const Tokens& toks, int callee) {
+  int pos = callee - 1;
+  bool first = true;
+  while (true) {
+    if (pos < 0) return true;
+    const Token& t = toks[static_cast<std::size_t>(pos)];
+    if (t.kind == TokKind::kPunct && t.text == ":") {
+      // A label/case `:` starts a statement; a ternary `:` consumes the
+      // call. Disambiguate by looking for the matching `?` first.
+      for (int p = pos - 1; p >= 0; --p) {
+        const Token& q = toks[static_cast<std::size_t>(p)];
+        if (q.kind != TokKind::kPunct) continue;
+        if (q.text == "?") return false;
+        if (q.text == ";" || q.text == "{" || q.text == "}") break;
+      }
+      return true;
+    }
+    if (IsBoundary(t)) return true;
+    if (t.kind == TokKind::kIdent && (t.text == "else" || t.text == "do")) {
+      return true;
+    }
+    // A ')' directly before the call is either the explicit-discard cast
+    // `(void)Foo();` (fine) or an unbraced controlled statement
+    // `if (...) Foo();` (still a discard).
+    if (first && t.kind == TokKind::kPunct && t.text == ")") {
+      const int open = MatchBackward(toks, pos);
+      if (open >= 0 && open + 2 == pos && IsIdent(toks, open + 1, "void")) {
+        return false;
+      }
+      return true;
+    }
+    if (t.kind == TokKind::kPunct &&
+        (t.text == "." || t.text == "->" || t.text == "::")) {
+      // Walk over the receiver atom: `obj.`, `ns::`, `call(...).`.
+      int p = pos - 1;
+      if (p < 0) return false;
+      const Token& atom = toks[static_cast<std::size_t>(p)];
+      if (atom.kind == TokKind::kIdent) {
+        pos = p - 1;
+        first = false;
+        continue;
+      }
+      if (atom.kind == TokKind::kPunct &&
+          (atom.text == ")" || atom.text == "]")) {
+        const int open = MatchBackward(toks, p);
+        if (open <= 0) return false;
+        if (toks[static_cast<std::size_t>(open - 1)].kind == TokKind::kIdent) {
+          pos = open - 2;
+          first = false;
+          continue;
+        }
+      }
+      return false;
+    }
+    // Anything else — `=`, `return`, `(`, `,`, a type name — consumes or
+    // declares; the result is not silently dropped.
+    return false;
+  }
+}
+
+class UncheckedStatusRule : public Rule {
+ public:
+  const char* name() const override { return "unchecked-status"; }
+  const char* summary() const override {
+    return "result of a Status/Outcome/[[nodiscard]] API is discarded";
+  }
+
+  void Check(const SourceFile& file, const ProjectModel& model,
+             Findings* out) const override {
+    const Tokens toks = Lex(file);
+    const int n = static_cast<int>(toks.size());
+    for (int i = 0; i < n; ++i) {
+      const Token& t = toks[static_cast<std::size_t>(i)];
+      if (t.kind != TokKind::kIdent || model.must_check.count(t.text) == 0) {
+        continue;
+      }
+      if (!IsPunct(toks, i + 1, "(")) continue;
+      const int close = MatchForward(toks, i + 1);
+      if (close < 0 || !IsPunct(toks, close + 1, ";")) continue;
+      if (!CallIsStatement(toks, i)) continue;
+      out->push_back(
+          {name(), file.path(), t.line,
+           "result of '" + t.text +
+               "' is discarded; handle the Status or make the intent "
+               "explicit with (void) and a reason"});
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeUncheckedStatusRule() {
+  return std::make_unique<UncheckedStatusRule>();
+}
+
+}  // namespace nova::lint

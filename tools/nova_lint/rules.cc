@@ -1,0 +1,17 @@
+#include "tools/nova_lint/rule.h"
+
+namespace nova::lint {
+
+std::vector<std::unique_ptr<Rule>> AllRules() {
+  std::vector<std::unique_ptr<Rule>> rules;
+  rules.push_back(MakeUncheckedStatusRule());
+  rules.push_back(MakeQuotaSymmetryRule());
+  rules.push_back(MakeRawCounterRule());
+  rules.push_back(MakeRawSpanRule());
+  rules.push_back(MakeLayeringRule());
+  rules.push_back(MakeEnumSwitchRule());
+  rules.push_back(MakeUncheckedDowncastRule());
+  return rules;
+}
+
+}  // namespace nova::lint

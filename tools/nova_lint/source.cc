@@ -1,0 +1,240 @@
+#include "tools/nova_lint/source.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace nova::lint {
+namespace {
+
+// Splits on '\n'; a trailing newline does not create an extra empty line.
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      out.push_back(cur);
+      cur.clear();
+    } else if (c != '\r') {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+bool IsPreprocessorStart(const std::string& line) {
+  for (char c : line) {
+    if (c == ' ' || c == '\t') continue;
+    return c == '#';
+  }
+  return false;
+}
+
+}  // namespace
+
+SourceFile::SourceFile(std::string path, std::string text)
+    : path_(std::move(path)) {
+  Build(text);
+  ParseSuppressions();
+}
+
+std::optional<SourceFile> SourceFile::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return SourceFile(path, buf.str());
+}
+
+// One pass over the raw text producing the comment/string-blanked view.
+// The state machine mirrors the lexical phases the rules care about; raw
+// string literals carry their delimiter so R"x(... )x" nests safely.
+void SourceFile::Build(const std::string& text) {
+  lines_ = SplitLines(text);
+  code_ = lines_;
+
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string raw_delim;  // delimiter of the active raw string literal
+  bool preprocessor = false;  // inside a (possibly continued) directive
+
+  for (std::size_t li = 0; li < lines_.size(); ++li) {
+    const std::string& in = lines_[li];
+    std::string& out = code_[li];
+    if (state == State::kLineComment) state = State::kCode;
+
+    if (state == State::kCode && !preprocessor && IsPreprocessorStart(in)) {
+      preprocessor = true;
+    }
+    if (preprocessor) {
+      // Blank the whole directive (macro bodies are not statement code);
+      // continuation lines stay blanked too.
+      for (char& c : out) c = ' ';
+      preprocessor = !in.empty() && in.back() == '\\';
+      continue;
+    }
+
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const char c = in[i];
+      const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+      switch (state) {
+        case State::kCode:
+          if (c == '/' && next == '/') {
+            state = State::kLineComment;
+            out[i] = out[i + 1] = ' ';
+            ++i;
+          } else if (c == '/' && next == '*') {
+            state = State::kBlockComment;
+            out[i] = out[i + 1] = ' ';
+            ++i;
+          } else if (c == 'R' && next == '"' &&
+                     (i == 0 || (!isalnum(static_cast<unsigned char>(in[i - 1])) &&
+                                 in[i - 1] != '_'))) {
+            // Raw string literal: capture the delimiter up to '('.
+            raw_delim.clear();
+            std::size_t j = i + 2;
+            while (j < in.size() && in[j] != '(') raw_delim += in[j++];
+            for (std::size_t k = i; k < std::min(j + 1, in.size()); ++k) {
+              out[k] = ' ';
+            }
+            i = j;
+            state = State::kRawString;
+          } else if (c == '"') {
+            state = State::kString;
+            out[i] = ' ';
+          } else if (c == '\'') {
+            state = State::kChar;
+            out[i] = ' ';
+          }
+          break;
+        case State::kLineComment:
+          out[i] = ' ';
+          break;
+        case State::kBlockComment:
+          out[i] = ' ';
+          if (c == '*' && next == '/') {
+            out[i + 1] = ' ';
+            ++i;
+            state = State::kCode;
+          }
+          break;
+        case State::kString:
+        case State::kChar: {
+          out[i] = ' ';
+          if (c == '\\') {
+            if (i + 1 < in.size()) out[++i] = ' ';
+          } else if ((state == State::kString && c == '"') ||
+                     (state == State::kChar && c == '\'')) {
+            state = State::kCode;
+          }
+          break;
+        }
+        case State::kRawString: {
+          // Close on )delim" .
+          const std::string close = ")" + raw_delim + "\"";
+          if (in.compare(i, close.size(), close) == 0) {
+            for (std::size_t k = i; k < i + close.size(); ++k) out[k] = ' ';
+            i += close.size() - 1;
+            state = State::kCode;
+          } else {
+            out[i] = ' ';
+          }
+          break;
+        }
+      }
+    }
+    // Strings and char literals do not span lines (raw strings do).
+    if (state == State::kString || state == State::kChar) state = State::kCode;
+  }
+
+  code_joined_.clear();
+  line_starts_.clear();
+  for (const std::string& l : code_) {
+    line_starts_.push_back(code_joined_.size());
+    code_joined_ += l;
+    code_joined_ += '\n';
+  }
+}
+
+void SourceFile::ParseSuppressions() {
+  static const std::string kAllow = "nova-lint: allow(";
+  static const std::string kAllowFile = "nova-lint: allow-file(";
+  for (std::size_t li = 0; li < lines_.size(); ++li) {
+    const std::string& raw = lines_[li];
+    for (const auto& [marker, file_wide] :
+         {std::pair{kAllowFile, true}, std::pair{kAllow, false}}) {
+      std::size_t pos = raw.find(marker);
+      if (pos == std::string::npos) continue;
+      const std::size_t close = raw.find(')', pos);
+      if (close == std::string::npos) continue;
+      std::string list = raw.substr(pos + marker.size(),
+                                    close - pos - marker.size());
+      std::string name;
+      auto flush = [&] {
+        if (name.empty()) return;
+        if (file_wide) {
+          allow_file_.insert(name);
+        } else {
+          const int line = static_cast<int>(li) + 1;
+          allow_[line].insert(name);
+          // A comment standing alone on its line covers the next line.
+          bool alone = true;
+          for (char c : code_[li]) {
+            if (c != ' ' && c != '\t') alone = false;
+          }
+          if (alone) allow_[line + 1].insert(name);
+        }
+        name.clear();
+      };
+      for (char c : list) {
+        if (c == ',' || c == ' ') {
+          flush();
+        } else {
+          name += c;
+        }
+      }
+      flush();
+      break;  // allow-file match also contains "allow(", don't double-parse
+    }
+  }
+}
+
+const std::string& SourceFile::RawLine(int line) const {
+  static const std::string kEmpty;
+  if (line < 1 || line > line_count()) return kEmpty;
+  return lines_[static_cast<std::size_t>(line - 1)];
+}
+
+const std::string& SourceFile::CodeLine(int line) const {
+  static const std::string kEmpty;
+  if (line < 1 || line > line_count()) return kEmpty;
+  return code_[static_cast<std::size_t>(line - 1)];
+}
+
+int SourceFile::LineOf(std::size_t offset) const {
+  int lo = 0, hi = static_cast<int>(line_starts_.size()) - 1;
+  while (lo < hi) {
+    const int mid = (lo + hi + 1) / 2;
+    if (line_starts_[static_cast<std::size_t>(mid)] <= offset) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo + 1;
+}
+
+bool SourceFile::Suppressed(int line, const std::string& rule) const {
+  if (allow_file_.count(rule) != 0) return true;
+  auto it = allow_.find(line);
+  return it != allow_.end() && it->second.count(rule) != 0;
+}
+
+}  // namespace nova::lint

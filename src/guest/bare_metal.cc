@@ -24,7 +24,7 @@ bool BareMetalRunner::RunUntil(const std::function<bool()>& pred,
     // Slice execution by the next device-event deadline.
     sim::Cycles slice = cpu_->model().frequency.PicosToCycles(deadline_ps) -
                         cpu_->cycles();
-    machine_->SyncDeviceTime(*cpu_);
+    SyncDeviceTime();
     if (!machine_->events().empty()) {
       const sim::PicoSeconds next = machine_->events().NextDeadline();
       if (next > cpu_->NowPs()) {
@@ -35,12 +35,24 @@ bool BareMetalRunner::RunUntil(const std::function<bool()>& pred,
       }
     }
     const hw::VmExit exit = engine_.Run(gs_, native, std::max<sim::Cycles>(slice, 1));
-    machine_->SyncDeviceTime(*cpu_);
+    SyncDeviceTime();
     if (exit.reason == hw::ExitReason::kError) {
       return false;
     }
   }
   return true;
+}
+
+void BareMetalRunner::SyncDeviceTime() {
+  // The native runner owns one CPU; any other cores of the machine sit
+  // idle and must not hold the device-time floor back (Machine advances
+  // to the minimum core clock).
+  for (std::uint32_t i = 0; i < machine_->num_cpus(); ++i) {
+    if (i != cpu_->id()) {
+      machine_->cpu(i).AdvanceToPs(cpu_->NowPs());
+    }
+  }
+  machine_->SyncDeviceTime();
 }
 
 }  // namespace nova::guest

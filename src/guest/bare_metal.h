@@ -31,6 +31,10 @@ class BareMetalRunner {
   bool RunUntil(const std::function<bool()>& pred, sim::PicoSeconds deadline_ps);
 
  private:
+  // Fire due device events: drags the machine's other (idle) cores up to
+  // this runner's clock first so the min-clock advance can make progress.
+  void SyncDeviceTime();
+
   hw::Machine* machine_;
   hw::Cpu* cpu_;
   hw::VmEngine engine_;

@@ -7,6 +7,8 @@
 // reply; its UTCB contents travel back to the caller.
 #include "src/hv/kernel.h"
 
+#include <optional>
+
 namespace nova::hv {
 
 void Hypervisor::TransferWords(Utcb& from, Utcb& to, std::uint32_t cpu_id) {
@@ -86,9 +88,13 @@ Status Hypervisor::Call(Ec* caller_ec, CapSel pt_sel) {
 Status Hypervisor::DoCall(Ec* caller_ec, Pt* portal) {
   const std::uint32_t cpu_id = caller_ec->cpu();
   Ec& handler = portal->handler();
-  if (handler.cpu() != cpu_id) {
-    return Status::kBadCpu;  // Portals are per-CPU objects in NOVA.
-  }
+  // A portal whose handler lives on another core is reached by xcall: the
+  // caller's scheduling context is handed off to the handler's home core
+  // (Hedron's helping/migration semantics) and the caller resumes when
+  // the reply IPI lands. `run_cpu` is where the handler executes and
+  // where its work is charged.
+  const std::uint32_t run_cpu = handler.cpu();
+  const bool xcall = run_cpu != cpu_id;
   if (handler.busy()) {
     return Status::kBusy;  // One in-flight call per handler EC.
   }
@@ -97,7 +103,7 @@ Status Hypervisor::DoCall(Ec* caller_ec, Pt* portal) {
   }
 
   const bool cross_as = &handler.pd() != &caller_ec->pd();
-  const hw::CpuModel& model = cpu(cpu_id).model();
+  const hw::CpuModel& model = cpu(run_cpu).model();
 
   // "IPC Call" span: portal traversal through reply, ended on every exit
   // path (including typed-item transfer errors) by the scope guard. The
@@ -109,22 +115,51 @@ Status Hypervisor::DoCall(Ec* caller_ec, Pt* portal) {
       [this, cpu_id] { return cpu(cpu_id).NowPs(); }, portal->id(),
       cross_as ? 1 : 0);
 
+  // The caller blocks until the remote side replies: on every exit path,
+  // pull its clock up to the handler core's completion time.
+  struct ResumeGuard {
+    Hypervisor* hv;
+    std::uint32_t caller_cpu, run_cpu;
+    bool active;
+    ~ResumeGuard() {
+      if (active) {
+        hv->cpu(caller_cpu).AdvanceToPs(hv->cpu(run_cpu).NowPs());
+      }
+    }
+  } resume{this, cpu_id, run_cpu, xcall};
+
+  // "IPC Xcall" span on the handler's core: IPI receipt through reply.
+  using RemoteClock = std::function<sim::PicoSeconds()>;
+  std::optional<sim::ScopedSpan<RemoteClock>> xcall_span;
+  if (xcall) {
+    ctr_.ipc_xcalls.Add();  // Pairs with the xcall span's Begin record.
+    ChargeLock(xcall_lock_, cpu_id);
+    Charge(cpu_id, costs_.xcall_send);
+    cpu(run_cpu).AdvanceToPs(cpu(cpu_id).NowPs());  // IPI flight.
+    xcall_span.emplace(
+        tracer_, sim::TraceCat::kIpc, trc_.ipc_xcall,
+        static_cast<std::uint8_t>(run_cpu),
+        RemoteClock([this, run_cpu] { return cpu(run_cpu).NowPs(); }),
+        portal->id(), cpu_id);
+    Charge(run_cpu, costs_.xcall_receive);
+  }
+
   // Portal traversal + switch to the handler, donating the caller's SC.
-  Charge(cpu_id, costs_.portal_traversal + costs_.context_switch);
+  Charge(run_cpu, costs_.portal_traversal + costs_.context_switch);
   if (cross_as) {
     // Host address spaces carry no TLB tags (§9 discusses exactly this):
     // the page-table root write flushes, and hot entries are re-walked.
-    Charge(cpu_id, costs_.addr_space_switch +
+    Charge(run_cpu, costs_.addr_space_switch +
                        costs_.ipc_refill_entries * model.tlb_refill_entry);
-    cpu(cpu_id).tlb().FlushTag(hw::kHostTag);
+    cpu(run_cpu).tlb().FlushTag(hw::kHostTag);
   }
-  TransferWords(caller_ec->utcb(), handler.utcb(), cpu_id);
+  TransferWords(caller_ec->utcb(), handler.utcb(), run_cpu);
   if (caller_ec->utcb().num_typed > 0) {
     // Delegations ride on the message and are consumed by the kernel; the
     // receiver window was declared by the handler ahead of time.
     Utcb msg = caller_ec->utcb();
     msg.recv_window = handler.utcb().recv_window;
-    const Status s = ApplyTypedItems(&caller_ec->pd(), &handler.pd(), msg, cpu_id);
+    const Status s = ApplyTypedItems(&caller_ec->pd(), &handler.pd(), msg, run_cpu);
     caller_ec->utcb().num_typed = 0;
     if (!Ok(s)) {
       return s;
@@ -135,23 +170,23 @@ Status Hypervisor::DoCall(Ec* caller_ec, Pt* portal) {
   // The handler runs on the donated scheduling context; the kernel creates
   // a reply capability and switches directly without invoking the
   // scheduler. Our synchronous model realizes donation exactly: the
-  // handler executes here, charging the caller's CPU.
+  // handler executes here, charging its home CPU.
   handler.set_busy(true);
   handler.handler()(portal->id());
   handler.set_busy(false);
 
   // Reply: return the donated SC and transfer the reply message.
-  Charge(cpu_id, costs_.reply_path + costs_.context_switch);
+  Charge(run_cpu, costs_.reply_path + costs_.context_switch);
   if (cross_as) {
-    Charge(cpu_id, costs_.addr_space_switch +
+    Charge(run_cpu, costs_.addr_space_switch +
                        costs_.ipc_refill_entries * model.tlb_refill_entry);
-    cpu(cpu_id).tlb().FlushTag(hw::kHostTag);
+    cpu(run_cpu).tlb().FlushTag(hw::kHostTag);
   }
-  TransferWords(handler.utcb(), caller_ec->utcb(), cpu_id);
+  TransferWords(handler.utcb(), caller_ec->utcb(), run_cpu);
   if (handler.utcb().num_typed > 0) {
     Utcb msg = handler.utcb();
     msg.recv_window = caller_ec->utcb().recv_window;
-    const Status s = ApplyTypedItems(&handler.pd(), &caller_ec->pd(), msg, cpu_id);
+    const Status s = ApplyTypedItems(&handler.pd(), &caller_ec->pd(), msg, run_cpu);
     if (!Ok(s)) {
       return s;
     }

@@ -54,6 +54,12 @@ Hypervisor::HotTraceIds::HotTraceIds(sim::Tracer& t)
                        hw::ExitReasonName(static_cast<hw::ExitReason>(i)));
   }
   vm_event_unhandled = t.Intern("vm-event-unhandled");
+  // SMP names intern last: ids are dense and golden digests of old traces
+  // must not shift (single-core runs never emit these).
+  ipc_xcall = t.Intern("IPC Xcall");
+  tlb_shootdown = t.Intern("TLB Shootdown");
+  tlb_shootdown_ack = t.Intern("TLB Shootdown Ack");
+  lock_contention = t.Intern("lock-contention");
 }
 
 Hypervisor::Hypervisor(hw::Machine* machine, HvCosts costs)
@@ -63,6 +69,7 @@ Hypervisor::Hypervisor(hw::Machine* machine, HvCosts costs)
     engines_.push_back(std::make_unique<hw::VmEngine>(
         &machine_->cpu(i), &machine_->mem(), &machine_->bus(), &machine_->irq()));
   }
+  // nova-lint: allow(per-cpu-state) — boot-time sizing, no core yet.
   cpu_states_.resize(machine_->num_cpus());
 }
 
@@ -297,6 +304,12 @@ Status Hypervisor::DestroyPd(Pd* caller, CapSel pd_sel) {
   if (pd == root_pd_.get()) {
     return Status::kDenied;
   }
+  // Reclaim first, while the domain's kernel objects still exist: the
+  // capability sweep below destroys any semaphore whose last reference is
+  // a delegated cap, and a foreign waiter blocked on it must observe the
+  // abort, not be stranded on a vanished object.
+  pd->MarkDead();
+  ReclaimPd(pd);
   // Withdraw everything this domain held and everything derived from it.
   // The per-node withdrawals below are best-effort by design: a range the
   // domain already unmapped itself is not an error during teardown.
@@ -320,8 +333,6 @@ Status Hypervisor::DestroyPd(Pd* caller, CapSel pd_sel) {
         break;
     }
   });
-  pd->MarkDead();
-  ReclaimPd(pd);
   (void)caller->caps().Remove(pd_sel);
   return Status::kSuccess;
 }
@@ -371,16 +382,10 @@ void Hypervisor::ReclaimPd(Pd* pd) {
         machine_->events().Cancel(ec->timeout_event());
         ec->set_timeout_event(0);
       }
-      if (ec->sc() != nullptr && ec->sc()->queued()) {
-        (void)cpu_states_[ec->cpu()].runqueue.Remove(ec->sc());
-      }
+      UnscheduleEc(ec.get());
       if (ec->sc() != nullptr) {
         ec->sc()->MarkDead();
       }
-      auto& halted = cpu_states_[ec->cpu()].halted_vcpus;
-      halted.erase(std::remove_if(halted.begin(), halted.end(),
-                                  [&ec](const auto& p) { return p == ec; }),
-                   halted.end());
     }
     ++it;
   }
@@ -402,8 +407,11 @@ void Hypervisor::ReclaimPd(Pd* pd) {
   }
   pd->assigned_devices().clear();
 
-  // Release the domain's hardware TLB footprint and identity tag.
+  // Release the domain's hardware TLB footprint and identity tag. Cores
+  // that ran the dying VM's vCPUs are shot down before the tag recycles.
   if (pd->is_vm() && pd->vm_tag() != hw::kHostTag) {
+    ShootdownRemotes(boot_cpu_for_step_, pd->cores_mask(), pd->vm_tag());
+    pd->ClearCores();
     for (std::uint32_t i = 0; i < machine_->num_cpus(); ++i) {
       machine_->cpu(i).tlb().FlushTag(pd->vm_tag());
       engines_[i]->FlushNestedTlb(pd->vm_tag());
@@ -568,7 +576,7 @@ Status Hypervisor::CreateSc(Pd* caller, CapSel dst_sel, CapSel ec_sel,
     return s;
   }
   sc->set_release_hook([sc_pd] { sc_pd->CreditKmem(1); });
-  cpu_states_[ec->cpu()].runqueue.Enqueue(sc.get());
+  EnqueueSc(sc.get());
   return Status::kSuccess;
 }
 
@@ -654,8 +662,30 @@ void Hypervisor::WakeSmWaiter(Ec* ec, Status status) {
   ec->set_wake_status(status);
   ec->set_block_state(Ec::BlockState::kRunnable);
   if (ec->sc() != nullptr && !ec->sc()->queued()) {
-    cpu_states_[ec->cpu()].runqueue.Enqueue(ec->sc());
+    EnqueueSc(ec->sc());
   }
+}
+
+void Hypervisor::EnqueueSc(Sc* sc, bool at_head) {
+  // Per-core ready queues are contention-free for their own core; only a
+  // cross-core wakeup (an SC pushed into a remote core's queue) touches a
+  // lock another core may hold.
+  if (boot_cpu_for_step_ != sc->cpu()) {
+    ChargeLock(sched_lock_, boot_cpu_for_step_);
+  }
+  cpu_state(sc->cpu()).Enqueue(sc, at_head);
+}
+
+void Hypervisor::UnscheduleEc(Ec* ec) {
+  CpuState& state = cpu_state(ec->cpu());
+  if (ec->sc() != nullptr && ec->sc()->queued()) {
+    // Absent is fine: the queued() flag can be stale during teardown.
+    (void)state.Remove(ec->sc());
+  }
+  auto& halted = state.halted();
+  halted.erase(std::remove_if(halted.begin(), halted.end(),
+                              [ec](const auto& p) { return p.get() == ec; }),
+               halted.end());
 }
 
 Hypervisor::DownResult Hypervisor::SmDown(Ec* caller_ec, CapSel sm_sel,
@@ -722,6 +752,7 @@ Status Hypervisor::Delegate(Pd* caller, CapSel dst_pd_sel, const Crd& src,
                             bool large) {
   const std::uint32_t cpu_id = boot_cpu_for_step_;
   Charge(cpu_id, costs_.hypercall_dispatch);
+  ChargeLock(mdb_lock_, cpu_id);
   Pd* dst = LookupCharged<Pd>(caller, dst_pd_sel, ObjType::kPd, 0, cpu_id);
   if (dst == nullptr) {
     return Status::kBadCapability;
@@ -786,6 +817,7 @@ Status Hypervisor::Delegate(Pd* caller, CapSel dst_pd_sel, const Crd& src,
 Status Hypervisor::Revoke(Pd* caller, const Crd& crd, bool include_self) {
   const std::uint32_t cpu_id = boot_cpu_for_step_;
   Charge(cpu_id, costs_.hypercall_dispatch);
+  ChargeLock(mdb_lock_, cpu_id);
   bool touched_mem = false;
   // As with DestroyPd: per-node withdrawals during a revoke walk are
   // best-effort, since children may have dropped ranges on their own.
@@ -797,6 +829,9 @@ Status Hypervisor::Revoke(Pd* caller, const Crd& crd, bool include_self) {
         Charge(cpu_id, costs_.map_page * node.count);
         touched_mem = true;
         if (node.pd->is_vm()) {
+          // Remote cores that ran this VM hold stale tagged translations:
+          // IPI + flush + ack before the unmap is globally visible.
+          ShootdownRemotes(cpu_id, node.pd->cores_mask(), node.pd->vm_tag());
           for (std::uint32_t i = 0; i < machine_->num_cpus(); ++i) {
             machine_->cpu(i).tlb().FlushTag(node.pd->vm_tag());
             engines_[i]->FlushNestedTlb(node.pd->vm_tag());
@@ -819,6 +854,10 @@ Status Hypervisor::Revoke(Pd* caller, const Crd& crd, bool include_self) {
     }
   });
   if (touched_mem) {
+    // Host address spaces are untagged: every core flushes. The initiator
+    // pays the per-core flush exactly as before; under SMP the remote
+    // cores additionally receive the shootdown IPI and pay the ack.
+    ShootdownRemotes(cpu_id, ~0ull, hw::kHostTag);
     for (std::uint32_t i = 0; i < machine_->num_cpus(); ++i) {
       machine_->cpu(i).tlb().FlushTag(hw::kHostTag);
       Charge(cpu_id, machine_->cpu(i).model().tlb_flush);
@@ -904,12 +943,12 @@ void Hypervisor::WakeEc(Ec* ec) {
     return;
   }
   ec->set_block_state(Ec::BlockState::kRunnable);
-  auto& halted = cpu_states_[ec->cpu()].halted_vcpus;
+  auto& halted = cpu_state(ec->cpu()).halted();
   halted.erase(std::remove_if(halted.begin(), halted.end(),
                               [ec](const auto& p) { return p.get() == ec; }),
                halted.end());
   if (ec->sc() != nullptr) {
-    cpu_states_[ec->cpu()].runqueue.Enqueue(ec->sc());
+    EnqueueSc(ec->sc());
   }
 }
 
@@ -947,32 +986,141 @@ void Hypervisor::ProcessPendingIrqs(std::uint32_t cpu_id) {
   }
 }
 
+// --- SMP primitives -----------------------------------------------------------
+
+void Hypervisor::ChargeLock(KernelLock& lock, std::uint32_t cpu_id) {
+  if (machine_->num_cpus() == 1) {
+    return;  // Uncontended by construction; stays cost-free.
+  }
+  hw::Cpu& c = cpu(cpu_id);
+  if (lock.last_cpu != ~0u && lock.last_cpu != cpu_id &&
+      c.NowPs() < lock.hold_until_ps) {
+    Charge(cpu_id, costs_.lock_contention);
+    CountEvent(ctr_.lock_contention, trc_.lock_contention, cpu_id,
+               lock.last_cpu, sim::TraceCat::kSched);
+  }
+  lock.last_cpu = cpu_id;
+  lock.hold_until_ps =
+      c.NowPs() + c.model().frequency.CyclesToPicos(costs_.lock_hold);
+}
+
+void Hypervisor::ShootdownRemotes(std::uint32_t origin_cpu,
+                                  std::uint64_t targets, hw::TlbTag tag) {
+  hw::Cpu& origin = cpu(origin_cpu);
+  for (std::uint32_t i = 0; i < machine_->num_cpus(); ++i) {
+    if (i == origin_cpu || (targets & (1ull << i)) == 0) {
+      continue;
+    }
+    // Initiator: post the IPI and spin for the ack.
+    Charge(origin_cpu, costs_.shootdown_ipi);
+    CountEvent(ctr_.tlb_shootdown, trc_.tlb_shootdown, origin_cpu, i,
+               sim::TraceCat::kIrq);
+    // Target: the IPI arrives no earlier than it was sent; the remote core
+    // flushes the tagged entries and acks.
+    hw::Cpu& remote = cpu(i);
+    remote.AdvanceToPs(origin.NowPs());
+    remote.tlb().FlushTag(tag);
+    Charge(i, costs_.shootdown_ack + remote.model().tlb_flush);
+    if (tracer_->enabled()) {
+      tracer_->InstantAt(remote.NowPs(), sim::TraceCat::kIrq,
+                         trc_.tlb_shootdown_ack, static_cast<std::uint8_t>(i),
+                         tag);
+    }
+    // The initiator's spin ends when the ack lands.
+    origin.AdvanceToPs(remote.NowPs());
+  }
+}
+
+void Hypervisor::ShootdownVtlb(Ec* origin_vcpu, std::uint64_t gva) {
+  if (machine_->num_cpus() == 1) {
+    return;  // Sibling vCPUs share the core; no cross-core state exists.
+  }
+  Pd* vm = &origin_vcpu->pd();
+  for (auto it = vcpus_.begin(); it != vcpus_.end();) {
+    auto sibling = it->lock();
+    if (sibling == nullptr) {
+      it = vcpus_.erase(it);
+      continue;
+    }
+    ++it;
+    if (sibling.get() == origin_vcpu || &sibling->pd() != vm ||
+        sibling->cpu() == origin_vcpu->cpu() || sibling->vtlb() == nullptr) {
+      continue;
+    }
+    const std::uint32_t origin_cpu = origin_vcpu->cpu();
+    Charge(origin_cpu, costs_.shootdown_ipi);
+    CountEvent(ctr_.tlb_shootdown, trc_.tlb_shootdown, origin_cpu,
+               sibling->cpu(), sim::TraceCat::kIrq);
+    hw::Cpu& remote = cpu(sibling->cpu());
+    remote.AdvanceToPs(cpu(origin_cpu).NowPs());
+    sibling->vtlb()->HandleInvlpg(gva);
+    Charge(sibling->cpu(), costs_.shootdown_ack);
+    if (tracer_->enabled()) {
+      tracer_->InstantAt(remote.NowPs(), sim::TraceCat::kIrq,
+                         trc_.tlb_shootdown_ack,
+                         static_cast<std::uint8_t>(sibling->cpu()), gva);
+    }
+    cpu(origin_cpu).AdvanceToPs(remote.NowPs());
+  }
+}
+
+void Hypervisor::SyncDeviceTime() {
+  if (machine_->num_cpus() == 1) {
+    machine_->SyncDeviceTime();
+    return;
+  }
+  // Device time advances to the floor: the minimum clock over cores with
+  // runnable work, so a device can never observe time from a core that
+  // raced ahead of another runnable core. Cores without work do not hold
+  // the floor back (nothing advances their clocks), and their state stays
+  // untouched: a sleeping core's completion time must not depend on how
+  // busy its neighbours are. When the last slice just blocked everything,
+  // fall back to the dispatching core's clock; the fully-idle path
+  // (SkipToNextEvent) takes over from there.
+  sim::PicoSeconds floor = 0;
+  bool any_runnable = false;
+  for (std::uint32_t i = 0; i < machine_->num_cpus(); ++i) {
+    // nova-lint: allow(per-cpu-state) — machine-wide floor scan.
+    if (!cpu_state(i).Runnable()) {
+      continue;
+    }
+    const sim::PicoSeconds now = cpu(i).NowPs();
+    floor = any_runnable ? std::min(floor, now) : now;
+    any_runnable = true;
+  }
+  if (!any_runnable) {
+    floor = cpu(boot_cpu_for_step_).NowPs();
+  }
+  machine_->events().AdvanceTo(floor);
+}
+
 // --- Scheduling loop ----------------------------------------------------------
 
-bool Hypervisor::StepOnce() {
-  // Pick the runnable CPU with the smallest local time (conservative
+std::uint32_t Hypervisor::PickNextCpu() {
+  // The runnable CPU with the smallest local time (conservative
   // co-simulation across the package).
-  auto pick = [this] {
-    std::uint32_t chosen = ~0u;
-    for (std::uint32_t i = 0; i < machine_->num_cpus(); ++i) {
-      if (cpu_states_[i].runqueue.empty()) {
-        continue;
-      }
-      if (chosen == ~0u || cpu(i).NowPs() < cpu(chosen).NowPs()) {
-        chosen = i;
-      }
+  std::uint32_t chosen = ~0u;
+  for (std::uint32_t i = 0; i < machine_->num_cpus(); ++i) {
+    // nova-lint: allow(per-cpu-state) — the picker is the all-cores scan.
+    if (!cpu_state(i).HasReady()) {
+      continue;
     }
-    return chosen;
-  };
+    if (chosen == ~0u || cpu(i).NowPs() < cpu(chosen).NowPs()) {
+      chosen = i;
+    }
+  }
+  return chosen;
+}
 
-  std::uint32_t chosen = pick();
+bool Hypervisor::StepOnce() {
+  std::uint32_t chosen = PickNextCpu();
   if (chosen == ~0u) {
     // Everything is blocked: handle pending interrupts in host context —
     // this may wake driver threads or halted direct-interrupt vCPUs.
     for (std::uint32_t i = 0; i < machine_->num_cpus(); ++i) {
       ProcessPendingIrqs(i);
     }
-    chosen = pick();
+    chosen = PickNextCpu();
   }
   if (chosen == ~0u) {
     // Truly idle: hop to the next device event (which may raise an
@@ -986,35 +1134,39 @@ bool Hypervisor::StepOnce() {
     }
     return progressed;
   }
+  return DispatchOn(chosen);
+}
+
+bool Hypervisor::DispatchOn(std::uint32_t cpu_id) {
+  CpuState& state = cpu_state(cpu_id);
+  hw::Cpu& c = cpu(cpu_id);
 
   // Interrupts arriving while the CPU was in host mode are handled at the
   // kernel boundary; a CPU about to enter guest mode instead takes an
   // EXTINT VM exit inside RunVcpu, which is where the paper's "Hardware
   // Interrupts" events come from.
-  if (cpu_states_[chosen].runqueue.Peek() != nullptr &&
-      cpu_states_[chosen].runqueue.Peek()->ec().kind() == Ec::Kind::kGlobal) {
-    ProcessPendingIrqs(chosen);
+  if (state.PeekReady() != nullptr &&
+      state.PeekReady()->ec().kind() == Ec::Kind::kGlobal) {
+    ProcessPendingIrqs(cpu_id);
   }
 
-  boot_cpu_for_step_ = chosen;
-  CpuState& state = cpu_states_[chosen];
-  hw::Cpu& c = cpu(chosen);
-  Charge(chosen, costs_.sched_pick);
+  boot_cpu_for_step_ = cpu_id;
+  Charge(cpu_id, costs_.sched_pick);
 
-  Sc* sc = state.runqueue.Dequeue();
+  Sc* sc = state.PickNext();
   if (sc->dead() || sc->ec().dead() || sc->ec().pd().dead()) {
     // A torn-down domain's SC surfaced from the queue: drop it silently.
-    state.current = nullptr;
+    state.SetCurrent(nullptr);
     return true;
   }
-  state.current = sc;
+  state.SetCurrent(sc);
   // Pin the EC: an event callback inside the slice may destroy the running
   // domain, freeing the SC (and with it the last plain reference).
   const std::shared_ptr<Ec> ec_ref = sc->ec_ref();
   Ec& ec = *ec_ref;
   if (tracer_->enabled()) {
     tracer_->InstantAt(c.NowPs(), sim::TraceCat::kSched, trc_.sched_dispatch,
-                       static_cast<std::uint8_t>(chosen), sc->prio(),
+                       static_cast<std::uint8_t>(cpu_id), sc->prio(),
                        static_cast<std::uint64_t>(ec.kind()));
   }
   const sim::Cycles before = c.cycles();
@@ -1030,11 +1182,11 @@ bool Hypervisor::StepOnce() {
       break;  // Unreachable: local ECs have no SC.
   }
 
-  state.current = nullptr;
+  state.SetCurrent(nullptr);
   if (ec.dead()) {
     // The domain was torn down by an event inside the slice: its SC died
     // with it and must not be consumed or requeued.
-    machine_->SyncDeviceTime(c);
+    SyncDeviceTime();
     return true;
   }
   sim::Cycles consumed = c.cycles() - before;
@@ -1051,16 +1203,16 @@ bool Hypervisor::StepOnce() {
       if (tracer_->enabled()) {
         tracer_->InstantAt(c.NowPs(), sim::TraceCat::kSched,
                            trc_.sched_preempt,
-                           static_cast<std::uint8_t>(chosen), sc->prio());
+                           static_cast<std::uint8_t>(cpu_id), sc->prio());
       }
       sc->Refill();
     }
-    state.runqueue.Enqueue(sc, /*at_head=*/false);
+    state.Enqueue(sc, /*at_head=*/false);
   } else if (ec.block_state() == Ec::BlockState::kBlockedHalt) {
-    state.halted_vcpus.push_back(sc->ec_ref());
+    state.ParkHalted(sc->ec_ref());
   }
 
-  machine_->SyncDeviceTime(c);
+  SyncDeviceTime();
   return true;
 }
 
@@ -1069,7 +1221,8 @@ bool Hypervisor::WorkRemainsBefore(sim::PicoSeconds deadline_ps) {
   // pending device event before it, keeps the run loop going. Idle CPUs
   // do not: nothing will advance their clocks.
   for (std::uint32_t i = 0; i < machine_->num_cpus(); ++i) {
-    if (!cpu_states_[i].runqueue.empty() && cpu(i).NowPs() < deadline_ps) {
+    // nova-lint: allow(per-cpu-state) — machine-wide progress check.
+    if (cpu_state(i).HasReady() && cpu(i).NowPs() < deadline_ps) {
       return true;
     }
   }

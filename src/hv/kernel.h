@@ -194,14 +194,42 @@ class Hypervisor : public KmemPool {
  private:
   friend class VcpuDriver;
 
-  struct CpuState {
-    RunQueue runqueue;
-    Sc* current = nullptr;
-    std::vector<std::shared_ptr<Ec>> halted_vcpus;
-  };
-
   hw::Cpu& cpu(std::uint32_t id) { return machine_->cpu(id); }
   void Charge(std::uint32_t cpu_id, sim::Cycles c) { cpu(cpu_id).Charge(c); }
+
+  // The only door to per-core kernel state: call sites must name the core
+  // (nova-lint rule per-cpu-state enforces the discipline).
+  CpuState& cpu_state(std::uint32_t cpu_id) { return cpu_states_[cpu_id]; }
+
+  // Put `sc` on its home core's ready queue (Hedron: SCs have core
+  // affinity; the queue is always the one keyed by Sc::cpu). A wakeup
+  // posted from a different core pays for that queue's lock.
+  void EnqueueSc(Sc* sc, bool at_head = false);
+  // Pull a dying EC out of its core's ready queue and halted list.
+  void UnscheduleEc(Ec* ec);
+
+  // A simple contention model for kernel structures shared across cores:
+  // an acquire from a different core within the previous holder's hold
+  // window pays the contended-spinlock price. Free on 1-CPU machines.
+  struct KernelLock {
+    std::uint32_t last_cpu = ~0u;
+    sim::PicoSeconds hold_until_ps = 0;
+  };
+  void ChargeLock(KernelLock& lock, std::uint32_t cpu_id);
+
+  // Advance device/event-queue time to the machine-wide floor: the minimum
+  // local clock over cores that still have runnable work (idle cores are
+  // dragged up to the floor first so they can never hold time back).
+  void SyncDeviceTime();
+
+  // Tagged-TLB shootdown: cores in `targets` (excluding `origin_cpu`)
+  // holding translations under `tag` receive a simulated IPI, flush, and
+  // ack; the origin spins until the last ack. No-op on 1-CPU machines.
+  void ShootdownRemotes(std::uint32_t origin_cpu, std::uint64_t targets,
+                        hw::TlbTag tag);
+  // vTLB flavour: a shadow-paging INVLPG on one vCPU invalidates the
+  // cached translation in sibling vCPUs' shadow contexts on other cores.
+  void ShootdownVtlb(Ec* origin_vcpu, std::uint64_t gva);
 
   // Object creation plumbing.
   Status InstallCap(Pd* target, CapSel sel, ObjRef obj, std::uint8_t perms);
@@ -237,7 +265,11 @@ class Hypervisor : public KmemPool {
 
   // Interrupt plumbing.
   void ProcessPendingIrqs(std::uint32_t cpu_id);
-  void WakeHaltedVcpus(std::uint32_t cpu_id);
+
+  // Scheduling internals: choose the runnable core with the smallest
+  // local clock (~0u = none), then run one dispatch on it.
+  std::uint32_t PickNextCpu();
+  bool DispatchOn(std::uint32_t cpu_id);
 
   // Unlink an EC from its semaphore wait and make it runnable again with
   // `status` as the wake reason (kSuccess = normal Up).
@@ -275,7 +307,10 @@ class Hypervisor : public KmemPool {
           vm_event_ipc(s.counter("vm-event-ipc")),
           vm_event_unhandled(s.counter("vm-event-unhandled")),
           gsi_delivered(s.counter("gsi-delivered")),
-          ipc_calls(s.counter("ipc-calls")) {}
+          ipc_calls(s.counter("ipc-calls")),
+          ipc_xcalls(s.counter("ipc-xcalls")),
+          tlb_shootdown(s.counter("TLB Shootdown")),
+          lock_contention(s.counter("lock-contention")) {}
     sim::Counter& hlt;
     sim::Counter& hw_intr;
     sim::Counter& recall;
@@ -293,6 +328,9 @@ class Hypervisor : public KmemPool {
     sim::Counter& vm_event_unhandled;
     sim::Counter& gsi_delivered;
     sim::Counter& ipc_calls;
+    sim::Counter& ipc_xcalls;
+    sim::Counter& tlb_shootdown;
+    sim::Counter& lock_contention;
   };
 
   // Interned trace-name ids resolved once at construction. The Table 2
@@ -311,6 +349,9 @@ class Hypervisor : public KmemPool {
     // Interned AFTER everything above (see the ctor): ids are dense and
     // golden trace digests depend on them, so new names only ever append.
     std::uint16_t vm_event_unhandled = 0;
+    // SMP names, appended after vm_event_unhandled (same rule).
+    std::uint16_t ipc_xcall = 0, tlb_shootdown = 0, tlb_shootdown_ack = 0,
+        lock_contention = 0;
   };
 
   // Bump a Table 2 counter and emit the matching trace instant (stamped
@@ -355,6 +396,11 @@ class Hypervisor : public KmemPool {
   std::vector<std::weak_ptr<Sm>> sms_;    // All Sms ever created (teardown).
   hw::PagingMode host_paging_mode_;
   std::uint32_t boot_cpu_for_step_ = 0;
+
+  // Shared kernel structures with a contention price under SMP.
+  KernelLock sched_lock_;  // Cross-core wakeups touch remote run queues.
+  KernelLock mdb_lock_;    // Mapping-database delegate/revoke walks.
+  KernelLock xcall_lock_;  // Cross-core IPC request slots.
 };
 
 }  // namespace nova::hv

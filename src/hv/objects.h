@@ -99,6 +99,15 @@ class Pd : public KObject {
   // a dead driver domain can no longer program DMA.
   std::vector<std::uint16_t>& assigned_devices() { return devices_; }
 
+  // Cores whose TLBs may hold translations tagged with this domain's
+  // vm_tag (bit i = CPU i). Maintained by the vCPU dispatch path and
+  // consumed by the shootdown protocol: only cores in the mask receive
+  // an IPI on unmap/invalidate.
+  std::uint64_t cores_mask() const { return cores_mask_; }
+  void NoteCore(std::uint32_t cpu_id) { cores_mask_ |= 1ull << cpu_id; }
+  void ClearCore(std::uint32_t cpu_id) { cores_mask_ &= ~(1ull << cpu_id); }
+  void ClearCores() { cores_mask_ = 0; }
+
  private:
   std::string name_;
   bool is_vm_;
@@ -110,6 +119,7 @@ class Pd : public KObject {
   IoSpace io_space_;
   hw::TlbTag vm_tag_ = hw::kHostTag;
   std::vector<std::uint16_t> devices_;
+  std::uint64_t cores_mask_ = 0;
 };
 
 // Execution context: a thread, a dedicated event handler, or a virtual CPU.
@@ -214,6 +224,9 @@ class Sc : public KObject {
   std::shared_ptr<Ec> ec_ref() { return ec_; }
   std::uint8_t prio() const { return prio_; }
   sim::Cycles quantum() const { return quantum_; }
+  // Home core: an SC is bound to its EC's CPU (Hedron model) and only
+  // ever sits in that core's run queue.
+  std::uint32_t cpu() const { return ec_->cpu(); }
 
   sim::Cycles left() const { return left_; }
   void Refill() { left_ = quantum_; }

@@ -115,6 +115,13 @@ struct HvCosts {
   sim::Cycles mdb_node = 60;           // Mapping-database bookkeeping.
   sim::Cycles vtlb_fill_base = 46;     // Fill overhead beyond the walks.
   sim::Cycles recall_ipi = 180;        // Cross-CPU kick.
+  // SMP paths (charged only when the machine has more than one core).
+  sim::Cycles xcall_send = 150;        // Cross-core IPC: IPI + request post.
+  sim::Cycles xcall_receive = 320;     // Remote core: interrupt + pickup.
+  sim::Cycles shootdown_ipi = 150;     // TLB shootdown: initiator, per target.
+  sim::Cycles shootdown_ack = 220;     // TLB shootdown: target flush + ack.
+  sim::Cycles lock_contention = 80;    // Contended spinlock acquire.
+  sim::Cycles lock_hold = 60;          // Window a kernel lock stays hot.
   // Host-TLB refill estimate after an address-space switch: the "TLB
   // effects" box of Figure 8. Untagged host ASes re-walk their hot
   // working set after every switch.

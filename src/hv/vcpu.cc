@@ -159,6 +159,9 @@ void Hypervisor::RunVcpu(Sc* sc, sim::Cycles budget) {
   const std::shared_ptr<Ec> pin = sc->ec_ref();
   Ec* vcpu = pin.get();
   const std::uint32_t cpu_id = vcpu->cpu();
+  // This core is about to hold translations tagged with the VM's tag:
+  // record it so unmaps know which cores to shoot down.
+  vcpu->pd().NoteCore(cpu_id);
   hw::Cpu& c = cpu(cpu_id);
   const hw::CpuModel& model = c.model();
   hw::VmEngine& engine = *engines_[cpu_id];
@@ -186,7 +189,7 @@ void Hypervisor::RunVcpu(Sc* sc, sim::Cycles budget) {
     // Bound the slice by the next device event so completions and timer
     // ticks are delivered with hardware latency, not quantum latency.
     sim::Cycles slice = budget - used;
-    machine_->SyncDeviceTime(c);
+    SyncDeviceTime();
     if (vcpu->dead()) {
       return;  // An event callback destroyed the domain mid-slice.
     }
@@ -199,7 +202,7 @@ void Hypervisor::RunVcpu(Sc* sc, sim::Cycles budget) {
       }
     }
     const hw::VmExit exit = engine.Run(gs, ctl, slice);
-    machine_->SyncDeviceTime(c);
+    SyncDeviceTime();
     if (vcpu->dead()) {
       return;
     }
@@ -348,6 +351,9 @@ void Hypervisor::RunVcpu(Sc* sc, sim::Cycles budget) {
         CountEvent(ctr_.invlpg, trc_.invlpg, cpu_id, exit.gva);
         if (ctl.mode == hw::TranslationMode::kShadow) {
           VtlbFor(vcpu).HandleInvlpg(exit.gva);
+          // Sibling vCPUs on other cores cache the same guest mapping in
+          // their own shadow contexts; invalidate them via shootdown.
+          ShootdownVtlb(vcpu, exit.gva);
           gs.rip += hw::isa::kInsnSize;  // Emulated: skip the instruction.
         } else if (!DispatchVmEvent(vcpu, Event::kInvlpg, exit)) {
           vcpu->set_block_state(Ec::BlockState::kBlockedHalt);

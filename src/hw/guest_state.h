@@ -30,10 +30,16 @@ struct GuestState {
   // Interrupt descriptor table: vector -> handler address.
   std::array<std::uint64_t, kNumVectors> idt{};
 
-  // Hardware interrupt/exception nesting: saved rip + IF per level.
+  // Hardware interrupt/exception nesting: saved rip + IF + GPRs per level.
+  // The register bank stands in for the save/restore sequence a real ISR
+  // performs on entry/exit (this ISA has no stack to push them onto); its
+  // cost is part of the event-delivery and iret charges. Handlers therefore
+  // cannot leak results through registers across IRET — they must write
+  // guest memory (or host-side state) instead, exactly like a real ISR.
   struct Frame {
     std::uint64_t rip;
     bool interrupts_enabled;
+    std::array<std::uint64_t, isa::kNumRegs> regs;
   };
   std::array<Frame, kMaxIntrNesting> frames{};
   int frame_depth = 0;

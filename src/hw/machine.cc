@@ -1,14 +1,39 @@
 #include "src/hw/machine.h"
 
+#include <cstdlib>
+
 namespace nova::hw {
 
-Machine::Machine(const MachineConfig& config)
-    : mem_(config.ram_size), iommu_(&mem_, config.iommu_present) {
+MachineConfig ApplyTestCpuOverride(MachineConfig config) {
+  const char* env = std::getenv("NOVA_TEST_CPUS");
+  if (env == nullptr || config.cpus.size() != 1) {
+    return config;
+  }
+  const long n = std::strtol(env, nullptr, 10);
+  if (n > 1 && n <= 64) {
+    config.cpus.assign(static_cast<std::size_t>(n), config.cpus[0]);
+  }
+  return config;
+}
+
+Machine::Machine(const MachineConfig& config_in)
+    : mem_(config_in.ram_size), iommu_(&mem_, config_in.iommu_present) {
+  const MachineConfig config = ApplyTestCpuOverride(config_in);
   irq_.set_tracer(&tracer_);
   std::uint32_t id = 0;
   for (const CpuModel* model : config.cpus) {
     cpus_.push_back(std::make_unique<Cpu>(id++, model));
   }
+}
+
+sim::PicoSeconds Machine::MinNowPs() const {
+  sim::PicoSeconds min = cpus_[0]->NowPs();
+  for (const auto& c : cpus_) {
+    if (c->NowPs() < min) {
+      min = c->NowPs();
+    }
+  }
+  return min;
 }
 
 bool Machine::SkipToNextEvent() {

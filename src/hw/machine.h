@@ -25,6 +25,13 @@ struct MachineConfig {
   bool iommu_present = true;
 };
 
+// CI hook: when the NOVA_TEST_CPUS environment variable is set to N > 1
+// and `config` carries a single CPU model (the default in most tests),
+// the machine is built with N copies of that model instead. This lets the
+// whole tier-1 suite run against an SMP machine without touching each
+// test; explicit multi-CPU configurations are never overridden.
+MachineConfig ApplyTestCpuOverride(MachineConfig config);
+
 class Machine {
  public:
   explicit Machine(const MachineConfig& config);
@@ -52,8 +59,15 @@ class Machine {
   }
   const std::vector<std::unique_ptr<Device>>& devices() const { return devices_; }
 
-  // Bring the device clock up to `cpu`'s local time, firing due events.
-  void SyncDeviceTime(const Cpu& c) { events_.AdvanceTo(c.NowPs()); }
+  // Earliest local clock across all CPUs. Device time may never advance
+  // past this: a core that is behind could still initiate I/O "in the
+  // past" of a core that raced ahead.
+  sim::PicoSeconds MinNowPs() const;
+
+  // Bring the device clock up to the machine-wide minimum CPU time,
+  // firing due events. Conservative under SMP: devices only observe time
+  // every core has already reached.
+  void SyncDeviceTime() { events_.AdvanceTo(MinNowPs()); }
 
   // All CPUs idle and nothing to do: hop to the next device event and pull
   // every CPU's local clock forward. Returns false if no event is pending.

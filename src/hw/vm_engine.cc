@@ -195,7 +195,7 @@ bool VmEngine::DeliverEvent(GuestState& gs, std::uint8_t vector) {
       gs.frame_depth >= kMaxIntrNesting) {
     return false;
   }
-  gs.frames[gs.frame_depth++] = {gs.rip, gs.interrupts_enabled};
+  gs.frames[gs.frame_depth++] = {gs.rip, gs.interrupts_enabled, gs.regs};
   gs.rip = gs.idt[vector];
   gs.interrupts_enabled = false;
   gs.halted = false;
@@ -551,6 +551,7 @@ VmEngine::StepResult VmEngine::Execute(GuestState& gs, const VmControls& ctl,
       const GuestState::Frame frame = gs.frames[--gs.frame_depth];
       gs.rip = frame.rip;
       gs.interrupts_enabled = frame.interrupts_enabled;
+      gs.regs = frame.regs;
       cpu_->Charge(costs_.iret);
       if (gs.interrupts_enabled && gs.request_intr_window) {
         exit_here(VmExit{.reason = ExitReason::kIntrWindow});

@@ -96,22 +96,44 @@ TEST_F(HypercallErrorsTest, AssignGsiValidatesRanges) {
   EXPECT_EQ(hv_.AssignGsi(root_, 999, 3, 0), Status::kBadCapability);
 }
 
-TEST_F(HypercallErrorsTest, CallAcrossCpusRejected) {
-  // Portals are per-CPU objects: a handler on another CPU is unreachable.
+TEST_F(HypercallErrorsTest, CallAcrossCpusBecomesXcall) {
+  // A portal whose handler lives on another core is reached by xcall: the
+  // caller's SC is handed off to the handler's home core and the caller
+  // blocks until the reply. The handler's work is charged to its own
+  // core, and the caller resumes no earlier than the remote completion.
   hw::MachineConfig config{.cpus = {&hw::CoreI7_920(), &hw::CoreI7_920()},
                            .ram_size = 512ull << 20};
   hw::Machine machine(config);
   Hypervisor hv(&machine);
   Pd* root = hv.Boot();
+  std::uint32_t handler_cpu = ~0u;
   Ec* handler = nullptr;
-  ASSERT_EQ(hv.CreateEcLocal(root, 100, kSelOwnPd, /*cpu=*/1, [](std::uint64_t) {},
-                             &handler),
+  ASSERT_EQ(hv.CreateEcLocal(
+                root, 100, kSelOwnPd, /*cpu=*/1,
+                [&](std::uint64_t) { handler_cpu = handler->cpu(); }, &handler),
             Status::kSuccess);
   ASSERT_EQ(hv.CreatePt(root, 101, 100, 0, 0), Status::kSuccess);
   Ec* caller = nullptr;
   ASSERT_EQ(hv.CreateEcGlobal(root, 102, kSelOwnPd, /*cpu=*/0, [] {}, &caller),
             Status::kSuccess);
-  EXPECT_EQ(hv.Call(caller, 101), Status::kBadCpu);
+
+  const sim::PicoSeconds remote_before = machine.cpu(1).NowPs();
+  EXPECT_EQ(hv.Call(caller, 101), Status::kSuccess);
+  EXPECT_EQ(handler_cpu, 1u);  // The handler ran, on its home core.
+  EXPECT_EQ(hv.EventCount("ipc-xcalls"), 1u);
+  // The handler core did the portal work...
+  EXPECT_GT(machine.cpu(1).NowPs(), remote_before);
+  // ...and the blocked caller resumed only after the reply IPI.
+  EXPECT_GE(machine.cpu(0).NowPs(), machine.cpu(1).NowPs());
+
+  // Same-core calls stay xcall-free.
+  Ec* peer = nullptr;
+  ASSERT_EQ(hv.CreateEcLocal(root, 103, kSelOwnPd, /*cpu=*/0,
+                             [](std::uint64_t) {}, &peer),
+            Status::kSuccess);
+  ASSERT_EQ(hv.CreatePt(root, 104, 103, 0, 0), Status::kSuccess);
+  EXPECT_EQ(hv.Call(caller, 104), Status::kSuccess);
+  EXPECT_EQ(hv.EventCount("ipc-xcalls"), 1u);
 }
 
 TEST_F(HypercallErrorsTest, CallToBusyHandlerRejected) {

@@ -1,0 +1,218 @@
+// SMP kernel semantics: cross-core portal calls with SC handoff, TLB
+// shootdown on remote unmap, halted-vCPU wake on the home core, and
+// cross-core teardown of semaphore waiters.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/hw/isa.h"
+#include "tests/hv/test_util.h"
+
+namespace nova::hv {
+namespace {
+
+class SmpTest : public HvTest {
+ protected:
+  SmpTest() : HvTest(TwoCpuConfig()) {}
+
+  static hw::MachineConfig TwoCpuConfig() {
+    return hw::MachineConfig{.cpus = {&hw::CoreI7_920(), &hw::CoreI7_920()},
+                             .ram_size = 512ull << 20};
+  }
+};
+
+TEST_F(SmpTest, CrossCorePtCallRoundTripHandsOffSc) {
+  // Caller's SC lives on core 0; the portal handler is a local EC bound
+  // to core 1. The call must migrate the work: the handler executes on
+  // its home core (charged there), the caller blocks until the reply,
+  // and the caller's SC stays home on core 0 afterwards.
+  int handler_runs = 0;
+  std::uint32_t handler_cpu = ~0u;
+  Ec* handler = nullptr;
+  ASSERT_EQ(hv_.CreateEcLocal(root_, 100, kSelOwnPd, /*cpu=*/1,
+                              [&](std::uint64_t) {
+                                ++handler_runs;
+                                handler_cpu = handler->cpu();
+                                machine_.cpu(1).Charge(500);
+                              },
+                              &handler),
+            Status::kSuccess);
+  ASSERT_EQ(hv_.CreatePt(root_, 101, 100, 0, 0), Status::kSuccess);
+
+  Status call_status = Status::kTimeout;
+  Ec* caller = nullptr;
+  ASSERT_EQ(hv_.CreateEcGlobal(root_, 102, kSelOwnPd, /*cpu=*/0,
+                               [&] {
+                                 call_status = hv_.Call(caller, 101);
+                                 caller->set_block_state(Ec::BlockState::kBlockedSm);
+                               },
+                               &caller),
+            Status::kSuccess);
+  ASSERT_EQ(hv_.CreateSc(root_, 103, 102, 10, 1'000'000), Status::kSuccess);
+
+  ASSERT_TRUE(hv_.StepOnce());
+
+  EXPECT_EQ(call_status, Status::kSuccess);
+  EXPECT_EQ(handler_runs, 1);
+  EXPECT_EQ(handler_cpu, 1u);
+  EXPECT_EQ(hv_.EventCount("ipc-xcalls"), 1u);
+  // The handler core did the portal work on the donated slice...
+  EXPECT_GT(machine_.cpu(1).NowPs(), 0u);
+  // ...and the blocked caller resumed no earlier than the remote reply.
+  EXPECT_GE(machine_.cpu(0).NowPs(), machine_.cpu(1).NowPs());
+  // The caller EC itself never migrated: its SC is home on core 0.
+  EXPECT_EQ(caller->cpu(), 0u);
+  EXPECT_EQ(caller->sc()->cpu(), 0u);
+}
+
+TEST_F(SmpTest, RemoteUnmapShootsDownStaleCores) {
+  // A VM that has run vCPUs on both cores holds tagged translations in
+  // both TLBs. Revoking its memory from core 0 must IPI core 1, flush,
+  // and wait for the ack (visible as remote cycle cost).
+  Pd* vm = nullptr;
+  ASSERT_EQ(hv_.CreatePd(root_, 100, "vm", true, &vm), Status::kSuccess);
+  const std::uint64_t base_page = hv_.kernel_reserve() >> hw::kPageShift;
+  ASSERT_EQ(hv_.Delegate(root_, 100,
+                         Crd{CrdKind::kMem, base_page, 4, perm::kRwx}, 0),
+            Status::kSuccess);
+  // The VM has executed on both cores (what RunVcpu records).
+  vm->NoteCore(0);
+  vm->NoteCore(1);
+
+  const sim::PicoSeconds remote_before = machine_.cpu(1).NowPs();
+  ASSERT_EQ(hv_.Revoke(root_, Crd{CrdKind::kMem, base_page, 4, perm::kRwx},
+                       /*include_self=*/false),
+            Status::kSuccess);
+
+  // The remote core is IPI'd twice: once for the VM's tagged
+  // translations, once for the untagged host mapping flush. Either way
+  // it paid for the flush + ack.
+  EXPECT_EQ(hv_.EventCount("TLB Shootdown"), 2u);
+  EXPECT_GT(machine_.cpu(1).NowPs(), remote_before);
+  // The initiator waited for the ack before completing the revoke.
+  EXPECT_GE(machine_.cpu(0).NowPs(), machine_.cpu(1).NowPs());
+}
+
+TEST_F(SmpTest, HaltedVcpuWakesOnHomeCore) {
+  // A vCPU halted on core 1 is parked there and must resume there; core 0
+  // never runs a cycle of it.
+  constexpr CapSel kVmPd = 100, kVcpuSel = 101, kScSel = 102;
+  constexpr CapSel kEvtBase = 200, kHandlerBase = 300, kPortalBase = 320;
+  Pd* vm = nullptr;
+  ASSERT_EQ(hv_.CreatePd(root_, kVmPd, "vm", true, &vm), Status::kSuccess);
+  const std::uint64_t base_page = hv_.kernel_reserve() >> hw::kPageShift;
+  ASSERT_EQ(hv_.Delegate(root_, kVmPd,
+                         Crd{CrdKind::kMem, base_page, 13, perm::kRwx}, 0),
+            Status::kSuccess);
+  Ec* vcpu = nullptr;
+  ASSERT_EQ(hv_.CreateVcpu(root_, kVcpuSel, kVmPd, /*cpu=*/1, kEvtBase, &vcpu),
+            Status::kSuccess);
+
+  int cpuid_exits = 0;
+  Ec* cpuid_handler = nullptr;
+  const auto cpuid_idx = static_cast<CapSel>(Event::kCpuid);
+  ASSERT_EQ(hv_.CreateEcLocal(root_, kHandlerBase + cpuid_idx, kSelOwnPd,
+                              /*cpu=*/1,
+                              [&](std::uint64_t) {
+                                ++cpuid_exits;
+                                Utcb& u = cpuid_handler->utcb();
+                                u.arch.rip += u.arch.insn_len;
+                              },
+                              &cpuid_handler),
+            Status::kSuccess);
+  ASSERT_EQ(hv_.CreatePt(root_, kPortalBase + cpuid_idx, kHandlerBase + cpuid_idx,
+                         mtd::kRip, static_cast<std::uint64_t>(Event::kCpuid)),
+            Status::kSuccess);
+  ASSERT_EQ(hv_.Delegate(root_, kVmPd,
+                         Crd::Obj(kPortalBase + cpuid_idx, 0, perm::kCall),
+                         kEvtBase + cpuid_idx),
+            Status::kSuccess);
+  Ec* hlt_handler = nullptr;
+  const auto hlt_idx = static_cast<CapSel>(Event::kHlt);
+  ASSERT_EQ(hv_.CreateEcLocal(root_, kHandlerBase + hlt_idx, kSelOwnPd, /*cpu=*/1,
+                              [&](std::uint64_t) {
+                                hlt_handler->utcb().arch.halted = true;
+                              },
+                              &hlt_handler),
+            Status::kSuccess);
+  ASSERT_EQ(hv_.CreatePt(root_, kPortalBase + hlt_idx, kHandlerBase + hlt_idx,
+                         mtd::kSta, static_cast<std::uint64_t>(Event::kHlt)),
+            Status::kSuccess);
+  ASSERT_EQ(hv_.Delegate(root_, kVmPd,
+                         Crd::Obj(kPortalBase + hlt_idx, 0, perm::kCall),
+                         kEvtBase + hlt_idx),
+            Status::kSuccess);
+  hw::isa::Assembler as(0x1000);
+  as.Hlt();
+  as.Cpuid();
+  as.Hlt();
+  (void)machine_.mem().Write((base_page << hw::kPageShift) + as.base(),
+                             as.bytes().data(), as.bytes().size());
+  vcpu->gstate().rip = 0x1000;
+  ASSERT_EQ(hv_.CreateSc(root_, kScSel, kVcpuSel, 1, 30'000'000), Status::kSuccess);
+
+  for (int i = 0; i < 50 && hv_.StepOnce(); ++i) {
+  }
+  ASSERT_EQ(vcpu->block_state(), Ec::BlockState::kBlockedHalt);
+  EXPECT_EQ(cpuid_exits, 0);
+
+  const std::uint64_t core0_cycles = machine_.cpu(0).cycles();
+  hv_.WakeEc(vcpu);
+  vcpu->gstate().halted = false;  // What the waking VMM/engine does.
+  for (int i = 0; i < 50 && hv_.StepOnce(); ++i) {
+  }
+  // The vCPU resumed on its home core and made guest progress there.
+  EXPECT_EQ(cpuid_exits, 1);
+  EXPECT_EQ(vcpu->cpu(), 1u);
+  EXPECT_EQ(vcpu->block_state(), Ec::BlockState::kBlockedHalt);
+  // Core 0 never executed any of it.
+  EXPECT_EQ(machine_.cpu(0).cycles(), core0_cycles);
+}
+
+TEST_F(SmpTest, DestroyPdAbortsWaitersOnOtherCores) {
+  // A semaphore owned by a dying domain: a waiter blocked on another core
+  // must be woken there with an abort status, not left stranded.
+  constexpr CapSel kChildPd = 100, kChildSm = 50, kRootSmSlot = 60;
+  Pd* child = nullptr;
+  ASSERT_EQ(hv_.CreatePd(root_, kChildPd, "child", false, &child), Status::kSuccess);
+  ASSERT_EQ(hv_.CreateSm(child, kChildSm, 0), Status::kSuccess);
+  // Hand the child a capability to root so it can delegate its semaphore
+  // upward (test plumbing; a real child would use IPC).
+  ASSERT_EQ(hv_.Delegate(root_, kChildPd, Crd::Obj(kSelOwnPd, 0, perm::kAll), 70),
+            Status::kSuccess);
+  ASSERT_EQ(hv_.Delegate(child, 70,
+                         Crd::Obj(kChildSm, 0, perm::kSmDown | perm::kDelegate),
+                         kRootSmSlot),
+            Status::kSuccess);
+
+  std::vector<Hypervisor::DownResult> waits;
+  Ec* waiter = nullptr;
+  ASSERT_EQ(hv_.CreateEcGlobal(root_, 101, kSelOwnPd, /*cpu=*/1,
+                               [&] {
+                                 waits.push_back(hv_.SmDown(waiter, kRootSmSlot));
+                                 if (waits.back() !=
+                                     Hypervisor::DownResult::kBlocked) {
+                                   waiter->set_block_state(Ec::BlockState::kBlockedSm);
+                                 }
+                               },
+                               &waiter),
+            Status::kSuccess);
+  ASSERT_EQ(hv_.CreateSc(root_, 102, 101, 10, 1'000'000), Status::kSuccess);
+
+  ASSERT_TRUE(hv_.StepOnce());  // The waiter blocks on core 1.
+  ASSERT_EQ(waits.size(), 1u);
+  ASSERT_EQ(waits[0], Hypervisor::DownResult::kBlocked);
+
+  // Teardown from core 0.
+  ASSERT_EQ(hv_.DestroyPd(root_, kChildPd), Status::kSuccess);
+
+  // The waiter reruns on its own core and observes the abort.
+  for (int i = 0; i < 10 && hv_.StepOnce(); ++i) {
+  }
+  ASSERT_EQ(waits.size(), 2u);
+  EXPECT_EQ(waits[1], Hypervisor::DownResult::kAborted);
+  EXPECT_EQ(waiter->cpu(), 1u);
+}
+
+}  // namespace
+}  // namespace nova::hv

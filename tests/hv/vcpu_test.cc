@@ -173,6 +173,7 @@ TEST_F(VcpuTest, UnhandledEventParksVcpu) {
 TEST_F(VcpuTest, RecallWakesHaltedVcpuAndInjects) {
   hw::isa::Assembler handler_code(0x3000);
   handler_code.MovImm(5, 0xbeef);
+  handler_code.StoreAbs(5, 0x5000);  // ISR results go through memory.
   handler_code.Iret();
   InstallProgram(handler_code);
 
@@ -206,7 +207,7 @@ TEST_F(VcpuTest, RecallWakesHaltedVcpuAndInjects) {
   EXPECT_EQ(vcpu_->block_state(), Ec::BlockState::kRunnable);
   RunSteps(10);
   EXPECT_EQ(recalls, 1);
-  EXPECT_EQ(vcpu_->gstate().regs[5], 0xbeefu);
+  EXPECT_EQ(machine_.mem().Read64(GuestHpa(0x5000)), 0xbeefu);
   EXPECT_EQ(hv_.EventCount("Recall"), 1u);
 }
 
@@ -237,6 +238,7 @@ TEST_F(VcpuTest, ExternalInterruptExitsAndSignalsSemaphore) {
 TEST_F(VcpuTest, DirectInterruptDeliveryWithoutExit) {
   hw::isa::Assembler handler_code(0x3000);
   handler_code.MovImm(5, 1);
+  handler_code.StoreAbs(5, 0x5000);  // ISR results go through memory.
   handler_code.Iret();
   InstallProgram(handler_code);
 
@@ -257,7 +259,7 @@ TEST_F(VcpuTest, DirectInterruptDeliveryWithoutExit) {
 
   machine_.irq().Assert(9);
   RunSteps(5);
-  EXPECT_EQ(vcpu_->gstate().regs[5], 1u);
+  EXPECT_EQ(machine_.mem().Read64(GuestHpa(0x5000)), 1u);
   // No VM exits were taken for the interrupt.
   EXPECT_EQ(hv_.EventCount("Hardware Interrupts"), 0u);
 }
@@ -265,6 +267,7 @@ TEST_F(VcpuTest, DirectInterruptDeliveryWithoutExit) {
 TEST_F(VcpuTest, InterruptWindowFlow) {
   hw::isa::Assembler handler_code(0x3000);
   handler_code.MovImm(5, 0x77);
+  handler_code.StoreAbs(5, 0x5000);  // ISR results go through memory.
   handler_code.Iret();
   InstallProgram(handler_code);
 
@@ -299,7 +302,7 @@ TEST_F(VcpuTest, InterruptWindowFlow) {
   StartVcpu();
   RunSteps(10);
   EXPECT_EQ(hv_.EventCount("Interrupt Window"), 1u);
-  EXPECT_EQ(vcpu_->gstate().regs[5], 0x77u);
+  EXPECT_EQ(machine_.mem().Read64(GuestHpa(0x5000)), 0x77u);
 }
 
 TEST_F(VcpuTest, VmCannotReachHypervisorMemory) {

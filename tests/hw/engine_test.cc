@@ -294,8 +294,11 @@ TEST_F(EngineTest, ShadowModeInterceptsCr3AndInvlpg) {
 }
 
 TEST_F(EngineTest, NativeInterruptDelivery) {
+  // The handler signals through memory: IRET restores the register bank,
+  // so registers cannot carry results out of an ISR.
   isa::Assembler handler(0x12000);
   handler.MovImm(5, 1);  // Mark: handler ran.
+  handler.StoreAbs(5, 0x20000);
   handler.Iret();
   Install(handler);
 
@@ -303,8 +306,8 @@ TEST_F(EngineTest, NativeInterruptDelivery) {
   as.SetIdt(40, 0x12000);
   as.Sti();
   const std::uint64_t spin = as.NopBlock(10);
-  as.MovImm(6, 0);
-  as.Jnz(5, as.Here() + 2 * isa::kInsnSize);  // Exit loop once r5 set.
+  as.LoadAbs(5, 0x20000);
+  as.Jnz(5, as.Here() + 2 * isa::kInsnSize);  // Exit loop once flag set.
   as.Jmp(spin);
   as.Hlt();
   Install(as);
@@ -317,9 +320,45 @@ TEST_F(EngineTest, NativeInterruptDelivery) {
   gs.rip = 0x10000;
   const VmExit exit = engine_.Run(gs, VmControls{}, kBudget);
   EXPECT_EQ(exit.reason, ExitReason::kHlt);
-  EXPECT_EQ(gs.regs[5], 1u);
+  EXPECT_EQ(machine_.mem().Read64(0x20000), 1u);
   EXPECT_EQ(gs.frame_depth, 0);  // IRET unwound.
   EXPECT_FALSE(machine_.irq().HasPending(0));
+}
+
+TEST_F(EngineTest, IretRestoresClobberedRegisters) {
+  // An ISR that scribbles over every GPR must not perturb the interrupted
+  // context: delivery banks the register file and IRET restores it. (A
+  // clobbered register once leaked into a guest's pending CR3 switch,
+  // wedging the VM in an unresolvable page-fault storm.)
+  isa::Assembler handler(0x12000);
+  for (int r = 0; r < 8; ++r) {
+    handler.MovImm(r, 0xdead0000 + r);
+  }
+  handler.StoreAbs(0, 0x20000);  // Mark: handler ran.
+  handler.Iret();
+  Install(handler);
+
+  isa::Assembler as(0x10000);
+  as.SetIdt(40, 0x12000);
+  for (int r = 0; r < 8; ++r) {
+    as.MovImm(r, 100 + r);
+  }
+  as.Sti();  // Pending vector delivered here, clobbering every register.
+  as.Hlt();
+  Install(as);
+
+  machine_.irq().Configure(8, 0, 40);
+  machine_.irq().Unmask(8);
+  machine_.irq().Assert(8);
+
+  GuestState gs;
+  gs.rip = 0x10000;
+  const VmExit exit = engine_.Run(gs, VmControls{}, kBudget);
+  EXPECT_EQ(exit.reason, ExitReason::kHlt);
+  ASSERT_NE(machine_.mem().Read64(0x20000), 0u);  // The ISR did run.
+  for (int r = 0; r < 8; ++r) {
+    EXPECT_EQ(gs.regs[r], 100u + r) << "register " << r;
+  }
 }
 
 TEST_F(EngineTest, GuestModeExternalInterruptExits) {
@@ -348,6 +387,7 @@ TEST_F(EngineTest, GuestModeExternalInterruptExits) {
 TEST_F(EngineTest, InjectionAndInterruptWindow) {
   isa::Assembler handler(0x12000);
   handler.MovImm(5, 42);
+  handler.StoreAbs(5, 0x20000);  // ISR results go through memory.
   handler.Iret();
   Install(handler);
 
@@ -375,7 +415,7 @@ TEST_F(EngineTest, InjectionAndInterruptWindow) {
   gs.inject_vector = 33;
   exit = engine_.Run(gs, ctl, kBudget);
   EXPECT_EQ(exit.reason, ExitReason::kHlt);
-  EXPECT_EQ(gs.regs[5], 42u);
+  EXPECT_EQ(machine_.mem().Read64(0x20000), 42u);
   EXPECT_EQ(engine_.injected_events(), 1u);
 }
 
@@ -394,6 +434,7 @@ TEST_F(EngineTest, RecallForcesExit) {
 TEST_F(EngineTest, HaltWakesOnInjection) {
   isa::Assembler handler(0x12000);
   handler.MovImm(5, 7);
+  handler.StoreAbs(5, 0x20000);  // ISR results go through memory.
   handler.Iret();
   Install(handler);
 
@@ -412,7 +453,7 @@ TEST_F(EngineTest, HaltWakesOnInjection) {
   gs.inject_pending = true;
   gs.inject_vector = 34;
   EXPECT_EQ(engine_.Run(gs, VmControls{}, kBudget).reason, ExitReason::kHlt);
-  EXPECT_EQ(gs.regs[5], 7u);
+  EXPECT_EQ(machine_.mem().Read64(0x20000), 7u);
 }
 
 TEST_F(EngineTest, InvalidOpcodeIsError) {

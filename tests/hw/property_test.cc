@@ -174,10 +174,13 @@ constexpr std::uint64_t kCycleRequests = 120;
 // kill/restart cycles also exercise donation return on teardown.
 constexpr std::uint64_t kVmmQuotaFrames = 512;
 
-FaultCycleResult RunFaultCycles(std::uint64_t seed, std::uint64_t crashes) {
+FaultCycleResult RunFaultCycles(std::uint64_t seed, std::uint64_t crashes,
+                                std::uint32_t vmm_cpu = 0) {
   root::SystemConfig sc;
-  sc.machine =
-      hw::MachineConfig{.cpus = {&hw::CoreI7_920()}, .ram_size = 512ull << 20};
+  // With the VMM on a secondary core, the disk server (core 0) is reached
+  // by cross-core IPC and teardown crosses cores too.
+  std::vector<const hw::CpuModel*> cpus(vmm_cpu + 1, &hw::CoreI7_920());
+  sc.machine = hw::MachineConfig{.cpus = cpus, .ram_size = 512ull << 20};
   root::NovaSystem system(sc);
   services::DiskServer& server = system.StartDiskServer();
 
@@ -198,7 +201,7 @@ FaultCycleResult RunFaultCycles(std::uint64_t seed, std::uint64_t crashes) {
   vmm::VmmConfig ca;
   ca.name = "a";
   ca.guest_mem_bytes = 32ull << 20;
-  ca.first_cpu = 0;
+  ca.first_cpu = vmm_cpu;
   ca.kmem_quota_frames = kVmmQuotaFrames;
   FaultCycleResult r;
   r.root_limit_start = system.hv.root_pd()->kmem().limit();
@@ -207,7 +210,7 @@ FaultCycleResult RunFaultCycles(std::uint64_t seed, std::uint64_t crashes) {
   vm_a->ConnectDiskServer(&server);
 
   guest::GuestLogicMux mux;
-  mux.Attach(system.hv.engine(0));
+  mux.Attach(system.hv.engine(vmm_cpu));
   guest::GuestKernel gk(
       &system.machine.mem(),
       [&vm_a](std::uint64_t gpa) { return vm_a->GpaToHpa(gpa); }, &mux,
@@ -301,6 +304,41 @@ TEST_P(FaultScheduleProperty, FramePoolBalancesAfterEveryKillRestartCycle) {
   // full donation to the root before the replacement took it back, so
   // the root's donatable limit is identical after every cycle and equals
   // the clean run's. The live VMM never exceeds its bound.
+  ASSERT_EQ(faulted.root_limit_after_restart.size(), crashes);
+  for (const std::uint64_t limit : faulted.root_limit_after_restart) {
+    EXPECT_EQ(limit, faulted.root_limit_start - kVmmQuotaFrames);
+  }
+  EXPECT_EQ(faulted.root_limit_end, clean.root_limit_end);
+  EXPECT_EQ(faulted.root_limit_end, faulted.root_limit_start - kVmmQuotaFrames);
+  EXPECT_EQ(faulted.vmm_limit_end, kVmmQuotaFrames);
+  EXPECT_LE(faulted.vmm_used_end, faulted.vmm_limit_end);
+}
+
+TEST_P(FaultScheduleProperty, CrossCoreKillRestartKeepsLedgerBalanced) {
+  // Same property, SMP shape: the VM runs on core 1 while the disk server
+  // and the supervisor live on core 0, so every disk request is a
+  // cross-core portal call and every kill/restart tears down and rebuilds
+  // a domain whose execution contexts live on another core. The
+  // kernel-memory quota ledger must balance exactly as in the single-core
+  // sweep.
+  const std::uint64_t seed = GetParam();
+  sim::Rng rng(seed ^ 0xce);
+  const std::uint64_t crashes = 1 + rng.Below(3);
+
+  const FaultCycleResult clean = RunFaultCycles(seed, /*crashes=*/0, /*vmm_cpu=*/1);
+  ASSERT_TRUE(clean.done);
+
+  const FaultCycleResult faulted = RunFaultCycles(seed, crashes, /*vmm_cpu=*/1);
+  ASSERT_TRUE(faulted.done);
+  EXPECT_EQ(faulted.recoveries, crashes);
+  EXPECT_EQ(faulted.completed, kCycleRequests);
+
+  ASSERT_EQ(faulted.frames_after_restart.size(), crashes);
+  for (const std::uint64_t frames : faulted.frames_after_restart) {
+    EXPECT_EQ(frames, faulted.frames_after_restart.front());
+  }
+  EXPECT_EQ(faulted.frames_end, clean.frames_end);
+
   ASSERT_EQ(faulted.root_limit_after_restart.size(), crashes);
   for (const std::uint64_t limit : faulted.root_limit_after_restart) {
     EXPECT_EQ(limit, faulted.root_limit_start - kVmmQuotaFrames);

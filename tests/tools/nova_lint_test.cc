@@ -353,6 +353,72 @@ Ref F(Cap c) {
   EXPECT_EQ(CountRule(r, "unchecked-downcast"), 0);
 }
 
+// --- per-cpu-state -------------------------------------------------------
+
+TEST(PerCpuStateRule, FlagsAccessWithoutCoreParameter) {
+  const auto r = RunOn({{"src/hv/p.cc", R"cc(
+void Hypervisor::Tick() {
+  cpu_state(0).Enqueue(nullptr);
+}
+bool Hypervisor::AnyReady(long deadline) {
+  return cpu_states_[0].HasReady();
+}
+)cc"}});
+  EXPECT_EQ(CountRule(r, "per-cpu-state"), 2);
+}
+
+TEST(PerCpuStateRule, SilentWithCpuIdOrScEcParameter) {
+  const auto r = RunOn({{"src/hv/p.cc", R"cc(
+void Hypervisor::Dispatch(unsigned cpu_id) {
+  cpu_state(cpu_id).Enqueue(nullptr);
+}
+void Hypervisor::EnqueueSc(Sc* sc, bool at_head) {
+  cpu_state(sc->cpu()).Enqueue(sc, at_head);
+}
+void Hypervisor::Park(Ec* vcpu) {
+  cpu_states_[vcpu->cpu()].ParkHalted(nullptr);
+}
+)cc"}});
+  EXPECT_EQ(CountRule(r, "per-cpu-state"), 0);
+}
+
+TEST(PerCpuStateRule, SilentOnDeclarationsAndCtorInitLists) {
+  // The class-scope declaration and the accessor signature are not
+  // accesses; an init-list constructor body with a cpu param stays clean.
+  const auto r = RunOn({{"src/hv/p.h", R"cc(
+class Hypervisor {
+ public:
+  Hypervisor(unsigned boot_cpu) : boot_(boot_cpu) {
+    cpu_state(boot_cpu).SetCurrent(nullptr);
+  }
+ private:
+  std::vector<CpuState> cpu_states_;
+  unsigned boot_;
+};
+)cc"}});
+  EXPECT_EQ(CountRule(r, "per-cpu-state"), 0);
+}
+
+TEST(PerCpuStateRule, MachineWideScanSuppressible) {
+  const auto r = RunOn({{"src/hv/p.cc", R"cc(
+bool Hypervisor::AnyReady(long deadline) {
+  // nova-lint: allow(per-cpu-state)
+  return cpu_states_[0].HasReady();
+}
+)cc"}});
+  EXPECT_EQ(CountRule(r, "per-cpu-state"), 0);
+  EXPECT_GE(r.suppressed, 1);
+}
+
+TEST(PerCpuStateRule, OutOfScopeOutsideHv) {
+  const auto r = RunOn({{"src/hw/p.cc", R"cc(
+void Tick() {
+  cpu_state(0).Enqueue(nullptr);
+}
+)cc"}});
+  EXPECT_EQ(CountRule(r, "per-cpu-state"), 0);
+}
+
 // --- source views / suppressions -----------------------------------------
 
 TEST(SourceFile, BlanksCommentsStringsAndPreprocessor) {

@@ -35,6 +35,7 @@ std::unique_ptr<Rule> MakeRawSpanRule();
 std::unique_ptr<Rule> MakeLayeringRule();
 std::unique_ptr<Rule> MakeEnumSwitchRule();
 std::unique_ptr<Rule> MakeUncheckedDowncastRule();
+std::unique_ptr<Rule> MakePerCpuStateRule();
 
 // All rules, in diagnostic order.
 std::vector<std::unique_ptr<Rule>> AllRules();

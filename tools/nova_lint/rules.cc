@@ -11,6 +11,7 @@ std::vector<std::unique_ptr<Rule>> AllRules() {
   rules.push_back(MakeLayeringRule());
   rules.push_back(MakeEnumSwitchRule());
   rules.push_back(MakeUncheckedDowncastRule());
+  rules.push_back(MakePerCpuStateRule());
   return rules;
 }
 

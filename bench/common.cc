@@ -2,10 +2,12 @@
 
 #include <cstring>
 
+#include "bench/scenario.h"
+
 namespace nova::bench {
 namespace {
 
-constexpr std::uint64_t kGuestMem = 128ull << 20;
+constexpr std::uint64_t kGuestMem = kBenchGuestMem;
 constexpr sim::PicoSeconds kDeadline = sim::Seconds(120);
 
 guest::GuestAhciDriver::Config NativeDriverConfig(hw::Machine* machine) {
@@ -56,62 +58,12 @@ RunResult RunNative(const RunConfig& config) {
 }
 
 RunResult RunVirtualized(const RunConfig& config) {
-  root::SystemConfig sc;
-  sc.machine = hw::MachineConfig{.cpus = {config.cpu}, .ram_size = 512ull << 20};
-  sc.hv_costs = config.stack == StackKind::kMonolithic
-                    ? baseline::MonolithicCosts()
-                    : baseline::NovaCosts();
-  root::NovaSystem system(sc);
-  system.hv.set_vtlb_policy(config.vtlb);
-
-  vmm::VmmConfig vc;
-  vc.guest_mem_bytes = kGuestMem;
-  vc.large_pages = config.large_pages;
-  vc.mode = config.mode;
-  if (config.stack == StackKind::kDirect) {
-    vc.disable_intercepts = true;
-    vc.direct_interrupts = true;
-  }
-  if (config.stack == StackKind::kMonolithic) {
-    vc.full_state_transfer = true;
-    baseline::ApplyMonolithicVmmCosts(vc);
-  }
-  vmm::Vmm vm(&system.hv, system.root.get(), vc);
-
-  const bool direct = config.stack == StackKind::kDirect;
-  if (direct) {
-    (void)vm.AssignHostDevice("ahci", 43);
-    (void)vm.AssignHostDevice("timer", 32);
-    (void)vm.GrantGuestPorts(0x20, 2);  // Interrupt-controller handshake ports.
-  } else if (config.workload.disk_every != 0) {
-    vm.ConnectDiskServer(&system.StartDiskServer());
-  }
-
-  guest::GuestLogicMux mux;
-  mux.Attach(system.hv.engine(0));
-  guest::GuestKernel gk(
-      &system.machine.mem(),
-      [&vm](std::uint64_t gpa) { return vm.GpaToHpa(gpa); }, &mux,
-      guest::GuestKernelConfig{.mem_bytes = kGuestMem, .timer_hz = config.timer_hz});
-  gk.BuildStandardHandlers();
-
-  guest::GuestAhciDriver::Config dc =
-      direct ? NativeDriverConfig(&system.machine)
-             : guest::GuestAhciDriver::Config{
-                   .mmio_base = vmm::vahci::kMmioBase,
-                   .irq_vector = vmm::vahci::kVector,
-                   .read_ci = [&vm]() -> std::uint32_t {
-                     return static_cast<std::uint32_t>(vm.vahci().MmioRead(
-                         vmm::vahci::kMmioBase + hw::ahci::kPxCi, 4));
-                   }};
-  guest::GuestAhciDriver driver(&gk, dc);
-  guest::CompileWorkload workload(
-      &gk, config.workload.disk_every != 0 ? &driver : nullptr, config.workload);
-  const std::uint64_t main = workload.EmitMain();
-  gk.EmitBoot(main);
-  gk.Install();
-  gk.PrimeState(vm.gstate());
-  (void)vm.Start(vm.gstate().rip);
+  // Construction lives in CompileScenario so tests and the migration
+  // driver build the identical stack; this function only measures.
+  CompileScenario scenario(config);
+  root::NovaSystem& system = scenario.system();
+  vmm::Vmm& vm = scenario.vm();
+  guest::CompileWorkload& workload = scenario.workload();
 
   hw::Cpu& cpu = system.machine.cpu(0);
   cpu.ResetUtilization();
@@ -127,7 +79,7 @@ RunResult RunVirtualized(const RunConfig& config) {
     tracer.set_enabled(true);
   }
   const sim::PicoSeconds t0 = cpu.NowPs();
-  system.hv.RunUntilCondition([&workload] { return workload.done(); }, kDeadline);
+  scenario.RunUntilDone(kDeadline);
 
   RunResult result;
   result.seconds =

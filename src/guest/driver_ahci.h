@@ -55,7 +55,32 @@ class GuestAhciDriver {
   std::uint64_t retried() const { return retried_count_; }
   std::uint32_t issued_mask() const { return issued_mask_; }
 
+  // Host-side mirror of the driver's in-flight bookkeeping; the emitted
+  // code and logic slots are construction-time (verified).
+  Status SaveState(sim::SnapWriter& w) const {
+    w.U32(prepare_logic_);
+    w.U32(completion_logic_);
+    w.U32(issued_mask_);
+    w.U64(issued_count_);
+    w.U64(completed_count_);
+    w.U64(retried_count_);
+    return Status::kSuccess;
+  }
+  Status LoadState(sim::SnapReader& r) {
+    if (r.U32() != prepare_logic_ || r.U32() != completion_logic_) {
+      r.Fail();
+    }
+    issued_mask_ = r.U32();
+    issued_count_ = r.U64();
+    completed_count_ = r.U64();
+    retried_count_ = r.U64();
+    return r.ok() ? Status::kSuccess : Status::kBadParameter;
+  }
+
  private:
+  // snapshot-x-list(GuestAhciDriver): gk_, config_, prepare_logic_,
+  //   completion_logic_, on_complete_, issued_mask_, issued_count_,
+  //   completed_count_, retried_count_
   void PrepareLogic(hw::GuestState& gs);
   void CompletionLogic(hw::GuestState& gs);
 

@@ -19,6 +19,7 @@
 #include "src/guest/logic_mux.h"
 #include "src/hw/isa.h"
 #include "src/hw/phys_mem.h"
+#include "src/sim/snapshot.h"
 
 namespace nova::guest {
 
@@ -98,7 +99,29 @@ class GuestKernel {
   // Hook invoked host-side on every timer tick (workload pacing).
   void set_timer_hook(std::function<void()> hook) { timer_hook_ = std::move(hook); }
 
+  // Host-side allocation cursors: the heap bump pointer and the page-table
+  // pool cursor. Everything else the kernel owns (image, tables, counters)
+  // lives in guest RAM and rides the memory snapshot; the emitted image is
+  // construction-time and only verified (entry point must match).
+  Status SaveState(sim::SnapWriter& w) const {
+    w.U64(entry_);
+    w.U64(heap_next_);
+    w.U64(pt_.pool_next());
+    return Status::kSuccess;
+  }
+  Status LoadState(sim::SnapReader& r) {
+    if (r.U64() != entry_) {
+      r.Fail();
+    }
+    heap_next_ = r.U64();
+    pt_.set_pool_next(r.U64());
+    return r.ok() ? Status::kSuccess : Status::kBadParameter;
+  }
+
  private:
+  // snapshot-x-list(GuestKernel): mem_, gpa_to_hpa_, mux_, config_, text_,
+  //   pt_, heap_next_, entry_, vectors_, device_windows_, timer_hook_,
+  //   tick_counter_gva_
   void PfLogic(hw::GuestState& gs);
   void BuildKernelMappings(std::uint64_t root_gpa);
 

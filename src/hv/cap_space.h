@@ -11,6 +11,7 @@
 
 #include "src/hv/object.h"
 #include "src/hv/types.h"
+#include "src/sim/snapshot.h"
 #include "src/sim/status.h"
 
 namespace nova::hv {
@@ -66,7 +67,17 @@ class CapSpace {
 
   std::size_t used() const;
 
+  // Serialization addresses capability objects by oid; the caller supplies
+  // the translation because the object registry lives in the hypervisor.
+  // LoadState replaces every slot and never invokes the charge callback:
+  // the owning account is overlaid separately by the kernel snapshot.
+  using OidOf = std::function<std::uint64_t(const KObject*)>;
+  using RefOf = std::function<ObjRef(std::uint64_t)>;
+  Status SaveState(sim::SnapWriter& w, const OidOf& oid_of) const;
+  Status LoadState(sim::SnapReader& r, const RefOf& ref_of);
+
  private:
+  // snapshot-x-list(CapSpace): slots_, charge_, committed_, committed_count_
   std::vector<Capability> slots_;
   ChargeFn charge_;
   std::uint32_t committed_ = 0;  // Bitmask, one bit per chunk.

@@ -71,6 +71,24 @@ Hypervisor::Hypervisor(hw::Machine* machine, HvCosts costs)
   }
   // nova-lint: allow(per-cpu-state) — boot-time sizing, no core yet.
   cpu_states_.resize(machine_->num_cpus());
+  // Restore support: rebuild SmDown deadline callbacks from (ec oid,
+  // sm oid). Registered here so the rebinder exists before any LoadState;
+  // the oids resolve against the twin's creation-order registry.
+  machine_->events().RegisterRebinder(
+      sim::EventQueue::OwnerToken("hv.kernel"),
+      [this](const sim::EventTag& tag) -> sim::EventQueue::Callback {
+        auto ec = RefAs<Ec>(ObjectByOid(tag.a), ObjType::kEc);
+        auto sm = RefAs<Sm>(ObjectByOid(tag.b), ObjType::kSm);
+        if (tag.op != 1 || ec == nullptr || sm == nullptr) {
+          return nullptr;
+        }
+        return [this, ec, sm] { SmDeadlineExpired(ec, sm); };
+      });
+}
+
+void Hypervisor::RegisterObject(const ObjRef& obj) {
+  obj->set_oid(objects_.size());
+  objects_.push_back(ObjSlot{obj, obj->type()});
 }
 
 Hypervisor::~Hypervisor() = default;
@@ -165,6 +183,7 @@ std::shared_ptr<Pd> Hypervisor::MakePd(const std::string& name, bool is_vm,
   if (is_vm) {
     pd->set_vm_tag(tlb_tags_.Allocate());
   }
+  RegisterObject(pd);
   return pd;
 }
 
@@ -465,6 +484,7 @@ Status Hypervisor::CreateEcLocal(Pd* caller, CapSel dst_sel, CapSel pd_sel,
     return s;
   }
   ec->set_release_hook([pd] { pd->CreditKmem(1); });
+  RegisterObject(ec);
   ecs_.push_back(ec);
   if (out != nullptr) {
     *out = ec.get();
@@ -494,6 +514,7 @@ Status Hypervisor::CreateEcGlobal(Pd* caller, CapSel dst_sel, CapSel pd_sel,
     return s;
   }
   ec->set_release_hook([pd] { pd->CreditKmem(1); });
+  RegisterObject(ec);
   ecs_.push_back(ec);
   if (out != nullptr) {
     *out = ec.get();
@@ -538,6 +559,7 @@ Status Hypervisor::CreateVcpu(Pd* caller, CapSel dst_sel, CapSel vm_pd_sel,
     return s;
   }
   ec->set_release_hook([pd] { pd->CreditKmem(2); });
+  RegisterObject(ec);
   vcpus_.push_back(ec);
   ecs_.push_back(ec);
   if (out != nullptr) {
@@ -576,6 +598,7 @@ Status Hypervisor::CreateSc(Pd* caller, CapSel dst_sel, CapSel ec_sel,
     return s;
   }
   sc->set_release_hook([sc_pd] { sc_pd->CreditKmem(1); });
+  RegisterObject(sc);
   EnqueueSc(sc.get());
   return Status::kSuccess;
 }
@@ -602,6 +625,7 @@ Status Hypervisor::CreatePt(Pd* caller, CapSel dst_sel, CapSel handler_ec_sel,
     return s;
   }
   pt->set_release_hook([pt_pd] { pt_pd->CreditKmem(1); });
+  RegisterObject(pt);
   return Status::kSuccess;
 }
 
@@ -629,6 +653,7 @@ Status Hypervisor::CreateSm(Pd* caller, CapSel dst_sel, std::uint64_t initial) {
     return s;
   }
   sm->set_release_hook([sm_pd] { sm_pd->CreditKmem(1); });
+  RegisterObject(sm);
   sms_.push_back(sm);
   return s;
 }
@@ -651,6 +676,23 @@ Status Hypervisor::SmUp(Pd* caller, CapSel sm_sel) {
     WakeSmWaiter(ec.get(), Status::kSuccess);
   }
   return Status::kSuccess;
+}
+
+void Hypervisor::SmDeadlineExpired(std::shared_ptr<Ec> ec_ref,
+                                   std::shared_ptr<Sm> sm_ref) {
+  Ec* ec = ec_ref.get();
+  // Guard: the wait may have ended (or moved to another semaphore) between
+  // scheduling and expiry.
+  if (ec->dead() || ec->block_state() != Ec::BlockState::kBlockedSm ||
+      ec->blocked_on() != sm_ref.get()) {
+    return;
+  }
+  auto& q = sm_ref->waiters();
+  q.erase(std::remove_if(q.begin(), q.end(),
+                         [&ec_ref](const auto& p) { return p == ec_ref; }),
+          q.end());
+  ec->set_timeout_event(0);
+  WakeSmWaiter(ec, Status::kTimeout);
 }
 
 void Hypervisor::WakeSmWaiter(Ec* ec, Status status) {
@@ -726,21 +768,14 @@ Hypervisor::DownResult Hypervisor::SmDown(Ec* caller_ec, CapSel sm_sel,
     // The deadline event holds shared refs, so both objects outlive it; the
     // guard re-checks the wait is still the same one before expiring it.
     auto sm_ref = RefAs<Sm>(caller_ec->pd().caps().LookupRef(sm_sel), ObjType::kSm);
-    const auto id = machine_->events().ScheduleAt(
-        deadline_ps, [this, ec_ref, sm_ref] {
-          Ec* ec = ec_ref.get();
-          if (ec->dead() || ec->block_state() != Ec::BlockState::kBlockedSm ||
-              ec->blocked_on() != sm_ref.get()) {
-            return;
-          }
-          auto& q = sm_ref->waiters();
-          q.erase(std::remove_if(q.begin(), q.end(),
-                                 [&ec_ref](const auto& p) { return p == ec_ref; }),
-                  q.end());
-          ec->set_timeout_event(0);
-          WakeSmWaiter(ec, Status::kTimeout);
-        });
-    caller_ec->set_timeout_event(id);
+    if (sm_ref != nullptr) {  // Same selector as above: always resolves.
+      const sim::EventTag tag{sim::EventQueue::OwnerToken("hv.kernel"), 1,
+                              ec_ref->oid(), sm_ref->oid()};
+      const auto id = machine_->events().ScheduleAtTagged(
+          deadline_ps, tag,
+          [this, ec_ref, sm_ref] { SmDeadlineExpired(ec_ref, sm_ref); });
+      caller_ec->set_timeout_event(id);
+    }
   }
   return DownResult::kBlocked;
 }

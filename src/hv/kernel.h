@@ -34,6 +34,8 @@
 
 namespace nova::hv {
 
+class DirtyLog;
+
 // Well-known selectors in a fresh protection domain.
 constexpr CapSel kSelOwnPd = 0;
 constexpr CapSel kSelFirstFree = 32;
@@ -191,6 +193,29 @@ class Hypervisor : public KmemPool {
     return stats_.Value(name);
   }
 
+  // --- Checkpoint/restore ----------------------------------------------
+  // Serialize every piece of mutable kernel state (object graph, cap
+  // spaces, quotas, mapping database, scheduler queues, vTLB contexts,
+  // frame pool, tag allocator, lock models, kernel stat registry, VM
+  // engines) into the "hv.kernel" section. Object identity on the wire is
+  // the creation-order oid; restore overlays a twin Hypervisor whose
+  // scenario construction ran the identical creation sequence.
+  // Fails kBadParameter if any registered object was already destroyed
+  // (snapshot before domain teardown only) or a pending event is untagged.
+  Status SaveState(sim::Snapshot& snap) const;
+  Status LoadState(sim::Snapshot& snap);
+
+  // Object registry: every kernel object gets a creation-order ordinal.
+  ObjRef ObjectByOid(std::uint64_t oid) const {
+    return oid < objects_.size() ? objects_[oid].ref.lock() : nullptr;
+  }
+  std::uint64_t ObjectCount() const { return objects_.size(); }
+
+  // Dirty-page tracking hook (see hv/dirty_log.h). Null by default; when
+  // set, write-protect mode routes EPT write faults through the log.
+  void SetDirtyLog(DirtyLog* log) { dirty_log_ = log; }
+  DirtyLog* dirty_log() const { return dirty_log_; }
+
  private:
   friend class VcpuDriver;
 
@@ -274,6 +299,16 @@ class Hypervisor : public KmemPool {
   // Unlink an EC from its semaphore wait and make it runnable again with
   // `status` as the wake reason (kSuccess = normal Up).
   void WakeSmWaiter(Ec* ec, Status status);
+
+  // An SmDown deadline fired: remove the waiter and wake it with kTimeout.
+  // Factored out of the lambda so the event-queue rebinder ("hv.kernel"
+  // owner, op 1) can rebuild the callback from (ec oid, sm oid) at restore.
+  void SmDeadlineExpired(std::shared_ptr<Ec> ec_ref, std::shared_ptr<Sm> sm_ref);
+
+  // Assign the next creation-order oid to a freshly created object. The
+  // registry is append-only (weak refs: registration never extends an
+  // object's lifetime) so oids stay stable across destruction.
+  void RegisterObject(const ObjRef& obj);
   // Full teardown of a dying domain: abort waiters, unschedule its ECs,
   // drop shadow state, detach devices, free its paging structures.
   void ReclaimPd(Pd* pd);
@@ -367,6 +402,12 @@ class Hypervisor : public KmemPool {
     }
   }
 
+  // snapshot-x-list(Hypervisor): machine_, costs_, stats_, ctr_, tracer_,
+  //   trc_, mdb_, kernel_reserve_, pool_next_, pool_free_, fault_plan_,
+  //   root_pd_, engines_, cpu_states_, gsi_sms_, gsi_direct_, tlb_tags_,
+  //   vtlb_policy_, vcpus_, ecs_, sms_, host_paging_mode_,
+  //   boot_cpu_for_step_, objects_, dirty_log_, sched_lock_, mdb_lock_,
+  //   xcall_lock_
   hw::Machine* machine_;
   HvCosts costs_;
   sim::StatRegistry stats_;
@@ -396,6 +437,15 @@ class Hypervisor : public KmemPool {
   std::vector<std::weak_ptr<Sm>> sms_;    // All Sms ever created (teardown).
   hw::PagingMode host_paging_mode_;
   std::uint32_t boot_cpu_for_step_ = 0;
+
+  // Creation-order object registry (snapshot identity). Entries are never
+  // pruned; `type` is kept so save can name an expired object in errors.
+  struct ObjSlot {
+    std::weak_ptr<KObject> ref;
+    ObjType type = ObjType::kPd;
+  };
+  std::vector<ObjSlot> objects_;
+  DirtyLog* dirty_log_ = nullptr;
 
   // Shared kernel structures with a contention price under SMP.
   KernelLock sched_lock_;  // Cross-core wakeups touch remote run queues.

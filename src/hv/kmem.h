@@ -25,6 +25,8 @@
 #include <cstdint>
 
 #include "src/hw/phys_mem.h"
+#include "src/sim/snapshot.h"
+#include "src/sim/status.h"
 
 namespace nova::hv {
 
@@ -65,7 +67,19 @@ class KmemQuota {
     limit_ = frames > limit_ ? 0 : limit_ - frames;
   }
 
+  Status SaveState(sim::SnapWriter& w) const {
+    w.U64(limit_);
+    w.U64(used_);
+    return Status::kSuccess;
+  }
+  Status LoadState(sim::SnapReader& r) {
+    limit_ = r.U64();
+    used_ = r.U64();
+    return r.status();
+  }
+
  private:
+  // snapshot-x-list(KmemQuota): limit_, used_
   std::uint64_t limit_ = kUnlimited;  // kUnlimited => pass-through.
   std::uint64_t used_ = 0;
 };

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "src/hv/types.h"
+#include "src/sim/snapshot.h"
+#include "src/sim/status.h"
 
 namespace nova::hv {
 
@@ -75,10 +77,20 @@ class Mdb {
 
   std::size_t node_count() const { return nodes_.size(); }
 
+  // Serialization addresses owning domains by oid and nodes by their index
+  // in `nodes_` (scan order is part of Find's semantics, so the list order
+  // is restored exactly). LoadState rebuilds the whole database; nothing
+  // outside Mdb holds MdbNode pointers across calls.
+  using PdOidOf = std::function<std::uint64_t(const Pd*)>;
+  using PdByOid = std::function<Pd*(std::uint64_t)>;
+  Status SaveState(sim::SnapWriter& w, const PdOidOf& oid_of) const;
+  Status LoadState(sim::SnapReader& r, const PdByOid& pd_of);
+
  private:
   void RevokeSubtree(MdbNode* node, const UnmapFn& unmap);
   void Erase(MdbNode* node);
 
+  // snapshot-x-list(Mdb): nodes_
   std::vector<std::unique_ptr<MdbNode>> nodes_;
 };
 

@@ -36,6 +36,14 @@ class KObject {
 
   ObjType type() const { return type_; }
 
+  // Creation-order object id, assigned by the hypervisor's object registry
+  // at creation. Snapshots address kernel objects by oid: a twin system
+  // constructed from the identical scenario assigns identical oids, so a
+  // restored reference resolves to the equivalent object.
+  static constexpr std::uint64_t kNoOid = ~0ull;
+  std::uint64_t oid() const { return oid_; }
+  void set_oid(std::uint64_t oid) { oid_ = oid; }
+
   // Set when the object has been destroyed via its control capability;
   // dangling capabilities elsewhere become dead.
   bool dead() const { return dead_; }
@@ -49,7 +57,9 @@ class KObject {
   }
 
  private:
+  // snapshot-x-list(KObject): type_, oid_, dead_, release_
   ObjType type_;
+  std::uint64_t oid_ = kNoOid;
   bool dead_ = false;
   std::function<void()> release_;
 };

@@ -107,8 +107,12 @@ class Pd : public KObject {
   void NoteCore(std::uint32_t cpu_id) { cores_mask_ |= 1ull << cpu_id; }
   void ClearCore(std::uint32_t cpu_id) { cores_mask_ &= ~(1ull << cpu_id); }
   void ClearCores() { cores_mask_ = 0; }
+  // Snapshot overlay only.
+  void SetCoresMask(std::uint64_t mask) { cores_mask_ = mask; }
 
  private:
+  // snapshot-x-list(Pd): name_, is_vm_, pool_, kmem_, kmem_donor_, caps_,
+  //   mem_space_, io_space_, vm_tag_, devices_, cores_mask_
   std::string name_;
   bool is_vm_;
   KmemPool* pool_;
@@ -195,6 +199,9 @@ class Ec : public KObject {
   void set_busy(bool b) { busy_ = b; }
 
  private:
+  // snapshot-x-list(Ec): kind_, pd_, cpu_, utcb_, handler_, step_fn_,
+  //   gstate_, ctl_, vtlb_, evt_base_, block_state_, wake_status_,
+  //   blocked_on_, timeout_event_, sc_, busy_
   Kind kind_;
   std::shared_ptr<Pd> pd_;
   std::uint32_t cpu_;
@@ -230,6 +237,8 @@ class Sc : public KObject {
 
   sim::Cycles left() const { return left_; }
   void Refill() { left_ = quantum_; }
+  // Snapshot overlay only.
+  void SetLeft(sim::Cycles c) { left_ = c; }
   // Consume cycles; returns true if the quantum is depleted.
   bool Consume(sim::Cycles c) {
     left_ = c >= left_ ? 0 : left_ - c;
@@ -240,6 +249,7 @@ class Sc : public KObject {
   void set_queued(bool q) { queued_ = q; }
 
  private:
+  // snapshot-x-list(Sc): ec_, prio_, quantum_, left_, queued_
   std::shared_ptr<Ec> ec_;
   std::uint8_t prio_;
   sim::Cycles quantum_;
@@ -259,6 +269,7 @@ class Pt : public KObject {
   std::uint64_t id() const { return id_; }
 
  private:
+  // snapshot-x-list(Pt): handler_, mtd_, id_
   std::shared_ptr<Ec> handler_;
   Mtd mtd_;
   std::uint64_t id_;
@@ -286,6 +297,7 @@ class Sm : public KObject {
   void set_owner(Pd* pd) { owner_ = pd; }
 
  private:
+  // snapshot-x-list(Sm): counter_, waiters_, gsi_, owner_
   std::uint64_t counter_;
   std::deque<std::shared_ptr<Ec>> waiters_;
   std::uint32_t gsi_ = ~0u;

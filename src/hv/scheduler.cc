@@ -44,6 +44,21 @@ Sc* RunQueue::Peek() const {
   return prio < 0 ? nullptr : levels_[prio].front();
 }
 
+void RunQueue::CollectOrdered(std::vector<Sc*>* out) const {
+  for (int prio = 255; prio >= 0; --prio) {
+    for (Sc* sc : levels_[prio]) {
+      out->push_back(sc);
+    }
+  }
+}
+
+void RunQueue::Clear() {
+  for (auto& level : levels_) {
+    level.clear();
+  }
+  bitmap_ = {};
+}
+
 Sc* RunQueue::Dequeue() {
   const int prio = TopPriority();
   if (prio < 0) {

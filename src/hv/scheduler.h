@@ -34,7 +34,15 @@ class RunQueue {
   // Highest runnable priority, or -1.
   int TopPriority() const;
 
+  // Snapshot support: enumerate queued SCs from the highest priority level
+  // down, FIFO within a level (the exact dequeue order), and drop every
+  // entry without touching the SCs' queued flags (the object overlay owns
+  // those).
+  void CollectOrdered(std::vector<Sc*>* out) const;
+  void Clear();
+
  private:
+  // snapshot-x-list(RunQueue): levels_, bitmap_
   std::array<std::deque<Sc*>, 256> levels_;
   std::array<std::uint64_t, 4> bitmap_{};
 };
@@ -65,13 +73,19 @@ class CpuState {
     halted_vcpus_.push_back(std::move(vcpu));
   }
   std::vector<std::shared_ptr<Ec>>& halted() { return halted_vcpus_; }
+  const std::vector<std::shared_ptr<Ec>>& halted() const { return halted_vcpus_; }
   bool has_halted() const { return !halted_vcpus_.empty(); }
+
+  // Snapshot support: enumerate / reset the ready queue (see RunQueue).
+  void CollectReady(std::vector<Sc*>* out) const { runqueue_.CollectOrdered(out); }
+  void ClearReady() { runqueue_.Clear(); }
 
   // A core is runnable when it has (or is about to get) work whose local
   // clock must bound device time.
   bool Runnable() const { return current_ != nullptr || !runqueue_.empty(); }
 
  private:
+  // snapshot-x-list(CpuState): runqueue_, current_, halted_vcpus_
   RunQueue runqueue_;
   Sc* current_ = nullptr;
   std::vector<std::shared_ptr<Ec>> halted_vcpus_;

@@ -1,0 +1,20 @@
+// Shared serialization helpers for architectural guest state.
+//
+// The kernel's own checkpoint (snapshot.cc) serializes every vCPU's
+// GuestState; user-level components that checkpoint a guest — the VMM
+// supervisor's periodic recovery checkpoints, the migration driver —
+// reuse the same encoding so the two never drift.
+#ifndef SRC_HV_SNAPSHOT_H_
+#define SRC_HV_SNAPSHOT_H_
+
+#include "src/hw/guest_state.h"
+#include "src/sim/snapshot.h"
+
+namespace nova::hv {
+
+void SaveGuestState(sim::SnapWriter& w, const hw::GuestState& g);
+void LoadGuestState(sim::SnapReader& r, hw::GuestState* g);
+
+}  // namespace nova::hv
+
+#endif  // SRC_HV_SNAPSHOT_H_

@@ -1,5 +1,8 @@
 #include "src/hv/spaces.h"
 
+#include <algorithm>
+#include <vector>
+
 namespace nova::hv {
 namespace {
 
@@ -86,6 +89,67 @@ std::uint8_t MemSpace::PermsFor(std::uint64_t page) const {
 std::uint64_t MemSpace::HpaPageFor(std::uint64_t page) const {
   auto it = pages_.find(page);
   return it == pages_.end() ? ~0ull : it->second.hpa_page;
+}
+
+void MemSpace::ForEachMapping(const MappingVisitor& visit) const {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(pages_.size());
+  for (const auto& [page, holding] : pages_) {
+    keys.push_back(page);
+  }
+  std::sort(keys.begin(), keys.end());
+  for (const std::uint64_t page : keys) {
+    const Holding& h = pages_.at(page);
+    visit(page, h.hpa_page, h.perms, h.large);
+  }
+}
+
+Status MemSpace::SaveState(sim::SnapWriter& w) const {
+  w.U64(pages_.size());
+  ForEachMapping([&w](std::uint64_t page, std::uint64_t hpa_page,
+                      std::uint8_t perms, bool large) {
+    w.U64(page);
+    w.U64(hpa_page);
+    w.U8(perms);
+    w.Bool(large);
+  });
+  return Status::kSuccess;
+}
+
+Status MemSpace::LoadState(sim::SnapReader& r) {
+  pages_.clear();
+  const std::uint64_t n = r.U64();
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    const std::uint64_t page = r.U64();
+    const std::uint64_t hpa_page = r.U64();
+    const std::uint8_t perms = r.U8();
+    const bool large = r.Bool();
+    pages_[page] = Holding{hpa_page, perms, large};
+  }
+  return r.status();
+}
+
+Status IoSpace::SaveState(sim::SnapWriter& w) const {
+  for (std::size_t word = 0; word < 1024; ++word) {
+    std::uint64_t bits = 0;
+    for (std::size_t b = 0; b < 64; ++b) {
+      if (bitmap_.test(word * 64 + b)) {
+        bits |= 1ull << b;
+      }
+    }
+    w.U64(bits);
+  }
+  return Status::kSuccess;
+}
+
+Status IoSpace::LoadState(sim::SnapReader& r) {
+  for (std::size_t word = 0; word < 1024; ++word) {
+    const std::uint64_t bits = r.U64();
+    for (std::size_t b = 0; b < 64; ++b) {
+      bitmap_.set(word * 64 + b, (bits & (1ull << b)) != 0);
+    }
+  }
+  return r.status();
 }
 
 void IoSpace::Grant(std::uint64_t port, std::uint64_t count) {

@@ -9,12 +9,14 @@
 
 #include <bitset>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <unordered_map>
 
 #include "src/hw/paging.h"
 #include "src/hw/phys_mem.h"
 #include "src/hv/types.h"
+#include "src/sim/snapshot.h"
 #include "src/sim/status.h"
 
 namespace nova::hv {
@@ -44,6 +46,18 @@ class MemSpace {
 
   std::size_t mapped_pages() const { return pages_.size(); }
 
+  // Visit every mapped page in ascending page order (deterministic: used
+  // by the migration driver to enumerate guest frames and by dirty-log
+  // collection).
+  using MappingVisitor = std::function<void(
+      std::uint64_t page, std::uint64_t hpa_page, std::uint8_t perms, bool large)>;
+  void ForEachMapping(const MappingVisitor& visit) const;
+
+  // Bookkeeping-only serialization: the radix tree itself lives in PhysMem
+  // frames and rides the memory section of the snapshot.
+  Status SaveState(sim::SnapWriter& w) const;
+  Status LoadState(sim::SnapReader& r);
+
  private:
   struct Holding {
     std::uint64_t hpa_page;
@@ -51,6 +65,7 @@ class MemSpace {
     bool large;  // Part of a superpage mapping.
   };
 
+  // snapshot-x-list(MemSpace): table_, alloc_, pages_
   hw::PageTable table_;
   hw::PageTable::FrameAllocator alloc_;
   std::unordered_map<std::uint64_t, Holding> pages_;
@@ -64,7 +79,11 @@ class IoSpace {
   const std::bitset<65536>& bitmap() const { return bitmap_; }
   std::size_t granted() const { return bitmap_.count(); }
 
+  Status SaveState(sim::SnapWriter& w) const;
+  Status LoadState(sim::SnapReader& r);
+
  private:
+  // snapshot-x-list(IoSpace): bitmap_
   std::bitset<65536> bitmap_;
 };
 

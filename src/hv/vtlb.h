@@ -34,7 +34,9 @@
 #include "src/hw/paging.h"
 #include "src/hw/phys_mem.h"
 #include "src/hw/tlb.h"
+#include "src/sim/snapshot.h"
 #include "src/sim/stats.h"
+#include "src/sim/status.h"
 #include "src/sim/trace.h"
 
 namespace nova::hv {
@@ -117,6 +119,14 @@ class Vtlb {
   std::size_t cached_contexts() const { return contexts_.size(); }
   std::uint64_t frames_held() const { return frames_held_; }
 
+  // Bookkeeping-only serialization: shadow trees are real frames whose
+  // bytes ride the snapshot's memory section; the context map only records
+  // which roots/tags belong to which guest CR3. The twin must have
+  // identical Env wiring (same pool, same tag allocator state) before
+  // LoadState overlays the map.
+  Status SaveState(sim::SnapWriter& w) const;
+  Status LoadState(sim::SnapReader& r);
+
  private:
   struct Context {
     hw::PhysAddr root = 0;
@@ -148,6 +158,12 @@ class Vtlb {
   void FreeTree(Context& ctx);        // Whole tree, including the root.
   void EnforceFrameBudget();
 
+  // snapshot-x-list(Vtlb): env_, policy_, contexts_, active_key_,
+  //   has_active_, use_clock_, frames_held_, flushes_, switch_hits_,
+  //   switch_misses_, evictions_, pressure_evictions_, trace_flush_,
+  //   trace_hit_, trace_miss_, trace_evict_, trace_pevict_
+  //   (the counter references alias the StatRegistry, serialized with it;
+  //   the trace ids are interned at construction)
   Env env_;
   VtlbPolicy policy_;
   std::unordered_map<std::uint64_t, Context> contexts_;

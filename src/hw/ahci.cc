@@ -8,7 +8,13 @@ namespace nova::hw {
 
 AhciController::AhciController(DeviceId id, Iommu* iommu, IrqChip* irq,
                                std::uint32_t gsi, DiskModel* disk)
-    : Device(id, "ahci"), iommu_(iommu), irq_(irq), gsi_(gsi), disk_(disk) {}
+    : Device(id, "ahci"), iommu_(iommu), irq_(irq), gsi_(gsi), disk_(disk) {
+  disk_->set_completion_handler(
+      [this](DiskModel::RequestId /*id*/, std::uint64_t cookie, Status status,
+             const std::uint8_t* data, std::uint64_t len) {
+        CompleteSlot(static_cast<int>(cookie), status, data, len);
+      });
+}
 
 void AhciController::set_tracer(sim::Tracer* t) {
   tracer_ = t;
@@ -149,10 +155,10 @@ void AhciController::IssueSlot(int slot) {
     return;
   }
 
-  fl.data.resize(bytes);
   tracer_->Instant(sim::TraceCat::kDevice, trace_issue_, bytes, write ? 1 : 0);
   if (write) {
     // Gather data from the PRDT buffers, then hand it to the disk.
+    fl.data.resize(bytes);
     std::uint64_t off = 0;
     for (const auto& [dba, len] : fl.prdt) {
       const std::uint64_t chunk = std::min<std::uint64_t>(len, bytes - off);
@@ -167,15 +173,16 @@ void AhciController::IssueSlot(int slot) {
       }
     }
     disk_->SubmitWrite(lba * kSectorSize, fl.data.data(), bytes,
-                       [this, slot, bytes](Status s) { CompleteSlot(slot, bytes, s); });
+                       static_cast<std::uint64_t>(slot));
   } else {
-    disk_->SubmitRead(lba * kSectorSize, bytes, fl.data.data(),
-                      [this, slot, bytes](Status s) { CompleteSlot(slot, bytes, s); });
+    disk_->SubmitRead(lba * kSectorSize, bytes,
+                      static_cast<std::uint64_t>(slot));
   }
 }
 
-void AhciController::CompleteSlot(int slot, std::uint64_t prd_bytes,
-                                  Status status) {
+void AhciController::CompleteSlot(int slot, Status status,
+                                  const std::uint8_t* data,
+                                  std::uint64_t len) {
   Inflight& fl = inflight_[slot];
   if (!fl.active) {
     return;
@@ -185,16 +192,21 @@ void AhciController::CompleteSlot(int slot, std::uint64_t prd_bytes,
     return;
   }
   if (!fl.write) {
+    fl.data.assign(data, data + len);
     if (fault_plan_ != nullptr && !fl.prdt.empty() &&
         fault_plan_->ShouldFault(sim::FaultKind::kDmaUnmapped, "ahci")) {
       // Injected bug: the device scatters to an address outside its
       // mapping. The IOMMU must latch the fault and stop the DMA.
       fl.prdt[0].first = 0xffff'ff00'0000ull;
     }
+  }
+  const std::uint64_t prd_bytes = fl.data.size();
+  if (!fl.write) {
     // Scatter the data into the guest/driver buffers (DMA write).
     std::uint64_t off = 0;
-    for (const auto& [dba, len] : fl.prdt) {
-      const std::uint64_t chunk = std::min<std::uint64_t>(len, prd_bytes - off);
+    for (const auto& [dba, prd_len] : fl.prdt) {
+      const std::uint64_t chunk =
+          std::min<std::uint64_t>(prd_len, prd_bytes - off);
       if (!Ok(iommu_->DmaWrite(id(), dba, fl.data.data() + off, chunk))) {
         ++dma_faults_;
         FailSlot(slot);
@@ -213,6 +225,58 @@ void AhciController::CompleteSlot(int slot, std::uint64_t prd_bytes,
   px_is_ |= ahci::kPxIsDhrs;
   is_ |= 0x1;
   UpdateIrq();
+}
+
+Status AhciController::SaveState(sim::SnapWriter& w) const {
+  w.U32(ghc_);
+  w.U32(is_);
+  w.U32(px_clb_);
+  w.U32(px_fb_);
+  w.U32(px_is_);
+  w.U32(px_ie_);
+  w.U32(px_cmd_);
+  w.U32(px_ci_);
+  w.U32(error_slots_);
+  w.U64(dma_faults_);
+  for (const Inflight& fl : inflight_) {
+    w.Bool(fl.active);
+    w.Bool(fl.write);
+    w.U64(fl.data.size());
+    w.Bytes(fl.data.data(), fl.data.size());
+    w.U32(static_cast<std::uint32_t>(fl.prdt.size()));
+    for (const auto& [dba, len] : fl.prdt) {
+      w.U64(dba);
+      w.U32(len);
+    }
+  }
+  return Status::kSuccess;
+}
+
+Status AhciController::LoadState(sim::SnapReader& r) {
+  ghc_ = r.U32();
+  is_ = r.U32();
+  px_clb_ = r.U32();
+  px_fb_ = r.U32();
+  px_is_ = r.U32();
+  px_ie_ = r.U32();
+  px_cmd_ = r.U32();
+  px_ci_ = r.U32();
+  error_slots_ = r.U32();
+  dma_faults_ = r.U64();
+  for (Inflight& fl : inflight_) {
+    fl = Inflight{};
+    fl.active = r.Bool();
+    fl.write = r.Bool();
+    fl.data.resize(static_cast<std::size_t>(r.U64()));
+    r.Bytes(fl.data.data(), fl.data.size());
+    const std::uint32_t n = r.U32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint64_t dba = r.U64();
+      const std::uint32_t len = r.U32();
+      fl.prdt.emplace_back(dba, len);
+    }
+  }
+  return r.status();
 }
 
 void AhciController::UpdateIrq() {

@@ -18,6 +18,7 @@
 #include "src/hw/iommu.h"
 #include "src/hw/irq.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/snapshot.h"
 
 namespace nova::hw {
 
@@ -73,12 +74,21 @@ class AhciController : public Device {
   // Wires the machine's tracer in; interns the controller's event names.
   void set_tracer(sim::Tracer* t);
 
+  // Serialize the register file and per-slot in-flight buffers. The disk
+  // model's pending table is saved separately by the machine orchestrator.
+  Status SaveState(sim::SnapWriter& w) const;
+  Status LoadState(sim::SnapReader& r);
+
  private:
   void IssueSlot(int slot);
-  void CompleteSlot(int slot, std::uint64_t prd_bytes, Status status);
+  void CompleteSlot(int slot, Status status, const std::uint8_t* data,
+                    std::uint64_t len);
   void FailSlot(int slot);
   void UpdateIrq();
 
+  // snapshot-x-list(AhciController): iommu_, irq_, gsi_, disk_, ghc_, is_,
+  // px_clb_, px_fb_, px_is_, px_ie_, px_cmd_, px_ci_, error_slots_,
+  // inflight_, dma_faults_, fault_plan_, tracer_, trace_issue_, trace_dma_
   Iommu* iommu_;
   IrqChip* irq_;
   std::uint32_t gsi_;

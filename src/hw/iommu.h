@@ -68,6 +68,12 @@ class Iommu {
   const std::vector<FaultRecord>& fault_log() const { return fault_log_; }
   void ClearFaultLog() { fault_log_.clear(); }
 
+  // Serialize contexts as (dev, root, mode) triples — the remapping tables
+  // themselves are real frames in PhysMem and ride its section — plus the
+  // GSI allow-masks, protected ranges, and the fault counter/log.
+  Status SaveState(sim::SnapWriter& w) const;
+  Status LoadState(sim::SnapReader& r);
+
  private:
   static constexpr std::size_t kMaxFaultRecords = 64;
 
@@ -80,6 +86,8 @@ class Iommu {
     std::unique_ptr<PageTable> table;
   };
 
+  // snapshot-x-list(Iommu): mem_, present_, contexts_, allowed_gsis_,
+  // protected_, faults_, fault_log_
   PhysMem* mem_;
   bool present_;
   std::unordered_map<DeviceId, Context> contexts_;

@@ -73,7 +73,17 @@ class Machine {
   // every CPU's local clock forward. Returns false if no event is pending.
   bool SkipToNextEvent();
 
+  // Serialize the machine's own components (RAM, event queue, interrupt
+  // fabric, IOMMU, CPUs, stats, tracer) as sections of `snap`. Device
+  // models are owned by higher layers with typed pointers and save their
+  // own sections. Restore overlays a twin constructed from the identical
+  // MachineConfig.
+  Status SaveState(sim::Snapshot& snap) const;
+  Status LoadState(const sim::Snapshot& snap);
+
  private:
+  // snapshot-x-list(Machine): mem_, events_, irq_, iommu_, bus_, stats_,
+  // tracer_, cpus_, devices_
   PhysMem mem_;
   sim::EventQueue events_;
   IrqChip irq_;

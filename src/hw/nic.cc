@@ -4,9 +4,18 @@
 
 namespace nova::hw {
 
+namespace {
+constexpr std::uint32_t kOpCoalesce = 1;
+constexpr std::uint32_t kOpSend = 1;
+}  // namespace
+
 Nic::Nic(DeviceId id, Iommu* iommu, IrqChip* irq, std::uint32_t gsi,
          sim::EventQueue* events)
-    : Device(id, "nic"), iommu_(iommu), irq_(irq), gsi_(gsi), events_(events) {}
+    : Device(id, "nic"), iommu_(iommu), irq_(irq), gsi_(gsi), events_(events) {
+  events_->RegisterRebinder(
+      sim::EventQueue::OwnerToken("hw.nic"),
+      [this](const sim::EventTag&) { return [this] { CoalesceExpired(); }; });
+}
 
 void Nic::set_tracer(sim::Tracer* t) {
   tracer_ = t;
@@ -116,13 +125,74 @@ void Nic::RaiseOrCoalesce() {
   }
   if (!irq_scheduled_) {
     irq_scheduled_ = true;
-    events_->ScheduleAt(last_irq_ + interval, [this] {
-      irq_scheduled_ = false;
-      if ((icr_ & ims_) != 0) {
-        FireIrq();
-      }
-    });
+    events_->ScheduleAtTagged(
+        last_irq_ + interval,
+        sim::EventTag{sim::EventQueue::OwnerToken("hw.nic"), kOpCoalesce},
+        [this] { CoalesceExpired(); });
   }
+}
+
+void Nic::CoalesceExpired() {
+  irq_scheduled_ = false;
+  if ((icr_ & ims_) != 0) {
+    FireIrq();
+  }
+}
+
+Status Nic::SaveState(sim::SnapWriter& w) const {
+  w.U32(ctrl_);
+  w.U32(icr_);
+  w.U32(itr_);
+  w.U32(ims_);
+  w.U32(rctl_);
+  w.U32(rdbal_);
+  w.U32(rdbah_);
+  w.U32(rdlen_);
+  w.U32(rdh_);
+  w.U32(rdt_);
+  w.Bool(irq_scheduled_);
+  w.U64(static_cast<std::uint64_t>(last_irq_));
+  Status st = rx_packets_.SaveState(w);
+  if (!Ok(st)) {
+    return st;
+  }
+  st = rx_dropped_.SaveState(w);
+  if (!Ok(st)) {
+    return st;
+  }
+  st = rx_corrupted_.SaveState(w);
+  if (!Ok(st)) {
+    return st;
+  }
+  return irqs_.SaveState(w);
+}
+
+Status Nic::LoadState(sim::SnapReader& r) {
+  ctrl_ = r.U32();
+  icr_ = r.U32();
+  itr_ = r.U32();
+  ims_ = r.U32();
+  rctl_ = r.U32();
+  rdbal_ = r.U32();
+  rdbah_ = r.U32();
+  rdlen_ = r.U32();
+  rdh_ = r.U32();
+  rdt_ = r.U32();
+  irq_scheduled_ = r.Bool();
+  last_irq_ = static_cast<sim::PicoSeconds>(r.U64());
+  Status st = rx_packets_.LoadState(r);
+  if (!Ok(st)) {
+    return st;
+  }
+  st = rx_dropped_.LoadState(r);
+  if (!Ok(st)) {
+    return st;
+  }
+  st = rx_corrupted_.LoadState(r);
+  if (!Ok(st)) {
+    return st;
+  }
+  return irqs_.LoadState(r);
 }
 
 void Nic::FireIrq() {
@@ -133,34 +203,83 @@ void Nic::FireIrq() {
   }
 }
 
+NetLink::NetLink(sim::EventQueue* events, Nic* nic)
+    : events_(events), nic_(nic) {
+  events_->RegisterRebinder(
+      sim::EventQueue::OwnerToken("hw.netlink"),
+      [this](const sim::EventTag&) { return [this] { SendOne(); }; });
+}
+
 void NetLink::StartStream(double mbit_per_s, std::uint32_t packet_bytes) {
   running_ = true;
   packet_bytes_ = packet_bytes;
   const double bits_per_packet = packet_bytes * 8.0;
   const double packets_per_second = mbit_per_s * 1e6 / bits_per_packet;
   interval_ = static_cast<sim::PicoSeconds>(1e12 / packets_per_second);
-  events_->ScheduleAfter(interval_, [this] { SendOne(); });
+  events_->ScheduleAfterTagged(
+      interval_, sim::EventTag{sim::EventQueue::OwnerToken("hw.netlink"), kOpSend},
+      [this] { SendOne(); });
 }
 
 void NetLink::Stop() { running_ = false; }
+
+bool NetLink::Partitioned() const {
+  return fault_plan_ != nullptr &&
+         fault_plan_->InWindow(sim::FaultKind::kLinkPartition, "netlink",
+                               events_->now());
+}
 
 void NetLink::SendOne() {
   if (!running_) {
     return;
   }
-  std::vector<std::uint8_t> frame(packet_bytes_);
-  // Ethernet-ish header + sequence number + pattern payload.
-  std::memset(frame.data(), 0xee, std::min<std::size_t>(frame.size(), 14));
-  if (frame.size() >= 22) {
-    std::memcpy(frame.data() + 14, &seq_, 8);
+  if (Partitioned()) {
+    // Partition window: the frame is lost on the wire; the receiver never
+    // sees it. Keep the clock ticking so the link resumes when it heals.
+    ++seq_;
+    sent_.Add();
+    lost_.Add();
+  } else {
+    std::vector<std::uint8_t> frame(packet_bytes_);
+    // Ethernet-ish header + sequence number + pattern payload.
+    std::memset(frame.data(), 0xee, std::min<std::size_t>(frame.size(), 14));
+    if (frame.size() >= 22) {
+      std::memcpy(frame.data() + 14, &seq_, 8);
+    }
+    for (std::size_t i = 22; i < frame.size(); ++i) {
+      frame[i] = static_cast<std::uint8_t>(seq_ + i);
+    }
+    ++seq_;
+    nic_->Receive(frame.data(), packet_bytes_);
+    sent_.Add();
   }
-  for (std::size_t i = 22; i < frame.size(); ++i) {
-    frame[i] = static_cast<std::uint8_t>(seq_ + i);
+  events_->ScheduleAfterTagged(
+      interval_, sim::EventTag{sim::EventQueue::OwnerToken("hw.netlink"), kOpSend},
+      [this] { SendOne(); });
+}
+
+Status NetLink::SaveState(sim::SnapWriter& w) const {
+  w.Bool(running_);
+  w.U32(packet_bytes_);
+  w.U64(static_cast<std::uint64_t>(interval_));
+  w.U64(seq_);
+  Status st = sent_.SaveState(w);
+  if (!Ok(st)) {
+    return st;
   }
-  ++seq_;
-  nic_->Receive(frame.data(), packet_bytes_);
-  sent_.Add();
-  events_->ScheduleAfter(interval_, [this] { SendOne(); });
+  return lost_.SaveState(w);
+}
+
+Status NetLink::LoadState(sim::SnapReader& r) {
+  running_ = r.Bool();
+  packet_bytes_ = r.U32();
+  interval_ = static_cast<sim::PicoSeconds>(r.U64());
+  seq_ = r.U64();
+  Status st = sent_.LoadState(r);
+  if (!Ok(st)) {
+    return st;
+  }
+  return lost_.LoadState(r);
 }
 
 }  // namespace nova::hw

@@ -78,11 +78,19 @@ class Nic : public Device {
   // Wires the machine's tracer in; interns the NIC's event names.
   void set_tracer(sim::Tracer* t);
 
+  Status SaveState(sim::SnapWriter& w) const;
+  Status LoadState(sim::SnapReader& r);
+
  private:
   std::uint32_t RingEntries() const { return rdlen_ / 16; }
   void RaiseOrCoalesce();
+  void CoalesceExpired();
   void FireIrq();
 
+  // snapshot-x-list(Nic): iommu_, irq_, gsi_, events_, ctrl_, icr_, itr_,
+  // ims_, rctl_, rdbal_, rdbah_, rdlen_, rdh_, rdt_, irq_scheduled_,
+  // last_irq_, rx_packets_, rx_dropped_, rx_corrupted_, irqs_,
+  // fault_plan_, tracer_, trace_rx_
   Iommu* iommu_;
   IrqChip* irq_;
   std::uint32_t gsi_;
@@ -114,24 +122,41 @@ class Nic : public Device {
 // like the token-bucket traffic shaper on the paper's sender machine.
 class NetLink {
  public:
-  NetLink(sim::EventQueue* events, Nic* nic) : events_(events), nic_(nic) {}
+  NetLink(sim::EventQueue* events, Nic* nic);
 
   // Start a stream of `packet_bytes`-sized frames at `mbit_per_s`.
   void StartStream(double mbit_per_s, std::uint32_t packet_bytes);
   void Stop();
 
   std::uint64_t packets_sent() const { return sent_.value(); }
+  std::uint64_t packets_lost() const { return lost_.value(); }
+
+  // Optional fault injection: inside a kLinkPartition window every frame
+  // is dropped on the wire (the NIC never sees it); the link heals when
+  // the window closes. Queried via FaultPlan::InWindow — a pure time
+  // predicate, so arming a partition never perturbs RNG streams.
+  void set_fault_plan(sim::FaultPlan* plan) { fault_plan_ = plan; }
+
+  // True while a partition window covers the queue's current time.
+  bool Partitioned() const;
+
+  Status SaveState(sim::SnapWriter& w) const;
+  Status LoadState(sim::SnapReader& r);
 
  private:
   void SendOne();
 
+  // snapshot-x-list(NetLink): events_, nic_, running_, packet_bytes_,
+  // interval_, sent_, lost_, seq_, fault_plan_
   sim::EventQueue* events_;
   Nic* nic_;
   bool running_ = false;
   std::uint32_t packet_bytes_ = 0;
   sim::PicoSeconds interval_ = 0;
   sim::Counter sent_;
+  sim::Counter lost_;
   std::uint64_t seq_ = 0;
+  sim::FaultPlan* fault_plan_ = nullptr;
 };
 
 }  // namespace nova::hw

@@ -149,6 +149,22 @@ WalkResult PageTable::Probe(VirtAddr va) const {
   return Walk(va, Access{}, /*set_ad=*/false);
 }
 
+Status PageTable::SetLeafFlags(VirtAddr va, std::uint64_t set,
+                               std::uint64_t clear) {
+  const WalkResult r = Probe(va);
+  if (!Ok(r.status)) {
+    return r.status;
+  }
+  const std::uint64_t updated = (r.pte | set) & ~clear;
+  if (updated == r.pte) {
+    return Status::kSuccess;
+  }
+  if (Level(0).esize == 4) {
+    return mem_->Write32(r.pte_addr, static_cast<std::uint32_t>(updated));
+  }
+  return mem_->Write64(r.pte_addr, updated);
+}
+
 void PageTable::FreeLevel(PhysAddr table, int level,
                           const FrameReleaser& free_frame) {
   if (level > 0) {

@@ -101,6 +101,11 @@ class PageTable {
   // Read the leaf entry covering `va` without permission checks.
   WalkResult Probe(VirtAddr va) const;
 
+  // Rewrite the leaf entry covering `va`: set then clear the given flag
+  // masks (dirty-log write-protection toggles pte::kWritable this way).
+  // kMemoryFault when nothing is mapped. Does not flush any TLB.
+  Status SetLeafFlags(VirtAddr va, std::uint64_t set, std::uint64_t clear);
+
   // Tear down the radix tree: release every intermediate table frame (and
   // the root itself) through `free_frame`. Leaf pages are the owner's
   // problem — only paging-structure frames are returned. The table must

@@ -43,6 +43,9 @@ Status PhysMem::Write(PhysAddr addr, const void* data, std::uint64_t len) {
   if (!Contains(addr, len)) {
     return Status::kMemoryFault;
   }
+  if (observer_) {
+    observer_(addr, len);
+  }
   const auto* src = static_cast<const std::uint8_t*>(data);
   while (len > 0) {
     const std::uint64_t frame_no = FrameOf(addr);
@@ -60,6 +63,9 @@ Status PhysMem::Zero(PhysAddr addr, std::uint64_t len) {
   if (!Contains(addr, len)) {
     return Status::kMemoryFault;
   }
+  if (observer_) {
+    observer_(addr, len);
+  }
   while (len > 0) {
     const std::uint64_t frame_no = FrameOf(addr);
     const std::uint64_t off = addr & kPageMask;
@@ -72,6 +78,38 @@ Status PhysMem::Zero(PhysAddr addr, std::uint64_t len) {
     len -= chunk;
   }
   return Status::kSuccess;
+}
+
+Status PhysMem::SaveState(sim::SnapWriter& w) const {
+  w.U64(size_);
+  std::vector<std::uint64_t> order;
+  order.reserve(frames_.size());
+  for (const auto& [frame_no, frame] : frames_) {
+    order.push_back(frame_no);
+  }
+  std::sort(order.begin(), order.end());
+  w.U64(order.size());
+  for (const std::uint64_t frame_no : order) {
+    w.U64(frame_no);
+    w.Bytes(frames_.at(frame_no)->data(), kPageSize);
+  }
+  return Status::kSuccess;
+}
+
+Status PhysMem::LoadState(sim::SnapReader& r) {
+  if (r.U64() != size_) {
+    r.Fail();  // The twin must be constructed with identical RAM.
+    return Status::kBadParameter;
+  }
+  frames_.clear();
+  const std::uint64_t count = r.U64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t frame_no = r.U64();
+    auto frame = std::make_unique<Frame>();
+    r.Bytes(frame->data(), kPageSize);
+    frames_[frame_no] = std::move(frame);
+  }
+  return r.status();
 }
 
 }  // namespace nova::hw

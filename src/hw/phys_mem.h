@@ -9,9 +9,11 @@
 #include <array>
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 
+#include "src/sim/snapshot.h"
 #include "src/sim/status.h"
 
 namespace nova::hw {
@@ -69,14 +71,30 @@ class PhysMem {
   // Number of frames that have actually been materialized.
   std::size_t resident_frames() const { return frames_.size(); }
 
+  // Write observer: called with (addr, len) on every successful Write/Zero.
+  // This is the dirty-log "hardware assist" hook (PML-style): all mutation
+  // paths — guest stores, host-side image writes, device DMA — funnel
+  // through PhysMem::Write, so observing here catches every dirtying agent
+  // with zero simulated cost. Null (default) disables the hook.
+  using WriteObserver = std::function<void(PhysAddr addr, std::uint64_t len)>;
+  void set_write_observer(WriteObserver obs) { observer_ = std::move(obs); }
+
+  // Serialize installed-RAM size and every resident frame (sorted by frame
+  // number for a deterministic encoding). Load fails if the twin's size
+  // differs.
+  Status SaveState(sim::SnapWriter& w) const;
+  Status LoadState(sim::SnapReader& r);
+
  private:
   using Frame = std::array<std::uint8_t, kPageSize>;
 
   Frame* FrameFor(std::uint64_t frame_no) const;       // nullptr if absent.
   Frame& FrameForAlloc(std::uint64_t frame_no);        // Allocates.
 
+  // snapshot-x-list(PhysMem): size_, frames_, observer_
   std::uint64_t size_;
   mutable std::unordered_map<std::uint64_t, std::unique_ptr<Frame>> frames_;
+  WriteObserver observer_;
 };
 
 }  // namespace nova::hw

@@ -35,15 +35,22 @@ void PlatformTimer::PioWrite(std::uint16_t port, unsigned /*size*/, std::uint32_
   }
 }
 
+void PlatformTimer::ScheduleTick() {
+  const std::uint64_t gen = generation_;
+  events_->ScheduleAfterTagged(
+      period_,
+      sim::EventTag{sim::EventQueue::OwnerToken("hw.timer"), /*op=*/1, gen},
+      [this, gen] {
+        if (gen == generation_) {
+          Tick();
+        }
+      });
+}
+
 void PlatformTimer::Start(sim::PicoSeconds period) {
   period_ = period;
   ++generation_;
-  const std::uint64_t gen = generation_;
-  events_->ScheduleAfter(period_, [this, gen] {
-    if (gen == generation_) {
-      Tick();
-    }
-  });
+  ScheduleTick();
 }
 
 void PlatformTimer::Stop() {
@@ -54,12 +61,7 @@ void PlatformTimer::Stop() {
 void PlatformTimer::Tick() {
   ++ticks_;
   irq_->Assert(gsi_);
-  const std::uint64_t gen = generation_;
-  events_->ScheduleAfter(period_, [this, gen] {
-    if (gen == generation_) {
-      Tick();
-    }
-  });
+  ScheduleTick();
 }
 
 }  // namespace nova::hw

@@ -20,8 +20,19 @@ constexpr std::uint16_t kPortControl = 0x43;   // Write 0 to stop.
 
 class PlatformTimer : public Device {
  public:
-  PlatformTimer(DeviceId id, IrqChip* irq, std::uint32_t gsi, sim::EventQueue* events)
-      : Device(id, "timer"), irq_(irq), gsi_(gsi), events_(events) {}
+  PlatformTimer(DeviceId id, IrqChip* irq, std::uint32_t gsi,
+                sim::EventQueue* events)
+      : Device(id, "timer"), irq_(irq), gsi_(gsi), events_(events) {
+    events_->RegisterRebinder(
+        sim::EventQueue::OwnerToken("hw.timer"),
+        [this](const sim::EventTag& tag) {
+          return [this, gen = tag.a] {
+            if (gen == generation_) {
+              Tick();
+            }
+          };
+        });
+  }
 
   std::uint64_t MmioRead(std::uint64_t, unsigned) override { return 0; }
   void MmioWrite(std::uint64_t, unsigned, std::uint64_t) override {}
@@ -36,9 +47,27 @@ class PlatformTimer : public Device {
   std::uint32_t gsi() const { return gsi_; }
   std::uint64_t ticks() const { return ticks_; }
 
+  Status SaveState(sim::SnapWriter& w) const {
+    w.U64(static_cast<std::uint64_t>(period_));
+    w.U64(generation_);
+    w.U64(ticks_);
+    w.U16(period_lo_);
+    return Status::kSuccess;
+  }
+  Status LoadState(sim::SnapReader& r) {
+    period_ = static_cast<sim::PicoSeconds>(r.U64());
+    generation_ = r.U64();
+    ticks_ = r.U64();
+    period_lo_ = r.U16();
+    return r.status();
+  }
+
  private:
   void Tick();
+  void ScheduleTick();
 
+  // snapshot-x-list(PlatformTimer): irq_, gsi_, events_, period_,
+  // generation_, ticks_, period_lo_
   IrqChip* irq_;
   std::uint32_t gsi_;
   sim::EventQueue* events_;

@@ -50,7 +50,25 @@ class TlbTagAllocator {
     }
   }
 
+  Status SaveState(sim::SnapWriter& w) const {
+    w.U16(next_);
+    w.U32(static_cast<std::uint32_t>(free_.size()));
+    for (const TlbTag t : free_) {
+      w.U16(t);
+    }
+    return Status::kSuccess;
+  }
+  Status LoadState(sim::SnapReader& r) {
+    next_ = r.U16();
+    free_.assign(r.U32(), 0);
+    for (auto& t : free_) {
+      t = r.U16();
+    }
+    return r.status();
+  }
+
  private:
+  // snapshot-x-list(TlbTagAllocator): next_, free_
   TlbTag next_;
   std::vector<TlbTag> free_;
 };
@@ -92,6 +110,11 @@ class Tlb {
   const sim::Counter& misses() const { return misses_; }
   const sim::Counter& flushes() const { return flushes_; }
 
+  // Serialize entries sorted by (tag, vpage, large) plus the LRU clock, so
+  // post-restore replacement decisions are bit-identical.
+  Status SaveState(sim::SnapWriter& w) const;
+  Status LoadState(sim::SnapReader& r);
+
  private:
   struct Key {
     TlbTag tag;
@@ -119,6 +142,8 @@ class Tlb {
 
   void EvictIfNeeded(bool large);
 
+  // snapshot-x-list(Tlb): capacity_4k_, capacity_large_, count_4k_,
+  // count_large_, clock_, map_, hits_, misses_, flushes_
   std::uint32_t capacity_4k_;
   std::uint32_t capacity_large_;
   std::uint32_t count_4k_ = 0;

@@ -7,6 +7,8 @@
 #include <string>
 
 #include "src/hw/device.h"
+#include "src/sim/snapshot.h"
+#include "src/sim/status.h"
 
 namespace nova::hw {
 
@@ -30,7 +32,17 @@ class Uart : public Device {
   const std::string& output() const { return output_; }
   void ClearOutput() { output_.clear(); }
 
+  Status SaveState(sim::SnapWriter& w) const {
+    w.Str(output_);
+    return Status::kSuccess;
+  }
+  Status LoadState(sim::SnapReader& r) {
+    output_ = r.Str();
+    return r.status();
+  }
+
  private:
+  // snapshot-x-list(Uart): output_
   std::string output_;
 };
 

@@ -102,6 +102,29 @@ class VmEngine {
 
   Cpu& cpu() { return *cpu_; }
 
+  Status SaveState(sim::SnapWriter& w) const {
+    Status st = nested_tlb_.SaveState(w);
+    if (!Ok(st)) {
+      return st;
+    }
+    st = insns_.SaveState(w);
+    if (!Ok(st)) {
+      return st;
+    }
+    return injections_.SaveState(w);
+  }
+  Status LoadState(sim::SnapReader& r) {
+    Status st = nested_tlb_.LoadState(r);
+    if (!Ok(st)) {
+      return st;
+    }
+    st = insns_.LoadState(r);
+    if (!Ok(st)) {
+      return st;
+    }
+    return injections_.LoadState(r);
+  }
+
  private:
   struct StepResult {
     bool exited = false;
@@ -126,6 +149,8 @@ class VmEngine {
   bool HandleXlatFault(GuestState& gs, const XlatResult& x, VirtAddr gva,
                        Access access, VmExit* exit);
 
+  // snapshot-x-list(VmEngine): cpu_, mem_, bus_, irq_, guest_logic_,
+  // costs_, nested_tlb_, insns_, injections_
   Cpu* cpu_;
   PhysMem* mem_;
   Bus* bus_;

@@ -83,7 +83,25 @@ class RootPartitionManager {
   // Free selector in the root's capability space.
   hv::CapSel FreeSel() { return pd_->caps().FindFree(hv::kSelFirstFree); }
 
+  // The allocation cursor is the only mutable policy state; the RAM grant
+  // bounds and device registry are construction-time and only verified.
+  Status SaveState(sim::SnapWriter& w) const {
+    w.U64(alloc_next_page_);
+    w.U64(alloc_end_page_);
+    w.U32(static_cast<std::uint32_t>(devices_.size()));
+    return Status::kSuccess;
+  }
+  Status LoadState(sim::SnapReader& r) {
+    alloc_next_page_ = r.U64();
+    if (r.U64() != alloc_end_page_ || r.U32() != devices_.size()) {
+      r.Fail();
+    }
+    return r.ok() ? Status::kSuccess : Status::kBadParameter;
+  }
+
  private:
+  // snapshot-x-list(RootPartitionManager): hv_, pd_, alloc_next_page_,
+  //   alloc_end_page_, devices_
   hv::Hypervisor* hv_;
   hv::Pd* pd_;
   std::uint64_t alloc_next_page_;

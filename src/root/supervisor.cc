@@ -1,12 +1,31 @@
 #include "src/root/supervisor.h"
 
+#include "src/hv/snapshot.h"
+
 namespace nova::root {
+
+namespace {
+constexpr std::uint32_t kOpCheckTick = 1;
+}  // namespace
 
 VmmSupervisor::VmmSupervisor(hv::Hypervisor* hv, RootPartitionManager* root,
                              Config config)
-    : hv_(hv), root_(root), config_(config), alive_(std::make_shared<bool>(true)) {}
+    : hv_(hv), root_(root), config_(config) {
+  hv_->machine().events().RegisterRebinder(
+      sim::EventQueue::OwnerToken("root.supervisor"),
+      [this](const sim::EventTag& tag) -> sim::EventQueue::Callback {
+        if (tag.op != kOpCheckTick) {
+          return nullptr;
+        }
+        return [this] { CheckTick(); };
+      });
+}
 
-VmmSupervisor::~VmmSupervisor() { *alive_ = false; }
+VmmSupervisor::~VmmSupervisor() {
+  if (check_event_ != 0) {
+    (void)hv_->machine().events().Cancel(check_event_);
+  }
+}
 
 void VmmSupervisor::Watch(vmm::Vmm* vmm, RestartFn on_restart) {
   if (hb_page_ == 0) {
@@ -26,19 +45,26 @@ void VmmSupervisor::Watch(vmm::Vmm* vmm, RestartFn on_restart) {
 
   if (!check_running_) {
     check_running_ = true;
-    const std::shared_ptr<bool> alive = alive_;
-    auto tick = std::make_shared<std::function<void()>>();
-    *tick = [this, alive, tick] {
-      if (!*alive) {
-        return;
-      }
-      CheckAll();
-      hv_->machine().events().ScheduleAfter(config_.check_period_ps,
-                                            [tick] { (*tick)(); });
-    };
-    hv_->machine().events().ScheduleAfter(config_.check_period_ps,
-                                          [tick] { (*tick)(); });
+    check_event_ = hv_->machine().events().ScheduleAfterTagged(
+        config_.check_period_ps,
+        sim::EventTag{sim::EventQueue::OwnerToken("root.supervisor"),
+                      kOpCheckTick},
+        [this] { CheckTick(); });
   }
+}
+
+void VmmSupervisor::CheckTick() {
+  ++ticks_;
+  if (config_.checkpoint_every_checks != 0 &&
+      ticks_ % config_.checkpoint_every_checks == 0) {
+    CheckpointAll();
+  }
+  CheckAll();
+  check_event_ = hv_->machine().events().ScheduleAfterTagged(
+      config_.check_period_ps,
+      sim::EventTag{sim::EventQueue::OwnerToken("root.supervisor"),
+                    kOpCheckTick},
+      [this] { CheckTick(); });
 }
 
 void VmmSupervisor::CheckAll() {
@@ -61,15 +87,41 @@ void VmmSupervisor::CheckAll() {
   }
 }
 
+void VmmSupervisor::CheckpointAll() {
+  // Only checkpoint monitors whose heartbeat was fresh at the last sample:
+  // a VMM already suspected dead must not overwrite its last-good state
+  // with whatever its wild memory now contains.
+  for (Watched& w : watched_) {
+    if (w.recovered || w.stale != 0) {
+      continue;
+    }
+    w.ckpt_regs = w.vmm->vahci().SaveRegs();
+    w.ckpt_gstate = w.vmm->gstate(0);
+    w.ckpt_at_ps = hv_->machine().events().now();
+    w.has_checkpoint = true;
+    ++checkpoints_;
+  }
+}
+
 void VmmSupervisor::Recover(Watched& w) {
   // Checkpoint everything that dies with the domains: the vCPU's
   // architectural state and the guest-programmed virtual-controller
   // registers. Guest RAM needs no copying — the frames fall back to the
   // root when the mappings are revoked and are re-granted in place.
   RecoveryInfo info;
+  // The vCPU object lives in the kernel and is intact regardless of how
+  // the VMM died, so the architectural state is always read at detection
+  // time. The device model lives in the crashed VMM's own memory: prefer
+  // the last healthy-time checkpoint when one exists — the driver replays
+  // anything issued past it through the controller's abort path.
   info.gstate = w.vmm->gstate(0);
   info.guest_base_page = w.vmm->guest_base_page();
-  info.vahci_regs = w.vmm->vahci().SaveRegs();
+  if (w.has_checkpoint) {
+    info.vahci_regs = w.ckpt_regs;
+    info.regs_from_checkpoint = true;
+  } else {
+    info.vahci_regs = w.vmm->vahci().SaveRegs();
+  }
   info.detected_at_ps = hv_->machine().events().now();
   last_detect_latency_ps_ = config_.stale_checks * config_.check_period_ps;
 
@@ -86,6 +138,73 @@ void VmmSupervisor::Recover(Watched& w) {
   if (restart) {
     restart(info);  // May Watch() the replacement — `w` is dead after this.
   }
+}
+
+Status VmmSupervisor::SaveState(sim::SnapWriter& w) const {
+  w.U64(hb_page_);
+  w.U32(static_cast<std::uint32_t>(watched_.size()));
+  for (const Watched& e : watched_) {
+    w.U64(e.hb_addr);  // Verified: derived from hb_page_ + watch order.
+    w.U64(e.vm_sel);
+    w.U64(e.vmm_sel);
+    w.U64(e.last_seen);
+    w.U32(e.stale);
+    w.Bool(e.recovered);
+    w.Bool(e.has_checkpoint);
+    if (e.has_checkpoint) {
+      const vmm::VAhci::Regs& cr = e.ckpt_regs;
+      w.U32(cr.ghc);
+      w.U32(cr.px_clb);
+      w.U32(cr.px_ie);
+      w.U32(cr.px_cmd);
+      hv::SaveGuestState(w, e.ckpt_gstate);
+      w.I64(e.ckpt_at_ps);
+    }
+  }
+  w.U64(recoveries_);
+  w.U64(checkpoints_);
+  w.U64(ticks_);
+  w.I64(last_detect_latency_ps_);
+  w.Bool(check_running_);
+  w.U64(check_event_);
+  return Status::kSuccess;
+}
+
+Status VmmSupervisor::LoadState(sim::SnapReader& r) {
+  if (r.U64() != hb_page_) {
+    r.Fail();
+  }
+  if (r.U32() != watched_.size()) {
+    r.Fail();
+  }
+  if (!r.ok()) {
+    return Status::kBadParameter;
+  }
+  for (Watched& e : watched_) {
+    if (r.U64() != e.hb_addr || r.U64() != e.vm_sel || r.U64() != e.vmm_sel) {
+      r.Fail();
+      return Status::kBadParameter;
+    }
+    e.last_seen = r.U64();
+    e.stale = r.U32();
+    e.recovered = r.Bool();
+    e.has_checkpoint = r.Bool();
+    if (e.has_checkpoint) {
+      e.ckpt_regs.ghc = r.U32();
+      e.ckpt_regs.px_clb = r.U32();
+      e.ckpt_regs.px_ie = r.U32();
+      e.ckpt_regs.px_cmd = r.U32();
+      hv::LoadGuestState(r, &e.ckpt_gstate);
+      e.ckpt_at_ps = r.I64();
+    }
+  }
+  recoveries_ = r.U64();
+  checkpoints_ = r.U64();
+  ticks_ = r.U64();
+  last_detect_latency_ps_ = r.I64();
+  check_running_ = r.Bool();
+  check_event_ = r.U64();
+  return r.ok() ? Status::kSuccess : Status::kBadParameter;
 }
 
 }  // namespace nova::root

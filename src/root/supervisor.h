@@ -11,6 +11,15 @@
 // ordinary hypercall interface, and invokes a restart callback that
 // rebuilds a fresh VMM over the surviving guest memory and resumes the
 // guest where it stopped.
+//
+// Periodic checkpointing (checkpoint_every_checks != 0) hardens the warm
+// path: every N healthy check ticks the supervisor snapshots each watched
+// VMM's recovery state while the monitor is known-good. At recovery time
+// the *device-model* registers come from the last healthy checkpoint — a
+// wildly crashed VMM's in-process state is untrusted — while the guest's
+// architectural state is read from the kernel's vCPU object, which lives
+// in the TCB and survives the crash intact. Requests in flight past the
+// checkpoint are replayed through the virtual controller's abort path.
 #ifndef SRC_ROOT_SUPERVISOR_H_
 #define SRC_ROOT_SUPERVISOR_H_
 
@@ -32,6 +41,10 @@ class VmmSupervisor {
     sim::PicoSeconds check_period_ps = 2'000'000'000;  // 2 ms.
     // Consecutive stale samples before the VMM is declared dead.
     std::uint32_t stale_checks = 2;
+    // Checkpoint each healthy VMM's recovery state every N check ticks
+    // (0 disables; recovery then reads the dead VMM's device model as a
+    // best effort, the pre-checkpointing behaviour).
+    std::uint32_t checkpoint_every_checks = 0;
   };
 
   // Everything the restart path needs that does not survive in guest RAM:
@@ -43,6 +56,9 @@ class VmmSupervisor {
     std::uint64_t guest_base_page = 0;
     vmm::VAhci::Regs vahci_regs;
     sim::PicoSeconds detected_at_ps = 0;
+    // True when vahci_regs came from a healthy-time checkpoint rather than
+    // the crashed monitor's memory.
+    bool regs_from_checkpoint = false;
   };
   using RestartFn = std::function<void(const RecoveryInfo&)>;
 
@@ -58,7 +74,14 @@ class VmmSupervisor {
   void Watch(vmm::Vmm* vmm, RestartFn on_restart);
 
   std::uint64_t recoveries() const { return recoveries_; }
+  std::uint64_t checkpoints() const { return checkpoints_; }
   sim::PicoSeconds last_detect_latency_ps() const { return last_detect_latency_ps_; }
+
+  // Watch-list heartbeat cursors and recovery counters. The watch list
+  // itself (and the restart callbacks) is rebuilt by the twin's Watch
+  // calls; saved checkpointed register state is restored verbatim.
+  Status SaveState(sim::SnapWriter& w) const;
+  Status LoadState(sim::SnapReader& r);
 
  private:
   struct Watched {
@@ -70,20 +93,32 @@ class VmmSupervisor {
     hv::CapSel vmm_sel = hv::kInvalidSel;  // In the root's space.
     RestartFn on_restart;
     bool recovered = false;
+    // Last healthy-time checkpoint (checkpoint_every_checks != 0 only).
+    bool has_checkpoint = false;
+    vmm::VAhci::Regs ckpt_regs;
+    hw::GuestState ckpt_gstate;
+    sim::PicoSeconds ckpt_at_ps = 0;
   };
 
+  void CheckTick();  // Tagged "root.supervisor" op 1.
   void CheckAll();
+  void CheckpointAll();
   void Recover(Watched& w);
 
+  // snapshot-x-list(VmmSupervisor): hv_, root_, config_, hb_page_,
+  //   watched_, recoveries_, checkpoints_, ticks_,
+  //   last_detect_latency_ps_, check_running_, check_event_
   hv::Hypervisor* hv_;
   RootPartitionManager* root_;
   Config config_;
   std::uint64_t hb_page_ = 0;  // Root-owned page holding heartbeat words.
   std::vector<Watched> watched_;
   std::uint64_t recoveries_ = 0;
+  std::uint64_t checkpoints_ = 0;
+  std::uint64_t ticks_ = 0;
   sim::PicoSeconds last_detect_latency_ps_ = 0;
   bool check_running_ = false;
-  std::shared_ptr<bool> alive_;
+  sim::EventQueue::EventId check_event_ = 0;  // Cancelled on destruction.
 };
 
 }  // namespace nova::root

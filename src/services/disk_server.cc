@@ -8,9 +8,32 @@ namespace nova::services {
 
 using root::kAhciMmioBase;
 
+namespace {
+constexpr std::uint64_t kDiskServerOwner =
+    sim::EventQueue::OwnerToken("svc.disk");
+constexpr std::uint32_t kOpDeadline = 1;
+constexpr std::uint32_t kOpReissue = 2;
+}  // namespace
+
 DiskServer::DiskServer(hv::Hypervisor* hv, root::RootPartitionManager* root,
                        std::uint32_t cpu, std::uint8_t irq_prio)
     : hv_(hv), root_(root), cpu_(cpu) {
+  hv_->machine().events().RegisterRebinder(
+      kDiskServerOwner,
+      [this](const sim::EventTag& tag) -> sim::EventQueue::Callback {
+        const int slot = static_cast<int>(tag.a);
+        const std::uint64_t gen = tag.b;
+        if (slot < 0 || slot >= hw::ahci::kNumSlots) {
+          return nullptr;
+        }
+        if (tag.op == kOpDeadline) {
+          return [this, slot, gen] { DeadlineExpired(slot, gen); };
+        }
+        if (tag.op == kOpReissue) {
+          return [this, slot, gen] { ReissueSlot(slot, gen); };
+        }
+        return nullptr;
+      });
   pd_sel_ = root->CreatePd("disk-server", /*is_vm=*/false, &pd_);
   (void)root->AssignDevice(pd_sel_, "ahci");
   (void)root->BindInterrupt(pd_sel_, "ahci", kSmSel, cpu);
@@ -249,13 +272,11 @@ void DiskServer::HandleRequest(std::uint32_t channel_id) {
   ++issued_;
   if (deadline_ps_ != 0) {
     const std::uint64_t gen = slots_[slot].generation;
-    slots_[slot].deadline_event = hv_->machine().events().ScheduleAfter(
-        deadline_ps_, [this, slot, gen] {
-          if (slots_[slot].active && slots_[slot].generation == gen) {
-            slots_[slot].deadline_event = 0;
-            FailRequest(slot, Status::kTimeout);
-          }
-        });
+    slots_[slot].deadline_event = hv_->machine().events().ScheduleAfterTagged(
+        deadline_ps_,
+        sim::EventTag{kDiskServerOwner, kOpDeadline,
+                      static_cast<std::uint64_t>(slot), gen},
+        [this, slot, gen] { DeadlineExpired(slot, gen); });
   }
   (void)MmioWrite(hw::ahci::kPxCi, 1u << slot);
   reply(Status::kSuccess, static_cast<std::uint64_t>(slot));
@@ -302,11 +323,11 @@ void DiskServer::HandleErrorSlots(std::uint32_t err_mask) {
       // still in place, so re-writing the issue bit replays the command.
       const sim::PicoSeconds delay = backoff_ps_ << (slot.attempts - 1);
       const std::uint64_t gen = slot.generation;
-      hv_->machine().events().ScheduleAfter(delay, [this, s, gen] {
-        if (slots_[s].active && slots_[s].generation == gen) {
-          (void)MmioWrite(hw::ahci::kPxCi, 1u << s);
-        }
-      });
+      hv_->machine().events().ScheduleAfterTagged(
+          delay,
+          sim::EventTag{kDiskServerOwner, kOpReissue,
+                        static_cast<std::uint64_t>(s), gen},
+          [this, s, gen] { ReissueSlot(s, gen); });
     } else {
       FailRequest(s, Status::kBadDevice);
     }
@@ -377,6 +398,101 @@ void DiskServer::CompleteSlots(std::uint32_t done_mask) {
     // Notify the client ("7) completed" in Figure 4).
     NotifyClient(ch, slot.cookie);
   }
+}
+
+void DiskServer::DeadlineExpired(int slot, std::uint64_t generation) {
+  if (slots_[slot].active && slots_[slot].generation == generation) {
+    slots_[slot].deadline_event = 0;
+    FailRequest(slot, Status::kTimeout);
+  }
+}
+
+void DiskServer::ReissueSlot(int slot, std::uint64_t generation) {
+  if (slots_[slot].active && slots_[slot].generation == generation) {
+    (void)MmioWrite(hw::ahci::kPxCi, 1u << slot);
+  }
+}
+
+Status DiskServer::SaveState(sim::SnapWriter& w) const {
+  w.U32(static_cast<std::uint32_t>(channels_.size()));
+  for (const ChannelState& ch : channels_) {
+    // Wiring selectors and the ring frame are construction products; saved
+    // so the loader can verify the twin opened the same channels.
+    w.U32(ch.completion_pt);
+    w.U32(ch.request_pt);
+    w.U64(ch.shared_page);
+    w.U32(ch.outstanding);
+    w.U32(ch.max_outstanding);
+    w.U32(ch.ring_head);
+    w.Bool(ch.open);
+  }
+  w.U32(static_cast<std::uint32_t>(free_channels_.size()));
+  for (const std::uint32_t id : free_channels_) {
+    w.U32(id);
+  }
+  for (const Slot& s : slots_) {
+    w.Bool(s.active);
+    w.U32(s.channel);
+    w.U64(s.cookie);
+    w.U64(s.buffer_page);
+    w.U32(s.attempts);
+    w.U64(s.generation);
+    w.U64(s.deadline_event);
+  }
+  w.U32(next_comp_sel_);
+  w.U64(issued_);
+  w.U64(completed_);
+  w.U64(throttled_);
+  w.U64(retried_);
+  w.U64(failed_);
+  w.U64(deadline_ps_);
+  w.U32(max_retries_);
+  w.U64(backoff_ps_);
+  w.U64(next_generation_);
+  w.U32(quarantine_mask_);
+  return Status::kSuccess;
+}
+
+Status DiskServer::LoadState(sim::SnapReader& r) {
+  if (r.U32() != static_cast<std::uint32_t>(channels_.size())) {
+    r.Fail();  // Twin opened a different channel set.
+  }
+  for (ChannelState& ch : channels_) {
+    if (r.U32() != ch.completion_pt || r.U32() != ch.request_pt ||
+        r.U64() != ch.shared_page) {
+      r.Fail();
+    }
+    ch.outstanding = r.U32();
+    ch.max_outstanding = r.U32();
+    ch.ring_head = r.U32();
+    ch.open = r.Bool();
+  }
+  free_channels_.clear();
+  const std::uint32_t n_free = r.U32();
+  for (std::uint32_t i = 0; i < n_free && r.ok(); ++i) {
+    free_channels_.push_back(r.U32());
+  }
+  for (Slot& s : slots_) {
+    s.active = r.Bool();
+    s.channel = r.U32();
+    s.cookie = r.U64();
+    s.buffer_page = r.U64();
+    s.attempts = r.U32();
+    s.generation = r.U64();
+    s.deadline_event = r.U64();
+  }
+  next_comp_sel_ = r.U32();
+  issued_ = r.U64();
+  completed_ = r.U64();
+  throttled_ = r.U64();
+  retried_ = r.U64();
+  failed_ = r.U64();
+  deadline_ps_ = r.U64();
+  max_retries_ = r.U32();
+  backoff_ps_ = r.U64();
+  next_generation_ = r.U64();
+  quarantine_mask_ = r.U32();
+  return r.status();
 }
 
 }  // namespace nova::services

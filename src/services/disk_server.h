@@ -90,6 +90,12 @@ class DiskServer {
                           std::uint32_t max_retries = 0,
                           sim::PicoSeconds backoff_ps = 0);
 
+  // Mutable server state: channel cursors, slot table, counters and the
+  // deadline/retry configuration. Channel wiring (portals, ring frames)
+  // is rebuilt by the twin's OpenChannel calls and verified on load.
+  Status SaveState(sim::SnapWriter& w) const;
+  Status LoadState(sim::SnapReader& r);
+
  private:
   struct ChannelState {
     hv::CapSel completion_pt = hv::kInvalidSel;  // In the server's space.
@@ -117,10 +123,19 @@ class DiskServer {
   // Retire a request with a typed error completion record.
   void FailRequest(int slot, Status status);
   void NotifyClient(ChannelState& ch, std::uint64_t cookie);
+  // Tagged-event bodies ("svc.disk", op 1 = deadline, op 2 = re-issue);
+  // both are generation-guarded so stale events are inert.
+  void DeadlineExpired(int slot, std::uint64_t generation);
+  void ReissueSlot(int slot, std::uint64_t generation);
 
   std::uint64_t MmioRead(std::uint64_t offset);
   void MmioWrite(std::uint64_t offset, std::uint64_t value);
 
+  // snapshot-x-list(DiskServer): hv_, root_, cpu_, pd_, pd_sel_, irq_ec_,
+  //   req_ec_, req_ec_cap_sel_, clb_page_, ctba_page_, channels_,
+  //   free_channels_, slots_, next_comp_sel_, issued_, completed_,
+  //   throttled_, retried_, failed_, deadline_ps_, max_retries_,
+  //   backoff_ps_, next_generation_, quarantine_mask_
   hv::Hypervisor* hv_;
   root::RootPartitionManager* root_;
   std::uint32_t cpu_;

@@ -4,9 +4,10 @@
 
 namespace nova::sim {
 
-EventQueue::EventId EventQueue::ScheduleAt(PicoSeconds when, Callback cb) {
+EventQueue::EventId EventQueue::ScheduleAtTagged(PicoSeconds when,
+                                                 EventTag tag, Callback cb) {
   const EventId id = next_id_++;
-  heap_.push(Event{when, next_seq_++, id, std::move(cb)});
+  heap_.push(Event{when, next_seq_++, id, tag, std::move(cb)});
   ++live_;
   return id;
 }
@@ -68,6 +69,73 @@ bool EventQueue::RunOne() {
 PicoSeconds EventQueue::NextDeadline() const {
   PopCancelled();
   return heap_.top().when;
+}
+
+Status EventQueue::SaveState(SnapWriter& w) const {
+  // Enumerate by draining a copy of the heap (std::function is copyable),
+  // skipping lazily-cancelled entries so the restored queue starts clean.
+  auto copy = heap_;
+  w.U64(static_cast<std::uint64_t>(now_));
+  w.U64(next_seq_);
+  w.U64(next_id_);
+  std::vector<Event> pending;
+  while (!copy.empty()) {
+    Event ev = copy.top();
+    copy.pop();
+    if (std::find(cancelled_.begin(), cancelled_.end(), ev.id) !=
+        cancelled_.end()) {
+      continue;
+    }
+    if (ev.tag.owner == 0) {
+      return Status::kBadParameter;  // Untagged closure: not restorable.
+    }
+    pending.push_back(std::move(ev));
+  }
+  w.U64(pending.size());
+  for (const Event& ev : pending) {
+    w.U64(static_cast<std::uint64_t>(ev.when));
+    w.U64(ev.seq);
+    w.U64(ev.id);
+    w.U64(ev.tag.owner);
+    w.U32(ev.tag.op);
+    w.U64(ev.tag.a);
+    w.U64(ev.tag.b);
+  }
+  return Status::kSuccess;
+}
+
+Status EventQueue::LoadState(SnapReader& r) {
+  heap_ = {};
+  cancelled_.clear();
+  live_ = 0;
+  now_ = static_cast<PicoSeconds>(r.U64());
+  next_seq_ = r.U64();
+  next_id_ = r.U64();
+  const std::uint64_t count = r.U64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Event ev;
+    ev.when = static_cast<PicoSeconds>(r.U64());
+    ev.seq = r.U64();
+    ev.id = r.U64();
+    ev.tag.owner = r.U64();
+    ev.tag.op = r.U32();
+    ev.tag.a = r.U64();
+    ev.tag.b = r.U64();
+    if (!r.ok()) {
+      return Status::kBadParameter;
+    }
+    auto it = rebinders_.find(ev.tag.owner);
+    if (it == rebinders_.end()) {
+      return Status::kBadCapability;  // No rebinder for this owner.
+    }
+    ev.cb = it->second(ev.tag);
+    if (!ev.cb) {
+      return Status::kBadCapability;
+    }
+    heap_.push(std::move(ev));
+    ++live_;
+  }
+  return r.status();
 }
 
 }  // namespace nova::sim

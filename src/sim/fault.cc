@@ -2,6 +2,11 @@
 
 namespace nova::sim {
 
+namespace {
+// Tag vocabulary for the plan's activation events.
+constexpr std::uint32_t kOpActivate = 1;
+}  // namespace
+
 void FaultPlan::set_tracer(Tracer* t) {
   tracer_ = t;
   for (int i = 0; i < kNumFaultKinds; ++i) {
@@ -12,12 +17,21 @@ void FaultPlan::set_tracer(Tracer* t) {
 
 void FaultPlan::Arm(EventQueue* events) {
   armed_ = true;
+  events->RegisterRebinder(
+      EventQueue::OwnerToken("sim.faultplan"), [this](const EventTag& tag) {
+        const std::size_t i = static_cast<std::size_t>(tag.a);
+        return [this, i] { entries_[i].active = true; };
+      });
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     Entry& entry = entries_[i];
     if (entry.ev.at <= events->now()) {
       entry.active = true;
     } else {
-      events->ScheduleAt(entry.ev.at, [this, i] { entries_[i].active = true; });
+      events->ScheduleAtTagged(
+          entry.ev.at,
+          EventTag{EventQueue::OwnerToken("sim.faultplan"), kOpActivate,
+                   static_cast<std::uint64_t>(i), 0},
+          [this, i] { entries_[i].active = true; });
     }
   }
 }
@@ -44,12 +58,78 @@ bool FaultPlan::ShouldFault(FaultKind kind, std::string_view target) {
   return false;
 }
 
+bool FaultPlan::InWindow(FaultKind kind, std::string_view target,
+                         PicoSeconds now) const {
+  if (!armed_) {
+    return false;
+  }
+  for (const Entry& entry : entries_) {
+    if (entry.ev.kind != kind || entry.ev.window_ps == 0) {
+      continue;
+    }
+    if (!entry.ev.target.empty() && entry.ev.target != target) {
+      continue;
+    }
+    if (now >= entry.ev.at && now < entry.ev.at + entry.ev.window_ps) {
+      return true;
+    }
+  }
+  return false;
+}
+
 std::uint64_t FaultPlan::total_injected() const {
   std::uint64_t total = 0;
   for (int i = 0; i < kNumFaultKinds; ++i) {
     total += injected_[i];
   }
   return total;
+}
+
+Status FaultPlan::SaveState(SnapWriter& w) const {
+  Status st = rng_.SaveState(w);
+  if (!Ok(st)) {
+    return st;
+  }
+  w.Bool(armed_);
+  for (int i = 0; i < kNumFaultKinds; ++i) {
+    w.U64(injected_[i]);
+  }
+  w.U32(static_cast<std::uint32_t>(entries_.size()));
+  for (const Entry& e : entries_) {
+    w.U64(static_cast<std::uint64_t>(e.ev.at));
+    w.U8(static_cast<std::uint8_t>(e.ev.kind));
+    w.Str(e.ev.target);
+    w.U64(e.ev.count);
+    w.F64(e.ev.rate);
+    w.U64(static_cast<std::uint64_t>(e.ev.window_ps));
+    w.Bool(e.active);
+  }
+  return Status::kSuccess;
+}
+
+Status FaultPlan::LoadState(SnapReader& r) {
+  Status st = rng_.LoadState(r);
+  if (!Ok(st)) {
+    return st;
+  }
+  armed_ = r.Bool();
+  for (int i = 0; i < kNumFaultKinds; ++i) {
+    injected_[i] = r.U64();
+  }
+  const std::uint32_t n = r.U32();
+  if (n != entries_.size()) {
+    return Status::kBadParameter;  // Twin scheduled a different plan.
+  }
+  for (Entry& e : entries_) {
+    e.ev.at = static_cast<PicoSeconds>(r.U64());
+    e.ev.kind = static_cast<FaultKind>(r.U8());
+    e.ev.target = r.Str();
+    e.ev.count = r.U64();
+    e.ev.rate = r.F64();
+    e.ev.window_ps = static_cast<PicoSeconds>(r.U64());
+    e.active = r.Bool();
+  }
+  return r.status();
 }
 
 }  // namespace nova::sim

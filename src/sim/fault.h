@@ -33,9 +33,11 @@ enum class FaultKind : std::uint8_t {
   kDmaUnmapped,     // Device DMA redirected to an unmapped/protected iova.
   kVmmCrash,        // User-level VMM stops responding (heartbeat ceases).
   kAllocFail,       // Kernel frame allocation fails transiently.
+  kLinkPartition,   // Network link partitioned: every frame dropped for a
+                    // timed window (`window_ps`), then the link heals.
 };
 
-constexpr int kNumFaultKinds = 6;
+constexpr int kNumFaultKinds = 7;
 
 constexpr const char* FaultKindName(FaultKind k) {
   switch (k) {
@@ -45,6 +47,7 @@ constexpr const char* FaultKindName(FaultKind k) {
     case FaultKind::kDmaUnmapped: return "dma-unmapped";
     case FaultKind::kVmmCrash: return "vmm-crash";
     case FaultKind::kAllocFail: return "alloc-fail";
+    case FaultKind::kLinkPartition: return "link-partition";
   }
   return "?";
 }
@@ -55,6 +58,11 @@ struct FaultEvent {
   std::string target;       // Component name; empty matches any target.
   std::uint64_t count = 1;  // Injection budget once active; 0 = unlimited.
   double rate = 1.0;        // Probability per matching opportunity.
+  // Window faults (kLinkPartition): the fault holds for this many
+  // picoseconds after `at`, then heals. Window faults are pure time
+  // predicates — InWindow() consults them without drawing RNG or mutating
+  // budgets, so a component polling the plan stays digest-invisible.
+  PicoSeconds window_ps = 0;
 };
 
 class FaultPlan {
@@ -75,6 +83,13 @@ class FaultPlan {
   // budget and recording the injection).
   bool ShouldFault(FaultKind kind, std::string_view target);
 
+  // Pure time-window query for window faults (kLinkPartition): true when
+  // `now` falls inside a matching entry's [at, at + window_ps) interval.
+  // Never draws RNG, never mutates budgets, never traces — callers that
+  // must stay digest-invisible (the migration driver) use this form.
+  bool InWindow(FaultKind kind, std::string_view target,
+                PicoSeconds now) const;
+
   std::uint64_t injected(FaultKind kind) const {
     return injected_[static_cast<int>(kind)];
   }
@@ -84,12 +99,20 @@ class FaultPlan {
   // (timestamped from the tracer's event-queue clock).
   void set_tracer(Tracer* t);
 
+  // Snapshot the injection cursor: RNG stream position, per-entry
+  // budgets/activation, injection counts. Entries themselves must match
+  // between save and load (the twin schedules the identical plan).
+  Status SaveState(SnapWriter& w) const;
+  Status LoadState(SnapReader& r);
+
  private:
   struct Entry {
     FaultEvent ev;
     bool active = false;
   };
 
+  // snapshot-x-list(FaultPlan): rng_, entries_, armed_, injected_,
+  // tracer_, trace_fire_
   Rng rng_;
   std::vector<Entry> entries_;
   bool armed_ = false;

@@ -8,6 +8,9 @@
 
 #include <cstdint>
 
+#include "src/sim/snapshot.h"
+#include "src/sim/status.h"
+
 namespace nova::sim {
 
 class Rng {
@@ -50,11 +53,27 @@ class Rng {
   // Bernoulli trial with probability `p`.
   bool Chance(double p) { return NextDouble() < p; }
 
+  // The generator is its state: saving the four words mid-stream and
+  // loading them into any Rng resumes the exact sequence.
+  Status SaveState(SnapWriter& w) const {
+    for (const std::uint64_t word : state_) {
+      w.U64(word);
+    }
+    return Status::kSuccess;
+  }
+  Status LoadState(SnapReader& r) {
+    for (auto& word : state_) {
+      word = r.U64();
+    }
+    return r.status();
+  }
+
  private:
   static constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));
   }
 
+  // snapshot-x-list(Rng): state_
   std::uint64_t state_[4];
 };
 

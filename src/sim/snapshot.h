@@ -1,0 +1,193 @@
+// Versioned, deterministic state serialization (checkpoint/restore, §4.2's
+// recovery story extended to full-VM snapshots).
+//
+// A `Snapshot` is an ordered set of named sections, each an opaque byte
+// string with a small section version and an FNV-1a checksum. Components
+// serialize themselves with `SaveState(SnapWriter&)` and restore with
+// `LoadState(SnapReader&)`; the writer/reader pair implements a tiny
+// little-endian TLV encoding with no host-dependent layout, so an encoded
+// snapshot is bit-identical across runs and platforms.
+//
+// Restore convention (the "twin" model): a snapshot carries *state only*,
+// never code. Restoring rebuilds the scenario by re-running the identical
+// construction path (same seeds, same creation order), then overlays every
+// piece of mutable state from the snapshot. Pending event-queue callbacks
+// are re-bound through the tag/rebinder registry in `EventQueue`.
+//
+// Error handling: readers latch the first error (truncation, bad magic,
+// checksum mismatch, version skew) and every subsequent Get returns a
+// zero value, so load paths can be written straight-line and check
+// `reader.ok()` (or the returned Status) once at the end.
+#ifndef SRC_SIM_SNAPSHOT_H_
+#define SRC_SIM_SNAPSHOT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "src/sim/status.h"
+
+namespace nova::sim {
+
+// Incremental FNV-1a, shared with the trace digest machinery.
+constexpr std::uint64_t kSnapFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kSnapFnvPrime = 0x100000001b3ull;
+std::uint64_t SnapFnv1a(const std::uint8_t* data, std::size_t len,
+                        std::uint64_t seed = kSnapFnvOffset);
+
+// Append-only little-endian encoder for one snapshot section.
+class SnapWriter {
+ public:
+  void U8(std::uint8_t v) { buf_.push_back(v); }
+  void U16(std::uint16_t v) { PutLe(v, 2); }
+  void U32(std::uint32_t v) { PutLe(v, 4); }
+  void U64(std::uint64_t v) { PutLe(v, 8); }
+  void I64(std::int64_t v) { PutLe(static_cast<std::uint64_t>(v), 8); }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  void F64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, 8);
+    U64(bits);
+  }
+  void Str(const std::string& s) {
+    U32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  void Bytes(const void* data, std::size_t len) {
+    if (len == 0) return;  // data may be null (empty vector).
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + len);
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+
+ private:
+  void PutLe(std::uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  std::vector<std::uint8_t> buf_;
+};
+
+// Error-latching decoder over one snapshot section.
+class SnapReader {
+ public:
+  SnapReader() : failed_(true) {}
+  SnapReader(const std::uint8_t* data, std::size_t len)
+      : data_(data), len_(len) {}
+
+  std::uint8_t U8() { return static_cast<std::uint8_t>(GetLe(1)); }
+  std::uint16_t U16() { return static_cast<std::uint16_t>(GetLe(2)); }
+  std::uint32_t U32() { return static_cast<std::uint32_t>(GetLe(4)); }
+  std::uint64_t U64() { return GetLe(8); }
+  std::int64_t I64() { return static_cast<std::int64_t>(GetLe(8)); }
+  bool Bool() { return U8() != 0; }
+  double F64() {
+    const std::uint64_t bits = U64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, 8);
+    return v;
+  }
+  std::string Str() {
+    const std::uint32_t n = U32();
+    if (failed_ || len_ - pos_ < n) {
+      failed_ = true;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  void Bytes(void* out, std::size_t len) {
+    if (len == 0) return;  // out may be null (empty vector).
+    if (failed_ || len_ - pos_ < len) {
+      failed_ = true;
+      std::memset(out, 0, len);
+      return;
+    }
+    std::memcpy(out, data_ + pos_, len);
+    pos_ += len;
+  }
+
+  bool ok() const { return !failed_; }
+  bool AtEnd() const { return failed_ || pos_ == len_; }
+  void Fail() { failed_ = true; }
+  // kSuccess when every read so far succeeded AND the section was fully
+  // consumed — a partial read usually means a field-list mismatch.
+  Status Finish() const {
+    return (!failed_ && pos_ == len_) ? Status::kSuccess
+                                      : Status::kBadParameter;
+  }
+  Status status() const {
+    return failed_ ? Status::kBadParameter : Status::kSuccess;
+  }
+
+ private:
+  std::uint64_t GetLe(int bytes) {
+    if (failed_ || len_ - pos_ < static_cast<std::size_t>(bytes)) {
+      failed_ = true;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < bytes; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += static_cast<std::size_t>(bytes);
+    return v;
+  }
+
+  const std::uint8_t* data_ = nullptr;
+  std::size_t len_ = 0;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+// The snapshot container: named, versioned, checksummed sections in
+// deterministic (name-sorted) order.
+class Snapshot {
+ public:
+  // Start (or replace) a section; returns the writer to fill it.
+  SnapWriter& Section(const std::string& name, std::uint16_t version);
+
+  bool Has(const std::string& name) const {
+    return sections_.count(name) != 0;
+  }
+  // Open a section for reading. A missing section or a version other than
+  // `expect_version` yields a pre-failed reader (every Get returns zero and
+  // Finish() reports the error), keeping load paths straight-line.
+  SnapReader Open(const std::string& name, std::uint16_t expect_version) const;
+  std::uint16_t SectionVersion(const std::string& name) const;
+  std::vector<std::string> SectionNames() const;
+
+  // Wire encoding: magic, file version, section count, then per section
+  // (name, version, length, FNV-1a checksum, payload).
+  std::vector<std::uint8_t> Encode() const;
+  Status Decode(const std::uint8_t* data, std::size_t len);
+  Status Decode(const std::vector<std::uint8_t>& bytes) {
+    return Decode(bytes.data(), bytes.size());
+  }
+
+  // Total payload bytes across sections (transfer-size accounting for the
+  // migration driver).
+  std::uint64_t PayloadBytes() const;
+
+  static constexpr char kMagic[8] = {'N', 'O', 'V', 'A',
+                                     'S', 'N', 'A', 'P'};
+  static constexpr std::uint32_t kFileVersion = 1;
+
+ private:
+  struct Stored {
+    std::uint16_t version = 0;
+    SnapWriter writer;
+  };
+  std::map<std::string, Stored> sections_;
+};
+
+}  // namespace nova::sim
+
+#endif  // SRC_SIM_SNAPSHOT_H_

@@ -34,6 +34,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/sim/snapshot.h"
+#include "src/sim/status.h"
 #include "src/sim/time.h"
 
 namespace nova::sim {
@@ -142,6 +144,14 @@ class Tracer {
   // stay valid); the sink is not touched.
   void Reset();
 
+  // Snapshot the full tracer state: digest cursor, retained ring window
+  // and the interned-name table. Loading verifies that the twin's names
+  // are a prefix of the saved table (same wiring order), then appends the
+  // names interned after twin construction — lazily-attached components
+  // re-Intern idempotently and land on the same ids.
+  Status SaveState(SnapWriter& w) const;
+  Status LoadState(SnapReader& r);
+
   // --- exporters ------------------------------------------------------
   // Chrome trace_event JSON over the retained window.
   void WriteChromeJson(std::FILE* f) const;
@@ -152,6 +162,8 @@ class Tracer {
             std::uint8_t tid, std::uint64_t a0, std::uint64_t a1);
   void Fold(const TraceRecord& r);
 
+  // snapshot-x-list(Tracer): enabled_, clock_, ring_, head_, total_,
+  // digest_, sink_, names_, ids_
   bool enabled_ = false;
   const EventQueue* clock_;
   std::vector<TraceRecord> ring_;
@@ -190,11 +202,15 @@ class TraceReport {
 
   void Reset();
 
+  Status SaveState(SnapWriter& w) const;
+  Status LoadState(SnapReader& r);
+
  private:
   struct OpenSpan {
     std::uint16_t name;
     PicoSeconds begin_ts;
   };
+  // snapshot-x-list(TraceReport): entries_, open_
   std::unordered_map<std::uint16_t, Entry> entries_;
   std::unordered_map<std::uint8_t, std::vector<OpenSpan>> open_;
 };

@@ -73,7 +73,9 @@ Vmm::Vmm(hv::Hypervisor* hv, root::RootPartitionManager* root, VmmConfig config)
   }
 
   vpic_ = std::make_unique<VPic>([this] { KickVcpus(); });
-  vpit_ = std::make_unique<VPit>(&hv_->machine().events(), vpic_.get());
+  vpit_ = std::make_unique<VPit>(
+      &hv_->machine().events(), vpic_.get(),
+      sim::EventQueue::OwnerToken("vmm." + config_.name + ".vpit"));
   vuart_ = std::make_unique<VUart>();
   vahci_ = std::make_unique<VAhci>(VAhci::Backend{
       .read_guest = [this](std::uint64_t gpa, void* out,
@@ -92,24 +94,41 @@ Vmm::Vmm(hv::Hypervisor* hv, root::RootPartitionManager* root, VmmConfig config)
 }
 
 Vmm::~Vmm() {
-  if (hb_alive_ != nullptr) {
-    *hb_alive_ = false;  // Orphan any in-flight heartbeat event.
+  if (hb_event_ != 0) {
+    // Orphan any in-flight heartbeat event; Cancel on an already-fired id
+    // is a harmless no-op.
+    (void)hv_->machine().events().Cancel(hb_event_);
   }
 }
 
+std::uint64_t Vmm::HbOwner() const {
+  return sim::EventQueue::OwnerToken("vmm." + config_.name + ".hb");
+}
+
 void Vmm::StartHeartbeat(sim::PicoSeconds period_ps, hw::PhysAddr hb_addr) {
-  hb_alive_ = std::make_shared<bool>(true);
-  const std::shared_ptr<bool> alive = hb_alive_;
-  auto beat = std::make_shared<std::function<void()>>();
-  *beat = [this, alive, beat, period_ps, hb_addr] {
-    if (!*alive || crashed_) {
-      return;  // A dead VMM stops beating — that is the signal.
-    }
-    ++hb_count_;
-    (void)hv_->machine().mem().Write(hb_addr, &hb_count_, sizeof(hb_count_));
-    hv_->machine().events().ScheduleAfter(period_ps, [beat] { (*beat)(); });
-  };
-  (*beat)();
+  hb_period_ps_ = period_ps;
+  hb_addr_ = hb_addr;
+  hb_running_ = true;
+  hv_->machine().events().RegisterRebinder(
+      HbOwner(), [this](const sim::EventTag& tag) -> sim::EventQueue::Callback {
+        if (tag.op != 1) {
+          return nullptr;
+        }
+        return [this] { HeartbeatTick(); };
+      });
+  HeartbeatTick();
+}
+
+void Vmm::HeartbeatTick() {
+  if (!hb_running_ || crashed_) {
+    hb_event_ = 0;
+    return;  // A dead VMM stops beating — that is the signal.
+  }
+  ++hb_count_;
+  (void)hv_->machine().mem().Write(hb_addr_, &hb_count_, sizeof(hb_count_));
+  hb_event_ = hv_->machine().events().ScheduleAfterTagged(
+      hb_period_ps_, sim::EventTag{HbOwner(), /*op=*/1},
+      [this] { HeartbeatTick(); });
 }
 
 std::uint64_t Vmm::GpaToHpa(std::uint64_t gpa) const {
@@ -626,6 +645,90 @@ void Vmm::KickVcpus() {
     }
     (void)hv_->Recall(vmm_pd_, vcpu_sels_[v]);
   }
+}
+
+Status Vmm::SaveState(sim::SnapWriter& w) const {
+  // Construction-determined identity, verified on load.
+  w.U64(guest_base_page_);
+  w.U32(static_cast<std::uint32_t>(vcpus_.size()));
+
+  w.U64(exits_handled_);
+  w.U64(injected_);
+  w.U32(cur_vcpu_);
+  for (const bool b : in_exit_) {
+    w.Bool(b);
+  }
+  w.U32(disk_ring_tail_);
+  std::vector<std::uint64_t> delegated(delegated_buffer_pages_.begin(),
+                                       delegated_buffer_pages_.end());
+  std::sort(delegated.begin(), delegated.end());
+  w.U32(static_cast<std::uint32_t>(delegated.size()));
+  for (const std::uint64_t p : delegated) {
+    w.U64(p);
+  }
+  w.Bool(crashed_);
+  w.U64(hb_count_);
+  w.Bool(hb_running_);
+  w.U64(hb_period_ps_);
+  w.U64(hb_addr_);
+  w.U64(hb_event_);
+
+  Status st = vpic_->SaveState(w);
+  if (!Ok(st)) {
+    return st;
+  }
+  st = vpit_->SaveState(w);
+  if (!Ok(st)) {
+    return st;
+  }
+  st = vuart_->SaveState(w);
+  if (!Ok(st)) {
+    return st;
+  }
+  return vahci_->SaveState(w);
+}
+
+Status Vmm::LoadState(sim::SnapReader& r) {
+  if (r.U64() != guest_base_page_ ||
+      r.U32() != static_cast<std::uint32_t>(vcpus_.size())) {
+    r.Fail();  // Twin was built from a different scenario.
+  }
+  exits_handled_ = r.U64();
+  injected_ = r.U64();
+  cur_vcpu_ = r.U32();
+  for (std::size_t v = 0; v < in_exit_.size(); ++v) {
+    in_exit_[v] = r.Bool();
+  }
+  disk_ring_tail_ = r.U32();
+  delegated_buffer_pages_.clear();
+  const std::uint32_t n_delegated = r.U32();
+  for (std::uint32_t i = 0; i < n_delegated && r.ok(); ++i) {
+    delegated_buffer_pages_.insert(r.U64());
+  }
+  crashed_ = r.Bool();
+  hb_count_ = r.U64();
+  hb_running_ = r.Bool();
+  hb_period_ps_ = r.U64();
+  hb_addr_ = r.U64();
+  hb_event_ = r.U64();
+
+  Status st = vpic_->LoadState(r);
+  if (!Ok(st)) {
+    return st;
+  }
+  st = vpit_->LoadState(r);
+  if (!Ok(st)) {
+    return st;
+  }
+  st = vuart_->LoadState(r);
+  if (!Ok(st)) {
+    return st;
+  }
+  st = vahci_->LoadState(r);
+  if (!Ok(st)) {
+    return st;
+  }
+  return r.status();
 }
 
 }  // namespace nova::vmm

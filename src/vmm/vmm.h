@@ -137,6 +137,14 @@ class Vmm {
   // a stale counter is the supervisor's death signal.
   void StartHeartbeat(sim::PicoSeconds period_ps, hw::PhysAddr hb_addr);
 
+  // --- Snapshot ----------------------------------------------------------
+  // Mutable VMM-process state: exit/injection counters, the disk channel's
+  // ring cursor and delegation cache, heartbeat state, and the four device
+  // models. Everything wired at construction (domains, portals, selectors)
+  // is rebuilt by the twin and verified, not restored.
+  Status SaveState(sim::SnapWriter& w) const;
+  Status LoadState(sim::SnapReader& r);
+
   // --- Device models ----------------------------------------------------
   VPic& vpic() { return *vpic_; }
   VPit& vpit() { return *vpit_; }
@@ -172,6 +180,10 @@ class Vmm {
   void TryDeliver(hv::ArchState& arch);
   void KickVcpus();
 
+  // Heartbeat event machinery (tagged "vmm.<name>.hb" for snapshots).
+  std::uint64_t HbOwner() const;
+  void HeartbeatTick();
+
   // Disk backend.
   Status IssueDisk(bool write, std::uint64_t lba, std::uint64_t sectors,
                    std::uint64_t buffer_gpa, std::uint64_t cookie);
@@ -181,6 +193,14 @@ class Vmm {
   DeviceModel* RoutePort(std::uint16_t port);
   hw::Cpu& cpu() { return hv_->machine().cpu(config_.first_cpu); }
 
+  // snapshot-x-list(Vmm): hv_, root_, config_, vmm_pd_, vmm_pd_sel_,
+  //   root_handle_sel_, vm_sel_in_root_, vm_pd_, vm_pd_sel_,
+  //   guest_base_page_, vcpus_, vcpu_sels_, handler_ecs_, in_exit_, vpic_,
+  //   vpit_, vuart_, vahci_, emulator_, models_, disk_server_, disk_portal_,
+  //   disk_shared_page_, disk_channel_id_, disk_ring_tail_,
+  //   delegated_buffer_pages_, comp_ec_, irq_ecs_storage_, cur_vcpu_,
+  //   boot_disk_, exits_handled_, injected_, create_status_, fault_plan_,
+  //   crashed_, hb_count_, hb_running_, hb_period_ps_, hb_addr_, hb_event_
   hv::Hypervisor* hv_;
   root::RootPartitionManager* root_;
   VmmConfig config_;
@@ -225,8 +245,10 @@ class Vmm {
   sim::FaultPlan* fault_plan_ = nullptr;
   bool crashed_ = false;
   std::uint64_t hb_count_ = 0;
-  // Guards the self-rescheduling heartbeat event across destruction.
-  std::shared_ptr<bool> hb_alive_;
+  bool hb_running_ = false;
+  sim::PicoSeconds hb_period_ps_ = 0;
+  hw::PhysAddr hb_addr_ = 0;
+  sim::EventQueue::EventId hb_event_ = 0;  // Cancelled on destruction.
 };
 
 }  // namespace nova::vmm

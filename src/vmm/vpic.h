@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <functional>
 
+#include "src/sim/snapshot.h"
+#include "src/sim/status.h"
 #include "src/vmm/device_model.h"
 
 namespace nova::vmm {
@@ -48,7 +50,26 @@ class VPic : public DeviceModel {
   std::uint64_t raised() const { return raised_; }
   std::uint64_t injected() const { return injected_; }
 
+  Status SaveState(sim::SnapWriter& w) const {
+    w.U64(pending_);
+    w.U64(in_service_);
+    w.U64(masked_);
+    w.U64(raised_);
+    w.U64(injected_);
+    return Status::kSuccess;
+  }
+  Status LoadState(sim::SnapReader& r) {
+    pending_ = r.U64();
+    in_service_ = r.U64();
+    masked_ = r.U64();
+    raised_ = r.U64();
+    injected_ = r.U64();
+    return r.status();
+  }
+
  private:
+  // snapshot-x-list(VPic): pending_, in_service_, masked_, kick_,
+  //   raised_, injected_
   std::uint64_t pending_ = 0;
   std::uint64_t in_service_ = 0;
   std::uint64_t masked_ = 0;

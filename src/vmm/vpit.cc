@@ -2,6 +2,22 @@
 
 namespace nova::vmm {
 
+VPit::VPit(sim::EventQueue* events, VPic* vpic, std::uint64_t owner)
+    : DeviceModel("vpit"), events_(events), vpic_(vpic), owner_(owner) {
+  events_->RegisterRebinder(
+      owner_, [this](const sim::EventTag& tag) -> sim::EventQueue::Callback {
+        if (tag.op != 1) {
+          return nullptr;
+        }
+        const std::uint64_t gen = tag.a;
+        return [this, gen] {
+          if (gen == generation_) {
+            Tick();
+          }
+        };
+      });
+}
+
 std::uint32_t VPit::PioRead(std::uint16_t port) {
   switch (port) {
     case vpit::kPortPeriodLo:
@@ -42,17 +58,34 @@ void VPit::PioWrite(std::uint16_t port, std::uint32_t value) {
 
 void VPit::Arm() {
   const std::uint64_t gen = generation_;
-  events_->ScheduleAfter(period_, [this, gen] {
-    if (gen == generation_) {
-      Tick();
-    }
-  });
+  events_->ScheduleAfterTagged(period_, sim::EventTag{owner_, /*op=*/1, gen},
+                               [this, gen] {
+                                 if (gen == generation_) {
+                                   Tick();
+                                 }
+                               });
 }
 
 void VPit::Tick() {
   ++ticks_;
   vpic_->Raise(vpit::kVector);
   Arm();
+}
+
+Status VPit::SaveState(sim::SnapWriter& w) const {
+  w.U64(period_);
+  w.U16(period_lo_);
+  w.U64(generation_);
+  w.U64(ticks_);
+  return Status::kSuccess;
+}
+
+Status VPit::LoadState(sim::SnapReader& r) {
+  period_ = r.U64();
+  period_lo_ = r.U16();
+  generation_ = r.U64();
+  ticks_ = r.U64();
+  return r.status();
 }
 
 }  // namespace nova::vmm

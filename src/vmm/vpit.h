@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "src/sim/event_queue.h"
+#include "src/sim/snapshot.h"
 #include "src/vmm/device_model.h"
 #include "src/vmm/vpic.h"
 
@@ -24,8 +25,11 @@ constexpr std::uint8_t kVector = 32;           // Timer interrupt vector.
 
 class VPit : public DeviceModel {
  public:
-  VPit(sim::EventQueue* events, VPic* vpic)
-      : DeviceModel("vpit"), events_(events), vpic_(vpic) {}
+  // `owner` is the event-queue owner token ("vmm.<name>.vpit") under which
+  // tick events are tagged; the rebinder registered here restores pending
+  // ticks across a snapshot (stale generations are dropped on fire, exactly
+  // like the live path).
+  VPit(sim::EventQueue* events, VPic* vpic, std::uint64_t owner);
   ~VPit() override { ++generation_; }
 
   bool OwnsPort(std::uint16_t port) const override {
@@ -37,12 +41,18 @@ class VPit : public DeviceModel {
   std::uint64_t ticks() const { return ticks_; }
   bool running() const { return period_ != 0; }
 
+  Status SaveState(sim::SnapWriter& w) const;
+  Status LoadState(sim::SnapReader& r);
+
  private:
   void Arm();
   void Tick();
 
+  // snapshot-x-list(VPit): events_, vpic_, owner_, period_, period_lo_,
+  //   generation_, ticks_
   sim::EventQueue* events_;
   VPic* vpic_;
+  std::uint64_t owner_;
   sim::PicoSeconds period_ = 0;
   std::uint16_t period_lo_ = 0;
   std::uint64_t generation_ = 0;

@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <string>
 
+#include "src/sim/snapshot.h"
+#include "src/sim/status.h"
 #include "src/vmm/device_model.h"
 
 namespace nova::vmm {
@@ -36,7 +38,17 @@ class VUart : public DeviceModel {
   const std::string& output() const { return output_; }
   void ClearOutput() { output_.clear(); }
 
+  Status SaveState(sim::SnapWriter& w) const {
+    w.Str(output_);
+    return Status::kSuccess;
+  }
+  Status LoadState(sim::SnapReader& r) {
+    output_ = r.Str();
+    return r.status();
+  }
+
  private:
+  // snapshot-x-list(VUart): output_
   std::string output_;
 };
 

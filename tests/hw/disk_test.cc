@@ -5,6 +5,22 @@
 namespace nova::hw {
 namespace {
 
+// Convenience: latch completions through the registered handler.
+struct Catcher {
+  explicit Catcher(DiskModel* disk) {
+    disk->set_completion_handler([this](DiskModel::RequestId, std::uint64_t c,
+                                        Status s, const std::uint8_t* data,
+                                        std::uint64_t len) {
+      cookies.push_back(c);
+      statuses.push_back(s);
+      last_data.assign(data, data + len);
+    });
+  }
+  std::vector<std::uint64_t> cookies;
+  std::vector<Status> statuses;
+  std::vector<std::uint8_t> last_data;
+};
+
 TEST(DiskModel, ContentRoundTrip) {
   sim::EventQueue events;
   DiskModel disk(&events, DiskGeometry{});
@@ -30,16 +46,15 @@ TEST(DiskModel, ReadCompletesAfterServiceTime) {
   geo.request_overhead = sim::Microseconds(100);
   geo.bandwidth_bps = 100'000'000;  // 100 MB/s.
   DiskModel disk(&events, geo);
+  Catcher done(&disk);
 
-  std::vector<std::uint8_t> buf(4096);
-  bool done = false;
-  disk.SubmitRead(0, buf.size(), buf.data(), [&](Status) { done = true; });
+  disk.SubmitRead(0, 4096, 1);
   // 4 KiB at 100 MB/s is ~41 us of media time: the fixed overhead
   // dominates, so completion lands at 100 us.
   events.AdvanceTo(sim::Microseconds(99));
-  EXPECT_FALSE(done);
+  EXPECT_TRUE(done.cookies.empty());
   events.AdvanceTo(sim::Microseconds(101));
-  EXPECT_TRUE(done);
+  EXPECT_EQ(done.cookies.size(), 1u);
 }
 
 TEST(DiskModel, LargeReadLimitedByBandwidth) {
@@ -48,14 +63,13 @@ TEST(DiskModel, LargeReadLimitedByBandwidth) {
   geo.request_overhead = sim::Microseconds(100);
   geo.bandwidth_bps = 100'000'000;
   DiskModel disk(&events, geo);
+  Catcher done(&disk);
 
-  std::vector<std::uint8_t> buf(1 << 20);  // 1 MiB: ~10.5 ms of media time.
-  bool done = false;
-  disk.SubmitRead(0, buf.size(), buf.data(), [&](Status) { done = true; });
+  disk.SubmitRead(0, 1 << 20, 1);  // 1 MiB: ~10.5 ms of media time.
   events.AdvanceTo(sim::Milliseconds(10));
-  EXPECT_FALSE(done);
+  EXPECT_TRUE(done.cookies.empty());
   events.AdvanceTo(sim::Milliseconds(11));
-  EXPECT_TRUE(done);
+  EXPECT_EQ(done.cookies.size(), 1u);
 }
 
 TEST(DiskModel, RequestsServicedInOrder) {
@@ -63,44 +77,89 @@ TEST(DiskModel, RequestsServicedInOrder) {
   DiskGeometry geo;
   geo.request_overhead = sim::Microseconds(100);
   DiskModel disk(&events, geo);
+  Catcher done(&disk);
 
-  std::vector<std::uint8_t> buf(512);
-  std::vector<int> order;
-  disk.SubmitRead(0, 512, buf.data(), [&](Status) { order.push_back(1); });
-  disk.SubmitRead(512, 512, buf.data(), [&](Status) { order.push_back(2); });
+  disk.SubmitRead(0, 512, 1);
+  disk.SubmitRead(512, 512, 2);
   // Second request queues behind the first: 200 us total.
   events.AdvanceTo(sim::Microseconds(150));
-  EXPECT_EQ(order.size(), 1u);
+  EXPECT_EQ(done.cookies.size(), 1u);
   events.AdvanceTo(sim::Microseconds(250));
-  ASSERT_EQ(order.size(), 2u);
-  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  ASSERT_EQ(done.cookies.size(), 2u);
+  EXPECT_EQ(done.cookies, (std::vector<std::uint64_t>{1, 2}));
   EXPECT_EQ(disk.completed_requests(), 2u);
 }
 
 TEST(DiskModel, WritePersists) {
   sim::EventQueue events;
   DiskModel disk(&events, DiskGeometry{});
+  Catcher done(&disk);
   const std::uint8_t data[8] = {9, 8, 7, 6, 5, 4, 3, 2};
-  bool done = false;
-  disk.SubmitWrite(4096, data, sizeof(data), [&](Status) { done = true; });
+  disk.SubmitWrite(4096, data, sizeof(data), 7);
   events.AdvanceTo(sim::Seconds(1));
-  ASSERT_TRUE(done);
+  ASSERT_EQ(done.cookies.size(), 1u);
   std::uint8_t out[8] = {};
   disk.ReadContent(4096, out, sizeof(out));
   EXPECT_EQ(0, memcmp(data, out, 8));
 }
 
-TEST(DiskModel, ReadCallbackDeliversData) {
+TEST(DiskModel, ReadHandlerDeliversData) {
   sim::EventQueue events;
   DiskModel disk(&events, DiskGeometry{});
+  Catcher done(&disk);
   const char msg[] = "payload";
   disk.WriteContent(0, msg, sizeof(msg));
-  std::vector<std::uint8_t> buf(sizeof(msg));
-  bool done = false;
-  disk.SubmitRead(0, buf.size(), buf.data(), [&](Status) { done = true; });
+  disk.SubmitRead(0, sizeof(msg), 3);
   events.AdvanceTo(sim::Seconds(1));
-  ASSERT_TRUE(done);
-  EXPECT_STREQ(reinterpret_cast<char*>(buf.data()), "payload");
+  ASSERT_EQ(done.cookies.size(), 1u);
+  EXPECT_STREQ(reinterpret_cast<const char*>(done.last_data.data()),
+               "payload");
+}
+
+// In-flight requests survive a snapshot/restore cycle: the pending table
+// carries the request parameters and the tagged completion event re-binds
+// to the twin's Fire path.
+TEST(DiskModel, PendingRequestRoundTrip) {
+  DiskGeometry geo;
+  geo.request_overhead = sim::Microseconds(100);
+
+  sim::EventQueue events;
+  DiskModel disk(&events, geo);
+  Catcher done(&disk);
+  const char msg[] = "snapshot me";
+  disk.WriteContent(0, msg, sizeof(msg));
+  disk.SubmitRead(0, sizeof(msg), 11);
+  disk.SubmitWrite(8192, reinterpret_cast<const std::uint8_t*>(msg),
+                   sizeof(msg), 22);
+  events.AdvanceTo(sim::Microseconds(50));  // Both still in flight.
+  ASSERT_TRUE(done.cookies.empty());
+
+  sim::Snapshot snap;
+  ASSERT_EQ(disk.SaveState(snap.Section("disk", 1)), Status::kSuccess);
+  ASSERT_EQ(events.SaveState(snap.Section("events", 1)), Status::kSuccess);
+
+  // Twin: identical construction, then overlay the saved state.
+  sim::EventQueue twin_events;
+  DiskModel twin(&twin_events, geo);
+  Catcher twin_done(&twin);
+  sim::SnapReader dr = snap.Open("disk", 1);
+  ASSERT_EQ(twin.LoadState(dr), Status::kSuccess);
+  ASSERT_EQ(dr.Finish(), Status::kSuccess);
+  sim::SnapReader er = snap.Open("events", 1);
+  ASSERT_EQ(twin_events.LoadState(er), Status::kSuccess);
+  ASSERT_EQ(er.Finish(), Status::kSuccess);
+  EXPECT_EQ(twin.pending_requests(), 2u);
+
+  // Both copies run to completion and agree exactly.
+  events.AdvanceTo(sim::Seconds(1));
+  twin_events.AdvanceTo(sim::Seconds(1));
+  ASSERT_EQ(done.cookies.size(), 2u);
+  ASSERT_EQ(twin_done.cookies.size(), 2u);
+  EXPECT_EQ(done.cookies, twin_done.cookies);
+  EXPECT_EQ(done.last_data, twin_done.last_data);
+  char out[sizeof(msg)] = {};
+  twin.ReadContent(8192, out, sizeof(msg));
+  EXPECT_STREQ(out, "snapshot me");
 }
 
 }  // namespace

@@ -7,7 +7,9 @@ namespace {
 
 class VPitTest : public ::testing::Test {
  protected:
-  VPitTest() : pic_([] {}), pit_(&events_, &pic_) {}
+  VPitTest()
+      : pic_([] {}),
+        pit_(&events_, &pic_, sim::EventQueue::OwnerToken("test.vpit")) {}
 
   void Program(std::uint32_t micros) {
     (void)pit_.PioWrite(vpit::kPortPeriodLo, micros & 0xffff);

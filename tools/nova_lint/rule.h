@@ -36,6 +36,7 @@ std::unique_ptr<Rule> MakeLayeringRule();
 std::unique_ptr<Rule> MakeEnumSwitchRule();
 std::unique_ptr<Rule> MakeUncheckedDowncastRule();
 std::unique_ptr<Rule> MakePerCpuStateRule();
+std::unique_ptr<Rule> MakeSnapshotFieldsRule();
 
 // All rules, in diagnostic order.
 std::vector<std::unique_ptr<Rule>> AllRules();

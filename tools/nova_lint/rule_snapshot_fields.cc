@@ -1,0 +1,215 @@
+// snapshot-fields: every class with a SaveState method must carry a
+// complete `// snapshot-x-list(Class): a_, b_, ...` member census.
+//
+// Motivating bug class: someone adds a member to a snapshotted class and
+// forgets to extend SaveState/LoadState. The snapshot still encodes and
+// decodes cleanly — it is just silently incomplete, and the restored twin
+// diverges from the source thousands of events later, far from the bug.
+// The x-list comment is the forcing function: adding a member without
+// touching the census line fails lint, and the census line sits directly
+// above SaveState where the serialization order is decided. Fields that
+// are intentionally *not* serialized (verified construction invariants,
+// caches rebuilt on load) still appear in the list — the census is "every
+// member was considered", not "every member is written".
+//
+// Mechanics: the class body is token-walked at brace depth 0 (function
+// bodies, nested types and initializers are skipped), collecting member
+// variables by the project's trailing-underscore convention. The census
+// comment is read from the raw lines (comments are blanked in the code
+// view) and may continue across lines while the previous line ends with
+// a comma. Classes without trailing-underscore members (plain aggregates
+// like NovaSystem) need no census.
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/nova_lint/lexer.h"
+#include "tools/nova_lint/rule.h"
+
+namespace nova::lint {
+namespace {
+
+bool EndsWithUnderscore(const std::string& s) {
+  return !s.empty() && s.back() == '_';
+}
+
+struct XList {
+  int line = 0;                 // line of the snapshot-x-list( comment
+  std::set<std::string> names;  // trailing-underscore entries
+};
+
+// Extracts identifiers ending in '_' from a comma-separated census body.
+void CollectNames(const std::string& text, std::set<std::string>* out) {
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[j])) ||
+              text[j] == '_')) {
+        ++j;
+      }
+      const std::string word = text.substr(i, j - i);
+      if (EndsWithUnderscore(word)) out->insert(word);
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+}
+
+// Parses every `// snapshot-x-list(Class): ...` comment in the file,
+// following comma-continued lines. Raw lines are used because the code
+// view blanks comments.
+std::map<std::string, XList> ParseXLists(const SourceFile& file) {
+  std::map<std::string, XList> lists;
+  for (int line = 1; line <= file.line_count(); ++line) {
+    const std::string& raw = file.RawLine(line);
+    const std::size_t tag = raw.find("snapshot-x-list(");
+    if (tag == std::string::npos) continue;
+    const std::size_t name_begin = tag + std::string("snapshot-x-list(").size();
+    const std::size_t name_end = raw.find(')', name_begin);
+    if (name_end == std::string::npos) continue;
+    const std::string cls = raw.substr(name_begin, name_end - name_begin);
+
+    XList x;
+    x.line = line;
+    std::string body = raw.substr(name_end + 1);
+    if (!body.empty() && body.front() == ':') body.erase(body.begin());
+    int at = line;
+    for (;;) {
+      CollectNames(body, &x.names);
+      // Continue onto the next comment line while this one ends in ','.
+      const std::size_t last = body.find_last_not_of(" \t");
+      if (last == std::string::npos || body[last] != ',') break;
+      ++at;
+      if (at > file.line_count()) break;
+      const std::string& next = file.RawLine(at);
+      const std::size_t slashes = next.find("//");
+      if (slashes == std::string::npos) break;
+      body = next.substr(slashes + 2);
+    }
+    lists.emplace(cls, std::move(x));
+  }
+  return lists;
+}
+
+struct ClassInfo {
+  int line = 0;       // line of the class keyword
+  bool has_save = false;
+  std::map<std::string, int> members;  // name -> declaration line
+};
+
+class SnapshotFieldsRule : public Rule {
+ public:
+  const char* name() const override { return "snapshot-fields"; }
+  const char* summary() const override {
+    return "SaveState classes must carry a complete snapshot-x-list census";
+  }
+
+  void Check(const SourceFile& file, const ProjectModel& model,
+             Findings* out) const override {
+    (void)model;
+    const Tokens toks = Lex(file);
+    const int n = static_cast<int>(toks.size());
+    const std::map<std::string, XList> xlists = ParseXLists(file);
+
+    std::map<std::string, ClassInfo> classes;
+    for (int i = 0; i < n; ++i) {
+      if (!(IsIdent(toks, i, "class") || IsIdent(toks, i, "struct"))) continue;
+      if (i > 0 && IsIdent(toks, i - 1, "enum")) continue;  // enum class
+      const int ni = i + 1;
+      if (ni >= n || toks[static_cast<std::size_t>(ni)].kind != TokKind::kIdent)
+        continue;  // anonymous struct or `struct {`-style usage
+      const std::string cls = toks[static_cast<std::size_t>(ni)].text;
+      // After the name only `{`, `final`, a base clause `:`, or (for a
+      // forward declaration) `;` may follow. Anything else — `>`/`,` in a
+      // template parameter list, an identifier in a declaration — means
+      // this is not a class definition.
+      int j = ni + 1;
+      if (IsIdent(toks, j, "final")) ++j;
+      if (IsPunct(toks, j, ";")) continue;  // forward declaration
+      if (!IsPunct(toks, j, "{") && !IsPunct(toks, j, ":")) continue;
+      while (j < n && !IsPunct(toks, j, "{") && !IsPunct(toks, j, ";")) ++j;
+      if (j >= n || !IsPunct(toks, j, "{")) continue;
+      const int close = MatchForward(toks, j);
+      if (close < 0) continue;
+
+      ClassInfo info;
+      info.line = toks[static_cast<std::size_t>(i)].line;
+      // Walk the body at depth 0: skip every nested brace (method bodies,
+      // nested types, brace initializers) and every paren (parameter
+      // lists, constructor init lists) — member declarations live only at
+      // the top level, and their names precede any initializer.
+      int k = j + 1;
+      while (k < close) {
+        if (IsPunct(toks, k, "{") || IsPunct(toks, k, "(")) {
+          const int m = MatchForward(toks, k);
+          if (m < 0) break;
+          k = m + 1;
+          continue;
+        }
+        const Token& t = toks[static_cast<std::size_t>(k)];
+        if (t.kind == TokKind::kIdent) {
+          if (t.text == "SaveState" && IsPunct(toks, k + 1, "(")) {
+            info.has_save = true;
+          } else if (EndsWithUnderscore(t.text) &&
+                     (IsPunct(toks, k + 1, ";") || IsPunct(toks, k + 1, "=") ||
+                      IsPunct(toks, k + 1, "{") ||
+                      IsPunct(toks, k + 1, "["))) {
+            info.members.emplace(t.text, t.line);
+          }
+        }
+        ++k;
+      }
+      classes.emplace(cls, std::move(info));
+    }
+
+    for (const auto& [cls, info] : classes) {
+      const auto it = xlists.find(cls);
+      if (it == xlists.end()) {
+        if (info.has_save && !info.members.empty()) {
+          out->push_back(
+              {name(), file.path(), info.line,
+               "class '" + cls +
+                   "' defines SaveState but has no snapshot-x-list(" + cls +
+                   ") census comment; list every member so serialization "
+                   "stays in sync with the fields"});
+        }
+        continue;
+      }
+      const XList& x = it->second;
+      for (const auto& [member, line] : info.members) {
+        if (!x.names.count(member)) {
+          out->push_back({name(), file.path(), line,
+                          "member '" + member +
+                              "' is missing from snapshot-x-list(" + cls +
+                              "); add it and audit SaveState/LoadState"});
+        }
+      }
+      for (const std::string& listed : x.names) {
+        if (!info.members.count(listed)) {
+          out->push_back({name(), file.path(), x.line,
+                          "snapshot-x-list(" + cls + ") names '" + listed +
+                              "' which is not a member; drop the stale "
+                              "entry"});
+        }
+      }
+    }
+    // Censuses naming classes this file does not define are ignored, not
+    // flagged: comments are read from the raw lines, so a census quoted
+    // inside a string literal (the lint self-tests do this) would trip a
+    // "no such class" check even though the quoted class was blanked.
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeSnapshotFieldsRule() {
+  return std::make_unique<SnapshotFieldsRule>();
+}
+
+}  // namespace nova::lint

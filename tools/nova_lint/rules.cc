@@ -12,6 +12,7 @@ std::vector<std::unique_ptr<Rule>> AllRules() {
   rules.push_back(MakeEnumSwitchRule());
   rules.push_back(MakeUncheckedDowncastRule());
   rules.push_back(MakePerCpuStateRule());
+  rules.push_back(MakeSnapshotFieldsRule());
   return rules;
 }
 

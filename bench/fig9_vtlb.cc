@@ -76,7 +76,7 @@ VtlbCost MeasureVtlbMiss(const hw::CpuModel* model) {
   gs.cr3 = 0x100000;
   gs.paging = true;
 
-  hv.CreateSc(root, 102, 101, 1, 4'000'000'000ull);
+  (void)hv.CreateSc(root, 102, 101, 1, 4'000'000'000ull);
   // Measure: total cycles for the run, minus the loop's own work (measured
   // by a second run where everything already hit the shadow table).
   const sim::Cycles before = machine.cpu(0).cycles();
@@ -180,7 +180,7 @@ LadderTotals RunSwitchWorkload(const hw::CpuModel* model,
   gs.cr3 = kRootA;
   gs.paging = true;
 
-  hv.CreateSc(root, 102, 101, 1, 4'000'000'000ull);
+  (void)hv.CreateSc(root, 102, 101, 1, 4'000'000'000ull);
   const sim::Cycles before = machine.cpu(0).cycles();
   hv.RunUntilCondition([&gs] { return gs.halted; }, sim::Seconds(50));
 

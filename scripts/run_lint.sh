@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # Static-analysis gate, exactly what the CI `lint` job runs:
-#   1. build nova-lint and run it over src/, tests/, bench/ and examples/
-#      (non-zero exit on any unsuppressed finding);
-#   2. rebuild src/ with NOVA_WERROR=ON so discarded [[nodiscard]] results
+#   1. build nova-lint and run it over src/, tests/, bench/, examples/
+#      and tools/ (non-zero exit on any unsuppressed finding). Per-root
+#      rule sets via --roots keep the determinism rule scoped to the
+#      simulated-machine sources; everything else runs everywhere.
+#   2. re-run with --json and check the report schema (key presence,
+#      zero count) so downstream consumers can rely on its shape;
+#   3. rebuild src/ with NOVA_WERROR=ON so discarded [[nodiscard]] results
 #      and non-exhaustive enum switches are hard compile errors;
-#   3. if clang-tidy is installed, run the .clang-tidy checks over src/
+#   4. if clang-tidy is installed, run the .clang-tidy checks over src/
 #      (advisory by default: set LINT_TIDY_STRICT=1 to make it fatal,
 #      since CI images do not all ship clang-tidy).
 set -euo pipefail
@@ -15,8 +19,20 @@ BUILD_DIR="${BUILD_DIR:-build-lint}"
 cmake -B "${BUILD_DIR}" -S . -DNOVA_WERROR=ON
 cmake --build "${BUILD_DIR}" -j "$(nproc)" --target nova_lint
 
+LINT_ROOTS='src;tests=-determinism;bench=-determinism;examples=-determinism;tools=-determinism'
+
 echo "== nova-lint =="
-"${BUILD_DIR}/tools/nova_lint/nova_lint" src tests bench examples
+"${BUILD_DIR}/tools/nova_lint/nova_lint" --roots="${LINT_ROOTS}"
+
+echo "== nova-lint --json schema =="
+json="$("${BUILD_DIR}/tools/nova_lint/nova_lint" --json --roots="${LINT_ROOTS}")"
+for key in '"findings":' '"count":0' '"suppressed":' '"baselined":' \
+           '"files_scanned":' '"wall_ms":'; do
+  if ! grep -qF "${key}" <<< "${json}"; then
+    echo "nova-lint --json is missing ${key}" >&2
+    exit 1
+  fi
+done
 
 echo "== NOVA_WERROR build =="
 cmake --build "${BUILD_DIR}" -j "$(nproc)"

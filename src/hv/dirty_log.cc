@@ -107,6 +107,7 @@ void DirtyLog::CollectAndReset(std::vector<std::uint64_t>* out) {
     dirty_frames_.clear();
     return;
   }
+  // nova-lint: allow(determinism) -- drained into a vector and sorted
   std::vector<std::uint64_t> pages(dirty_pages_.begin(), dirty_pages_.end());
   std::sort(pages.begin(), pages.end());
   for (const std::uint64_t page : pages) {

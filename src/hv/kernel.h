@@ -155,6 +155,8 @@ class Hypervisor : public KmemPool {
   hw::VmEngine& engine(std::uint32_t cpu) { return *engines_[cpu]; }
   sim::StatRegistry& stats() { return stats_; }
   const HvCosts& costs() const { return costs_; }
+  // Test/snapshot accessor; hot-path callers charge mdb_lock_ themselves.
+  // nova-lint: allow(lock-discipline) -- read-only accessor escape
   Mdb& mdb() { return mdb_; }
 
   // Kernel frame allocator (exposed for the root PM to build tables for
@@ -414,7 +416,7 @@ class Hypervisor : public KmemPool {
   HotCounters ctr_{stats_};
   sim::Tracer* tracer_{&machine_->tracer()};
   HotTraceIds trc_{*tracer_};
-  Mdb mdb_;
+  Mdb mdb_;  // guarded-by(mdb_lock_)
 
   // Kernel memory pool.
   std::uint64_t kernel_reserve_ = 0;
@@ -426,8 +428,11 @@ class Hypervisor : public KmemPool {
   std::vector<std::unique_ptr<hw::VmEngine>> engines_;
   std::vector<CpuState> cpu_states_;
 
-  // GSI bindings.
+  // GSI bindings. Rebinding a route races interrupt delivery on another
+  // core, so writers outside single-core phases take the scheduler lock.
+  // guarded-by(sched_lock_)
   std::array<std::shared_ptr<Sm>, hw::kNumGsis> gsi_sms_{};
+  // guarded-by(sched_lock_)
   std::array<std::shared_ptr<Ec>, hw::kNumGsis> gsi_direct_{};
 
   hw::TlbTagAllocator tlb_tags_;  // VM identity tags + vTLB context tags.

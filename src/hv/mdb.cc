@@ -106,7 +106,10 @@ void Mdb::Revoke(const Pd* pd, const Crd& crd, bool include_self,
 }
 
 Status Mdb::SaveState(sim::SnapWriter& w, const PdOidOf& oid_of) const {
-  // Node identity on the wire is the index in nodes_.
+  // Node identity on the wire is the index in nodes_. The pointer-keyed
+  // index is lookup-only — it is never iterated, so bucket order cannot
+  // reach the encoding.
+  // nova-lint: allow(determinism) -- lookup-only table, never iterated
   std::unordered_map<const MdbNode*, std::uint64_t> index;
   index.reserve(nodes_.size());
   for (std::size_t i = 0; i < nodes_.size(); ++i) {

@@ -339,10 +339,13 @@ Status Hypervisor::SaveState(sim::Snapshot& snap) const {
     }
   }
 
-  // GSI bindings, by oid.
+  // GSI bindings, by oid. Snapshots run with the machine quiesced; no
+  // delivery or rebind can race the save.
+  // nova-lint: allow(lock-discipline) -- quiesced-machine snapshot
   for (const auto& sm : gsi_sms_) {
     w.U64(OidOrNone(sm.get()));
   }
+  // nova-lint: allow(lock-discipline) -- quiesced-machine snapshot
   for (const auto& ec : gsi_direct_) {
     w.U64(OidOrNone(ec.get()));
   }
@@ -367,6 +370,7 @@ Status Hypervisor::SaveState(sim::Snapshot& snap) const {
   }
 
   // Mapping database and root sanity anchor.
+  // nova-lint: allow(lock-discipline) -- quiesced-machine snapshot
   st = mdb_.SaveState(w, [](const Pd* pd) { return OidOrNone(pd); });
   if (!Ok(st)) {
     return st;
@@ -542,9 +546,12 @@ Status Hypervisor::LoadState(sim::Snapshot& snap) {
     }
   }
 
+  // Restore happens before the machine runs; nothing can race it.
+  // nova-lint: allow(lock-discipline) -- quiesced-machine restore
   for (auto& sm : gsi_sms_) {
     sm = RefAs<Sm>(by_oid(r.U64()), ObjType::kSm);
   }
+  // nova-lint: allow(lock-discipline) -- quiesced-machine restore
   for (auto& ec : gsi_direct_) {
     ec = RefAs<Ec>(by_oid(r.U64()), ObjType::kEc);
   }
@@ -587,6 +594,7 @@ Status Hypervisor::LoadState(sim::Snapshot& snap) {
     return r.status();
   }
 
+  // nova-lint: allow(lock-discipline) -- quiesced-machine restore
   st = mdb_.LoadState(r, [this](std::uint64_t oid) {
     return MaybeRaw(RefAs<Pd>(ObjectByOid(oid), ObjType::kPd));
   });

@@ -94,6 +94,7 @@ std::uint64_t MemSpace::HpaPageFor(std::uint64_t page) const {
 void MemSpace::ForEachMapping(const MappingVisitor& visit) const {
   std::vector<std::uint64_t> keys;
   keys.reserve(pages_.size());
+  // nova-lint: allow(determinism) -- collected then sorted before visiting
   for (const auto& [page, holding] : pages_) {
     keys.push_back(page);
   }

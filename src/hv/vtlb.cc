@@ -86,7 +86,10 @@ hw::PhysAddr Vtlb::AllocWithPressure(Context& ctx) {
 }
 
 bool Vtlb::EvictOneForPressure(const Context* keep) {
+  // last_use stamps come from ++use_clock_ and are unique, so the
+  // strict-min victim is walk-order independent.
   auto victim = contexts_.end();
+  // nova-lint: allow(determinism) -- strict min over unique last_use stamps
   for (auto it = contexts_.begin(); it != contexts_.end(); ++it) {
     if (&it->second == keep || it->second.root == 0) {
       continue;
@@ -368,7 +371,9 @@ void Vtlb::HandleInvlpg(std::uint64_t gva) {
   }
   // Invalidation invariant: the translation dies in *every* cached
   // context and under every context tag, so it cannot resurface when a
-  // dormant address space is switched back in.
+  // dormant address space is switched back in. Each context's shadow tree
+  // is disjoint, Unmap frees nothing, and Charge sums — order cannot show.
+  // nova-lint: allow(determinism) -- independent per-context ops, no frees
   for (auto& [key, ctx] : contexts_) {
     if (ctx.root == 0) {
       continue;
@@ -398,13 +403,21 @@ void Vtlb::Flush() {
     (void)env_.mem->Zero(env_.ctl->nested_root, hw::kPageSize);
   } else {
     // Drop every dormant context outright; the active tree survives with
-    // a zeroed root because the VMCS still points at it.
-    for (auto it = contexts_.begin(); it != contexts_.end();) {
+    // a zeroed root because the VMCS still points at it. Walk in sorted
+    // key order: tags and frames are released into LIFO free lists, so a
+    // hash-order walk would tie recycling order to the hash seed.
+    std::vector<std::uint64_t> keys;
+    keys.reserve(contexts_.size());
+    // nova-lint: allow(determinism) -- key collection, sorted before use
+    for (const auto& [key, ctx] : contexts_) {
+      keys.push_back(key);
+    }
+    std::sort(keys.begin(), keys.end());
+    for (const std::uint64_t key : keys) {
+      const auto it = contexts_.find(key);
       Context& ctx = it->second;
-      const bool active = has_active_ && it->first == active_key_;
-      if (active) {
+      if (has_active_ && key == active_key_) {
         FreeBelowRoot(ctx);
-        ++it;
         continue;
       }
       if (ctx.tag != env_.ctl->base_tag) {
@@ -412,7 +425,7 @@ void Vtlb::Flush() {
         env_.tags->Release(ctx.tag);
       }
       FreeTree(ctx);
-      it = contexts_.erase(it);
+      contexts_.erase(it);
     }
   }
   env_.cpu->tlb().FlushTag(env_.ctl->tag);
@@ -422,7 +435,17 @@ void Vtlb::Flush() {
 }
 
 void Vtlb::DropAllContexts() {
-  for (auto& [key, ctx] : contexts_) {
+  // Sorted key order: tag and frame recycling below feeds LIFO free
+  // lists, so the walk order decides what later allocations hand out.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(contexts_.size());
+  // nova-lint: allow(determinism) -- key collection, sorted before use
+  for (const auto& [key, ctx] : contexts_) {
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  for (const std::uint64_t key : keys) {
+    Context& ctx = contexts_.at(key);
     if (ctx.tag != env_.ctl->base_tag) {
       // Released tags are recycled, so their hardware-TLB entries must not
       // outlive the context. The VM's identity tag is the revoke path's
@@ -444,8 +467,10 @@ void Vtlb::EnforceFrameBudget() {
   }
   while (frames_held_ > policy_.max_cached_frames) {
     // Evict the least recently used *dormant* context; the active tree is
-    // pinned (the hardware is walking it).
+    // pinned (the hardware is walking it). last_use stamps are unique
+    // (++use_clock_), so the strict-min victim is walk-order independent.
     auto victim = contexts_.end();
+    // nova-lint: allow(determinism) -- strict min over unique last_use stamps
     for (auto it = contexts_.begin(); it != contexts_.end(); ++it) {
       if (has_active_ && it->first == active_key_) {
         continue;
@@ -473,6 +498,7 @@ void Vtlb::EnforceFrameBudget() {
 Status Vtlb::SaveState(sim::SnapWriter& w) const {
   std::vector<std::uint64_t> keys;
   keys.reserve(contexts_.size());
+  // nova-lint: allow(determinism) -- collected then sorted before encoding
   for (const auto& [key, ctx] : contexts_) {
     keys.push_back(key);
   }

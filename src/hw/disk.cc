@@ -156,6 +156,7 @@ Status DiskModel::SaveState(sim::SnapWriter& w) const {
   }
   // Written sectors, sorted for a deterministic encoding.
   std::map<std::uint64_t, const std::vector<std::uint8_t>*> sorted;
+  // nova-lint: allow(determinism) -- accumulates into a sorted std::map
   for (const auto& [sector, bytes] : sectors_) {
     sorted.emplace(sector, &bytes);
   }

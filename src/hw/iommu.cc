@@ -156,6 +156,7 @@ Status Iommu::DmaWrite(DeviceId dev, std::uint64_t iova, const void* data,
 Status Iommu::SaveState(sim::SnapWriter& w) const {
   std::vector<DeviceId> devs;
   devs.reserve(contexts_.size());
+  // nova-lint: allow(determinism) -- collected then sorted before encoding
   for (const auto& [dev, ctx] : contexts_) {
     devs.push_back(dev);
   }
@@ -169,6 +170,7 @@ Status Iommu::SaveState(sim::SnapWriter& w) const {
   }
   std::vector<DeviceId> gsi_devs;
   gsi_devs.reserve(allowed_gsis_.size());
+  // nova-lint: allow(determinism) -- collected then sorted before encoding
   for (const auto& [dev, mask] : allowed_gsis_) {
     gsi_devs.push_back(dev);
   }

@@ -84,6 +84,7 @@ Status PhysMem::SaveState(sim::SnapWriter& w) const {
   w.U64(size_);
   std::vector<std::uint64_t> order;
   order.reserve(frames_.size());
+  // nova-lint: allow(determinism) -- collected then sorted before encoding
   for (const auto& [frame_no, frame] : frames_) {
     order.push_back(frame_no);
   }

@@ -61,8 +61,11 @@ void Tlb::EvictIfNeeded(bool large) {
   if (count < cap) {
     return;
   }
-  // Evict the least recently used entry of the same size class.
+  // Evict the least recently used entry of the same size class. The lru
+  // stamps come from ++clock_ and are unique, so the strict-min victim is
+  // the same whatever order the buckets are walked in.
   auto victim = map_.end();
+  // nova-lint: allow(determinism) -- strict min over unique lru stamps
   for (auto it = map_.begin(); it != map_.end(); ++it) {
     if (it->first.large != large) {
       continue;
@@ -85,6 +88,9 @@ void Tlb::FlushAll() {
 }
 
 void Tlb::FlushTag(TlbTag tag) {
+  // Erases every matching entry; the surviving set and both counters are
+  // the same in any walk order.
+  // nova-lint: allow(determinism) -- order-independent full-scan erase
   for (auto it = map_.begin(); it != map_.end();) {
     if (it->first.tag == tag) {
       if (it->first.large) {
@@ -101,6 +107,7 @@ void Tlb::FlushTag(TlbTag tag) {
 }
 
 void Tlb::FlushNonGlobal(TlbTag tag) {
+  // nova-lint: allow(determinism) -- order-independent full-scan erase
   for (auto it = map_.begin(); it != map_.end();) {
     if (it->first.tag == tag && !it->second.entry.global) {
       if (it->first.large) {
@@ -148,6 +155,7 @@ Status Tlb::SaveState(sim::SnapWriter& w) const {
   }
   std::vector<const std::pair<const Key, Slot>*> order;
   order.reserve(map_.size());
+  // nova-lint: allow(determinism) -- collected then sorted before encoding
   for (const auto& kv : map_) {
     order.push_back(&kv);
   }
@@ -210,6 +218,7 @@ Status Tlb::LoadState(sim::SnapReader& r) {
 
 std::size_t Tlb::EntryCount(TlbTag tag) const {
   std::size_t n = 0;
+  // nova-lint: allow(determinism) -- pure count, order-independent
   for (const auto& [key, slot] : map_) {
     if (key.tag == tag) {
       ++n;

@@ -310,6 +310,7 @@ PicoSeconds TraceReport::TotalPs(std::uint16_t name) const {
 std::map<std::string, TraceReport::Entry> TraceReport::Rows(
     const Tracer& t) const {
   std::map<std::string, Entry> rows;
+  // nova-lint: allow(determinism) -- accumulates into a sorted std::map
   for (const auto& [id, e] : entries_) {
     Entry& row = rows[t.Name(id)];
     row.count += e.count;
@@ -324,6 +325,7 @@ void TraceReport::Reset() {
 }
 
 Status TraceReport::SaveState(SnapWriter& w) const {
+  // nova-lint: allow(determinism) -- copied into a sorted map for encoding
   std::map<std::uint16_t, Entry> sorted_entries(entries_.begin(),
                                                 entries_.end());
   w.U32(static_cast<std::uint32_t>(sorted_entries.size()));
@@ -332,6 +334,7 @@ Status TraceReport::SaveState(SnapWriter& w) const {
     w.U64(e.count);
     w.U64(static_cast<std::uint64_t>(e.total_ps));
   }
+  // nova-lint: allow(determinism) -- copied into a sorted map for encoding
   std::map<std::uint8_t, std::vector<OpenSpan>> sorted_open(open_.begin(),
                                                             open_.end());
   w.U32(static_cast<std::uint32_t>(sorted_open.size()));

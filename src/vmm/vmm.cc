@@ -659,6 +659,7 @@ Status Vmm::SaveState(sim::SnapWriter& w) const {
     w.Bool(b);
   }
   w.U32(disk_ring_tail_);
+  // nova-lint: allow(determinism) -- drained into a vector and sorted
   std::vector<std::uint64_t> delegated(delegated_buffer_pages_.begin(),
                                        delegated_buffer_pages_.end());
   std::sort(delegated.begin(), delegated.end());

@@ -98,7 +98,7 @@ TEST_F(NicTest, MaskedInterruptDoesNotFire) {
 
 TEST_F(NicTest, CoalescingLimitsInterruptRate) {
   // ITR in 256 ns units: 50 us minimum gap => max 20000 irq/s (§8.3).
-  nic_.MmioWrite(nic::kItr, 4, 50'000 / 256);
+  (void)nic_.MmioWrite(nic::kItr, 4, 50'000 / 256);
   auto frame = Frame(64, 5);
 
   // Burst of packets at 1 us spacing for 200 us: without coalescing this

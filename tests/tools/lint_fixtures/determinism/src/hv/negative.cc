@@ -1,0 +1,20 @@
+// Fixture: deterministic patterns the rule must stay silent on — an
+// ordered container walk and a vector member whose name collides with
+// an unordered member in another class (positive.cc's table_ is fine:
+// different name; the collision here is against ShadowIndex had it
+// shared a name — the vector resolves by this class's declaration).
+class SortedIndex {
+ public:
+  void Walk() {
+    for (const auto& kv : ordered_) {
+      (void)kv;
+    }
+    for (const int v : table_) {  // vector named like an unordered member
+      (void)v;
+    }
+  }
+
+ private:
+  std::map<int, int> ordered_;
+  std::vector<int> table_;
+};

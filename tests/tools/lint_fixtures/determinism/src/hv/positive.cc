@@ -1,0 +1,17 @@
+// Fixture: determinism violations the rule must flag (2 findings).
+// Linted only by the nova_lint_fixture_determinism ctest entry; the
+// repo-wide gate skips lint_fixtures/ directories during recursion.
+class ShadowIndex {
+ public:
+  void Walk() {
+    for (const auto& kv : table_) {  // finding: unordered iteration
+      (void)kv;
+    }
+  }
+  long Now() {
+    return std::chrono::steady_clock::now();  // finding: wall clock
+  }
+
+ private:
+  std::unordered_map<int, int> table_;
+};

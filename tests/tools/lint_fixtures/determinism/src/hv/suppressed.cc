@@ -1,0 +1,16 @@
+// Fixture: a vetted unordered walk carrying a justified allow() — the
+// rule must count it as suppressed, not report it.
+class CountingIndex {
+ public:
+  int Total() {
+    int n = 0;
+    // nova-lint: allow(determinism) -- pure sum, order-independent
+    for (const auto& kv : table_) {
+      n += kv.second;
+    }
+    return n;
+  }
+
+ private:
+  std::unordered_map<int, int> table_;
+};

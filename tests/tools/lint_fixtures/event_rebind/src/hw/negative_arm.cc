@@ -1,0 +1,6 @@
+// Fixture: the enqueue half of a correctly paired owner. The rebinder
+// lives in negative_restore.cc — the pairing is deliberately cross-TU.
+void ArmPaired(sim::EventQueue& q) {
+  const sim::EventTag tag{"hw.paired", 1};
+  q.ScheduleAfterTagged(5, tag, Fire);
+}

@@ -1,0 +1,5 @@
+// Fixture: the restore half — registers the rebinder for the owner
+// enqueued in negative_arm.cc.
+void AttachPaired(sim::EventQueue& q) {
+  q.RegisterRebinder("hw.paired", Rebind);
+}

@@ -1,0 +1,6 @@
+// Fixture: a tagged enqueue whose owner has no RegisterRebinder
+// anywhere in the scanned tree (1 finding) — the lost-event-on-restore
+// bug class.
+void ArmOrphan(sim::EventQueue& q) {
+  q.ScheduleAtTagged(5, sim::EventTag{"hw.orphan", 0}, Fire);
+}

@@ -1,0 +1,6 @@
+// Fixture: an unpaired enqueue with a justified allow() — counted as
+// suppressed, not reported.
+void ArmTransient(sim::EventQueue& q) {
+  // nova-lint: allow(event-rebind) -- transient event, never snapshotted
+  q.ScheduleAtTagged(5, sim::EventTag{"hw.transient", 0}, Fire);
+}

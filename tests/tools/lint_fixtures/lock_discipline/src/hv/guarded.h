@@ -1,0 +1,18 @@
+// Fixture: the shared-state declarations the lock_discipline fixtures
+// mutate. epoch_ carries the guarded-by contract under test.
+struct KernelLock {
+  int last_cpu;
+};
+
+class Kernel {
+ public:
+  void LockedBump(int cpu);
+  void UnlockedBump();
+  void BootBump();
+
+ private:
+  void ChargeLock(KernelLock& lock, int cpu);
+  // guarded-by(state_lock_)
+  int epoch_ = 0;
+  KernelLock state_lock_;
+};

@@ -1,0 +1,6 @@
+// Fixture: the disciplined path — the function charges the guarding
+// lock before touching the member, so the rule stays silent.
+void Kernel::LockedBump(int cpu) {
+  ChargeLock(state_lock_, cpu);
+  epoch_ += 1;
+}

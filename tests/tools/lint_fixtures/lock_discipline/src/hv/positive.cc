@@ -1,0 +1,5 @@
+// Fixture: a guarded member touched without charging its lock
+// (1 finding).
+void Kernel::UnlockedBump() {
+  epoch_ += 1;  // finding: no ChargeLock(state_lock_) in this function
+}

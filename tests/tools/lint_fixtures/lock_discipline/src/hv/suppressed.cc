@@ -1,0 +1,6 @@
+// Fixture: an unlocked touch with a justified allow() — counted as
+// suppressed, not reported.
+void Kernel::BootBump() {
+  // nova-lint: allow(lock-discipline) -- single-core boot, APs not started
+  epoch_ += 1;
+}

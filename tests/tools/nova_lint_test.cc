@@ -571,6 +571,367 @@ TEST(ProjectModel, LayerRanksMatchTheLadder) {
   EXPECT_EQ(ProjectModel::LayerOf("tests/hv/t.cc"), "");
 }
 
+// --- lexer gaps ----------------------------------------------------------
+
+TEST(SourceFile, DigitSeparatorsDoNotOpenCharLiterals) {
+  // Before the separator fix the first ' switched the blanker into
+  // char-literal state and erased the rest of the line.
+  SourceFile f("src/hv/x.cc", "F(4'000'000'000ull);\nWrite(1);\n");
+  EXPECT_NE(f.code().find("4'000'000'000ull"), std::string::npos);
+  EXPECT_NE(f.code().find("Write"), std::string::npos);
+}
+
+TEST(SourceFile, EncodingPrefixedCharLiteralsStillBlank) {
+  SourceFile f("src/hv/x.cc", "char c = u8'W'; wchar_t w = L'X';\n");
+  EXPECT_EQ(f.code().find('W'), std::string::npos);
+  EXPECT_EQ(f.code().find('X'), std::string::npos);
+}
+
+TEST(Lexer, DigitSeparatedNumberIsOneToken) {
+  SourceFile f("src/hv/x.cc", "const auto k = 4'000'000'000ull;\n");
+  const Tokens toks = Lex(f);
+  bool found = false;
+  for (const Token& t : toks) {
+    found |= t.kind == TokKind::kNumber && t.text == "4'000'000'000ull";
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SourceFile, PrefixedRawStringsAreBlanked) {
+  SourceFile f("src/hv/x.cc",
+               "const char* s = uR\"x(Write(1))x\";\nint Keep();\n");
+  EXPECT_EQ(f.code().find("Write"), std::string::npos);
+  EXPECT_NE(f.code().find("Keep"), std::string::npos);
+}
+
+TEST(SourceFile, MultiLineRawStringBodyIsBlanked) {
+  SourceFile f("src/hv/x.cc",
+               "const char* s = R\"(\n  Write(1);\n)\";\nint Keep();\n");
+  EXPECT_EQ(f.code().find("Write"), std::string::npos);
+  EXPECT_NE(f.code().find("Keep"), std::string::npos);
+}
+
+TEST(SourceFile, MacroContinuationWithTrailingBlanksIsPreprocessor) {
+  // The backslash is followed by trailing whitespace: still a
+  // continuation, so the macro body must not leak into the code view.
+  SourceFile f("src/hv/x.cc",
+               "#define CHECK(x) \\ \t\n  Write(x)\nint Keep();\n");
+  EXPECT_EQ(f.code().find("Write"), std::string::npos);
+  EXPECT_NE(f.code().find("Keep"), std::string::npos);
+}
+
+// --- determinism ---------------------------------------------------------
+
+TEST(DeterminismRule, FlagsUnorderedIterationInSimLayers) {
+  const auto r = RunOn({{"src/hv/d.cc", R"cc(
+class T {
+ public:
+  void Walk() {
+    for (const auto& kv : table_) { (void)kv; }
+  }
+ private:
+  std::unordered_map<int, int> table_;
+};
+)cc"}});
+  EXPECT_EQ(CountRule(r, "determinism"), 1);
+}
+
+TEST(DeterminismRule, FlagsExplicitIteratorWalk) {
+  const auto r = RunOn({{"src/hw/d.cc", R"cc(
+class T {
+ public:
+  int First() { return table_.begin()->second; }
+ private:
+  std::unordered_map<int, int> table_;
+};
+)cc"}});
+  EXPECT_EQ(CountRule(r, "determinism"), 1);
+}
+
+TEST(DeterminismRule, ResolvesMemberTypeByEnclosingClass) {
+  // Two classes declare `entries_`: unordered in A, a vector in B. The
+  // walk in B::V must resolve against B's declaration, not A's.
+  const auto r = RunOn({
+      {"src/sim/a.h", R"cc(
+class A {
+ public:
+  void W();
+ private:
+  std::unordered_map<int, int> entries_;
+};
+)cc"},
+      {"src/sim/b.cc", R"cc(
+class B {
+ public:
+  void V() {
+    for (const int e : entries_) { (void)e; }
+  }
+ private:
+  std::vector<int> entries_;
+};
+)cc"},
+  });
+  EXPECT_EQ(CountRule(r, "determinism"), 0);
+}
+
+TEST(DeterminismRule, ResolvesCrossTuMethodDefinitions) {
+  // A::W is defined out-of-line in a different TU than A's declaration;
+  // the Cls:: qualifier must pick up A's unordered member.
+  const auto r = RunOn({
+      {"src/sim/a.h", R"cc(
+class A {
+ public:
+  void W();
+ private:
+  std::unordered_map<int, int> entries_;
+};
+)cc"},
+      {"src/sim/a.cc", R"cc(
+void A::W() {
+  for (const auto& kv : entries_) { (void)kv; }
+}
+)cc"},
+  });
+  EXPECT_EQ(CountRule(r, "determinism"), 1);
+}
+
+TEST(DeterminismRule, FlagsPointerKeyedContainers) {
+  const auto r = RunOn({{"src/hv/p.cc", R"cc(
+class C {
+ private:
+  std::map<Obj*, int> index_;
+};
+)cc"}});
+  EXPECT_EQ(CountRule(r, "determinism"), 1);
+}
+
+TEST(DeterminismRule, FlagsWallClockAndRandomness) {
+  const auto r = RunOn({{"src/hw/c.cc", R"cc(
+void F() {
+  auto t = std::chrono::steady_clock::now();
+  std::random_device rd;
+}
+)cc"}});
+  EXPECT_EQ(CountRule(r, "determinism"), 2);
+}
+
+TEST(DeterminismRule, FlagsPointerCastIntoPayloadSink) {
+  const auto r = RunOn({{"src/hv/s.cc", R"cc(
+void Save(W& w, Obj* p) {
+  w.U64(reinterpret_cast<uintptr_t>(p));
+}
+)cc"}});
+  EXPECT_EQ(CountRule(r, "determinism"), 1);
+}
+
+TEST(DeterminismRule, OutOfScopeOutsideSrcAndInRngWrapper) {
+  const auto r = RunOn({
+      {"tests/hv/c.cc",
+       "void F() {\n  auto t = std::chrono::steady_clock::now();\n}\n"},
+      {"src/sim/rng.cc", "int F() {\n  return rand();\n}\n"},
+  });
+  EXPECT_EQ(CountRule(r, "determinism"), 0);
+}
+
+TEST(DeterminismRule, SuppressibleWithJustification) {
+  const auto r = RunOn({{"src/hv/d.cc", R"cc(
+class T {
+ public:
+  int Count() {
+    int n = 0;
+    // nova-lint: allow(determinism) -- pure count, order-independent
+    for (const auto& kv : table_) { n += kv.second; }
+    return n;
+  }
+ private:
+  std::unordered_map<int, int> table_;
+};
+)cc"}});
+  EXPECT_EQ(CountRule(r, "determinism"), 0);
+  EXPECT_EQ(r.suppressed, 1);
+}
+
+// --- lock-discipline -----------------------------------------------------
+
+constexpr const char* kLockHeaderPath = "src/hv/lk.h";
+constexpr const char* kLockHeader = R"cc(
+struct KernelLock { int last_cpu; };
+class Hv {
+ public:
+  void Locked(int cpu);
+  void Unlocked();
+ private:
+  void ChargeLock(KernelLock& lock, int cpu);
+  // guarded-by(mdb_lock_)
+  int mdb_epoch_ = 0;
+  KernelLock mdb_lock_;
+};
+)cc";
+
+TEST(LockDisciplineRule, FlagsTouchWithoutCharge) {
+  const auto r = RunOn({
+      {kLockHeaderPath, kLockHeader},
+      {"src/hv/lk.cc", R"cc(
+void Hv::Locked(int cpu) {
+  ChargeLock(mdb_lock_, cpu);
+  mdb_epoch_ = 1;
+}
+void Hv::Unlocked() {
+  mdb_epoch_ = 2;
+}
+)cc"},
+  });
+  ASSERT_EQ(CountRule(r, "lock-discipline"), 1);
+  for (const Finding& f : r.findings) {
+    if (f.rule != "lock-discipline") continue;
+    EXPECT_NE(f.message.find("Hv::Unlocked"), std::string::npos);
+    EXPECT_NE(f.message.find("mdb_lock_"), std::string::npos);
+  }
+}
+
+TEST(LockDisciplineRule, PerCpuOwnerCodeIsExempt) {
+  const auto r = RunOn({
+      {kLockHeaderPath, kLockHeader},
+      {"src/hv/cs.cc", R"cc(
+class CpuState {
+ public:
+  void Touch();
+};
+void CpuState::Touch() {
+  mdb_epoch_ = 3;
+}
+)cc"},
+  });
+  EXPECT_EQ(CountRule(r, "lock-discipline"), 0);
+}
+
+TEST(LockDisciplineRule, SuppressibleWithJustification) {
+  const auto r = RunOn({
+      {kLockHeaderPath, kLockHeader},
+      {"src/hv/lk.cc", R"cc(
+void Hv::Unlocked() {
+  // nova-lint: allow(lock-discipline) -- single-core boot path
+  mdb_epoch_ = 2;
+}
+)cc"},
+  });
+  EXPECT_EQ(CountRule(r, "lock-discipline"), 0);
+  EXPECT_EQ(r.suppressed, 1);
+}
+
+// --- event-rebind --------------------------------------------------------
+
+TEST(EventRebindRule, FlagsEnqueueWithoutRebinder) {
+  const auto r = RunOn({{"src/hw/t.cc", R"cc(
+void Arm(sim::EventQueue& q) {
+  q.ScheduleAtTagged(5, sim::EventTag{"hw.timer", 0}, Fire);
+}
+)cc"}});
+  ASSERT_EQ(CountRule(r, "event-rebind"), 1);
+  for (const Finding& f : r.findings) {
+    if (f.rule == "event-rebind") {
+      EXPECT_NE(f.message.find("hw.timer"), std::string::npos);
+    }
+  }
+}
+
+TEST(EventRebindRule, PairsEnqueueWithRebinderAcrossTus) {
+  const auto r = RunOn({
+      {"src/hw/t.cc", R"cc(
+void Arm(sim::EventQueue& q) {
+  q.ScheduleAtTagged(5, sim::EventTag{"hw.timer", 0}, Fire);
+}
+)cc"},
+      {"src/hw/t_restore.cc", R"cc(
+void Attach(sim::EventQueue& q) {
+  q.RegisterRebinder("hw.timer", Rebind);
+}
+)cc"},
+  });
+  EXPECT_EQ(CountRule(r, "event-rebind"), 0);
+}
+
+TEST(EventRebindRule, TracesLocalTagVariables) {
+  const auto r = RunOn({{"src/hw/n.cc", R"cc(
+void Arm(sim::EventQueue& q) {
+  const sim::EventTag tag{"hw.nic", 1};
+  q.ScheduleAfterTagged(5, tag, Fire);
+}
+)cc"}});
+  ASSERT_EQ(CountRule(r, "event-rebind"), 1);
+  for (const Finding& f : r.findings) {
+    if (f.rule == "event-rebind") {
+      EXPECT_NE(f.message.find("hw.nic"), std::string::npos);
+    }
+  }
+}
+
+TEST(EventRebindRule, MatchesSymbolicOwnerKeys) {
+  const auto r = RunOn({
+      {"src/services/d.cc", R"cc(
+void Arm(sim::EventQueue& q) {
+  q.ScheduleAfterTagged(5, sim::EventTag{kDiskOwner, 1}, Fire);
+}
+)cc"},
+      {"src/services/d_restore.cc", R"cc(
+void Attach(sim::EventQueue& q) {
+  q.RegisterRebinder(kDiskOwner, Rebind);
+}
+)cc"},
+  });
+  EXPECT_EQ(CountRule(r, "event-rebind"), 0);
+}
+
+TEST(EventRebindRule, IgnoresUntaggedScheduling) {
+  const auto r = RunOn({{"src/hw/t.cc", R"cc(
+void Arm(sim::EventQueue& q) {
+  q.ScheduleAt(5, Fire);
+}
+)cc"}});
+  EXPECT_EQ(CountRule(r, "event-rebind"), 0);
+}
+
+// --- driver: parallelism, roots, baseline --------------------------------
+
+TEST(Driver, ParallelRunMatchesSerialByteForByte) {
+  std::vector<SourceFile> files;
+  files.emplace_back(kHeaderPath, kHeader);
+  for (int i = 0; i < 24; ++i) {
+    files.emplace_back("src/hv/f" + std::to_string(i) + ".cc",
+                       "void F" + std::to_string(i) + "() {\n"
+                       "  Write(1);\n  Write(2);\n}\n");
+  }
+  const LintResult serial = RunLint(files, AllRules(), 1);
+  const LintResult parallel = RunLint(files, AllRules(), 4);
+  EXPECT_EQ(FormatText(serial), FormatText(parallel));
+  EXPECT_EQ(serial.findings.size(), 48u);
+}
+
+TEST(Driver, RootsExcludeRulesByLongestPrefix) {
+  std::vector<SourceFile> files;
+  files.emplace_back(kHeaderPath, kHeader);
+  files.emplace_back("src/hv/a.cc", "void F() {\n  Write(1);\n}\n");
+  std::vector<RootSpec> roots;
+  roots.push_back({"src", {}});
+  roots.push_back({"src/hv", {"unchecked-status"}});
+  const LintResult r = RunLint(files, AllRules(), 1, roots);
+  EXPECT_EQ(CountRule(r, "unchecked-status"), 0);
+  const LintResult all = RunLint(files, AllRules(), 1);
+  EXPECT_EQ(CountRule(all, "unchecked-status"), 1);
+}
+
+TEST(Driver, BaselineRatchetDropsKnownPairsOnly) {
+  LintResult r = RunOn({{"src/hv/a.cc", "void F() {\n  Write(1);\n}\n"},
+                        {"src/hv/b.cc", "void G() {\n  Write(1);\n}\n"}});
+  ASSERT_EQ(r.findings.size(), 2u);
+  const int dropped = ApplyBaseline(
+      &r, {"# known debt", "unchecked-status src/hv/a.cc", "", "bogus-line"});
+  EXPECT_EQ(dropped, 1);
+  EXPECT_EQ(r.baselined, 1);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].file, "src/hv/b.cc");
+}
+
 // --- report formats ------------------------------------------------------
 
 TEST(Report, JsonCarriesSchemaFieldsAndEscapes) {
@@ -583,7 +944,9 @@ TEST(Report, JsonCarriesSchemaFieldsAndEscapes) {
   EXPECT_NE(json.find("\"line\":2"), std::string::npos);
   EXPECT_NE(json.find("\"count\":1"), std::string::npos);
   EXPECT_NE(json.find("\"suppressed\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"baselined\":0"), std::string::npos);
   EXPECT_NE(json.find("\"files_scanned\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"wall_ms\":"), std::string::npos);
 }
 
 TEST(Report, TextFormatIsFileLineRuleMessage) {

@@ -41,10 +41,13 @@ Tokens Lex(const SourceFile& file) {
     }
     if (std::isdigit(static_cast<unsigned char>(c))) {
       std::size_t j = i;
-      while (j < s.size() && (IdentCont(s[j]) || s[j] == '.' ||
-                              ((s[j] == '+' || s[j] == '-') && j > i &&
-                               (s[j - 1] == 'e' || s[j - 1] == 'E' ||
-                                s[j - 1] == 'p' || s[j - 1] == 'P')))) {
+      while (j < s.size() &&
+             (IdentCont(s[j]) || s[j] == '.' ||
+              // Digit separator: 1'000'000 stays one number token.
+              (s[j] == '\'' && j + 1 < s.size() && IdentCont(s[j + 1])) ||
+              ((s[j] == '+' || s[j] == '-') && j > i &&
+               (s[j - 1] == 'e' || s[j - 1] == 'E' ||
+                s[j - 1] == 'p' || s[j - 1] == 'P')))) {
       ++j;
       }
       out.push_back({TokKind::kNumber, s.substr(i, j - i), line});

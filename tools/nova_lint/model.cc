@@ -1,6 +1,7 @@
 #include "tools/nova_lint/model.h"
 
-#include "tools/nova_lint/lexer.h"
+#include <algorithm>
+#include <cctype>
 
 namespace nova::lint {
 namespace {
@@ -112,6 +113,320 @@ void ParseNodiscardDecl(const Tokens& toks, int i, ProjectModel* model) {
   }
 }
 
+const Token& At(const Tokens& toks, int i) {
+  return toks[static_cast<std::size_t>(i)];
+}
+
+bool TokIsIdent(const Tokens& toks, int i) {
+  return i >= 0 && i < static_cast<int>(toks.size()) &&
+         At(toks, i).kind == TokKind::kIdent;
+}
+
+bool IsStmtKeyword(const std::string& s) {
+  return s == "using" || s == "typedef" || s == "friend" ||
+         s == "template" || s == "static_assert" || s == "enum" ||
+         s == "class" || s == "struct" || s == "union" || s == "operator";
+}
+
+bool IsCallKeyword(const std::string& s) {
+  return s == "if" || s == "for" || s == "while" || s == "switch" ||
+         s == "return" || s == "sizeof" || s == "catch" ||
+         s == "static_assert" || s == "alignof" || s == "decltype" ||
+         s == "noexcept" || s == "new" || s == "delete";
+}
+
+// Joins the token texts of [first, last) with no separators, dropping
+// namespace qualifiers that differ across call sites of the same owner
+// (`sim::`, `nova::`, `EventQueue::`, `std::`). The result is the
+// normalized owner key used to pair enqueues with rebinders by name.
+std::string JoinNormalized(const Tokens& toks, int first, int last) {
+  std::string out;
+  for (int i = first; i < last; ++i) {
+    const Token& t = toks[static_cast<std::size_t>(i)];
+    if (t.kind == TokKind::kPunct && t.text == "::") continue;
+    if (t.kind == TokKind::kIdent && IsPunct(toks, i + 1, "::") &&
+        (t.text == "sim" || t.text == "nova" || t.text == "EventQueue" ||
+         t.text == "std")) {
+      continue;
+    }
+    out += t.text;
+  }
+  return out;
+}
+
+// Recovers the string literal of an `OwnerToken("…")` call from the raw
+// line (literals are blanked in the code view). Returns "" when no
+// quoted literal is on the call's line or the one after it (wrapped).
+std::string RecoverStringLiteral(const SourceFile& f, int line) {
+  for (int l = line; l <= line + 1; ++l) {
+    const std::string& raw = f.RawLine(l);
+    const std::size_t a = raw.find('"');
+    if (a == std::string::npos) continue;
+    const std::size_t b = raw.find('"', a + 1);
+    if (b == std::string::npos) continue;
+    return raw.substr(a, b - a + 1);  // includes both quotes
+  }
+  return "";
+}
+
+// Normalized key of an owner expression spanning tokens [first, last).
+// `line_hint` is the raw line of the surrounding construct: a bare
+// string-literal owner leaves no tokens at all (the code view blanks
+// literals), so an empty range falls back to recovering the literal
+// from that line.
+std::string OwnerKeyFromRange(const SourceFile& f, const Tokens& toks,
+                              int first, int last, int line_hint) {
+  if (first >= last) {
+    const std::string lit = RecoverStringLiteral(f, line_hint);
+    return lit.empty() ? "OwnerToken(?)" : lit;
+  }
+  for (int i = first; i < last; ++i) {
+    if (!IsIdent(toks, i, "OwnerToken") || !IsPunct(toks, i + 1, "(")) {
+      continue;
+    }
+    const int close = MatchForward(toks, i + 1);
+    if (close < 0 || close > last) break;
+    if (close == i + 2) {
+      // Empty token range: the argument was a (blanked) string literal.
+      const std::string lit = RecoverStringLiteral(f, At(toks, i).line);
+      if (!lit.empty()) return lit;
+      return "OwnerToken(?)";
+    }
+    return "OwnerToken(" + JoinNormalized(toks, i + 2, close) + ")";
+  }
+  return JoinNormalized(toks, first, last);
+}
+
+// Extracts the owner key of the tag argument [first, last) of a
+// Schedule{At,After}Tagged call at token `call_idx`. Handles inline
+// `EventTag{owner, …}` construction, a single identifier naming a local
+// `EventTag var{owner, …}` defined earlier in the same function body
+// (traced backward), and bare expressions. Returns "" for untagged
+// `EventTag{}` (owner 0 is the event queue's own runtime concern).
+std::string TagOwnerKey(const SourceFile& f, const Tokens& toks,
+                        const FileScopes& scopes, int call_idx, int first,
+                        int last) {
+  // Inline construction: EventTag { owner, ... }.
+  for (int i = first; i < last; ++i) {
+    if (!IsIdent(toks, i, "EventTag") || !IsPunct(toks, i + 1, "{")) continue;
+    const auto args = SplitTopLevelArgs(toks, i + 1);
+    if (args.empty()) return "";  // EventTag{}: untagged by design
+    return OwnerKeyFromRange(f, toks, args[0].first, args[0].second,
+                             At(toks, i).line);
+  }
+  // Single identifier: trace a local `EventTag var{...}` backward.
+  if (last == first + 1 && TokIsIdent(toks, first)) {
+    const std::string& var = At(toks, first).text;
+    const int fn = InnermostFunction(scopes, call_idx);
+    const int lo = fn >= 0
+                       ? scopes.functions[static_cast<std::size_t>(fn)].body_open
+                       : 0;
+    for (int k = first - 1; k > lo; --k) {
+      if (IsIdent(toks, k, "EventTag") && IsIdent(toks, k + 1, var.c_str()) &&
+          IsPunct(toks, k + 2, "{")) {
+        const auto args = SplitTopLevelArgs(toks, k + 2);
+        if (args.empty()) return "";
+        return OwnerKeyFromRange(f, toks, args[0].first, args[0].second,
+                                 At(toks, k).line);
+      }
+    }
+    return var;  // member or parameter: pair by name (owner_, ...)
+  }
+  return OwnerKeyFromRange(f, toks, first, last, At(toks, call_idx).line);
+}
+
+// Parses `// guarded-by(<lock>)` from the raw declaration line, or from
+// a comment-only line directly above it.
+std::string GuardedByOf(const SourceFile& f, int line) {
+  static const std::string kMarker = "guarded-by(";
+  for (const int l : {line, line - 1}) {
+    const std::string& raw = f.RawLine(l);
+    const std::size_t pos = raw.find(kMarker);
+    if (pos == std::string::npos) continue;
+    if (l != line) {
+      // The line above only counts when it is comment-only.
+      bool blank = true;
+      for (char c : f.CodeLine(l)) {
+        if (c != ' ' && c != '\t') blank = false;
+      }
+      if (!blank) continue;
+    }
+    const std::size_t close = raw.find(')', pos);
+    if (close == std::string::npos) continue;
+    std::string lock =
+        raw.substr(pos + kMarker.size(), close - pos - kMarker.size());
+    // Only identifier lock names are annotations; prose like
+    // `guarded-by(<lock>)` in documentation is not.
+    bool ident = !lock.empty();
+    for (char c : lock) {
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+        ident = false;
+      }
+    }
+    if (!ident) continue;
+    return lock;
+  }
+  return "";
+}
+
+// Walks one class body at member depth (nested brace groups skipped) and
+// records every data-member declaration with its type text.
+void IndexClassMembers(const SourceFile& f, const Tokens& toks,
+                       const ClassScope& cls, ProjectModel* model) {
+  int i = cls.body_open + 1;
+  while (i < cls.body_close) {
+    // Access specifiers are statement separators.
+    if ((IsIdent(toks, i, "public") || IsIdent(toks, i, "private") ||
+         IsIdent(toks, i, "protected")) &&
+        IsPunct(toks, i + 1, ":")) {
+      i += 2;
+      continue;
+    }
+    if (IsPunct(toks, i, ";")) {
+      ++i;
+      continue;
+    }
+    // Collect one statement: tokens up to a top-level ';', with balanced
+    // groups skipped. A '{' ends the declarator when it is a body or
+    // nested type (discard) but continues it when it is a brace init.
+    const int start = i;
+    int trunc = -1;     // '=' or brace-init position: end of the decl part
+    bool fn_decl = false;  // saw a top-level '(': function declaration
+    int j = i;
+    while (j < cls.body_close) {
+      if (IsPunct(toks, j, ";")) break;
+      if (IsPunct(toks, j, "<")) {
+        const int c = MatchForward(toks, j);
+        if (c > 0 && c < cls.body_close) {
+          j = c + 1;
+          continue;
+        }
+      }
+      if (IsPunct(toks, j, "(") || IsPunct(toks, j, "[")) {
+        if (At(toks, j).text == "(") fn_decl = true;
+        const int c = MatchForward(toks, j);
+        if (c < 0) break;
+        j = c + 1;
+        continue;
+      }
+      if (IsPunct(toks, j, "=") && trunc < 0) trunc = j;
+      if (IsPunct(toks, j, "{")) {
+        const int c = MatchForward(toks, j);
+        if (c < 0) break;
+        const bool brace_init = !fn_decl && TokIsIdent(toks, j - 1) &&
+                                !IsStmtKeyword(At(toks, start).text);
+        if (brace_init) {
+          if (trunc < 0) trunc = j;
+          j = c + 1;
+          continue;
+        }
+        // Method body / nested type body: discard this statement.
+        j = c + 1;
+        fn_decl = true;  // poison: never a data member
+        break;
+      }
+      ++j;
+    }
+    const int stmt_end = trunc >= 0 ? trunc : j;
+    // Resume after the ';' that ended the statement; a discarded body
+    // ends with j already past its '}'. Always make progress.
+    i = IsPunct(toks, j, ";") ? j + 1 : j;
+    if (i <= start) i = start + 1;
+
+    if (fn_decl || stmt_end <= start + 1) continue;
+    if (TokIsIdent(toks, start) && IsStmtKeyword(At(toks, start).text)) {
+      continue;
+    }
+    // Member name: last identifier of the declarator, ignoring trailing
+    // array extents (already skipped as groups above).
+    int name_idx = -1;
+    for (int k = stmt_end - 1; k > start; --k) {
+      if (TokIsIdent(toks, k)) {
+        name_idx = k;
+        break;
+      }
+    }
+    if (name_idx <= start) continue;
+    MemberDecl m;
+    m.cls = cls.name;
+    m.name = At(toks, name_idx).text;
+    m.line = At(toks, name_idx).line;
+    m.file = f.path();
+    for (int k = start; k < name_idx; ++k) {
+      if (!m.type.empty()) m.type += ' ';
+      m.type += At(toks, k).text;
+    }
+    m.guarded_by = GuardedByOf(f, m.line);
+    model->members.push_back(std::move(m));
+  }
+}
+
+// Records every function definition with its call sites and ChargeLock
+// charges, plus the standalone lock-site table.
+void IndexFunctions(const SourceFile& f, const Tokens& toks,
+                    const FileScopes& scopes, ProjectModel* model) {
+  for (const FuncScope& fn : scopes.functions) {
+    FuncDef d;
+    d.name = fn.name;
+    d.qualifier = fn.qualifier;
+    d.file = f.path();
+    d.line = fn.line;
+    for (int i = fn.body_open + 1; i < fn.body_close; ++i) {
+      if (!TokIsIdent(toks, i) || !IsPunct(toks, i + 1, "(")) continue;
+      const std::string& callee = At(toks, i).text;
+      if (IsCallKeyword(callee)) continue;
+      d.calls.insert(callee);
+      if (callee == "ChargeLock") {
+        const auto args = SplitTopLevelArgs(toks, i + 1);
+        if (args.empty()) continue;
+        // The lock argument may be qualified (state.lock_): key on the
+        // last identifier, which is the KernelLock member name.
+        std::string lock;
+        for (int k = args[0].second - 1; k >= args[0].first; --k) {
+          if (TokIsIdent(toks, k)) {
+            lock = At(toks, k).text;
+            break;
+          }
+        }
+        if (lock.empty()) continue;
+        d.locks.insert(lock);
+        model->lock_sites.push_back(
+            LockSite{lock, d.name, f.path(), At(toks, i).line});
+      }
+    }
+    model->functions.push_back(std::move(d));
+  }
+}
+
+// Records tagged enqueues and rebinder registrations. Only genuine call
+// sites count: both are always invoked through `.` or `->` on an event
+// queue, which cleanly excludes the declarations and the definitions in
+// src/sim/event_queue.* (the mechanism itself).
+void IndexOwnerSites(const SourceFile& f, const Tokens& toks,
+                     const FileScopes& scopes, ProjectModel* model) {
+  for (int i = 0; i < static_cast<int>(toks.size()); ++i) {
+    if (!TokIsIdent(toks, i) || !IsPunct(toks, i + 1, "(")) continue;
+    if (!IsPunct(toks, i - 1, ".") && !IsPunct(toks, i - 1, "->")) continue;
+    const std::string& name = At(toks, i).text;
+    if (name == "RegisterRebinder") {
+      const auto args = SplitTopLevelArgs(toks, i + 1);
+      if (args.empty()) continue;
+      model->rebinders.push_back(
+          OwnerSite{OwnerKeyFromRange(f, toks, args[0].first, args[0].second,
+                                      At(toks, i).line),
+                    f.path(), At(toks, i).line});
+      continue;
+    }
+    if (name != "ScheduleAtTagged" && name != "ScheduleAfterTagged") continue;
+    const auto args = SplitTopLevelArgs(toks, i + 1);
+    if (args.size() < 2) continue;
+    const std::string key =
+        TagOwnerKey(f, toks, scopes, i, args[1].first, args[1].second);
+    if (key.empty()) continue;  // untagged EventTag{}
+    model->enqueues.push_back(OwnerSite{key, f.path(), At(toks, i).line});
+  }
+}
+
 }  // namespace
 
 int ProjectModel::LayerRank(const std::string& layer) {
@@ -136,43 +451,87 @@ std::string ProjectModel::LayerOf(const std::string& path) {
   return path.substr(start, end - start);
 }
 
-ProjectModel BuildModel(const std::vector<SourceFile>& files) {
+const FuncDef* ProjectModel::FunctionAt(const std::string& file,
+                                        int line) const {
+  for (const FuncDef& d : functions) {
+    if (d.line == line && d.file == file) return &d;
+  }
+  return nullptr;
+}
+
+std::vector<const FuncDef*> ProjectModel::FindFunctions(
+    const std::string& name) const {
+  std::vector<const FuncDef*> out;
+  for (const FuncDef& d : functions) {
+    if (d.name == name) out.push_back(&d);
+  }
+  return out;
+}
+
+std::vector<const MemberDecl*> ProjectModel::GuardedMembers() const {
+  std::vector<const MemberDecl*> out;
+  for (const MemberDecl& m : members) {
+    if (!m.guarded_by.empty()) out.push_back(&m);
+  }
+  return out;
+}
+
+ProjectModel BuildModel(const std::vector<SourceFile>& files,
+                        const std::vector<Tokens>& toks,
+                        const std::vector<FileScopes>& scopes) {
   ProjectModel model;
-  for (const SourceFile& f : files) {
-    const Tokens toks = Lex(f);
-    for (int i = 0; i < static_cast<int>(toks.size()); ++i) {
-      const Token& t = toks[static_cast<std::size_t>(i)];
-      if (t.kind != TokKind::kIdent) continue;
-      if (t.text == "enum") {
-        i = ParseEnum(toks, i, &model);
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    const SourceFile& f = files[fi];
+    const Tokens& t = toks[fi];
+    for (int i = 0; i < static_cast<int>(t.size()); ++i) {
+      const Token& tok = t[static_cast<std::size_t>(i)];
+      if (tok.kind != TokKind::kIdent) continue;
+      if (tok.text == "enum") {
+        i = ParseEnum(t, i, &model);
         continue;
       }
-      if (t.text == "nodiscard") {
-        ParseNodiscardDecl(toks, i, &model);
+      if (tok.text == "nodiscard") {
+        ParseNodiscardDecl(t, i, &model);
         continue;
       }
       // `Status Foo(` / `Status Cls::Foo(` / `Vtlb::Outcome Resolve(` …
-      if (IsResultType(t.text)) {
+      if (IsResultType(tok.text)) {
         const int j = i + 1;
-        if (j < static_cast<int>(toks.size()) &&
-            toks[static_cast<std::size_t>(j)].kind == TokKind::kIdent) {
+        if (j < static_cast<int>(t.size()) &&
+            t[static_cast<std::size_t>(j)].kind == TokKind::kIdent) {
           // Step over `Cls::` qualifiers in out-of-line definition names.
           int name = j;
-          while (name + 1 < static_cast<int>(toks.size()) &&
-                 IsPunct(toks, name + 1, "::") &&
-                 toks[static_cast<std::size_t>(name + 2)].kind ==
+          while (name + 1 < static_cast<int>(t.size()) &&
+                 IsPunct(t, name + 1, "::") &&
+                 t[static_cast<std::size_t>(name + 2)].kind ==
                      TokKind::kIdent) {
             name += 2;
           }
-          if (IsPunct(toks, name + 1, "(")) {
-            model.must_check.insert(
-                toks[static_cast<std::size_t>(name)].text);
+          if (IsPunct(t, name + 1, "(")) {
+            model.must_check.insert(t[static_cast<std::size_t>(name)].text);
           }
         }
       }
     }
+    for (const ClassScope& cls : scopes[fi].classes) {
+      IndexClassMembers(f, t, cls, &model);
+    }
+    IndexFunctions(f, t, scopes[fi], &model);
+    IndexOwnerSites(f, t, scopes[fi], &model);
   }
   return model;
+}
+
+ProjectModel BuildModel(const std::vector<SourceFile>& files) {
+  std::vector<Tokens> toks;
+  std::vector<FileScopes> scopes;
+  toks.reserve(files.size());
+  scopes.reserve(files.size());
+  for (const SourceFile& f : files) {
+    toks.push_back(Lex(f));
+    scopes.push_back(BuildFileScopes(toks.back()));
+  }
+  return BuildModel(files, toks, scopes);
 }
 
 }  // namespace nova::lint

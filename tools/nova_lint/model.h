@@ -1,7 +1,10 @@
 // ProjectModel: facts nova-lint mines from the source tree before any
-// rule runs — enum definitions (for switch-coverage checking), the set of
-// functions whose result must not be discarded, and the layer rank of
-// each directory under src/.
+// rule runs. Besides the original per-file facts (enum definitions,
+// must-check return types, layer ranks) it now carries a whole-project
+// symbol index built by the scope walker: function/method definitions
+// with their call and lock-charge sites, class members with declaration
+// types and `// guarded-by(<lock>)` annotations, and the cross-TU
+// pairing tables for tagged event enqueues vs. rebinder registrations.
 #ifndef TOOLS_NOVA_LINT_MODEL_H_
 #define TOOLS_NOVA_LINT_MODEL_H_
 
@@ -10,9 +13,51 @@
 #include <string>
 #include <vector>
 
+#include "tools/nova_lint/lexer.h"
+#include "tools/nova_lint/scope.h"
 #include "tools/nova_lint/source.h"
 
 namespace nova::lint {
+
+// One data member declared in a class/struct body.
+struct MemberDecl {
+  std::string cls;         // declaring class
+  std::string name;
+  std::string type;        // declaration type, tokens joined with spaces
+  std::string guarded_by;  // lock from `// guarded-by(<lock>)`, or ""
+  std::string file;
+  int line = 0;
+};
+
+// One function/method *definition* plus the per-body facts rules need.
+struct FuncDef {
+  std::string name;
+  std::string qualifier;  // enclosing class, or "" for free functions
+  std::string file;
+  int line = 0;
+  std::set<std::string> calls;  // unqualified callee names in the body
+  std::set<std::string> locks;  // KernelLocks passed to ChargeLock here
+};
+
+// One `ChargeLock(<lock>, …)` call site.
+struct LockSite {
+  std::string lock;
+  std::string func;  // enclosing function name ("" at namespace scope)
+  std::string file;
+  int line = 0;
+};
+
+// One side of the event-rebind pairing: a tagged enqueue
+// (Schedule{At,After}Tagged) or a RegisterRebinder registration. `key`
+// is the normalized owner expression — a recovered string literal like
+// `"hw.timer"`, or the expression text (`kDiskServerOwner`, `owner_`,
+// `HbOwner()`, `OwnerToken(name_)`) with sim::/EventQueue:: qualifiers
+// stripped — so the two sides compare by name across translation units.
+struct OwnerSite {
+  std::string key;
+  std::string file;
+  int line = 0;
+};
 
 struct ProjectModel {
   // Enum name (unqualified) -> one enumerator list per distinct
@@ -26,6 +71,26 @@ struct ProjectModel {
   // carrying an explicit [[nodiscard]].
   std::set<std::string> must_check;
 
+  // --- Whole-project symbol index (scope-walker derived) ---
+  std::vector<MemberDecl> members;
+  std::vector<FuncDef> functions;
+  std::vector<LockSite> lock_sites;
+  std::vector<OwnerSite> enqueues;   // tagged enqueue sites
+  std::vector<OwnerSite> rebinders;  // RegisterRebinder sites
+
+  // The definition recorded at (file, line of the function name), or
+  // nullptr. Lines come from the same scope walk rules see via FileCtx,
+  // so the lookup is exact.
+  const FuncDef* FunctionAt(const std::string& file, int line) const;
+
+  // All definitions of `name` (any qualifier), in scan order. Used for
+  // cross-TU call resolution: a call site names the callee, this finds
+  // the TU(s) defining it.
+  std::vector<const FuncDef*> FindFunctions(const std::string& name) const;
+
+  // Members carrying a guarded-by annotation.
+  std::vector<const MemberDecl*> GuardedMembers() const;
+
   // Architecture ranks for the layering rule. A file may include headers
   // of its own rank or below, never above. Directories absent from the
   // map (tests/, bench/, examples/, tools/) are unrestricted consumers.
@@ -37,9 +102,14 @@ struct ProjectModel {
   static std::string LayerOf(const std::string& path);
 };
 
-// Scans `files` (headers and sources alike) and builds the model. The
-// scan is token-based and deliberately forgiving: it only has to be
-// right for this repository's idioms, not for arbitrary C++.
+// Builds the model from pre-lexed tokens and scopes (one entry per file,
+// parallel to `files`). This is the driver's path: lex once, share the
+// tokens between the model, the scope walk, and every rule.
+ProjectModel BuildModel(const std::vector<SourceFile>& files,
+                        const std::vector<Tokens>& toks,
+                        const std::vector<FileScopes>& scopes);
+
+// Convenience overload that lexes and scope-walks internally (tests).
 ProjectModel BuildModel(const std::vector<SourceFile>& files);
 
 }  // namespace nova::lint

@@ -1,8 +1,9 @@
 // Rule interface and registry.
 //
 // A rule inspects one file at a time against the shared ProjectModel and
-// reports findings. Suppression filtering happens in the driver, so rules
-// report unconditionally.
+// reports findings. The driver lexes and scope-walks each file exactly
+// once and hands rules the shared views through FileCtx. Suppression
+// filtering happens in the driver, so rules report unconditionally.
 #ifndef TOOLS_NOVA_LINT_RULE_H_
 #define TOOLS_NOVA_LINT_RULE_H_
 
@@ -11,10 +12,20 @@
 #include <vector>
 
 #include "tools/nova_lint/diag.h"
+#include "tools/nova_lint/lexer.h"
 #include "tools/nova_lint/model.h"
+#include "tools/nova_lint/scope.h"
 #include "tools/nova_lint/source.h"
 
 namespace nova::lint {
+
+// Per-file views shared by every rule: the raw/blanked source, its token
+// stream, and the function/class scopes the walker recovered from it.
+struct FileCtx {
+  const SourceFile& file;
+  const Tokens& toks;
+  const FileScopes& scopes;
+};
 
 class Rule {
  public:
@@ -23,7 +34,7 @@ class Rule {
   virtual const char* name() const = 0;
   // One-line description for --list-rules.
   virtual const char* summary() const = 0;
-  virtual void Check(const SourceFile& file, const ProjectModel& model,
+  virtual void Check(const FileCtx& ctx, const ProjectModel& model,
                      Findings* out) const = 0;
 };
 
@@ -37,6 +48,9 @@ std::unique_ptr<Rule> MakeEnumSwitchRule();
 std::unique_ptr<Rule> MakeUncheckedDowncastRule();
 std::unique_ptr<Rule> MakePerCpuStateRule();
 std::unique_ptr<Rule> MakeSnapshotFieldsRule();
+std::unique_ptr<Rule> MakeDeterminismRule();
+std::unique_ptr<Rule> MakeLockDisciplineRule();
+std::unique_ptr<Rule> MakeEventRebindRule();
 
 // All rules, in diagnostic order.
 std::vector<std::unique_ptr<Rule>> AllRules();

@@ -27,9 +27,10 @@ class EnumSwitchRule : public Rule {
     return "switch over a project enum without full enumerator coverage";
   }
 
-  void Check(const SourceFile& file, const ProjectModel& model,
+  void Check(const FileCtx& ctx, const ProjectModel& model,
              Findings* out) const override {
-    const Tokens toks = Lex(file);
+    const SourceFile& file = ctx.file;
+    const Tokens& toks = ctx.toks;
     const int n = static_cast<int>(toks.size());
     for (int i = 0; i < n; ++i) {
       if (!IsIdent(toks, i, "switch") || !IsPunct(toks, i + 1, "(")) continue;

@@ -1,0 +1,60 @@
+// Rule 12 `event-rebind`: every EventTag owner enqueued anywhere must
+// have a rebinder registered on sim::EventQueue somewhere in the scanned
+// tree. A tagged event whose owner has no rebinder serializes fine but
+// fails LoadState (kBadCapability) on the restoring twin — the PR 7
+// lost-event-on-restore hole this rule closes at lint time.
+//
+// The pairing is cross-TU and by normalized owner key (see
+// model.h:OwnerSite): string literals are recovered from the raw source,
+// expressions (member tokens, constexpr owners, OwnerToken(name_)) pair
+// by name. The EventQueue mechanism itself never appears in either
+// table: only real call sites through `.`/`->` are indexed.
+#include <set>
+#include <string>
+
+#include "tools/nova_lint/rule.h"
+
+namespace nova::lint {
+namespace {
+
+class EventRebindRule final : public Rule {
+ public:
+  const char* name() const override { return "event-rebind"; }
+  const char* summary() const override {
+    return "every tagged event owner has a RegisterRebinder registration "
+           "(snapshot restore would drop it otherwise)";
+  }
+
+  void Check(const FileCtx& ctx, const ProjectModel& model,
+             Findings* out) const override {
+    const SourceFile& file = ctx.file;
+    if (model.enqueues.empty()) return;
+    std::set<std::string> registered;
+    for (const OwnerSite& r : model.rebinders) {
+      registered.insert(r.key);
+    }
+    for (const OwnerSite& e : model.enqueues) {
+      if (e.file != file.path()) continue;
+      if (e.key == "OwnerToken(?)") {
+        out->push_back({name(), e.file, e.line,
+                        "cannot resolve the owner of this tagged enqueue; "
+                        "use OwnerToken(\"...\") or a named constant"});
+        continue;
+      }
+      if (registered.count(e.key) != 0) continue;
+      out->push_back(
+          {name(), e.file, e.line,
+           "tagged event owner " + e.key +
+               " has no RegisterRebinder registration in the scanned tree; "
+               "snapshot restore would fail to re-bind this event"});
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeEventRebindRule() {
+  return std::make_unique<EventRebindRule>();
+}
+
+}  // namespace nova::lint

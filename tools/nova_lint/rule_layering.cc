@@ -40,8 +40,9 @@ class LayeringRule : public Rule {
     return "include of a higher architecture layer (upward dependency)";
   }
 
-  void Check(const SourceFile& file, const ProjectModel& model,
+  void Check(const FileCtx& ctx, const ProjectModel& model,
              Findings* out) const override {
+    const SourceFile& file = ctx.file;
     (void)model;
     const std::string own_layer = ProjectModel::LayerOf(file.path());
     const int own_rank = ProjectModel::LayerRank(own_layer);

@@ -98,12 +98,13 @@ class PerCpuStateRule : public Rule {
     return "per-CPU kernel state accessed without an explicit core";
   }
 
-  void Check(const SourceFile& file, const ProjectModel& model,
+  void Check(const FileCtx& ctx, const ProjectModel& model,
              Findings* out) const override {
+    const SourceFile& file = ctx.file;
     (void)model;
     if (file.path().find("src/hv/") == std::string::npos) return;
 
-    const Tokens toks = Lex(file);
+    const Tokens& toks = ctx.toks;
     const int n = static_cast<int>(toks.size());
     for (int i = 0; i < n; ++i) {
       const bool member = IsIdent(toks, i, "cpu_states_");

@@ -51,14 +51,15 @@ class QuotaSymmetryRule : public Rule {
     return "kernel-memory charge without a matching credit in the file";
   }
 
-  void Check(const SourceFile& file, const ProjectModel& model,
+  void Check(const FileCtx& ctx, const ProjectModel& model,
              Findings* out) const override {
+    const SourceFile& file = ctx.file;
     (void)model;
     // Only the hypervisor sources are bound by the pairing invariant;
     // tests intentionally exercise single sides of it.
     if (ProjectModel::LayerOf(file.path()).empty()) return;
 
-    const Tokens toks = Lex(file);
+    const Tokens& toks = ctx.toks;
     const int n = static_cast<int>(toks.size());
     std::set<std::string> calls;
     // First call line per name, for the diagnostic location.

@@ -33,12 +33,13 @@ class RawCounterRule : public Rule {
     return "hypervisor counter bump without trace co-emission";
   }
 
-  void Check(const SourceFile& file, const ProjectModel& model,
+  void Check(const FileCtx& ctx, const ProjectModel& model,
              Findings* out) const override {
+    const SourceFile& file = ctx.file;
     (void)model;
     if (file.path().find("src/hv/") == std::string::npos) return;
 
-    const Tokens toks = Lex(file);
+    const Tokens& toks = ctx.toks;
     const int n = static_cast<int>(toks.size());
     for (int i = 0; i < n; ++i) {
       if (!IsIdent(toks, i, "Add") || !IsPunct(toks, i + 1, "(")) continue;

@@ -22,10 +22,11 @@ class RawSpanRule : public Rule {
     return "manual BeginAt/EndAt span emission outside ScopedSpan";
   }
 
-  void Check(const SourceFile& file, const ProjectModel& model,
+  void Check(const FileCtx& ctx, const ProjectModel& model,
              Findings* out) const override {
+    const SourceFile& file = ctx.file;
     (void)model;
-    const Tokens toks = Lex(file);
+    const Tokens& toks = ctx.toks;
     const int n = static_cast<int>(toks.size());
     for (int i = 0; i < n; ++i) {
       const Token& t = toks[static_cast<std::size_t>(i)];

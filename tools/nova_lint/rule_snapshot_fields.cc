@@ -110,10 +110,11 @@ class SnapshotFieldsRule : public Rule {
     return "SaveState classes must carry a complete snapshot-x-list census";
   }
 
-  void Check(const SourceFile& file, const ProjectModel& model,
+  void Check(const FileCtx& ctx, const ProjectModel& model,
              Findings* out) const override {
+    const SourceFile& file = ctx.file;
     (void)model;
-    const Tokens toks = Lex(file);
+    const Tokens& toks = ctx.toks;
     const int n = static_cast<int>(toks.size());
     const std::map<std::string, XList> xlists = ParseXLists(file);
 

@@ -71,10 +71,11 @@ class UncheckedDowncastRule : public Rule {
     return "capability downcast dereferenced without a null check";
   }
 
-  void Check(const SourceFile& file, const ProjectModel& model,
+  void Check(const FileCtx& ctx, const ProjectModel& model,
              Findings* out) const override {
+    const SourceFile& file = ctx.file;
     (void)model;
-    const Tokens toks = Lex(file);
+    const Tokens& toks = ctx.toks;
     const int n = static_cast<int>(toks.size());
     for (int i = 0; i < n; ++i) {
       const Token& t = toks[static_cast<std::size_t>(i)];

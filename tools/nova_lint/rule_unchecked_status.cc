@@ -90,9 +90,10 @@ class UncheckedStatusRule : public Rule {
     return "result of a Status/Outcome/[[nodiscard]] API is discarded";
   }
 
-  void Check(const SourceFile& file, const ProjectModel& model,
+  void Check(const FileCtx& ctx, const ProjectModel& model,
              Findings* out) const override {
-    const Tokens toks = Lex(file);
+    const SourceFile& file = ctx.file;
+    const Tokens& toks = ctx.toks;
     const int n = static_cast<int>(toks.size());
     for (int i = 0; i < n; ++i) {
       const Token& t = toks[static_cast<std::size_t>(i)];

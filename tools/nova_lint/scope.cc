@@ -1,0 +1,258 @@
+#include "tools/nova_lint/scope.h"
+
+#include <algorithm>
+
+namespace nova::lint {
+namespace {
+
+// Keywords that look like `name (` but never open a function definition.
+bool IsControlKeyword(const std::string& s) {
+  return s == "if" || s == "for" || s == "while" || s == "switch" ||
+         s == "return" || s == "sizeof" || s == "catch" || s == "do" ||
+         s == "alignof" || s == "decltype" || s == "defined" ||
+         s == "static_assert" || s == "noexcept" || s == "alignas";
+}
+
+bool TokIs(const Tokens& toks, int i, TokKind kind) {
+  return i >= 0 && i < static_cast<int>(toks.size()) &&
+         toks[static_cast<std::size_t>(i)].kind == kind;
+}
+
+const Token& At(const Tokens& toks, int i) {
+  return toks[static_cast<std::size_t>(i)];
+}
+
+// Skips one balanced template argument group starting at a '<'; returns
+// the index after '>', or `i` unchanged when the '<' is a comparison.
+int SkipTemplateArgs(const Tokens& toks, int i) {
+  if (!IsPunct(toks, i, "<")) return i;
+  const int close = MatchForward(toks, i);
+  return close < 0 ? i : close + 1;
+}
+
+// After the ')' of a candidate parameter list: walk over trailing
+// qualifiers (const, noexcept, override, final), a trailing return type,
+// and a constructor init list. Returns the token index of the body '{',
+// or -1 when this declarator has no body (pure declaration, = default,
+// member initializer that merely *looks* like a parameter list, ...).
+int FindBodyBrace(const Tokens& toks, int close) {
+  const int n = static_cast<int>(toks.size());
+  int j = close + 1;
+  for (int guard = 0; j < n && guard < 64; ++guard) {
+    if (IsPunct(toks, j, "{")) return j;
+    if (IsPunct(toks, j, ";") || IsPunct(toks, j, "=") ||
+        IsPunct(toks, j, ",") || IsPunct(toks, j, ")")) {
+      return -1;
+    }
+    if (IsIdent(toks, j, "const") || IsIdent(toks, j, "override") ||
+        IsIdent(toks, j, "final") || IsIdent(toks, j, "noexcept")) {
+      ++j;
+      if (IsPunct(toks, j, "(")) {  // noexcept(expr)
+        const int c = MatchForward(toks, j);
+        if (c < 0) return -1;
+        j = c + 1;
+      }
+      continue;
+    }
+    if (IsPunct(toks, j, "->")) {  // trailing return type
+      ++j;
+      while (j < n && !IsPunct(toks, j, "{") && !IsPunct(toks, j, ";")) {
+        if (IsPunct(toks, j, "<")) {
+          const int after = SkipTemplateArgs(toks, j);
+          if (after != j) {
+            j = after;
+            continue;
+          }
+        }
+        ++j;
+      }
+      continue;
+    }
+    if (IsPunct(toks, j, ":")) {  // constructor init list
+      ++j;
+      while (j < n) {
+        // Member name, possibly qualified/templated, then (args) or {args}.
+        while (TokIs(toks, j, TokKind::kIdent) || IsPunct(toks, j, "::")) ++j;
+        j = SkipTemplateArgs(toks, j);
+        if (!IsPunct(toks, j, "(") && !IsPunct(toks, j, "{")) return -1;
+        const int c = MatchForward(toks, j);
+        if (c < 0) return -1;
+        j = c + 1;
+        if (IsPunct(toks, j, ",")) {
+          ++j;
+          continue;
+        }
+        return IsPunct(toks, j, "{") ? j : -1;
+      }
+      return -1;
+    }
+    return -1;  // anything else: not a definition
+  }
+  return -1;
+}
+
+}  // namespace
+
+FileScopes BuildFileScopes(const Tokens& toks) {
+  FileScopes out;
+  const int n = static_cast<int>(toks.size());
+
+  // Pass 1: class/struct definition bodies.
+  for (int i = 0; i < n; ++i) {
+    if (!TokIs(toks, i, TokKind::kIdent)) continue;
+    const std::string& kw = At(toks, i).text;
+    if (kw != "class" && kw != "struct") continue;
+    if (IsIdent(toks, i - 1, "enum")) continue;  // enum class: not a scope
+    int j = i + 1;
+    while (IsPunct(toks, j, "[")) {  // [[attributes]]
+      const int c = MatchForward(toks, j);
+      if (c < 0) break;
+      j = c + 1;
+    }
+    if (!TokIs(toks, j, TokKind::kIdent)) continue;  // anonymous
+    ClassScope cls;
+    cls.name = At(toks, j).text;
+    cls.line = At(toks, j).line;
+    ++j;
+    if (IsIdent(toks, j, "final")) ++j;
+    if (IsPunct(toks, j, ":")) {  // base clause, may contain templates
+      ++j;
+      while (j < n && !IsPunct(toks, j, "{") && !IsPunct(toks, j, ";") &&
+             !IsPunct(toks, j, ")") && !IsPunct(toks, j, ">") &&
+             !IsPunct(toks, j, ",")) {
+        if (IsPunct(toks, j, "<")) {
+          const int after = SkipTemplateArgs(toks, j);
+          if (after != j) {
+            j = after;
+            continue;
+          }
+        }
+        ++j;
+      }
+    }
+    if (!IsPunct(toks, j, "{")) continue;  // fwd decl / template param
+    const int body_close = MatchForward(toks, j);
+    if (body_close < 0) continue;
+    cls.body_open = j;
+    cls.body_close = body_close;
+    out.classes.push_back(std::move(cls));
+  }
+
+  // Pass 2: function definitions, keyed on `name ( params ) ... {`.
+  for (int i = 0; i < n; ++i) {
+    if (!IsPunct(toks, i, "(")) continue;
+
+    // The name directly before the parameter list: an identifier, an
+    // `operator` overload (operator> etc.), or a destructor.
+    int name_idx = i - 1;
+    std::string name;
+    if (TokIs(toks, name_idx, TokKind::kIdent)) {
+      name = At(toks, name_idx).text;
+      if (IsControlKeyword(name) || name == "operator") continue;
+    } else if (TokIs(toks, name_idx, TokKind::kPunct) &&
+               IsIdent(toks, name_idx - 1, "operator")) {
+      name = "operator" + At(toks, name_idx).text;
+      name_idx = name_idx - 1;
+    } else {
+      continue;  // lambda, cast, parenthesized expression
+    }
+
+    const int close = MatchForward(toks, i);
+    if (close < 0) continue;
+    const int body_open = FindBodyBrace(toks, close);
+    if (body_open < 0) continue;
+    const int body_close = MatchForward(toks, body_open);
+    if (body_close < 0) continue;
+
+    FuncScope fn;
+    fn.line = At(toks, name_idx).line;
+    fn.params_open = i;
+    fn.params_close = close;
+    fn.body_open = body_open;
+    fn.body_close = body_close;
+
+    // Destructor / out-of-line qualifier.
+    int before = name_idx - 1;
+    if (IsPunct(toks, before, "~")) {
+      name = "~" + name;
+      --before;
+    }
+    fn.name = std::move(name);
+    if (IsPunct(toks, before, "::") &&
+        TokIs(toks, before - 1, TokKind::kIdent)) {
+      fn.qualifier = At(toks, before - 1).text;
+    }
+    out.functions.push_back(std::move(fn));
+  }
+  std::sort(out.functions.begin(), out.functions.end(),
+            [](const FuncScope& a, const FuncScope& b) {
+              return a.body_open < b.body_open;
+            });
+
+  // In-class definitions have no `Cls::` prefix; take the innermost
+  // enclosing class body as the qualifier.
+  for (FuncScope& fn : out.functions) {
+    if (!fn.qualifier.empty()) continue;
+    const int cls = InnermostClass(out, fn.body_open);
+    if (cls >= 0) {
+      fn.qualifier = out.classes[static_cast<std::size_t>(cls)].name;
+    }
+  }
+  return out;
+}
+
+int InnermostFunction(const FileScopes& scopes, int tok_idx) {
+  int best = -1;
+  for (int k = 0; k < static_cast<int>(scopes.functions.size()); ++k) {
+    const FuncScope& f = scopes.functions[static_cast<std::size_t>(k)];
+    if (f.body_open < tok_idx && tok_idx < f.body_close &&
+        (best < 0 ||
+         f.body_open > scopes.functions[static_cast<std::size_t>(best)]
+                           .body_open)) {
+      best = k;
+    }
+  }
+  return best;
+}
+
+int InnermostClass(const FileScopes& scopes, int tok_idx) {
+  int best = -1;
+  for (int k = 0; k < static_cast<int>(scopes.classes.size()); ++k) {
+    const ClassScope& c = scopes.classes[static_cast<std::size_t>(k)];
+    if (c.body_open < tok_idx && tok_idx < c.body_close &&
+        (best < 0 ||
+         c.body_open >
+             scopes.classes[static_cast<std::size_t>(best)].body_open)) {
+      best = k;
+    }
+  }
+  return best;
+}
+
+std::vector<std::pair<int, int>> SplitTopLevelArgs(const Tokens& toks,
+                                                   int open) {
+  std::vector<std::pair<int, int>> out;
+  const int close = MatchForward(toks, open);
+  if (close < 0 || close == open + 1) return out;
+  int start = open + 1;
+  int depth = 0;
+  for (int j = open + 1; j < close; ++j) {
+    const Token& t = toks[static_cast<std::size_t>(j)];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "<") {
+      const int after = SkipTemplateArgs(toks, j);
+      if (after != j) j = after - 1;
+      continue;
+    }
+    if (t.text == "(" || t.text == "{" || t.text == "[") ++depth;
+    if (t.text == ")" || t.text == "}" || t.text == "]") --depth;
+    if (t.text == "," && depth == 0) {
+      out.emplace_back(start, j);
+      start = j + 1;
+    }
+  }
+  out.emplace_back(start, close);
+  return out;
+}
+
+}  // namespace nova::lint

@@ -1,0 +1,69 @@
+// Balanced-brace scope walker: the token-level structure layer between
+// the lexer and the cross-TU rules.
+//
+// Where the lexer sees a flat token stream, the walker recovers just
+// enough C++ structure for whole-project analysis: which tokens form a
+// function body (and what that function is called), which class a body
+// belongs to, where a parameter list starts and ends. It is not a parser
+// — like the lexer it only has to be right for this repository's idioms
+// (out-of-line `Cls::Method` definitions, in-class bodies, constructor
+// init lists, trailing const/noexcept/override) — but it is what lets a
+// rule ask "is this use inside a function that charged mdb_lock_?"
+// instead of pattern-matching single lines.
+#ifndef TOOLS_NOVA_LINT_SCOPE_H_
+#define TOOLS_NOVA_LINT_SCOPE_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/nova_lint/lexer.h"
+
+namespace nova::lint {
+
+// One function (or method / constructor / destructor) *definition*:
+// declarations without bodies are not recorded.
+struct FuncScope {
+  std::string name;       // unqualified; "~Cls" for destructors
+  std::string qualifier;  // enclosing class, from `Cls::` or the class body
+  int line = 0;           // line of the name token
+  int params_open = -1;   // token index of '(' … ')' of the parameter list
+  int params_close = -1;
+  int body_open = -1;     // token index of '{' … '}' of the body
+  int body_close = -1;
+};
+
+// One class/struct *definition* body (forward declarations excluded).
+struct ClassScope {
+  std::string name;
+  int line = 0;
+  int body_open = -1;
+  int body_close = -1;
+};
+
+// All function and class definition scopes of one token stream, in
+// source order. Nested definitions (local structs, their methods) are
+// all reported; use InnermostFunction for containment queries.
+struct FileScopes {
+  std::vector<FuncScope> functions;
+  std::vector<ClassScope> classes;
+};
+
+FileScopes BuildFileScopes(const Tokens& toks);
+
+// Index into `scopes.functions` of the innermost function whose body
+// contains token `tok_idx`, or -1 when the token is at namespace/class
+// scope. O(#functions) per query.
+int InnermostFunction(const FileScopes& scopes, int tok_idx);
+
+// Index of the innermost class whose body contains `tok_idx`, or -1.
+int InnermostClass(const FileScopes& scopes, int tok_idx);
+
+// Splits the argument tokens of the call whose '(' (or brace init's '{')
+// sits at `open` into top-level comma-separated ranges. Each pair is
+// [first, last) in token indices; empty when the list is `()`.
+std::vector<std::pair<int, int>> SplitTopLevelArgs(const Tokens& toks,
+                                                   int open);
+
+}  // namespace nova::lint
+
+#endif  // TOOLS_NOVA_LINT_SCOPE_H_

@@ -30,6 +30,54 @@ bool IsPreprocessorStart(const std::string& line) {
   return false;
 }
 
+// A directive continues onto the next line when a backslash is the last
+// non-whitespace character (trailing blanks after the '\' are legal).
+bool HasLineContinuation(const std::string& line) {
+  std::size_t end = line.size();
+  while (end > 0 && (line[end - 1] == ' ' || line[end - 1] == '\t')) --end;
+  return end > 0 && line[end - 1] == '\\';
+}
+
+// True when the '\'' at `i` is a digit separator inside a numeric
+// literal (1'000'000, 0xDEAD'BEEF) rather than a character literal.
+// A separator sits between two digits of a literal that begins with a
+// decimal digit (or an 0x/0b prefix) not glued to an identifier — this
+// keeps u8'a' and L'x' classified as character literals.
+bool IsDigitSeparator(const std::string& in, std::size_t i) {
+  if (i == 0 || i + 1 >= in.size()) return false;
+  if (!isxdigit(static_cast<unsigned char>(in[i + 1]))) return false;
+  std::size_t j = i;
+  while (j > 0 && isxdigit(static_cast<unsigned char>(in[j - 1]))) --j;
+  if (j == i) return false;  // no digits directly before the quote
+  if (j >= 2 && (in[j - 1] == 'x' || in[j - 1] == 'X') && in[j - 2] == '0') {
+    return true;
+  }
+  if (!isdigit(static_cast<unsigned char>(in[j]))) return false;
+  return j == 0 || (!isalnum(static_cast<unsigned char>(in[j - 1])) &&
+                    in[j - 1] != '_');
+}
+
+// When the '"' at `i` opens a raw string literal (R"…", LR"…", u8R"…"),
+// stores the index of the first prefix character in *start and returns
+// true. Plain prefixed strings (L"…", u8"…") and identifiers ending in R
+// (FooBAR"…" cannot occur in valid code) are rejected.
+bool IsRawStringQuote(const std::string& in, std::size_t i,
+                      std::size_t* start) {
+  if (i == 0 || in[i - 1] != 'R') return false;
+  std::size_t p = i - 1;
+  if (p > 0 && (in[p - 1] == 'L' || in[p - 1] == 'U' || in[p - 1] == 'u')) {
+    --p;
+  } else if (p > 1 && in[p - 1] == '8' && in[p - 2] == 'u') {
+    p -= 2;
+  }
+  if (p > 0 && (isalnum(static_cast<unsigned char>(in[p - 1])) ||
+                in[p - 1] == '_')) {
+    return false;
+  }
+  *start = p;
+  return true;
+}
+
 }  // namespace
 
 SourceFile::SourceFile(std::string path, std::string text)
@@ -77,13 +125,14 @@ void SourceFile::Build(const std::string& text) {
       // Blank the whole directive (macro bodies are not statement code);
       // continuation lines stay blanked too.
       for (char& c : out) c = ' ';
-      preprocessor = !in.empty() && in.back() == '\\';
+      preprocessor = HasLineContinuation(in);
       continue;
     }
 
     for (std::size_t i = 0; i < in.size(); ++i) {
       const char c = in[i];
       const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+      std::size_t raw_start = 0;
       switch (state) {
         case State::kCode:
           if (c == '/' && next == '/') {
@@ -94,14 +143,14 @@ void SourceFile::Build(const std::string& text) {
             state = State::kBlockComment;
             out[i] = out[i + 1] = ' ';
             ++i;
-          } else if (c == 'R' && next == '"' &&
-                     (i == 0 || (!isalnum(static_cast<unsigned char>(in[i - 1])) &&
-                                 in[i - 1] != '_'))) {
-            // Raw string literal: capture the delimiter up to '('.
+          } else if (c == '"' && IsRawStringQuote(in, i, &raw_start)) {
+            // Raw string literal: blank the prefix and capture the
+            // delimiter up to '('.
             raw_delim.clear();
-            std::size_t j = i + 2;
+            std::size_t j = i + 1;
             while (j < in.size() && in[j] != '(') raw_delim += in[j++];
-            for (std::size_t k = i; k < std::min(j + 1, in.size()); ++k) {
+            for (std::size_t k = raw_start; k < std::min(j + 1, in.size());
+                 ++k) {
               out[k] = ' ';
             }
             i = j;
@@ -109,7 +158,7 @@ void SourceFile::Build(const std::string& text) {
           } else if (c == '"') {
             state = State::kString;
             out[i] = ' ';
-          } else if (c == '\'') {
+          } else if (c == '\'' && !IsDigitSeparator(in, i)) {
             state = State::kChar;
             out[i] = ' ';
           }
